@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation (ours): reuse-buffer geometry sweep around the paper's 8K
+ * 4-way point (Table 10) — the "room for improvement" the paper's §7
+ * gestures at. Sweeps total entries and associativity.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/suite.hh"
+#include "support/table.hh"
+
+using namespace irep;
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: reuse-buffer geometry sweep",
+        "Sodani & Sohi ASPLOS'98, Table 10 (paper point: 8K 4-way)");
+
+    struct Geometry
+    {
+        uint32_t entries;
+        uint32_t ways;
+    };
+    const std::vector<Geometry> sweep = {
+        {1024, 4}, {2048, 4}, {4096, 4}, {8192, 1}, {8192, 4},
+        {8192, 8}, {16384, 4},
+    };
+
+    bench::Suite &suite = bench::Suite::instance();
+    TextTable table;
+    std::vector<std::string> header = {"bench"};
+    for (const auto &g : sweep) {
+        header.push_back(std::to_string(g.entries) + "e/" +
+                         std::to_string(g.ways) + "w");
+    }
+    table.header(header);
+
+    for (auto &entry : suite.entries()) {
+        std::vector<std::string> row = {entry.name};
+        for (const auto &g : sweep) {
+            core::PipelineConfig config;
+            config.skipInstructions = suite.skip();
+            config.windowInstructions = suite.window();
+            config.enableGlobal = false;
+            config.enableLocal = false;
+            config.enableFunction = false;
+            config.reuse.entries = g.entries;
+            config.reuse.ways = g.ways;
+            auto run = bench::Suite::runOne(entry.name, config);
+            row.push_back(TextTable::num(
+                run.pipeline->reuse().stats().pctOfAll()));
+        }
+        table.row(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nEach cell: % of all dynamic instructions captured "
+              "(Table 10 col 2) at that geometry.");
+    return 0;
+}

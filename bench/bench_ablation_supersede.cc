@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation (ours): how much does the supersede rule matter? The paper
+ * resolves meeting slices in favor of the least repeatable source
+ * (external >s global-init >s internal >s uninit). This bench re-runs
+ * the global analysis with the rule inverted and prints both Table 3
+ * "overall" breakdowns; the gap measures how often slices actually
+ * meet with different tags.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/global_taint.hh"
+#include "core/repetition_tracker.hh"
+#include "harness/suite.hh"
+#include "sim/machine.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace irep;
+using core::GlobalTag;
+
+namespace
+{
+
+core::GlobalTaintStats
+runTaint(const std::string &name, bool inverted, uint64_t skip,
+         uint64_t window)
+{
+    const auto &w = workloads::workloadByName(name);
+    sim::Machine machine(workloads::buildProgram(w));
+    machine.setInput(w.input);
+
+    struct Observer : sim::Observer
+    {
+        Observer(const assem::Program &p, uint32_t n)
+            : taint(p), tracker(n)
+        {}
+        void
+        onRetire(const sim::InstrRecord &rec) override
+        {
+            const bool repeated =
+                counting ? tracker.onInstr(rec) : false;
+            taint.onInstr(rec, repeated);
+        }
+        void
+        onSyscall(const sim::SyscallRecord &rec) override
+        {
+            taint.onSyscall(rec);
+        }
+        core::GlobalTaint taint;
+        core::RepetitionTracker tracker;
+        bool counting = false;
+    } obs(machine.program(), machine.numStaticInstructions());
+
+    obs.taint.setInvertedSupersede(inverted);
+    machine.addObserver(&obs);
+    machine.run(skip);
+    obs.taint.setCounting(true);
+    obs.counting = true;
+    machine.run(window);
+    return obs.taint.stats();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: supersede-rule direction in the global analysis",
+        "Sodani & Sohi ASPLOS'98, Section 5.1 (rule definition)");
+
+    bench::Suite &suite = bench::Suite::instance();
+    TextTable table;
+    table.header({"bench", "rule", "internals", "glb init",
+                  "external", "uninit"});
+    for (const auto &name :
+         {"go", "m88ksim", "ijpeg", "perl", "vortex", "li", "gcc",
+          "compress"}) {
+        for (bool inverted : {false, true}) {
+            const auto stats = runTaint(name, inverted, suite.skip(),
+                                        suite.window());
+            table.row({
+                name,
+                inverted ? "inverted" : "paper",
+                TextTable::num(stats.pctOverall(GlobalTag::Internal)),
+                TextTable::num(
+                    stats.pctOverall(GlobalTag::GlobalInit)),
+                TextTable::num(stats.pctOverall(GlobalTag::External)),
+                TextTable::num(stats.pctOverall(GlobalTag::Uninit)),
+            });
+        }
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nLarge paper-vs-inverted gaps = many instructions sit "
+              "where slices of different origin meet, i.e. the rule "
+              "choice materially shapes Table 3.");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Extension (the paper's §7 comparison point): classic value
+ * predictors mining the same repetition the reuse buffer captures.
+ * For each benchmark we print last-value / stride / context (FCM)
+ * prediction rates next to the reuse buffer's capture rate and the
+ * total repetition bound from Table 1.
+ */
+
+#include <cstdio>
+
+#include "harness/suite.hh"
+#include "support/table.hh"
+
+using namespace irep;
+
+int
+main()
+{
+    bench::printHeader(
+        "Extension: value prediction vs instruction reuse",
+        "Sodani & Sohi ASPLOS'98, Section 7 (refs [8,9,10,14])");
+
+    TextTable table;
+    table.header({"bench", "last-value", "stride", "context(FCM)",
+                  "reuse %all", "repetition bound"});
+    for (auto &entry : bench::Suite::instance().entries()) {
+        const auto &pred = entry.pipeline->prediction();
+        table.row({
+            entry.name,
+            TextTable::num(pred.lastValue().pctOfEligible()) + "%",
+            TextTable::num(pred.stride().pctOfEligible()) + "%",
+            TextTable::num(pred.context().pctOfEligible()) + "%",
+            TextTable::num(
+                entry.pipeline->reuse().stats().pctOfAll()) + "%",
+            TextTable::num(entry.pipeline->tracker()
+                               .stats()
+                               .pctDynRepeated()) + "%",
+        });
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nPredictor columns: correctly predicted results as % "
+              "of register-writing instructions. All mechanisms chase "
+              "the same repetition; none reaches the Table 1 bound — "
+              "the paper's closing argument for smarter structures.");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces the paper's §3 input-sensitivity check: "We ran similar
+ * experiments using other program inputs ... and found similar trends
+ * with the second set of inputs." Every workload runs under both its
+ * primary and alternate input; the repetition headline (Table 1) and
+ * the global-analysis breakdown (Table 3) are printed side by side.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/pipeline.hh"
+#include "harness/suite.hh"
+#include "sim/machine.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace irep;
+using core::GlobalTag;
+
+namespace
+{
+
+struct Row
+{
+    double repeatPct;
+    double internals;
+    double globalInit;
+    double external;
+    double allArgsPct;
+};
+
+Row
+measure(const workloads::Workload &workload, const std::string &input,
+        uint64_t skip, uint64_t window)
+{
+    sim::Machine machine(workloads::buildProgram(workload));
+    machine.setInput(input);
+    core::PipelineConfig config;
+    config.skipInstructions = skip;
+    config.windowInstructions = window;
+    config.enableLocal = false;
+    config.enableReuse = false;
+    config.enableClass = false;
+    config.enableValuePrediction = false;
+    core::AnalysisPipeline pipeline(machine, config);
+    pipeline.run();
+    Row row;
+    row.repeatPct = pipeline.tracker().stats().pctDynRepeated();
+    row.internals =
+        pipeline.taint().stats().pctOverall(GlobalTag::Internal);
+    row.globalInit =
+        pipeline.taint().stats().pctOverall(GlobalTag::GlobalInit);
+    row.external =
+        pipeline.taint().stats().pctOverall(GlobalTag::External);
+    row.allArgsPct =
+        pipeline.functions().stats().pctAllArgsRepeated();
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Input sensitivity: primary vs alternate input set",
+        "Sodani & Sohi ASPLOS'98, Section 3 (robustness check)");
+
+    bench::Suite &suite = bench::Suite::instance();
+    TextTable table;
+    table.header({"bench", "input", "repeat%", "internals%",
+                  "glb-init%", "external%", "all-args%"});
+
+    for (const workloads::Workload &w : workloads::allWorkloads()) {
+        const Row a =
+            measure(w, w.input, suite.skip(), suite.window());
+        const Row b =
+            measure(w, w.altInput, suite.skip(), suite.window());
+        table.row({w.name, "primary", TextTable::num(a.repeatPct),
+                   TextTable::num(a.internals),
+                   TextTable::num(a.globalInit),
+                   TextTable::num(a.external),
+                   TextTable::num(a.allArgsPct)});
+        table.row({w.name, "alternate", TextTable::num(b.repeatPct),
+                   TextTable::num(b.internals),
+                   TextTable::num(b.globalInit),
+                   TextTable::num(b.external),
+                   TextTable::num(b.allArgsPct)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nThe paper's claim holds when the two rows of each "
+              "benchmark tell the same story: repetition is a "
+              "property of the program, not the input.");
+    return 0;
+}

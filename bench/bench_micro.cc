@@ -1,0 +1,92 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot structures: the bare
+ * simulator, the repetition tracker, the reuse buffer, and the full
+ * pipeline — documents the throughput cost of each analysis layer.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hh"
+#include "minicc/compiler.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace irep;
+
+namespace
+{
+
+const workloads::Workload &
+bm_workload()
+{
+    return workloads::workloadByName("compress");
+}
+
+void
+BM_SimulatorOnly(benchmark::State &state)
+{
+    const auto &prog = workloads::buildProgram(bm_workload());
+    for (auto _ : state) {
+        sim::Machine machine(prog);
+        machine.setInput(bm_workload().input);
+        machine.run(uint64_t(state.range(0)));
+        benchmark::DoNotOptimize(machine.instret());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_TrackerPipeline(benchmark::State &state)
+{
+    const auto &prog = workloads::buildProgram(bm_workload());
+    for (auto _ : state) {
+        sim::Machine machine(prog);
+        machine.setInput(bm_workload().input);
+        core::PipelineConfig config;
+        config.windowInstructions = uint64_t(state.range(0));
+        config.enableGlobal = false;
+        config.enableLocal = false;
+        config.enableFunction = false;
+        config.enableReuse = false;
+        core::AnalysisPipeline pipeline(machine, config);
+        benchmark::DoNotOptimize(pipeline.run());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_FullPipeline(benchmark::State &state)
+{
+    const auto &prog = workloads::buildProgram(bm_workload());
+    for (auto _ : state) {
+        sim::Machine machine(prog);
+        machine.setInput(bm_workload().input);
+        core::PipelineConfig config;
+        config.windowInstructions = uint64_t(state.range(0));
+        core::AnalysisPipeline pipeline(machine, config);
+        benchmark::DoNotOptimize(pipeline.run());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_CompileWorkload(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto program =
+            minicc::compileToProgram(bm_workload().source);
+        benchmark::DoNotOptimize(program.text.size());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_SimulatorOnly)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TrackerPipeline)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullPipeline)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompileWorkload)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Regenerates Table 10: repetition captured by an 8K-entry 4-way
+ * set-associative reuse buffer, as % of all instructions and % of
+ * repeated instructions.
+ */
+
+#include <cstdio>
+
+#include "harness/paper_reference.hh"
+#include "harness/suite.hh"
+#include "support/table.hh"
+
+using namespace irep;
+using bench::paper::benchIndex;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 10: 8K-entry 4-way reuse buffer capture",
+        "Sodani & Sohi ASPLOS'98, Table 10");
+
+    TextTable table;
+    table.header({"bench", "% of all inst", "paper",
+                  "% of repeated inst", "paper"});
+    for (auto &entry : bench::Suite::instance().entries()) {
+        const auto &stats = entry.pipeline->reuse().stats();
+        const int p = benchIndex(entry.name);
+        table.row({
+            entry.name,
+            TextTable::num(stats.pctOfAll()),
+            TextTable::num(bench::paper::t10PctOfAll[size_t(p)]),
+            TextTable::num(stats.pctOfRepeated()),
+            TextTable::num(bench::paper::t10PctOfRepeated[size_t(p)]),
+        });
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nThe paper's point: a fixed-size buffer captures "
+              "clearly less than the total repetition of Table 1 — "
+              "there is headroom for smarter management.");
+    return 0;
+}

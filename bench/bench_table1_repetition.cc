@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Regenerates Table 1: dynamic instructions and the fraction repeated;
+ * static instructions, the fraction executed, and the fraction of
+ * executed statics that repeat.
+ */
+
+#include <cstdio>
+
+#include "harness/paper_reference.hh"
+#include "harness/suite.hh"
+#include "support/table.hh"
+
+using namespace irep;
+using bench::paper::benchIndex;
+
+int
+main()
+{
+    bench::printHeader("Table 1: instruction repetition overview",
+                       "Sodani & Sohi ASPLOS'98, Table 1");
+
+    TextTable table;
+    table.header({"bench", "dyn total", "repeat%", "paper",
+                  "static total", "exec%", "paper", "rep% of exec",
+                  "paper"});
+    for (auto &entry : bench::Suite::instance().entries()) {
+        const auto stats = entry.pipeline->tracker().stats();
+        const int p = benchIndex(entry.name);
+        table.row({
+            entry.name,
+            TextTable::count(stats.dynTotal),
+            TextTable::num(stats.pctDynRepeated()),
+            TextTable::num(bench::paper::t1DynRepeatPct[size_t(p)]),
+            TextTable::count(stats.staticTotal),
+            TextTable::num(stats.pctStaticExecuted()),
+            TextTable::num(bench::paper::t1StaticExecPct[size_t(p)]),
+            TextTable::num(stats.pctStaticRepeatedOfExecuted()),
+            TextTable::num(bench::paper::t1StaticRepeatPct[size_t(p)]),
+        });
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}

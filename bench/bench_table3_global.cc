@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates Table 3: the global analysis — overall, repeated, and
+ * propensity percentages per input-source category (program
+ * internals, global initialized data, external input, uninit).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/global_taint.hh"
+#include "harness/paper_reference.hh"
+#include "harness/suite.hh"
+#include "support/table.hh"
+
+using namespace irep;
+using bench::paper::benchIndex;
+using core::GlobalTag;
+
+namespace
+{
+
+// Table 3 row order in the paper.
+constexpr GlobalTag rowOrder[4] = {
+    GlobalTag::Internal,
+    GlobalTag::GlobalInit,
+    GlobalTag::External,
+    GlobalTag::Uninit,
+};
+
+// paper_reference row index for each displayed row.
+constexpr int paperRow[4] = {0, 1, 2, 3};
+
+void
+section(const char *title,
+        double (core::GlobalTaintStats::*metric)(GlobalTag) const,
+        const std::array<std::array<double, 8>, 4> &paper_table)
+{
+    std::printf("-- %s --\n", title);
+    TextTable table;
+    std::vector<std::string> header = {"category"};
+    for (auto &entry : bench::Suite::instance().entries()) {
+        header.push_back(entry.name);
+        header.push_back("(paper)");
+    }
+    table.header(header);
+    for (int r = 0; r < 4; ++r) {
+        std::vector<std::string> row = {
+            std::string(core::globalTagName(rowOrder[r]))};
+        for (auto &entry : bench::Suite::instance().entries()) {
+            const auto &stats = entry.pipeline->taint().stats();
+            const int p = benchIndex(entry.name);
+            row.push_back(TextTable::num((stats.*metric)(rowOrder[r])));
+            row.push_back(TextTable::num(
+                paper_table[size_t(paperRow[r])][size_t(p)]));
+        }
+        table.row(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 3: global analysis (sources of input data)",
+        "Sodani & Sohi ASPLOS'98, Table 3");
+
+    section("Overall: % of all dynamic instructions",
+            &core::GlobalTaintStats::pctOverall,
+            bench::paper::t3Overall);
+    section("Repeated: % of all repeated dynamic instructions",
+            &core::GlobalTaintStats::pctRepeated,
+            bench::paper::t3Repeated);
+    section("Propensity: % of each category that repeated",
+            &core::GlobalTaintStats::propensity,
+            bench::paper::t3Propensity);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Regenerates Table 4: number of functions called, dynamic calls, and
+ * the fraction of calls with all-argument / no-argument repetition.
+ */
+
+#include <cstdio>
+
+#include "harness/paper_reference.hh"
+#include "harness/suite.hh"
+#include "support/table.hh"
+
+using namespace irep;
+using bench::paper::benchIndex;
+
+int
+main()
+{
+    bench::printHeader("Table 4: function-level argument repetition",
+                       "Sodani & Sohi ASPLOS'98, Table 4");
+
+    TextTable table;
+    table.header({"bench", "funcs", "dyn calls", "all-args rep%",
+                  "paper", "no-args rep%", "paper"});
+    for (auto &entry : bench::Suite::instance().entries()) {
+        const auto stats = entry.pipeline->functions().stats();
+        const int p = benchIndex(entry.name);
+        table.row({
+            entry.name,
+            TextTable::count(stats.staticFunctionsCalled),
+            TextTable::count(stats.dynamicCalls),
+            TextTable::num(stats.pctAllArgsRepeated()),
+            TextTable::num(bench::paper::t4AllArgsPct[size_t(p)], 0),
+            TextTable::num(stats.pctNoArgsRepeated(), 2),
+            TextTable::num(bench::paper::t4NoArgsPct[size_t(p)], 2),
+        });
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}

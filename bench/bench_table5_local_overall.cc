@@ -1,0 +1,7 @@
+/** @file Regenerates Table 5: local analysis, % of all dynamic
+ *  instructions per within-function category. */
+#define LOCAL_TITLE "Table 5: local analysis, overall breakdown"
+#define LOCAL_PAPER_REF "Sodani & Sohi ASPLOS'98, Table 5"
+#define LOCAL_METRIC &irep::core::LocalStats::pctOverall
+#define LOCAL_PAPER_TABLE irep::bench::paper::t5Overall
+#include "bench_local_tables.inc"

@@ -1,0 +1,7 @@
+/** @file Regenerates Table 6: local analysis, % of all repeated
+ *  dynamic instructions per within-function category. */
+#define LOCAL_TITLE "Table 6: local analysis, repetition breakdown"
+#define LOCAL_PAPER_REF "Sodani & Sohi ASPLOS'98, Table 6"
+#define LOCAL_METRIC &irep::core::LocalStats::pctRepeated
+#define LOCAL_PAPER_TABLE irep::bench::paper::t6Repeated
+#include "bench_local_tables.inc"

@@ -1,0 +1,7 @@
+/** @file Regenerates Table 7: local analysis, propensity of each
+ *  category for repetition. */
+#define LOCAL_TITLE "Table 7: local analysis, propensity"
+#define LOCAL_PAPER_REF "Sodani & Sohi ASPLOS'98, Table 7"
+#define LOCAL_METRIC &irep::core::LocalStats::propensity
+#define LOCAL_PAPER_TABLE irep::bench::paper::t7Propensity
+#include "bench_local_tables.inc"

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The paper's reported numbers (Sodani & Sohi, ASPLOS 1998), keyed by
+ * SPEC '95 benchmark name, printed next to our measurements so each
+ * bench binary is a self-contained paper-vs-measured comparison.
+ * Order everywhere: go, m88ksim, ijpeg, perl, vortex, li, gcc,
+ * compress (the paper's table order).
+ */
+
+#ifndef IREP_BENCH_PAPER_REFERENCE_HH
+#define IREP_BENCH_PAPER_REFERENCE_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace irep::bench::paper
+{
+
+constexpr int numBenches = 8;
+
+constexpr std::array<std::string_view, numBenches> benchOrder = {
+    "go", "m88ksim", "ijpeg", "perl", "vortex", "li", "gcc",
+    "compress",
+};
+
+/** Index of a benchmark in the canonical order, or -1. */
+constexpr int
+benchIndex(std::string_view name)
+{
+    for (int i = 0; i < numBenches; ++i) {
+        if (benchOrder[size_t(i)] == name)
+            return i;
+    }
+    return -1;
+}
+
+// ----- Table 1: repetition overview ---------------------------------
+constexpr std::array<double, numBenches> t1DynRepeatPct = {
+    85.2, 98.8, 79.3, 84.2, 93.2, 77.8, 75.5, 56.9};
+constexpr std::array<double, numBenches> t1StaticExecPct = {
+    62.9, 4.5, 25.4, 22.3, 28.3, 23.6, 39.5, 13.1};
+constexpr std::array<double, numBenches> t1StaticRepeatPct = {
+    93.4, 97.7, 98.1, 65.6, 93.5, 92.0, 87.7, 66.3};
+
+// ----- Table 2: unique repeatable instances --------------------------
+constexpr std::array<uint64_t, numBenches> t2UniqueInstances = {
+    3947406, 74628, 1672546, 330120, 1922845, 743530, 8947200,
+    263747};
+constexpr std::array<double, numBenches> t2AvgRepeats = {
+    216, 13232, 447, 1416, 485, 1046, 36, 2155};
+
+// ----- Table 3: global analysis (rows: internals, global init,
+//       external input, uninit) --------------------------------------
+constexpr std::array<std::array<double, numBenches>, 4> t3Overall = {{
+    {86.2, 54.6, 63.2, 46.6, 53.6, 51.4, 59.4, 68.5},   // internals
+    {13.7, 26.3, 20.3, 19.0, 28.5, 12.0, 25.2, 29.5},   // global init
+    {0.0, 19.0, 16.5, 34.0, 17.9, 36.1, 15.3, 2.0},     // external
+    {0.0, 0.1, 0.0, 0.4, 0.0, 0.5, 0.1, 0.0},           // uninit
+}};
+constexpr std::array<std::array<double, numBenches>, 4> t3Repeated = {{
+    {85.9, 54.4, 62.2, 52.1, 54.7, 55.5, 64.6, 77.1},
+    {14.1, 26.2, 20.7, 22.6, 28.7, 14.5, 29.2, 22.9},
+    {0.0, 19.3, 17.1, 24.7, 16.6, 29.5, 6.1, 0.0},
+    {0.0, 0.1, 0.0, 0.6, 0.0, 0.5, 0.1, 0.0},
+}};
+constexpr std::array<std::array<double, numBenches>, 4> t3Propensity =
+{{
+    {84.9, 98.5, 78.0, 94.2, 95.2, 89.2, 82.0, 64.0},
+    {87.3, 98.4, 81.0, 99.7, 93.9, 99.7, 87.8, 44.1},
+    {97.1, 99.9, 82.2, 61.2, 86.1, 67.5, 30.2, 0.0},
+    {98.7, 100.0, 99.3, 99.3, 99.0, 99.7, 96.2, 60.6},
+}};
+
+// ----- Table 4: function-level analysis ------------------------------
+constexpr std::array<double, numBenches> t4AllArgsPct = {
+    78, 83, 98, 76, 67, 69, 59, 60};
+constexpr std::array<double, numBenches> t4NoArgsPct = {
+    0.49, 0.03, 0.01, 1.36, 0.07, 15.1, 9.00, 1.77};
+
+// ----- Tables 5/6/7: local analysis. Rows in LocalCat order:
+//       prologue, epilogue, function internals, glb_addr_calc,
+//       return, SP, return values, arguments, global, heap ----------
+constexpr std::array<std::array<double, numBenches>, 10> t5Overall = {{
+    {3.12, 4.93, 1.17, 7.42, 12.40, 9.48, 8.71, 1.90},
+    {3.12, 4.93, 1.17, 7.40, 12.40, 9.47, 8.71, 1.90},
+    {9.77, 17.22, 9.33, 9.08, 18.02, 7.96, 15.50, 5.41},
+    {15.78, 14.79, 0.44, 4.51, 3.35, 1.26, 3.07, 10.27},
+    {1.12, 1.75, 0.16, 1.14, 2.11, 2.72, 1.33, 2.79},
+    {1.34, 0.17, 0.65, 1.05, 4.14, 1.71, 2.41, 0.00},
+    {1.57, 4.45, 1.81, 2.67, 1.52, 3.90, 2.32, 16.72},
+    {9.94, 15.40, 26.63, 21.85, 24.27, 6.76, 16.15, 5.02},
+    {54.23, 26.97, 3.06, 9.74, 7.63, 10.95, 17.03, 56.00},
+    {0.00, 9.45, 55.61, 35.27, 14.16, 45.78, 24.75, 0.00},
+}};
+constexpr std::array<std::array<double, numBenches>, 10> t6Repeated = {{
+    {3.59, 4.99, 1.38, 8.15, 12.42, 9.41, 6.76, 2.83},
+    {3.59, 4.99, 1.38, 8.13, 12.42, 9.40, 6.75, 2.83},
+    {11.34, 17.44, 11.76, 10.76, 19.29, 9.62, 19.34, 9.51},
+    {18.49, 14.97, 0.56, 5.36, 3.59, 1.53, 4.06, 18.06},
+    {1.31, 1.77, 0.20, 1.35, 2.26, 3.29, 1.76, 4.91},
+    {1.57, 0.17, 0.82, 1.25, 4.44, 2.07, 2.99, 0.00},
+    {1.82, 4.50, 2.27, 1.12, 1.60, 4.50, 2.23, 9.28},
+    {10.13, 15.36, 26.07, 21.40, 22.41, 7.32, 12.07, 3.79},
+    {48.18, 26.26, 3.19, 8.38, 7.95, 13.14, 20.81, 48.78},
+    {0.00, 9.56, 52.38, 34.09, 13.62, 39.71, 23.22, 0.00},
+}};
+constexpr std::array<std::array<double, numBenches>, 10> t7Propensity =
+{{
+    {97.95, 99.99, 93.76, 92.53, 93.35, 82.06, 58.57, 84.72},
+    {97.95, 99.99, 93.76, 92.51, 93.35, 82.05, 58.54, 84.72},
+    {98.89, 100.00, 99.97, 99.77, 99.75, 99.98, 94.23, 100.00},
+    {99.85, 100.00, 99.98, 99.99, 99.99, 100.00, 99.78, 100.00},
+    {99.99, 100.00, 99.97, 99.99, 99.99, 100.00, 99.90, 100.00},
+    {99.90, 100.00, 99.89, 99.99, 99.86, 99.79, 93.85, 77.16},
+    {98.85, 99.99, 99.67, 35.37, 97.83, 95.46, 72.67, 31.55},
+    {86.82, 98.56, 77.64, 82.45, 86.05, 89.68, 56.44, 42.93},
+    {75.69, 96.21, 82.65, 72.48, 97.07, 99.26, 92.27, 49.54},
+    {-1, 99.96, 74.69, 81.38, 89.63, 71.73, 70.84, -1},   // -1 = n.a.
+}};
+
+// ----- Table 8: memoization candidates -------------------------------
+constexpr std::array<double, numBenches> t8CleanOfAllPct = {
+    0.0, 7.8, 0.3, 0.0, 0.0, 0.3, 0.6, 0.0};
+constexpr std::array<double, numBenches> t8CleanOfAllArgRepPct = {
+    0.0, 9.3, 0.2, 0.0, 0.0, 0.2, 0.9, 0.0};
+
+// ----- Figure 5: top-1 argument-set coverage (% of all-arg
+//       repetition; the paper quotes these four in the text) --------
+constexpr double fig5Top1Go = 5.0;
+constexpr double fig5Top1Perl = 42.0;
+constexpr double fig5Top1Vortex = 17.0;
+constexpr double fig5Top1Gcc = 7.0;
+
+// ----- Figure 6: top-1 load-value coverage (% of global slice
+//       repetition; quoted in the text) ------------------------------
+constexpr double fig6Top1Go = 18.0;
+constexpr double fig6Top1M88k = 71.0;
+constexpr double fig6Top1Vortex = 39.0;
+constexpr double fig6Top1Gcc = 22.0;
+
+// ----- Table 10: reuse buffer ----------------------------------------
+constexpr std::array<double, numBenches> t10PctOfAll = {
+    46.5, 73.7, 28.0, 49.0, 55.6, 45.8, 47.5, 30.2};
+constexpr std::array<double, numBenches> t10PctOfRepeated = {
+    65.4, 74.9, 45.8, 61.2, 67.0, 66.6, 69.9, 53.3};
+
+} // namespace irep::bench::paper
+
+#endif // IREP_BENCH_PAPER_REFERENCE_HH

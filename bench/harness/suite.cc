@@ -1,0 +1,117 @@
+#include "harness/suite.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace irep::bench
+{
+
+namespace
+{
+
+uint64_t
+envU64(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return std::strtoull(value, nullptr, 10);
+}
+
+std::vector<std::string>
+envList(const char *name)
+{
+    std::vector<std::string> out;
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return out;
+    std::istringstream in(value);
+    std::string item;
+    while (std::getline(in, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+Suite::Suite()
+    : skip_(envU64("IREP_SKIP", 1'000'000)),
+      window_(envU64("IREP_WINDOW", 4'000'000)),
+      filter_(envList("IREP_BENCH"))
+{
+}
+
+Suite &
+Suite::instance()
+{
+    static Suite suite;
+    return suite;
+}
+
+void
+Suite::runAll()
+{
+    for (const workloads::Workload &w : workloads::allWorkloads()) {
+        if (!filter_.empty()) {
+            bool found = false;
+            for (const std::string &f : filter_)
+                found = found || f == w.name;
+            if (!found)
+                continue;
+        }
+        SuiteEntry entry;
+        entry.name = w.name;
+        entry.machine =
+            std::make_unique<sim::Machine>(workloads::buildProgram(w));
+        entry.machine->setInput(w.input);
+        core::PipelineConfig config;
+        config.skipInstructions = skip_;
+        config.windowInstructions = window_;
+        entry.pipeline = std::make_unique<core::AnalysisPipeline>(
+            *entry.machine, config);
+        entry.windowExecuted = entry.pipeline->run();
+        entries_.push_back(std::move(entry));
+    }
+    ran_ = true;
+}
+
+const std::vector<SuiteEntry> &
+Suite::entries()
+{
+    if (!ran_)
+        runAll();
+    return entries_;
+}
+
+SuiteEntry
+Suite::runOne(const std::string &name,
+              const core::PipelineConfig &config)
+{
+    const workloads::Workload &w = workloads::workloadByName(name);
+    SuiteEntry entry;
+    entry.name = name;
+    entry.machine =
+        std::make_unique<sim::Machine>(workloads::buildProgram(w));
+    entry.machine->setInput(w.input);
+    entry.pipeline = std::make_unique<core::AnalysisPipeline>(
+        *entry.machine, config);
+    entry.windowExecuted = entry.pipeline->run();
+    return entry;
+}
+
+void
+printHeader(const std::string &experiment, const std::string &paperRef)
+{
+    Suite &suite = Suite::instance();
+    std::printf("=== %s ===\n", experiment.c_str());
+    std::printf("reproduces: %s\n", paperRef.c_str());
+    std::printf("scale: skip=%llu window=%llu instructions "
+                "(paper: skip 0.5-2.5B, window 1B; shapes, not "
+                "absolutes, are comparable)\n\n",
+                (unsigned long long)suite.skip(),
+                (unsigned long long)suite.window());
+}
+
+} // namespace irep::bench

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared bench harness: runs every workload through one fully
+ * instrumented AnalysisPipeline pass and hands the per-benchmark
+ * pipelines to the table printers.
+ *
+ * Environment knobs:
+ *   IREP_SKIP    instructions to skip before measuring (default 1M;
+ *                the paper skipped 0.5-2.5 B at SPEC scale)
+ *   IREP_WINDOW  measurement window length (default 4M; paper: 1 B)
+ *   IREP_BENCH   comma-separated subset of workload names to run
+ */
+
+#ifndef IREP_BENCH_SUITE_HH
+#define IREP_BENCH_SUITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace irep::bench
+{
+
+/** One instrumented benchmark run. */
+struct SuiteEntry
+{
+    std::string name;
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<core::AnalysisPipeline> pipeline;
+    uint64_t windowExecuted = 0;
+};
+
+/** Lazily-run, process-wide benchmark suite. */
+class Suite
+{
+  public:
+    /** The shared instance (runs the workloads on first use). */
+    static Suite &instance();
+
+    const std::vector<SuiteEntry> &entries();
+
+    uint64_t skip() const { return skip_; }
+    uint64_t window() const { return window_; }
+
+    /** Run one workload with a custom pipeline config (ablations). */
+    static SuiteEntry runOne(const std::string &name,
+                             const core::PipelineConfig &config);
+
+  private:
+    Suite();
+    void runAll();
+
+    uint64_t skip_;
+    uint64_t window_;
+    std::vector<std::string> filter_;
+    std::vector<SuiteEntry> entries_;
+    bool ran_ = false;
+};
+
+/** Print the standard header naming the experiment and the scale. */
+void printHeader(const std::string &experiment,
+                 const std::string &paperRef);
+
+} // namespace irep::bench
+
+#endif // IREP_BENCH_SUITE_HH

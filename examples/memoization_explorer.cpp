@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Memoization explorer: the paper's §6 software question, applied to
+ * one benchmark. For each SPEC-like workload function we report the
+ * dynamic call count, argument repetition, and whether memoization is
+ * blocked by side effects/implicit inputs — the per-function view
+ * behind Table 4 / Table 8.
+ *
+ *   $ example_memoization_explorer [workload]     (default: li)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/callstack.hh"
+#include "isa/registers.hh"
+#include "sim/machine.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace irep;
+
+namespace
+{
+
+/** Per-function memoization profile. */
+struct Profile
+{
+    uint64_t calls = 0;
+    uint64_t argRepeated = 0;
+    uint64_t dirtyCalls = 0;
+    std::map<uint64_t, uint64_t> tuples;
+};
+
+/** A small special-purpose observer: per-function stats with names. */
+struct Explorer : sim::Observer
+{
+    struct Frame
+    {
+        bool dirty = false;
+        uint32_t spAtEntry = 0;
+    };
+
+    Explorer(const assem::Program &program, const sim::Machine &m)
+        : machine(m), stack(program)
+    {}
+
+    void
+    onRetire(const sim::InstrRecord &rec) override
+    {
+        const isa::OpInfo &info = isa::opInfo(rec.inst->op);
+        if ((info.isStore &&
+             (rec.memAddr < 0x70000000u ||
+              rec.memAddr >= stack.current().data.spAtEntry)) ||
+            (info.isLoad && rec.memAddr < 0x70000000u &&
+             rec.memAddr >= assem::Layout::dataBase)) {
+            stack.current().data.dirty = true;
+        }
+
+        const int delta = stack.onInstr(
+            rec,
+            [this](const core::CallStack<Frame>::Frame &popped,
+                   core::CallStack<Frame>::Frame &parent) {
+                parent.data.dirty |= popped.data.dirty;
+                if (popped.info) {
+                    auto &p = profiles[popped.info->name];
+                    if (popped.data.dirty)
+                        ++p.dirtyCalls;
+                }
+            });
+        if (delta > 0 && stack.current().info) {
+            const auto *finfo = stack.current().info;
+            stack.current().data.spAtEntry =
+                machine.reg(isa::regSP);
+            Profile &p = profiles[finfo->name];
+            ++p.calls;
+            uint64_t key = 1469598103934665603ull;
+            for (unsigned i = 0; i < finfo->numArgs; ++i) {
+                key = (key ^ machine.reg(isa::regA0 + i)) *
+                      1099511628211ull;
+            }
+            if (p.tuples[key]++ > 0)
+                ++p.argRepeated;
+        }
+    }
+
+    void
+    onSyscall(const sim::SyscallRecord &) override
+    {
+        stack.current().data.dirty = true;
+    }
+
+    const sim::Machine &machine;
+    core::CallStack<Frame> stack;
+    std::map<std::string, Profile> profiles;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "li";
+    const auto &workload = workloads::workloadByName(name);
+    sim::Machine machine(workloads::buildProgram(workload));
+    machine.setInput(workload.input);
+
+    Explorer explorer(machine.program(), machine);
+    machine.addObserver(&explorer);
+    machine.run(5'000'000);
+
+    std::printf("Memoization explorer: %s (%s)\n", name.c_str(),
+                workload.specAnalogue.c_str());
+    std::printf("%s\n\n", workload.description.c_str());
+
+    std::vector<std::pair<std::string, Profile>> rows(
+        explorer.profiles.begin(), explorer.profiles.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.calls > b.second.calls;
+              });
+
+    TextTable table;
+    table.header({"function", "calls", "arg-rep%", "dirty%",
+                  "memoizable?"});
+    for (const auto &[func, p] : rows) {
+        if (p.calls < 10)
+            continue;
+        const double arg_rep =
+            100.0 * double(p.argRepeated) / double(p.calls);
+        const double dirty =
+            100.0 * double(p.dirtyCalls) / double(p.calls);
+        table.row({
+            func,
+            TextTable::count(p.calls),
+            TextTable::num(arg_rep),
+            TextTable::num(dirty),
+            (arg_rep > 50.0 && dirty < 1.0) ? "yes" : "no",
+        });
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("\nThe paper's Table 8 finding, per function: high "
+              "argument repetition almost never coincides with "
+              "side-effect freedom.");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: compile a MiniC program, run it under the instrumented
+ * simulator, and print the paper's headline repetition numbers.
+ *
+ *   $ example_quickstart
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.hh"
+#include "minicc/compiler.hh"
+#include "sim/machine.hh"
+
+using namespace irep;
+
+int
+main()
+{
+    // 1. A program. Any C-subset source works; this one mixes loops,
+    //    calls, globals, and pointer chasing.
+    const char *source = R"(
+        int table[64];
+        int hash(int x) { return (x * 2654435761) >> 26; }
+        int main() {
+            int hits; hits = 0;
+            for (int round = 0; round < 50; round++) {
+                for (int i = 0; i < 200; i++) {
+                    int h; h = hash(i & 31) & 63;
+                    if (table[h] == i) hits++;
+                    table[h] = i;
+                }
+            }
+            return hits & 0xff;
+        }
+    )";
+
+    // 2. Compile to a MIPS-I program image and load it into a
+    //    functional simulator.
+    const assem::Program program = minicc::compileToProgram(source);
+    sim::Machine machine(program);
+
+    // 3. Attach the full analysis pipeline (repetition tracker,
+    //    global taint, local analysis, function analysis, reuse
+    //    buffer) and run: skip the first 10k instructions, then
+    //    measure 500k — the paper's skip-and-measure protocol.
+    core::PipelineConfig config;
+    config.skipInstructions = 10'000;
+    config.windowInstructions = 500'000;
+    core::AnalysisPipeline pipeline(machine, config);
+    const uint64_t measured = pipeline.run();
+
+    // 4. Read out the results.
+    const auto stats = pipeline.tracker().stats();
+    std::printf("measured %llu dynamic instructions\n",
+                (unsigned long long)measured);
+    std::printf("repeated: %.1f%% of dynamic instructions "
+                "(paper saw 56.9%%-98.8%% on SPEC95)\n",
+                stats.pctDynRepeated());
+    std::printf("executed statics that repeat: %.1f%%\n",
+                stats.pctStaticRepeatedOfExecuted());
+    std::printf("unique repeatable instances: %llu "
+                "(avg %.0f repeats each)\n",
+                (unsigned long long)stats.uniqueRepeatableInstances,
+                stats.avgRepeatsPerInstance);
+
+    const auto &reuse = pipeline.reuse().stats();
+    std::printf("8K reuse buffer would capture %.1f%% of all "
+                "instructions\n",
+                reuse.pctOfAll());
+
+    const auto funcs = pipeline.functions().stats();
+    std::printf("calls with all arguments repeated: %.1f%%\n",
+                funcs.pctAllArgsRepeated());
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reuse-buffer design-space sweep on one workload: how much of the
+ * paper's Table 1 repetition can hardware of different sizes capture
+ * (the question §7 leaves open)?
+ *
+ *   $ example_reuse_buffer_sweep [workload]      (default: compress)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "sim/machine.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace irep;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "compress";
+    const auto &workload = workloads::workloadByName(name);
+
+    std::printf("Reuse-buffer sweep on %s\n\n", name.c_str());
+
+    TextTable table;
+    table.header({"entries", "ways", "% of all inst",
+                  "% of repeated", "invalidations"});
+
+    double total_repetition = 0.0;
+    for (uint32_t entries : {256u, 1024u, 4096u, 8192u, 32768u}) {
+        sim::Machine machine(workloads::buildProgram(workload));
+        machine.setInput(workload.input);
+        core::PipelineConfig config;
+        config.skipInstructions = 500'000;
+        config.windowInstructions = 2'000'000;
+        config.enableGlobal = false;
+        config.enableLocal = false;
+        config.enableFunction = false;
+        config.reuse.entries = entries;
+        config.reuse.ways = 4;
+        core::AnalysisPipeline pipeline(machine, config);
+        pipeline.run();
+
+        const auto &stats = pipeline.reuse().stats();
+        total_repetition =
+            pipeline.tracker().stats().pctDynRepeated();
+        table.row({
+            TextTable::count(entries),
+            "4",
+            TextTable::num(stats.pctOfAll()),
+            TextTable::num(stats.pctOfRepeated()),
+            TextTable::count(stats.invalidations),
+        });
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\ntotal repetition in this window (infinite "
+                "buffer bound): %.1f%%\n",
+                total_repetition);
+    std::puts("The gap between the last column of Table 1 and any row "
+              "here is the paper's \"room for improvement\".");
+    return 0;
+}

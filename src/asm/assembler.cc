@@ -1,0 +1,942 @@
+#include "asm/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/registers.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace irep::assem
+{
+
+namespace
+{
+
+using isa::Instruction;
+using isa::Op;
+
+/** How an instruction's immediate/target must be patched in pass 2. */
+enum class Fixup : uint8_t
+{
+    None,
+    Branch,     //!< 16-bit pc-relative word offset to a label
+    Jump,       //!< 26-bit absolute word target
+    HiPlain,    //!< plain upper 16 bits of a symbol (pairs with ori)
+    LoPlain,    //!< plain lower 16 bits of a symbol
+    HiAdj,      //!< adjusted upper half (pairs with signed %lo)
+    LoSigned,   //!< signed lower half matching HiAdj
+};
+
+struct PendingInst
+{
+    Instruction inst;
+    Fixup fixup = Fixup::None;
+    std::string label;
+    int line = 0;
+};
+
+struct DataFixup
+{
+    uint32_t offset;    //!< byte offset into the data section
+    std::string label;
+    int line;
+};
+
+struct PendingFunction
+{
+    std::string name;
+    uint32_t addr;
+    uint8_t numArgs;
+    int line;
+};
+
+/** Internal assembler state for one translation unit. */
+class Unit
+{
+  public:
+    explicit Unit(const std::string &source) : source_(source) {}
+
+    Program run();
+
+  private:
+    // --- pass 1 -----------------------------------------------------
+    void processLine(std::string_view line);
+    void directive(const std::string &name,
+                   const std::vector<std::string> &ops);
+    void instruction(const std::string &mnem,
+                     const std::vector<std::string> &ops);
+    void pseudo(const std::string &mnem,
+                const std::vector<std::string> &ops, Op base);
+    void defineLabel(const std::string &name);
+
+    // --- operand helpers --------------------------------------------
+    int reg(const std::string &operand) const;
+    int64_t immLiteral(const std::string &operand) const;
+    bool isNumeric(const std::string &operand) const;
+
+    /** Parse `offset(base)` or `%lo(sym)(base)` or `sym` address
+     *  operands for loads/stores. */
+    void memOperand(const std::string &operand, Instruction &inst,
+                    Fixup &fixup, std::string &label) const;
+
+    // --- emission ----------------------------------------------------
+    void emit(Instruction inst, Fixup fixup = Fixup::None,
+              std::string label = {});
+    void emitR(Op op, int rd, int rs, int rt);
+    void emitShift(Op op, int rd, int rt, int shamt);
+    void emitI(Op op, int rt, int rs, int32_t imm,
+               Fixup fixup = Fixup::None, std::string label = {});
+    void emitLoadImm32(int rt, uint32_t value);
+    void emitLoadAddr(int rt, const std::string &label);
+    void emitCompareBranch(Op slt_op, bool branch_on_set, int rs,
+                           int rt, const std::string &label);
+    void emitSetCompare(const std::string &mnem,
+                        const std::vector<std::string> &ops);
+
+    void dataBytes(const void *bytes, size_t n);
+    void alignData(unsigned bytes);
+
+    uint32_t textAddr() const;
+
+    [[noreturn]] void err(const std::string &msg) const;
+
+    template <typename... Args>
+    void
+    check(bool ok, const Args &...args) const
+    {
+        if (!ok) {
+            std::ostringstream os;
+            (os << ... << args);
+            err(os.str());
+        }
+    }
+
+    // --- pass 2 -----------------------------------------------------
+    uint32_t resolve(const std::string &label, int line) const;
+    void patch(Program &prog) const;
+
+    const std::string &source_;
+    Program prog_;
+    std::vector<PendingInst> insts_;
+    std::vector<DataFixup> dataFixups_;
+    std::optional<PendingFunction> openFunction_;
+    std::string entrySymbol_;
+    bool inText_ = true;
+    int line_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Tokenization helpers
+// ---------------------------------------------------------------------
+
+std::string
+trim(std::string_view s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+/** Split an operand list on commas that are outside quotes/parens. */
+std::vector<std::string>
+splitOperands(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    bool in_str = false, in_chr = false, escaped = false;
+    for (char c : s) {
+        if (escaped) {
+            cur.push_back(c);
+            escaped = false;
+            continue;
+        }
+        if ((in_str || in_chr) && c == '\\') {
+            cur.push_back(c);
+            escaped = true;
+            continue;
+        }
+        if (c == '"' && !in_chr)
+            in_str = !in_str;
+        if (c == '\'' && !in_str)
+            in_chr = !in_chr;
+        if (!in_str && !in_chr) {
+            if (c == '(')
+                ++depth;
+            if (c == ')')
+                --depth;
+            if (c == ',' && depth == 0) {
+                out.push_back(trim(cur));
+                cur.clear();
+                continue;
+            }
+        }
+        cur.push_back(c);
+    }
+    std::string last = trim(cur);
+    if (!last.empty() || !out.empty())
+        out.push_back(last);
+    return out;
+}
+
+/** Decode the escapes of a quoted string literal body. */
+std::string
+unescape(std::string_view body)
+{
+    std::string out;
+    for (size_t i = 0; i < body.size(); ++i) {
+        char c = body[i];
+        if (c != '\\' || i + 1 >= body.size()) {
+            out.push_back(c);
+            continue;
+        }
+        char n = body[++i];
+        switch (n) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case '0': out.push_back('\0'); break;
+          case '\\': out.push_back('\\'); break;
+          case '"': out.push_back('"'); break;
+          case '\'': out.push_back('\''); break;
+          default: out.push_back(n); break;
+        }
+    }
+    return out;
+}
+
+bool
+validLabelName(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_' &&
+        s[0] != '.' && s[0] != '$')
+        return false;
+    return std::all_of(s.begin(), s.end(), [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == '.' || c == '$';
+    });
+}
+
+// ---------------------------------------------------------------------
+// Unit implementation
+// ---------------------------------------------------------------------
+
+void
+Unit::err(const std::string &msg) const
+{
+    fatal("asm: line ", line_, ": ", msg);
+}
+
+uint32_t
+Unit::textAddr() const
+{
+    return Layout::textBase + uint32_t(insts_.size()) * 4;
+}
+
+void
+Unit::defineLabel(const std::string &name)
+{
+    check(validLabelName(name), "bad label name '", name, "'");
+    check(!prog_.symbols.count(name), "duplicate label '", name, "'");
+    const uint32_t addr = inText_
+        ? textAddr()
+        : Layout::dataBase + uint32_t(prog_.data.size());
+    prog_.symbols.emplace(name, addr);
+}
+
+int
+Unit::reg(const std::string &operand) const
+{
+    int r = isa::parseRegName(operand);
+    check(r >= 0, "bad register '", operand, "'");
+    return r;
+}
+
+bool
+Unit::isNumeric(const std::string &operand) const
+{
+    if (operand.empty())
+        return false;
+    size_t i = (operand[0] == '-' || operand[0] == '+') ? 1 : 0;
+    if (i >= operand.size())
+        return false;
+    if (operand[i] == '\'')
+        return true;
+    return std::isdigit(static_cast<unsigned char>(operand[i]));
+}
+
+int64_t
+Unit::immLiteral(const std::string &operand) const
+{
+    check(!operand.empty(), "empty immediate");
+    // Character literal.
+    if (operand[0] == '\'') {
+        std::string body = unescape(
+            std::string_view(operand).substr(1, operand.size() - 2));
+        check(body.size() == 1, "bad char literal ", operand);
+        return static_cast<unsigned char>(body[0]);
+    }
+    try {
+        size_t pos = 0;
+        int64_t v = std::stoll(operand, &pos, 0);
+        check(pos == operand.size(), "bad immediate '", operand, "'");
+        return v;
+    } catch (const std::exception &) {
+        err("bad immediate '" + operand + "'");
+    }
+}
+
+void
+Unit::emit(Instruction inst, Fixup fixup, std::string label)
+{
+    check(inText_, "instruction outside .text");
+    insts_.push_back(
+        PendingInst{inst, fixup, std::move(label), line_});
+}
+
+void
+Unit::emitR(Op op, int rd, int rs, int rt)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = uint8_t(rd);
+    i.rs = uint8_t(rs);
+    i.rt = uint8_t(rt);
+    emit(i);
+}
+
+void
+Unit::emitShift(Op op, int rd, int rt, int shamt)
+{
+    check(shamt >= 0 && shamt < 32, "shift amount out of range");
+    Instruction i;
+    i.op = op;
+    i.rd = uint8_t(rd);
+    i.rt = uint8_t(rt);
+    i.shamt = uint8_t(shamt);
+    emit(i);
+}
+
+void
+Unit::emitI(Op op, int rt, int rs, int32_t imm, Fixup fixup,
+            std::string label)
+{
+    Instruction i;
+    i.op = op;
+    i.rt = uint8_t(rt);
+    i.rs = uint8_t(rs);
+    i.imm = imm;
+    emit(i, fixup, std::move(label));
+}
+
+void
+Unit::emitLoadImm32(int rt, uint32_t value)
+{
+    if (fitsSigned(int32_t(value), 16)) {
+        emitI(Op::ADDIU, rt, isa::regZero, int32_t(value));
+    } else if (fitsUnsigned(value, 16)) {
+        emitI(Op::ORI, rt, isa::regZero, int32_t(value));
+    } else {
+        emitI(Op::LUI, rt, 0, int32_t(value >> 16));
+        if (value & 0xffffu)
+            emitI(Op::ORI, rt, rt, int32_t(value & 0xffffu));
+    }
+}
+
+void
+Unit::emitLoadAddr(int rt, const std::string &label)
+{
+    emitI(Op::LUI, rt, 0, 0, Fixup::HiPlain, label);
+    emitI(Op::ORI, rt, rt, 0, Fixup::LoPlain, label);
+}
+
+void
+Unit::emitCompareBranch(Op slt_op, bool branch_on_set, int rs, int rt,
+                        const std::string &label)
+{
+    Instruction cmp;
+    cmp.op = slt_op;
+    cmp.rd = isa::regAT;
+    cmp.rs = uint8_t(rs);
+    cmp.rt = uint8_t(rt);
+    emit(cmp);
+    emitI(branch_on_set ? Op::BNE : Op::BEQ, isa::regZero, isa::regAT, 0,
+          Fixup::Branch, label);
+}
+
+void
+Unit::emitSetCompare(const std::string &mnem,
+                     const std::vector<std::string> &ops)
+{
+    check(ops.size() == 3, mnem, " expects 3 operands");
+    const int rd = reg(ops[0]);
+    const int rs = reg(ops[1]);
+    const int rt = reg(ops[2]);
+
+    if (mnem == "seq" || mnem == "sne") {
+        emitR(Op::SUBU, rd, rs, rt);
+        if (mnem == "seq")
+            emitI(Op::SLTIU, rd, rd, 1);
+        else
+            emitR(Op::SLTU, rd, isa::regZero, rd);
+    } else if (mnem == "sgt") {
+        emitR(Op::SLT, rd, rt, rs);
+    } else if (mnem == "sge") {
+        emitR(Op::SLT, rd, rs, rt);
+        emitI(Op::XORI, rd, rd, 1);
+    } else if (mnem == "sle") {
+        emitR(Op::SLT, rd, rt, rs);
+        emitI(Op::XORI, rd, rd, 1);
+    } else if (mnem == "sgtu") {
+        emitR(Op::SLTU, rd, rt, rs);
+    } else if (mnem == "sgeu") {
+        emitR(Op::SLTU, rd, rs, rt);
+        emitI(Op::XORI, rd, rd, 1);
+    } else if (mnem == "sleu") {
+        emitR(Op::SLTU, rd, rt, rs);
+        emitI(Op::XORI, rd, rd, 1);
+    } else {
+        err("unknown set pseudo '" + mnem + "'");
+    }
+}
+
+void
+Unit::memOperand(const std::string &operand, Instruction &inst,
+                 Fixup &fixup, std::string &label) const
+{
+    fixup = Fixup::None;
+    label.clear();
+
+    const size_t open = operand.rfind('(');
+    if (open != std::string::npos && operand.back() == ')') {
+        const std::string base =
+            trim(std::string_view(operand).substr(
+                open + 1, operand.size() - open - 2));
+        const std::string off = trim(
+            std::string_view(operand).substr(0, open));
+        int b = isa::parseRegName(base);
+        check(b >= 0, "bad base register in '", operand, "'");
+        inst.rs = uint8_t(b);
+        if (off.empty()) {
+            inst.imm = 0;
+        } else if (off.rfind("%lo(", 0) == 0 && off.back() == ')') {
+            fixup = Fixup::LoSigned;
+            label = trim(std::string_view(off).substr(
+                4, off.size() - 5));
+        } else {
+            int64_t v = immLiteral(off);
+            check(fitsSigned(v, 16), "offset out of range: ", off);
+            inst.imm = int32_t(v);
+        }
+        return;
+    }
+    err("bad memory operand '" + operand + "' (expected off(base))");
+}
+
+void
+Unit::dataBytes(const void *bytes, size_t n)
+{
+    check(!inText_, "data directive inside .text");
+    const auto *p = static_cast<const uint8_t *>(bytes);
+    prog_.data.insert(prog_.data.end(), p, p + n);
+}
+
+void
+Unit::alignData(unsigned bytes)
+{
+    while (prog_.data.size() % bytes)
+        prog_.data.push_back(0);
+}
+
+void
+Unit::directive(const std::string &name,
+                const std::vector<std::string> &ops)
+{
+    if (name == ".text") {
+        inText_ = true;
+    } else if (name == ".data") {
+        inText_ = false;
+    } else if (name == ".globl" || name == ".global") {
+        // Accepted for compatibility; single-unit assembly needs no
+        // export list.
+    } else if (name == ".entry") {
+        check(ops.size() == 1, ".entry expects a symbol");
+        entrySymbol_ = ops[0];
+    } else if (name == ".ent") {
+        check(!ops.empty() && ops.size() <= 2,
+              ".ent expects name[, nargs]");
+        check(!openFunction_, ".ent without closing .end");
+        check(inText_, ".ent outside .text");
+        PendingFunction f;
+        f.name = ops[0];
+        f.addr = textAddr();
+        f.numArgs =
+            ops.size() == 2 ? uint8_t(immLiteral(ops[1])) : 0;
+        f.line = line_;
+        check(f.numArgs <= 4, "at most 4 register arguments");
+        openFunction_ = f;
+    } else if (name == ".end") {
+        check(openFunction_.has_value(), ".end without .ent");
+        check(ops.empty() || ops[0] == openFunction_->name,
+              ".end name mismatch");
+        FunctionInfo info;
+        info.name = openFunction_->name;
+        info.addr = openFunction_->addr;
+        info.size = textAddr() - openFunction_->addr;
+        info.numArgs = openFunction_->numArgs;
+        prog_.functions.push_back(info);
+        openFunction_.reset();
+    } else if (name == ".word") {
+        alignData(4);
+        for (const auto &op : ops) {
+            if (isNumeric(op)) {
+                uint32_t v = uint32_t(immLiteral(op));
+                dataBytes(&v, 4);
+            } else {
+                dataFixups_.push_back(
+                    {uint32_t(prog_.data.size()), op, line_});
+                uint32_t zero = 0;
+                dataBytes(&zero, 4);
+            }
+        }
+    } else if (name == ".half") {
+        alignData(2);
+        for (const auto &op : ops) {
+            int64_t v = immLiteral(op);
+            uint16_t h = uint16_t(v);
+            dataBytes(&h, 2);
+        }
+    } else if (name == ".byte") {
+        for (const auto &op : ops) {
+            uint8_t b = uint8_t(immLiteral(op));
+            dataBytes(&b, 1);
+        }
+    } else if (name == ".ascii" || name == ".asciiz") {
+        check(ops.size() == 1 && ops[0].size() >= 2 &&
+                  ops[0].front() == '"' && ops[0].back() == '"',
+              name, " expects a quoted string");
+        std::string body = unescape(std::string_view(ops[0]).substr(
+            1, ops[0].size() - 2));
+        dataBytes(body.data(), body.size());
+        if (name == ".asciiz") {
+            uint8_t z = 0;
+            dataBytes(&z, 1);
+        }
+    } else if (name == ".space") {
+        check(ops.size() == 1, ".space expects a size");
+        int64_t n = immLiteral(ops[0]);
+        check(n >= 0, ".space size must be non-negative");
+        check(!inText_, ".space inside .text");
+        prog_.data.resize(prog_.data.size() + size_t(n), 0);
+    } else if (name == ".align") {
+        check(ops.size() == 1, ".align expects a power");
+        int64_t p = immLiteral(ops[0]);
+        check(p >= 0 && p <= 12, ".align power out of range");
+        if (!inText_)
+            alignData(1u << p);
+    } else {
+        err("unknown directive '" + name + "'");
+    }
+}
+
+void
+Unit::pseudo(const std::string &mnem, const std::vector<std::string> &ops,
+             Op base)
+{
+    // Dispatch of pseudo instructions; `base` is Op::INVALID unless the
+    // mnemonic collides with a real instruction (3-operand div).
+    if (mnem == "nop") {
+        check(ops.empty(), "nop takes no operands");
+        emitShift(Op::SLL, 0, 0, 0);
+    } else if (mnem == "move") {
+        check(ops.size() == 2, "move expects 2 operands");
+        emitR(Op::ADDU, reg(ops[0]), reg(ops[1]), isa::regZero);
+    } else if (mnem == "neg") {
+        check(ops.size() == 2, "neg expects 2 operands");
+        emitR(Op::SUBU, reg(ops[0]), isa::regZero, reg(ops[1]));
+    } else if (mnem == "not") {
+        check(ops.size() == 2, "not expects 2 operands");
+        emitR(Op::NOR, reg(ops[0]), reg(ops[1]), isa::regZero);
+    } else if (mnem == "li") {
+        check(ops.size() == 2, "li expects 2 operands");
+        emitLoadImm32(reg(ops[0]), uint32_t(immLiteral(ops[1])));
+    } else if (mnem == "la") {
+        check(ops.size() == 2, "la expects 2 operands");
+        emitLoadAddr(reg(ops[0]), ops[1]);
+    } else if (mnem == "b") {
+        check(ops.size() == 1, "b expects a label");
+        emitI(Op::BEQ, isa::regZero, isa::regZero, 0, Fixup::Branch,
+              ops[0]);
+    } else if (mnem == "beqz" || mnem == "bnez") {
+        check(ops.size() == 2, mnem, " expects 2 operands");
+        Instruction i;
+        i.op = mnem == "beqz" ? Op::BEQ : Op::BNE;
+        i.rs = uint8_t(reg(ops[0]));
+        i.rt = isa::regZero;
+        emit(i, Fixup::Branch, ops[1]);
+    } else if (mnem == "blt" || mnem == "bge" || mnem == "bgt" ||
+               mnem == "ble" || mnem == "bltu" || mnem == "bgeu" ||
+               mnem == "bgtu" || mnem == "bleu") {
+        check(ops.size() == 3, mnem, " expects 3 operands");
+        const bool uns = mnem.back() == 'u';
+        const std::string body = uns
+            ? mnem.substr(0, mnem.size() - 1) : mnem;
+        const Op slt_op = uns ? Op::SLTU : Op::SLT;
+        int rs = reg(ops[0]), rt = reg(ops[1]);
+        if (body == "blt")
+            emitCompareBranch(slt_op, true, rs, rt, ops[2]);
+        else if (body == "bge")
+            emitCompareBranch(slt_op, false, rs, rt, ops[2]);
+        else if (body == "bgt")
+            emitCompareBranch(slt_op, true, rt, rs, ops[2]);
+        else  // ble
+            emitCompareBranch(slt_op, false, rt, rs, ops[2]);
+    } else if (mnem == "mul") {
+        check(ops.size() == 3, "mul expects 3 operands");
+        emitR(Op::MULT, 0, reg(ops[1]), reg(ops[2]));
+        Instruction lo;
+        lo.op = Op::MFLO;
+        lo.rd = uint8_t(reg(ops[0]));
+        emit(lo);
+    } else if (mnem == "div" && ops.size() == 3) {
+        emitR(base == Op::INVALID ? Op::DIV : base, 0, reg(ops[1]),
+              reg(ops[2]));
+        Instruction lo;
+        lo.op = Op::MFLO;
+        lo.rd = uint8_t(reg(ops[0]));
+        emit(lo);
+    } else if (mnem == "divu" && ops.size() == 3) {
+        emitR(Op::DIVU, 0, reg(ops[1]), reg(ops[2]));
+        Instruction lo;
+        lo.op = Op::MFLO;
+        lo.rd = uint8_t(reg(ops[0]));
+        emit(lo);
+    } else if (mnem == "rem" || mnem == "remu") {
+        check(ops.size() == 3, mnem, " expects 3 operands");
+        emitR(mnem == "rem" ? Op::DIV : Op::DIVU, 0, reg(ops[1]),
+              reg(ops[2]));
+        Instruction hi;
+        hi.op = Op::MFHI;
+        hi.rd = uint8_t(reg(ops[0]));
+        emit(hi);
+    } else if (mnem == "seq" || mnem == "sne" || mnem == "sgt" ||
+               mnem == "sge" || mnem == "sle" || mnem == "sgtu" ||
+               mnem == "sgeu" || mnem == "sleu") {
+        emitSetCompare(mnem, ops);
+    } else {
+        err("unknown instruction '" + mnem + "'");
+    }
+}
+
+void
+Unit::instruction(const std::string &mnem,
+                  const std::vector<std::string> &ops)
+{
+    const Op op = isa::opFromMnemonic(mnem);
+    // div/divu with 3 operands are pseudos even though the mnemonic is
+    // a base instruction.
+    if (op == Op::INVALID ||
+        ((op == Op::DIV || op == Op::DIVU) && ops.size() == 3)) {
+        pseudo(mnem, ops, op);
+        return;
+    }
+
+    const isa::OpInfo &info = isa::opInfo(op);
+    Instruction inst;
+    inst.op = op;
+
+    switch (op) {
+      case Op::SLL:
+      case Op::SRL:
+      case Op::SRA:
+        check(ops.size() == 3, mnem, " expects rd, rt, shamt");
+        emitShift(op, reg(ops[0]), reg(ops[1]),
+                  int(immLiteral(ops[2])));
+        return;
+      case Op::SLLV:
+      case Op::SRLV:
+      case Op::SRAV:
+        check(ops.size() == 3, mnem, " expects rd, rt, rs");
+        emitR(op, reg(ops[0]), reg(ops[2]), reg(ops[1]));
+        return;
+      case Op::JR:
+      case Op::MTHI:
+      case Op::MTLO:
+        check(ops.size() == 1, mnem, " expects rs");
+        inst.rs = uint8_t(reg(ops[0]));
+        emit(inst);
+        return;
+      case Op::JALR:
+        if (ops.size() == 1) {
+            inst.rd = isa::regRA;
+            inst.rs = uint8_t(reg(ops[0]));
+        } else {
+            check(ops.size() == 2, "jalr expects [rd,] rs");
+            inst.rd = uint8_t(reg(ops[0]));
+            inst.rs = uint8_t(reg(ops[1]));
+        }
+        emit(inst);
+        return;
+      case Op::SYSCALL:
+      case Op::BREAK:
+        check(ops.empty(), mnem, " takes no operands");
+        emit(inst);
+        return;
+      case Op::MFHI:
+      case Op::MFLO:
+        check(ops.size() == 1, mnem, " expects rd");
+        inst.rd = uint8_t(reg(ops[0]));
+        emit(inst);
+        return;
+      case Op::MULT:
+      case Op::MULTU:
+      case Op::DIV:
+      case Op::DIVU:
+        check(ops.size() == 2, mnem, " expects rs, rt");
+        emitR(op, 0, reg(ops[0]), reg(ops[1]));
+        return;
+      case Op::BLTZ:
+      case Op::BGEZ:
+      case Op::BLEZ:
+      case Op::BGTZ:
+        check(ops.size() == 2, mnem, " expects rs, label");
+        inst.rs = uint8_t(reg(ops[0]));
+        emit(inst, Fixup::Branch, ops[1]);
+        return;
+      case Op::BEQ:
+      case Op::BNE:
+        check(ops.size() == 3, mnem, " expects rs, rt, label");
+        inst.rs = uint8_t(reg(ops[0]));
+        inst.rt = uint8_t(reg(ops[1]));
+        emit(inst, Fixup::Branch, ops[2]);
+        return;
+      case Op::J:
+      case Op::JAL:
+        check(ops.size() == 1, mnem, " expects a label");
+        emit(inst, Fixup::Jump, ops[0]);
+        return;
+      case Op::LUI:
+        check(ops.size() == 2, "lui expects rt, imm");
+        inst.rt = uint8_t(reg(ops[0]));
+        if (ops[1].rfind("%hi(", 0) == 0) {
+            emit(inst, Fixup::HiAdj,
+                 trim(std::string_view(ops[1]).substr(
+                     4, ops[1].size() - 5)));
+        } else {
+            inst.imm = int32_t(immLiteral(ops[1]) & 0xffff);
+            emit(inst);
+        }
+        return;
+      default:
+        break;
+    }
+
+    if (info.isLoad || info.isStore) {
+        check(ops.size() == 2, mnem, " expects rt, off(base)");
+        inst.rt = uint8_t(reg(ops[0]));
+        Fixup fixup;
+        std::string label;
+        memOperand(ops[1], inst, fixup, label);
+        emit(inst, fixup, label);
+        return;
+    }
+
+    if (info.format == isa::Format::R) {
+        check(ops.size() == 3, mnem, " expects rd, rs, rt");
+        emitR(op, reg(ops[0]), reg(ops[1]), reg(ops[2]));
+        return;
+    }
+
+    // Remaining I-format ALU: rt, rs, imm (or %lo for addiu/ori).
+    check(ops.size() == 3, mnem, " expects rt, rs, imm");
+    inst.rt = uint8_t(reg(ops[0]));
+    inst.rs = uint8_t(reg(ops[1]));
+    if (ops[2].rfind("%lo(", 0) == 0 && ops[2].back() == ')') {
+        emit(inst, Fixup::LoSigned,
+             trim(std::string_view(ops[2]).substr(4, ops[2].size() - 5)));
+        return;
+    }
+    const int64_t v = immLiteral(ops[2]);
+    if (info.unsignedImm)
+        check(fitsUnsigned(v, 16), "immediate out of range: ", ops[2]);
+    else
+        check(fitsSigned(v, 16), "immediate out of range: ", ops[2]);
+    inst.imm = int32_t(v);
+    emit(inst);
+}
+
+void
+Unit::processLine(std::string_view raw)
+{
+    // Strip comments.
+    std::string line;
+    bool in_str = false, in_chr = false, escaped = false;
+    for (char c : raw) {
+        if (!in_str && !in_chr && c == '#')
+            break;
+        if (escaped) {
+            line.push_back(c);
+            escaped = false;
+            continue;
+        }
+        if ((in_str || in_chr) && c == '\\')
+            escaped = true;
+        if (c == '"' && !in_chr)
+            in_str = !in_str;
+        if (c == '\'' && !in_str)
+            in_chr = !in_chr;
+        line.push_back(c);
+    }
+
+    std::string rest = trim(line);
+    // Leading labels.
+    while (true) {
+        size_t colon = rest.find(':');
+        if (colon == std::string::npos)
+            break;
+        std::string head = trim(std::string_view(rest).substr(0, colon));
+        if (!validLabelName(head))
+            break;
+        defineLabel(head);
+        rest = trim(std::string_view(rest).substr(colon + 1));
+    }
+    if (rest.empty())
+        return;
+
+    // Split mnemonic/directive from operands.
+    size_t sp = rest.find_first_of(" \t");
+    std::string head = sp == std::string::npos
+        ? rest : rest.substr(0, sp);
+    std::string tail = sp == std::string::npos
+        ? std::string() : trim(std::string_view(rest).substr(sp + 1));
+    std::vector<std::string> ops =
+        tail.empty() ? std::vector<std::string>{} : splitOperands(tail);
+
+    if (head[0] == '.')
+        directive(head, ops);
+    else
+        instruction(head, ops);
+}
+
+uint32_t
+Unit::resolve(const std::string &label, int line) const
+{
+    auto it = prog_.symbols.find(label);
+    fatalIf(it == prog_.symbols.end(),
+            "asm: line ", line, ": undefined symbol '", label, "'");
+    return it->second;
+}
+
+void
+Unit::patch(Program &prog) const
+{
+    for (size_t idx = 0; idx < insts_.size(); ++idx) {
+        const PendingInst &p = insts_[idx];
+        Instruction inst = p.inst;
+        const uint32_t pc = Layout::textBase + uint32_t(idx) * 4;
+
+        switch (p.fixup) {
+          case Fixup::None:
+            break;
+          case Fixup::Branch: {
+            const uint32_t target = resolve(p.label, p.line);
+            const int64_t diff =
+                (int64_t(target) - int64_t(pc) - 4) >> 2;
+            fatalIf(!fitsSigned(diff, 16), "asm: line ", p.line,
+                    ": branch to '", p.label, "' out of range");
+            inst.imm = int32_t(diff);
+            break;
+          }
+          case Fixup::Jump: {
+            const uint32_t target = resolve(p.label, p.line);
+            fatalIf((target & 3) != 0 ||
+                        (target & 0xf0000000u) !=
+                            ((pc + 4) & 0xf0000000u),
+                    "asm: line ", p.line, ": jump target unreachable");
+            inst.target = (target >> 2) & 0x03ffffffu;
+            break;
+          }
+          case Fixup::HiPlain:
+            inst.imm = int32_t(resolve(p.label, p.line) >> 16);
+            break;
+          case Fixup::LoPlain:
+            inst.imm = int32_t(resolve(p.label, p.line) & 0xffffu);
+            break;
+          case Fixup::HiAdj: {
+            const uint32_t v = resolve(p.label, p.line);
+            inst.imm = int32_t((v + 0x8000u) >> 16);
+            break;
+          }
+          case Fixup::LoSigned: {
+            const uint32_t v = resolve(p.label, p.line);
+            inst.imm = signExtend(v & 0xffffu, 16);
+            break;
+          }
+        }
+        prog.text.push_back(isa::encode(inst));
+    }
+
+    for (const DataFixup &f : dataFixups_) {
+        const uint32_t v = resolve(f.label, f.line);
+        prog.data[f.offset + 0] = uint8_t(v);
+        prog.data[f.offset + 1] = uint8_t(v >> 8);
+        prog.data[f.offset + 2] = uint8_t(v >> 16);
+        prog.data[f.offset + 3] = uint8_t(v >> 24);
+    }
+}
+
+Program
+Unit::run()
+{
+    std::istringstream in(source_);
+    std::string line;
+    while (std::getline(in, line)) {
+        ++line_;
+        processLine(line);
+    }
+    fatalIf(openFunction_.has_value(), "asm: unterminated .ent '",
+            openFunction_ ? openFunction_->name : "", "'");
+
+    Program out;
+    out.symbols = prog_.symbols;
+    out.functions = prog_.functions;
+    out.data = prog_.data;
+    std::sort(out.functions.begin(), out.functions.end(),
+              [](const FunctionInfo &a, const FunctionInfo &b) {
+                  return a.addr < b.addr;
+              });
+    patch(out);
+
+    if (!entrySymbol_.empty())
+        out.entry = resolve(entrySymbol_, 0);
+    else if (out.symbols.count("_start"))
+        out.entry = out.symbols.at("_start");
+    else if (out.symbols.count("main"))
+        out.entry = out.symbols.at("main");
+    else
+        out.entry = Layout::textBase;
+    return out;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Unit unit(source);
+    return unit.run();
+}
+
+} // namespace irep::assem

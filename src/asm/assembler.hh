@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A two-pass MIPS assembler producing a loadable Program.
+ *
+ * Supported syntax (one statement per line, '#' comments):
+ *   - labels:        `name:` (several may share a line with a statement)
+ *   - sections:      `.text`, `.data`
+ *   - data:          `.word`, `.half`, `.byte`, `.ascii`, `.asciiz`,
+ *                    `.space N`, `.align P` (pad to 2^P)
+ *   - metadata:      `.ent name[, nargs]` / `.end [name]` function
+ *                    bounds + register-argument count, `.entry name`
+ *                    program entry point, `.globl` (accepted, ignored)
+ *   - instructions:  every Op in isa/instruction.hh, plus the pseudo
+ *                    instructions li, la, move, nop, b, beqz, bnez,
+ *                    blt/bgt/ble/bge (+u forms), mul, div (3-operand),
+ *                    rem, neg, not, seq, sne, sgt, sge, sle
+ *   - relocations:   `%hi(sym)` (adjusted high part, pairs with a
+ *                    signed `%lo(sym)` offset), branch and jump labels
+ *
+ * All errors raise FatalError with the offending line number.
+ */
+
+#ifndef IREP_ASM_ASSEMBLER_HH
+#define IREP_ASM_ASSEMBLER_HH
+
+#include <string>
+
+#include "asm/program.hh"
+
+namespace irep::assem
+{
+
+/**
+ * Assemble a complete translation unit into a Program.
+ *
+ * @param source Assembly source text.
+ * @return The assembled program image.
+ */
+Program assemble(const std::string &source);
+
+} // namespace irep::assem
+
+#endif // IREP_ASM_ASSEMBLER_HH

@@ -1,0 +1,32 @@
+#include "asm/program.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace irep::assem
+{
+
+const FunctionInfo *
+Program::functionAt(uint32_t pc) const
+{
+    // functions is sorted by address; binary search for the last
+    // function starting at or before pc.
+    auto it = std::upper_bound(
+        functions.begin(), functions.end(), pc,
+        [](uint32_t v, const FunctionInfo &f) { return v < f.addr; });
+    if (it == functions.begin())
+        return nullptr;
+    --it;
+    return it->contains(pc) ? &*it : nullptr;
+}
+
+uint32_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    fatalIf(it == symbols.end(), "undefined symbol: ", name);
+    return it->second;
+}
+
+} // namespace irep::assem

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The loadable program image produced by the assembler: text and data
+ * sections, a symbol table, and per-function metadata (entry address,
+ * size, argument count) consumed by the function-level analysis.
+ */
+
+#ifndef IREP_ASM_PROGRAM_HH
+#define IREP_ASM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace irep::assem
+{
+
+/** Conventional memory layout constants. */
+struct Layout
+{
+    static constexpr uint32_t textBase = 0x00400000;
+    static constexpr uint32_t dataBase = 0x10000000;
+    /** Value loaded into $gp at startup (MIPS o32 convention:
+     *  data base + 0x8000 so 16-bit signed offsets span 64 KiB). */
+    static constexpr uint32_t gpValue = dataBase + 0x8000;
+    static constexpr uint32_t stackTop = 0x7ffff000;
+};
+
+/**
+ * Metadata for one function, emitted by `.ent name, nargs` / `.end`.
+ * The analyses use the address range to attribute instructions to
+ * functions and the argument count to sample argument registers.
+ */
+struct FunctionInfo
+{
+    std::string name;
+    uint32_t addr = 0;      //!< first instruction address
+    uint32_t size = 0;      //!< size in bytes
+    uint8_t numArgs = 0;    //!< declared register arguments (0..4)
+
+    bool
+    contains(uint32_t pc) const
+    {
+        return pc >= addr && pc < addr + size;
+    }
+};
+
+/** An assembled, loadable program. */
+class Program
+{
+  public:
+    std::vector<uint32_t> text;     //!< instruction words at textBase
+    std::vector<uint8_t> data;      //!< data section at dataBase
+    uint32_t entry = Layout::textBase;
+
+    std::unordered_map<std::string, uint32_t> symbols;
+    std::vector<FunctionInfo> functions;    //!< sorted by address
+
+    /** Size of the text section in bytes. */
+    uint32_t textBytes() const { return uint32_t(text.size()) * 4; }
+
+    /** First address past the data section (initial heap break). */
+    uint32_t
+    heapStart() const
+    {
+        return (Layout::dataBase + uint32_t(data.size()) + 0xfffu) &
+               ~0xfffu;
+    }
+
+    /**
+     * The function covering @p pc, or nullptr if the address is not
+     * inside any `.ent`-annotated function.
+     */
+    const FunctionInfo *functionAt(uint32_t pc) const;
+
+    /** Look up a symbol; fatal() if missing. */
+    uint32_t symbol(const std::string &name) const;
+};
+
+} // namespace irep::assem
+
+#endif // IREP_ASM_PROGRAM_HH

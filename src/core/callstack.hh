@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A shadow call stack reconstructed from the retired instruction
+ * stream (jal/jalr push, jr-to-return-address pops). The local and
+ * function-level analyses both attach per-frame state to it.
+ */
+
+#ifndef IREP_CORE_CALLSTACK_HH
+#define IREP_CORE_CALLSTACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "asm/program.hh"
+#include "isa/registers.hh"
+#include "sim/observer.hh"
+
+namespace irep::core
+{
+
+/**
+ * Tracks the dynamic call stack.
+ *
+ * @tparam FrameData Per-frame payload attached by the client analysis.
+ */
+template <typename FrameData>
+class CallStack
+{
+  public:
+    struct Frame
+    {
+        uint32_t funcAddr = 0;      //!< callee entry pc
+        uint32_t returnAddr = 0;    //!< pc the callee returns to
+        const assem::FunctionInfo *info = nullptr;
+        FrameData data;
+    };
+
+    explicit CallStack(const assem::Program &program)
+        : program_(program)
+    {
+        // Synthetic root frame so depth is never zero.
+        frames_.emplace_back();
+        frames_.back().funcAddr = program.entry;
+        frames_.back().info = program.functionAt(program.entry);
+    }
+
+    /**
+     * Feed one retired instruction.
+     *
+     * @param rec    The retired instruction.
+     * @param on_pop Invoked as on_pop(popped_frame, parent_frame) for
+     *               each frame popped by a return, innermost first
+     *               (lets clients propagate per-frame state upward).
+     * @return +1 when a call was pushed, -1 when a return popped at
+     *         least one frame, 0 otherwise. After a push the new frame
+     *         is current; clients initialize its data via current().
+     */
+    template <typename PopFn>
+    int
+    onInstr(const sim::InstrRecord &rec, PopFn &&on_pop)
+    {
+        const isa::Instruction &inst = *rec.inst;
+        const isa::OpInfo &info = isa::opInfo(inst.op);
+        if (info.isCall) {
+            Frame f;
+            f.funcAddr = rec.nextPc;
+            f.returnAddr = rec.pc + 4;
+            f.info = program_.functionAt(rec.nextPc);
+            frames_.push_back(std::move(f));
+            return 1;
+        }
+        if (inst.op == isa::Op::JR && inst.rs == isa::regRA) {
+            // Pop every frame whose return address matches; tolerate
+            // mismatches (e.g. when the window started mid-call) by
+            // scanning downward for a matching frame.
+            for (size_t i = frames_.size(); i-- > 1;) {
+                if (frames_[i].returnAddr == rec.nextPc) {
+                    while (frames_.size() > i) {
+                        Frame popped = std::move(frames_.back());
+                        frames_.pop_back();
+                        on_pop(popped, frames_.empty()
+                                           ? popped
+                                           : frames_.back());
+                    }
+                    return -1;
+                }
+            }
+            return 0;
+        }
+        return 0;
+    }
+
+    /** onInstr() without a pop callback. */
+    int
+    onInstr(const sim::InstrRecord &rec)
+    {
+        return onInstr(rec,
+                       [](const Frame &, const Frame &) {});
+    }
+
+    Frame &current() { return frames_.back(); }
+    const Frame &current() const { return frames_.back(); }
+
+    /** Parent of the current frame (the root frame is its own
+     *  parent). */
+    Frame &
+    parent()
+    {
+        return frames_.size() > 1 ? frames_[frames_.size() - 2]
+                                  : frames_.front();
+    }
+
+    size_t depth() const { return frames_.size(); }
+
+    std::vector<Frame> &frames() { return frames_; }
+
+  private:
+    const assem::Program &program_;
+    std::vector<Frame> frames_;
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_CALLSTACK_HH

@@ -1,0 +1,84 @@
+#include "core/class_analysis.hh"
+
+#include "isa/instruction.hh"
+#include "support/logging.hh"
+
+namespace irep::core
+{
+
+std::string_view
+instrClassName(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::IntAlu: return "int-alu";
+      case InstrClass::MulDiv: return "mul-div";
+      case InstrClass::Load: return "load";
+      case InstrClass::Store: return "store";
+      case InstrClass::Branch: return "branch";
+      case InstrClass::Jump: return "jump";
+      case InstrClass::Syscall: return "syscall";
+      case InstrClass::NUM: break;
+    }
+    return "?";
+}
+
+InstrClass
+classify(const isa::Instruction &inst)
+{
+    using isa::Op;
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    if (info.isLoad)
+        return InstrClass::Load;
+    if (info.isStore)
+        return InstrClass::Store;
+    if (info.isBranch)
+        return InstrClass::Branch;
+    if (info.isJump)
+        return InstrClass::Jump;
+    if (inst.op == Op::SYSCALL || inst.op == Op::BREAK)
+        return InstrClass::Syscall;
+    if (info.writesHiLo || info.readsHi || info.readsLo)
+        return InstrClass::MulDiv;
+    return InstrClass::IntAlu;
+}
+
+double
+ClassStats::pctOfAll(InstrClass c) const
+{
+    return totalOverall ? 100.0 * double(overall[unsigned(c)]) /
+                              double(totalOverall)
+                        : 0.0;
+}
+
+double
+ClassStats::propensity(InstrClass c) const
+{
+    const uint64_t all = overall[unsigned(c)];
+    return all ? 100.0 * double(repeated[unsigned(c)]) / double(all)
+               : 0.0;
+}
+
+double
+ClassStats::pctOfRepetition(InstrClass c) const
+{
+    return totalRepeated ? 100.0 * double(repeated[unsigned(c)]) /
+                               double(totalRepeated)
+                         : 0.0;
+}
+
+InstrClass
+ClassAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
+{
+    const InstrClass c = classify(*rec.inst);
+    if (counting_) {
+        ++stats_.overall[unsigned(c)];
+        ++stats_.totalOverall;
+        if (repeated) {
+            ++stats_.repeated[unsigned(c)];
+            ++stats_.totalRepeated;
+        }
+    }
+    return c;
+}
+
+} // namespace irep::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-instruction-class total analysis. The paper notes (§2) that the
+ * total analysis "can also be carried out for different types of
+ * instructions, e.g., loads, stores, ALU operations, etc. (but we do
+ * not do so in this paper)" — this module does exactly that, as the
+ * natural extension: repetition rates broken down by instruction
+ * class, which is what a class-filtered reuse buffer or load-value
+ * predictor would care about.
+ */
+
+#ifndef IREP_CORE_CLASS_ANALYSIS_HH
+#define IREP_CORE_CLASS_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/observer.hh"
+
+namespace irep::core
+{
+
+/** Coarse instruction classes. */
+enum class InstrClass : uint8_t
+{
+    IntAlu,     //!< add/sub/logic/shift/slt/lui
+    MulDiv,     //!< mult/div and HI/LO moves
+    Load,
+    Store,
+    Branch,     //!< conditional control
+    Jump,       //!< j/jal/jr/jalr
+    Syscall,
+    NUM,
+};
+
+constexpr unsigned numInstrClasses = unsigned(InstrClass::NUM);
+
+/** Display name for a class. */
+std::string_view instrClassName(InstrClass c);
+
+/** Classify a decoded instruction. */
+InstrClass classify(const isa::Instruction &inst);
+
+/** Per-class dynamic and repetition counts. */
+struct ClassStats
+{
+    std::array<uint64_t, numInstrClasses> overall = {};
+    std::array<uint64_t, numInstrClasses> repeated = {};
+    uint64_t totalOverall = 0;
+    uint64_t totalRepeated = 0;
+
+    /** Share of all dynamic instructions in this class. */
+    double pctOfAll(InstrClass c) const;
+    /** Share of this class that repeated (its propensity). */
+    double propensity(InstrClass c) const;
+    /** Share of all repetition contributed by this class. */
+    double pctOfRepetition(InstrClass c) const;
+};
+
+/** The analysis: feed records + the tracker's repetition verdict. */
+class ClassAnalysis
+{
+  public:
+    void setCounting(bool enabled) { counting_ = enabled; }
+
+    InstrClass onInstr(const sim::InstrRecord &rec, bool repeated);
+
+    const ClassStats &stats() const { return stats_; }
+
+  private:
+    ClassStats stats_;
+    bool counting_ = false;
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_CLASS_ANALYSIS_HH

@@ -1,0 +1,205 @@
+#include "core/function_analysis.hh"
+
+#include <algorithm>
+
+#include "isa/registers.hh"
+#include "support/hash.hh"
+
+namespace irep::core
+{
+
+double
+FunctionStats::pctAllArgsRepeated() const
+{
+    return dynamicCalls
+        ? 100.0 * double(allArgsRepeated) / double(dynamicCalls) : 0.0;
+}
+
+double
+FunctionStats::pctNoArgsRepeated() const
+{
+    return dynamicCalls
+        ? 100.0 * double(noArgsRepeated) / double(dynamicCalls) : 0.0;
+}
+
+double
+MemoizationStats::pctCleanOfAll() const
+{
+    return dynamicCalls
+        ? 100.0 * double(cleanCalls) / double(dynamicCalls) : 0.0;
+}
+
+double
+MemoizationStats::pctCleanOfAllArgRep() const
+{
+    return allArgRepCalls
+        ? 100.0 * double(cleanAllArgRepCalls) / double(allArgRepCalls)
+        : 0.0;
+}
+
+FunctionAnalysis::FunctionAnalysis(const assem::Program &program,
+                                   const sim::Machine &machine)
+    : program_(program), machine_(machine), stack_(program)
+{
+    stack_.current().data.spAtEntry = assem::Layout::stackTop;
+}
+
+void
+FunctionAnalysis::onSyscall(const sim::SyscallRecord &rec)
+{
+    (void)rec;
+    // Any syscall is an externally visible effect of every active
+    // invocation; marking the current frame is enough because flags
+    // propagate to parents when frames pop.
+    stack_.current().data.sideEffect = true;
+}
+
+void
+FunctionAnalysis::settleInvocation(const FrameData &data)
+{
+    if (!data.counted)
+        return;
+    ++memo_.dynamicCalls;
+    const bool clean = !data.sideEffect && !data.implicitInput;
+    if (clean)
+        ++memo_.cleanCalls;
+    if (data.allArgsRep) {
+        ++memo_.allArgRepCalls;
+        if (clean)
+            ++memo_.cleanAllArgRepCalls;
+    }
+}
+
+void
+FunctionAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
+{
+    (void)repeated;
+    const isa::Instruction &inst = *rec.inst;
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+
+    // Side effects and implicit inputs of the current invocation.
+    // A store is a side effect when it escapes the invocation's own
+    // frame: anything in the global/heap regions, or at/above the
+    // stack pointer the function was entered with.
+    if (info.isStore &&
+        (rec.memAddr < 0x70000000u ||
+         rec.memAddr >= stack_.current().data.spAtEntry)) {
+        stack_.current().data.sideEffect = true;
+    }
+    if (info.isLoad && rec.memAddr < 0x70000000u &&
+        rec.memAddr >= assem::Layout::dataBase) {
+        stack_.current().data.implicitInput = true;
+    }
+
+    const int delta = stack_.onInstr(
+        rec, [this](const CallStack<FrameData>::Frame &popped,
+                    CallStack<FrameData>::Frame &parent) {
+            // Effects of the callee are effects of the caller.
+            parent.data.sideEffect |= popped.data.sideEffect;
+            parent.data.implicitInput |= popped.data.implicitInput;
+            settleInvocation(popped.data);
+        });
+
+    if (delta <= 0)
+        return;
+
+    // A call was pushed; sample the argument registers.
+    FrameData &data = stack_.current().data;
+    data.funcAddr = stack_.current().funcAddr;
+    data.spAtEntry = machine_.reg(isa::regSP);
+    data.counted = counting_;
+    if (!counting_)
+        return;
+
+    const assem::FunctionInfo *finfo = stack_.current().info;
+    const unsigned nargs = finfo ? finfo->numArgs : 0;
+
+    FuncState &state = funcs_[data.funcAddr];
+    state.numArgs = nargs;
+    ++state.calls;
+
+    // A call has no-argument repetition when every argument value is
+    // new for its position. Zero-argument calls count as all-args-
+    // repeated after the first call (the empty tuple repeats) and
+    // never as no-args-repeated.
+    uint64_t key = 0x243f6a8885a308d3ull;
+    bool any_repeated = false;
+    for (unsigned i = 0; i < nargs; ++i) {
+        const uint32_t value = machine_.reg(isa::regA0 + i);
+        key = hashMix(key, value);
+        auto &seen = state.argSeen[i];
+        if (seen.count(value))
+            any_repeated = true;
+        else
+            seen.insert(value);
+    }
+
+    auto it = state.tuples.find(key);
+    if (it != state.tuples.end()) {
+        ++it->second;
+        data.allArgsRep = true;
+        ++state.allArgsRep;
+    } else if (state.tuples.size() < tupleCap) {
+        state.tuples.emplace(key, 1);
+    }
+
+    if (nargs > 0 && !any_repeated)
+        ++state.noArgsRep;
+}
+
+void
+FunctionAnalysis::finalize()
+{
+    auto &frames = stack_.frames();
+    // Propagate flags from innermost to outermost, then settle all.
+    for (size_t i = frames.size(); i-- > 1;) {
+        frames[i - 1].data.sideEffect |= frames[i].data.sideEffect;
+        frames[i - 1].data.implicitInput |=
+            frames[i].data.implicitInput;
+    }
+    for (size_t i = 1; i < frames.size(); ++i)
+        settleInvocation(frames[i].data);
+    frames.resize(1);
+}
+
+FunctionStats
+FunctionAnalysis::stats() const
+{
+    FunctionStats s;
+    s.staticFunctionsCalled = funcs_.size();
+    for (const auto &[addr, f] : funcs_) {
+        s.dynamicCalls += f.calls;
+        s.allArgsRepeated += f.allArgsRep;
+        s.noArgsRepeated += f.noArgsRep;
+    }
+    return s;
+}
+
+MemoizationStats
+FunctionAnalysis::memoStats() const
+{
+    return memo_;
+}
+
+double
+FunctionAnalysis::argSetCoverage(unsigned k) const
+{
+    uint64_t covered = 0;
+    uint64_t total = 0;
+    std::vector<uint64_t> counts;
+    for (const auto &[addr, f] : funcs_) {
+        total += f.allArgsRep;
+        counts.clear();
+        counts.reserve(f.tuples.size());
+        for (const auto &[key, count] : f.tuples)
+            counts.push_back(count);
+        std::sort(counts.begin(), counts.end(), std::greater<>());
+        for (size_t i = 0; i < counts.size() && i < k; ++i) {
+            // A tuple seen c times contributes c-1 repeated calls.
+            covered += counts[i] - 1;
+        }
+    }
+    return total ? double(covered) / double(total) : 0.0;
+}
+
+} // namespace irep::core

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Function-level analysis (paper §5.2 and §6): argument repetition per
+ * dynamic call (Table 4), side-effect/implicit-input freedom as a
+ * memoization criterion (Table 8), and coverage of the most frequent
+ * argument tuples as a specialization criterion (Figure 5).
+ *
+ * A dynamic call has *all-argument repetition* when the exact tuple of
+ * register-argument values was passed to the same function before, and
+ * *no-argument repetition* when every individual argument value is new
+ * for its position. Side effects are stores outside the stack or any
+ * syscall; implicit inputs are loads from global or heap data. Stores into the
+ * caller's stack frame (through pointer arguments) also count as side
+ * effects. Both propagate from callee invocations to their callers (memoizing the
+ * caller would elide the callee's effects too).
+ */
+
+#ifndef IREP_CORE_FUNCTION_ANALYSIS_HH
+#define IREP_CORE_FUNCTION_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "asm/program.hh"
+#include "core/callstack.hh"
+#include "sim/machine.hh"
+#include "sim/observer.hh"
+
+namespace irep::core
+{
+
+/** Table 4 row contents. */
+struct FunctionStats
+{
+    uint64_t staticFunctionsCalled = 0;
+    uint64_t dynamicCalls = 0;
+    uint64_t allArgsRepeated = 0;
+    uint64_t noArgsRepeated = 0;
+
+    double pctAllArgsRepeated() const;
+    double pctNoArgsRepeated() const;
+};
+
+/** Table 8 row contents. */
+struct MemoizationStats
+{
+    uint64_t dynamicCalls = 0;
+    uint64_t cleanCalls = 0;            //!< no side effects/implicit in
+    uint64_t allArgRepCalls = 0;
+    uint64_t cleanAllArgRepCalls = 0;
+
+    double pctCleanOfAll() const;
+    double pctCleanOfAllArgRep() const;
+};
+
+class FunctionAnalysis
+{
+  public:
+    FunctionAnalysis(const assem::Program &program,
+                     const sim::Machine &machine);
+
+    void setCounting(bool enabled) { counting_ = enabled; }
+
+    /** Process a retired instruction (@p repeated is unused here but
+     *  kept for interface uniformity). */
+    void onInstr(const sim::InstrRecord &rec, bool repeated);
+
+    /** Syscalls are side effects of every active invocation. */
+    void onSyscall(const sim::SyscallRecord &rec);
+
+    /** Account invocations still on the stack (call at window end). */
+    void finalize();
+
+    FunctionStats stats() const;
+    MemoizationStats memoStats() const;
+
+    /**
+     * Figure 5: fraction of all-argument-repeated calls covered when
+     * every function is specialized for its @p k most frequent
+     * argument tuples.
+     */
+    double argSetCoverage(unsigned k) const;
+
+  private:
+    struct FrameData
+    {
+        bool sideEffect = false;
+        bool implicitInput = false;
+        bool counted = false;       //!< call happened while counting
+        bool allArgsRep = false;
+        uint32_t funcAddr = 0;
+        uint32_t spAtEntry = 0;     //!< stores at/above this are
+                                    //!< effects on the caller
+    };
+
+    struct FuncState
+    {
+        uint64_t calls = 0;
+        uint64_t allArgsRep = 0;
+        uint64_t noArgsRep = 0;
+        unsigned numArgs = 0;
+        std::unordered_map<uint64_t, uint64_t> tuples;
+        std::array<std::unordered_set<uint32_t>, 4> argSeen;
+    };
+
+    static constexpr size_t tupleCap = 1u << 16;
+
+    void settleInvocation(const FrameData &data);
+
+    const assem::Program &program_;
+    const sim::Machine &machine_;
+    CallStack<FrameData> stack_;
+    std::unordered_map<uint32_t, FuncState> funcs_;
+    MemoizationStats memo_;
+    bool counting_ = false;
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_FUNCTION_ANALYSIS_HH

@@ -1,0 +1,161 @@
+#include "core/global_taint.hh"
+
+#include <algorithm>
+
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace irep::core
+{
+
+std::string_view
+globalTagName(GlobalTag tag)
+{
+    switch (tag) {
+      case GlobalTag::Uninit:
+        return "uninit";
+      case GlobalTag::Internal:
+        return "internals";
+      case GlobalTag::GlobalInit:
+        return "global init data";
+      case GlobalTag::External:
+        return "external input";
+    }
+    return "?";
+}
+
+double
+GlobalTaintStats::pctOverall(GlobalTag tag) const
+{
+    return totalOverall ? 100.0 * double(overall[unsigned(tag)]) /
+                              double(totalOverall)
+                        : 0.0;
+}
+
+double
+GlobalTaintStats::pctRepeated(GlobalTag tag) const
+{
+    return totalRepeated ? 100.0 * double(repeated[unsigned(tag)]) /
+                               double(totalRepeated)
+                         : 0.0;
+}
+
+double
+GlobalTaintStats::propensity(GlobalTag tag) const
+{
+    const uint64_t all = overall[unsigned(tag)];
+    return all ? 100.0 * double(repeated[unsigned(tag)]) / double(all)
+               : 0.0;
+}
+
+GlobalTaint::GlobalTaint(const assem::Program &program)
+    : mem_(uint8_t(GlobalTag::Uninit))
+{
+    regTags_.fill(GlobalTag::Uninit);
+    // $zero is a constant; $sp and $gp are loader-provided program
+    // constants — all program internals.
+    regTags_[isa::regZero] = GlobalTag::Internal;
+    regTags_[isa::regSP] = GlobalTag::Internal;
+    regTags_[isa::regGP] = GlobalTag::Internal;
+
+    // Statically initialized data (including zero-initialized .space,
+    // which the program image carries explicitly).
+    if (!program.data.empty()) {
+        mem_.fill(assem::Layout::dataBase,
+                  uint32_t(program.data.size()),
+                  uint8_t(GlobalTag::GlobalInit));
+    }
+}
+
+void
+GlobalTaint::onSyscall(const sim::SyscallRecord &rec)
+{
+    if (rec.num == sim::Syscall::Read) {
+        if (rec.writtenLen) {
+            mem_.fill(rec.writtenAddr, rec.writtenLen,
+                      uint8_t(GlobalTag::External));
+        }
+        // The byte count returned in $v0 is derived from external
+        // input; tag the SYSCALL instruction's result accordingly.
+        pendingExternalResult_ = true;
+    } else if (rec.num == sim::Syscall::Write) {
+        pendingExternalResult_ = false;
+    } else {
+        // Sbrk results (and Exit) are program-internal.
+        pendingExternalResult_ = false;
+    }
+}
+
+GlobalTag
+GlobalTaint::onInstr(const sim::InstrRecord &rec, bool repeated)
+{
+    const isa::Instruction &inst = *rec.inst;
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+
+    // Supersede rule: pure-immediate instructions are program
+    // internals; as soon as the instruction has data inputs, its
+    // category is the supersede (max) over those inputs only — a
+    // pure-uninit dataflow stays uninit rather than being lifted to
+    // internal.
+    bool have_input = false;
+    GlobalTag tag = GlobalTag::Internal;
+    const bool inverted = inverted_;
+    auto meet = [&tag, &have_input, inverted](GlobalTag other) {
+        if (!have_input)
+            tag = other;
+        else
+            tag = inverted ? std::min(tag, other)
+                           : std::max(tag, other);
+        have_input = true;
+    };
+
+    if (info.isStore) {
+        // A store belongs to the slice of the *data* it stores; the
+        // address computation was categorized at the instructions that
+        // formed it. This is what places prologue saves of never-
+        // written callee-saved registers in the uninit category.
+        tag = regTags_[inst.rt];
+    } else {
+        if (info.readsRs)
+            meet(regTags_[inst.rs]);
+        if (info.readsRt)
+            meet(regTags_[inst.rt]);
+        if (info.readsHi)
+            meet(hiTag_);
+        if (info.readsLo)
+            meet(loTag_);
+        if (info.isLoad)
+            meet(GlobalTag(mem_.readMax(rec.memAddr, info.memBytes)));
+    }
+
+    if (inst.op == isa::Op::SYSCALL && pendingExternalResult_) {
+        meet(GlobalTag::External);
+        pendingExternalResult_ = false;
+    }
+
+    // Note on uninit: the supersede rule gives Uninit the lowest
+    // priority, so an instruction is binned uninit only when every
+    // data input is uninitialized (e.g. the prologue save above).
+
+    // Propagate.
+    if (rec.writesReg && rec.destReg != isa::regZero)
+        regTags_[rec.destReg] = tag;
+    if (info.writesHiLo) {
+        hiTag_ = tag;
+        loTag_ = tag;
+    }
+    if (info.isStore)
+        mem_.fill(rec.memAddr, info.memBytes, uint8_t(tag));
+
+    if (counting_) {
+        ++stats_.overall[unsigned(tag)];
+        ++stats_.totalOverall;
+        if (repeated) {
+            ++stats_.repeated[unsigned(tag)];
+            ++stats_.totalRepeated;
+        }
+    }
+    return tag;
+}
+
+} // namespace irep::core

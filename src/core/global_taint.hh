@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Global analysis (paper §5.1): classify every dynamic instruction by
+ * the origin of the data flowing into it — external program input,
+ * initialized global data, program internals (immediates), or
+ * uninitialized registers — using the supersede rule
+ * external >s global-init >s internal >s uninit.
+ * Produces Table 3 (overall / repeated / propensity).
+ */
+
+#ifndef IREP_CORE_GLOBAL_TAINT_HH
+#define IREP_CORE_GLOBAL_TAINT_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "asm/program.hh"
+#include "core/tag_memory.hh"
+#include "sim/observer.hh"
+
+namespace irep::core
+{
+
+/**
+ * Data-origin categories. Numeric order IS the supersede priority:
+ * when slices meet, the larger tag wins (the paper gives priority to
+ * the source likely to be less repeatable).
+ */
+enum class GlobalTag : uint8_t
+{
+    Uninit = 0,
+    Internal = 1,
+    GlobalInit = 2,
+    External = 3,
+};
+
+constexpr unsigned numGlobalTags = 4;
+
+/** Display name of a tag ("internals", "external input", ...). */
+std::string_view globalTagName(GlobalTag tag);
+
+/** Table 3 contents. */
+struct GlobalTaintStats
+{
+    std::array<uint64_t, numGlobalTags> overall = {};
+    std::array<uint64_t, numGlobalTags> repeated = {};
+    uint64_t totalOverall = 0;
+    uint64_t totalRepeated = 0;
+
+    double pctOverall(GlobalTag tag) const;
+    double pctRepeated(GlobalTag tag) const;
+    /** % of the instructions in @p tag 's category that repeated. */
+    double propensity(GlobalTag tag) const;
+};
+
+/**
+ * The global data-flow tagger. Must observe every instruction from
+ * program start (tag state must be warm); counts only while counting
+ * is enabled.
+ */
+class GlobalTaint
+{
+  public:
+    explicit GlobalTaint(const assem::Program &program);
+
+    /** Enable/disable statistics counting (tag propagation always
+     *  runs). */
+    void setCounting(bool enabled) { counting_ = enabled; }
+
+    /**
+     * Ablation knob: invert the supersede rule so the *most*
+     * repeatable source wins where slices meet (the paper chose the
+     * least repeatable). Must be set before any instruction is
+     * processed.
+     */
+    void setInvertedSupersede(bool inverted) { inverted_ = inverted; }
+
+    /**
+     * Process a retired instruction.
+     * @param repeated Whether the repetition tracker classified this
+     *                 dynamic instance as repeated.
+     * @return the category this instruction was binned into.
+     */
+    GlobalTag onInstr(const sim::InstrRecord &rec, bool repeated);
+
+    /** Process a completed syscall (tags externally-read bytes). */
+    void onSyscall(const sim::SyscallRecord &rec);
+
+    const GlobalTaintStats &stats() const { return stats_; }
+
+    /** Current tag of a register (exposed for tests). */
+    GlobalTag regTag(unsigned reg) const { return regTags_[reg]; }
+
+    /** Current tag of a memory byte (exposed for tests). */
+    GlobalTag
+    memTag(uint32_t addr) const
+    {
+        return GlobalTag(mem_.read(addr));
+    }
+
+  private:
+    std::array<GlobalTag, 32> regTags_;
+    GlobalTag hiTag_ = GlobalTag::Internal;
+    GlobalTag loTag_ = GlobalTag::Internal;
+    TagMemory mem_;
+    GlobalTaintStats stats_;
+    bool counting_ = false;
+    bool inverted_ = false;
+    bool pendingExternalResult_ = false;
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_GLOBAL_TAINT_HH

@@ -1,0 +1,309 @@
+#include "core/local_analysis.hh"
+
+#include <algorithm>
+
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace irep::core
+{
+
+using isa::Instruction;
+using isa::Op;
+
+std::string_view
+localCatName(LocalCat cat)
+{
+    switch (cat) {
+      case LocalCat::Prologue: return "prologue";
+      case LocalCat::Epilogue: return "epilogue";
+      case LocalCat::FuncInternal: return "function internals";
+      case LocalCat::GlbAddrCalc: return "glb_addr_calc";
+      case LocalCat::Return: return "return";
+      case LocalCat::SP: return "SP";
+      case LocalCat::RetVal: return "return values";
+      case LocalCat::Argument: return "arguments";
+      case LocalCat::Global: return "global";
+      case LocalCat::Heap: return "heap";
+      case LocalCat::NUM: break;
+    }
+    return "?";
+}
+
+double
+LocalStats::pctOverall(LocalCat cat) const
+{
+    return totalOverall ? 100.0 * double(overall[unsigned(cat)]) /
+                              double(totalOverall)
+                        : 0.0;
+}
+
+double
+LocalStats::pctRepeated(LocalCat cat) const
+{
+    return totalRepeated ? 100.0 * double(repeated[unsigned(cat)]) /
+                               double(totalRepeated)
+                         : 0.0;
+}
+
+double
+LocalStats::propensity(LocalCat cat) const
+{
+    const uint64_t all = overall[unsigned(cat)];
+    return all ? 100.0 * double(repeated[unsigned(cat)]) / double(all)
+               : 0.0;
+}
+
+LocalAnalysis::LocalAnalysis(const assem::Program &program)
+    : program_(program), stack_(program),
+      stackTags_(uint8_t(LocalTag::FuncInternal)),
+      heapStart_(program.heapStart())
+{
+    initFrame(stack_.current().data,
+              program.functionAt(program.entry));
+}
+
+int
+LocalAnalysis::calleeSavedSlot(unsigned reg)
+{
+    if (reg >= isa::regS0 && reg <= isa::regS7)
+        return int(reg - isa::regS0);
+    if (reg == isa::regFP)
+        return 8;
+    if (reg == isa::regRA)
+        return 9;
+    return -1;
+}
+
+void
+LocalAnalysis::initFrame(FrameData &data,
+                         const assem::FunctionInfo *info)
+{
+    data.regTags.fill(LocalTag::FuncInternal);
+    data.regTags[isa::regGP] = LocalTag::GlbAddr;
+    data.regTags[isa::regSP] = LocalTag::SP;
+    const unsigned nargs = info ? info->numArgs : 0;
+    for (unsigned i = 0; i < nargs; ++i)
+        data.regTags[isa::regA0 + i] = LocalTag::Argument;
+    data.unwritten = 0x3ff;     // all callee-saved slots + $fp + $ra
+    data.savedMask = 0;
+}
+
+LocalCat
+LocalAnalysis::categoryOfTag(LocalTag tag) const
+{
+    switch (tag) {
+      case LocalTag::FuncInternal: return LocalCat::FuncInternal;
+      case LocalTag::GlbAddr: return LocalCat::GlbAddrCalc;
+      case LocalTag::SP: return LocalCat::SP;
+      case LocalTag::Heap: return LocalCat::Heap;
+      case LocalTag::Global: return LocalCat::Global;
+      case LocalTag::RetVal: return LocalCat::RetVal;
+      case LocalTag::Argument: return LocalCat::Argument;
+    }
+    panic("bad local tag");
+}
+
+LocalTag
+LocalAnalysis::regionTagFor(uint32_t addr) const
+{
+    if (addr >= assem::Layout::dataBase && addr < heapStart_)
+        return LocalTag::Global;
+    if (addr >= heapStart_ && addr < 0x70000000u)
+        return LocalTag::Heap;
+    return LocalTag::SP;    // stack region marker (not used as tag)
+}
+
+void
+LocalAnalysis::count(LocalCat cat, bool repeated, uint32_t func_addr)
+{
+    if (!counting_)
+        return;
+    ++stats_.overall[unsigned(cat)];
+    ++stats_.totalOverall;
+    if (repeated) {
+        ++stats_.repeated[unsigned(cat)];
+        ++stats_.totalRepeated;
+        if (cat == LocalCat::Prologue || cat == LocalCat::Epilogue)
+            ++proEpiRepeatsByFunc_[func_addr];
+    }
+}
+
+LocalCat
+LocalAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
+{
+    const Instruction &inst = *rec.inst;
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    FrameData &frame = stack_.current().data;
+    const uint32_t func_addr = stack_.current().funcAddr;
+
+    LocalCat cat;
+    LocalTag dest_tag = LocalTag::FuncInternal;
+    bool sets_dest_tag = rec.writesReg;
+
+    const bool sp_adjust = inst.op == Op::ADDIU &&
+                           inst.rt == isa::regSP &&
+                           inst.rs == isa::regSP;
+
+    if (sp_adjust) {
+        cat = inst.imm < 0 ? LocalCat::Prologue : LocalCat::Epilogue;
+        dest_tag = LocalTag::SP;
+    } else if (inst.op == Op::JR && inst.rs == isa::regRA) {
+        cat = LocalCat::Return;
+    } else if (info.isStore) {
+        const int slot = calleeSavedSlot(inst.rt);
+        const bool sp_base = inst.rs == isa::regSP;
+        if (sp_base && slot >= 0 && (frame.unwritten & (1u << slot))) {
+            cat = LocalCat::Prologue;
+            frame.savedMask |= uint16_t(1u << slot);
+            frame.saveAddr[size_t(slot)] = rec.memAddr;
+        } else {
+            cat = categoryOfTag(frame.regTags[inst.rt]);
+        }
+        // Stack stores propagate the stored value's tag; stores to
+        // global/heap do not (loads there start fresh slices).
+        if (rec.memAddr >= 0x70000000u) {
+            stackTags_.fill(rec.memAddr, info.memBytes,
+                            uint8_t(frame.regTags[inst.rt]));
+        }
+    } else if (info.isLoad) {
+        const int slot = calleeSavedSlot(inst.rt);
+        if (inst.rs == isa::regSP && slot >= 0 &&
+            (frame.savedMask & (1u << slot)) &&
+            frame.saveAddr[size_t(slot)] == rec.memAddr) {
+            cat = LocalCat::Epilogue;
+            dest_tag = LocalTag::FuncInternal;
+        } else if (rec.memAddr >= 0x70000000u) {
+            // Stack load: propagate the stored tag.
+            const auto tag =
+                LocalTag(stackTags_.read(rec.memAddr));
+            cat = categoryOfTag(tag);
+            dest_tag = tag;
+        } else {
+            const LocalTag region = regionTagFor(rec.memAddr);
+            cat = categoryOfTag(region);
+            dest_tag = region;
+
+            // Figure 6 bookkeeping: global+heap load value profile.
+            if (counting_) {
+                if (repeated) {
+                    auto &values = loadValueRepeats_[rec.staticIndex];
+                    auto it = values.find(uint32_t(rec.result));
+                    if (it != values.end()) {
+                        ++it->second;
+                    } else if (values.size() < valueCapPerLoad) {
+                        values.emplace(uint32_t(rec.result), 1);
+                    }
+                    ++totalGlobalLoadRepeats_;
+                }
+            }
+        }
+    } else if (inst.op == Op::LUI) {
+        // Materializing the upper half of a data-segment address is
+        // global address calculation; other lui's are plain constants.
+        const uint32_t value = uint32_t(inst.imm) << 16;
+        const bool data_addr =
+            value >= (assem::Layout::dataBase & 0xffff0000u) &&
+            value < 0x70000000u;
+        dest_tag = data_addr ? LocalTag::GlbAddr
+                             : LocalTag::FuncInternal;
+        cat = categoryOfTag(dest_tag);
+    } else if (inst.op == Op::JAL || inst.op == Op::J ||
+               inst.op == Op::JALR || inst.op == Op::SYSCALL ||
+               inst.op == Op::BREAK) {
+        cat = LocalCat::FuncInternal;
+        dest_tag = LocalTag::FuncInternal;
+    } else {
+        // Supersede over register inputs; immediates are internal.
+        LocalTag tag = LocalTag::FuncInternal;
+        if (info.readsRs)
+            tag = std::max(tag, frame.regTags[inst.rs]);
+        if (info.readsRt)
+            tag = std::max(tag, frame.regTags[inst.rt]);
+        if (info.readsHi || info.readsLo) {
+            // HI/LO inherit through the producing mult/div's dest tag
+            // stored in hiLoTag_ (see below).
+            tag = std::max(tag, hiLoTag_);
+        }
+        cat = categoryOfTag(tag);
+        dest_tag = tag;
+        if (info.writesHiLo)
+            hiLoTag_ = tag;
+    }
+
+    if (sets_dest_tag && rec.destReg != isa::regZero)
+        frame.regTags[rec.destReg] = dest_tag;
+
+    // Track writes to callee-saved registers for prologue detection.
+    if (rec.writesReg) {
+        const int slot = calleeSavedSlot(rec.destReg);
+        if (slot >= 0)
+            frame.unwritten &= uint16_t(~(1u << slot));
+    }
+
+    count(cat, repeated, func_addr);
+
+    // Maintain the shadow call stack *after* classification so the
+    // jal/jr themselves are attributed to the caller.
+    const int delta = stack_.onInstr(
+        rec, [](const CallStack<FrameData>::Frame &,
+                const CallStack<FrameData>::Frame &) {});
+    if (delta > 0) {
+        initFrame(stack_.current().data, stack_.current().info);
+    } else if (delta < 0) {
+        // Back in the caller: the callee's result arrives in $v0/$v1.
+        FrameData &caller = stack_.current().data;
+        caller.regTags[isa::regV0] = LocalTag::RetVal;
+        caller.regTags[isa::regV1] = LocalTag::RetVal;
+    }
+
+    return cat;
+}
+
+std::vector<ProEpiContributor>
+LocalAnalysis::topPrologueContributors(size_t n) const
+{
+    uint64_t total = stats_.repeated[unsigned(LocalCat::Prologue)] +
+                     stats_.repeated[unsigned(LocalCat::Epilogue)];
+
+    std::vector<std::pair<uint32_t, uint64_t>> rows(
+        proEpiRepeatsByFunc_.begin(), proEpiRepeatsByFunc_.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+
+    std::vector<ProEpiContributor> out;
+    for (size_t i = 0; i < rows.size() && i < n; ++i) {
+        ProEpiContributor c;
+        const assem::FunctionInfo *info =
+            program_.functionAt(rows[i].first);
+        c.name = info ? info->name : "<unknown>";
+        c.staticInstructions = info ? info->size / 4 : 0;
+        c.repeated = rows[i].second;
+        c.share = total ? double(c.repeated) / double(total) : 0.0;
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+double
+LocalAnalysis::loadValueCoverage(unsigned k) const
+{
+    if (!totalGlobalLoadRepeats_)
+        return 0.0;
+    uint64_t covered = 0;
+    std::vector<uint64_t> counts;
+    for (const auto &[static_index, values] : loadValueRepeats_) {
+        counts.clear();
+        counts.reserve(values.size());
+        for (const auto &[value, repeats] : values)
+            counts.push_back(repeats);
+        std::sort(counts.begin(), counts.end(), std::greater<>());
+        for (size_t i = 0; i < counts.size() && i < k; ++i)
+            covered += counts[i];
+    }
+    return double(covered) / double(totalGlobalLoadRepeats_);
+}
+
+} // namespace irep::core

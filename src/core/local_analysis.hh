@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Local analysis (paper §5.3): bin every dynamic instruction into one
+ * of ten within-function categories, by task performed (prologue,
+ * epilogue, global address calculation, return, SP manipulation) and
+ * by data source (function internals, return values, arguments,
+ * global, heap), using the supersede rule
+ *   argument >s return-value >s global >s heap >s (SP, glb-addr)
+ *     >s function-internal.
+ *
+ * Classification rules (documented here because several are judgment
+ * calls the paper leaves implicit; see DESIGN.md):
+ *  - sp += imm adjusts are prologue (negative) / epilogue (positive)
+ *  - a store of a not-yet-written callee-saved register (or $ra) to
+ *    the stack is prologue; the matching reload is epilogue
+ *  - jr $ra is the return category
+ *  - other stores take the category of the *stored value*
+ *  - loads from the data segment start a fresh `global` slice, loads
+ *    from the sbrk region a fresh `heap` slice, and stack loads
+ *    propagate the tag the store wrote (so spilled argument values
+ *    stay argument-tagged)
+ *  - everything else supersedes over its register input tags; lui of
+ *    a data-segment address and arithmetic on $gp produce the
+ *    glb-addr-calc tag
+ *
+ * Produces Tables 5/6/7, the per-function prologue+epilogue ranking of
+ * Table 9, and the load-value specialization coverage of Figure 6.
+ */
+
+#ifndef IREP_CORE_LOCAL_ANALYSIS_HH
+#define IREP_CORE_LOCAL_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "asm/program.hh"
+#include "core/callstack.hh"
+#include "core/tag_memory.hh"
+#include "sim/observer.hh"
+
+namespace irep::core
+{
+
+/** The ten categories of Table 5 (paper order). */
+enum class LocalCat : uint8_t
+{
+    Prologue,
+    Epilogue,
+    FuncInternal,
+    GlbAddrCalc,
+    Return,
+    SP,
+    RetVal,
+    Argument,
+    Global,
+    Heap,
+    NUM,
+};
+
+constexpr unsigned numLocalCats = unsigned(LocalCat::NUM);
+
+/** Display name matching the paper's tables. */
+std::string_view localCatName(LocalCat cat);
+
+/** Value tags, ascending supersede priority. */
+enum class LocalTag : uint8_t
+{
+    FuncInternal = 0,
+    GlbAddr = 1,
+    SP = 2,
+    Heap = 3,
+    Global = 4,
+    RetVal = 5,
+    Argument = 6,
+};
+
+/** Tables 5-7 contents. */
+struct LocalStats
+{
+    std::array<uint64_t, numLocalCats> overall = {};
+    std::array<uint64_t, numLocalCats> repeated = {};
+    uint64_t totalOverall = 0;
+    uint64_t totalRepeated = 0;
+
+    double pctOverall(LocalCat cat) const;
+    double pctRepeated(LocalCat cat) const;
+    double propensity(LocalCat cat) const;
+};
+
+/** One Table 9 row: a top prologue+epilogue contributor. */
+struct ProEpiContributor
+{
+    std::string name;
+    uint32_t staticInstructions = 0;    //!< function size
+    uint64_t repeated = 0;              //!< pro+epi repeats from it
+    double share = 0.0;                 //!< of all pro+epi repetition
+};
+
+class LocalAnalysis
+{
+  public:
+    explicit LocalAnalysis(const assem::Program &program);
+
+    void setCounting(bool enabled) { counting_ = enabled; }
+
+    /**
+     * Process a retired instruction.
+     * @param repeated Repetition-tracker verdict for this instance.
+     * @return the category it was binned into.
+     */
+    LocalCat onInstr(const sim::InstrRecord &rec, bool repeated);
+
+    const LocalStats &stats() const { return stats_; }
+
+    /** Table 9: the top @p n prologue+epilogue contributors. */
+    std::vector<ProEpiContributor>
+    topPrologueContributors(size_t n) const;
+
+    /**
+     * Figure 6: fraction of global+heap load repetition covered when
+     * every such static load is specialized for its @p k most
+     * frequently repeated values.
+     */
+    double loadValueCoverage(unsigned k) const;
+
+    /** Current call-stack depth (exposed for tests). */
+    size_t stackDepth() const { return stack_.depth(); }
+
+  private:
+    struct FrameData
+    {
+        std::array<LocalTag, 32> regTags;
+        uint16_t unwritten = 0;     //!< s0..s7 -> bits 0..7, fp=8, ra=9
+        uint16_t savedMask = 0;
+        std::array<uint32_t, 10> saveAddr = {};
+    };
+
+    void initFrame(FrameData &data, const assem::FunctionInfo *info);
+    static int calleeSavedSlot(unsigned reg);
+    LocalCat categoryOfTag(LocalTag tag) const;
+    LocalTag regionTagFor(uint32_t addr) const;
+    void count(LocalCat cat, bool repeated, uint32_t func_addr);
+
+    const assem::Program &program_;
+    CallStack<FrameData> stack_;
+    TagMemory stackTags_;
+    uint32_t heapStart_;
+    LocalTag hiLoTag_ = LocalTag::FuncInternal;
+
+    LocalStats stats_;
+    bool counting_ = false;
+
+    // Table 9: per-function prologue+epilogue repetition.
+    std::unordered_map<uint32_t, uint64_t> proEpiRepeatsByFunc_;
+
+    // Figure 6: per static global/heap load, value -> repeat count.
+    static constexpr size_t valueCapPerLoad = 4096;
+    std::unordered_map<uint32_t,
+                       std::unordered_map<uint32_t, uint64_t>>
+        loadValueRepeats_;
+    uint64_t totalGlobalLoadRepeats_ = 0;
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_LOCAL_ANALYSIS_HH

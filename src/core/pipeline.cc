@@ -1,0 +1,95 @@
+#include "core/pipeline.hh"
+
+namespace irep::core
+{
+
+AnalysisPipeline::AnalysisPipeline(sim::Machine &machine,
+                                   const PipelineConfig &config)
+    : machine_(machine), config_(config)
+{
+    tracker_ = std::make_unique<RepetitionTracker>(
+        machine.numStaticInstructions(), config.instanceCap);
+    if (config.enableGlobal)
+        taint_ = std::make_unique<GlobalTaint>(machine.program());
+    if (config.enableLocal)
+        local_ = std::make_unique<LocalAnalysis>(machine.program());
+    if (config.enableFunction) {
+        functions_ = std::make_unique<FunctionAnalysis>(
+            machine.program(), machine);
+    }
+    if (config.enableReuse)
+        reuse_ = std::make_unique<ReuseBuffer>(config.reuse);
+    if (config.enableClass)
+        classes_ = std::make_unique<ClassAnalysis>();
+    if (config.enableValuePrediction) {
+        prediction_ =
+            std::make_unique<ValuePrediction>(config.predictor);
+    }
+    machine.addObserver(this);
+}
+
+void
+AnalysisPipeline::setCounting(bool enabled)
+{
+    counting_ = enabled;
+    if (taint_)
+        taint_->setCounting(enabled);
+    if (local_)
+        local_->setCounting(enabled);
+    if (functions_)
+        functions_->setCounting(enabled);
+    if (reuse_)
+        reuse_->setCounting(enabled);
+    if (classes_)
+        classes_->setCounting(enabled);
+    if (prediction_)
+        prediction_->setCounting(enabled);
+}
+
+void
+AnalysisPipeline::onRetire(const sim::InstrRecord &rec)
+{
+    // Repetition buffering only runs in the window (the paper's
+    // buffers start cold at the window boundary).
+    const bool repeated = counting_ ? tracker_->onInstr(rec) : false;
+
+    if (taint_)
+        taint_->onInstr(rec, repeated);
+    if (local_)
+        local_->onInstr(rec, repeated);
+    if (functions_)
+        functions_->onInstr(rec, repeated);
+    if (reuse_ && counting_)
+        reuse_->onInstr(rec, repeated);
+    if (classes_)
+        classes_->onInstr(rec, repeated);
+    if (prediction_)
+        prediction_->onInstr(rec, repeated);
+}
+
+void
+AnalysisPipeline::onSyscall(const sim::SyscallRecord &rec)
+{
+    if (taint_)
+        taint_->onSyscall(rec);
+    if (functions_)
+        functions_->onSyscall(rec);
+}
+
+uint64_t
+AnalysisPipeline::run()
+{
+    setCounting(false);
+    if (config_.skipInstructions)
+        machine_.run(config_.skipInstructions);
+
+    setCounting(true);
+    const uint64_t executed = machine_.run(config_.windowInstructions);
+    setCounting(false);
+
+    if (functions_)
+        functions_->finalize();
+    return executed;
+}
+
+} // namespace irep::core

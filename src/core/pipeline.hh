@@ -1,0 +1,93 @@
+/**
+ * @file
+ * AnalysisPipeline: attaches every analysis to a Machine and runs the
+ * paper's skip-then-measure protocol (§3). Data-flow state (taint
+ * tags, call stack, frame tags) is kept warm during the skip phase;
+ * repetition buffering and all counters only run inside the
+ * measurement window, exactly like the paper's setup.
+ */
+
+#ifndef IREP_CORE_PIPELINE_HH
+#define IREP_CORE_PIPELINE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "core/class_analysis.hh"
+#include "core/function_analysis.hh"
+#include "core/global_taint.hh"
+#include "core/local_analysis.hh"
+#include "core/repetition_tracker.hh"
+#include "core/reuse_buffer.hh"
+#include "core/value_prediction.hh"
+#include "sim/machine.hh"
+#include "sim/observer.hh"
+
+namespace irep::core
+{
+
+/** Pipeline configuration. */
+struct PipelineConfig
+{
+    uint64_t skipInstructions = 0;
+    uint64_t windowInstructions = 5'000'000;
+    unsigned instanceCap = 2000;    //!< paper: 2000 per static instr
+
+    bool enableGlobal = true;
+    bool enableLocal = true;
+    bool enableFunction = true;
+    bool enableReuse = true;
+    bool enableClass = true;
+    bool enableValuePrediction = true;
+
+    ReuseConfig reuse;
+    ValuePredictorConfig predictor;
+};
+
+/**
+ * Runs a machine under full instrumentation. Construct, call run(),
+ * then query the per-analysis results.
+ */
+class AnalysisPipeline : public sim::Observer
+{
+  public:
+    AnalysisPipeline(sim::Machine &machine,
+                     const PipelineConfig &config = PipelineConfig());
+
+    /** Execute skip + window. @return instructions executed in the
+     *  measurement window. */
+    uint64_t run();
+
+    void onRetire(const sim::InstrRecord &rec) override;
+    void onSyscall(const sim::SyscallRecord &rec) override;
+
+    const RepetitionTracker &tracker() const { return *tracker_; }
+    const GlobalTaint &taint() const { return *taint_; }
+    const LocalAnalysis &local() const { return *local_; }
+    const FunctionAnalysis &functions() const { return *functions_; }
+    const ReuseBuffer &reuse() const { return *reuse_; }
+    const ClassAnalysis &classes() const { return *classes_; }
+    const ValuePrediction &prediction() const { return *prediction_; }
+
+    const sim::Machine &machine() const { return machine_; }
+    const PipelineConfig &config() const { return config_; }
+
+  private:
+    void setCounting(bool enabled);
+
+    sim::Machine &machine_;
+    PipelineConfig config_;
+    bool counting_ = false;
+
+    std::unique_ptr<RepetitionTracker> tracker_;
+    std::unique_ptr<GlobalTaint> taint_;
+    std::unique_ptr<LocalAnalysis> local_;
+    std::unique_ptr<FunctionAnalysis> functions_;
+    std::unique_ptr<ReuseBuffer> reuse_;
+    std::unique_ptr<ClassAnalysis> classes_;
+    std::unique_ptr<ValuePrediction> prediction_;
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_PIPELINE_HH

@@ -1,0 +1,217 @@
+#include "core/repetition_tracker.hh"
+
+#include <algorithm>
+
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace irep::core
+{
+
+double
+RepetitionStats::pctDynRepeated() const
+{
+    return dynTotal ? 100.0 * double(dynRepeated) / double(dynTotal)
+                    : 0.0;
+}
+
+double
+RepetitionStats::pctStaticExecuted() const
+{
+    return staticTotal
+        ? 100.0 * double(staticExecuted) / double(staticTotal) : 0.0;
+}
+
+double
+RepetitionStats::pctStaticRepeatedOfExecuted() const
+{
+    return staticExecuted
+        ? 100.0 * double(staticRepeated) / double(staticExecuted) : 0.0;
+}
+
+RepetitionTracker::RepetitionTracker(uint32_t num_static,
+                                     unsigned instance_cap)
+    : statics_(num_static), cap_(instance_cap)
+{
+    fatalIf(instance_cap == 0, "instance cap must be positive");
+}
+
+bool
+RepetitionTracker::onInstr(const sim::InstrRecord &rec)
+{
+    panicIf(rec.staticIndex >= statics_.size(),
+            "static index out of range");
+    StaticEntry &entry = statics_[rec.staticIndex];
+    ++entry.exec;
+    ++dynTotal_;
+
+    // Key both inputs and outputs: an instance is repeated only when
+    // it uses the same operand values AND produces the same result as
+    // a buffered instance (paper §2).
+    uint64_t key = hashMix(0x9368e53c2f6af274ull, rec.numSrcRegs);
+    for (int i = 0; i < rec.numSrcRegs; ++i)
+        key = hashMix(key, rec.srcVal[i]);
+    key = hashMix(key, rec.result);
+
+    auto it = entry.instances.find(key);
+    if (it != entry.instances.end()) {
+        ++it->second;
+        ++entry.repeats;
+        ++dynRepeated_;
+        return true;
+    }
+    if (entry.instances.size() < cap_)
+        entry.instances.emplace(key, 0);
+    return false;
+}
+
+RepetitionStats
+RepetitionTracker::stats() const
+{
+    RepetitionStats s;
+    s.dynTotal = dynTotal_;
+    s.dynRepeated = dynRepeated_;
+    s.staticTotal = statics_.size();
+    uint64_t total_repeats = 0;
+    for (const StaticEntry &e : statics_) {
+        if (e.exec)
+            ++s.staticExecuted;
+        if (e.repeats)
+            ++s.staticRepeated;
+        for (const auto &[key, repeats] : e.instances) {
+            if (repeats) {
+                ++s.uniqueRepeatableInstances;
+                total_repeats += repeats;
+            }
+        }
+    }
+    s.avgRepeatsPerInstance = s.uniqueRepeatableInstances
+        ? double(total_repeats) / double(s.uniqueRepeatableInstances)
+        : 0.0;
+    return s;
+}
+
+namespace
+{
+
+/**
+ * Build a coverage curve: sort contributions descending, then for each
+ * target fraction report how small a fraction of contributors reaches
+ * it.
+ */
+std::vector<CoveragePoint>
+coverageCurve(std::vector<uint64_t> contributions,
+              const std::vector<double> &targets)
+{
+    std::sort(contributions.begin(), contributions.end(),
+              std::greater<>());
+    uint64_t total = 0;
+    for (uint64_t c : contributions)
+        total += c;
+
+    std::vector<CoveragePoint> out;
+    if (total == 0 || contributions.empty()) {
+        for (double t : targets)
+            out.push_back({t, 0.0});
+        return out;
+    }
+
+    std::vector<double> sorted_targets = targets;
+    std::sort(sorted_targets.begin(), sorted_targets.end());
+
+    uint64_t running = 0;
+    size_t idx = 0;
+    std::vector<CoveragePoint> sorted_out;
+    for (double t : sorted_targets) {
+        const auto goal = uint64_t(double(total) * t);
+        while (idx < contributions.size() && running < goal)
+            running += contributions[idx++];
+        sorted_out.push_back(
+            {t, double(idx) / double(contributions.size())});
+    }
+
+    // Restore the caller's target ordering.
+    for (double t : targets) {
+        for (const CoveragePoint &p : sorted_out) {
+            if (p.coverage == t) {
+                out.push_back(p);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<CoveragePoint>
+RepetitionTracker::staticCoverage(const std::vector<double> &targets)
+    const
+{
+    std::vector<uint64_t> contributions;
+    for (const StaticEntry &e : statics_) {
+        if (e.repeats)
+            contributions.push_back(e.repeats);
+    }
+    return coverageCurve(std::move(contributions), targets);
+}
+
+std::vector<CoveragePoint>
+RepetitionTracker::instanceCoverage(const std::vector<double> &targets)
+    const
+{
+    std::vector<uint64_t> contributions;
+    for (const StaticEntry &e : statics_) {
+        for (const auto &[key, repeats] : e.instances) {
+            if (repeats)
+                contributions.push_back(repeats);
+        }
+    }
+    return coverageCurve(std::move(contributions), targets);
+}
+
+std::vector<InstanceBucket>
+RepetitionTracker::instanceBuckets() const
+{
+    std::vector<InstanceBucket> buckets = {
+        {1, 1, 0, 0.0},
+        {2, 10, 0, 0.0},
+        {11, 100, 0, 0.0},
+        {101, 1000, 0, 0.0},
+        {1001, UINT32_MAX, 0, 0.0},
+    };
+    uint64_t total = 0;
+    for (const StaticEntry &e : statics_) {
+        if (!e.repeats)
+            continue;
+        uint32_t unique_repeatable = 0;
+        for (const auto &[key, repeats] : e.instances) {
+            if (repeats)
+                ++unique_repeatable;
+        }
+        total += e.repeats;
+        for (InstanceBucket &b : buckets) {
+            if (unique_repeatable >= b.lo && unique_repeatable <= b.hi) {
+                b.repetition += e.repeats;
+                break;
+            }
+        }
+    }
+    for (InstanceBucket &b : buckets)
+        b.share = total ? double(b.repetition) / double(total) : 0.0;
+    return buckets;
+}
+
+uint64_t
+RepetitionTracker::execCount(uint32_t static_index) const
+{
+    return statics_.at(static_index).exec;
+}
+
+uint64_t
+RepetitionTracker::repeatCount(uint32_t static_index) const
+{
+    return statics_.at(static_index).repeats;
+}
+
+} // namespace irep::core

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The paper's core measurement (§2-§4): per static instruction, buffer
+ * up to `instanceCap` unique (inputs, outputs) instances; a dynamic
+ * instance matching a buffered one is *repeated*. Produces the data
+ * behind Table 1, Table 2 and Figures 1, 3, 4.
+ */
+
+#ifndef IREP_CORE_REPETITION_TRACKER_HH
+#define IREP_CORE_REPETITION_TRACKER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/observer.hh"
+
+namespace irep::core
+{
+
+/** Coverage-curve point: the smallest fraction of contributors (sorted
+ *  by contribution) that covers `coverage` of the repetition. */
+struct CoveragePoint
+{
+    double coverage;        //!< target fraction of repetition [0,1]
+    double contributors;    //!< fraction of contributors needed [0,1]
+};
+
+/** Figure 3 bucket: statics grouped by unique-repeatable-instance
+ *  count. */
+struct InstanceBucket
+{
+    uint32_t lo;            //!< inclusive lower bound
+    uint32_t hi;            //!< inclusive upper bound (UINT32_MAX open)
+    uint64_t repetition;    //!< dynamic repeats from these statics
+    double share;           //!< fraction of total dynamic repetition
+};
+
+/** Aggregate results of the total analysis. */
+struct RepetitionStats
+{
+    uint64_t dynTotal = 0;
+    uint64_t dynRepeated = 0;
+    uint64_t staticTotal = 0;       //!< static instructions in program
+    uint64_t staticExecuted = 0;
+    uint64_t staticRepeated = 0;    //!< executed statics with >=1 repeat
+    uint64_t uniqueRepeatableInstances = 0;
+    double avgRepeatsPerInstance = 0.0;
+
+    double pctDynRepeated() const;
+    double pctStaticExecuted() const;
+    double pctStaticRepeatedOfExecuted() const;
+};
+
+/**
+ * Tracks instruction repetition for one program run.
+ *
+ * Call onInstr() for every retired instruction while counting is
+ * enabled; query the stats afterwards.
+ */
+class RepetitionTracker
+{
+  public:
+    /**
+     * @param num_static   Dense static-instruction count (text words).
+     * @param instance_cap Max buffered unique instances per static
+     *                     instruction (the paper used 2000).
+     */
+    explicit RepetitionTracker(uint32_t num_static,
+                               unsigned instance_cap = 2000);
+
+    /**
+     * Process a retired instruction.
+     * @return true when this dynamic instance is repeated.
+     */
+    bool onInstr(const sim::InstrRecord &rec);
+
+    /** Aggregate statistics (Table 1 / Table 2). */
+    RepetitionStats stats() const;
+
+    /**
+     * Figure 1: fraction of *repeated static instructions* (sorted by
+     * repetition contribution) needed to cover each target fraction.
+     */
+    std::vector<CoveragePoint>
+    staticCoverage(const std::vector<double> &targets) const;
+
+    /**
+     * Figure 4: fraction of *unique repeatable instances* (sorted by
+     * repeat count) needed to cover each target fraction.
+     */
+    std::vector<CoveragePoint>
+    instanceCoverage(const std::vector<double> &targets) const;
+
+    /** Figure 3: repetition share by unique-repeatable-instance-count
+     *  bucket (1, 2-10, 11-100, 101-1000, >1000). */
+    std::vector<InstanceBucket> instanceBuckets() const;
+
+    /** Per-static executed/repeated counts (for tests and tools). */
+    uint64_t execCount(uint32_t static_index) const;
+    uint64_t repeatCount(uint32_t static_index) const;
+
+    unsigned instanceCap() const { return cap_; }
+
+  private:
+    struct StaticEntry
+    {
+        // instance hash -> times this instance repeated (0 = buffered
+        // but never matched again).
+        std::unordered_map<uint64_t, uint32_t> instances;
+        uint64_t exec = 0;
+        uint64_t repeats = 0;
+    };
+
+    std::vector<StaticEntry> statics_;
+    unsigned cap_;
+    uint64_t dynTotal_ = 0;
+    uint64_t dynRepeated_ = 0;
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_REPETITION_TRACKER_HH

@@ -1,0 +1,154 @@
+#include "core/reuse_buffer.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace irep::core
+{
+
+double
+ReuseStats::pctOfAll() const
+{
+    return totalInstructions
+        ? 100.0 * double(hits) / double(totalInstructions) : 0.0;
+}
+
+double
+ReuseStats::pctOfRepeated() const
+{
+    return repeatedInstructions
+        ? 100.0 * double(hits) / double(repeatedInstructions) : 0.0;
+}
+
+ReuseBuffer::ReuseBuffer(const ReuseConfig &config)
+    : config_(config), entries_(config.entries)
+{
+    fatalIf(config.ways == 0 || config.entries == 0 ||
+                config.entries % config.ways != 0,
+            "reuse buffer entries must be a multiple of ways");
+    const uint32_t sets = config.sets();
+    fatalIf((sets & (sets - 1)) != 0,
+            "reuse buffer set count must be a power of two");
+}
+
+void
+ReuseBuffer::invalidateLoads(uint32_t addr, uint32_t bytes)
+{
+    // Stores can straddle at most two words only for unaligned halves;
+    // our ISA enforces natural alignment, so one or two words cover
+    // every case.
+    const uint32_t first = addr & ~3u;
+    const uint32_t last = (addr + bytes - 1) & ~3u;
+    for (uint32_t word = first; word <= last; word += 4) {
+        auto it = loadIndex_.find(word);
+        if (it == loadIndex_.end())
+            continue;
+        for (uint32_t index : it->second) {
+            Entry &e = entries_[index];
+            if (e.valid && e.isLoad && e.memAddr == word) {
+                e.valid = false;
+                if (counting_)
+                    ++stats_.invalidations;
+            }
+        }
+        loadIndex_.erase(it);
+    }
+}
+
+bool
+ReuseBuffer::onInstr(const sim::InstrRecord &rec, bool repeated)
+{
+    const isa::Instruction &inst = *rec.inst;
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    ++clock_;
+
+    if (counting_) {
+        ++stats_.totalInstructions;
+        if (repeated)
+            ++stats_.repeatedInstructions;
+    }
+
+    if (info.isStore) {
+        invalidateLoads(rec.memAddr, info.memBytes);
+        return false;
+    }
+    // Stores are handled above; syscalls have side effects and are
+    // never reused.
+    if (inst.op == isa::Op::SYSCALL || inst.op == isa::Op::BREAK)
+        return false;
+
+    if (counting_)
+        ++stats_.accesses;
+
+    const uint32_t sets = config_.sets();
+    const uint32_t set = (rec.pc >> 2) & (sets - 1);
+    Entry *base = &entries_[set * config_.ways];
+
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        Entry &e = base[w];
+        if (!e.valid || e.pc != rec.pc || e.numSrc != rec.numSrcRegs)
+            continue;
+        bool match = true;
+        for (int i = 0; i < rec.numSrcRegs; ++i) {
+            if (e.src[i] != rec.srcVal[i]) {
+                match = false;
+                break;
+            }
+        }
+        // A load entry is only reusable while its address is untouched
+        // by stores (invalidation handles that) and the access address
+        // matches.
+        if (match && e.isLoad && e.memAddr != (rec.memAddr & ~3u))
+            match = false;
+        if (match && e.result == rec.result) {
+            e.lastUse = clock_;
+            if (counting_)
+                ++stats_.hits;
+            return true;
+        }
+    }
+
+    // Victim selection: first invalid way, else least recently used.
+    Entry *lru = base;
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        Entry &e = base[w];
+        if (!e.valid) {
+            lru = &e;
+            break;
+        }
+        if (e.lastUse < lru->lastUse)
+            lru = &e;
+    }
+
+    // Miss: install (replacing the LRU way).
+    lru->valid = true;
+    lru->pc = rec.pc;
+    lru->numSrc = rec.numSrcRegs;
+    lru->src[0] = rec.srcVal[0];
+    lru->src[1] = rec.srcVal[1];
+    lru->result = rec.result;
+    lru->isLoad = info.isLoad;
+    lru->lastUse = clock_;
+    if (info.isLoad) {
+        lru->memAddr = rec.memAddr & ~3u;
+        auto &index_list = loadIndex_[lru->memAddr];
+        // Entries are removed lazily; compact the list of stale
+        // references before it can grow without bound (a load that is
+        // repeatedly evicted and reinstalled with no intervening
+        // store would otherwise accumulate duplicates).
+        if (index_list.size() >= 8) {
+            std::erase_if(index_list, [this, lru](uint32_t i) {
+                const Entry &e = entries_[i];
+                return !(e.valid && e.isLoad &&
+                         e.memAddr == lru->memAddr);
+            });
+        }
+        index_list.push_back(uint32_t(lru - entries_.data()));
+    } else {
+        lru->memAddr = 0;
+    }
+    return false;
+}
+
+} // namespace irep::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A value-based (Sv) dynamic instruction reuse buffer, the hardware
+ * mechanism of Sodani & Sohi [ISCA'97] that the paper's Table 10
+ * measures: a PC-indexed set-associative buffer holding operand values
+ * and results. An instruction whose operands match a buffered entry is
+ * *reused*; load entries are invalidated by stores to their address.
+ * Default geometry matches the paper: 8K entries, 4-way.
+ */
+
+#ifndef IREP_CORE_REUSE_BUFFER_HH
+#define IREP_CORE_REUSE_BUFFER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/observer.hh"
+
+namespace irep::core
+{
+
+/** Reuse-buffer geometry. */
+struct ReuseConfig
+{
+    uint32_t entries = 8192;
+    uint32_t ways = 4;
+
+    uint32_t sets() const { return entries / ways; }
+};
+
+/** Table 10 contents. */
+struct ReuseStats
+{
+    uint64_t accesses = 0;      //!< instructions offered to the buffer
+    uint64_t hits = 0;          //!< reused instructions
+    uint64_t invalidations = 0; //!< load entries killed by stores
+    uint64_t totalInstructions = 0;
+    uint64_t repeatedInstructions = 0;
+
+    /** % of all dynamic instructions captured (Table 10 col 2). */
+    double pctOfAll() const;
+    /** % of repeated instructions captured (Table 10 col 3). */
+    double pctOfRepeated() const;
+};
+
+class ReuseBuffer
+{
+  public:
+    explicit ReuseBuffer(const ReuseConfig &config = ReuseConfig());
+
+    void setCounting(bool enabled) { counting_ = enabled; }
+
+    /**
+     * Process a retired instruction.
+     * @param repeated Repetition-tracker verdict (for the Table 10
+     *                 "% of repeated" denominator).
+     * @return true when the instruction hit in the buffer (reused).
+     */
+    bool onInstr(const sim::InstrRecord &rec, bool repeated);
+
+    const ReuseStats &stats() const { return stats_; }
+    const ReuseConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t pc = 0;
+        uint8_t numSrc = 0;
+        uint32_t src[2] = {0, 0};
+        uint64_t result = 0;
+        bool isLoad = false;
+        uint32_t memAddr = 0;   //!< word-aligned address for loads
+        uint64_t lastUse = 0;   //!< LRU stamp
+    };
+
+    void invalidateLoads(uint32_t addr, uint32_t bytes);
+
+    ReuseConfig config_;
+    std::vector<Entry> entries_;    //!< sets * ways, row-major
+    // Word address -> indices of load entries at that address (for
+    // O(1) store invalidation). Entries are removed lazily.
+    std::unordered_map<uint32_t, std::vector<uint32_t>> loadIndex_;
+    ReuseStats stats_;
+    uint64_t clock_ = 0;
+    bool counting_ = false;
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_REUSE_BUFFER_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sparse byte-granular shadow memory for data-flow tags, mirroring the
+ * simulator's address space. Untouched bytes read as the default tag.
+ */
+
+#ifndef IREP_CORE_TAG_MEMORY_HH
+#define IREP_CORE_TAG_MEMORY_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace irep::core
+{
+
+/** Byte-addressed shadow tag memory with 64 KiB pages. */
+class TagMemory
+{
+  public:
+    static constexpr unsigned pageBits = 16;
+    static constexpr uint32_t pageSize = 1u << pageBits;
+
+    explicit TagMemory(uint8_t default_tag = 0)
+        : defaultTag_(default_tag)
+    {}
+
+    /** Read one byte tag. */
+    uint8_t
+    read(uint32_t addr) const
+    {
+        auto it = pages_.find(addr >> pageBits);
+        if (it == pages_.end())
+            return defaultTag_;
+        return it->second->tags[addr & (pageSize - 1)];
+    }
+
+    /** The maximum tag over @p len bytes starting at @p addr. */
+    uint8_t
+    readMax(uint32_t addr, uint32_t len) const
+    {
+        uint8_t best = 0;
+        for (uint32_t i = 0; i < len; ++i)
+            best = std::max(best, read(addr + i));
+        return best;
+    }
+
+    /** Write @p len bytes of @p tag starting at @p addr. */
+    void
+    fill(uint32_t addr, uint32_t len, uint8_t tag)
+    {
+        for (uint32_t i = 0; i < len; ++i)
+            writeByte(addr + i, tag);
+    }
+
+  private:
+    struct Page
+    {
+        uint8_t tags[pageSize];
+    };
+
+    void
+    writeByte(uint32_t addr, uint8_t tag)
+    {
+        auto &page = pages_[addr >> pageBits];
+        if (!page) {
+            page = std::make_unique<Page>();
+            std::memset(page->tags, defaultTag_, pageSize);
+        }
+        page->tags[addr & (pageSize - 1)] = tag;
+    }
+
+    uint8_t defaultTag_;
+    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_TAG_MEMORY_HH

@@ -1,0 +1,128 @@
+#include "core/value_prediction.hh"
+
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace irep::core
+{
+
+double
+PredictorStats::pctOfEligible() const
+{
+    return eligible ? 100.0 * double(correct) / double(eligible) : 0.0;
+}
+
+double
+PredictorStats::accuracy() const
+{
+    return predictions ? 100.0 * double(correct) / double(predictions)
+                       : 0.0;
+}
+
+ValuePrediction::ValuePrediction(const ValuePredictorConfig &config)
+    : config_(config), table_(config.entries),
+      values_(config.contextEntries)
+{
+    fatalIf(config.entries == 0 ||
+                (config.entries & (config.entries - 1)) != 0,
+            "predictor entries must be a power of two");
+    fatalIf(config.contextEntries == 0 ||
+                (config.contextEntries &
+                 (config.contextEntries - 1)) != 0,
+            "context entries must be a power of two");
+    fatalIf(config.historyDepth == 0 || config.historyDepth > 4,
+            "history depth must be in [1, 4]");
+}
+
+void
+ValuePrediction::onInstr(const sim::InstrRecord &rec, bool repeated)
+{
+    (void)repeated;
+    if (!counting_ || !rec.writesReg)
+        return;
+    const uint32_t result = uint32_t(rec.result);
+
+    ++last_.eligible;
+    ++stride_.eligible;
+    ++context_.eligible;
+
+    Entry &e = table_[(rec.pc >> 2) & (config_.entries - 1)];
+    const bool hit = e.valid && e.pc == rec.pc;
+
+    // Hash of the finite value history (FCM-style): recurring value
+    // contexts map to the same second-level slot.
+    auto history_hash = [](const Entry &entry) {
+        uint64_t h = 0x2545f4914f6cdd1dull;
+        for (unsigned i = 0; i < entry.histLen; ++i)
+            h = hashMix(h, entry.hist[i]);
+        return h;
+    };
+
+    uint32_t old_last = 0;
+    uint64_t pre_history = 0;
+    bool have_history = false;
+    if (hit) {
+        old_last = e.last;
+
+        // Last-value scheme.
+        ++last_.predictions;
+        if (e.last == result)
+            ++last_.correct;
+
+        // Stride scheme: value + learned stride.
+        if (e.strideValid) {
+            ++stride_.predictions;
+            if (uint32_t(int32_t(e.last) + e.strideValue) == result)
+                ++stride_.correct;
+        }
+
+        // Context scheme: the recent-result history selects a value.
+        if (e.histLen == config_.historyDepth) {
+            pre_history = history_hash(e);
+            have_history = true;
+            ContextEntry &c =
+                values_[(pre_history ^ (rec.pc >> 2)) &
+                        (config_.contextEntries - 1)];
+            if (c.valid && c.historyTag == pre_history) {
+                ++context_.predictions;
+                if (c.value == result)
+                    ++context_.correct;
+            }
+        }
+    }
+
+    // Update (allocate on miss, learn on hit).
+    if (!hit) {
+        e.valid = true;
+        e.pc = rec.pc;
+        e.last = result;
+        e.strideValid = false;
+        e.hist[0] = result;
+        e.histLen = 1;
+        return;
+    }
+
+    e.strideValue = int32_t(result) - int32_t(old_last);
+    e.strideValid = true;
+    e.last = result;
+
+    // Train the context table under the pre-update history, then
+    // shift the new result into the finite history window.
+    if (have_history) {
+        ContextEntry &c = values_[(pre_history ^ (rec.pc >> 2)) &
+                                  (config_.contextEntries - 1)];
+        c.valid = true;
+        c.historyTag = pre_history;
+        c.value = result;
+    }
+    const unsigned depth = config_.historyDepth;
+    if (e.histLen < depth) {
+        e.hist[e.histLen++] = result;
+    } else {
+        for (unsigned i = 1; i < depth; ++i)
+            e.hist[i - 1] = e.hist[i];
+        e.hist[depth - 1] = result;
+    }
+}
+
+} // namespace irep::core

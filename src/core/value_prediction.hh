@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Value prediction, the other hardware consumer of instruction
+ * repetition the paper discusses (§7, refs [8, 9, 10, 14]). Three
+ * classic predictors share a PC-indexed table:
+ *
+ *  - last-value  (Lipasti & Shen): predict the previous result
+ *  - stride      (Gabbay & Mendelson): predict last + (last - prev)
+ *  - context     (Sazeides & Smith, 2-level): hash the last N results
+ *                into a second-level value table
+ *
+ * Comparing their accuracy against the reuse buffer's capture rate on
+ * the same run quantifies the §7 observation that both mechanisms
+ * mine the same underlying repetition.
+ */
+
+#ifndef IREP_CORE_VALUE_PREDICTION_HH
+#define IREP_CORE_VALUE_PREDICTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/observer.hh"
+
+namespace irep::core
+{
+
+/** Geometry of the predictor tables. */
+struct ValuePredictorConfig
+{
+    uint32_t entries = 8192;        //!< first-level, PC-indexed
+    uint32_t contextEntries = 8192; //!< second-level value table
+    unsigned historyDepth = 2;      //!< results hashed for context
+                                    //!< (1..4)
+};
+
+/** Accuracy of one scheme. */
+struct PredictorStats
+{
+    uint64_t eligible = 0;      //!< register-writing instructions
+    uint64_t predictions = 0;   //!< table hit, prediction offered
+    uint64_t correct = 0;
+
+    /** Correct predictions as % of eligible instructions. */
+    double pctOfEligible() const;
+    /** Correct predictions as % of offered predictions. */
+    double accuracy() const;
+};
+
+class ValuePrediction
+{
+  public:
+    explicit ValuePrediction(
+        const ValuePredictorConfig &config = ValuePredictorConfig());
+
+    void setCounting(bool enabled) { counting_ = enabled; }
+
+    /** Observe one retired instruction (predict-then-update). */
+    void onInstr(const sim::InstrRecord &rec, bool repeated);
+
+    const PredictorStats &lastValue() const { return last_; }
+    const PredictorStats &stride() const { return stride_; }
+    const PredictorStats &context() const { return context_; }
+    const ValuePredictorConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t pc = 0;
+        uint32_t last = 0;
+        int32_t strideValue = 0;
+        bool strideValid = false;
+        uint32_t hist[4] = {};      //!< last historyDepth results
+        uint8_t histLen = 0;
+    };
+
+    struct ContextEntry
+    {
+        bool valid = false;
+        uint64_t historyTag = 0;
+        uint32_t value = 0;
+    };
+
+    ValuePredictorConfig config_;
+    std::vector<Entry> table_;
+    std::vector<ContextEntry> values_;
+    PredictorStats last_;
+    PredictorStats stride_;
+    PredictorStats context_;
+    bool counting_ = false;
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_VALUE_PREDICTION_HH

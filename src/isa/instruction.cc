@@ -1,0 +1,374 @@
+#include "isa/instruction.hh"
+
+#include <array>
+#include <cstdio>
+
+#include "isa/registers.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace irep::isa
+{
+
+namespace
+{
+
+/** Encoding class: how an op maps onto the binary format. */
+enum class Enc : uint8_t
+{
+    RFunct,     //!< opcode 0, identified by funct
+    RegImm,     //!< opcode 1, identified by rt
+    Primary,    //!< identified by primary opcode
+};
+
+struct EncInfo
+{
+    Enc enc;
+    uint8_t code;   //!< funct, rt-code, or primary opcode
+};
+
+struct OpRow
+{
+    OpInfo info;
+    EncInfo encoding;
+};
+
+constexpr OpRow
+row(std::string_view mnem, Format fmt, Enc enc, uint8_t code,
+    bool reads_rs, bool reads_rt, bool writes_rd, bool writes_rt,
+    bool is_load = false, bool is_store = false, bool is_branch = false,
+    bool is_jump = false, bool is_call = false, bool writes_hilo = false,
+    bool reads_hi = false, bool reads_lo = false,
+    bool unsigned_imm = false, uint8_t mem_bytes = 0)
+{
+    return OpRow{
+        OpInfo{mnem, fmt, reads_rs, reads_rt, writes_rd, writes_rt,
+               is_load, is_store, is_branch, is_jump, is_call,
+               writes_hilo, reads_hi, reads_lo, unsigned_imm, mem_bytes},
+        EncInfo{enc, code},
+    };
+}
+
+// Indexed by Op. Keep in exact declaration order of enum class Op.
+constexpr std::array<OpRow, size_t(Op::NUM_OPS)> opTable = {
+    // mnem      fmt        enc           code  rs     rt     wrd    wrt
+    row("sll",   Format::R, Enc::RFunct,  0x00, false, true,  true,  false),
+    row("srl",   Format::R, Enc::RFunct,  0x02, false, true,  true,  false),
+    row("sra",   Format::R, Enc::RFunct,  0x03, false, true,  true,  false),
+    row("sllv",  Format::R, Enc::RFunct,  0x04, true,  true,  true,  false),
+    row("srlv",  Format::R, Enc::RFunct,  0x06, true,  true,  true,  false),
+    row("srav",  Format::R, Enc::RFunct,  0x07, true,  true,  true,  false),
+    row("jr",    Format::R, Enc::RFunct,  0x08, true,  false, false, false,
+        false, false, false, true),
+    row("jalr",  Format::R, Enc::RFunct,  0x09, true,  false, true,  false,
+        false, false, false, true, true),
+    row("syscall", Format::R, Enc::RFunct, 0x0c, false, false, false, false),
+    row("break", Format::R, Enc::RFunct,  0x0d, false, false, false, false),
+    row("mfhi",  Format::R, Enc::RFunct,  0x10, false, false, true,  false,
+        false, false, false, false, false, false, true, false),
+    row("mthi",  Format::R, Enc::RFunct,  0x11, true,  false, false, false,
+        false, false, false, false, false, true),
+    row("mflo",  Format::R, Enc::RFunct,  0x12, false, false, true,  false,
+        false, false, false, false, false, false, false, true),
+    row("mtlo",  Format::R, Enc::RFunct,  0x13, true,  false, false, false,
+        false, false, false, false, false, true),
+    row("mult",  Format::R, Enc::RFunct,  0x18, true,  true,  false, false,
+        false, false, false, false, false, true),
+    row("multu", Format::R, Enc::RFunct,  0x19, true,  true,  false, false,
+        false, false, false, false, false, true),
+    row("div",   Format::R, Enc::RFunct,  0x1a, true,  true,  false, false,
+        false, false, false, false, false, true),
+    row("divu",  Format::R, Enc::RFunct,  0x1b, true,  true,  false, false,
+        false, false, false, false, false, true),
+    row("add",   Format::R, Enc::RFunct,  0x20, true,  true,  true,  false),
+    row("addu",  Format::R, Enc::RFunct,  0x21, true,  true,  true,  false),
+    row("sub",   Format::R, Enc::RFunct,  0x22, true,  true,  true,  false),
+    row("subu",  Format::R, Enc::RFunct,  0x23, true,  true,  true,  false),
+    row("and",   Format::R, Enc::RFunct,  0x24, true,  true,  true,  false),
+    row("or",    Format::R, Enc::RFunct,  0x25, true,  true,  true,  false),
+    row("xor",   Format::R, Enc::RFunct,  0x26, true,  true,  true,  false),
+    row("nor",   Format::R, Enc::RFunct,  0x27, true,  true,  true,  false),
+    row("slt",   Format::R, Enc::RFunct,  0x2a, true,  true,  true,  false),
+    row("sltu",  Format::R, Enc::RFunct,  0x2b, true,  true,  true,  false),
+    row("bltz",  Format::I, Enc::RegImm,  0x00, true,  false, false, false,
+        false, false, true),
+    row("bgez",  Format::I, Enc::RegImm,  0x01, true,  false, false, false,
+        false, false, true),
+    row("j",     Format::J, Enc::Primary, 0x02, false, false, false, false,
+        false, false, false, true),
+    row("jal",   Format::J, Enc::Primary, 0x03, false, false, false, false,
+        false, false, false, true, true),
+    row("beq",   Format::I, Enc::Primary, 0x04, true,  true,  false, false,
+        false, false, true),
+    row("bne",   Format::I, Enc::Primary, 0x05, true,  true,  false, false,
+        false, false, true),
+    row("blez",  Format::I, Enc::Primary, 0x06, true,  false, false, false,
+        false, false, true),
+    row("bgtz",  Format::I, Enc::Primary, 0x07, true,  false, false, false,
+        false, false, true),
+    row("addi",  Format::I, Enc::Primary, 0x08, true,  false, false, true),
+    row("addiu", Format::I, Enc::Primary, 0x09, true,  false, false, true),
+    row("slti",  Format::I, Enc::Primary, 0x0a, true,  false, false, true),
+    row("sltiu", Format::I, Enc::Primary, 0x0b, true,  false, false, true),
+    row("andi",  Format::I, Enc::Primary, 0x0c, true,  false, false, true,
+        false, false, false, false, false, false, false, false, true),
+    row("ori",   Format::I, Enc::Primary, 0x0d, true,  false, false, true,
+        false, false, false, false, false, false, false, false, true),
+    row("xori",  Format::I, Enc::Primary, 0x0e, true,  false, false, true,
+        false, false, false, false, false, false, false, false, true),
+    row("lui",   Format::I, Enc::Primary, 0x0f, false, false, false, true,
+        false, false, false, false, false, false, false, false, true),
+    row("lb",    Format::I, Enc::Primary, 0x20, true,  false, false, true,
+        true,  false, false, false, false, false, false, false, false, 1),
+    row("lh",    Format::I, Enc::Primary, 0x21, true,  false, false, true,
+        true,  false, false, false, false, false, false, false, false, 2),
+    row("lw",    Format::I, Enc::Primary, 0x23, true,  false, false, true,
+        true,  false, false, false, false, false, false, false, false, 4),
+    row("lbu",   Format::I, Enc::Primary, 0x24, true,  false, false, true,
+        true,  false, false, false, false, false, false, false, false, 1),
+    row("lhu",   Format::I, Enc::Primary, 0x25, true,  false, false, true,
+        true,  false, false, false, false, false, false, false, false, 2),
+    row("sb",    Format::I, Enc::Primary, 0x28, true,  true,  false, false,
+        false, true,  false, false, false, false, false, false, false, 1),
+    row("sh",    Format::I, Enc::Primary, 0x29, true,  true,  false, false,
+        false, true,  false, false, false, false, false, false, false, 2),
+    row("sw",    Format::I, Enc::Primary, 0x2b, true,  true,  false, false,
+        false, true,  false, false, false, false, false, false, false, 4),
+};
+
+const EncInfo &
+encInfo(Op op)
+{
+    return opTable[size_t(op)].encoding;
+}
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    panicIf(op >= Op::NUM_OPS, "opInfo on invalid op");
+    return opTable[size_t(op)].info;
+}
+
+Op
+opFromMnemonic(std::string_view mnemonic)
+{
+    for (size_t i = 0; i < opTable.size(); ++i) {
+        if (opTable[i].info.mnemonic == mnemonic)
+            return Op(i);
+    }
+    return Op::INVALID;
+}
+
+int
+Instruction::destReg() const
+{
+    const OpInfo &info = opInfo(op);
+    if (info.writesRd)
+        return rd;
+    if (info.writesRt)
+        return rt;
+    if (op == Op::JAL)
+        return regRA;
+    return -1;
+}
+
+int
+Instruction::numSrcRegs() const
+{
+    const OpInfo &info = opInfo(op);
+    return (info.readsRs ? 1 : 0) + (info.readsRt ? 1 : 0);
+}
+
+int
+Instruction::srcReg(int i) const
+{
+    const OpInfo &info = opInfo(op);
+    if (info.readsRs)
+        return i == 0 ? rs : rt;
+    return rt;
+}
+
+Instruction
+decode(uint32_t word)
+{
+    Instruction inst;
+    const uint32_t opcode = bits(word, 31, 26);
+    inst.rs = uint8_t(bits(word, 25, 21));
+    inst.rt = uint8_t(bits(word, 20, 16));
+    inst.rd = uint8_t(bits(word, 15, 11));
+    inst.shamt = uint8_t(bits(word, 10, 6));
+    inst.target = bits(word, 25, 0);
+
+    Op found = Op::INVALID;
+    if (opcode == 0x00) {
+        const uint32_t funct = bits(word, 5, 0);
+        for (size_t i = 0; i < opTable.size(); ++i) {
+            const auto &e = opTable[i].encoding;
+            if (e.enc == Enc::RFunct && e.code == funct) {
+                found = Op(i);
+                break;
+            }
+        }
+    } else if (opcode == 0x01) {
+        for (size_t i = 0; i < opTable.size(); ++i) {
+            const auto &e = opTable[i].encoding;
+            if (e.enc == Enc::RegImm && e.code == inst.rt) {
+                found = Op(i);
+                break;
+            }
+        }
+    } else {
+        for (size_t i = 0; i < opTable.size(); ++i) {
+            const auto &e = opTable[i].encoding;
+            if (e.enc == Enc::Primary && e.code == opcode) {
+                found = Op(i);
+                break;
+            }
+        }
+    }
+    inst.op = found;
+    if (found == Op::INVALID)
+        return inst;
+
+    const OpInfo &info = opInfo(found);
+    if (info.format == Format::I) {
+        const uint32_t raw = bits(word, 15, 0);
+        inst.imm = info.unsignedImm ? int32_t(raw) : signExtend(raw, 16);
+    }
+    return inst;
+}
+
+uint32_t
+encode(const Instruction &inst)
+{
+    panicIf(!inst.valid(), "encode of invalid instruction");
+    const EncInfo &e = encInfo(inst.op);
+    const OpInfo &info = opInfo(inst.op);
+    uint32_t word = 0;
+
+    switch (e.enc) {
+      case Enc::RFunct:
+        word = insertBits(word, 31, 26, 0x00);
+        word = insertBits(word, 25, 21, inst.rs);
+        word = insertBits(word, 20, 16, inst.rt);
+        word = insertBits(word, 15, 11, inst.rd);
+        word = insertBits(word, 10, 6, inst.shamt);
+        word = insertBits(word, 5, 0, e.code);
+        break;
+      case Enc::RegImm:
+        word = insertBits(word, 31, 26, 0x01);
+        word = insertBits(word, 25, 21, inst.rs);
+        word = insertBits(word, 20, 16, e.code);
+        word = insertBits(word, 15, 0, uint32_t(inst.imm));
+        break;
+      case Enc::Primary:
+        word = insertBits(word, 31, 26, e.code);
+        if (info.format == Format::J) {
+            word = insertBits(word, 25, 0, inst.target);
+        } else {
+            word = insertBits(word, 25, 21, inst.rs);
+            word = insertBits(word, 20, 16, inst.rt);
+            word = insertBits(word, 15, 0, uint32_t(inst.imm));
+        }
+        break;
+    }
+    return word;
+}
+
+std::string
+disassemble(const Instruction &inst, uint32_t pc)
+{
+    if (!inst.valid())
+        return "<invalid>";
+
+    const OpInfo &info = opInfo(inst.op);
+    char buf[96];
+    std::string m(info.mnemonic);
+
+    auto r = [](unsigned reg) { return std::string(regName(reg)); };
+
+    switch (inst.op) {
+      case Op::SLL:
+      case Op::SRL:
+      case Op::SRA:
+        std::snprintf(buf, sizeof(buf), "%-7s %s, %s, %u", m.c_str(),
+                      r(inst.rd).c_str(), r(inst.rt).c_str(), inst.shamt);
+        break;
+      case Op::SLLV:
+      case Op::SRLV:
+      case Op::SRAV:
+        std::snprintf(buf, sizeof(buf), "%-7s %s, %s, %s", m.c_str(),
+                      r(inst.rd).c_str(), r(inst.rt).c_str(),
+                      r(inst.rs).c_str());
+        break;
+      case Op::JR:
+      case Op::MTHI:
+      case Op::MTLO:
+        std::snprintf(buf, sizeof(buf), "%-7s %s", m.c_str(),
+                      r(inst.rs).c_str());
+        break;
+      case Op::JALR:
+        std::snprintf(buf, sizeof(buf), "%-7s %s, %s", m.c_str(),
+                      r(inst.rd).c_str(), r(inst.rs).c_str());
+        break;
+      case Op::SYSCALL:
+      case Op::BREAK:
+        std::snprintf(buf, sizeof(buf), "%s", m.c_str());
+        break;
+      case Op::MFHI:
+      case Op::MFLO:
+        std::snprintf(buf, sizeof(buf), "%-7s %s", m.c_str(),
+                      r(inst.rd).c_str());
+        break;
+      case Op::MULT:
+      case Op::MULTU:
+      case Op::DIV:
+      case Op::DIVU:
+        std::snprintf(buf, sizeof(buf), "%-7s %s, %s", m.c_str(),
+                      r(inst.rs).c_str(), r(inst.rt).c_str());
+        break;
+      case Op::BLTZ:
+      case Op::BGEZ:
+      case Op::BLEZ:
+      case Op::BGTZ:
+        std::snprintf(buf, sizeof(buf), "%-7s %s, 0x%x", m.c_str(),
+                      r(inst.rs).c_str(),
+                      pc + 4 + (uint32_t(inst.imm) << 2));
+        break;
+      case Op::BEQ:
+      case Op::BNE:
+        std::snprintf(buf, sizeof(buf), "%-7s %s, %s, 0x%x", m.c_str(),
+                      r(inst.rs).c_str(), r(inst.rt).c_str(),
+                      pc + 4 + (uint32_t(inst.imm) << 2));
+        break;
+      case Op::J:
+      case Op::JAL:
+        std::snprintf(buf, sizeof(buf), "%-7s 0x%x", m.c_str(),
+                      ((pc + 4) & 0xf0000000u) | (inst.target << 2));
+        break;
+      case Op::LUI:
+        std::snprintf(buf, sizeof(buf), "%-7s %s, 0x%x", m.c_str(),
+                      r(inst.rt).c_str(), uint32_t(inst.imm) & 0xffffu);
+        break;
+      default:
+        if (info.isLoad || info.isStore) {
+            std::snprintf(buf, sizeof(buf), "%-7s %s, %d(%s)", m.c_str(),
+                          r(inst.rt).c_str(), inst.imm,
+                          r(inst.rs).c_str());
+        } else if (info.format == Format::R) {
+            std::snprintf(buf, sizeof(buf), "%-7s %s, %s, %s", m.c_str(),
+                          r(inst.rd).c_str(), r(inst.rs).c_str(),
+                          r(inst.rt).c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "%-7s %s, %s, %d", m.c_str(),
+                          r(inst.rt).c_str(), r(inst.rs).c_str(),
+                          inst.imm);
+        }
+        break;
+    }
+    return buf;
+}
+
+} // namespace irep::isa

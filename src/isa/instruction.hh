@@ -1,0 +1,135 @@
+/**
+ * @file
+ * MIPS-I integer-subset instruction definitions: semantic opcodes, a
+ * decoded-instruction record, and binary encode/decode/disassemble.
+ *
+ * The subset covers all MIPS-I integer computation, memory, and control
+ * instructions (no floating point, no coprocessor, no delay slots —
+ * see DESIGN.md for the delay-slot substitution note).
+ */
+
+#ifndef IREP_ISA_INSTRUCTION_HH
+#define IREP_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace irep::isa
+{
+
+/** Semantic operation of an instruction. */
+enum class Op : uint8_t
+{
+    // Shifts.
+    SLL, SRL, SRA, SLLV, SRLV, SRAV,
+    // Register jumps.
+    JR, JALR,
+    // Traps.
+    SYSCALL, BREAK,
+    // HI/LO moves.
+    MFHI, MTHI, MFLO, MTLO,
+    // Multiply / divide.
+    MULT, MULTU, DIV, DIVU,
+    // Three-register ALU.
+    ADD, ADDU, SUB, SUBU, AND, OR, XOR, NOR, SLT, SLTU,
+    // REGIMM branches.
+    BLTZ, BGEZ,
+    // Jumps.
+    J, JAL,
+    // Immediate branches.
+    BEQ, BNE, BLEZ, BGTZ,
+    // Immediate ALU.
+    ADDI, ADDIU, SLTI, SLTIU, ANDI, ORI, XORI, LUI,
+    // Loads.
+    LB, LH, LW, LBU, LHU,
+    // Stores.
+    SB, SH, SW,
+
+    NUM_OPS,
+    INVALID = NUM_OPS,
+};
+
+/** Binary instruction format. */
+enum class Format : uint8_t { R, I, J };
+
+/** Static properties of an Op, used by the simulator and analyses. */
+struct OpInfo
+{
+    std::string_view mnemonic;
+    Format format;
+
+    bool readsRs : 1;
+    bool readsRt : 1;
+    bool writesRd : 1;      //!< destination is the rd field
+    bool writesRt : 1;      //!< destination is the rt field
+    bool isLoad : 1;
+    bool isStore : 1;
+    bool isBranch : 1;      //!< PC-relative conditional branch
+    bool isJump : 1;        //!< unconditional control transfer
+    bool isCall : 1;        //!< writes a return address (jal/jalr)
+    bool writesHiLo : 1;
+    bool readsHi : 1;
+    bool readsLo : 1;
+    bool unsignedImm : 1;   //!< immediate is zero-extended
+
+    uint8_t memBytes;       //!< access size for loads/stores, else 0
+};
+
+/** Look up the static properties of an operation. */
+const OpInfo &opInfo(Op op);
+
+/**
+ * Map a textual mnemonic to an Op.
+ * @return Op::INVALID when the mnemonic is not a base instruction.
+ */
+Op opFromMnemonic(std::string_view mnemonic);
+
+/**
+ * A decoded instruction. Field validity depends on the format; unused
+ * fields are zero.
+ */
+struct Instruction
+{
+    Op op = Op::INVALID;
+    uint8_t rs = 0;
+    uint8_t rt = 0;
+    uint8_t rd = 0;
+    uint8_t shamt = 0;
+    int32_t imm = 0;        //!< sign- or zero-extended per opInfo
+    uint32_t target = 0;    //!< 26-bit jump target field
+
+    bool valid() const { return op != Op::INVALID; }
+
+    /**
+     * Destination register of this instruction, or -1 if it writes no
+     * general register (stores, branches, j, mult/div, ...).
+     */
+    int destReg() const;
+
+    /** Number of general source registers (0, 1 or 2). */
+    int numSrcRegs() const;
+
+    /** The i-th general source register (i < numSrcRegs()). */
+    int srcReg(int i) const;
+};
+
+/** Decode a 32-bit instruction word. Invalid encodings yield
+ *  Op::INVALID rather than trapping; the simulator raises fatal()
+ *  when such an instruction is actually executed. */
+Instruction decode(uint32_t word);
+
+/** Encode a decoded instruction back into a 32-bit word. */
+uint32_t encode(const Instruction &inst);
+
+/**
+ * Disassemble an instruction.
+ *
+ * @param inst Decoded instruction.
+ * @param pc   Address of the instruction (for branch/jump targets).
+ */
+std::string disassemble(const Instruction &inst, uint32_t pc);
+
+} // namespace irep::isa
+
+#endif // IREP_ISA_INSTRUCTION_HH

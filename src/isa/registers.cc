@@ -1,0 +1,59 @@
+#include "isa/registers.hh"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace irep::isa
+{
+
+namespace
+{
+
+constexpr std::array<std::string_view, numIntRegs> names = {
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+};
+
+} // namespace
+
+std::string_view
+regName(unsigned reg)
+{
+    if (reg >= numIntRegs)
+        return "$??";
+    return names[reg];
+}
+
+int
+parseRegName(std::string_view name)
+{
+    if (name.empty())
+        return -1;
+    std::string full(name);
+    if (full[0] != '$')
+        full = "$" + full;
+
+    // Numeric form: $0 .. $31.
+    if (full.size() > 1 && std::isdigit(static_cast<unsigned char>(full[1]))) {
+        int value = 0;
+        for (size_t i = 1; i < full.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(full[i])))
+                return -1;
+            value = value * 10 + (full[i] - '0');
+        }
+        return value < static_cast<int>(numIntRegs) ? value : -1;
+    }
+
+    for (unsigned i = 0; i < numIntRegs; ++i) {
+        if (names[i] == full)
+            return static_cast<int>(i);
+    }
+    if (full == "$s8")
+        return regFP;
+    return -1;
+}
+
+} // namespace irep::isa

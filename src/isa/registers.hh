@@ -1,0 +1,70 @@
+/**
+ * @file
+ * MIPS o32 register numbering and conventional names. The local
+ * analysis (prologue/epilogue and argument tracking) keys off these
+ * conventions, exactly as the paper's analysis keys off the MIPS ABI.
+ */
+
+#ifndef IREP_ISA_REGISTERS_HH
+#define IREP_ISA_REGISTERS_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace irep::isa
+{
+
+/** Number of integer architectural registers. */
+constexpr unsigned numIntRegs = 32;
+
+/** Conventional o32 register numbers. */
+enum Reg : uint8_t
+{
+    regZero = 0,    //!< hardwired zero
+    regAT = 1,      //!< assembler temporary
+    regV0 = 2,      //!< return value 0
+    regV1 = 3,      //!< return value 1
+    regA0 = 4,      //!< argument 0
+    regA1 = 5,      //!< argument 1
+    regA2 = 6,      //!< argument 2
+    regA3 = 7,      //!< argument 3
+    regT0 = 8,      //!< caller-saved temporaries t0..t7 = 8..15
+    regT7 = 15,
+    regS0 = 16,     //!< callee-saved s0..s7 = 16..23
+    regS7 = 23,
+    regT8 = 24,
+    regT9 = 25,
+    regK0 = 26,     //!< kernel reserved
+    regK1 = 27,
+    regGP = 28,     //!< global pointer (data-segment base)
+    regSP = 29,     //!< stack pointer
+    regFP = 30,     //!< frame pointer (a.k.a. s8)
+    regRA = 31,     //!< return address
+};
+
+/** True for the callee-saved registers ($s0..$s7, $fp). */
+constexpr bool
+isCalleeSaved(unsigned reg)
+{
+    return (reg >= regS0 && reg <= regS7) || reg == regFP;
+}
+
+/** True for the argument-passing registers ($a0..$a3). */
+constexpr bool
+isArgReg(unsigned reg)
+{
+    return reg >= regA0 && reg <= regA3;
+}
+
+/** Conventional name ("$sp", "$a0", ...) of a register number. */
+std::string_view regName(unsigned reg);
+
+/**
+ * Parse a register name ("$sp", "$4", "sp", ...).
+ * @return the register number, or -1 if the name is not recognized.
+ */
+int parseRegName(std::string_view name);
+
+} // namespace irep::isa
+
+#endif // IREP_ISA_REGISTERS_HH

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Abstract syntax tree for MiniC. The parser builds it unresolved;
+ * semantic analysis fills in types, symbols and lvalue-ness in place;
+ * code generation walks the annotated tree.
+ */
+
+#ifndef IREP_MINICC_AST_HH
+#define IREP_MINICC_AST_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minicc/type.hh"
+
+namespace irep::minicc
+{
+
+/** Where a variable lives at run time (assigned during codegen). */
+enum class VarHome : uint8_t
+{
+    Unassigned,
+    SReg,       //!< callee-saved register
+    Stack,      //!< frame slot, sp-relative
+    Global,     //!< data-segment label
+};
+
+/** A resolved variable (global, parameter, or local). */
+struct VarSym
+{
+    std::string name;
+    const Type *type = nullptr;
+    bool isGlobal = false;
+    int paramIndex = -1;        //!< >= 0 for parameters
+    bool addrTaken = false;     //!< address-of or aggregate type
+
+    VarHome home = VarHome::Unassigned;
+    int sreg = -1;              //!< s-register number when home==SReg
+    int stackOffset = 0;        //!< sp offset when home==Stack
+    std::string label;          //!< data label when home==Global
+};
+
+/** A resolved function. Intrinsics map directly to syscalls. */
+struct FuncSym
+{
+    std::string name;
+    const Type *retType = nullptr;
+    std::vector<const Type *> paramTypes;
+    bool defined = false;
+    int intrinsic = -1;         //!< Syscall number for __read etc.
+};
+
+enum class ExprKind : uint8_t
+{
+    IntLit,
+    StrLit,
+    Var,
+    Unary,      //!< - ~ ! * (deref) & (addr-of)
+    Binary,     //!< arithmetic / comparison / logical / shifts
+    Assign,     //!< = and compound assignments
+    Cond,       //!< ?:
+    Call,
+    Index,      //!< a[i]
+    Member,     //!< s.m and p->m
+    Cast,
+    IncDec,     //!< ++/-- prefix and postfix
+    SizeofType,
+};
+
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+
+    // Filled by sema:
+    const Type *type = nullptr;
+    bool isLValue = false;
+
+    int64_t intValue = 0;       //!< IntLit / CharLit value
+    std::string strValue;       //!< StrLit body or Member name
+    int strLabel = -1;          //!< string-pool index (sema)
+    std::string op;             //!< operator spelling
+    bool isPrefix = false;      //!< IncDec
+    bool isArrow = false;       //!< Member via ->
+
+    std::unique_ptr<Expr> a;    //!< first operand
+    std::unique_ptr<Expr> b;    //!< second operand
+    std::unique_ptr<Expr> c;    //!< third operand (Cond)
+
+    std::string callee;         //!< Call target name
+    std::vector<std::unique_ptr<Expr>> args;
+
+    VarSym *var = nullptr;              //!< resolved Var
+    FuncSym *func = nullptr;            //!< resolved Call
+    const Type *namedType = nullptr;    //!< Cast / SizeofType
+    const StructMember *memberRef = nullptr;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class StmtKind : uint8_t
+{
+    Expr,
+    If,
+    While,
+    DoWhile,
+    For,
+    Return,
+    Break,
+    Continue,
+    Block,
+    Decl,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** One declarator in a local declaration statement. */
+struct LocalDecl
+{
+    std::string name;
+    const Type *type = nullptr;
+    ExprPtr init;               //!< optional scalar initializer
+    VarSym *sym = nullptr;      //!< resolved by sema
+};
+
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+
+    ExprPtr expr;       //!< Expr value / If-While-DoWhile cond / Return
+    ExprPtr inc;        //!< For increment
+    ExprPtr cond;       //!< For condition
+    StmtPtr init;       //!< For initializer (Decl or Expr statement)
+    StmtPtr then;       //!< If then-branch
+    StmtPtr els;        //!< If else-branch
+    StmtPtr body;       //!< loop body
+    std::vector<StmtPtr> stmts;     //!< Block
+    std::vector<LocalDecl> decls;   //!< Decl
+};
+
+/** A global variable definition. */
+struct GlobalDecl
+{
+    int line = 0;
+    std::string name;
+    const Type *type = nullptr;
+    ExprPtr init;                       //!< scalar initializer
+    std::vector<ExprPtr> initList;      //!< array/struct initializer
+    bool hasInitList = false;
+    std::string strInit;                //!< char-array string init
+    bool hasStrInit = false;
+    VarSym *sym = nullptr;
+};
+
+/** A function definition. */
+struct FuncDecl
+{
+    int line = 0;
+    std::string name;
+    const Type *retType = nullptr;
+    std::vector<std::pair<std::string, const Type *>> params;
+    StmtPtr body;
+    FuncSym *sym = nullptr;
+
+    // Filled by sema for codegen:
+    std::vector<VarSym *> paramSyms;
+    std::vector<VarSym *> locals;   //!< all block-scope variables
+};
+
+/** A parsed translation unit (owns all symbols). */
+struct Unit
+{
+    TypeTable types;
+    std::deque<VarSym> varPool;
+    std::deque<FuncSym> funcPool;
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> funcs;
+    std::vector<std::string> stringPool;    //!< string literal bodies
+
+    VarSym *
+    newVar()
+    {
+        varPool.emplace_back();
+        return &varPool.back();
+    }
+
+    FuncSym *
+    newFunc()
+    {
+        funcPool.emplace_back();
+        return &funcPool.back();
+    }
+};
+
+} // namespace irep::minicc
+
+#endif // IREP_MINICC_AST_HH

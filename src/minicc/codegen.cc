@@ -1,0 +1,1158 @@
+#include "minicc/codegen.hh"
+
+#include "minicc/sema.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace irep::minicc
+{
+
+namespace
+{
+
+/** Frame layout constants (bytes from $sp). */
+constexpr int callSaveBase = 0;     //!< 8 words: temps live across calls
+constexpr int spillBase = 32;      //!< 16 words: expression-stack spill
+constexpr int localsBase = 96;     //!< memory locals start here
+constexpr int maxDepth = 24;       //!< 8 registers + 16 spill slots
+constexpr int numTempRegs = 8;     //!< $t0..$t7
+constexpr int numSRegs = 8;        //!< $s0..$s7
+
+/** Escape a string body for emission inside a quoted .asciiz. */
+std::string
+escapeForAsm(const std::string &body)
+{
+    std::string out;
+    for (char c : body) {
+        switch (c) {
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\0': out += "\\0"; break;
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          default: out.push_back(c); break;
+        }
+    }
+    return out;
+}
+
+class CodeGen
+{
+  public:
+    explicit CodeGen(Unit &unit) : unit_(unit) {}
+
+    std::string run();
+
+  private:
+    // --- emission helpers ------------------------------------------------
+    void
+    emit(const std::string &text)
+    {
+        out_ << "    " << text << "\n";
+    }
+
+    void
+    label(const std::string &name)
+    {
+        out_ << name << ":\n";
+    }
+
+    std::string
+    newLabel()
+    {
+        return "L" + std::to_string(labelCounter_++);
+    }
+
+    [[noreturn]] void
+    err(int line, const std::string &msg) const
+    {
+        fatal("minicc: line ", line, ": codegen: ", msg);
+    }
+
+    // --- temp stack --------------------------------------------------------
+    static std::string
+    tname(int depth)
+    {
+        return "$t" + std::to_string(depth);
+    }
+
+    static int
+    spillOffset(int depth)
+    {
+        return spillBase + (depth - numTempRegs) * 4;
+    }
+
+    void
+    checkDepth(int depth, int line)
+    {
+        if (depth >= maxDepth)
+            err(line, "expression too deep");
+    }
+
+    /** Get the value at @p depth into a register; returns its name. */
+    std::string
+    rdTemp(int depth, const char *scratch)
+    {
+        if (depth < numTempRegs)
+            return tname(depth);
+        emit("lw " + std::string(scratch) + ", " +
+             std::to_string(spillOffset(depth)) + "($sp)");
+        return scratch;
+    }
+
+    /** Register codegen should target when producing depth @p depth. */
+    std::string
+    defReg(int depth)
+    {
+        return depth < numTempRegs ? tname(depth) : "$t8";
+    }
+
+    /** Commit defReg(depth) to the stack slot when spilled. */
+    void
+    wrTemp(int depth)
+    {
+        if (depth >= numTempRegs) {
+            emit("sw $t8, " + std::to_string(spillOffset(depth)) +
+                 "($sp)");
+        }
+    }
+
+    /** Move an arbitrary register into stack position @p depth. */
+    void
+    moveToTemp(int depth, const std::string &src)
+    {
+        if (depth < numTempRegs) {
+            if (src != tname(depth))
+                emit("move " + tname(depth) + ", " + src);
+        } else {
+            emit("sw " + src + ", " +
+                 std::to_string(spillOffset(depth)) + "($sp)");
+        }
+    }
+
+    // --- typed memory access -------------------------------------------
+    static const char *
+    loadOpFor(const Type *t)
+    {
+        return t->isChar() ? "lbu" : "lw";
+    }
+
+    static const char *
+    storeOpFor(const Type *t)
+    {
+        return t->isChar() ? "sb" : "sw";
+    }
+
+    // --- expression codegen -----------------------------------------------
+    void genExpr(const Expr &e, int depth);
+    void genAddr(const Expr &e, int depth);
+    void genCall(const Expr &e, int depth);
+    void genBinary(const Expr &e, int depth);
+    void genAssign(const Expr &e, int depth);
+    void genIncDec(const Expr &e, int depth);
+    void genScaleBy(int depth, int elem_size);
+    void genLoadFrom(const std::string &addr_reg, const Type *t,
+                     int depth);
+    void genCompare(const std::string &op, bool is_unsigned, int depth);
+
+    // --- statements ----------------------------------------------------
+    void genStmt(const Stmt &s);
+
+    // --- functions and data -----------------------------------------------
+    void assignHomes(FuncDecl &f);
+    void genFunction(FuncDecl &f);
+    void genGlobals();
+    void genStart();
+    bool hasCalls(const Stmt &s) const;
+    bool exprHasCalls(const Expr &e) const;
+
+    Unit &unit_;
+    std::ostringstream out_;
+    int labelCounter_ = 0;
+
+    // Per-function state.
+    FuncDecl *func_ = nullptr;
+    std::string epilogueLabel_;
+    int frameSize_ = 0;
+    int saveBase_ = 0;
+    std::vector<int> usedSRegs_;
+    bool funcHasCalls_ = false;
+    std::vector<std::pair<std::string, std::string>> loopStack_;
+};
+
+// -----------------------------------------------------------------------
+// Expressions
+// -----------------------------------------------------------------------
+
+void
+CodeGen::genScaleBy(int depth, int elem_size)
+{
+    if (elem_size == 1)
+        return;
+    const std::string r = rdTemp(depth, "$t8");
+    const std::string d = defReg(depth);
+    if ((elem_size & (elem_size - 1)) == 0) {
+        int shift = 0;
+        while ((1 << shift) != elem_size)
+            ++shift;
+        emit("sll " + d + ", " + r + ", " + std::to_string(shift));
+    } else {
+        emit("li $t9, " + std::to_string(elem_size));
+        emit("mul " + d + ", " + r + ", $t9");
+    }
+    wrTemp(depth);
+}
+
+void
+CodeGen::genLoadFrom(const std::string &addr_reg, const Type *t,
+                     int depth)
+{
+    const std::string d = defReg(depth);
+    emit(std::string(loadOpFor(t)) + " " + d + ", 0(" + addr_reg + ")");
+    wrTemp(depth);
+}
+
+void
+CodeGen::genAddr(const Expr &e, int depth)
+{
+    checkDepth(depth, e.line);
+    switch (e.kind) {
+      case ExprKind::Var: {
+        const VarSym *v = e.var;
+        if (v->home == VarHome::Stack) {
+            const std::string d = defReg(depth);
+            emit("addiu " + d + ", $sp, " +
+                 std::to_string(v->stackOffset));
+            wrTemp(depth);
+        } else if (v->home == VarHome::Global) {
+            const std::string d = defReg(depth);
+            emit("la " + d + ", " + v->label);
+            wrTemp(depth);
+        } else {
+            err(e.line, "address of register variable '" + v->name +
+                            "'");
+        }
+        break;
+      }
+      case ExprKind::Unary:
+        panicIf(e.op != "*", "genAddr on non-deref unary");
+        genExpr(*e.a, depth);
+        break;
+      case ExprKind::Index: {
+        genExpr(*e.a, depth);
+        const Type *at = e.a->type;
+        const Type *elem = at->base;
+
+        // Literal subscripts fold into one addiu (or nothing).
+        if (e.b->kind == ExprKind::IntLit ||
+            e.b->kind == ExprKind::SizeofType) {
+            const int64_t offset = e.b->intValue * elem->size();
+            if (fitsSigned(offset, 16)) {
+                if (offset != 0) {
+                    const std::string ra = rdTemp(depth, "$t8");
+                    const std::string d = defReg(depth);
+                    emit("addiu " + d + ", " + ra + ", " +
+                         std::to_string(offset));
+                    wrTemp(depth);
+                }
+                break;
+            }
+        }
+
+        genExpr(*e.b, depth + 1);
+        genScaleBy(depth + 1, elem->size());
+        const std::string ra = rdTemp(depth, "$t8");
+        const std::string rb = rdTemp(depth + 1, "$t9");
+        const std::string d = defReg(depth);
+        emit("addu " + d + ", " + ra + ", " + rb);
+        wrTemp(depth);
+        break;
+      }
+      case ExprKind::Member: {
+        if (e.isArrow)
+            genExpr(*e.a, depth);
+        else
+            genAddr(*e.a, depth);
+        if (e.memberRef->offset != 0) {
+            const std::string r = rdTemp(depth, "$t8");
+            const std::string d = defReg(depth);
+            emit("addiu " + d + ", " + r + ", " +
+                 std::to_string(e.memberRef->offset));
+            wrTemp(depth);
+        }
+        break;
+      }
+      default:
+        err(e.line, "expression is not addressable");
+    }
+}
+
+void
+CodeGen::genCompare(const std::string &op, bool is_unsigned, int depth)
+{
+    const std::string ra = rdTemp(depth, "$t8");
+    const std::string rb = rdTemp(depth + 1, "$t9");
+    const std::string d = defReg(depth);
+    const char *suffix = is_unsigned ? "u" : "";
+    if (op == "<")
+        emit(std::string("slt") + suffix + " " + d + ", " + ra + ", " +
+             rb);
+    else if (op == ">")
+        emit(std::string("sgt") + suffix + " " + d + ", " + ra + ", " +
+             rb);
+    else if (op == "<=")
+        emit(std::string("sle") + suffix + " " + d + ", " + ra + ", " +
+             rb);
+    else if (op == ">=")
+        emit(std::string("sge") + suffix + " " + d + ", " + ra + ", " +
+             rb);
+    else if (op == "==")
+        emit("seq " + d + ", " + ra + ", " + rb);
+    else
+        emit("sne " + d + ", " + ra + ", " + rb);
+    wrTemp(depth);
+}
+
+void
+CodeGen::genBinary(const Expr &e, int depth)
+{
+    const std::string &op = e.op;
+
+    // Short-circuit logical operators.
+    if (op == "&&" || op == "||") {
+        const std::string l_short = newLabel();
+        const std::string l_end = newLabel();
+        genExpr(*e.a, depth);
+        {
+            const std::string ra = rdTemp(depth, "$t8");
+            emit((op == "&&" ? "beqz " : "bnez ") + ra + ", " + l_short);
+        }
+        genExpr(*e.b, depth);
+        {
+            const std::string rb = rdTemp(depth, "$t8");
+            emit((op == "&&" ? "beqz " : "bnez ") + rb + ", " + l_short);
+        }
+        const std::string d1 = defReg(depth);
+        emit("li " + d1 + ", " + (op == "&&" ? "1" : "0"));
+        wrTemp(depth);
+        emit("b " + l_end);
+        label(l_short);
+        const std::string d2 = defReg(depth);
+        emit("li " + d2 + ", " + (op == "&&" ? "0" : "1"));
+        wrTemp(depth);
+        label(l_end);
+        return;
+    }
+
+    genExpr(*e.a, depth);
+
+    const Type *at = e.a->type->isArray()
+        ? unit_.types.ptrTo(e.a->type->base) : e.a->type;
+    const Type *bt = e.b->type->isArray()
+        ? unit_.types.ptrTo(e.b->type->base) : e.b->type;
+
+    // Immediate-operand selection: a literal right operand folds into
+    // the I-format instruction (like any optimizing MIPS compiler),
+    // including pre-scaled pointer offsets.
+    if (e.b->kind == ExprKind::IntLit ||
+        e.b->kind == ExprKind::SizeofType) {
+        int64_t imm = e.b->intValue;
+        const bool ptr_scaled = at->isPtr() && bt->isArith();
+        if (ptr_scaled && (op == "+" || op == "-"))
+            imm *= at->base->size();
+        const std::string ra = rdTemp(depth, "$t8");
+        const std::string d = defReg(depth);
+        bool emitted = true;
+        if (op == "+" && fitsSigned(imm, 16)) {
+            emit("addiu " + d + ", " + ra + ", " +
+                 std::to_string(imm));
+        } else if (op == "-" && fitsSigned(-imm, 16) &&
+                   !(at->isPtr() && bt->isPtr())) {
+            emit("addiu " + d + ", " + ra + ", " +
+                 std::to_string(-imm));
+        } else if (op == "&" && fitsUnsigned(imm, 16)) {
+            emit("andi " + d + ", " + ra + ", " +
+                 std::to_string(imm));
+        } else if (op == "|" && fitsUnsigned(imm, 16)) {
+            emit("ori " + d + ", " + ra + ", " + std::to_string(imm));
+        } else if (op == "^" && fitsUnsigned(imm, 16)) {
+            emit("xori " + d + ", " + ra + ", " +
+                 std::to_string(imm));
+        } else if (op == "<<") {
+            emit("sll " + d + ", " + ra + ", " +
+                 std::to_string(imm & 31));
+        } else if (op == ">>") {
+            emit("sra " + d + ", " + ra + ", " +
+                 std::to_string(imm & 31));
+        } else if (op == "<" && !at->isPtr() && !bt->isPtr() &&
+                   fitsSigned(imm, 16)) {
+            emit("slti " + d + ", " + ra + ", " +
+                 std::to_string(imm));
+        } else {
+            emitted = false;
+        }
+        if (emitted) {
+            wrTemp(depth);
+            return;
+        }
+    }
+
+    genExpr(*e.b, depth + 1);
+
+    // Pointer arithmetic scaling.
+    if (op == "+" || op == "-") {
+        if (at->isPtr() && bt->isArith()) {
+            genScaleBy(depth + 1, at->base->size());
+        } else if (at->isArith() && bt->isPtr()) {
+            genScaleBy(depth, bt->base->size());
+        }
+    }
+
+    if (op == "==" || op == "!=" || op == "<" || op == ">" ||
+        op == "<=" || op == ">=") {
+        genCompare(op, at->isPtr() || bt->isPtr(), depth);
+        return;
+    }
+
+    const std::string ra = rdTemp(depth, "$t8");
+    const std::string rb = rdTemp(depth + 1, "$t9");
+    const std::string d = defReg(depth);
+
+    if (op == "+") {
+        emit("addu " + d + ", " + ra + ", " + rb);
+    } else if (op == "-") {
+        emit("subu " + d + ", " + ra + ", " + rb);
+        if (at->isPtr() && bt->isPtr()) {
+            const int size = at->base->size();
+            if (size > 1) {
+                if ((size & (size - 1)) == 0) {
+                    int shift = 0;
+                    while ((1 << shift) != size)
+                        ++shift;
+                    emit("sra " + d + ", " + d + ", " +
+                         std::to_string(shift));
+                } else {
+                    emit("li $t9, " + std::to_string(size));
+                    emit("div " + d + ", " + d + ", $t9");
+                }
+            }
+        }
+    } else if (op == "*") {
+        emit("mul " + d + ", " + ra + ", " + rb);
+    } else if (op == "/") {
+        emit("div " + d + ", " + ra + ", " + rb);
+    } else if (op == "%") {
+        emit("rem " + d + ", " + ra + ", " + rb);
+    } else if (op == "&") {
+        emit("and " + d + ", " + ra + ", " + rb);
+    } else if (op == "|") {
+        emit("or " + d + ", " + ra + ", " + rb);
+    } else if (op == "^") {
+        emit("xor " + d + ", " + ra + ", " + rb);
+    } else if (op == "<<") {
+        emit("sllv " + d + ", " + ra + ", " + rb);
+    } else if (op == ">>") {
+        emit("srav " + d + ", " + ra + ", " + rb);
+    } else {
+        err(e.line, "unhandled binary operator '" + op + "'");
+    }
+    wrTemp(depth);
+}
+
+void
+CodeGen::genCall(const Expr &e, int depth)
+{
+    const FuncSym *f = e.func;
+    const int nargs = int(e.args.size());
+
+    // Evaluate arguments left to right onto the temp stack.
+    for (int i = 0; i < nargs; ++i)
+        genExpr(*e.args[i], depth + i);
+    checkDepth(depth + nargs, e.line);
+
+    if (f->intrinsic >= 0) {
+        // Syscall: args in $a0/$a1, number in $v0, result in $v0.
+        for (int i = 0; i < nargs; ++i) {
+            const std::string r = rdTemp(depth + i, "$t8");
+            emit("move $a" + std::to_string(i) + ", " + r);
+        }
+        emit("li $v0, " + std::to_string(f->intrinsic));
+        emit("syscall");
+        moveToTemp(depth, "$v0");
+        return;
+    }
+
+    // Save live temps below `depth` across the call.
+    const int live = std::min(depth, numTempRegs);
+    for (int i = 0; i < live; ++i) {
+        emit("sw " + tname(i) + ", " +
+             std::to_string(callSaveBase + i * 4) + "($sp)");
+    }
+    // Marshal arguments.
+    for (int i = 0; i < nargs; ++i) {
+        if (depth + i < numTempRegs) {
+            emit("move $a" + std::to_string(i) + ", " +
+                 tname(depth + i));
+        } else {
+            emit("lw $a" + std::to_string(i) + ", " +
+                 std::to_string(spillOffset(depth + i)) + "($sp)");
+        }
+    }
+    emit("jal " + f->name);
+    for (int i = 0; i < live; ++i) {
+        emit("lw " + tname(i) + ", " +
+             std::to_string(callSaveBase + i * 4) + "($sp)");
+    }
+    moveToTemp(depth, "$v0");
+}
+
+void
+CodeGen::genAssign(const Expr &e, int depth)
+{
+    const Expr &lhs = *e.a;
+    const bool simple = e.op == "=";
+    const bool reg_var = lhs.kind == ExprKind::Var &&
+                         lhs.var->home == VarHome::SReg;
+
+    if (simple) {
+        genExpr(*e.b, depth);
+        if (reg_var) {
+            const std::string r = rdTemp(depth, "$t8");
+            emit("move $s" + std::to_string(lhs.var->sreg) + ", " + r);
+            if (lhs.type->isChar()) {
+                emit("andi $s" + std::to_string(lhs.var->sreg) + ", $s" +
+                     std::to_string(lhs.var->sreg) + ", 0xff");
+            }
+        } else {
+            genAddr(lhs, depth + 1);
+            const std::string rv = rdTemp(depth, "$t8");
+            const std::string ra = rdTemp(depth + 1, "$t9");
+            emit(std::string(storeOpFor(lhs.type)) + " " + rv + ", 0(" +
+                 ra + ")");
+        }
+        return;
+    }
+
+    // Compound assignment: compute lhs OP rhs, store, yield the value.
+    const std::string base_op = e.op.substr(0, e.op.size() - 1);
+    const int scale = lhs.type->isPtr() &&
+                       (base_op == "+" || base_op == "-")
+        ? lhs.type->base->size() : 1;
+
+    auto apply = [&](const std::string &d, const std::string &ra,
+                     const std::string &rb) {
+        if (base_op == "+")
+            emit("addu " + d + ", " + ra + ", " + rb);
+        else if (base_op == "-")
+            emit("subu " + d + ", " + ra + ", " + rb);
+        else if (base_op == "*")
+            emit("mul " + d + ", " + ra + ", " + rb);
+        else if (base_op == "/")
+            emit("div " + d + ", " + ra + ", " + rb);
+        else if (base_op == "%")
+            emit("rem " + d + ", " + ra + ", " + rb);
+        else if (base_op == "&")
+            emit("and " + d + ", " + ra + ", " + rb);
+        else if (base_op == "|")
+            emit("or " + d + ", " + ra + ", " + rb);
+        else if (base_op == "^")
+            emit("xor " + d + ", " + ra + ", " + rb);
+        else if (base_op == "<<")
+            emit("sllv " + d + ", " + ra + ", " + rb);
+        else if (base_op == ">>")
+            emit("srav " + d + ", " + ra + ", " + rb);
+        else
+            err(e.line, "unhandled compound operator '" + e.op + "'");
+    };
+
+    if (reg_var) {
+        genExpr(*e.b, depth);
+        if (scale > 1)
+            genScaleBy(depth, scale);
+        const std::string rb = rdTemp(depth, "$t8");
+        const std::string s = "$s" + std::to_string(lhs.var->sreg);
+        apply(s, s, rb);
+        if (lhs.type->isChar())
+            emit("andi " + s + ", " + s + ", 0xff");
+        moveToTemp(depth, s);
+        return;
+    }
+
+    checkDepth(depth + 2, e.line);
+    genAddr(lhs, depth);
+    {
+        const std::string ra = rdTemp(depth, "$t8");
+        genLoadFrom(ra, lhs.type, depth + 1);
+    }
+    genExpr(*e.b, depth + 2);
+    if (scale > 1)
+        genScaleBy(depth + 2, scale);
+    {
+        const std::string rv = rdTemp(depth + 1, "$t8");
+        const std::string rb = rdTemp(depth + 2, "$t9");
+        const std::string d = defReg(depth + 1);
+        apply(d, rv, rb);
+        if (lhs.type->isChar())
+            emit("andi " + d + ", " + d + ", 0xff");
+        wrTemp(depth + 1);
+    }
+    {
+        const std::string rv = rdTemp(depth + 1, "$t8");
+        const std::string ra = rdTemp(depth, "$t9");
+        emit(std::string(storeOpFor(lhs.type)) + " " + rv + ", 0(" +
+             ra + ")");
+        moveToTemp(depth, rv);
+    }
+}
+
+void
+CodeGen::genIncDec(const Expr &e, int depth)
+{
+    const Expr &lhs = *e.a;
+    const int delta = (e.op == "++" ? 1 : -1) *
+                      (lhs.type->isPtr() ? lhs.type->base->size() : 1);
+
+    if (lhs.kind == ExprKind::Var && lhs.var->home == VarHome::SReg) {
+        const std::string s = "$s" + std::to_string(lhs.var->sreg);
+        if (!e.isPrefix)
+            moveToTemp(depth, s);
+        emit("addiu " + s + ", " + s + ", " + std::to_string(delta));
+        if (lhs.type->isChar())
+            emit("andi " + s + ", " + s + ", 0xff");
+        if (e.isPrefix)
+            moveToTemp(depth, s);
+        return;
+    }
+
+    checkDepth(depth + 2, e.line);
+    genAddr(lhs, depth);
+    {
+        const std::string ra = rdTemp(depth, "$t8");
+        genLoadFrom(ra, lhs.type, depth + 1);
+    }
+    {
+        const std::string rv = rdTemp(depth + 1, "$t8");
+        const std::string d = defReg(depth + 2);
+        emit("addiu " + d + ", " + rv + ", " + std::to_string(delta));
+        if (lhs.type->isChar())
+            emit("andi " + d + ", " + d + ", 0xff");
+        wrTemp(depth + 2);
+    }
+    {
+        const std::string rn = rdTemp(depth + 2, "$t8");
+        const std::string ra = rdTemp(depth, "$t9");
+        emit(std::string(storeOpFor(lhs.type)) + " " + rn + ", 0(" +
+             ra + ")");
+    }
+    const std::string result =
+        rdTemp(e.isPrefix ? depth + 2 : depth + 1, "$t8");
+    moveToTemp(depth, result);
+}
+
+void
+CodeGen::genExpr(const Expr &e, int depth)
+{
+    checkDepth(depth, e.line);
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::SizeofType: {
+        const std::string d = defReg(depth);
+        emit("li " + d + ", " + std::to_string(
+            e.kind == ExprKind::IntLit ? e.intValue : e.intValue));
+        wrTemp(depth);
+        break;
+      }
+      case ExprKind::StrLit: {
+        const std::string d = defReg(depth);
+        emit("la " + d + ", Lstr" + std::to_string(e.strLabel));
+        wrTemp(depth);
+        break;
+      }
+      case ExprKind::Var: {
+        const VarSym *v = e.var;
+        if (v->home == VarHome::SReg) {
+            moveToTemp(depth, "$s" + std::to_string(v->sreg));
+        } else if (!v->type->isScalar()) {
+            // Arrays and structs evaluate to their address.
+            genAddr(e, depth);
+        } else if (v->home == VarHome::Stack) {
+            const std::string d = defReg(depth);
+            emit(std::string(loadOpFor(v->type)) + " " + d + ", " +
+                 std::to_string(v->stackOffset) + "($sp)");
+            wrTemp(depth);
+        } else {    // Global scalar.
+            genAddr(e, depth);
+            const std::string ra = rdTemp(depth, "$t8");
+            genLoadFrom(ra, v->type, depth);
+        }
+        break;
+      }
+      case ExprKind::Unary: {
+        if (e.op == "&") {
+            genAddr(*e.a, depth);
+            break;
+        }
+        if (e.op == "*") {
+            genExpr(*e.a, depth);
+            if (e.type->isScalar()) {
+                const std::string ra = rdTemp(depth, "$t8");
+                genLoadFrom(ra, e.type, depth);
+            }
+            break;
+        }
+        genExpr(*e.a, depth);
+        const std::string r = rdTemp(depth, "$t8");
+        const std::string d = defReg(depth);
+        if (e.op == "-")
+            emit("neg " + d + ", " + r);
+        else if (e.op == "~")
+            emit("not " + d + ", " + r);
+        else    // "!"
+            emit("sltiu " + d + ", " + r + ", 1");
+        wrTemp(depth);
+        break;
+      }
+      case ExprKind::Binary:
+        genBinary(e, depth);
+        break;
+      case ExprKind::Assign:
+        genAssign(e, depth);
+        break;
+      case ExprKind::Cond: {
+        const std::string l_else = newLabel();
+        const std::string l_end = newLabel();
+        genExpr(*e.a, depth);
+        {
+            const std::string r = rdTemp(depth, "$t8");
+            emit("beqz " + r + ", " + l_else);
+        }
+        genExpr(*e.b, depth);
+        emit("b " + l_end);
+        label(l_else);
+        genExpr(*e.c, depth);
+        label(l_end);
+        break;
+      }
+      case ExprKind::Call:
+        genCall(e, depth);
+        break;
+      case ExprKind::Index: {
+        genAddr(e, depth);
+        if (e.type->isScalar()) {
+            const std::string ra = rdTemp(depth, "$t8");
+            genLoadFrom(ra, e.type, depth);
+        }
+        break;
+      }
+      case ExprKind::Member: {
+        genAddr(e, depth);
+        if (e.type->isScalar()) {
+            const std::string ra = rdTemp(depth, "$t8");
+            genLoadFrom(ra, e.type, depth);
+        }
+        break;
+      }
+      case ExprKind::Cast: {
+        genExpr(*e.a, depth);
+        if (e.type->isChar() && !e.a->type->isChar()) {
+            const std::string r = rdTemp(depth, "$t8");
+            const std::string d = defReg(depth);
+            emit("andi " + d + ", " + r + ", 0xff");
+            wrTemp(depth);
+        }
+        break;
+      }
+      case ExprKind::IncDec:
+        genIncDec(e, depth);
+        break;
+    }
+}
+
+// -----------------------------------------------------------------------
+// Statements
+// -----------------------------------------------------------------------
+
+void
+CodeGen::genStmt(const Stmt &s)
+{
+    switch (s.kind) {
+      case StmtKind::Expr:
+        genExpr(*s.expr, 0);
+        break;
+
+      case StmtKind::If: {
+        const std::string l_else = newLabel();
+        genExpr(*s.expr, 0);
+        emit("beqz $t0, " + l_else);
+        genStmt(*s.then);
+        if (s.els) {
+            const std::string l_end = newLabel();
+            emit("b " + l_end);
+            label(l_else);
+            genStmt(*s.els);
+            label(l_end);
+        } else {
+            label(l_else);
+        }
+        break;
+      }
+
+      case StmtKind::While: {
+        const std::string l_cond = newLabel();
+        const std::string l_end = newLabel();
+        label(l_cond);
+        genExpr(*s.expr, 0);
+        emit("beqz $t0, " + l_end);
+        loopStack_.emplace_back(l_end, l_cond);
+        genStmt(*s.body);
+        loopStack_.pop_back();
+        emit("b " + l_cond);
+        label(l_end);
+        break;
+      }
+
+      case StmtKind::DoWhile: {
+        const std::string l_top = newLabel();
+        const std::string l_cont = newLabel();
+        const std::string l_end = newLabel();
+        label(l_top);
+        loopStack_.emplace_back(l_end, l_cont);
+        genStmt(*s.body);
+        loopStack_.pop_back();
+        label(l_cont);
+        genExpr(*s.expr, 0);
+        emit("bnez $t0, " + l_top);
+        label(l_end);
+        break;
+      }
+
+      case StmtKind::For: {
+        const std::string l_cond = newLabel();
+        const std::string l_cont = newLabel();
+        const std::string l_end = newLabel();
+        if (s.init)
+            genStmt(*s.init);
+        label(l_cond);
+        if (s.cond) {
+            genExpr(*s.cond, 0);
+            emit("beqz $t0, " + l_end);
+        }
+        loopStack_.emplace_back(l_end, l_cont);
+        genStmt(*s.body);
+        loopStack_.pop_back();
+        label(l_cont);
+        if (s.inc)
+            genExpr(*s.inc, 0);
+        emit("b " + l_cond);
+        label(l_end);
+        break;
+      }
+
+      case StmtKind::Return:
+        if (s.expr) {
+            genExpr(*s.expr, 0);
+            emit("move $v0, $t0");
+        }
+        emit("b " + epilogueLabel_);
+        break;
+
+      case StmtKind::Break:
+        panicIf(loopStack_.empty(), "break outside loop in codegen");
+        emit("b " + loopStack_.back().first);
+        break;
+
+      case StmtKind::Continue:
+        panicIf(loopStack_.empty(), "continue outside loop in codegen");
+        emit("b " + loopStack_.back().second);
+        break;
+
+      case StmtKind::Block:
+        for (const StmtPtr &child : s.stmts)
+            genStmt(*child);
+        break;
+
+      case StmtKind::Decl:
+        for (const LocalDecl &d : s.decls) {
+            if (!d.init)
+                continue;
+            genExpr(*d.init, 0);
+            const VarSym *v = d.sym;
+            if (v->home == VarHome::SReg) {
+                emit("move $s" + std::to_string(v->sreg) + ", $t0");
+                if (v->type->isChar()) {
+                    emit("andi $s" + std::to_string(v->sreg) + ", $s" +
+                         std::to_string(v->sreg) + ", 0xff");
+                }
+            } else {
+                emit(std::string(storeOpFor(v->type)) + " $t0, " +
+                     std::to_string(v->stackOffset) + "($sp)");
+            }
+        }
+        break;
+    }
+}
+
+// -----------------------------------------------------------------------
+// Functions
+// -----------------------------------------------------------------------
+
+bool
+CodeGen::exprHasCalls(const Expr &e) const
+{
+    if (e.kind == ExprKind::Call && e.func->intrinsic < 0)
+        return true;
+    if (e.a && exprHasCalls(*e.a))
+        return true;
+    if (e.b && exprHasCalls(*e.b))
+        return true;
+    if (e.c && exprHasCalls(*e.c))
+        return true;
+    for (const ExprPtr &arg : e.args) {
+        if (exprHasCalls(*arg))
+            return true;
+    }
+    return false;
+}
+
+bool
+CodeGen::hasCalls(const Stmt &s) const
+{
+    if (s.expr && exprHasCalls(*s.expr))
+        return true;
+    if (s.cond && exprHasCalls(*s.cond))
+        return true;
+    if (s.inc && exprHasCalls(*s.inc))
+        return true;
+    if (s.init && hasCalls(*s.init))
+        return true;
+    if (s.then && hasCalls(*s.then))
+        return true;
+    if (s.els && hasCalls(*s.els))
+        return true;
+    if (s.body && hasCalls(*s.body))
+        return true;
+    for (const StmtPtr &child : s.stmts) {
+        if (hasCalls(*child))
+            return true;
+    }
+    for (const LocalDecl &d : s.decls) {
+        if (d.init && exprHasCalls(*d.init))
+            return true;
+    }
+    return false;
+}
+
+void
+CodeGen::assignHomes(FuncDecl &f)
+{
+    usedSRegs_.clear();
+    int next_sreg = 0;
+    int stack_top = localsBase;
+
+    auto place = [&](VarSym *v) {
+        if (v->type->isScalar() && !v->addrTaken &&
+            next_sreg < numSRegs) {
+            v->home = VarHome::SReg;
+            v->sreg = next_sreg++;
+            usedSRegs_.push_back(v->sreg);
+        } else {
+            const int align = std::max(v->type->align(), 4);
+            stack_top = (stack_top + align - 1) & ~(align - 1);
+            v->home = VarHome::Stack;
+            v->stackOffset = stack_top;
+            stack_top += std::max(v->type->size(), 4);
+        }
+    };
+
+    for (VarSym *p : f.paramSyms)
+        place(p);
+    for (VarSym *l : f.locals)
+        place(l);
+
+    // Saved registers and $ra above the locals.
+    int offset = (stack_top + 3) & ~3;
+    for (int sreg : usedSRegs_) {
+        (void)sreg;
+        offset += 4;
+    }
+    if (funcHasCalls_)
+        offset += 4;
+    frameSize_ = (offset + 7) & ~7;
+
+    // Fix the save-slot offsets now that the frame size is known:
+    // s-regs sit directly above locals, $ra at the very top.
+    saveBase_ = (stack_top + 3) & ~3;
+}
+
+void
+CodeGen::genFunction(FuncDecl &f)
+{
+    func_ = &f;
+    epilogueLabel_ = newLabel();
+    funcHasCalls_ = hasCalls(*f.body);
+    assignHomes(f);
+
+    out_ << "\n.ent " << f.name << ", "
+         << f.params.size() << "\n";
+    label(f.name);
+
+    emit("addiu $sp, $sp, -" + std::to_string(frameSize_));
+    int save_off = saveBase_;
+    for (int sreg : usedSRegs_) {
+        emit("sw $s" + std::to_string(sreg) + ", " +
+             std::to_string(save_off) + "($sp)");
+        save_off += 4;
+    }
+    if (funcHasCalls_) {
+        emit("sw $ra, " + std::to_string(save_off) + "($sp)");
+    }
+
+    // Copy arguments to their homes.
+    for (size_t i = 0; i < f.paramSyms.size(); ++i) {
+        const VarSym *p = f.paramSyms[i];
+        const std::string areg = "$a" + std::to_string(i);
+        if (p->home == VarHome::SReg) {
+            emit("move $s" + std::to_string(p->sreg) + ", " + areg);
+        } else {
+            emit(std::string(storeOpFor(p->type)) + " " + areg + ", " +
+                 std::to_string(p->stackOffset) + "($sp)");
+        }
+    }
+
+    genStmt(*f.body);
+
+    label(epilogueLabel_);
+    save_off = saveBase_;
+    for (int sreg : usedSRegs_) {
+        emit("lw $s" + std::to_string(sreg) + ", " +
+             std::to_string(save_off) + "($sp)");
+        save_off += 4;
+    }
+    if (funcHasCalls_)
+        emit("lw $ra, " + std::to_string(save_off) + "($sp)");
+    emit("addiu $sp, $sp, " + std::to_string(frameSize_));
+    emit("jr $ra");
+    out_ << ".end " << f.name << "\n";
+    func_ = nullptr;
+}
+
+// -----------------------------------------------------------------------
+// Data and startup
+// -----------------------------------------------------------------------
+
+void
+CodeGen::genGlobals()
+{
+    out_ << "\n.data\n";
+    for (const GlobalDecl &g : unit_.globals) {
+        out_ << ".align 2\n";
+        label(g.sym->label);
+        const Type *t = g.type;
+        if (g.hasStrInit) {
+            if (t->isPtr()) {
+                // char *p = "..." : pool the string, emit a pointer.
+                int idx = -1;
+                for (size_t i = 0; i < unit_.stringPool.size(); ++i) {
+                    if (unit_.stringPool[i] == g.strInit) {
+                        idx = int(i);
+                        break;
+                    }
+                }
+                if (idx < 0) {
+                    idx = int(unit_.stringPool.size());
+                    unit_.stringPool.push_back(g.strInit);
+                }
+                out_ << "    .word Lstr" << idx << "\n";
+            } else {
+                // char arr[N] = "...".
+                out_ << "    .asciiz \"" << escapeForAsm(g.strInit)
+                     << "\"\n";
+                const int used = int(g.strInit.size()) + 1;
+                if (t->arraySize > used) {
+                    out_ << "    .space " << (t->arraySize - used)
+                         << "\n";
+                }
+            }
+        } else if (g.hasInitList) {
+            const Type *elem = t->base;
+            for (const ExprPtr &e : g.initList) {
+                ConstVal v = evalConst(*e);
+                if (elem->isChar()) {
+                    fatalIf(v.isLabel, "char initializer from label");
+                    out_ << "    .byte " << (v.num & 0xff) << "\n";
+                } else if (v.isLabel) {
+                    out_ << "    .word " << v.label << "\n";
+                } else {
+                    out_ << "    .word " << uint32_t(v.num) << "\n";
+                }
+            }
+            const int rest =
+                (t->arraySize - int(g.initList.size())) * elem->size();
+            if (rest > 0)
+                out_ << "    .space " << rest << "\n";
+        } else if (g.init) {
+            ConstVal v = evalConst(*g.init);
+            if (t->isChar()) {
+                fatalIf(v.isLabel, "char initializer from label");
+                out_ << "    .byte " << (v.num & 0xff) << "\n";
+                out_ << "    .space 3\n";
+            } else if (v.isLabel) {
+                out_ << "    .word " << v.label << "\n";
+            } else {
+                out_ << "    .word " << uint32_t(v.num) << "\n";
+            }
+        } else {
+            out_ << "    .space " << t->size() << "\n";
+        }
+    }
+
+    // String pool.
+    for (size_t i = 0; i < unit_.stringPool.size(); ++i) {
+        out_ << ".align 2\n";
+        out_ << "Lstr" << i << ":\n";
+        out_ << "    .asciiz \"" << escapeForAsm(unit_.stringPool[i])
+             << "\"\n";
+    }
+}
+
+void
+CodeGen::genStart()
+{
+    out_ << ".text\n";
+    out_ << ".ent _start, 0\n";
+    label("_start");
+    emit("jal main");
+    emit("move $a0, $v0");
+    emit("li $v0, 1");
+    emit("syscall");
+    out_ << ".end _start\n";
+    out_ << ".entry _start\n";
+}
+
+std::string
+CodeGen::run()
+{
+    genStart();
+    for (FuncDecl &f : unit_.funcs) {
+        if (f.body)
+            genFunction(f);
+    }
+    genGlobals();
+    return out_.str();
+}
+
+} // namespace
+
+std::string
+generate(Unit &unit)
+{
+    CodeGen gen(unit);
+    return gen.run();
+}
+
+} // namespace irep::minicc

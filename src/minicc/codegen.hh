@@ -1,0 +1,40 @@
+/**
+ * @file
+ * MIPS code generation for MiniC. Walks the analyzed AST and emits
+ * assembly text for src/asm's assembler.
+ *
+ * Code-generation model (chosen to mirror the code attributes the
+ * paper's analyses key off):
+ *   - expression evaluation on a register stack $t0..$t7 with spill
+ *     slots in the frame beyond depth 8 ($t8/$t9 are scratch)
+ *   - scalar locals and parameters whose address is never taken are
+ *     register-allocated to callee-saved $s0..$s7, which the prologue
+ *     saves and the epilogue restores (the paper's prologue/epilogue
+ *     category)
+ *   - global variables are addressed by materializing the address with
+ *     lui/ori (the paper's "global address calculation" category)
+ *   - arguments are passed in $a0..$a3 per the o32 convention and
+ *     copied to their homes on entry
+ */
+
+#ifndef IREP_MINICC_CODEGEN_HH
+#define IREP_MINICC_CODEGEN_HH
+
+#include <string>
+
+#include "minicc/ast.hh"
+
+namespace irep::minicc
+{
+
+/**
+ * Generate assembly for an analyzed unit.
+ * The output contains a `_start` stub that calls main() and passes its
+ * return value to the exit syscall, plus `.ent/.end` function metadata
+ * with argument counts for the analyses.
+ */
+std::string generate(Unit &unit);
+
+} // namespace irep::minicc
+
+#endif // IREP_MINICC_CODEGEN_HH

@@ -1,0 +1,25 @@
+#include "minicc/compiler.hh"
+
+#include "asm/assembler.hh"
+#include "minicc/codegen.hh"
+#include "minicc/parser.hh"
+#include "minicc/sema.hh"
+
+namespace irep::minicc
+{
+
+std::string
+compileToAsm(const std::string &source)
+{
+    auto unit = parse(source);
+    analyze(*unit);
+    return generate(*unit);
+}
+
+assem::Program
+compileToProgram(const std::string &source)
+{
+    return assem::assemble(compileToAsm(source));
+}
+
+} // namespace irep::minicc

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Convenience front door for the MiniC toolchain: source text in,
+ * assembly text or a loadable Program out.
+ */
+
+#ifndef IREP_MINICC_COMPILER_HH
+#define IREP_MINICC_COMPILER_HH
+
+#include <string>
+
+#include "asm/program.hh"
+
+namespace irep::minicc
+{
+
+/** Compile one MiniC translation unit to assembly text. */
+std::string compileToAsm(const std::string &source);
+
+/** Compile and assemble one MiniC translation unit. */
+assem::Program compileToProgram(const std::string &source);
+
+} // namespace irep::minicc
+
+#endif // IREP_MINICC_COMPILER_HH

@@ -1,0 +1,229 @@
+#include "minicc/lexer.hh"
+
+#include <array>
+#include <cctype>
+
+#include "support/logging.hh"
+
+namespace irep::minicc
+{
+
+namespace
+{
+
+constexpr std::array<const char *, 15> keywords = {
+    "int", "char", "void", "struct", "if", "else", "while", "for",
+    "do", "return", "break", "continue", "sizeof", "goto", "switch",
+};
+
+bool
+isKeywordWord(const std::string &word)
+{
+    for (const char *k : keywords) {
+        if (word == k)
+            return true;
+    }
+    return false;
+}
+
+// Multi-character punctuators, longest first.
+constexpr std::array<const char *, 21> punct3then2 = {
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "->", "++", "--",
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1;
+    const size_t n = source.size();
+
+    auto err = [&](const std::string &msg) {
+        fatal("minicc: line ", line, ": ", msg);
+    };
+
+    auto decodeEscape = [&](size_t &pos) -> char {
+        // pos is at the char after '\\'.
+        char c = source[pos++];
+        switch (c) {
+          case 'n': return '\n';
+          case 't': return '\t';
+          case 'r': return '\r';
+          case '0': return '\0';
+          case '\\': return '\\';
+          case '\'': return '\'';
+          case '"': return '"';
+          default:
+            err(std::string("bad escape '\\") + c + "'");
+            return '\0';    // unreachable; err() throws
+        }
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n &&
+                   !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i + 1 >= n)
+                err("unterminated comment");
+            i += 2;
+            continue;
+        }
+
+        Token tok;
+        tok.line = line;
+
+        // Identifiers and keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < n &&
+                   (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                    source[i] == '_')) {
+                ++i;
+            }
+            tok.text = source.substr(start, i - start);
+            tok.kind = isKeywordWord(tok.text) ? Tok::Keyword
+                                               : Tok::Ident;
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        // Numeric literals (decimal and 0x hex).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            int base = 10;
+            if (c == '0' && i + 1 < n &&
+                (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+                base = 16;
+                i += 2;
+            }
+            int64_t value = 0;
+            bool any = base == 10;
+            while (i < n) {
+                char d = source[i];
+                int digit;
+                if (std::isdigit(static_cast<unsigned char>(d)))
+                    digit = d - '0';
+                else if (base == 16 && d >= 'a' && d <= 'f')
+                    digit = d - 'a' + 10;
+                else if (base == 16 && d >= 'A' && d <= 'F')
+                    digit = d - 'A' + 10;
+                else
+                    break;
+                value = value * base + digit;
+                any = true;
+                ++i;
+            }
+            if (!any)
+                err("bad numeric literal");
+            tok.kind = Tok::IntLit;
+            tok.value = value;
+            tok.text = source.substr(start, i - start);
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        // Character literal.
+        if (c == '\'') {
+            ++i;
+            if (i >= n)
+                err("unterminated char literal");
+            char v;
+            if (source[i] == '\\') {
+                ++i;
+                v = decodeEscape(i);
+            } else {
+                v = source[i++];
+            }
+            if (i >= n || source[i] != '\'')
+                err("unterminated char literal");
+            ++i;
+            tok.kind = Tok::CharLit;
+            tok.value = static_cast<unsigned char>(v);
+            tok.text = std::string(1, v);
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        // String literal.
+        if (c == '"') {
+            ++i;
+            std::string body;
+            while (i < n && source[i] != '"') {
+                if (source[i] == '\n')
+                    err("newline in string literal");
+                if (source[i] == '\\') {
+                    ++i;
+                    if (i >= n)
+                        err("unterminated string literal");
+                    body.push_back(decodeEscape(i));
+                } else {
+                    body.push_back(source[i++]);
+                }
+            }
+            if (i >= n)
+                err("unterminated string literal");
+            ++i;
+            tok.kind = Tok::StrLit;
+            tok.text = std::move(body);
+            out.push_back(std::move(tok));
+            continue;
+        }
+
+        // Punctuators.
+        bool matched = false;
+        for (const char *p : punct3then2) {
+            size_t len = std::string_view(p).size();
+            if (source.compare(i, len, p) == 0) {
+                tok.kind = Tok::Punct;
+                tok.text = p;
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            static const std::string singles = "+-*/%&|^~!<>=()[]{};,.?:";
+            if (singles.find(c) == std::string::npos)
+                err(std::string("unexpected character '") + c + "'");
+            tok.kind = Tok::Punct;
+            tok.text = std::string(1, c);
+            ++i;
+        }
+        out.push_back(std::move(tok));
+    }
+
+    Token end;
+    end.kind = Tok::End;
+    end.line = line;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace irep::minicc

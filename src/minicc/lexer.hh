@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Lexer for MiniC. Produces a flat token vector consumed by the
+ * recursive-descent parser.
+ */
+
+#ifndef IREP_MINICC_LEXER_HH
+#define IREP_MINICC_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace irep::minicc
+{
+
+/** Token kinds. Punctuators carry their spelling in `text`. */
+enum class Tok : uint8_t
+{
+    End,
+    Ident,
+    IntLit,
+    CharLit,
+    StrLit,
+    Keyword,
+    Punct,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;       //!< spelling (decoded body for literals)
+    int64_t value = 0;      //!< numeric value for Int/Char literals
+    int line = 0;
+
+    bool is(Tok k) const { return kind == k; }
+
+    bool
+    isPunct(const char *spelling) const
+    {
+        return kind == Tok::Punct && text == spelling;
+    }
+
+    bool
+    isKeyword(const char *word) const
+    {
+        return kind == Tok::Keyword && text == word;
+    }
+};
+
+/**
+ * Tokenize a MiniC translation unit.
+ * '//' and C-style comments are skipped. Errors raise FatalError with
+ * the line number.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace irep::minicc
+
+#endif // IREP_MINICC_LEXER_HH

@@ -1,0 +1,668 @@
+#include "minicc/parser.hh"
+
+#include <array>
+
+#include "minicc/lexer.hh"
+#include "support/logging.hh"
+
+namespace irep::minicc
+{
+
+namespace
+{
+
+/** Binary operator precedence levels, lowest first. */
+struct PrecLevel
+{
+    std::array<const char *, 4> ops;
+};
+
+constexpr std::array<PrecLevel, 10> precTable = {{
+    {{"||", nullptr, nullptr, nullptr}},
+    {{"&&", nullptr, nullptr, nullptr}},
+    {{"|", nullptr, nullptr, nullptr}},
+    {{"^", nullptr, nullptr, nullptr}},
+    {{"&", nullptr, nullptr, nullptr}},
+    {{"==", "!=", nullptr, nullptr}},
+    {{"<", ">", "<=", ">="}},
+    {{"<<", ">>", nullptr, nullptr}},
+    {{"+", "-", nullptr, nullptr}},
+    {{"*", "/", "%", nullptr}},
+}};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source)
+        : unit_(std::make_unique<Unit>()), tokens_(lex(source))
+    {}
+
+    std::unique_ptr<Unit> run();
+
+  private:
+    // --- token stream -------------------------------------------------
+    const Token &peek(int ahead = 0) const
+    {
+        const size_t i = pos_ + size_t(ahead);
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    const Token &advance() { return tokens_[pos_++]; }
+
+    bool
+    acceptPunct(const char *spelling)
+    {
+        if (peek().isPunct(spelling)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    acceptKeyword(const char *word)
+    {
+        if (peek().isKeyword(word)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectPunct(const char *spelling)
+    {
+        if (!acceptPunct(spelling))
+            err(std::string("expected '") + spelling + "', got '" +
+                peek().text + "'");
+    }
+
+    std::string
+    expectIdent()
+    {
+        if (!peek().is(Tok::Ident))
+            err("expected identifier, got '" + peek().text + "'");
+        return advance().text;
+    }
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        fatal("minicc: line ", peek().line, ": parse error: ", msg);
+    }
+
+    // --- types ---------------------------------------------------------
+    bool startsType(const Token &t) const;
+    const Type *typeSpec();
+    const Type *declaratorType(const Type *base, std::string &name,
+                               bool allow_array);
+
+    // --- declarations ---------------------------------------------------
+    void topLevel();
+    void structDef();
+    void globalTail(const Type *base_spec, const Type *first_type,
+                    std::string first_name, int line);
+    void funcTail(const Type *ret, std::string name, int line);
+    GlobalDecl globalOne(const Type *type, std::string name, int line);
+
+    // --- statements -----------------------------------------------------
+    StmtPtr statement();
+    StmtPtr block();
+    StmtPtr declStatement();
+
+    // --- expressions ----------------------------------------------------
+    ExprPtr expression() { return assignment(); }
+    ExprPtr assignment();
+    ExprPtr conditional();
+    ExprPtr binary(int level);
+    ExprPtr unary();
+    ExprPtr postfix();
+    ExprPtr primary();
+
+    ExprPtr
+    makeExpr(ExprKind kind)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = peek().line;
+        return e;
+    }
+
+    std::unique_ptr<Unit> unit_;
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+// -----------------------------------------------------------------------
+// Types
+// -----------------------------------------------------------------------
+
+bool
+Parser::startsType(const Token &t) const
+{
+    return t.isKeyword("int") || t.isKeyword("char") ||
+           t.isKeyword("void") || t.isKeyword("struct");
+}
+
+const Type *
+Parser::typeSpec()
+{
+    if (acceptKeyword("int"))
+        return unit_->types.intType();
+    if (acceptKeyword("char"))
+        return unit_->types.charType();
+    if (acceptKeyword("void"))
+        return unit_->types.voidType();
+    if (acceptKeyword("struct")) {
+        const std::string name = expectIdent();
+        const StructDef *def = unit_->types.findStruct(name);
+        if (!def)
+            err("unknown struct '" + name + "'");
+        return unit_->types.structType(def);
+    }
+    err("expected type, got '" + peek().text + "'");
+}
+
+const Type *
+Parser::declaratorType(const Type *base, std::string &name,
+                       bool allow_array)
+{
+    const Type *t = base;
+    while (acceptPunct("*"))
+        t = unit_->types.ptrTo(t);
+    name = expectIdent();
+    if (peek().isPunct("[")) {
+        if (!allow_array)
+            err("array not allowed here");
+        expectPunct("[");
+        if (!peek().is(Tok::IntLit))
+            err("array size must be an integer literal");
+        const int count = int(advance().value);
+        if (count <= 0)
+            err("array size must be positive");
+        expectPunct("]");
+        t = unit_->types.arrayOf(t, count);
+    }
+    return t;
+}
+
+// -----------------------------------------------------------------------
+// Declarations
+// -----------------------------------------------------------------------
+
+void
+Parser::structDef()
+{
+    advance();  // 'struct'
+    const std::string name = expectIdent();
+    if (unit_->types.findStruct(name))
+        err("duplicate struct '" + name + "'");
+    StructDef *def = unit_->types.makeStruct(name);
+    expectPunct("{");
+
+    int offset = 0;
+    int align = 4;
+    while (!acceptPunct("}")) {
+        const Type *spec = typeSpec();
+        do {
+            std::string member_name;
+            const Type *mt =
+                declaratorType(spec, member_name, true);
+            if (mt->isStruct() && mt->sdef == def)
+                err("struct contains itself");
+            StructMember m;
+            m.name = member_name;
+            m.type = mt;
+            const int a = mt->align();
+            offset = (offset + a - 1) & ~(a - 1);
+            m.offset = offset;
+            offset += mt->size();
+            align = std::max(align, a);
+            if (def->member(member_name))
+                err("duplicate member '" + member_name + "'");
+            def->members.push_back(std::move(m));
+        } while (acceptPunct(","));
+        expectPunct(";");
+    }
+    expectPunct(";");
+    def->align = align;
+    def->size = (offset + align - 1) & ~(align - 1);
+    if (def->size == 0)
+        def->size = align;
+}
+
+GlobalDecl
+Parser::globalOne(const Type *type, std::string name, int line)
+{
+    GlobalDecl g;
+    g.line = line;
+    g.name = std::move(name);
+    g.type = type;
+    if (acceptPunct("=")) {
+        if (peek().is(Tok::StrLit)) {
+            g.hasStrInit = true;
+            g.strInit = advance().text;
+        } else if (acceptPunct("{")) {
+            g.hasInitList = true;
+            if (!acceptPunct("}")) {
+                do {
+                    g.initList.push_back(conditional());
+                } while (acceptPunct(","));
+                expectPunct("}");
+            }
+        } else {
+            g.init = conditional();
+        }
+    }
+    return g;
+}
+
+void
+Parser::globalTail(const Type *base_spec, const Type *first_type,
+                   std::string first_name, int line)
+{
+    unit_->globals.push_back(
+        globalOne(first_type, std::move(first_name), line));
+    while (acceptPunct(",")) {
+        std::string name;
+        const Type *t = declaratorType(base_spec, name, true);
+        unit_->globals.push_back(globalOne(t, std::move(name), line));
+    }
+    expectPunct(";");
+}
+
+void
+Parser::funcTail(const Type *ret, std::string name, int line)
+{
+    FuncDecl f;
+    f.line = line;
+    f.name = std::move(name);
+    f.retType = ret;
+
+    expectPunct("(");
+    if (!acceptPunct(")")) {
+        if (peek().isKeyword("void") && peek(1).isPunct(")")) {
+            advance();
+            advance();
+        } else {
+            do {
+                const Type *spec = typeSpec();
+                std::string param_name;
+                const Type *pt =
+                    declaratorType(spec, param_name, false);
+                if (!pt->isScalar())
+                    err("parameters must be scalar (int, char, "
+                        "or pointer)");
+                f.params.emplace_back(std::move(param_name), pt);
+            } while (acceptPunct(","));
+            expectPunct(")");
+        }
+    }
+    if (f.params.size() > 4)
+        err("at most 4 parameters are supported (register "
+            "arguments only)");
+
+    if (acceptPunct(";")) {
+        // Forward declaration: keep the signature only.
+        unit_->funcs.push_back(std::move(f));
+        return;
+    }
+    f.body = block();
+    unit_->funcs.push_back(std::move(f));
+}
+
+void
+Parser::topLevel()
+{
+    if (peek().isKeyword("struct") && peek(1).is(Tok::Ident) &&
+        peek(2).isPunct("{")) {
+        structDef();
+        return;
+    }
+    const int line = peek().line;
+    const Type *spec = typeSpec();
+    std::string name;
+    const Type *t = declaratorType(spec, name, true);
+    if (peek().isPunct("(")) {
+        if (t->isArray())
+            err("function cannot return an array");
+        funcTail(t, std::move(name), line);
+    } else {
+        if (t->isVoid())
+            err("variable cannot have void type");
+        globalTail(spec, t, std::move(name), line);
+    }
+}
+
+// -----------------------------------------------------------------------
+// Statements
+// -----------------------------------------------------------------------
+
+StmtPtr
+Parser::block()
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Block;
+    s->line = peek().line;
+    expectPunct("{");
+    while (!acceptPunct("}"))
+        s->stmts.push_back(statement());
+    return s;
+}
+
+StmtPtr
+Parser::declStatement()
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Decl;
+    s->line = peek().line;
+    const Type *spec = typeSpec();
+    do {
+        LocalDecl d;
+        d.type = declaratorType(spec, d.name, true);
+        if (d.type->isVoid())
+            err("variable cannot have void type");
+        if (acceptPunct("="))
+            d.init = expression();
+        s->decls.push_back(std::move(d));
+    } while (acceptPunct(","));
+    expectPunct(";");
+    return s;
+}
+
+StmtPtr
+Parser::statement()
+{
+    const int line = peek().line;
+    auto make = [&](StmtKind kind) {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        s->line = line;
+        return s;
+    };
+
+    if (peek().isPunct("{"))
+        return block();
+
+    if (startsType(peek()))
+        return declStatement();
+
+    if (acceptKeyword("if")) {
+        auto s = make(StmtKind::If);
+        expectPunct("(");
+        s->expr = expression();
+        expectPunct(")");
+        s->then = statement();
+        if (acceptKeyword("else"))
+            s->els = statement();
+        return s;
+    }
+    if (acceptKeyword("while")) {
+        auto s = make(StmtKind::While);
+        expectPunct("(");
+        s->expr = expression();
+        expectPunct(")");
+        s->body = statement();
+        return s;
+    }
+    if (acceptKeyword("do")) {
+        auto s = make(StmtKind::DoWhile);
+        s->body = statement();
+        if (!acceptKeyword("while"))
+            err("expected 'while' after do-body");
+        expectPunct("(");
+        s->expr = expression();
+        expectPunct(")");
+        expectPunct(";");
+        return s;
+    }
+    if (acceptKeyword("for")) {
+        auto s = make(StmtKind::For);
+        expectPunct("(");
+        if (!peek().isPunct(";")) {
+            if (startsType(peek())) {
+                s->init = declStatement();  // consumes ';'
+            } else {
+                auto init = make(StmtKind::Expr);
+                init->expr = expression();
+                s->init = std::move(init);
+                expectPunct(";");
+            }
+        } else {
+            expectPunct(";");
+        }
+        if (!peek().isPunct(";"))
+            s->cond = expression();
+        expectPunct(";");
+        if (!peek().isPunct(")"))
+            s->inc = expression();
+        expectPunct(")");
+        s->body = statement();
+        return s;
+    }
+    if (acceptKeyword("return")) {
+        auto s = make(StmtKind::Return);
+        if (!peek().isPunct(";"))
+            s->expr = expression();
+        expectPunct(";");
+        return s;
+    }
+    if (acceptKeyword("break")) {
+        expectPunct(";");
+        return make(StmtKind::Break);
+    }
+    if (acceptKeyword("continue")) {
+        expectPunct(";");
+        return make(StmtKind::Continue);
+    }
+
+    auto s = make(StmtKind::Expr);
+    s->expr = expression();
+    expectPunct(";");
+    return s;
+}
+
+// -----------------------------------------------------------------------
+// Expressions
+// -----------------------------------------------------------------------
+
+ExprPtr
+Parser::assignment()
+{
+    ExprPtr lhs = conditional();
+    static const char *assign_ops[] = {
+        "=", "+=", "-=", "*=", "/=", "%=",
+        "&=", "|=", "^=", "<<=", ">>=",
+    };
+    for (const char *op : assign_ops) {
+        if (peek().isPunct(op)) {
+            advance();
+            auto e = makeExpr(ExprKind::Assign);
+            e->op = op;
+            e->a = std::move(lhs);
+            e->b = assignment();    // right-associative
+            return e;
+        }
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::conditional()
+{
+    ExprPtr cond = binary(0);
+    if (!acceptPunct("?"))
+        return cond;
+    auto e = makeExpr(ExprKind::Cond);
+    e->a = std::move(cond);
+    e->b = expression();
+    expectPunct(":");
+    e->c = conditional();
+    return e;
+}
+
+ExprPtr
+Parser::binary(int level)
+{
+    if (level >= int(precTable.size()))
+        return unary();
+    ExprPtr lhs = binary(level + 1);
+    while (true) {
+        const char *matched = nullptr;
+        for (const char *op : precTable[size_t(level)].ops) {
+            if (op && peek().isPunct(op)) {
+                matched = op;
+                break;
+            }
+        }
+        if (!matched)
+            return lhs;
+        advance();
+        auto e = makeExpr(ExprKind::Binary);
+        e->op = matched;
+        e->a = std::move(lhs);
+        e->b = binary(level + 1);
+        lhs = std::move(e);
+    }
+}
+
+ExprPtr
+Parser::unary()
+{
+    // Cast: '(' type ')' unary.
+    if (peek().isPunct("(") && startsType(peek(1))) {
+        advance();
+        const Type *spec = typeSpec();
+        const Type *t = spec;
+        while (acceptPunct("*"))
+            t = unit_->types.ptrTo(t);
+        expectPunct(")");
+        auto e = makeExpr(ExprKind::Cast);
+        e->namedType = t;
+        e->a = unary();
+        return e;
+    }
+
+    if (acceptKeyword("sizeof")) {
+        expectPunct("(");
+        auto e = makeExpr(ExprKind::SizeofType);
+        const Type *spec = typeSpec();
+        const Type *t = spec;
+        while (acceptPunct("*"))
+            t = unit_->types.ptrTo(t);
+        e->namedType = t;
+        expectPunct(")");
+        return e;
+    }
+
+    static const char *unary_ops[] = {"-", "~", "!", "*", "&"};
+    for (const char *op : unary_ops) {
+        if (peek().isPunct(op)) {
+            advance();
+            auto e = makeExpr(ExprKind::Unary);
+            e->op = op;
+            e->a = unary();
+            return e;
+        }
+    }
+
+    if (peek().isPunct("++") || peek().isPunct("--")) {
+        auto e = makeExpr(ExprKind::IncDec);
+        e->op = advance().text;
+        e->isPrefix = true;
+        e->a = unary();
+        return e;
+    }
+
+    return postfix();
+}
+
+ExprPtr
+Parser::postfix()
+{
+    ExprPtr e = primary();
+    while (true) {
+        if (acceptPunct("[")) {
+            auto idx = makeExpr(ExprKind::Index);
+            idx->a = std::move(e);
+            idx->b = expression();
+            expectPunct("]");
+            e = std::move(idx);
+        } else if (peek().isPunct(".") || peek().isPunct("->")) {
+            const bool arrow = peek().isPunct("->");
+            advance();
+            auto m = makeExpr(ExprKind::Member);
+            m->isArrow = arrow;
+            m->a = std::move(e);
+            m->strValue = expectIdent();
+            e = std::move(m);
+        } else if (peek().isPunct("++") || peek().isPunct("--")) {
+            auto p = makeExpr(ExprKind::IncDec);
+            p->op = advance().text;
+            p->isPrefix = false;
+            p->a = std::move(e);
+            e = std::move(p);
+        } else {
+            return e;
+        }
+    }
+}
+
+ExprPtr
+Parser::primary()
+{
+    const Token &t = peek();
+    if (t.is(Tok::IntLit) || t.is(Tok::CharLit)) {
+        auto e = makeExpr(ExprKind::IntLit);
+        e->intValue = advance().value;
+        return e;
+    }
+    if (t.is(Tok::StrLit)) {
+        auto e = makeExpr(ExprKind::StrLit);
+        e->strValue = advance().text;
+        return e;
+    }
+    if (t.is(Tok::Ident)) {
+        // Function call?
+        if (peek(1).isPunct("(")) {
+            auto e = makeExpr(ExprKind::Call);
+            e->callee = advance().text;
+            expectPunct("(");
+            if (!acceptPunct(")")) {
+                do {
+                    e->args.push_back(assignment());
+                } while (acceptPunct(","));
+                expectPunct(")");
+            }
+            return e;
+        }
+        auto e = makeExpr(ExprKind::Var);
+        e->strValue = advance().text;
+        return e;
+    }
+    if (acceptPunct("(")) {
+        ExprPtr e = expression();
+        expectPunct(")");
+        return e;
+    }
+    err("expected expression, got '" + t.text + "'");
+}
+
+std::unique_ptr<Unit>
+Parser::run()
+{
+    while (!peek().is(Tok::End))
+        topLevel();
+    return std::move(unit_);
+}
+
+} // namespace
+
+std::unique_ptr<Unit>
+parse(const std::string &source)
+{
+    Parser parser(source);
+    return parser.run();
+}
+
+} // namespace irep::minicc

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC. See README for the language
+ * definition: a C subset with int/char/void, pointers, 1-D arrays,
+ * structs, the full C operator set, and syscall intrinsics
+ * (__read, __write, __sbrk, __exit).
+ */
+
+#ifndef IREP_MINICC_PARSER_HH
+#define IREP_MINICC_PARSER_HH
+
+#include <memory>
+#include <string>
+
+#include "minicc/ast.hh"
+
+namespace irep::minicc
+{
+
+/**
+ * Parse a MiniC translation unit. The returned Unit is unresolved
+ * (no symbols or types on expressions); run analyze() next.
+ */
+std::unique_ptr<Unit> parse(const std::string &source);
+
+} // namespace irep::minicc
+
+#endif // IREP_MINICC_PARSER_HH

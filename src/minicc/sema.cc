@@ -1,0 +1,686 @@
+#include "minicc/sema.hh"
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/observer.hh"
+#include "support/logging.hh"
+
+namespace irep::minicc
+{
+
+namespace
+{
+
+class Sema
+{
+  public:
+    explicit Sema(Unit &unit) : unit_(unit) {}
+
+    void run();
+
+  private:
+    // --- scope handling -------------------------------------------------
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+
+    VarSym *declareLocal(const std::string &name, const Type *type,
+                         int line);
+    VarSym *lookupVar(const std::string &name);
+
+    // --- declaration passes ----------------------------------------------
+    void declareIntrinsics();
+    void declareGlobals();
+    void declareFunctions();
+    void checkFunction(FuncDecl &f);
+
+    // --- statements -------------------------------------------------------
+    void stmt(Stmt &s);
+
+    // --- expressions ------------------------------------------------------
+    void expr(Expr &e);
+    void exprRValue(Expr &e);
+    const Type *decayed(const Type *t);
+    void requireScalar(const Expr &e, const char *what);
+    bool assignable(const Type *dst, const Expr &src);
+
+    [[noreturn]] void
+    err(int line, const std::string &msg) const
+    {
+        fatal("minicc: line ", line, ": ", msg);
+    }
+
+    Unit &unit_;
+    std::unordered_map<std::string, FuncSym *> funcTable_;
+    std::unordered_map<std::string, VarSym *> globalTable_;
+    std::vector<std::unordered_map<std::string, VarSym *>> scopes_;
+    FuncDecl *current_ = nullptr;
+    int loopDepth_ = 0;
+};
+
+VarSym *
+Sema::declareLocal(const std::string &name, const Type *type, int line)
+{
+    auto &scope = scopes_.back();
+    if (scope.count(name))
+        err(line, "duplicate declaration of '" + name + "'");
+    VarSym *sym = unit_.newVar();
+    sym->name = name;
+    sym->type = type;
+    sym->isGlobal = false;
+    // Aggregates always live in memory.
+    if (!type->isScalar())
+        sym->addrTaken = true;
+    scope.emplace(name, sym);
+    current_->locals.push_back(sym);
+    return sym;
+}
+
+VarSym *
+Sema::lookupVar(const std::string &name)
+{
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+        auto found = it->find(name);
+        if (found != it->end())
+            return found->second;
+    }
+    auto found = globalTable_.find(name);
+    return found == globalTable_.end() ? nullptr : found->second;
+}
+
+void
+Sema::declareIntrinsics()
+{
+    struct Row
+    {
+        const char *name;
+        int syscall;
+        int nargs;
+    };
+    static const Row rows[] = {
+        {"__exit", int(sim::Syscall::Exit), 1},
+        {"__read", int(sim::Syscall::Read), 2},
+        {"__write", int(sim::Syscall::Write), 2},
+        {"__sbrk", int(sim::Syscall::Sbrk), 1},
+    };
+    for (const Row &r : rows) {
+        FuncSym *f = unit_.newFunc();
+        f->name = r.name;
+        f->retType = unit_.types.intType();
+        for (int i = 0; i < r.nargs; ++i)
+            f->paramTypes.push_back(unit_.types.intType());
+        f->defined = true;
+        f->intrinsic = r.syscall;
+        funcTable_.emplace(f->name, f);
+    }
+}
+
+void
+Sema::declareGlobals()
+{
+    for (GlobalDecl &g : unit_.globals) {
+        if (globalTable_.count(g.name) || funcTable_.count(g.name))
+            err(g.line, "duplicate global '" + g.name + "'");
+        VarSym *sym = unit_.newVar();
+        sym->name = g.name;
+        sym->type = g.type;
+        sym->isGlobal = true;
+        sym->home = VarHome::Global;
+        sym->label = "g_" + g.name;
+        g.sym = sym;
+        globalTable_.emplace(g.name, sym);
+
+        // Validate initializers.
+        if (g.hasStrInit) {
+            if (!(g.type->isArray() && g.type->base->isChar()) &&
+                !(g.type->isPtr() && g.type->base->isChar())) {
+                err(g.line, "string initializer requires char[] or "
+                            "char*");
+            }
+            if (g.type->isArray() &&
+                int(g.strInit.size()) + 1 > g.type->arraySize) {
+                err(g.line, "string initializer too long");
+            }
+        } else if (g.hasInitList) {
+            if (!g.type->isArray())
+                err(g.line, "initializer list requires an array");
+            if (int(g.initList.size()) > g.type->arraySize)
+                err(g.line, "too many initializers");
+            for (const ExprPtr &e : g.initList)
+                evalConst(*e);  // fatal when non-constant
+        } else if (g.init) {
+            if (!g.type->isScalar())
+                err(g.line, "scalar initializer on aggregate");
+            evalConst(*g.init);
+        }
+    }
+}
+
+void
+Sema::declareFunctions()
+{
+    for (FuncDecl &f : unit_.funcs) {
+        auto it = funcTable_.find(f.name);
+        FuncSym *sym;
+        if (it != funcTable_.end()) {
+            sym = it->second;
+            if (sym->intrinsic >= 0)
+                err(f.line, "cannot redefine intrinsic '" + f.name +
+                                "'");
+            // Signature must match the earlier declaration.
+            if (sym->retType != f.retType ||
+                sym->paramTypes.size() != f.params.size())
+                err(f.line, "conflicting declaration of '" + f.name +
+                                "'");
+            for (size_t i = 0; i < f.params.size(); ++i) {
+                if (sym->paramTypes[i] != f.params[i].second)
+                    err(f.line, "conflicting parameter types for '" +
+                                    f.name + "'");
+            }
+            if (f.body && sym->defined)
+                err(f.line, "redefinition of '" + f.name + "'");
+        } else {
+            sym = unit_.newFunc();
+            sym->name = f.name;
+            sym->retType = f.retType;
+            for (const auto &p : f.params)
+                sym->paramTypes.push_back(p.second);
+            funcTable_.emplace(f.name, sym);
+        }
+        if (f.body)
+            sym->defined = true;
+        f.sym = sym;
+    }
+}
+
+const Type *
+Sema::decayed(const Type *t)
+{
+    if (t->isArray())
+        return unit_.types.ptrTo(t->base);
+    return t;
+}
+
+void
+Sema::requireScalar(const Expr &e, const char *what)
+{
+    if (!decayed(e.type)->isScalar())
+        err(e.line, std::string(what) + " requires a scalar value");
+}
+
+bool
+Sema::assignable(const Type *dst, const Expr &src)
+{
+    const Type *s = decayed(src.type);
+    if (dst->isArith() && s->isArith())
+        return true;
+    if (dst->isPtr() && s->isPtr())
+        return true;    // old-C style loose pointer compatibility
+    if (dst->isPtr() && src.kind == ExprKind::IntLit &&
+        src.intValue == 0)
+        return true;    // null pointer constant
+    return false;
+}
+
+void
+Sema::exprRValue(Expr &e)
+{
+    expr(e);
+    if (e.type->isVoid())
+        err(e.line, "void value used");
+}
+
+void
+Sema::expr(Expr &e)
+{
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        e.type = unit_.types.intType();
+        break;
+
+      case ExprKind::StrLit: {
+        // Intern in the string pool; identical literals share a label.
+        for (size_t i = 0; i < unit_.stringPool.size(); ++i) {
+            if (unit_.stringPool[i] == e.strValue) {
+                e.strLabel = int(i);
+                break;
+            }
+        }
+        if (e.strLabel < 0) {
+            e.strLabel = int(unit_.stringPool.size());
+            unit_.stringPool.push_back(e.strValue);
+        }
+        e.type = unit_.types.ptrTo(unit_.types.charType());
+        break;
+      }
+
+      case ExprKind::Var: {
+        VarSym *sym = lookupVar(e.strValue);
+        if (!sym)
+            err(e.line, "undeclared identifier '" + e.strValue + "'");
+        e.var = sym;
+        e.type = sym->type;
+        e.isLValue = true;
+        break;
+      }
+
+      case ExprKind::Unary: {
+        if (e.op == "&") {
+            expr(*e.a);
+            if (!e.a->isLValue)
+                err(e.line, "'&' requires an lvalue");
+            if (e.a->kind == ExprKind::Var)
+                e.a->var->addrTaken = true;
+            e.type = unit_.types.ptrTo(e.a->type->isArray()
+                                           ? e.a->type->base
+                                           : e.a->type);
+            break;
+        }
+        exprRValue(*e.a);
+        const Type *at = decayed(e.a->type);
+        if (e.op == "*") {
+            if (!at->isPtr())
+                err(e.line, "'*' requires a pointer");
+            if (at->base->isVoid())
+                err(e.line, "cannot dereference void*");
+            e.type = at->base;
+            e.isLValue = true;
+        } else if (e.op == "!") {
+            requireScalar(*e.a, "'!'");
+            e.type = unit_.types.intType();
+        } else {
+            if (!at->isArith())
+                err(e.line, "'" + e.op + "' requires an arithmetic "
+                                         "operand");
+            e.type = unit_.types.intType();
+        }
+        break;
+      }
+
+      case ExprKind::Binary: {
+        exprRValue(*e.a);
+        exprRValue(*e.b);
+        const Type *at = decayed(e.a->type);
+        const Type *bt = decayed(e.b->type);
+
+        if (e.op == "+" ) {
+            if (at->isPtr() && bt->isArith())
+                e.type = at;
+            else if (at->isArith() && bt->isPtr())
+                e.type = bt;
+            else if (at->isArith() && bt->isArith())
+                e.type = unit_.types.intType();
+            else
+                err(e.line, "bad operands to '+'");
+        } else if (e.op == "-") {
+            if (at->isPtr() && bt->isArith())
+                e.type = at;
+            else if (at->isPtr() && bt->isPtr())
+                e.type = unit_.types.intType();
+            else if (at->isArith() && bt->isArith())
+                e.type = unit_.types.intType();
+            else
+                err(e.line, "bad operands to '-'");
+        } else if (e.op == "==" || e.op == "!=" || e.op == "<" ||
+                   e.op == ">" || e.op == "<=" || e.op == ">=") {
+            const bool ok = (at->isArith() && bt->isArith()) ||
+                            (at->isPtr() && bt->isPtr()) ||
+                            (at->isPtr() && e.b->kind ==
+                                ExprKind::IntLit && e.b->intValue == 0) ||
+                            (bt->isPtr() && e.a->kind ==
+                                ExprKind::IntLit && e.a->intValue == 0);
+            if (!ok)
+                err(e.line, "bad operands to '" + e.op + "'");
+            e.type = unit_.types.intType();
+        } else if (e.op == "&&" || e.op == "||") {
+            requireScalar(*e.a, "logical operator");
+            requireScalar(*e.b, "logical operator");
+            e.type = unit_.types.intType();
+        } else {
+            // * / % << >> & | ^ : arithmetic only.
+            if (!at->isArith() || !bt->isArith())
+                err(e.line, "bad operands to '" + e.op + "'");
+            e.type = unit_.types.intType();
+        }
+        break;
+      }
+
+      case ExprKind::Assign: {
+        expr(*e.a);
+        exprRValue(*e.b);
+        if (!e.a->isLValue)
+            err(e.line, "assignment target is not an lvalue");
+        if (!e.a->type->isScalar())
+            err(e.line, "assignment target must be scalar");
+        if (e.op == "=") {
+            if (!assignable(e.a->type, *e.b))
+                err(e.line, "incompatible types in assignment (" +
+                                e.a->type->str() + " = " +
+                                decayed(e.b->type)->str() + ")");
+        } else if (e.op == "+=" || e.op == "-=") {
+            const Type *bt = decayed(e.b->type);
+            if (e.a->type->isPtr()) {
+                if (!bt->isArith())
+                    err(e.line, "pointer " + e.op + " needs integer");
+            } else if (!(e.a->type->isArith() && bt->isArith())) {
+                err(e.line, "bad operands to '" + e.op + "'");
+            }
+        } else {
+            const Type *bt = decayed(e.b->type);
+            if (!e.a->type->isArith() || !bt->isArith())
+                err(e.line, "bad operands to '" + e.op + "'");
+        }
+        e.type = e.a->type;
+        break;
+      }
+
+      case ExprKind::Cond: {
+        exprRValue(*e.a);
+        requireScalar(*e.a, "'?:' condition");
+        exprRValue(*e.b);
+        exprRValue(*e.c);
+        const Type *bt = decayed(e.b->type);
+        const Type *ct = decayed(e.c->type);
+        if (bt->isArith() && ct->isArith())
+            e.type = unit_.types.intType();
+        else if (bt->isPtr() && ct->isPtr())
+            e.type = bt;
+        else if (bt->isPtr() && e.c->kind == ExprKind::IntLit &&
+                 e.c->intValue == 0)
+            e.type = bt;
+        else if (ct->isPtr() && e.b->kind == ExprKind::IntLit &&
+                 e.b->intValue == 0)
+            e.type = ct;
+        else
+            err(e.line, "incompatible '?:' branches");
+        break;
+      }
+
+      case ExprKind::Call: {
+        auto it = funcTable_.find(e.callee);
+        if (it == funcTable_.end())
+            err(e.line, "call to undeclared function '" + e.callee +
+                            "'");
+        FuncSym *f = it->second;
+        if (e.args.size() != f->paramTypes.size())
+            err(e.line, "'" + e.callee + "' expects " +
+                            std::to_string(f->paramTypes.size()) +
+                            " arguments");
+        for (size_t i = 0; i < e.args.size(); ++i) {
+            exprRValue(*e.args[i]);
+            if (!assignable(f->paramTypes[i], *e.args[i]) &&
+                !(f->paramTypes[i]->isArith() &&
+                  decayed(e.args[i]->type)->isPtr() &&
+                  f->intrinsic >= 0)) {
+                err(e.args[i]->line,
+                    "argument " + std::to_string(i + 1) + " of '" +
+                        e.callee + "' has incompatible type");
+            }
+        }
+        e.func = f;
+        e.type = f->retType;
+        break;
+      }
+
+      case ExprKind::Index: {
+        exprRValue(*e.a);
+        exprRValue(*e.b);
+        const Type *at = decayed(e.a->type);
+        if (!at->isPtr())
+            err(e.line, "subscripted value is not a pointer or array");
+        if (!decayed(e.b->type)->isArith())
+            err(e.line, "array subscript is not an integer");
+        e.type = at->base;
+        e.isLValue = true;
+        break;
+      }
+
+      case ExprKind::Member: {
+        expr(*e.a);
+        const Type *at = e.a->type;
+        const StructDef *def = nullptr;
+        if (e.isArrow) {
+            const Type *pt = decayed(at);
+            if (!pt->isPtr() || !pt->base->isStruct())
+                err(e.line, "'->' requires a pointer to struct");
+            def = pt->base->sdef;
+        } else {
+            if (!at->isStruct())
+                err(e.line, "'.' requires a struct");
+            if (!e.a->isLValue)
+                err(e.line, "'.' requires an lvalue struct");
+            def = at->sdef;
+        }
+        const StructMember *m = def->member(e.strValue);
+        if (!m)
+            err(e.line, "no member '" + e.strValue + "' in struct " +
+                            def->name);
+        e.memberRef = m;
+        e.type = m->type;
+        e.isLValue = true;
+        break;
+      }
+
+      case ExprKind::Cast: {
+        exprRValue(*e.a);
+        const Type *src = decayed(e.a->type);
+        const Type *dst = e.namedType;
+        if (!dst->isScalar() && !dst->isVoid())
+            err(e.line, "cast target must be scalar");
+        if (!src->isScalar())
+            err(e.line, "cast source must be scalar");
+        e.type = dst;
+        break;
+      }
+
+      case ExprKind::IncDec: {
+        expr(*e.a);
+        if (!e.a->isLValue)
+            err(e.line, "'" + e.op + "' requires an lvalue");
+        if (!e.a->type->isScalar())
+            err(e.line, "'" + e.op + "' requires a scalar");
+        e.type = e.a->type;
+        break;
+      }
+
+      case ExprKind::SizeofType:
+        e.type = unit_.types.intType();
+        e.intValue = e.namedType->size();
+        break;
+    }
+}
+
+void
+Sema::stmt(Stmt &s)
+{
+    switch (s.kind) {
+      case StmtKind::Expr:
+        // Expression statements may discard a void call's "value".
+        expr(*s.expr);
+        break;
+      case StmtKind::If:
+        exprRValue(*s.expr);
+        requireScalar(*s.expr, "if condition");
+        stmt(*s.then);
+        if (s.els)
+            stmt(*s.els);
+        break;
+      case StmtKind::While:
+      case StmtKind::DoWhile:
+        exprRValue(*s.expr);
+        requireScalar(*s.expr, "loop condition");
+        ++loopDepth_;
+        stmt(*s.body);
+        --loopDepth_;
+        break;
+      case StmtKind::For:
+        pushScope();
+        if (s.init)
+            stmt(*s.init);
+        if (s.cond) {
+            exprRValue(*s.cond);
+            requireScalar(*s.cond, "for condition");
+        }
+        if (s.inc)
+            expr(*s.inc);   // increment may be a void call
+        ++loopDepth_;
+        stmt(*s.body);
+        --loopDepth_;
+        popScope();
+        break;
+      case StmtKind::Return:
+        if (s.expr) {
+            exprRValue(*s.expr);
+            if (current_->retType->isVoid())
+                err(s.line, "return value in void function");
+            if (!assignable(current_->retType, *s.expr))
+                err(s.line, "incompatible return type");
+        } else if (!current_->retType->isVoid()) {
+            err(s.line, "missing return value");
+        }
+        break;
+      case StmtKind::Break:
+        if (!loopDepth_)
+            err(s.line, "break outside a loop");
+        break;
+      case StmtKind::Continue:
+        if (!loopDepth_)
+            err(s.line, "continue outside a loop");
+        break;
+      case StmtKind::Block:
+        pushScope();
+        for (StmtPtr &child : s.stmts)
+            stmt(*child);
+        popScope();
+        break;
+      case StmtKind::Decl:
+        for (LocalDecl &d : s.decls) {
+            if (d.init) {
+                exprRValue(*d.init);
+                // Note: the variable is not in scope for its own
+                // initializer, matching C's declare-after-init here.
+            }
+            d.sym = declareLocal(d.name, d.type, s.line);
+            if (d.init) {
+                if (!d.type->isScalar())
+                    err(s.line, "initializer on aggregate local");
+                if (!assignable(d.type, *d.init))
+                    err(s.line, "incompatible initializer for '" +
+                                    d.name + "'");
+            }
+        }
+        break;
+    }
+}
+
+void
+Sema::checkFunction(FuncDecl &f)
+{
+    current_ = &f;
+    loopDepth_ = 0;
+    pushScope();
+    int index = 0;
+    for (const auto &[name, type] : f.params) {
+        if (scopes_.back().count(name))
+            err(f.line, "duplicate parameter '" + name + "'");
+        VarSym *sym = unit_.newVar();
+        sym->name = name;
+        sym->type = type;
+        sym->paramIndex = index++;
+        scopes_.back().emplace(name, sym);
+        f.paramSyms.push_back(sym);
+    }
+    stmt(*f.body);
+    popScope();
+    current_ = nullptr;
+}
+
+void
+Sema::run()
+{
+    declareIntrinsics();
+    declareGlobals();
+    declareFunctions();
+    for (FuncDecl &f : unit_.funcs) {
+        if (f.body)
+            checkFunction(f);
+    }
+    // Every referenced function must be defined somewhere in the unit.
+    for (const auto &[name, sym] : funcTable_) {
+        if (!sym->defined)
+            fatal("minicc: undefined function '", name, "'");
+    }
+}
+
+} // namespace
+
+ConstVal
+evalConst(const Expr &expr)
+{
+    switch (expr.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::SizeofType: {
+        ConstVal v;
+        v.num = expr.intValue;
+        return v;
+      }
+      case ExprKind::Var: {
+        // Address-of-global initializer: `int *p = arr;` style decay is
+        // not supported; use explicit literals. We do allow a named
+        // global as a label constant for pointer initializers.
+        ConstVal v;
+        v.isLabel = true;
+        v.label = "g_" + expr.strValue;
+        return v;
+      }
+      case ExprKind::Unary: {
+        ConstVal a = evalConst(*expr.a);
+        fatalIf(a.isLabel, "minicc: line ", expr.line,
+                ": non-constant initializer");
+        ConstVal v;
+        if (expr.op == "-")
+            v.num = -a.num;
+        else if (expr.op == "~")
+            v.num = ~a.num;
+        else if (expr.op == "!")
+            v.num = !a.num;
+        else
+            fatal("minicc: line ", expr.line,
+                  ": non-constant initializer");
+        return v;
+      }
+      case ExprKind::Binary: {
+        ConstVal a = evalConst(*expr.a);
+        ConstVal b = evalConst(*expr.b);
+        fatalIf(a.isLabel || b.isLabel, "minicc: line ", expr.line,
+                ": non-constant initializer");
+        const int32_t x = int32_t(a.num), y = int32_t(b.num);
+        ConstVal v;
+        if (expr.op == "+") v.num = x + y;
+        else if (expr.op == "-") v.num = x - y;
+        else if (expr.op == "*") v.num = x * y;
+        else if (expr.op == "/") v.num = y ? x / y : 0;
+        else if (expr.op == "%") v.num = y ? x % y : 0;
+        else if (expr.op == "<<") v.num = x << (y & 31);
+        else if (expr.op == ">>") v.num = x >> (y & 31);
+        else if (expr.op == "&") v.num = x & y;
+        else if (expr.op == "|") v.num = x | y;
+        else if (expr.op == "^") v.num = x ^ y;
+        else
+            fatal("minicc: line ", expr.line,
+                  ": non-constant initializer");
+        return v;
+      }
+      default:
+        fatal("minicc: line ", expr.line, ": non-constant initializer");
+    }
+}
+
+void
+analyze(Unit &unit)
+{
+    Sema sema(unit);
+    sema.run();
+}
+
+} // namespace irep::minicc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Semantic analysis for MiniC: symbol resolution, type checking,
+ * lvalue classification, string-literal pooling, and constant
+ * evaluation of global initializers. Annotates the AST in place.
+ */
+
+#ifndef IREP_MINICC_SEMA_HH
+#define IREP_MINICC_SEMA_HH
+
+#include "minicc/ast.hh"
+
+namespace irep::minicc
+{
+
+/**
+ * Analyze a parsed Unit. All type errors raise FatalError with a line
+ * number. On return every Expr has `type` and `isLValue` set and every
+ * Var/Call node is resolved.
+ */
+void analyze(Unit &unit);
+
+/**
+ * A compile-time constant: either a plain number or the address of a
+ * global symbol (for pointer initializers and `.word label` emission).
+ */
+struct ConstVal
+{
+    bool isLabel = false;
+    int64_t num = 0;
+    std::string label;
+};
+
+/**
+ * Evaluate a constant expression (used for global initializers).
+ * fatal() when the expression is not compile-time constant.
+ */
+ConstVal evalConst(const Expr &expr);
+
+} // namespace irep::minicc
+
+#endif // IREP_MINICC_SEMA_HH

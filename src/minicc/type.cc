@@ -1,0 +1,147 @@
+#include "minicc/type.hh"
+
+#include "support/logging.hh"
+
+namespace irep::minicc
+{
+
+const StructMember *
+StructDef::member(const std::string &member_name) const
+{
+    for (const auto &m : members) {
+        if (m.name == member_name)
+            return &m;
+    }
+    return nullptr;
+}
+
+int
+Type::size() const
+{
+    switch (kind) {
+      case Void:
+        fatal("sizeof(void)");
+      case Int:
+        return 4;
+      case Char:
+        return 1;
+      case Ptr:
+        return 4;
+      case Array:
+        return base->size() * arraySize;
+      case Struct:
+        return sdef->size;
+    }
+    panic("bad type kind");
+}
+
+int
+Type::align() const
+{
+    switch (kind) {
+      case Void:
+        return 1;
+      case Int:
+      case Ptr:
+        return 4;
+      case Char:
+        return 1;
+      case Array:
+        return base->align();
+      case Struct:
+        return sdef->align;
+    }
+    panic("bad type kind");
+}
+
+std::string
+Type::str() const
+{
+    switch (kind) {
+      case Void:
+        return "void";
+      case Int:
+        return "int";
+      case Char:
+        return "char";
+      case Ptr:
+        return base->str() + "*";
+      case Array:
+        return base->str() + "[" + std::to_string(arraySize) + "]";
+      case Struct:
+        return "struct " + sdef->name;
+    }
+    panic("bad type kind");
+}
+
+TypeTable::TypeTable()
+{
+    void_.kind = Type::Void;
+    int_.kind = Type::Int;
+    char_.kind = Type::Char;
+}
+
+const Type *
+TypeTable::ptrTo(const Type *base)
+{
+    for (const Type &t : derived_) {
+        if (t.kind == Type::Ptr && t.base == base)
+            return &t;
+    }
+    Type t;
+    t.kind = Type::Ptr;
+    t.base = base;
+    derived_.push_back(t);
+    return &derived_.back();
+}
+
+const Type *
+TypeTable::arrayOf(const Type *base, int count)
+{
+    for (const Type &t : derived_) {
+        if (t.kind == Type::Array && t.base == base &&
+            t.arraySize == count) {
+            return &t;
+        }
+    }
+    Type t;
+    t.kind = Type::Array;
+    t.base = base;
+    t.arraySize = count;
+    derived_.push_back(t);
+    return &derived_.back();
+}
+
+const Type *
+TypeTable::structType(const StructDef *def)
+{
+    for (const Type &t : derived_) {
+        if (t.kind == Type::Struct && t.sdef == def)
+            return &t;
+    }
+    Type t;
+    t.kind = Type::Struct;
+    t.sdef = def;
+    derived_.push_back(t);
+    return &derived_.back();
+}
+
+StructDef *
+TypeTable::makeStruct(const std::string &name)
+{
+    structs_.emplace_back();
+    structs_.back().name = name;
+    return &structs_.back();
+}
+
+const StructDef *
+TypeTable::findStruct(const std::string &name) const
+{
+    for (const StructDef &s : structs_) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+} // namespace irep::minicc

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The MiniC type system: int, char, void, pointers, one-dimensional
+ * arrays, and structs. Types are interned in a TypeTable so they can
+ * be compared by pointer.
+ */
+
+#ifndef IREP_MINICC_TYPE_HH
+#define IREP_MINICC_TYPE_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace irep::minicc
+{
+
+struct Type;
+
+/** One member of a struct definition. */
+struct StructMember
+{
+    std::string name;
+    const Type *type = nullptr;
+    int offset = 0;
+};
+
+/** A named struct definition with laid-out members. */
+struct StructDef
+{
+    std::string name;
+    std::vector<StructMember> members;
+    int size = 0;
+    int align = 4;
+
+    const StructMember *member(const std::string &member_name) const;
+};
+
+/** A MiniC type. */
+struct Type
+{
+    enum Kind { Void, Int, Char, Ptr, Array, Struct };
+
+    Kind kind = Void;
+    const Type *base = nullptr;     //!< Ptr/Array element type
+    int arraySize = 0;              //!< Array element count
+    const StructDef *sdef = nullptr;
+
+    bool isVoid() const { return kind == Void; }
+    bool isInt() const { return kind == Int; }
+    bool isChar() const { return kind == Char; }
+    bool isPtr() const { return kind == Ptr; }
+    bool isArray() const { return kind == Array; }
+    bool isStruct() const { return kind == Struct; }
+    bool isArith() const { return kind == Int || kind == Char; }
+    bool isScalar() const { return isArith() || isPtr(); }
+
+    /** Size in bytes (fatal for void). */
+    int size() const;
+
+    /** Alignment in bytes. */
+    int align() const;
+
+    /** Human-readable spelling for diagnostics. */
+    std::string str() const;
+};
+
+/** Owner and intern table for types and struct definitions. */
+class TypeTable
+{
+  public:
+    TypeTable();
+
+    const Type *voidType() const { return &void_; }
+    const Type *intType() const { return &int_; }
+    const Type *charType() const { return &char_; }
+
+    const Type *ptrTo(const Type *base);
+    const Type *arrayOf(const Type *base, int count);
+    const Type *structType(const StructDef *def);
+
+    /** Create a new (initially empty) struct definition. */
+    StructDef *makeStruct(const std::string &name);
+
+    /** Find a struct definition by name, or nullptr. */
+    const StructDef *findStruct(const std::string &name) const;
+
+  private:
+    Type void_, int_, char_;
+    std::deque<Type> derived_;
+    std::deque<StructDef> structs_;
+};
+
+} // namespace irep::minicc
+
+#endif // IREP_MINICC_TYPE_HH

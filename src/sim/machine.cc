@@ -1,0 +1,436 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace irep::sim
+{
+
+using isa::Instruction;
+using isa::Op;
+
+Machine::Machine(const assem::Program &program)
+    : program_(program), pc_(program.entry),
+      brk_(program.heapStart())
+{
+    decoded_.reserve(program.text.size());
+    for (uint32_t word : program.text)
+        decoded_.push_back(isa::decode(word));
+
+    if (!program.data.empty())
+        mem_.writeBlock(assem::Layout::dataBase, program.data.data(),
+                        uint32_t(program.data.size()));
+
+    regs_[isa::regSP] = assem::Layout::stackTop;
+    regs_[isa::regGP] = assem::Layout::gpValue;
+}
+
+void
+Machine::setInput(std::string bytes)
+{
+    input_ = std::move(bytes);
+    inputPos_ = 0;
+}
+
+void
+Machine::addObserver(Observer *observer)
+{
+    observers_.push_back(observer);
+}
+
+void
+Machine::setReg(unsigned index, uint32_t value)
+{
+    if (index != isa::regZero)
+        regs_[index] = value;
+}
+
+void
+Machine::dispatchRetire(const InstrRecord &record)
+{
+    for (Observer *obs : observers_)
+        obs->onRetire(record);
+}
+
+void
+Machine::doSyscall(InstrRecord &record)
+{
+    SyscallRecord sys;
+    sys.num = Syscall(regs_[isa::regV0]);
+    sys.arg0 = regs_[isa::regA0];
+    sys.arg1 = regs_[isa::regA1];
+
+    // Expose the syscall's data inputs for repetition tracking.
+    record.numSrcRegs = 2;
+    record.srcVal[0] = regs_[isa::regV0];
+    record.srcVal[1] = regs_[isa::regA0];
+
+    switch (sys.num) {
+      case Syscall::Exit:
+        halted_ = true;
+        exitCode_ = int(sys.arg0);
+        sys.result = sys.arg0;
+        break;
+      case Syscall::Read: {
+        const uint32_t want = sys.arg1;
+        const uint32_t avail = uint32_t(input_.size() - inputPos_);
+        const uint32_t n = std::min(want, avail);
+        if (n)
+            mem_.writeBlock(sys.arg0, input_.data() + inputPos_, n);
+        inputPos_ += n;
+        sys.result = n;
+        sys.writtenAddr = sys.arg0;
+        sys.writtenLen = n;
+        regs_[isa::regV0] = n;
+        break;
+      }
+      case Syscall::Write: {
+        const uint32_t n = sys.arg1;
+        std::string buf(n, '\0');
+        if (n)
+            mem_.readBlock(sys.arg0, buf.data(), n);
+        output_ += buf;
+        sys.result = n;
+        regs_[isa::regV0] = n;
+        break;
+      }
+      case Syscall::Sbrk: {
+        const uint32_t old = brk_;
+        brk_ += sys.arg0;
+        sys.result = old;
+        regs_[isa::regV0] = old;
+        break;
+      }
+      default:
+        fatal("unknown syscall ", uint32_t(sys.num), " at pc 0x",
+              std::hex, pc_);
+    }
+
+    for (Observer *obs : observers_)
+        obs->onSyscall(sys);
+
+    record.writesReg = sys.num != Syscall::Exit;
+    record.destReg = isa::regV0;
+    record.result = regs_[isa::regV0];
+}
+
+void
+Machine::step()
+{
+    panicIf(halted_, "step() on a halted machine");
+
+    const uint32_t text_base = assem::Layout::textBase;
+    fatalIf(pc_ < text_base || pc_ >= text_base + program_.textBytes() ||
+                (pc_ & 3),
+            "pc out of text segment: 0x", std::hex, pc_);
+
+    const uint32_t index = (pc_ - text_base) >> 2;
+    const Instruction &inst = decoded_[index];
+    fatalIf(!inst.valid(), "executing invalid instruction at 0x",
+            std::hex, pc_);
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+
+    InstrRecord rec;
+    rec.seq = instret_;
+    rec.pc = pc_;
+    rec.staticIndex = index;
+    rec.inst = &inst;
+    rec.nextPc = pc_ + 4;
+
+    // Gather data inputs. srcVal holds (rs, rt) values in order, or
+    // HI/LO for mfhi/mflo.
+    const uint32_t rs_val = regs_[inst.rs];
+    const uint32_t rt_val = regs_[inst.rt];
+    int n = 0;
+    if (info.readsRs)
+        rec.srcVal[n++] = rs_val;
+    if (info.readsRt)
+        rec.srcVal[n++] = rt_val;
+    if (info.readsHi)
+        rec.srcVal[n++] = hi_;
+    if (info.readsLo)
+        rec.srcVal[n++] = lo_;
+    rec.numSrcRegs = uint8_t(n);
+
+    uint32_t dest_val = 0;
+    bool writes = false;
+
+    auto branch = [&](bool taken) {
+        rec.result = taken ? 1 : 0;
+        if (taken)
+            rec.nextPc = pc_ + 4 + (uint32_t(inst.imm) << 2);
+    };
+
+    switch (inst.op) {
+      case Op::SLL:
+        dest_val = rt_val << inst.shamt;
+        writes = true;
+        break;
+      case Op::SRL:
+        dest_val = rt_val >> inst.shamt;
+        writes = true;
+        break;
+      case Op::SRA:
+        dest_val = uint32_t(int32_t(rt_val) >> inst.shamt);
+        writes = true;
+        break;
+      case Op::SLLV:
+        dest_val = rt_val << (rs_val & 31);
+        writes = true;
+        break;
+      case Op::SRLV:
+        dest_val = rt_val >> (rs_val & 31);
+        writes = true;
+        break;
+      case Op::SRAV:
+        dest_val = uint32_t(int32_t(rt_val) >> (rs_val & 31));
+        writes = true;
+        break;
+      case Op::JR:
+        fatalIf(rs_val & 3, "jr to misaligned address 0x", std::hex,
+                rs_val);
+        rec.nextPc = rs_val;
+        rec.result = rs_val;
+        break;
+      case Op::JALR:
+        fatalIf(rs_val & 3, "jalr to misaligned address 0x", std::hex,
+                rs_val);
+        dest_val = pc_ + 4;
+        writes = true;
+        rec.nextPc = rs_val;
+        rec.result = (uint64_t(rs_val) << 32) | dest_val;
+        break;
+      case Op::SYSCALL:
+        doSyscall(rec);
+        break;
+      case Op::BREAK:
+        fatal("break instruction at pc 0x", std::hex, pc_);
+      case Op::MFHI:
+        dest_val = hi_;
+        writes = true;
+        break;
+      case Op::MTHI:
+        hi_ = rs_val;
+        rec.result = rs_val;
+        break;
+      case Op::MFLO:
+        dest_val = lo_;
+        writes = true;
+        break;
+      case Op::MTLO:
+        lo_ = rs_val;
+        rec.result = rs_val;
+        break;
+      case Op::MULT: {
+        const int64_t p = int64_t(int32_t(rs_val)) * int32_t(rt_val);
+        hi_ = uint32_t(uint64_t(p) >> 32);
+        lo_ = uint32_t(uint64_t(p));
+        rec.result = uint64_t(p);
+        break;
+      }
+      case Op::MULTU: {
+        const uint64_t p = uint64_t(rs_val) * rt_val;
+        hi_ = uint32_t(p >> 32);
+        lo_ = uint32_t(p);
+        rec.result = p;
+        break;
+      }
+      case Op::DIV: {
+        const int32_t a = int32_t(rs_val), b = int32_t(rt_val);
+        if (b == 0) {
+            lo_ = 0;
+            hi_ = 0;
+        } else if (a == std::numeric_limits<int32_t>::min() && b == -1) {
+            lo_ = uint32_t(a);
+            hi_ = 0;
+        } else {
+            lo_ = uint32_t(a / b);
+            hi_ = uint32_t(a % b);
+        }
+        rec.result = (uint64_t(hi_) << 32) | lo_;
+        break;
+      }
+      case Op::DIVU: {
+        if (rt_val == 0) {
+            lo_ = 0;
+            hi_ = 0;
+        } else {
+            lo_ = rs_val / rt_val;
+            hi_ = rs_val % rt_val;
+        }
+        rec.result = (uint64_t(hi_) << 32) | lo_;
+        break;
+      }
+      case Op::ADD:
+      case Op::ADDU:
+        dest_val = rs_val + rt_val;
+        writes = true;
+        break;
+      case Op::SUB:
+      case Op::SUBU:
+        dest_val = rs_val - rt_val;
+        writes = true;
+        break;
+      case Op::AND:
+        dest_val = rs_val & rt_val;
+        writes = true;
+        break;
+      case Op::OR:
+        dest_val = rs_val | rt_val;
+        writes = true;
+        break;
+      case Op::XOR:
+        dest_val = rs_val ^ rt_val;
+        writes = true;
+        break;
+      case Op::NOR:
+        dest_val = ~(rs_val | rt_val);
+        writes = true;
+        break;
+      case Op::SLT:
+        dest_val = int32_t(rs_val) < int32_t(rt_val) ? 1 : 0;
+        writes = true;
+        break;
+      case Op::SLTU:
+        dest_val = rs_val < rt_val ? 1 : 0;
+        writes = true;
+        break;
+      case Op::BLTZ:
+        branch(int32_t(rs_val) < 0);
+        break;
+      case Op::BGEZ:
+        branch(int32_t(rs_val) >= 0);
+        break;
+      case Op::J:
+        rec.nextPc = ((pc_ + 4) & 0xf0000000u) | (inst.target << 2);
+        rec.result = rec.nextPc;
+        break;
+      case Op::JAL:
+        dest_val = pc_ + 4;
+        writes = true;
+        rec.nextPc = ((pc_ + 4) & 0xf0000000u) | (inst.target << 2);
+        rec.result = dest_val;
+        break;
+      case Op::BEQ:
+        branch(rs_val == rt_val);
+        break;
+      case Op::BNE:
+        branch(rs_val != rt_val);
+        break;
+      case Op::BLEZ:
+        branch(int32_t(rs_val) <= 0);
+        break;
+      case Op::BGTZ:
+        branch(int32_t(rs_val) > 0);
+        break;
+      case Op::ADDI:
+      case Op::ADDIU:
+        dest_val = rs_val + uint32_t(inst.imm);
+        writes = true;
+        break;
+      case Op::SLTI:
+        dest_val = int32_t(rs_val) < inst.imm ? 1 : 0;
+        writes = true;
+        break;
+      case Op::SLTIU:
+        dest_val = rs_val < uint32_t(inst.imm) ? 1 : 0;
+        writes = true;
+        break;
+      case Op::ANDI:
+        dest_val = rs_val & uint32_t(inst.imm);
+        writes = true;
+        break;
+      case Op::ORI:
+        dest_val = rs_val | uint32_t(inst.imm);
+        writes = true;
+        break;
+      case Op::XORI:
+        dest_val = rs_val ^ uint32_t(inst.imm);
+        writes = true;
+        break;
+      case Op::LUI:
+        dest_val = uint32_t(inst.imm) << 16;
+        writes = true;
+        break;
+      case Op::LB:
+        rec.memAddr = rs_val + uint32_t(inst.imm);
+        rec.isMemAccess = true;
+        dest_val = uint32_t(int32_t(int8_t(mem_.read8(rec.memAddr))));
+        writes = true;
+        break;
+      case Op::LBU:
+        rec.memAddr = rs_val + uint32_t(inst.imm);
+        rec.isMemAccess = true;
+        dest_val = mem_.read8(rec.memAddr);
+        writes = true;
+        break;
+      case Op::LH:
+        rec.memAddr = rs_val + uint32_t(inst.imm);
+        rec.isMemAccess = true;
+        dest_val = uint32_t(int32_t(int16_t(mem_.read16(rec.memAddr))));
+        writes = true;
+        break;
+      case Op::LHU:
+        rec.memAddr = rs_val + uint32_t(inst.imm);
+        rec.isMemAccess = true;
+        dest_val = mem_.read16(rec.memAddr);
+        writes = true;
+        break;
+      case Op::LW:
+        rec.memAddr = rs_val + uint32_t(inst.imm);
+        rec.isMemAccess = true;
+        dest_val = mem_.read32(rec.memAddr);
+        writes = true;
+        break;
+      case Op::SB:
+        rec.memAddr = rs_val + uint32_t(inst.imm);
+        rec.isMemAccess = true;
+        mem_.write8(rec.memAddr, uint8_t(rt_val));
+        rec.result = uint8_t(rt_val);
+        break;
+      case Op::SH:
+        rec.memAddr = rs_val + uint32_t(inst.imm);
+        rec.isMemAccess = true;
+        mem_.write16(rec.memAddr, uint16_t(rt_val));
+        rec.result = uint16_t(rt_val);
+        break;
+      case Op::SW:
+        rec.memAddr = rs_val + uint32_t(inst.imm);
+        rec.isMemAccess = true;
+        mem_.write32(rec.memAddr, rt_val);
+        rec.result = rt_val;
+        break;
+      default:
+        panic("unhandled op in step()");
+    }
+
+    if (writes) {
+        const int dest = inst.destReg();
+        panicIf(dest < 0, "writes with no destination");
+        setReg(unsigned(dest), dest_val);
+        rec.writesReg = true;
+        rec.destReg = uint8_t(dest);
+        if (inst.op != Op::JALR)
+            rec.result = regs_[dest];
+    }
+
+    pc_ = rec.nextPc;
+    ++instret_;
+    dispatchRetire(rec);
+}
+
+uint64_t
+Machine::run(uint64_t max_instructions)
+{
+    uint64_t done = 0;
+    while (done < max_instructions && !halted_) {
+        step();
+        ++done;
+    }
+    return done;
+}
+
+} // namespace irep::sim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The functional MIPS-I simulator. Executes an assembled Program
+ * in-order with full operand visibility, dispatching an InstrRecord to
+ * attached observers after every retired instruction.
+ */
+
+#ifndef IREP_SIM_MACHINE_HH
+#define IREP_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "isa/instruction.hh"
+#include "sim/memory.hh"
+#include "sim/observer.hh"
+
+namespace irep::sim
+{
+
+/** One simulated machine executing one program. */
+class Machine
+{
+  public:
+    /**
+     * Build a machine and load @p program: text is predecoded, data is
+     * copied to memory, $sp/$gp are initialized, the heap break is set
+     * past the data section.
+     */
+    explicit Machine(const assem::Program &program);
+
+    /** Provide the byte stream returned by the Read syscall. */
+    void setInput(std::string bytes);
+
+    /** Bytes emitted through the Write syscall so far. */
+    const std::string &output() const { return output_; }
+
+    /** Attach an observer (not owned; must outlive the machine). */
+    void addObserver(Observer *observer);
+
+    /**
+     * Execute up to @p max_instructions more instructions.
+     * @return the number actually executed (less when the program
+     *         exits).
+     */
+    uint64_t run(uint64_t max_instructions);
+
+    /** Execute exactly one instruction (the program must not have
+     *  halted). */
+    void step();
+
+    bool halted() const { return halted_; }
+    int exitCode() const { return exitCode_; }
+    uint64_t instret() const { return instret_; }
+
+    uint32_t pc() const { return pc_; }
+    uint32_t reg(unsigned index) const { return regs_[index]; }
+    void setReg(unsigned index, uint32_t value);
+
+    Memory &memory() { return mem_; }
+    const Memory &memory() const { return mem_; }
+
+    const assem::Program &program() const { return program_; }
+
+    /** Dense static-instruction count (text words). */
+    uint32_t numStaticInstructions() const
+    {
+        return uint32_t(decoded_.size());
+    }
+
+  private:
+    void dispatchRetire(const InstrRecord &record);
+    void doSyscall(InstrRecord &record);
+
+    const assem::Program &program_;
+    std::vector<isa::Instruction> decoded_;
+    Memory mem_;
+
+    uint32_t regs_[32] = {};
+    uint32_t hi_ = 0;
+    uint32_t lo_ = 0;
+    uint32_t pc_;
+    uint32_t brk_;          //!< heap break for Sbrk
+
+    bool halted_ = false;
+    int exitCode_ = 0;
+    uint64_t instret_ = 0;
+
+    std::string input_;
+    size_t inputPos_ = 0;
+    std::string output_;
+
+    std::vector<Observer *> observers_;
+};
+
+} // namespace irep::sim
+
+#endif // IREP_SIM_MACHINE_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sparse, paged flat memory for the functional simulator. Pages are
+ * allocated on first touch and zero-filled, so the large gaps between
+ * text, data, heap, and stack cost nothing.
+ */
+
+#ifndef IREP_SIM_MEMORY_HH
+#define IREP_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace irep::sim
+{
+
+/** Byte-addressed sparse memory with 64 KiB pages. */
+class Memory
+{
+  public:
+    static constexpr unsigned pageBits = 16;
+    static constexpr uint32_t pageSize = 1u << pageBits;
+
+    uint8_t read8(uint32_t addr) const;
+    uint16_t read16(uint32_t addr) const;   //!< addr must be 2-aligned
+    uint32_t read32(uint32_t addr) const;   //!< addr must be 4-aligned
+
+    void write8(uint32_t addr, uint8_t value);
+    void write16(uint32_t addr, uint16_t value);
+    void write32(uint32_t addr, uint32_t value);
+
+    /** Bulk copy into memory (used by the loader and syscalls). */
+    void writeBlock(uint32_t addr, const void *src, uint32_t len);
+
+    /** Bulk copy out of memory. */
+    void readBlock(uint32_t addr, void *dst, uint32_t len) const;
+
+    /** Number of currently allocated pages (for tests/stats). */
+    size_t numPages() const { return pages_.size(); }
+
+  private:
+    struct Page
+    {
+        uint8_t bytes[pageSize] = {};
+    };
+
+    uint8_t *pagePtr(uint32_t addr);
+    const uint8_t *pagePtrConst(uint32_t addr) const;
+
+    // mutable: reads of untouched memory lazily allocate a zero page so
+    // that const read paths stay simple.
+    mutable std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace irep::sim
+
+#endif // IREP_SIM_MEMORY_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The instrumentation interface of the functional simulator. Analyses
+ * attach Observer implementations to a Machine and receive one
+ * InstrRecord per retired instruction plus syscall notifications —
+ * the same visibility the paper's SimpleScalar-based tooling had.
+ */
+
+#ifndef IREP_SIM_OBSERVER_HH
+#define IREP_SIM_OBSERVER_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace irep::sim
+{
+
+/**
+ * Everything an analysis can see about one retired dynamic
+ * instruction.
+ *
+ * `result` packs the architectural outcome: the destination register
+ * value for register-writing instructions, HI:LO for multiply/divide,
+ * the stored value for stores, taken/not-taken for branches, and the
+ * target for jumps.
+ */
+struct InstrRecord
+{
+    uint64_t seq = 0;           //!< dynamic instruction number (from 0)
+    uint32_t pc = 0;
+    uint32_t staticIndex = 0;   //!< (pc - textBase) / 4, dense id
+    const isa::Instruction *inst = nullptr;
+
+    uint8_t numSrcRegs = 0;
+    uint32_t srcVal[2] = {0, 0};    //!< source register values
+
+    bool isMemAccess = false;
+    uint32_t memAddr = 0;       //!< effective address for loads/stores
+
+    bool writesReg = false;
+    uint8_t destReg = 0;
+
+    uint64_t result = 0;        //!< see struct comment
+    uint32_t nextPc = 0;
+};
+
+/** Syscall numbers of the simulated OS interface. */
+enum class Syscall : uint32_t
+{
+    Exit = 1,   //!< a0 = exit code
+    Read = 2,   //!< a0 = buffer, a1 = length; v0 = bytes read
+    Write = 3,  //!< a0 = buffer, a1 = length; v0 = bytes written
+    Sbrk = 4,   //!< a0 = increment; v0 = previous break
+};
+
+/** What an analysis can see about one executed syscall. */
+struct SyscallRecord
+{
+    Syscall num;
+    uint32_t arg0 = 0;
+    uint32_t arg1 = 0;
+    uint32_t result = 0;
+    /** For Read: the buffer region that received external bytes. */
+    uint32_t writtenAddr = 0;
+    uint32_t writtenLen = 0;
+};
+
+/** Base class for analyses observing the instruction stream. */
+class Observer
+{
+  public:
+    virtual ~Observer() = default;
+
+    /** Called after each instruction retires. */
+    virtual void onRetire(const InstrRecord &record) = 0;
+
+    /** Called after each syscall completes (before its SYSCALL
+     *  instruction's onRetire). */
+    virtual void onSyscall(const SyscallRecord &record) { (void)record; }
+};
+
+} // namespace irep::sim
+
+#endif // IREP_SIM_OBSERVER_HH

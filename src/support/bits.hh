@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-width bit-manipulation helpers used by the ISA encoder/decoder.
+ */
+
+#ifndef IREP_SUPPORT_BITS_HH
+#define IREP_SUPPORT_BITS_HH
+
+#include <cstdint>
+
+#include "support/logging.hh"
+
+namespace irep
+{
+
+/**
+ * Extract bits [hi:lo] (inclusive, hi >= lo) of a 32-bit word.
+ *
+ * @param word  Source word.
+ * @param hi    Most-significant bit position (0..31).
+ * @param lo    Least-significant bit position (0..31).
+ * @return The extracted field, right-justified.
+ */
+constexpr uint32_t
+bits(uint32_t word, unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    const uint32_t mask =
+        width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+    return (word >> lo) & mask;
+}
+
+/**
+ * Insert a field into bits [hi:lo] of a word (previous contents of the
+ * field are cleared).
+ */
+constexpr uint32_t
+insertBits(uint32_t word, unsigned hi, unsigned lo, uint32_t value)
+{
+    const unsigned width = hi - lo + 1;
+    const uint32_t mask =
+        width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+    return (word & ~(mask << lo)) | ((value & mask) << lo);
+}
+
+/** Sign-extend the low @p width bits of @p value to 32 bits. */
+constexpr int32_t
+signExtend(uint32_t value, unsigned width)
+{
+    const unsigned shift = 32 - width;
+    return static_cast<int32_t>(value << shift) >> shift;
+}
+
+/** True if @p value fits in a signed @p width -bit immediate. */
+constexpr bool
+fitsSigned(int64_t value, unsigned width)
+{
+    const int64_t lo = -(int64_t(1) << (width - 1));
+    const int64_t hi = (int64_t(1) << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** True if @p value fits in an unsigned @p width -bit immediate. */
+constexpr bool
+fitsUnsigned(int64_t value, unsigned width)
+{
+    return value >= 0 && value < (int64_t(1) << width);
+}
+
+} // namespace irep
+
+#endif // IREP_SUPPORT_BITS_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Hash-combining utilities used by the repetition tracker, which hashes
+ * (input operands, output) tuples for billions-scale instance lookup.
+ */
+
+#ifndef IREP_SUPPORT_HASH_HH
+#define IREP_SUPPORT_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace irep
+{
+
+/**
+ * Mix a 64-bit value into a running hash (splitmix64 finalizer, a
+ * well-distributed and cheap mixer).
+ */
+constexpr uint64_t
+hashMix(uint64_t h, uint64_t v)
+{
+    uint64_t x = h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Hash an initializer list of 64-bit values. */
+constexpr uint64_t
+hashValues(std::initializer_list<uint64_t> values)
+{
+    uint64_t h = 0x51ed270b35a4c9c1ull;
+    for (uint64_t v : values)
+        h = hashMix(h, v);
+    return h;
+}
+
+} // namespace irep
+
+#endif // IREP_SUPPORT_HASH_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (a bug in irep itself);
+ * fatal() is for user-caused conditions (bad input program, bad
+ * configuration). Both format a message and throw a typed exception so
+ * that library users (and tests) can catch them.
+ */
+
+#ifndef IREP_SUPPORT_LOGGING_HH
+#define IREP_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace irep
+{
+
+/** Thrown by fatal(): the user supplied something invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+inline void
+streamAll(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+streamAll(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    streamAll(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Abort with a message describing a condition that is the user's fault
+ * (bad program, bad configuration).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::streamAll(os, args...);
+    throw FatalError(os.str());
+}
+
+/**
+ * Abort with a message describing a condition that should never happen
+ * regardless of user input (an irep bug).
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::streamAll(os, args...);
+    throw PanicError(os.str());
+}
+
+/** fatal() unless the condition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, const Args &...args)
+{
+    if (condition)
+        fatal(args...);
+}
+
+/** panic() unless the condition holds. */
+template <typename... Args>
+void
+panicIf(bool condition, const Args &...args)
+{
+    if (condition)
+        panic(args...);
+}
+
+} // namespace irep
+
+#endif // IREP_SUPPORT_LOGGING_HH

@@ -1,0 +1,80 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace irep
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    rows_.insert(rows_.begin(), std::move(cells));
+    hasHeader_ = true;
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths;
+    for (const auto &r : rows_) {
+        if (widths.size() < r.size())
+            widths.resize(r.size(), 0);
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    std::ostringstream os;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        const auto &r = rows_[i];
+        for (size_t c = 0; c < r.size(); ++c) {
+            if (c)
+                os << "  ";
+            os << r[c];
+            if (c + 1 < r.size())
+                os << std::string(widths[c] - r[c].size(), ' ');
+        }
+        os << '\n';
+        if (i == 0 && hasHeader_) {
+            size_t total = 0;
+            for (size_t c = 0; c < widths.size(); ++c)
+                total += widths[c] + (c ? 2 : 0);
+            os << std::string(total, '-') << '\n';
+        }
+    }
+    return os.str();
+}
+
+std::string
+TextTable::num(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+TextTable::count(uint64_t value)
+{
+    std::string raw = std::to_string(value);
+    std::string out;
+    int pos = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (pos && pos % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++pos;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace irep

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table formatter used by the bench harness to print rows in
+ * the same layout as the paper's tables.
+ */
+
+#ifndef IREP_SUPPORT_TABLE_HH
+#define IREP_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace irep
+{
+
+/**
+ * A simple column-aligned text table. Columns are sized to the widest
+ * cell; the first row added is treated as the header.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table with a rule under the header. */
+    std::string render() const;
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string num(double value, int digits = 1);
+
+    /** Format an integer with thousands separators. */
+    static std::string count(uint64_t value);
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+    bool hasHeader_ = false;
+};
+
+} // namespace irep
+
+#endif // IREP_SUPPORT_TABLE_HH

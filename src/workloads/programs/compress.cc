@@ -1,0 +1,206 @@
+/**
+ * @file
+ * `compress` analogue: LZW compression with a hash-probed code table,
+ * structured like SPEC '95 129.compress (getcode/output/readbytes
+ * decomposition, 12-bit codes, global tables). Input is synthetic
+ * text with skewed word statistics.
+ */
+
+#include <string>
+
+#include "workloads/workloads.hh"
+
+namespace irep::workloads
+{
+
+std::string
+compressSource()
+{
+    return R"MC(
+/* ------------- LZW compressor (SPEC compress analogue) ----------- */
+
+int htab[5003];
+int codetab[5003];
+int n_bits;
+int maxcode;
+int free_ent;
+int clear_flg;
+
+int bitbuf;
+int bitcnt;
+int out_count;
+int checksum;
+
+int in_count;
+int gen_left;
+int gen_state;
+int passes_left;
+
+/* Vocabulary for the internally synthesized text (like SPEC
+ * compress, which builds its data buffer from a small config). */
+char vocab[256] = "the of and a to in is it was for that on with instruction repetition value program dynamic ";
+int vocab_len;
+
+/* Next byte of the synthesized stream, or -1 when done. SPEC '95
+ * compress generates its input internally from the byte count and
+ * ratio given in bigtest.in; we do the same, so external input
+ * stays a tiny slice (the paper reports 2.0% for compress). */
+int gen_pos;
+int run_left;
+
+int readbytes() {
+    int r;
+    if (gen_left <= 0) return -1;
+    gen_left = gen_left - 1;
+    in_count = in_count + 1;
+    if (run_left <= 0) {
+        /* Jump to a random spot and copy a run from the vocabulary,
+         * giving the stream the repeated substrings of real text. */
+        gen_state = gen_state * 1103515245 + 12345;
+        r = (gen_state >> 16) & 32767;
+        gen_pos = r % vocab_len;
+        run_left = 4 + (r % 24);
+    }
+    run_left = run_left - 1;
+    gen_pos = gen_pos + 1;
+    if (gen_pos >= vocab_len) gen_pos = 0;
+    return vocab[gen_pos];
+}
+
+/* Emit one n_bits-wide code into the bit-packed output stream. */
+void output(int code) {
+    bitbuf = bitbuf | (code << bitcnt);
+    bitcnt = bitcnt + n_bits;
+    while (bitcnt >= 8) {
+        checksum = checksum * 31 + (bitbuf & 255);
+        out_count = out_count + 1;
+        bitbuf = bitbuf >> 8;
+        bitcnt = bitcnt - 8;
+    }
+    if (free_ent > maxcode) {
+        n_bits = n_bits + 1;
+        if (n_bits > 12) n_bits = 12;
+        maxcode = (1 << n_bits) - 1;
+    }
+}
+
+void cl_hash() {
+    int i;
+    for (i = 0; i < 5003; i = i + 1) htab[i] = -1;
+}
+
+void cl_block() {
+    cl_hash();
+    free_ent = 257;
+    clear_flg = 1;
+    n_bits = 9;
+    maxcode = (1 << 9) - 1;
+}
+
+int getcode(int ent, int c) {
+    int fcode;
+    int i;
+    int disp;
+    fcode = (c << 13) + ent;
+    i = ((c << 5) ^ ent) % 5003;
+    if (i < 0) i = i + 5003;
+    disp = 5003 - i;
+    if (i == 0) disp = 1;
+    while (htab[i] >= 0) {
+        if (htab[i] == fcode) return codetab[i];
+        i = i - disp;
+        if (i < 0) i = i + 5003;
+    }
+    /* Not found: install if room. */
+    if (free_ent < 4096) {
+        codetab[i] = free_ent;
+        htab[i] = fcode;
+        free_ent = free_ent + 1;
+    } else {
+        cl_block();
+    }
+    return -1;
+}
+
+void compress_stream() {
+    int ent;
+    int c;
+    int code;
+    ent = readbytes();
+    if (ent < 0) return;
+    c = readbytes();
+    while (c >= 0) {
+        code = getcode(ent, c);
+        if (code >= 0) {
+            ent = code;
+        } else {
+            output(ent);
+            ent = c;
+        }
+        c = readbytes();
+    }
+    output(ent);
+    /* Flush remaining bits. */
+    if (bitcnt > 0) {
+        checksum = checksum * 31 + (bitbuf & 255);
+        out_count = out_count + 1;
+        bitbuf = 0;
+        bitcnt = 0;
+    }
+}
+
+int main() {
+    char cfg[32];
+    int count;
+    int seed;
+    /* Like bigtest.in: the input supplies only the byte count; the
+     * generator seed is a program constant (as in SPEC compress), so
+     * the synthesized data is a program-internal slice. */
+    readline(cfg, 32);
+    count = atoi(cfg);
+    seed = 97531;
+    passes_left = 1;
+    checksum = 7;
+    vocab_len = strlen(vocab);
+    gen_state = seed;
+    gen_left = count;
+    while (passes_left > 0) {
+        gen_left = count;
+        gen_state = seed;
+        cl_hash();
+        free_ent = 257;
+        n_bits = 9;
+        maxcode = (1 << 9) - 1;
+        bitbuf = 0;
+        bitcnt = 0;
+        compress_stream();
+        passes_left = passes_left - 1;
+    }
+    puts("compress: in=");
+    putint(in_count);
+    puts(" out=");
+    putint(out_count);
+    puts(" csum=");
+    puthex(checksum);
+    putchar('\n');
+    flushout();
+    return 0;
+}
+)MC";
+}
+
+std::string
+compressInput()
+{
+    // Like bigtest.in: just the byte count to synthesize.
+    return "400000\n";
+}
+
+std::string
+compressAltInput()
+{
+    // test.in analogue: a shorter stream.
+    return "150000\n";
+}
+
+} // namespace irep::workloads

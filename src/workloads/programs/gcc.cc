@@ -1,0 +1,341 @@
+/**
+ * @file
+ * `gcc` analogue: a small optimizing expression compiler — tokenizer,
+ * recursive-descent parser building heap-allocated trees, constant
+ * folding, common-subexpression hashing (canon_reg style), virtual
+ * register allocation and pseudo-assembly emission — compiling a
+ * stream of C-like statements from external input, like SPEC 126.gcc
+ * chewing through reload.i.
+ */
+
+#include <string>
+
+#include "workloads/workloads.hh"
+
+namespace irep::workloads
+{
+
+std::string
+gccSource()
+{
+    return R"MC(
+/* ------------ expression compiler (SPEC gcc analogue) ------------ */
+
+/* node kinds: 0 num, 1 var, 2 binop */
+struct node {
+    int kind;
+    int value;          /* num: value, var: 'a'..'z', binop: op char */
+    struct node *lhs;
+    struct node *rhs;
+};
+
+char srcline[128];
+int srcpos;
+
+int nodes_made;
+int stmts_compiled;
+int folds_done;
+int cse_hits;
+int emit_csum;
+int emitted;
+
+int vreg_next;
+int vartab[26];         /* variable -> holding vreg (or -1) */
+
+/* CSE hash table: value-numbering of (op, l, r). */
+int cse_op[509];
+int cse_l[509];
+int cse_r[509];
+int cse_v[509];
+
+struct node *newnode(int kind, int value) {
+    struct node *n;
+    n = (struct node *)malloc(sizeof(struct node));
+    n->kind = kind;
+    n->value = value;
+    n->lhs = (struct node *)0;
+    n->rhs = (struct node *)0;
+    nodes_made = nodes_made + 1;
+    return n;
+}
+
+/* ---- tokenizer over srcline ---- */
+int peekch() {
+    while (srcline[srcpos] == ' ') srcpos = srcpos + 1;
+    return srcline[srcpos];
+}
+
+int nextch() {
+    int c;
+    c = peekch();
+    if (c) srcpos = srcpos + 1;
+    return c;
+}
+
+/* ---- parser: expr = term (+|- term)*, term = factor (*|/ factor)*,
+ *      factor = num | var | ( expr ) ---- */
+struct node *parse_expr();
+
+struct node *parse_factor() {
+    int c;
+    int v;
+    struct node *n;
+    c = peekch();
+    if (c == '(') {
+        nextch();
+        n = parse_expr();
+        nextch();   /* ')' */
+        return n;
+    }
+    if (c >= '0' && c <= '9') {
+        v = 0;
+        while (c >= '0' && c <= '9') {
+            v = v * 10 + (c - '0');
+            nextch();
+            c = peekch();
+        }
+        return newnode(0, v);
+    }
+    nextch();
+    return newnode(1, c);
+}
+
+struct node *parse_term() {
+    struct node *n;
+    struct node *r;
+    struct node *b;
+    int c;
+    n = parse_factor();
+    c = peekch();
+    while (c == '*' || c == '/') {
+        nextch();
+        r = parse_factor();
+        b = newnode(2, c);
+        b->lhs = n;
+        b->rhs = r;
+        n = b;
+        c = peekch();
+    }
+    return n;
+}
+
+struct node *parse_expr() {
+    struct node *n;
+    struct node *r;
+    struct node *b;
+    int c;
+    n = parse_term();
+    c = peekch();
+    while (c == '+' || c == '-') {
+        nextch();
+        r = parse_term();
+        b = newnode(2, c);
+        b->lhs = n;
+        b->rhs = r;
+        n = b;
+        c = peekch();
+    }
+    return n;
+}
+
+/* ---- constant folding pass ---- */
+struct node *fold(struct node *n) {
+    int a;
+    int b;
+    int op;
+    if (n->kind != 2) return n;
+    n->lhs = fold(n->lhs);
+    n->rhs = fold(n->rhs);
+    if (n->lhs->kind != 0 || n->rhs->kind != 0) return n;
+    a = n->lhs->value;
+    b = n->rhs->value;
+    op = n->value;
+    folds_done = folds_done + 1;
+    if (op == '+') return newnode(0, a + b);
+    if (op == '-') return newnode(0, a - b);
+    if (op == '*') return newnode(0, a * b);
+    if (b != 0) return newnode(0, a / b);
+    return newnode(0, 0);
+}
+
+/* ---- code emission with value numbering ---- */
+void emit3(int op, int dst, int src) {
+    emit_csum = emit_csum * 31 + op * 256 + dst * 16 + src;
+    emitted = emitted + 1;
+}
+
+int canon_reg(int op, int l, int r) {
+    int h;
+    h = (op * 31 + l * 17 + r * 7) % 509;
+    if (h < 0) h = h + 509;
+    while (cse_op[h]) {
+        if (cse_op[h] == op && cse_l[h] == l && cse_r[h] == r) {
+            cse_hits = cse_hits + 1;
+            return cse_v[h];
+        }
+        h = h + 1;
+        if (h >= 509) h = 0;
+    }
+    cse_op[h] = op;
+    cse_l[h] = l;
+    cse_r[h] = r;
+    cse_v[h] = vreg_next;
+    vreg_next = vreg_next + 1;
+    return -1;
+}
+
+/* Returns the vreg holding the expression's value. */
+int codegen(struct node *n) {
+    int l;
+    int r;
+    int v;
+    if (n->kind == 0) {
+        v = canon_reg(1000, n->value, 0);
+        if (v >= 0) return v;
+        emit3(1, vreg_next - 1, n->value);  /* li */
+        return vreg_next - 1;
+    }
+    if (n->kind == 1) {
+        if (vartab[n->value - 'a'] >= 0)
+            return vartab[n->value - 'a'];
+        v = canon_reg(2000, n->value, 0);
+        if (v >= 0) return v;
+        emit3(2, vreg_next - 1, n->value);  /* load var */
+        return vreg_next - 1;
+    }
+    l = codegen(n->lhs);
+    r = codegen(n->rhs);
+    v = canon_reg(n->value, l, r);
+    if (v >= 0) return v;
+    emit3(n->value, l, r);
+    return vreg_next - 1;
+}
+
+void cse_clear() {
+    int i;
+    for (i = 0; i < 509; i = i + 1) cse_op[i] = 0;
+    vreg_next = 1;
+}
+
+/* Compile one statement "x = expr". */
+void compile_stmt() {
+    int target;
+    struct node *n;
+    int v;
+    srcpos = 0;
+    target = nextch();
+    nextch();       /* '=' */
+    n = parse_expr();
+    n = fold(n);
+    v = codegen(n);
+    vartab[target - 'a'] = v;
+    emit3(3, target, v);    /* store */
+    stmts_compiled = stmts_compiled + 1;
+}
+
+int main() {
+    int n;
+    int i;
+    int pass;
+    for (pass = 0; pass < 1; pass = pass + 1) {
+        for (i = 0; i < 26; i = i + 1) vartab[i] = -1;
+        cse_clear();
+        n = readline(srcline, 128);
+        while (n >= 0) {
+            if (n > 2) compile_stmt();
+            /* A "function boundary" resets the value numbering. */
+            if (n == 1 && srcline[0] == ';') {
+                cse_clear();
+                for (i = 0; i < 26; i = i + 1) vartab[i] = -1;
+            }
+            n = readline(srcline, 128);
+        }
+    }
+    puts("gcc: stmts=");
+    putint(stmts_compiled);
+    puts(" emitted=");
+    putint(emitted);
+    puts(" folds=");
+    putint(folds_done);
+    puts(" cse=");
+    putint(cse_hits);
+    puts(" csum=");
+    puthex(emit_csum);
+    putchar('\n');
+    flushout();
+    return 0;
+}
+)MC";
+}
+
+std::string
+gccInput()
+{
+    // A deterministic stream of assignment statements grouped into
+    // "functions" separated by ';' lines.
+    std::string out;
+    uint32_t seed = 0x5eed1234;
+    auto next = [&seed]() {
+        seed = seed * 1664525u + 1013904223u;
+        return (seed >> 10) & 0x7fff;
+    };
+    auto gen_expr = [&next](auto &&self, int depth) -> std::string {
+        if (depth <= 0 || next() % 3 == 0) {
+            if (next() % 2)
+                return std::string(1, char('a' + next() % 12));
+            return std::to_string(next() % 100);
+        }
+        const char ops[] = {'+', '-', '*', '/'};
+        std::string l = self(self, depth - 1);
+        std::string r = self(self, depth - 1);
+        std::string e = l + " " + ops[next() % 4] + " " + r;
+        if (next() % 2)
+            return "(" + e + ")";
+        return e;
+    };
+    for (int func = 0; func < 150; ++func) {
+        const int stmts = 8 + int(next()) % 20;
+        for (int s = 0; s < stmts; ++s) {
+            char target = char('a' + next() % 12);
+            out += std::string(1, target) + " = " +
+                   gen_expr(gen_expr, 2 + int(next()) % 3) + "\n";
+        }
+        out += ";\n";
+    }
+    return out;
+}
+
+std::string
+gccAltInput()
+{
+    // A second source file: deeper expressions, fewer functions,
+    // different seed (reload.i vs 1stmt.i in the paper).
+    std::string out;
+    uint32_t seed = 0xfeedf00d;
+    auto next = [&seed]() {
+        seed = seed * 1664525u + 1013904223u;
+        return (seed >> 10) & 0x7fff;
+    };
+    auto gen_expr = [&next](auto &&self, int depth) -> std::string {
+        if (depth <= 0 || next() % 4 == 0) {
+            if (next() % 2)
+                return std::string(1, char('a' + next() % 8));
+            return std::to_string(next() % 50);
+        }
+        const char ops[] = {'+', '-', '*', '/'};
+        std::string l = self(self, depth - 1);
+        std::string r = self(self, depth - 1);
+        return "(" + l + " " + ops[next() % 4] + " " + r + ")";
+    };
+    for (int func = 0; func < 80; ++func) {
+        const int stmts = 12 + int(next()) % 12;
+        for (int s = 0; s < stmts; ++s) {
+            out += std::string(1, char('a' + next() % 8)) + " = " +
+                   gen_expr(gen_expr, 3 + int(next()) % 2) + "\n";
+        }
+        out += ";\n";
+    }
+    return out;
+}
+
+} // namespace irep::workloads

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * `go` analogue: a 19x19 board-game engine that alternates placing
+ * stones for two players using an influence heuristic, recomputing
+ * liberties with flood fill and evaluating positions — the
+ * board-scanning, global-state-heavy style of SPEC 099.go. Takes no
+ * external input (SPEC go's null.in is empty too, which is why the
+ * paper's Table 3 shows 0.0% external input for go).
+ */
+
+#include <string>
+
+#include "workloads/workloads.hh"
+
+namespace irep::workloads
+{
+
+std::string
+goSource()
+{
+    return R"MC(
+/* -------------- go engine (SPEC go analogue) --------------------- */
+
+int board[361];       /* 0 empty, 1 black, 2 white */
+
+/* Statically initialized influence falloff by Manhattan distance
+ * (SPEC go carries large static pattern/weight tables). */
+int falloff[4] = { 4, 3, 2, 1 };
+int influence[361];
+int visited[361];
+int libcount;
+int moves_made;
+int eval_black;
+int eval_white;
+int rngstate;
+
+int xrand() {
+    rngstate = rngstate * 69069 + 1;
+    return (rngstate >> 16) & 32767;
+}
+
+int at(int x, int y) {
+    return board[y * 19 + x];
+}
+
+void setat(int x, int y, int v) {
+    board[y * 19 + x] = v;
+}
+
+/* Count liberties of the group at (x, y) with a recursive flood
+ * fill (livesordies-style). */
+void addlist(int x, int y, int color) {
+    int p;
+    p = y * 19 + x;
+    if (visited[p]) return;
+    visited[p] = 1;
+    if (board[p] == 0) { libcount = libcount + 1; return; }
+    if (board[p] != color) return;
+    if (x > 0) addlist(x - 1, y, color);
+    if (x < 18) addlist(x + 1, y, color);
+    if (y > 0) addlist(x, y - 1, color);
+    if (y < 18) addlist(x, y + 1, color);
+}
+
+int getefflibs(int x, int y) {
+    int i;
+    for (i = 0; i < 361; i = i + 1) visited[i] = 0;
+    libcount = 0;
+    addlist(x, y, at(x, y));
+    return libcount;
+}
+
+/* Spread influence of every stone across the board (lupdate-style). */
+void lupdate() {
+    int x;
+    int y;
+    int sx;
+    int sy;
+    int d;
+    int c;
+    for (x = 0; x < 361; x = x + 1) influence[x] = 0;
+    for (sy = 0; sy < 19; sy = sy + 1) {
+        for (sx = 0; sx < 19; sx = sx + 1) {
+            c = at(sx, sy);
+            if (c == 0) continue;
+            for (y = sy - 3; y <= sy + 3; y = y + 1) {
+                if (y < 0 || y > 18) continue;
+                for (x = sx - 3; x <= sx + 3; x = x + 1) {
+                    int dx;
+                    int dy;
+                    if (x < 0 || x > 18) continue;
+                    /* Manhattan distance, inlined like SPEC go's
+                     * macro style. */
+                    dx = x - sx;
+                    if (dx < 0) dx = -dx;
+                    dy = y - sy;
+                    if (dy < 0) dy = -dy;
+                    d = dx + dy;
+                    if (d > 3) continue;
+                    if (c == 1)
+                        influence[y * 19 + x] =
+                            influence[y * 19 + x] + falloff[d];
+                    else
+                        influence[y * 19 + x] =
+                            influence[y * 19 + x] - falloff[d];
+                }
+            }
+        }
+    }
+}
+
+/* Remove a captured group (ldndate-style). */
+void ldndate(int x, int y, int color) {
+    int p;
+    p = y * 19 + x;
+    if (board[p] != color) return;
+    board[p] = 0;
+    if (x > 0) ldndate(x - 1, y, color);
+    if (x < 18) ldndate(x + 1, y, color);
+    if (y > 0) ldndate(x, y - 1, color);
+    if (y < 18) ldndate(x, y + 1, color);
+}
+
+/* Does the group at (x,y) live after the move? */
+int livesordies(int x, int y) {
+    if (at(x, y) == 0) return 1;
+    if (getefflibs(x, y) == 0) return 0;
+    return 1;
+}
+
+/* Evaluate the whole position. */
+void evaluate() {
+    int i;
+    eval_black = 0;
+    eval_white = 0;
+    for (i = 0; i < 361; i = i + 1) {
+        if (influence[i] > 0) eval_black = eval_black + 1;
+        if (influence[i] < 0) eval_white = eval_white + 1;
+    }
+}
+
+/* Pick the empty point with the best influence for `color`. */
+int pickmove(int color) {
+    int best;
+    int bestp;
+    int i;
+    int v;
+    best = -100000;
+    bestp = -1;
+    for (i = 0; i < 361; i = i + 1) {
+        if (board[i] != 0) continue;
+        v = influence[i];
+        if (color == 2) v = -v;
+        v = v + (xrand() & 7);
+        if (v > best) { best = v; bestp = i; }
+    }
+    return bestp;
+}
+
+void capture_neighbors(int x, int y, int enemy) {
+    if (x > 0 && at(x - 1, y) == enemy && livesordies(x - 1, y) == 0)
+        ldndate(x - 1, y, enemy);
+    if (x < 18 && at(x + 1, y) == enemy && livesordies(x + 1, y) == 0)
+        ldndate(x + 1, y, enemy);
+    if (y > 0 && at(x, y - 1) == enemy && livesordies(x, y - 1) == 0)
+        ldndate(x, y - 1, enemy);
+    if (y < 18 && at(x, y + 1) == enemy && livesordies(x, y + 1) == 0)
+        ldndate(x, y + 1, enemy);
+}
+
+int main() {
+    int game;
+    int move;
+    int color;
+    int p;
+    int x;
+    int y;
+    char cfg[16];
+    /* Optional input: a tie-break seed (SPEC go varied its position
+     * file between null.in and 9stone21.in). */
+    rngstate = 12345;
+    if (readline(cfg, 16) >= 0) {
+        p = atoi(cfg);
+        if (p > 0) rngstate = p;
+    }
+    for (game = 0; game < 2; game = game + 1) {
+        for (p = 0; p < 361; p = p + 1) board[p] = 0;
+        color = 1;
+        for (move = 0; move < 150; move = move + 1) {
+            lupdate();
+            p = pickmove(color);
+            if (p < 0) break;
+            x = p % 19;
+            y = p / 19;
+            setat(x, y, color);
+            capture_neighbors(x, y, 3 - color);
+            if (livesordies(x, y) == 0) ldndate(x, y, color);
+            color = 3 - color;
+            moves_made = moves_made + 1;
+        }
+        evaluate();
+    }
+    puts("go: moves=");
+    putint(moves_made);
+    puts(" black=");
+    putint(eval_black);
+    puts(" white=");
+    putint(eval_white);
+    putchar('\n');
+    flushout();
+    return 0;
+}
+)MC";
+}
+
+std::string
+goInput()
+{
+    return std::string();   // go takes no external input (like null.in)
+}
+
+std::string
+goAltInput()
+{
+    return "98765\n";       // different tie-break seed (9stone21-ish)
+}
+
+} // namespace irep::workloads

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * `ijpeg` analogue: forward integer DCT, quantization, zigzag and
+ * Huffman-style entropy coding of 8x8 blocks of a synthetic image
+ * read from external input — the emit_bits/encode_one_block/
+ * jpeg_idct pipeline of SPEC 132.ijpeg. Runs several qualities per
+ * image, like ijpeg's multi-pass harness.
+ */
+
+#include <string>
+
+#include "workloads/workloads.hh"
+
+namespace irep::workloads
+{
+
+std::string
+ijpegSource()
+{
+    return R"MC(
+/* --------- block image codec (SPEC ijpeg analogue) --------------- */
+
+int IMGW;
+int IMGH;
+char *image;             /* heap-allocated, like ijpeg's buffers */
+int *block;              /* DCT workspace, heap-allocated */
+int *coef;
+int lastdc;
+
+/* Statically initialized tables: zigzag order and base quant matrix
+ * (the paper's "global init data" slices). */
+int zigzag[64] = {
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63 };
+
+int basequant[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68,109,103, 77,
+    24, 35, 55, 64, 81,104,113, 92,
+    49, 64, 78, 87,103,121,120,101,
+    72, 92, 95, 98,112,100,103, 99 };
+
+int quant[64];
+
+/* Bit-packing output (emit_bits). */
+int bitbuf;
+int bitcnt;
+int out_bytes;
+int out_csum;
+
+void emit_bits(int code, int size) {
+    bitbuf = (bitbuf << size) | (code & ((1 << size) - 1));
+    bitcnt = bitcnt + size;
+    while (bitcnt >= 8) {
+        out_csum = out_csum * 31 + ((bitbuf >> (bitcnt - 8)) & 255);
+        out_bytes = out_bytes + 1;
+        bitcnt = bitcnt - 8;
+    }
+}
+
+/* Magnitude category of a coefficient (Huffman symbol). */
+int csize(int v) {
+    int n;
+    if (v < 0) v = -v;
+    n = 0;
+    while (v) { n = n + 1; v = v >> 1; }
+    return n;
+}
+
+/* 1-D integer DCT on 8 samples (in-place, scaled). */
+void dct1d(int *d, int stride) {
+    int s07; int s16; int s25; int s34;
+    int d07; int d16; int d25; int d34;
+    s07 = d[0] + d[stride * 7];
+    s16 = d[stride] + d[stride * 6];
+    s25 = d[stride * 2] + d[stride * 5];
+    s34 = d[stride * 3] + d[stride * 4];
+    d07 = d[0] - d[stride * 7];
+    d16 = d[stride] - d[stride * 6];
+    d25 = d[stride * 2] - d[stride * 5];
+    d34 = d[stride * 3] - d[stride * 4];
+    d[0] = s07 + s34 + s16 + s25;
+    d[stride * 4] = s07 + s34 - s16 - s25;
+    d[stride * 2] = ((s07 - s34) * 17 + (s16 - s25) * 7) >> 4;
+    d[stride * 6] = ((s07 - s34) * 7 - (s16 - s25) * 17) >> 4;
+    d[stride] = (d07 * 23 + d16 * 19 + d25 * 13 + d34 * 4) >> 4;
+    d[stride * 3] = (d07 * 19 - d16 * 4 - d25 * 23 - d34 * 13) >> 4;
+    d[stride * 5] = (d07 * 13 - d16 * 23 + d25 * 4 + d34 * 19) >> 4;
+    d[stride * 7] = (d07 * 4 - d16 * 13 + d25 * 19 - d34 * 23) >> 4;
+}
+
+void fdct(int *d) {
+    int i;
+    for (i = 0; i < 8; i = i + 1) dct1d(&d[i * 8], 1);
+    for (i = 0; i < 8; i = i + 1) dct1d(&d[i], 8);
+}
+
+void setquality(int q) {
+    int i;
+    int v;
+    for (i = 0; i < 64; i = i + 1) {
+        v = (basequant[i] * q + 50) / 100;
+        if (v < 1) v = 1;
+        if (v > 255) v = 255;
+        quant[i] = v;
+    }
+}
+
+/* DCT + quantize + zigzag + entropy-code one 8x8 block. */
+void encode_one_block(int bx, int by) {
+    int x;
+    int y;
+    int i;
+    int v;
+    int run;
+    int size;
+    int diff;
+    for (y = 0; y < 8; y = y + 1) {
+        for (x = 0; x < 8; x = x + 1) {
+            block[y * 8 + x] =
+                (int)image[(by * 8 + y) * IMGW + bx * 8 + x] - 128;
+        }
+    }
+    fdct(block);
+    for (i = 0; i < 64; i = i + 1) {
+        v = block[zigzag[i]];
+        if (v >= 0) coef[i] = v / quant[i];
+        else coef[i] = -((-v) / quant[i]);
+    }
+    /* DC difference. */
+    diff = coef[0] - lastdc;
+    lastdc = coef[0];
+    size = csize(diff);
+    emit_bits(size, 4);
+    if (size) emit_bits(diff, size);
+    /* AC run-length coding. */
+    run = 0;
+    for (i = 1; i < 64; i = i + 1) {
+        if (coef[i] == 0) {
+            run = run + 1;
+        } else {
+            while (run > 15) { emit_bits(240, 8); run = run - 16; }
+            size = csize(coef[i]);
+            emit_bits(run * 16 + size, 8);
+            emit_bits(coef[i], size);
+            run = 0;
+        }
+    }
+    if (run) emit_bits(0, 8);   /* EOB */
+}
+
+void readimage() {
+    int got;
+    int total;
+    total = IMGW * IMGH;
+    got = 0;
+    while (got < total) {
+        int n;
+        n = __read(&image[got], total - got);
+        if (n <= 0) return;
+        got = got + n;
+    }
+}
+
+int main() {
+    int q;
+    int bx;
+    int by;
+    int pass;
+    IMGW = 128;
+    IMGH = 128;
+    image = malloc(IMGW * IMGH);
+    block = (int *)malloc(64 * sizeof(int));
+    coef = (int *)malloc(64 * sizeof(int));
+    readimage();
+    for (pass = 0; pass < 8; pass = pass + 1) {
+        q = 30 + (pass % 3) * 30;   /* qualities 30, 60, 90 */
+        setquality(q);
+        lastdc = 0;
+        bitbuf = 0;
+        bitcnt = 0;
+        for (by = 0; by < 16; by = by + 1) {
+            for (bx = 0; bx < 16; bx = bx + 1) {
+                encode_one_block(bx, by);
+            }
+        }
+    }
+    puts("ijpeg: bytes=");
+    putint(out_bytes);
+    puts(" csum=");
+    puthex(out_csum);
+    putchar('\n');
+    flushout();
+    return 0;
+}
+)MC";
+}
+
+std::string
+ijpegInput()
+{
+    // A deterministic 128x128 synthetic "photo": smooth gradients plus
+    // texture, so blocks have realistic mixed-frequency content.
+    std::string img(128 * 128, '\0');
+    for (int y = 0; y < 128; ++y) {
+        for (int x = 0; x < 128; ++x) {
+            int v = 128 + ((x * 5 + y * 3) % 64) - 32;
+            v += ((x / 16 + y / 16) % 2) ? 24 : -24;      // checkers
+            v += ((x * x + y * y) / 37) % 17 - 8;         // texture
+            if (v < 0)
+                v = 0;
+            if (v > 255)
+                v = 255;
+            img[size_t(y) * 128 + size_t(x)] = char(v);
+        }
+    }
+    return img;
+}
+
+std::string
+ijpegAltInput()
+{
+    // A different 128x128 image: radial rings plus diagonal stripes
+    // (like swapping vigo.ppm for specmun.ppm).
+    std::string img(128 * 128, '\0');
+    for (int y = 0; y < 128; ++y) {
+        for (int x = 0; x < 128; ++x) {
+            const int cx = x - 64, cy = y - 64;
+            int v = 128 + ((cx * cx + cy * cy) / 23) % 97 - 48;
+            v += ((x + y) % 16 < 8) ? 15 : -15;
+            if (v < 0)
+                v = 0;
+            if (v > 255)
+                v = 255;
+            img[size_t(y) * 128 + size_t(x)] = char(v);
+        }
+    }
+    return img;
+}
+
+} // namespace irep::workloads

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * `li` analogue: a lisp interpreter with cons cells, interned
+ * symbols, assoc-list environments, special forms and user-defined
+ * functions, running classic list benchmarks (fib, naive reverse)
+ * read from external input — the xlisp eval/cons profile of SPEC
+ * 130.li (livecar/livecdr/xlevlist in the paper's Table 9).
+ */
+
+#include <string>
+
+#include "workloads/workloads.hh"
+
+namespace irep::workloads
+{
+
+std::string
+liSource()
+{
+    return R"MC(
+/* ------------- lisp interpreter (SPEC li analogue) --------------- */
+
+/* Cell tags. */
+/* 0 = cons, 1 = fixnum, 2 = symbol */
+
+struct cell {
+    int tag;
+    int car;        /* cons: cell*, fixnum: value, symbol: symtab idx */
+    int cdr;        /* cons: cell* */
+};
+
+char symnames[2048];
+int symstart[128];
+int nsyms;
+
+struct cell *nil;
+struct cell *tsym;
+
+int cells_made;
+int evals_done;
+int out_csum;
+
+struct cell *newcell(int tag) {
+    struct cell *c;
+    c = (struct cell *)malloc(sizeof(struct cell));
+    c->tag = tag;
+    c->car = 0;
+    c->cdr = 0;
+    cells_made = cells_made + 1;
+    return c;
+}
+
+struct cell *mknum(int v) {
+    struct cell *c;
+    c = newcell(1);
+    c->car = v;
+    return c;
+}
+
+struct cell *cons(struct cell *a, struct cell *d) {
+    struct cell *c;
+    c = newcell(0);
+    c->car = (int)a;
+    c->cdr = (int)d;
+    return c;
+}
+
+struct cell *livecar(struct cell *c) {
+    if (c->tag != 0) return nil;
+    return (struct cell *)c->car;
+}
+
+struct cell *livecdr(struct cell *c) {
+    if (c->tag != 0) return nil;
+    return (struct cell *)c->cdr;
+}
+
+/* Intern a symbol name; returns a symbol cell index. */
+int intern(char *name) {
+    int i;
+    for (i = 0; i < nsyms; i = i + 1) {
+        if (strcmp(&symnames[symstart[i]], name) == 0) return i;
+    }
+    symstart[nsyms] = (nsyms == 0) ? 0
+        : symstart[nsyms - 1] + strlen(&symnames[symstart[nsyms - 1]]) + 1;
+    strcpy(&symnames[symstart[nsyms]], name);
+    nsyms = nsyms + 1;
+    return nsyms - 1;
+}
+
+struct cell *mksym(char *name) {
+    struct cell *c;
+    c = newcell(2);
+    c->car = intern(name);
+    return c;
+}
+
+int symis(struct cell *c, char *name) {
+    if (c->tag != 2) return 0;
+    return strcmp(&symnames[symstart[c->car]], name) == 0;
+}
+
+/* ---------------- reader ---------------- */
+int peeked;
+int havepeek;
+
+int rdchar() {
+    if (havepeek) { havepeek = 0; return peeked; }
+    return getchar();
+}
+
+void unread(int c) { peeked = c; havepeek = 1; }
+
+int skipspace() {
+    int c;
+    c = rdchar();
+    while (c == ' ' || c == '\n' || c == '\t') c = rdchar();
+    return c;
+}
+
+struct cell *readexpr();
+
+struct cell *readlist() {
+    int c;
+    struct cell *head;
+    struct cell *tail;
+    struct cell *e;
+    head = nil;
+    tail = nil;
+    c = skipspace();
+    while (c >= 0 && c != ')') {
+        unread(c);
+        e = readexpr();
+        e = cons(e, nil);
+        if (head == nil) head = e;
+        else tail->cdr = (int)e;
+        tail = e;
+        c = skipspace();
+    }
+    return head;
+}
+
+struct cell *readexpr() {
+    int c;
+    char tok[32];
+    int i;
+    c = skipspace();
+    if (c < 0) return nil;
+    if (c == '(') return readlist();
+    i = 0;
+    while (c > ' ' && c != '(' && c != ')') {
+        if (i < 31) { tok[i] = (char)c; i = i + 1; }
+        c = rdchar();
+    }
+    unread(c);
+    tok[i] = (char)0;
+    if ((tok[0] >= '0' && tok[0] <= '9') ||
+        (tok[0] == '-' && tok[1] >= '0' && tok[1] <= '9'))
+        return mknum(atoi(tok));
+    return mksym(tok);
+}
+
+/* -------------- environment -------------- */
+/* env is a list of (symidx . value) pairs built with cons, where the
+ * pair's tag-1 car holds the symbol index. */
+
+struct cell *xlsave(int symidx, struct cell *val, struct cell *env) {
+    struct cell *pair;
+    pair = newcell(0);
+    pair->car = symidx;
+    pair->cdr = (int)val;
+    return cons(pair, env);
+}
+
+struct cell *xlobgetvalue(int symidx, struct cell *env) {
+    struct cell *pair;
+    while (env != nil) {
+        pair = livecar(env);
+        if (pair->car == symidx) return (struct cell *)pair->cdr;
+        env = livecdr(env);
+    }
+    return nil;
+}
+
+/* -------------- functions table -------------- */
+int fnname[64];
+struct cell *fnparams[64];
+struct cell *fnbody[64];
+int nfns;
+
+int findfn(int symidx) {
+    int i;
+    for (i = 0; i < nfns; i = i + 1) {
+        if (fnname[i] == symidx) return i;
+    }
+    return -1;
+}
+
+/* -------------- evaluator -------------- */
+struct cell *eval(struct cell *e, struct cell *env);
+
+/* Evaluate every element of a list (xlevlist). */
+struct cell *xlevlist(struct cell *args, struct cell *env) {
+    struct cell *head;
+    struct cell *tail;
+    struct cell *v;
+    head = nil;
+    tail = nil;
+    while (args != nil) {
+        v = cons(eval(livecar(args), env), nil);
+        if (head == nil) head = v;
+        else tail->cdr = (int)v;
+        tail = v;
+        args = livecdr(args);
+    }
+    return head;
+}
+
+int numval(struct cell *c) {
+    if (c->tag == 1) return c->car;
+    return 0;
+}
+
+struct cell *apply(int fnidx, struct cell *argvals) {
+    struct cell *env;
+    struct cell *p;
+    env = nil;
+    p = fnparams[fnidx];
+    while (p != nil && argvals != nil) {
+        env = xlsave(livecar(p)->car, livecar(argvals), env);
+        p = livecdr(p);
+        argvals = livecdr(argvals);
+    }
+    return eval(fnbody[fnidx], env);
+}
+
+struct cell *eval(struct cell *e, struct cell *env) {
+    struct cell *head;
+    struct cell *args;
+    struct cell *a;
+    struct cell *b;
+    int fnidx;
+    evals_done = evals_done + 1;
+    if (e == nil) return nil;
+    if (e->tag == 1) return e;
+    if (e->tag == 2) {
+        if (symis(e, "nil")) return nil;
+        if (symis(e, "t")) return tsym;
+        return xlobgetvalue(e->car, env);
+    }
+    head = livecar(e);
+    args = livecdr(e);
+    if (head->tag == 2) {
+        if (symis(head, "quote")) return livecar(args);
+        if (symis(head, "if")) {
+            a = eval(livecar(args), env);
+            if (a != nil) return eval(livecar(livecdr(args)), env);
+            return eval(livecar(livecdr(livecdr(args))), env);
+        }
+        if (symis(head, "defun")) {
+            fnname[nfns] = livecar(args)->car;
+            fnparams[nfns] = livecar(livecdr(args));
+            fnbody[nfns] = livecar(livecdr(livecdr(args)));
+            nfns = nfns + 1;
+            return tsym;
+        }
+        if (symis(head, "+")) {
+            args = xlevlist(args, env);
+            return mknum(numval(livecar(args)) +
+                         numval(livecar(livecdr(args))));
+        }
+        if (symis(head, "-")) {
+            args = xlevlist(args, env);
+            return mknum(numval(livecar(args)) -
+                         numval(livecar(livecdr(args))));
+        }
+        if (symis(head, "*")) {
+            args = xlevlist(args, env);
+            return mknum(numval(livecar(args)) *
+                         numval(livecar(livecdr(args))));
+        }
+        if (symis(head, "<")) {
+            args = xlevlist(args, env);
+            if (numval(livecar(args)) <
+                numval(livecar(livecdr(args)))) return tsym;
+            return nil;
+        }
+        if (symis(head, "=")) {
+            args = xlevlist(args, env);
+            if (numval(livecar(args)) ==
+                numval(livecar(livecdr(args)))) return tsym;
+            return nil;
+        }
+        if (symis(head, "car")) {
+            args = xlevlist(args, env);
+            return livecar(livecar(args));
+        }
+        if (symis(head, "cdr")) {
+            args = xlevlist(args, env);
+            return livecdr(livecar(args));
+        }
+        if (symis(head, "cons")) {
+            args = xlevlist(args, env);
+            return cons(livecar(args), livecar(livecdr(args)));
+        }
+        if (symis(head, "null")) {
+            args = xlevlist(args, env);
+            if (livecar(args) == nil) return tsym;
+            return nil;
+        }
+        fnidx = findfn(head->car);
+        if (fnidx >= 0) {
+            args = xlevlist(args, env);
+            return apply(fnidx, args);
+        }
+    }
+    return nil;
+}
+
+int listsum(struct cell *l) {
+    int s;
+    s = 0;
+    while (l != nil) {
+        s = s * 31 + numval(livecar(l));
+        l = livecdr(l);
+    }
+    return s;
+}
+
+int main() {
+    struct cell *e;
+    struct cell *v;
+    nil = (struct cell *)0;
+    /* nil must be a distinguishable non-null sentinel. */
+    nil = newcell(2);
+    nil->car = intern("nil");
+    tsym = newcell(2);
+    tsym->car = intern("t");
+    e = readexpr();
+    while (e != nil) {
+        v = eval(e, nil);
+        if (v != nil && v->tag == 1)
+            out_csum = out_csum * 31 + v->car;
+        if (v != nil && v->tag == 0)
+            out_csum = out_csum * 31 + listsum(v);
+        e = readexpr();
+    }
+    puts("li: evals=");
+    putint(evals_done);
+    puts(" cells=");
+    putint(cells_made);
+    puts(" csum=");
+    puthex(out_csum);
+    putchar('\n');
+    flushout();
+    return 0;
+}
+)MC";
+}
+
+std::string
+liInput()
+{
+    std::string s;
+    s += "(defun fib (n) (if (< n 2) n "
+         "(+ (fib (- n 1)) (fib (- n 2)))))\n";
+    s += "(defun app (a b) (if (null a) b "
+         "(cons (car a) (app (cdr a) b))))\n";
+    s += "(defun nrev (l) (if (null l) nil "
+         "(app (nrev (cdr l)) (cons (car l) nil))))\n";
+    s += "(defun iota (n) (if (= n 0) nil (cons n (iota (- n 1)))))\n";
+    s += "(defun len (l) (if (null l) 0 (+ 1 (len (cdr l)))))\n";
+    s += "(defun bench (k) (if (= k 0) 0 "
+         "(+ (len (nrev (iota 24))) (bench (- k 1)))))\n";
+    s += "(fib 14)\n";
+    s += "(bench 40)\n";
+    s += "(nrev (iota 30))\n";
+    s += "(fib 12)\n";
+    return s;
+}
+
+std::string
+liAltInput()
+{
+    // Different lisp programs: list summation and deeper fib.
+    std::string s;
+    s += "(defun fib (n) (if (< n 2) n "
+         "(+ (fib (- n 1)) (fib (- n 2)))))\n";
+    s += "(defun iota (n) (if (= n 0) nil (cons n (iota (- n 1)))))\n";
+    s += "(defun suml (l) (if (null l) 0 "
+         "(+ (car l) (suml (cdr l)))))\n";
+    s += "(defun spin (k) (if (= k 0) 0 "
+         "(+ (suml (iota 40)) (spin (- k 1)))))\n";
+    s += "(spin 120)\n";
+    s += "(fib 13)\n";
+    s += "(suml (iota 50))\n";
+    return s;
+}
+
+} // namespace irep::workloads

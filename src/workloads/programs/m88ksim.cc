@@ -1,0 +1,214 @@
+/**
+ * @file
+ * `m88ksim` analogue: a functional simulator for a small 16-register
+ * RISC target, decomposed SPEC-style (Data_path/execute/alu/
+ * loadstore/test_issue), interpreting a target program that is loaded
+ * from external input — the simulator-simulating-a-program structure
+ * of SPEC 124.m88ksim running ctl.in.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workloads.hh"
+
+namespace irep::workloads
+{
+
+std::string
+m88ksimSource()
+{
+    return R"MC(
+/* --------- toy RISC simulator (SPEC m88ksim analogue) ------------ */
+/* Target ISA, 16 regs, word-addressed 1024-word memory.
+ * Encoding: op*16777216 + rd*65536 + rs*256 + imm8
+ *   op 0 halt | 1 li rd,imm | 2 add rd,rs,imm(reg idx) | 3 sub
+ *   4 mul | 5 ld rd,[rs+imm] | 6 st rd,[rs+imm] | 7 beq rd,rs,imm
+ *   8 bne | 9 jmp imm | 10 addi rd,rs,imm | 11 shl | 12 shr
+ *   13 and | 14 or | 15 xor                                         */
+
+int tregs[16];
+int *tmem;               /* simulated memory image, heap-allocated */
+int *tprog;              /* loaded target program, heap-allocated */
+int tproglen;
+int tpc;
+int trunning;
+int cycles;
+int trace_csum;
+
+int opcount[16];
+
+int fetch() {
+    int w;
+    if (tpc < 0 || tpc >= tproglen) { trunning = 0; return 0; }
+    w = tprog[tpc];
+    tpc = tpc + 1;
+    return w;
+}
+
+int alu(int op, int a, int b) {
+    if (op == 2) return a + b;
+    if (op == 3) return a - b;
+    if (op == 4) return a * b;
+    if (op == 11) return a << (b & 31);
+    if (op == 12) return a >> (b & 31);
+    if (op == 13) return a & b;
+    if (op == 14) return a | b;
+    return a ^ b;
+}
+
+int loadstore(int op, int rd, int addr) {
+    if (addr < 0) addr = 0;
+    if (addr >= 1024) addr = addr % 1024;
+    if (op == 5) { tregs[rd] = tmem[addr]; return tregs[rd]; }
+    tmem[addr] = tregs[rd];
+    return tregs[rd];
+}
+
+void display_trace(int op, int rd) {
+    trace_csum = trace_csum * 17 + op * 4 + rd;
+}
+
+int test_issue(int op) {
+    opcount[op] = opcount[op] + 1;
+    if (op == 0) return 0;
+    return 1;
+}
+
+void execute(int w) {
+    int op;
+    int rd;
+    int rs;
+    int imm;
+    op = (w >> 24) & 255;
+    rd = (w >> 16) & 255;
+    rs = (w >> 8) & 255;
+    imm = w & 255;
+    if (imm > 127) imm = imm - 256;   /* sign-extend imm8 */
+    if (test_issue(op) == 0) { trunning = 0; return; }
+    if (op == 1) {
+        tregs[rd] = imm;
+    } else if (op >= 2 && op <= 4) {
+        tregs[rd] = alu(op, tregs[rs], tregs[imm & 15]);
+    } else if (op >= 11 && op <= 15) {
+        tregs[rd] = alu(op, tregs[rs], tregs[imm & 15]);
+    } else if (op == 5 || op == 6) {
+        loadstore(op, rd, tregs[rs] + imm);
+    } else if (op == 7) {
+        if (tregs[rd] == tregs[rs]) tpc = tpc + imm;
+    } else if (op == 8) {
+        if (tregs[rd] != tregs[rs]) tpc = tpc + imm;
+    } else if (op == 9) {
+        tpc = tpc + imm;
+    } else if (op == 10) {
+        tregs[rd] = tregs[rs] + imm;
+    }
+    display_trace(op, rd);
+}
+
+void Data_path() {
+    int w;
+    w = fetch();
+    if (trunning == 0) return;
+    execute(w);
+    cycles = cycles + 1;
+}
+
+/* Load the target program: one decimal word per input line. */
+void loadprog() {
+    char line[32];
+    int n;
+    tmem = (int *)malloc(1024 * sizeof(int));
+    tprog = (int *)malloc(512 * sizeof(int));
+    tproglen = 0;
+    n = readline(line, 32);
+    while (n >= 0 && tproglen < 512) {
+        if (n > 0) {
+            tprog[tproglen] = atoi(line);
+            tproglen = tproglen + 1;
+        }
+        n = readline(line, 32);
+    }
+}
+
+int main() {
+    int run;
+    int i;
+    int maxcycles;
+    loadprog();
+    maxcycles = 150000;
+    for (run = 0; run < 8; run = run + 1) {
+        for (i = 0; i < 16; i = i + 1) tregs[i] = 0;
+        for (i = 0; i < 1024; i = i + 1) tmem[i] = 0;
+        tpc = 0;
+        trunning = 1;
+        while (trunning && cycles < maxcycles) Data_path();
+    }
+    puts("m88ksim: cycles=");
+    putint(cycles);
+    puts(" r1=");
+    putint(tregs[1]);
+    puts(" csum=");
+    puthex(trace_csum);
+    putchar('\n');
+    flushout();
+    return 0;
+}
+)MC";
+}
+
+std::string
+m88ksimInput()
+{
+    // The target program, one decimal instruction word per line: a
+    // triangular-sum kernel that stores partial sums to target memory
+    // and restarts forever (the host's cycle budget stops it).
+    // Branch immediates are relative to the already-incremented pc.
+    auto word = [](int op, int rd, int rs, int imm) {
+        return (op << 24) | (rd << 16) | (rs << 8) | (imm & 255);
+    };
+    std::string out;
+    auto put = [&out](int w) { out += std::to_string(w) + "\n"; };
+
+    put(word(1, 1, 0, 0));      //  0: li r1, 0      i = 0
+    put(word(1, 2, 0, 100));    //  1: li r2, 100    n = 100
+    put(word(1, 3, 0, 0));      //  2: li r3, 0      sum = 0
+    put(word(1, 4, 0, 0));      //  3: li r4, 0      j = 0
+    put(word(7, 4, 1, 3));      //  4: beq r4, r1, +3  -> 8
+    put(word(2, 3, 3, 4));      //  5: add r3, r3, r4  sum += j
+    put(word(10, 4, 4, 1));     //  6: addi r4, r4, 1  j++
+    put(word(9, 0, 0, -4));     //  7: jmp -4          -> 4
+    put(word(6, 3, 1, 0));      //  8: st r3, [r1+0]   mem[i] = sum
+    put(word(10, 1, 1, 1));     //  9: addi r1, r1, 1  i++
+    put(word(8, 1, 2, -8));     // 10: bne r1, r2, -8  -> 3
+    put(word(5, 5, 0, 0));      // 11: ld r5, [r0+0]   r5 = mem[0]
+    put(word(9, 0, 0, -13));    // 12: jmp -13         -> 0 (restart)
+    return out;
+}
+
+std::string
+m88ksimAltInput()
+{
+    // A different target program: iterative fibonacci into memory,
+    // restarting forever.
+    auto word = [](int op, int rd, int rs, int imm) {
+        return (op << 24) | (rd << 16) | (rs << 8) | (imm & 255);
+    };
+    std::string out;
+    auto put = [&out](int w) { out += std::to_string(w) + "\n"; };
+
+    put(word(1, 1, 0, 0));      //  0: li r1, 0     a = 0
+    put(word(1, 2, 0, 1));      //  1: li r2, 1     b = 1
+    put(word(1, 3, 0, 30));     //  2: li r3, 30    n
+    put(word(1, 4, 0, 0));      //  3: li r4, 0     i = 0
+    put(word(2, 5, 1, 2));      //  4: add r5, r1, r2   t = a + b
+    put(word(2, 1, 2, 7));      //  5: add r1, r2, r7   a = b
+    put(word(2, 2, 5, 7));      //  6: add r2, r5, r7   b = t
+    put(word(6, 1, 4, 0));      //  7: st r1, [r4+0]
+    put(word(10, 4, 4, 1));     //  8: addi r4, r4, 1
+    put(word(8, 4, 3, -6));     //  9: bne r4, r3, -6  -> 4
+    put(word(9, 0, 0, -11));    // 10: jmp -11         -> 0 (restart)
+    return out;
+}
+
+} // namespace irep::workloads

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * `perl` analogue: an interpreter for a tiny scripting language
+ * (variables, arithmetic, string hashing, while loops), running a
+ * word-scoring script over a word list — the eval/hash/string-op
+ * profile of SPEC 134.perl on scrabbl.pl. The script itself arrives
+ * via external input, so the interpreter's behaviour is input-driven
+ * exactly like perl's.
+ *
+ * Script language (one statement per line):
+ *   set X N        X = N
+ *   add X Y        X = X + var(Y)
+ *   sub X Y        X = X - var(Y)
+ *   mul X Y        X = X * var(Y)
+ *   score X word   X = scrabble score of `word`
+ *   hash X word    X = string hash of `word`
+ *   loop N         repeat following block N times
+ *   end            end of loop block
+ *   out X          append var(X) to the output checksum
+ */
+
+#include <string>
+
+#include "workloads/workloads.hh"
+
+namespace irep::workloads
+{
+
+std::string
+perlSource()
+{
+    return R"MC(
+/* ---------- tiny script interpreter (SPEC perl analogue) --------- */
+
+/* Letter values (global init data), scrabble-style. */
+int letterval[26] = { 1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3,
+                      1, 1, 3,10, 1, 1, 1, 1, 4, 4, 8, 4,10 };
+
+/* Variable table: single-letter names A..Z. */
+int vars[26];
+
+/* The loaded program lives in a heap arena (perl keeps its script
+ * and strings on the heap). */
+char *progtext;
+int *linestart;
+int nlines;
+
+int out_csum;
+int ops_run;
+
+/* str_nset-style helper: copy up to n chars. */
+void str_nset(char *dst, char *src, int n) {
+    int i;
+    i = 0;
+    while (i < n && src[i]) { dst[i] = src[i]; i = i + 1; }
+    dst[i] = (char)0;
+}
+
+int varindex(char *name) {
+    return *name - 'A';
+}
+
+/* Scrabble score of a lowercase word. */
+int word_score(char *w) {
+    int s;
+    int mult;
+    s = 0;
+    mult = 1;
+    while (*w) {
+        if (*w >= 'a' && *w <= 'z')
+            s = s + letterval[*w - 'a'];
+        if (*w == 'q' || *w == 'z') mult = 2;
+        w = w + 1;
+    }
+    return s * mult;
+}
+
+/* perl-style string hash. */
+int str_hash(char *w) {
+    int h;
+    h = 0;
+    while (*w) {
+        h = h * 33 + *w;
+        w = w + 1;
+    }
+    return h & 0x7fffffff;
+}
+
+/* Split a line into up to 3 fields; returns field count. */
+int fields(char *line, char **f1, char **f2, char **f3) {
+    int n;
+    char *p;
+    p = line;
+    n = 0;
+    while (*p) {
+        while (*p == ' ') { *p = (char)0; p = p + 1; }
+        if (*p == 0) break;
+        if (n == 0) *f1 = p;
+        if (n == 1) *f2 = p;
+        if (n == 2) *f3 = p;
+        n = n + 1;
+        while (*p && *p != ' ') p = p + 1;
+    }
+    return n;
+}
+
+void loadprog() {
+    char line[64];
+    int n;
+    int pos;
+    progtext = malloc(24576);
+    linestart = (int *)malloc(512 * sizeof(int));
+    nlines = 0;
+    pos = 0;
+    n = readline(line, 64);
+    while (n >= 0 && nlines < 512) {
+        linestart[nlines] = pos;
+        memcpy(&progtext[pos], line, n + 1);
+        pos = pos + n + 1;
+        nlines = nlines + 1;
+        n = readline(line, 64);
+    }
+}
+
+/* Evaluate lines [from, to); returns nothing. Loops recurse. */
+void eval(int from, int to) {
+    int i;
+    int depth;
+    char linebuf[64];
+    char *f1; char *f2; char *f3;
+    int nf;
+    int count;
+    int j;
+    int body;
+    i = from;
+    while (i < to) {
+        /* Work on a copy because fields() punches holes. */
+        str_nset(linebuf, &progtext[linestart[i]], 63);
+        nf = fields(linebuf, &f1, &f2, &f3);
+        ops_run = ops_run + 1;
+        if (nf == 0) { i = i + 1; continue; }
+        if (strcmp(f1, "set") == 0) {
+            vars[varindex(f2)] = atoi(f3);
+        } else if (strcmp(f1, "add") == 0) {
+            vars[varindex(f2)] = vars[varindex(f2)] + vars[varindex(f3)];
+        } else if (strcmp(f1, "sub") == 0) {
+            vars[varindex(f2)] = vars[varindex(f2)] - vars[varindex(f3)];
+        } else if (strcmp(f1, "mul") == 0) {
+            vars[varindex(f2)] = vars[varindex(f2)] * vars[varindex(f3)];
+        } else if (strcmp(f1, "score") == 0) {
+            vars[varindex(f2)] = word_score(f3);
+        } else if (strcmp(f1, "hash") == 0) {
+            vars[varindex(f2)] = str_hash(f3);
+        } else if (strcmp(f1, "out") == 0) {
+            out_csum = out_csum * 31 + vars[varindex(f2)];
+        } else if (strcmp(f1, "loop") == 0) {
+            count = atoi(f2);
+            /* Find the matching end. */
+            depth = 1;
+            body = i + 1;
+            j = body;
+            while (j < to && depth > 0) {
+                str_nset(linebuf, &progtext[linestart[j]], 63);
+                nf = fields(linebuf, &f1, &f2, &f3);
+                if (nf > 0 && strcmp(f1, "loop") == 0)
+                    depth = depth + 1;
+                if (nf > 0 && strcmp(f1, "end") == 0)
+                    depth = depth - 1;
+                j = j + 1;
+            }
+            while (count > 0) {
+                eval(body, j - 1);
+                count = count - 1;
+            }
+            i = j;
+            continue;
+        }
+        i = i + 1;
+    }
+}
+
+int main() {
+    loadprog();
+    eval(0, nlines);
+    puts("perl: ops=");
+    putint(ops_run);
+    puts(" csum=");
+    puthex(out_csum);
+    putchar('\n');
+    flushout();
+    return 0;
+}
+)MC";
+}
+
+std::string
+perlInput()
+{
+    // A scoring script over a word list, nested loops for volume.
+    static const char *const words[] = {
+        "quartz", "jazzy", "lexicon", "program", "repeat", "value",
+        "cache", "buffer", "squeeze", "oxygen", "wizard", "syntax",
+        "kernel", "octave", "matrix", "vector", "puzzle", "quorum",
+    };
+    std::string script;
+    script += "set T 0\n";
+    script += "set I 0\n";
+    script += "loop 120\n";
+    for (const char *w : words) {
+        script += std::string("score S ") + w + "\n";
+        script += "add T S\n";
+        script += std::string("hash H ") + w + "\n";
+        script += "add I H\n";
+    }
+    script += "out T\n";
+    script += "out I\n";
+    script += "end\n";
+    script += "out T\n";
+    return script;
+}
+
+std::string
+perlAltInput()
+{
+    // A different script in the same language: arithmetic-heavy
+    // nested loops (primes.pl vs scrabble.in in the paper).
+    std::string script;
+    script += "set A 1\n";
+    script += "set B 1\n";
+    script += "set T 0\n";
+    script += "loop 90\n";
+    script += "loop 25\n";
+    script += "add A B\n";
+    script += "mul B A\n";
+    script += "sub B A\n";
+    script += "hash H topaz\n";
+    script += "add T H\n";
+    script += "score S quizzical\n";
+    script += "add T S\n";
+    script += "end\n";
+    script += "out T\n";
+    script += "end\n";
+    return script;
+}
+
+} // namespace irep::workloads

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * `vortex` analogue: an in-memory object database with typed records,
+ * a hash index, chunked memory accessors and a transaction stream of
+ * inserts/lookups/updates/deletes read from external input. The
+ * deliberately deep accessor decomposition (Mem_GetWord /
+ * Chunk_ChkGetChunk / Tm_FetchObject style) mirrors SPEC 147.vortex,
+ * whose prologue/epilogue costs dominate the paper's Table 5.
+ */
+
+#include <string>
+
+#include "workloads/workloads.hh"
+
+namespace irep::workloads
+{
+
+std::string
+vortexSource()
+{
+    return R"MC(
+/* ------------ object database (SPEC vortex analogue) ------------- */
+
+struct object {
+    int id;
+    int type;
+    int status;
+    char name[16];
+    int fields[8];
+    struct object *next;    /* hash chain */
+};
+
+/* Statically initialized schema: per-field multipliers and
+ * validation weights (vortex reads its DB schema into static
+ * descriptor tables). */
+int schema_mult[8] = { 3, 5, 7, 11, 13, 17, 19, 23 };
+int schema_weight[8] = { 1, 2, 1, 3, 1, 2, 1, 4 };
+
+struct object *buckets[256];
+int live_objects;
+int lookups_done;
+int updates_done;
+int deletes_done;
+int inserts_done;
+int db_csum;
+
+/* ---- low-level accessors (Mem_* style) ---- */
+int Mem_GetWord(struct object *o, int idx) {
+    return o->fields[idx];
+}
+
+void Mem_PutWord(struct object *o, int idx, int v) {
+    o->fields[idx] = v;
+}
+
+int Mem_GetAddr(int id) {
+    return (id * 2654435761) & 255;
+}
+
+/* ---- chunk layer (Chunk_* style) ---- */
+struct object *Chunk_ChkGetChunk(int id) {
+    struct object *o;
+    o = buckets[Mem_GetAddr(id)];
+    while (o) {
+        if (o->id == id) return o;
+        o = o->next;
+    }
+    return (struct object *)0;
+}
+
+void Chunk_InsertChunk(struct object *o) {
+    int b;
+    b = Mem_GetAddr(o->id);
+    o->next = buckets[b];
+    buckets[b] = o;
+    live_objects = live_objects + 1;
+}
+
+int Chunk_DeleteChunk(int id) {
+    int b;
+    struct object *o;
+    struct object *prev;
+    b = Mem_GetAddr(id);
+    o = buckets[b];
+    prev = (struct object *)0;
+    while (o) {
+        if (o->id == id) {
+            if (prev) prev->next = o->next;
+            else buckets[b] = o->next;
+            live_objects = live_objects - 1;
+            free((char *)o);
+            return 1;
+        }
+        prev = o;
+        o = o->next;
+    }
+    return 0;
+}
+
+/* ---- transaction manager (Tm_* style) ---- */
+struct object *TmFetchObject(int id) {
+    struct object *o;
+    o = Chunk_ChkGetChunk(id);
+    lookups_done = lookups_done + 1;
+    return o;
+}
+
+void TmSetName(struct object *o, int id) {
+    int i;
+    int v;
+    v = id;
+    for (i = 0; i < 12; i = i + 1) {
+        o->name[i] = (char)('a' + (v & 15));
+        v = v >> 2;
+    }
+    o->name[12] = (char)0;
+}
+
+struct object *TmCreateObject(int id, int type) {
+    struct object *o;
+    int i;
+    o = (struct object *)malloc(sizeof(struct object));
+    o->id = id;
+    o->type = type;
+    o->status = 1;
+    TmSetName(o, id);
+    for (i = 0; i < 8; i = i + 1)
+        Mem_PutWord(o, i, id * schema_mult[i]);
+    o->next = (struct object *)0;
+    Chunk_InsertChunk(o);
+    inserts_done = inserts_done + 1;
+    return o;
+}
+
+int TmUpdateObject(int id, int field, int delta) {
+    struct object *o;
+    o = TmFetchObject(id);
+    if (o == 0) return 0;
+    Mem_PutWord(o, field, Mem_GetWord(o, field) + delta);
+    o->status = o->status + 1;
+    updates_done = updates_done + 1;
+    return 1;
+}
+
+int TmValidateObject(struct object *o) {
+    int i;
+    int s;
+    if (o == 0) return 0;
+    s = o->id + o->type;
+    for (i = 0; i < 8; i = i + 1)
+        s = s + Mem_GetWord(o, i) * schema_weight[i];
+    s = s + strlen(o->name);
+    return s;
+}
+
+/* ---- transaction stream: "op id" per line ----
+ *  i = insert, l = lookup, u = update, d = delete, v = validate    */
+void runstream() {
+    char line[32];
+    int n;
+    int id;
+    int op;
+    struct object *o;
+    n = readline(line, 32);
+    while (n >= 0) {
+        if (n >= 3) {
+            op = line[0];
+            id = atoi(&line[2]);
+            if (op == 'i') {
+                TmCreateObject(id, id % 7);
+            } else if (op == 'l') {
+                o = TmFetchObject(id);
+                db_csum = db_csum * 31 + TmValidateObject(o);
+            } else if (op == 'u') {
+                TmUpdateObject(id, id % 8, id % 13);
+            } else if (op == 'd') {
+                if (Chunk_DeleteChunk(id))
+                    deletes_done = deletes_done + 1;
+            } else if (op == 'v') {
+                o = TmFetchObject(id);
+                db_csum = db_csum * 31 + TmValidateObject(o);
+            }
+        }
+        n = readline(line, 32);
+    }
+}
+
+int main() {
+    runstream();
+    puts("vortex: live=");
+    putint(live_objects);
+    puts(" ops=");
+    putint(inserts_done + lookups_done + updates_done + deletes_done);
+    puts(" csum=");
+    puthex(db_csum);
+    putchar('\n');
+    flushout();
+    return 0;
+}
+)MC";
+}
+
+std::string
+vortexInput()
+{
+    // A deterministic transaction mix: build a working set, then a
+    // skewed lookup/update/delete stream over it.
+    std::string out;
+    uint32_t seed = 0xbeefcafe;
+    auto next = [&seed]() {
+        seed = seed * 1664525u + 1013904223u;
+        return (seed >> 12) & 0xffff;
+    };
+    constexpr int population = 1200;
+    for (int i = 0; i < population; ++i)
+        out += "i " + std::to_string(i * 7 + 1) + "\n";
+    for (int t = 0; t < 14000; ++t) {
+        const int r = int(next()) % 100;
+        // Skew id choice toward a hot subset (repeated arguments!).
+        int id;
+        if (next() % 4 != 0)
+            id = (int(next()) % 60) * 7 + 1;
+        else
+            id = (int(next()) % population) * 7 + 1;
+        if (r < 55)
+            out += "l " + std::to_string(id) + "\n";
+        else if (r < 80)
+            out += "u " + std::to_string(id) + "\n";
+        else if (r < 88)
+            out += "v " + std::to_string(id) + "\n";
+        else if (r < 94) {
+            out += "d " + std::to_string(id) + "\n";
+            out += "i " + std::to_string(id) + "\n";
+        } else {
+            out += "i " + std::to_string(100000 + t) + "\n";
+        }
+    }
+    return out;
+}
+
+std::string
+vortexAltInput()
+{
+    // A second transaction mix: smaller population, update-heavy,
+    // different seed.
+    std::string out;
+    uint32_t seed = 0x13572468;
+    auto next = [&seed]() {
+        seed = seed * 1664525u + 1013904223u;
+        return (seed >> 12) & 0xffff;
+    };
+    constexpr int population = 600;
+    for (int i = 0; i < population; ++i)
+        out += "i " + std::to_string(i * 3 + 2) + "\n";
+    for (int t = 0; t < 16000; ++t) {
+        const int r = int(next()) % 100;
+        const int id = (int(next()) % population) * 3 + 2;
+        if (r < 30)
+            out += "l " + std::to_string(id) + "\n";
+        else if (r < 80)
+            out += "u " + std::to_string(id) + "\n";
+        else
+            out += "v " + std::to_string(id) + "\n";
+    }
+    return out;
+}
+
+} // namespace irep::workloads

@@ -1,0 +1,222 @@
+#include "workloads/runtime.hh"
+
+namespace irep::workloads
+{
+
+namespace
+{
+
+const char *const runtime_mc = R"MC(
+/* ================= irep MiniC runtime library ==================== */
+
+/* ---- buffered input over the read syscall ---- */
+char __ibuf[512];
+int __ipos;
+int __ilen;
+int __ieof;
+
+int getchar() {
+    if (__ipos >= __ilen) {
+        if (__ieof) return -1;
+        __ilen = __read(__ibuf, 512);
+        __ipos = 0;
+        if (__ilen == 0) { __ieof = 1; return -1; }
+    }
+    __ipos = __ipos + 1;
+    return __ibuf[__ipos - 1];
+}
+
+/* ---- buffered output over the write syscall ---- */
+char __obuf[512];
+int __opos;
+
+void flushout() {
+    if (__opos > 0) { __write(__obuf, __opos); __opos = 0; }
+}
+
+void putchar(int c) {
+    __obuf[__opos] = (char)c;
+    __opos = __opos + 1;
+    if (__opos >= 512) flushout();
+}
+
+void puts(char *s) {
+    while (*s) { putchar(*s); s = s + 1; }
+}
+
+/* Print a signed integer in decimal. */
+void putint(int v) {
+    char tmp[12];
+    int i;
+    if (v == 0) { putchar('0'); return; }
+    if (v < 0) { putchar('-'); v = -v; }
+    i = 0;
+    while (v > 0) { tmp[i] = (char)('0' + v % 10); v = v / 10; i = i + 1; }
+    while (i > 0) { i = i - 1; putchar(tmp[i]); }
+}
+
+/* Print an unsigned value in hex (for checksums). */
+void puthex(int v) {
+    char digits[17];
+    int i;
+    int d;
+    strcpy(digits, "0123456789abcdef");
+    i = 28;
+    while (i >= 0) {
+        d = (v >> i) & 15;
+        putchar(digits[d]);
+        i = i - 4;
+    }
+}
+
+/* ---- heap: sbrk-backed allocator with size-class free lists ----
+ * Blocks carry an 8-byte header holding the payload size; freed
+ * blocks up to 128 bytes are recycled through per-class free lists
+ * (the link reuses the header word). Larger freed blocks are leaked,
+ * like many simple allocators of the era. */
+int __heap_ptr;
+int __heap_end;
+int __freehead[16];     /* class k holds payloads of 8*(k+1) bytes */
+
+char *malloc(int n) {
+    int p;
+    int k;
+    int total;
+    n = (n + 7) & ~7;
+    if (n == 0) n = 8;
+    if (n <= 128) {
+        k = n / 8 - 1;
+        n = (k + 1) * 8;        /* round payload up to the class */
+        p = __freehead[k];
+        if (p) {
+            __freehead[k] = *(int *)p;
+            *(int *)p = n;      /* restore the size header */
+            return (char *)(p + 8);
+        }
+    }
+    total = n + 8;
+    if (__heap_ptr + total > __heap_end) {
+        int chunk;
+        chunk = 65536;
+        if (total > chunk) chunk = (total + 65535) & ~65535;
+        if (__heap_ptr == 0) {
+            __heap_ptr = __sbrk(chunk);
+            __heap_end = __heap_ptr + chunk;
+        } else {
+            __sbrk(chunk);
+            __heap_end = __heap_end + chunk;
+        }
+    }
+    p = __heap_ptr;
+    __heap_ptr = __heap_ptr + total;
+    *(int *)p = n;
+    return (char *)(p + 8);
+}
+
+void free(char *q) {
+    int p;
+    int n;
+    int k;
+    if (q == 0) return;
+    p = (int)q - 8;
+    n = *(int *)p;
+    if (n > 128) return;        /* large blocks are not recycled */
+    k = n / 8 - 1;
+    *(int *)p = __freehead[k];
+    __freehead[k] = p;
+}
+
+/* ---- strings ---- */
+int strlen(char *s) {
+    int n;
+    n = 0;
+    while (s[n]) n = n + 1;
+    return n;
+}
+
+int strcmp(char *a, char *b) {
+    while (*a && *a == *b) { a = a + 1; b = b + 1; }
+    return (int)*a - (int)*b;
+}
+
+int strncmp(char *a, char *b, int n) {
+    while (n > 0 && *a && *a == *b) { a = a + 1; b = b + 1; n = n - 1; }
+    if (n == 0) return 0;
+    return (int)*a - (int)*b;
+}
+
+char *strcpy(char *dst, char *src) {
+    char *d;
+    d = dst;
+    while (*src) { *d = *src; d = d + 1; src = src + 1; }
+    *d = (char)0;
+    return dst;
+}
+
+void memset(char *p, int v, int n) {
+    while (n > 0) { *p = (char)v; p = p + 1; n = n - 1; }
+}
+
+void memcpy(char *dst, char *src, int n) {
+    while (n > 0) { *dst = *src; dst = dst + 1; src = src + 1; n = n - 1; }
+}
+
+/* ---- misc ---- */
+int __seed;
+
+void srand(int s) { __seed = s; }
+
+int rand() {
+    __seed = __seed * 1103515245 + 12345;
+    return (__seed >> 16) & 32767;
+}
+
+int abs(int v) {
+    if (v < 0) return -v;
+    return v;
+}
+
+int atoi(char *s) {
+    int v;
+    int neg;
+    v = 0;
+    neg = 0;
+    while (*s == ' ') s = s + 1;
+    if (*s == '-') { neg = 1; s = s + 1; }
+    while (*s >= '0' && *s <= '9') {
+        v = v * 10 + (*s - '0');
+        s = s + 1;
+    }
+    if (neg) return -v;
+    return v;
+}
+
+/* Read one line (up to n-1 chars) into buf; returns length or -1 at
+ * end of input. The newline is consumed but not stored. */
+int readline(char *buf, int n) {
+    int c;
+    int i;
+    i = 0;
+    c = getchar();
+    if (c < 0) return -1;
+    while (c >= 0 && c != '\n') {
+        if (i < n - 1) { buf[i] = (char)c; i = i + 1; }
+        c = getchar();
+    }
+    buf[i] = (char)0;
+    return i;
+}
+/* ================ end of runtime library ========================= */
+)MC";
+
+const std::string runtimeStr(runtime_mc);
+
+} // namespace
+
+const std::string &
+runtimeSource()
+{
+    return runtimeStr;
+}
+
+} // namespace irep::workloads

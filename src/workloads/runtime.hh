@@ -1,0 +1,24 @@
+/**
+ * @file
+ * The MiniC runtime library linked into every workload: buffered I/O
+ * over the read/write syscalls, a bump allocator over sbrk, string
+ * and formatting helpers, and a deterministic PRNG. Written in MiniC
+ * so that library code executes inside the simulator exactly like the
+ * libc routines (memcpy, malloc, ...) that show up in the paper's
+ * per-function tables.
+ */
+
+#ifndef IREP_WORKLOADS_RUNTIME_HH
+#define IREP_WORKLOADS_RUNTIME_HH
+
+#include <string>
+
+namespace irep::workloads
+{
+
+/** MiniC source of the runtime library. Prepend to workload source. */
+const std::string &runtimeSource();
+
+} // namespace irep::workloads
+
+#endif // IREP_WORKLOADS_RUNTIME_HH

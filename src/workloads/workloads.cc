@@ -1,0 +1,114 @@
+#include "workloads/workloads.hh"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "minicc/compiler.hh"
+#include "support/logging.hh"
+#include "workloads/runtime.hh"
+
+namespace irep::workloads
+{
+
+namespace
+{
+
+Workload
+make(const std::string &name, const std::string &analogue,
+     const std::string &description, std::string body,
+     std::string input, std::string alt_input, std::string expected)
+{
+    Workload w;
+    w.name = name;
+    w.specAnalogue = analogue;
+    w.description = description;
+    w.source = runtimeSource() + body;
+    w.input = std::move(input);
+    w.altInput = std::move(alt_input);
+    w.expectedOutput = std::move(expected);
+    return w;
+}
+
+std::vector<Workload>
+buildAll()
+{
+    std::vector<Workload> all;
+    all.push_back(make(
+        "go", "099.go",
+        "board-game engine: influence maps, flood-fill liberties",
+        goSource(), goInput(), goAltInput(),
+        "go: moves=300 black=106 white=110\n"));
+    all.push_back(make(
+        "m88ksim", "124.m88ksim",
+        "CPU simulator interpreting a target program from input",
+        m88ksimSource(), m88ksimInput(), m88ksimAltInput(),
+        "m88ksim: cycles=150000 r1=0 csum=57edad91\n"));
+    all.push_back(make(
+        "ijpeg", "132.ijpeg",
+        "integer DCT image codec over a synthetic image",
+        ijpegSource(), ijpegInput(), ijpegAltInput(),
+        "ijpeg: bytes=120449 csum=94847c84\n"));
+    all.push_back(make(
+        "perl", "134.perl",
+        "script interpreter running a word-scoring script",
+        perlSource(), perlInput(), perlAltInput(),
+        "perl: ops=8884 csum=0f7ca6b4\n"));
+    all.push_back(make(
+        "vortex", "147.vortex",
+        "object database processing a transaction stream",
+        vortexSource(), vortexInput(), vortexAltInput(),
+        "vortex: live=2053 ops=19514 csum=98a14040\n"));
+    all.push_back(make(
+        "li", "130.li",
+        "lisp interpreter evaluating list benchmarks",
+        liSource(), liInput(), liAltInput(),
+        "li: evals=163397 cells=189318 csum=088b5428\n"));
+    all.push_back(make(
+        "gcc", "126.gcc",
+        "expression compiler with folding and value numbering",
+        gccSource(), gccInput(), gccAltInput(),
+        "gcc: stmts=2724 emitted=13979 folds=1137 cse=1915 csum=7321f9a5\n"));
+    all.push_back(make(
+        "compress", "129.compress",
+        "LZW compressor over skewed synthetic text",
+        compressSource(), compressInput(), compressAltInput(),
+        "compress: in=400000 out=63730 csum=f7d4ab0e\n"));
+    return all;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> all = buildAll();
+    return all;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const Workload &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '", name, "'");
+}
+
+const assem::Program &
+buildProgram(const Workload &workload)
+{
+    static std::mutex mutex;
+    static std::unordered_map<std::string, assem::Program> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(workload.name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(workload.name,
+                          minicc::compileToProgram(workload.source))
+                 .first;
+    }
+    return it->second;
+}
+
+} // namespace irep::workloads

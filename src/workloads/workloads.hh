@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The workload suite: eight MiniC programs mirroring the SPEC '95
+ * integer benchmarks the paper measured (see DESIGN.md for the
+ * mapping), each with a deterministic synthetic input.
+ */
+
+#ifndef IREP_WORKLOADS_WORKLOADS_HH
+#define IREP_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+
+namespace irep::workloads
+{
+
+/** One benchmark: MiniC source plus its external input bytes. */
+struct Workload
+{
+    std::string name;           //!< short name ("compress", "li", ...)
+    std::string specAnalogue;   //!< the SPEC '95 benchmark it mirrors
+    std::string description;
+    std::string source;         //!< full MiniC source (runtime incl.)
+    std::string input;          //!< bytes served by the read syscall
+    std::string altInput;       //!< second input set (paper §3 check)
+    std::string expectedOutput; //!< empty = don't check
+};
+
+/** All eight workloads, in the paper's table order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Look up one workload by name (fatal if unknown). */
+const Workload &workloadByName(const std::string &name);
+
+/** Compile + assemble a workload (results are memoized per name). */
+const assem::Program &buildProgram(const Workload &workload);
+
+// Per-benchmark source/input factories (exposed for tests).
+std::string compressSource();
+std::string compressInput();
+std::string compressAltInput();
+std::string goSource();
+std::string goInput();
+std::string goAltInput();
+std::string m88ksimSource();
+std::string m88ksimInput();
+std::string m88ksimAltInput();
+std::string ijpegSource();
+std::string ijpegInput();
+std::string ijpegAltInput();
+std::string perlSource();
+std::string perlInput();
+std::string perlAltInput();
+std::string vortexSource();
+std::string vortexInput();
+std::string vortexAltInput();
+std::string liSource();
+std::string liInput();
+std::string liAltInput();
+std::string gccSource();
+std::string gccInput();
+std::string gccAltInput();
+
+} // namespace irep::workloads
+
+#endif // IREP_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Assembler tests: sections, labels, data directives, relocations,
+ * function metadata, entry points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "isa/instruction.hh"
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace irep::assem
+{
+namespace
+{
+
+using isa::Op;
+
+isa::Instruction
+inst(const Program &prog, size_t index)
+{
+    return isa::decode(prog.text.at(index));
+}
+
+TEST(Assembler, EmptyProgram)
+{
+    const Program p = assemble("");
+    EXPECT_TRUE(p.text.empty());
+    EXPECT_TRUE(p.data.empty());
+    EXPECT_EQ(p.entry, Layout::textBase);
+}
+
+TEST(Assembler, SingleInstruction)
+{
+    const Program p = assemble("addu $v0, $a0, $a1\n");
+    ASSERT_EQ(p.text.size(), 1u);
+    const auto i = inst(p, 0);
+    EXPECT_EQ(i.op, Op::ADDU);
+    EXPECT_EQ(i.rd, isa::regV0);
+    EXPECT_EQ(i.rs, isa::regA0);
+    EXPECT_EQ(i.rt, isa::regA1);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program p = assemble(
+        "# full line comment\n"
+        "\n"
+        "addu $v0, $a0, $a1   # trailing comment\n");
+    EXPECT_EQ(p.text.size(), 1u);
+}
+
+TEST(Assembler, LabelsResolveToTextAddresses)
+{
+    const Program p = assemble(
+        "start:\n"
+        "    nop\n"
+        "next: nop\n");
+    EXPECT_EQ(p.symbol("start"), Layout::textBase);
+    EXPECT_EQ(p.symbol("next"), Layout::textBase + 4);
+}
+
+TEST(Assembler, MultipleLabelsOneAddress)
+{
+    const Program p = assemble("a: b: c: nop\n");
+    EXPECT_EQ(p.symbol("a"), p.symbol("b"));
+    EXPECT_EQ(p.symbol("b"), p.symbol("c"));
+}
+
+TEST(Assembler, BranchOffsetsAreRelative)
+{
+    const Program p = assemble(
+        "top:\n"
+        "    nop\n"
+        "    beq $zero, $zero, top\n"
+        "    bne $a0, $a1, fwd\n"
+        "    nop\n"
+        "fwd:\n"
+        "    nop\n");
+    // beq at index 1, target index 0: offset = (0 - 2) = -2.
+    EXPECT_EQ(inst(p, 1).imm, -2);
+    // bne at index 2, target index 4: offset = (4 - 3) = 1.
+    EXPECT_EQ(inst(p, 2).imm, 1);
+}
+
+TEST(Assembler, JumpTargets)
+{
+    const Program p = assemble(
+        "    j end\n"
+        "    nop\n"
+        "end: jal end\n");
+    const uint32_t end = Layout::textBase + 8;
+    EXPECT_EQ(inst(p, 0).target, end >> 2);
+    EXPECT_EQ(inst(p, 2).target, end >> 2);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    const Program p = assemble(
+        ".data\n"
+        "w: .word 0x12345678, 257\n"
+        "h: .half 0xabcd\n"
+        "b: .byte 1, 2, 3\n");
+    EXPECT_EQ(p.symbol("w"), Layout::dataBase);
+    EXPECT_EQ(p.symbol("h"), Layout::dataBase + 8);
+    EXPECT_EQ(p.symbol("b"), Layout::dataBase + 10);
+    // Little-endian layout.
+    EXPECT_EQ(p.data[0], 0x78);
+    EXPECT_EQ(p.data[1], 0x56);
+    EXPECT_EQ(p.data[2], 0x34);
+    EXPECT_EQ(p.data[3], 0x12);
+    EXPECT_EQ(p.data[4], 0x01);     // 257 = 0x101
+    EXPECT_EQ(p.data[5], 0x01);
+    EXPECT_EQ(p.data[8], 0xcd);
+    EXPECT_EQ(p.data[9], 0xab);
+    EXPECT_EQ(p.data[10], 1);
+    EXPECT_EQ(p.data[12], 3);
+}
+
+TEST(Assembler, WordWithLabelOperand)
+{
+    const Program p = assemble(
+        ".data\n"
+        "ptr: .word target\n"
+        "target: .word 7\n");
+    const uint32_t target = Layout::dataBase + 4;
+    EXPECT_EQ(p.data[0], uint8_t(target));
+    EXPECT_EQ(p.data[1], uint8_t(target >> 8));
+    EXPECT_EQ(p.data[2], uint8_t(target >> 16));
+    EXPECT_EQ(p.data[3], uint8_t(target >> 24));
+}
+
+TEST(Assembler, AsciizAndEscapes)
+{
+    const Program p = assemble(
+        ".data\n"
+        "s: .asciiz \"hi\\n\\t\\\"x\\\\\"\n");
+    const std::string expect = "hi\n\t\"x\\";
+    ASSERT_GE(p.data.size(), expect.size() + 1);
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(char(p.data[i]), expect[i]) << i;
+    EXPECT_EQ(p.data[expect.size()], 0);
+}
+
+TEST(Assembler, AsciiHasNoTerminator)
+{
+    const Program p = assemble(".data\ns: .ascii \"ab\"\n");
+    EXPECT_EQ(p.data.size(), 2u);
+}
+
+TEST(Assembler, SpaceZeroFills)
+{
+    const Program p = assemble(
+        ".data\n.byte 9\nz: .space 5\ne: .byte 1\n");
+    EXPECT_EQ(p.symbol("e") - p.symbol("z"), 5u);
+    for (uint32_t i = 1; i < 6; ++i)
+        EXPECT_EQ(p.data[i], 0);
+}
+
+TEST(Assembler, AlignPadsDataSection)
+{
+    const Program p = assemble(
+        ".data\n.byte 1\n.align 2\nw: .word 5\n");
+    EXPECT_EQ(p.symbol("w") % 4, 0u);
+    EXPECT_EQ(p.symbol("w"), Layout::dataBase + 4);
+}
+
+TEST(Assembler, HiLoRelocationPairs)
+{
+    // %hi/%lo use the signed-adjusted convention: hi compensates when
+    // lo's sign bit is set.
+    const Program p = assemble(
+        ".data\n.space 0x9000\nsym: .word 1\n"
+        ".text\n"
+        "lui $t1, %hi(sym)\n"
+        "lw $t0, %lo(sym)($t1)\n");
+    const uint32_t addr = Layout::dataBase + 0x9000;
+    const auto lui = inst(p, 0);
+    const auto lw = inst(p, 1);
+    const uint32_t hi = uint32_t(lui.imm) << 16;
+    const int32_t lo = lw.imm;
+    EXPECT_EQ(hi + uint32_t(lo), addr);
+}
+
+TEST(Assembler, EntDirectiveRecordsFunctions)
+{
+    const Program p = assemble(
+        ".ent f, 2\n"
+        "f:  nop\n"
+        "    jr $ra\n"
+        ".end f\n"
+        ".ent g\n"
+        "g:  jr $ra\n"
+        ".end\n");
+    ASSERT_EQ(p.functions.size(), 2u);
+    EXPECT_EQ(p.functions[0].name, "f");
+    EXPECT_EQ(p.functions[0].addr, Layout::textBase);
+    EXPECT_EQ(p.functions[0].size, 8u);
+    EXPECT_EQ(p.functions[0].numArgs, 2);
+    EXPECT_EQ(p.functions[1].name, "g");
+    EXPECT_EQ(p.functions[1].numArgs, 0);
+}
+
+TEST(Assembler, EntryDirective)
+{
+    const Program p = assemble(
+        "other: nop\n"
+        "main2: nop\n"
+        ".entry main2\n");
+    EXPECT_EQ(p.entry, Layout::textBase + 4);
+}
+
+TEST(Assembler, DefaultEntryIsStart)
+{
+    const Program p = assemble("nop\n_start: nop\n");
+    EXPECT_EQ(p.entry, Layout::textBase + 4);
+}
+
+TEST(Assembler, HeapStartIsPastDataAndAligned)
+{
+    const Program p = assemble(".data\n.space 100\n");
+    EXPECT_GE(p.heapStart(), Layout::dataBase + 100);
+    EXPECT_EQ(p.heapStart() % 0x1000, 0u);
+}
+
+TEST(Assembler, CharImmediates)
+{
+    const Program p = assemble("addiu $t0, $zero, 'A'\n");
+    EXPECT_EQ(inst(p, 0).imm, 65);
+}
+
+TEST(Assembler, NegativeAndHexImmediates)
+{
+    const Program p = assemble(
+        "addiu $t0, $zero, -5\n"
+        "ori $t1, $zero, 0xff\n");
+    EXPECT_EQ(inst(p, 0).imm, -5);
+    EXPECT_EQ(inst(p, 1).imm, 0xff);
+}
+
+} // namespace
+} // namespace irep::assem

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Assembler error handling: every malformed input must raise a
+ * FatalError (never crash or silently mis-assemble).
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "support/logging.hh"
+
+namespace irep::assem
+{
+namespace
+{
+
+class AsmErrorTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AsmErrorTest, RaisesFatalError)
+{
+    EXPECT_THROW(assemble(GetParam()), FatalError) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, AsmErrorTest,
+    ::testing::Values(
+        // Unknown things.
+        "frobnicate $t0, $t1\n",
+        ".bogus 1\n",
+        // Bad operands.
+        "addu $t0, $t1\n",
+        "addu $t0, $t1, $t2, $t3\n",
+        "addu $zz, $t1, $t2\n",
+        "lw $t0, $t1\n",
+        "addiu $t0, $zero, 40000\n",        // imm out of signed range
+        "andi $t0, $zero, -1\n",            // imm out of unsigned range
+        "addiu $t0, $zero, 'ab'\n",         // bad char literal
+        "sll $t0, $t1, 32\n",               // shift out of range
+        // Labels.
+        "dup: nop\ndup: nop\n",
+        "beq $zero, $zero, nowhere\n",
+        "j nowhere\n",
+        "la $t0, nowhere\n",
+        // Sections.
+        ".word 1\n",                        // data directive in .text
+        ".data\nnop\n",                     // instruction in .data
+        // Function metadata.
+        ".ent f\nf: nop\n",                 // missing .end
+        ".end f\n",                         // .end without .ent
+        ".ent f\n.ent g\n",                 // nested .ent
+        ".ent f, 9\nf: nop\n.end f\n",      // too many args
+        // Strings.
+        ".data\n.asciiz bad\n",
+        // Branch out of range.
+        "b far\n.space 1\n"));
+
+TEST(AsmError, BranchOutOfRange)
+{
+    // 2^15 instructions forward exceeds the 16-bit signed offset.
+    std::string src = "b far\n";
+    for (int i = 0; i < (1 << 15) + 8; ++i)
+        src += "nop\n";
+    src += "far: nop\n";
+    EXPECT_THROW(assemble(src), FatalError);
+}
+
+TEST(AsmError, MessagesIncludeLineNumbers)
+{
+    try {
+        assemble("nop\nnop\nbogus_mnemonic\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(AsmError, UndefinedSymbolNamesTheSymbol)
+{
+    try {
+        assemble("j missing_target\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("missing_target"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+} // namespace irep::assem

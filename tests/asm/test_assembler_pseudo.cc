@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Pseudo-instruction expansion tests: li/la/move/branches/set-
+ * compares/mul-div-rem expand to the documented base sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "isa/instruction.hh"
+#include "isa/registers.hh"
+
+namespace irep::assem
+{
+namespace
+{
+
+using isa::Op;
+
+isa::Instruction
+inst(const Program &prog, size_t index)
+{
+    return isa::decode(prog.text.at(index));
+}
+
+TEST(Pseudo, NopIsSllZero)
+{
+    const Program p = assemble("nop\n");
+    ASSERT_EQ(p.text.size(), 1u);
+    EXPECT_EQ(p.text[0], 0u);
+}
+
+TEST(Pseudo, MoveIsAdduWithZero)
+{
+    const Program p = assemble("move $t0, $s1\n");
+    const auto i = inst(p, 0);
+    EXPECT_EQ(i.op, Op::ADDU);
+    EXPECT_EQ(i.rd, isa::regT0);
+    EXPECT_EQ(i.rs, isa::regS0 + 1);
+    EXPECT_EQ(i.rt, isa::regZero);
+}
+
+TEST(Pseudo, LiSmallSignedUsesAddiu)
+{
+    const Program p = assemble("li $t0, -42\n");
+    ASSERT_EQ(p.text.size(), 1u);
+    const auto i = inst(p, 0);
+    EXPECT_EQ(i.op, Op::ADDIU);
+    EXPECT_EQ(i.rs, isa::regZero);
+    EXPECT_EQ(i.imm, -42);
+}
+
+TEST(Pseudo, LiMediumUnsignedUsesOri)
+{
+    const Program p = assemble("li $t0, 0x8000\n");
+    ASSERT_EQ(p.text.size(), 1u);
+    const auto i = inst(p, 0);
+    EXPECT_EQ(i.op, Op::ORI);
+    EXPECT_EQ(i.imm, 0x8000);
+}
+
+TEST(Pseudo, LiLargeUsesLuiOri)
+{
+    const Program p = assemble("li $t0, 0x12345678\n");
+    ASSERT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(inst(p, 0).op, Op::LUI);
+    EXPECT_EQ(inst(p, 0).imm, 0x1234);
+    EXPECT_EQ(inst(p, 1).op, Op::ORI);
+    EXPECT_EQ(inst(p, 1).imm, 0x5678);
+}
+
+TEST(Pseudo, LiLargeRoundValueSkipsOri)
+{
+    const Program p = assemble("li $t0, 0x12340000\n");
+    ASSERT_EQ(p.text.size(), 1u);
+    EXPECT_EQ(inst(p, 0).op, Op::LUI);
+}
+
+TEST(Pseudo, LaExpandsToLuiOri)
+{
+    const Program p = assemble(
+        ".data\nsym: .word 0\n.text\nla $t0, sym\n");
+    ASSERT_EQ(p.text.size(), 2u);
+    const auto lui = inst(p, 0);
+    const auto ori = inst(p, 1);
+    EXPECT_EQ(lui.op, Op::LUI);
+    EXPECT_EQ(ori.op, Op::ORI);
+    const uint32_t value =
+        (uint32_t(lui.imm) << 16) | uint32_t(ori.imm);
+    EXPECT_EQ(value, Layout::dataBase);
+}
+
+TEST(Pseudo, UnconditionalBranch)
+{
+    const Program p = assemble("top: b top\n");
+    const auto i = inst(p, 0);
+    EXPECT_EQ(i.op, Op::BEQ);
+    EXPECT_EQ(i.rs, isa::regZero);
+    EXPECT_EQ(i.rt, isa::regZero);
+    EXPECT_EQ(i.imm, -1);
+}
+
+TEST(Pseudo, BeqzBnez)
+{
+    const Program p = assemble(
+        "top: beqz $a0, top\n"
+        "     bnez $a1, top\n");
+    EXPECT_EQ(inst(p, 0).op, Op::BEQ);
+    EXPECT_EQ(inst(p, 0).rs, isa::regA0);
+    EXPECT_EQ(inst(p, 0).rt, isa::regZero);
+    EXPECT_EQ(inst(p, 1).op, Op::BNE);
+    EXPECT_EQ(inst(p, 1).rs, isa::regA1);
+}
+
+struct CompareBranchCase
+{
+    const char *mnemonic;
+    Op sltOp;
+    Op branchOp;
+    bool swapped;   //!< operands swapped into the slt
+};
+
+class CompareBranchTest
+    : public ::testing::TestWithParam<CompareBranchCase>
+{
+};
+
+TEST_P(CompareBranchTest, ExpandsToSltPlusBranch)
+{
+    const auto &c = GetParam();
+    const Program p = assemble(
+        std::string("top: ") + c.mnemonic + " $a0, $a1, top\n");
+    ASSERT_EQ(p.text.size(), 2u);
+    const auto slt = inst(p, 0);
+    const auto br = inst(p, 1);
+    EXPECT_EQ(slt.op, c.sltOp);
+    EXPECT_EQ(slt.rd, isa::regAT);
+    if (c.swapped) {
+        EXPECT_EQ(slt.rs, isa::regA1);
+        EXPECT_EQ(slt.rt, isa::regA0);
+    } else {
+        EXPECT_EQ(slt.rs, isa::regA0);
+        EXPECT_EQ(slt.rt, isa::regA1);
+    }
+    EXPECT_EQ(br.op, c.branchOp);
+    EXPECT_EQ(br.imm, -2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllForms, CompareBranchTest,
+    ::testing::Values(
+        CompareBranchCase{"blt", Op::SLT, Op::BNE, false},
+        CompareBranchCase{"bge", Op::SLT, Op::BEQ, false},
+        CompareBranchCase{"bgt", Op::SLT, Op::BNE, true},
+        CompareBranchCase{"ble", Op::SLT, Op::BEQ, true},
+        CompareBranchCase{"bltu", Op::SLTU, Op::BNE, false},
+        CompareBranchCase{"bgeu", Op::SLTU, Op::BEQ, false},
+        CompareBranchCase{"bgtu", Op::SLTU, Op::BNE, true},
+        CompareBranchCase{"bleu", Op::SLTU, Op::BEQ, true}),
+    [](const auto &info) {
+        return std::string(info.param.mnemonic);
+    });
+
+TEST(Pseudo, MulExpandsToMultMflo)
+{
+    const Program p = assemble("mul $t0, $t1, $t2\n");
+    ASSERT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(inst(p, 0).op, Op::MULT);
+    EXPECT_EQ(inst(p, 1).op, Op::MFLO);
+    EXPECT_EQ(inst(p, 1).rd, isa::regT0);
+}
+
+TEST(Pseudo, ThreeOperandDivExpands)
+{
+    const Program p = assemble("div $t0, $t1, $t2\n");
+    ASSERT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(inst(p, 0).op, Op::DIV);
+    EXPECT_EQ(inst(p, 1).op, Op::MFLO);
+}
+
+TEST(Pseudo, TwoOperandDivIsBaseInstruction)
+{
+    const Program p = assemble("div $t1, $t2\n");
+    ASSERT_EQ(p.text.size(), 1u);
+    EXPECT_EQ(inst(p, 0).op, Op::DIV);
+}
+
+TEST(Pseudo, RemExpandsToDivMfhi)
+{
+    const Program p = assemble("rem $t0, $t1, $t2\n");
+    ASSERT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(inst(p, 0).op, Op::DIV);
+    EXPECT_EQ(inst(p, 1).op, Op::MFHI);
+}
+
+TEST(Pseudo, NegAndNot)
+{
+    const Program p = assemble("neg $t0, $t1\nnot $t2, $t3\n");
+    EXPECT_EQ(inst(p, 0).op, Op::SUBU);
+    EXPECT_EQ(inst(p, 0).rs, isa::regZero);
+    EXPECT_EQ(inst(p, 1).op, Op::NOR);
+    EXPECT_EQ(inst(p, 1).rt, isa::regZero);
+}
+
+TEST(Pseudo, SeqSne)
+{
+    const Program p = assemble(
+        "seq $t0, $t1, $t2\n"
+        "sne $t3, $t4, $t5\n");
+    // seq = subu + sltiu rd, rd, 1
+    EXPECT_EQ(inst(p, 0).op, Op::SUBU);
+    EXPECT_EQ(inst(p, 1).op, Op::SLTIU);
+    EXPECT_EQ(inst(p, 1).imm, 1);
+    // sne = subu + sltu rd, $zero, rd
+    EXPECT_EQ(inst(p, 2).op, Op::SUBU);
+    EXPECT_EQ(inst(p, 3).op, Op::SLTU);
+    EXPECT_EQ(inst(p, 3).rs, isa::regZero);
+}
+
+TEST(Pseudo, SgeSleXorCompensation)
+{
+    const Program p = assemble("sge $t0, $t1, $t2\n");
+    EXPECT_EQ(inst(p, 0).op, Op::SLT);
+    EXPECT_EQ(inst(p, 1).op, Op::XORI);
+    EXPECT_EQ(inst(p, 1).imm, 1);
+}
+
+TEST(Pseudo, JalrDefaultLinkRegister)
+{
+    const Program p = assemble("jalr $t9\n");
+    const auto i = inst(p, 0);
+    EXPECT_EQ(i.op, Op::JALR);
+    EXPECT_EQ(i.rd, isa::regRA);
+    EXPECT_EQ(i.rs, isa::regT9);
+}
+
+} // namespace
+} // namespace irep::assem

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Program-image query tests: functionAt lookup, symbol access,
+ * layout invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "asm/program.hh"
+#include "support/logging.hh"
+
+namespace irep::assem
+{
+namespace
+{
+
+Program
+twoFunctions()
+{
+    return assemble(
+        ".ent f, 1\n"
+        "f:  nop\n"
+        "    nop\n"
+        "    jr $ra\n"
+        ".end f\n"
+        "gap: nop\n"
+        ".ent g, 2\n"
+        "g:  jr $ra\n"
+        ".end g\n");
+}
+
+TEST(Program, FunctionAtFindsContainingFunction)
+{
+    const Program p = twoFunctions();
+    const FunctionInfo *f = p.functionAt(Layout::textBase);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->name, "f");
+    // Last instruction of f.
+    const FunctionInfo *f_end = p.functionAt(Layout::textBase + 8);
+    ASSERT_NE(f_end, nullptr);
+    EXPECT_EQ(f_end->name, "f");
+}
+
+TEST(Program, FunctionAtGapReturnsNull)
+{
+    const Program p = twoFunctions();
+    // `gap:` is not inside any .ent region.
+    EXPECT_EQ(p.functionAt(Layout::textBase + 12), nullptr);
+}
+
+TEST(Program, FunctionAtSecondFunction)
+{
+    const Program p = twoFunctions();
+    const FunctionInfo *g = p.functionAt(Layout::textBase + 16);
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->name, "g");
+    EXPECT_EQ(g->numArgs, 2);
+}
+
+TEST(Program, FunctionAtOutsideText)
+{
+    const Program p = twoFunctions();
+    EXPECT_EQ(p.functionAt(0), nullptr);
+    EXPECT_EQ(p.functionAt(Layout::dataBase), nullptr);
+}
+
+TEST(Program, FunctionContains)
+{
+    FunctionInfo f;
+    f.addr = 100;
+    f.size = 8;
+    EXPECT_TRUE(f.contains(100));
+    EXPECT_TRUE(f.contains(104));
+    EXPECT_FALSE(f.contains(108));
+    EXPECT_FALSE(f.contains(96));
+}
+
+TEST(Program, SymbolLookupThrowsOnMissing)
+{
+    const Program p = twoFunctions();
+    EXPECT_EQ(p.symbol("f"), Layout::textBase);
+    EXPECT_THROW(p.symbol("missing"), FatalError);
+}
+
+TEST(Program, TextBytes)
+{
+    const Program p = twoFunctions();
+    EXPECT_EQ(p.textBytes(), p.text.size() * 4);
+}
+
+TEST(Program, LayoutConstantsAreSane)
+{
+    EXPECT_LT(Layout::textBase, Layout::dataBase);
+    EXPECT_LT(Layout::dataBase, Layout::stackTop);
+    EXPECT_EQ(Layout::gpValue, Layout::dataBase + 0x8000);
+    EXPECT_EQ(Layout::textBase % 4, 0u);
+    EXPECT_EQ(Layout::stackTop % 8, 0u);
+}
+
+} // namespace
+} // namespace irep::assem

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * CallStack tests: push on jal/jalr, pop on matching jr $ra, frame
+ * data propagation through the pop callback, and tolerance of
+ * unmatched returns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/callstack.hh"
+#include "isa/registers.hh"
+#include "sim_test_util.hh"
+
+namespace irep::core
+{
+namespace
+{
+
+struct Depth
+{
+    int marker = 0;
+};
+
+/** Observer wiring a CallStack to a machine. */
+struct StackObserver : sim::Observer
+{
+    explicit StackObserver(const assem::Program &program)
+        : stack(program)
+    {}
+
+    void
+    onRetire(const sim::InstrRecord &rec) override
+    {
+        stack.onInstr(rec);
+        maxDepth = std::max(maxDepth, stack.depth());
+    }
+
+    CallStack<Depth> stack;
+    size_t maxDepth = 1;
+};
+
+TEST(CallStack, StartsWithRootFrame)
+{
+    test::TestRun run("nop\n");
+    CallStack<Depth> stack(run.program());
+    EXPECT_EQ(stack.depth(), 1u);
+    EXPECT_EQ(stack.current().funcAddr, run.program().entry);
+}
+
+TEST(CallStack, CallPushesReturnPops)
+{
+    test::TestRun run(
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:  jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    StackObserver obs(run.program());
+    run.machine().addObserver(&obs);
+    run.run();
+    EXPECT_EQ(obs.maxDepth, 2u);
+    EXPECT_EQ(obs.stack.depth(), 1u);
+}
+
+TEST(CallStack, FrameCarriesFunctionInfo)
+{
+    test::TestRun run(
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 3\n"
+        "f:  jr $ra\n"
+        ".end f\n"
+        "done:\n",
+        false);
+    CallStack<Depth> stack(run.program());
+    // Step the jal manually.
+    struct Grab : sim::Observer
+    {
+        CallStack<Depth> *stack;
+        const assem::FunctionInfo *seen = nullptr;
+        void
+        onRetire(const sim::InstrRecord &rec) override
+        {
+            if (stack->onInstr(rec) > 0)
+                seen = stack->current().info;
+        }
+    } grab;
+    grab.stack = &stack;
+    run.machine().addObserver(&grab);
+    run.machine().step();   // jal
+    ASSERT_NE(grab.seen, nullptr);
+    EXPECT_EQ(grab.seen->name, "f");
+    EXPECT_EQ(grab.seen->numArgs, 3);
+}
+
+TEST(CallStack, DeepRecursionTracksDepth)
+{
+    test::TestRun run(
+        "    li $a0, 10\n"
+        "    jal rec\n"
+        "    b done\n"
+        ".ent rec, 1\n"
+        "rec:\n"
+        "    addiu $sp, $sp, -8\n"
+        "    sw $ra, 0($sp)\n"
+        "    blez $a0, out\n"
+        "    addiu $a0, $a0, -1\n"
+        "    jal rec\n"
+        "out:\n"
+        "    lw $ra, 0($sp)\n"
+        "    addiu $sp, $sp, 8\n"
+        "    jr $ra\n"
+        ".end rec\n"
+        "done:\n");
+    StackObserver obs(run.program());
+    run.machine().addObserver(&obs);
+    run.run();
+    EXPECT_EQ(obs.maxDepth, 12u);   // root + 11 recursive frames
+    EXPECT_EQ(obs.stack.depth(), 1u);
+}
+
+TEST(CallStack, PopCallbackSeesPoppedAndParent)
+{
+    test::TestRun run(
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:  jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    struct Propagate : sim::Observer
+    {
+        explicit Propagate(const assem::Program &p) : stack(p) {}
+        CallStack<Depth> stack;
+        int propagated = 0;
+        void
+        onRetire(const sim::InstrRecord &rec) override
+        {
+            const int delta = stack.onInstr(
+                rec, [this](const CallStack<Depth>::Frame &popped,
+                            CallStack<Depth>::Frame &parent) {
+                    parent.data.marker += popped.data.marker;
+                    ++propagated;
+                });
+            if (delta > 0)
+                stack.current().data.marker = 42;
+        }
+    } prop(run.program());
+    run.machine().addObserver(&prop);
+    run.run();
+    EXPECT_EQ(prop.propagated, 1);
+    EXPECT_EQ(prop.stack.current().data.marker, 42);
+}
+
+TEST(CallStack, UnmatchedReturnIsIgnored)
+{
+    // A jr $ra with no matching frame (e.g. measurement window began
+    // mid-function) must not underflow.
+    test::TestRun run(
+        "    la $ra, done\n"
+        "    jr $ra\n"
+        "done:\n");
+    StackObserver obs(run.program());
+    run.machine().addObserver(&obs);
+    run.run();
+    EXPECT_EQ(obs.stack.depth(), 1u);
+}
+
+TEST(CallStack, JrThroughNonRaRegisterIsNotAReturn)
+{
+    test::TestRun run(
+        "    la $t9, target\n"
+        "    jr $t9\n"
+        "target:\n");
+    StackObserver obs(run.program());
+    run.machine().addObserver(&obs);
+    run.run();
+    EXPECT_EQ(obs.stack.depth(), 1u);
+    EXPECT_EQ(obs.maxDepth, 1u);
+}
+
+TEST(CallStack, ReturnSkippingFramesPopsAll)
+{
+    // f calls g; g "longjmps" straight back to main's return address
+    // (saved by f). Both frames must pop.
+    test::TestRun run(
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:  move $s0, $ra\n"
+        "    jal g\n"
+        "    jr $ra\n"
+        ".end f\n"
+        ".ent g, 0\n"
+        "g:  move $ra, $s0\n"
+        "    jr $ra\n"
+        ".end g\n"
+        "done:\n");
+    StackObserver obs(run.program());
+    run.machine().addObserver(&obs);
+    run.run();
+    EXPECT_EQ(obs.maxDepth, 3u);
+    EXPECT_EQ(obs.stack.depth(), 1u);
+}
+
+} // namespace
+} // namespace irep::core

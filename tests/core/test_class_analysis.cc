@@ -1,0 +1,117 @@
+/**
+ * @file
+ * ClassAnalysis tests: classification of every opcode and the
+ * per-class statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/class_analysis.hh"
+#include "isa/instruction.hh"
+
+namespace irep::core
+{
+namespace
+{
+
+using isa::Op;
+
+isa::Instruction
+instFor(Op op)
+{
+    isa::Instruction i;
+    i.op = op;
+    return i;
+}
+
+TEST(Classify, EveryOpHasAClass)
+{
+    for (int o = 0; o < int(Op::NUM_OPS); ++o) {
+        const InstrClass c = classify(instFor(Op(o)));
+        EXPECT_LT(unsigned(c), numInstrClasses)
+            << isa::opInfo(Op(o)).mnemonic;
+    }
+}
+
+TEST(Classify, RepresentativeOps)
+{
+    EXPECT_EQ(classify(instFor(Op::ADDU)), InstrClass::IntAlu);
+    EXPECT_EQ(classify(instFor(Op::SLL)), InstrClass::IntAlu);
+    EXPECT_EQ(classify(instFor(Op::LUI)), InstrClass::IntAlu);
+    EXPECT_EQ(classify(instFor(Op::SLTIU)), InstrClass::IntAlu);
+    EXPECT_EQ(classify(instFor(Op::MULT)), InstrClass::MulDiv);
+    EXPECT_EQ(classify(instFor(Op::MFLO)), InstrClass::MulDiv);
+    EXPECT_EQ(classify(instFor(Op::MTHI)), InstrClass::MulDiv);
+    EXPECT_EQ(classify(instFor(Op::LW)), InstrClass::Load);
+    EXPECT_EQ(classify(instFor(Op::LBU)), InstrClass::Load);
+    EXPECT_EQ(classify(instFor(Op::SW)), InstrClass::Store);
+    EXPECT_EQ(classify(instFor(Op::SB)), InstrClass::Store);
+    EXPECT_EQ(classify(instFor(Op::BEQ)), InstrClass::Branch);
+    EXPECT_EQ(classify(instFor(Op::BGEZ)), InstrClass::Branch);
+    EXPECT_EQ(classify(instFor(Op::J)), InstrClass::Jump);
+    EXPECT_EQ(classify(instFor(Op::JAL)), InstrClass::Jump);
+    EXPECT_EQ(classify(instFor(Op::JR)), InstrClass::Jump);
+    EXPECT_EQ(classify(instFor(Op::JALR)), InstrClass::Jump);
+    EXPECT_EQ(classify(instFor(Op::SYSCALL)), InstrClass::Syscall);
+}
+
+TEST(ClassAnalysis, CountsPerClass)
+{
+    ClassAnalysis analysis;
+    analysis.setCounting(true);
+
+    isa::Instruction add = instFor(Op::ADDU);
+    isa::Instruction lw = instFor(Op::LW);
+    sim::InstrRecord rec;
+
+    rec.inst = &add;
+    analysis.onInstr(rec, false);
+    analysis.onInstr(rec, true);
+    rec.inst = &lw;
+    analysis.onInstr(rec, true);
+
+    const auto &stats = analysis.stats();
+    EXPECT_EQ(stats.totalOverall, 3u);
+    EXPECT_EQ(stats.totalRepeated, 2u);
+    EXPECT_EQ(stats.overall[unsigned(InstrClass::IntAlu)], 2u);
+    EXPECT_EQ(stats.repeated[unsigned(InstrClass::IntAlu)], 1u);
+    EXPECT_EQ(stats.overall[unsigned(InstrClass::Load)], 1u);
+    EXPECT_DOUBLE_EQ(stats.pctOfAll(InstrClass::IntAlu),
+                     200.0 / 3.0);
+    EXPECT_DOUBLE_EQ(stats.propensity(InstrClass::IntAlu), 50.0);
+    EXPECT_DOUBLE_EQ(stats.pctOfRepetition(InstrClass::Load), 50.0);
+}
+
+TEST(ClassAnalysis, CountingGate)
+{
+    ClassAnalysis analysis;
+    isa::Instruction add = instFor(Op::ADDU);
+    sim::InstrRecord rec;
+    rec.inst = &add;
+    analysis.onInstr(rec, true);
+    EXPECT_EQ(analysis.stats().totalOverall, 0u);
+}
+
+TEST(ClassAnalysis, EmptyStatsAreZeroSafe)
+{
+    ClassAnalysis analysis;
+    const auto &stats = analysis.stats();
+    for (unsigned c = 0; c < numInstrClasses; ++c) {
+        EXPECT_DOUBLE_EQ(stats.pctOfAll(InstrClass(c)), 0.0);
+        EXPECT_DOUBLE_EQ(stats.propensity(InstrClass(c)), 0.0);
+        EXPECT_DOUBLE_EQ(stats.pctOfRepetition(InstrClass(c)), 0.0);
+    }
+}
+
+TEST(ClassAnalysis, NamesAreDistinct)
+{
+    for (unsigned a = 0; a < numInstrClasses; ++a) {
+        for (unsigned b = a + 1; b < numInstrClasses; ++b) {
+            EXPECT_NE(instrClassName(InstrClass(a)),
+                      instrClassName(InstrClass(b)));
+        }
+    }
+}
+
+} // namespace
+} // namespace irep::core

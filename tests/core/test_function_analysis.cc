@@ -1,0 +1,341 @@
+/**
+ * @file
+ * FunctionAnalysis tests: all-argument and no-argument repetition,
+ * side-effect/implicit-input tracking (Table 8), effect propagation
+ * to callers, and argument-set specialization coverage (Figure 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/function_analysis.hh"
+#include "isa/registers.hh"
+#include "sim_test_util.hh"
+
+namespace irep::core
+{
+namespace
+{
+
+struct FuncObserver : sim::Observer
+{
+    FuncObserver(const assem::Program &program,
+                 const sim::Machine &machine)
+        : analysis(program, machine)
+    {
+        analysis.setCounting(true);
+    }
+
+    void
+    onRetire(const sim::InstrRecord &rec) override
+    {
+        analysis.onInstr(rec, false);
+    }
+
+    void
+    onSyscall(const sim::SyscallRecord &rec) override
+    {
+        analysis.onSyscall(rec);
+    }
+
+    FunctionAnalysis analysis;
+};
+
+struct Harness
+{
+    explicit Harness(const std::string &source)
+        : run(source), obs(run.program(), run.machine())
+    {
+        run.machine().addObserver(&obs);
+        run.run();
+        obs.analysis.finalize();
+    }
+
+    test::TestRun run;
+    FuncObserver obs;
+};
+
+// A leaf function with one argument.
+constexpr const char *leafF =
+    ".ent f, 1\n"
+    "f:  addu $t5, $a0, $a0\n"
+    "    jr $ra\n"
+    ".end f\n";
+
+TEST(FunctionAnalysis, CountsCallsAndFunctions)
+{
+    Harness h(
+        "    li $a0, 1\n"
+        "    jal f\n"
+        "    jal f\n"
+        "    b done\n" +
+        std::string(leafF) +
+        "done:\n");
+    const auto stats = h.obs.analysis.stats();
+    EXPECT_EQ(stats.staticFunctionsCalled, 1u);
+    EXPECT_EQ(stats.dynamicCalls, 2u);
+}
+
+TEST(FunctionAnalysis, AllArgsRepeatedOnSameValues)
+{
+    Harness h(
+        "    li $a0, 7\n"
+        "    jal f\n"
+        "    jal f\n"       // same argument again
+        "    li $a0, 8\n"
+        "    jal f\n"       // fresh argument
+        "    b done\n" +
+        std::string(leafF) +
+        "done:\n");
+    const auto stats = h.obs.analysis.stats();
+    EXPECT_EQ(stats.dynamicCalls, 3u);
+    EXPECT_EQ(stats.allArgsRepeated, 1u);
+    EXPECT_EQ(stats.noArgsRepeated, 2u);    // calls 1 and 3
+    EXPECT_NEAR(stats.pctAllArgsRepeated(), 100.0 / 3.0, 1e-9);
+}
+
+TEST(FunctionAnalysis, ZeroArgFunctionsRepeatAfterFirstCall)
+{
+    Harness h(
+        "    jal f\n"
+        "    jal f\n"
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:  jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    const auto stats = h.obs.analysis.stats();
+    EXPECT_EQ(stats.allArgsRepeated, 2u);
+    EXPECT_EQ(stats.noArgsRepeated, 0u);
+}
+
+TEST(FunctionAnalysis, MultiArgTupleMatching)
+{
+    Harness h(
+        "    li $a0, 1\n"
+        "    li $a1, 2\n"
+        "    jal g\n"       // (1,2) fresh
+        "    li $a1, 3\n"
+        "    jal g\n"       // (1,3): a0 repeated, not all
+        "    li $a1, 2\n"
+        "    jal g\n"       // (1,2) again: all repeated
+        "    b done\n"
+        ".ent g, 2\n"
+        "g:  jr $ra\n"
+        ".end g\n"
+        "done:\n");
+    const auto stats = h.obs.analysis.stats();
+    EXPECT_EQ(stats.dynamicCalls, 3u);
+    EXPECT_EQ(stats.allArgsRepeated, 1u);
+    EXPECT_EQ(stats.noArgsRepeated, 1u);    // only the first call
+}
+
+TEST(FunctionAnalysis, CleanFunctionHasNoSideEffects)
+{
+    Harness h(
+        "    li $a0, 1\n"
+        "    jal f\n"
+        "    jal f\n"
+        "    b done\n" +
+        std::string(leafF) +
+        "done:\n");
+    const auto memo = h.obs.analysis.memoStats();
+    EXPECT_EQ(memo.dynamicCalls, 2u);
+    EXPECT_EQ(memo.cleanCalls, 2u);
+    EXPECT_DOUBLE_EQ(memo.pctCleanOfAll(), 100.0);
+}
+
+TEST(FunctionAnalysis, GlobalStoreIsSideEffect)
+{
+    Harness h(
+        ".data\ng: .word 0\n.text\n"
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:  la $t0, g\n"
+        "    sw $zero, 0($t0)\n"
+        "    jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    const auto memo = h.obs.analysis.memoStats();
+    EXPECT_EQ(memo.cleanCalls, 0u);
+}
+
+TEST(FunctionAnalysis, GlobalLoadIsImplicitInput)
+{
+    Harness h(
+        ".data\ng: .word 5\n.text\n"
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:  la $t0, g\n"
+        "    lw $t1, 0($t0)\n"
+        "    jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    const auto memo = h.obs.analysis.memoStats();
+    EXPECT_EQ(memo.cleanCalls, 0u);
+}
+
+TEST(FunctionAnalysis, StackAccessesAreClean)
+{
+    Harness h(
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:  addiu $sp, $sp, -8\n"
+        "    sw $s0, 0($sp)\n"
+        "    lw $s0, 0($sp)\n"
+        "    addiu $sp, $sp, 8\n"
+        "    jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    const auto memo = h.obs.analysis.memoStats();
+    EXPECT_EQ(memo.cleanCalls, 1u);
+}
+
+TEST(FunctionAnalysis, SyscallIsSideEffect)
+{
+    Harness h(
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:  li $a0, 16\n"
+        "    li $v0, 4\n"
+        "    syscall\n"
+        "    jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    const auto memo = h.obs.analysis.memoStats();
+    EXPECT_EQ(memo.cleanCalls, 0u);
+}
+
+TEST(FunctionAnalysis, CalleeEffectsDirtyCaller)
+{
+    // outer itself is pure, but it calls dirty.
+    Harness h(
+        ".data\ng: .word 0\n.text\n"
+        "    jal outer\n"
+        "    b done\n"
+        ".ent outer, 0\n"
+        "outer:\n"
+        "    addiu $sp, $sp, -8\n"
+        "    sw $ra, 0($sp)\n"
+        "    jal dirty\n"
+        "    lw $ra, 0($sp)\n"
+        "    addiu $sp, $sp, 8\n"
+        "    jr $ra\n"
+        ".end outer\n"
+        ".ent dirty, 0\n"
+        "dirty:\n"
+        "    la $t0, g\n"
+        "    sw $zero, 0($t0)\n"
+        "    jr $ra\n"
+        ".end dirty\n"
+        "done:\n");
+    const auto memo = h.obs.analysis.memoStats();
+    EXPECT_EQ(memo.dynamicCalls, 2u);
+    EXPECT_EQ(memo.cleanCalls, 0u);     // both dirty
+}
+
+TEST(FunctionAnalysis, CleanOfAllArgRepSplit)
+{
+    Harness h(
+        ".data\ng: .word 0\n.text\n"
+        "    li $a0, 1\n"
+        "    jal clean\n"
+        "    jal clean\n"       // all-arg repeated + clean
+        "    jal dirty\n"
+        "    jal dirty\n"       // all-arg repeated + dirty
+        "    b done\n"
+        ".ent clean, 1\n"
+        "clean: jr $ra\n"
+        ".end clean\n"
+        ".ent dirty, 1\n"
+        "dirty:\n"
+        "    la $t0, g\n"
+        "    sw $zero, 0($t0)\n"
+        "    jr $ra\n"
+        ".end dirty\n"
+        "done:\n");
+    const auto memo = h.obs.analysis.memoStats();
+    EXPECT_EQ(memo.allArgRepCalls, 2u);
+    EXPECT_EQ(memo.cleanAllArgRepCalls, 1u);
+    EXPECT_DOUBLE_EQ(memo.pctCleanOfAllArgRep(), 50.0);
+}
+
+TEST(FunctionAnalysis, ArgSetCoverage)
+{
+    // f called with arg 1 four times, arg 2 twice, arg 3 once:
+    // all-arg-repeated calls = 3 + 1 + 0 = 4.
+    // top-1 tuple (arg 1) covers 3 of them.
+    Harness h(
+        "    li $a0, 1\n"
+        "    jal f\n"
+        "    jal f\n"
+        "    jal f\n"
+        "    jal f\n"
+        "    li $a0, 2\n"
+        "    jal f\n"
+        "    jal f\n"
+        "    li $a0, 3\n"
+        "    jal f\n"
+        "    b done\n" +
+        std::string(leafF) +
+        "done:\n");
+    EXPECT_DOUBLE_EQ(h.obs.analysis.argSetCoverage(1), 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(h.obs.analysis.argSetCoverage(2), 1.0);
+    EXPECT_DOUBLE_EQ(h.obs.analysis.argSetCoverage(5), 1.0);
+}
+
+TEST(FunctionAnalysis, FinalizeSettlesOpenFrames)
+{
+    // The program exits inside f (no return): finalize must still
+    // account the invocation.
+    test::TestRun run(
+        "    li $a0, 5\n"
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 1\n"
+        "f:\n" +
+            test::TestRun::exitSequence() +
+        ".end f\n"
+        "done:\n",
+        false);
+    FuncObserver obs(run.program(), run.machine());
+    run.machine().addObserver(&obs);
+    run.run();
+    obs.analysis.finalize();
+    EXPECT_EQ(obs.analysis.memoStats().dynamicCalls, 1u);
+    // The exit syscall dirtied it.
+    EXPECT_EQ(obs.analysis.memoStats().cleanCalls, 0u);
+}
+
+TEST(FunctionAnalysis, CountingGateSkipsSkipPhase)
+{
+    test::TestRun run(
+        "    li $a0, 1\n"
+        "    jal f\n"
+        "    b done\n" +
+        std::string(leafF) +
+        "done:\n");
+    FunctionAnalysis analysis(run.program(), run.machine());
+    struct Wire : sim::Observer
+    {
+        FunctionAnalysis *a;
+        void
+        onRetire(const sim::InstrRecord &rec) override
+        {
+            a->onInstr(rec, false);
+        }
+    } wire;
+    wire.a = &analysis;
+    run.machine().addObserver(&wire);
+    run.run();      // counting never enabled
+    analysis.finalize();
+    EXPECT_EQ(analysis.stats().dynamicCalls, 0u);
+    EXPECT_EQ(analysis.memoStats().dynamicCalls, 0u);
+}
+
+} // namespace
+} // namespace irep::core

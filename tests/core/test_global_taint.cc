@@ -1,0 +1,261 @@
+/**
+ * @file
+ * GlobalTaint tests: tag initialization, propagation through
+ * registers and memory, the supersede rule, external-input tagging
+ * via the read syscall, and Table 3 statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/global_taint.hh"
+#include "core/repetition_tracker.hh"
+#include "isa/registers.hh"
+#include "sim_test_util.hh"
+
+namespace irep::core
+{
+namespace
+{
+
+/** Observer running GlobalTaint with a real tracker. */
+struct TaintObserver : sim::Observer
+{
+    TaintObserver(const assem::Program &program, uint32_t num_static)
+        : taint(program), tracker(num_static)
+    {
+        taint.setCounting(true);
+    }
+
+    void
+    onRetire(const sim::InstrRecord &rec) override
+    {
+        taint.onInstr(rec, tracker.onInstr(rec));
+    }
+
+    void
+    onSyscall(const sim::SyscallRecord &rec) override
+    {
+        taint.onSyscall(rec);
+    }
+
+    GlobalTaint taint;
+    RepetitionTracker tracker;
+};
+
+struct Harness
+{
+    explicit Harness(const std::string &source,
+                     const std::string &input = "")
+        : run(source),
+          obs(run.program(), run.machine().numStaticInstructions())
+    {
+        run.machine().setInput(input);
+        run.machine().addObserver(&obs);
+        run.run();
+    }
+
+    GlobalTag reg(unsigned r) { return obs.taint.regTag(r); }
+
+    test::TestRun run;
+    TaintObserver obs;
+};
+
+TEST(GlobalTaint, InitialRegisterTags)
+{
+    test::TestRun run("nop\n");
+    GlobalTaint taint(run.program());
+    EXPECT_EQ(taint.regTag(isa::regZero), GlobalTag::Internal);
+    EXPECT_EQ(taint.regTag(isa::regSP), GlobalTag::Internal);
+    EXPECT_EQ(taint.regTag(isa::regGP), GlobalTag::Internal);
+    EXPECT_EQ(taint.regTag(isa::regT0), GlobalTag::Uninit);
+    EXPECT_EQ(taint.regTag(isa::regS0), GlobalTag::Uninit);
+}
+
+TEST(GlobalTaint, DataSegmentStartsGlobalInit)
+{
+    test::TestRun run(".data\nw: .word 7\n.text\nnop\n");
+    GlobalTaint taint(run.program());
+    EXPECT_EQ(taint.memTag(assem::Layout::dataBase),
+              GlobalTag::GlobalInit);
+    // Untouched memory outside the image is uninit.
+    EXPECT_EQ(taint.memTag(0x50000000), GlobalTag::Uninit);
+}
+
+TEST(GlobalTaint, ImmediatesAreInternal)
+{
+    Harness h("li $t0, 42\n");
+    EXPECT_EQ(h.reg(isa::regT0), GlobalTag::Internal);
+}
+
+TEST(GlobalTaint, LoadFromDataSegmentIsGlobalInit)
+{
+    Harness h(
+        ".data\nw: .word 7\n.text\n"
+        "la $t0, w\n"
+        "lw $t1, 0($t0)\n");
+    EXPECT_EQ(h.reg(isa::regT0 + 1), GlobalTag::GlobalInit);
+}
+
+TEST(GlobalTaint, ReadSyscallTagsBufferExternal)
+{
+    Harness h(
+        ".data\nbuf: .space 8\n.text\n"
+        "la $a0, buf\n"
+        "li $a1, 8\n"
+        "li $v0, 2\n"
+        "syscall\n"
+        "la $t0, buf\n"
+        "lbu $t1, 0($t0)\n",
+        "xy");
+    EXPECT_EQ(h.reg(isa::regT0 + 1), GlobalTag::External);
+    // Only the actually-read bytes are external; the rest of the
+    // (zero-initialized) .space keeps its global-init tag.
+    EXPECT_EQ(h.obs.taint.memTag(h.run.program().symbol("buf") + 1),
+              GlobalTag::External);
+    EXPECT_EQ(h.obs.taint.memTag(h.run.program().symbol("buf") + 2),
+              GlobalTag::GlobalInit);
+}
+
+TEST(GlobalTaint, SupersedeExternalOverInternal)
+{
+    Harness h(
+        ".data\nbuf: .space 4\n.text\n"
+        "la $a0, buf\n"
+        "li $a1, 4\n"
+        "li $v0, 2\n"
+        "syscall\n"
+        "la $t0, buf\n"
+        "lbu $t1, 0($t0)\n"
+        "li $t2, 10\n"
+        "addu $t3, $t1, $t2\n",     // external + internal
+        "abcd");
+    EXPECT_EQ(h.reg(isa::regT0 + 3), GlobalTag::External);
+}
+
+TEST(GlobalTaint, SupersedeGlobalInitOverInternal)
+{
+    Harness h(
+        ".data\nw: .word 3\n.text\n"
+        "la $t0, w\n"
+        "lw $t1, 0($t0)\n"
+        "addiu $t2, $t1, 5\n");
+    EXPECT_EQ(h.reg(isa::regT0 + 2), GlobalTag::GlobalInit);
+}
+
+TEST(GlobalTaint, InternalWinsOverUninit)
+{
+    Harness h("addu $t1, $s0, $zero\n");    // uninit + internal
+    EXPECT_EQ(h.reg(isa::regT0 + 1), GlobalTag::Internal);
+}
+
+TEST(GlobalTaint, PureUninitStaysUninit)
+{
+    Harness h("addu $t1, $s0, $s1\n");
+    EXPECT_EQ(h.reg(isa::regT0 + 1), GlobalTag::Uninit);
+}
+
+TEST(GlobalTaint, StoreCategorizedByStoredValue)
+{
+    // The prologue-style store of an uninit callee-saved register is
+    // the paper's example of the uninit category.
+    Harness h(
+        "addiu $sp, $sp, -8\n"
+        "sw $s0, 0($sp)\n"
+        "lw $s0, 0($sp)\n"
+        "addiu $sp, $sp, 8\n");
+    const auto &stats = h.obs.taint.stats();
+    EXPECT_GE(stats.overall[unsigned(GlobalTag::Uninit)], 1u);
+}
+
+TEST(GlobalTaint, TagsFlowThroughMemory)
+{
+    Harness h(
+        ".data\nw: .word 5\ntmp: .space 64\n.text\n"
+        "la $t0, w\n"
+        "lw $t1, 0($t0)\n"          // global-init value
+        "li $t2, 0x30000000\n"
+        "sw $t1, 0($t2)\n"          // store it far away
+        "lw $t3, 0($t2)\n");        // comes back global-init
+    EXPECT_EQ(h.reg(isa::regT0 + 3), GlobalTag::GlobalInit);
+}
+
+TEST(GlobalTaint, HiLoPropagation)
+{
+    Harness h(
+        ".data\nw: .word 6\n.text\n"
+        "la $t0, w\n"
+        "lw $t1, 0($t0)\n"
+        "li $t2, 7\n"
+        "mult $t1, $t2\n"
+        "mflo $t3\n");
+    EXPECT_EQ(h.reg(isa::regT0 + 3), GlobalTag::GlobalInit);
+}
+
+TEST(GlobalTaint, StatsSumsAreConsistent)
+{
+    Harness h(
+        "li $t3, 3\n"
+        "loop:\n"
+        "li $t0, 1\n"
+        "addiu $t3, $t3, -1\n"
+        "bgtz $t3, loop\n");
+    const auto &stats = h.obs.taint.stats();
+    uint64_t sum = 0, rsum = 0;
+    for (unsigned t = 0; t < numGlobalTags; ++t) {
+        sum += stats.overall[t];
+        rsum += stats.repeated[t];
+    }
+    EXPECT_EQ(sum, stats.totalOverall);
+    EXPECT_EQ(rsum, stats.totalRepeated);
+    EXPECT_EQ(sum, h.run.machine().instret());
+    EXPECT_GE(stats.totalRepeated, 1u);     // identical li repeats
+}
+
+TEST(GlobalTaint, PropensityBounded)
+{
+    Harness h(
+        ".data\nw: .word 2\n.text\n"
+        "la $t0, w\n"
+        "lw $t1, 0($t0)\n"
+        "lw $t1, 0($t0)\n"
+        "addu $t2, $t1, $t1\n");
+    const auto &stats = h.obs.taint.stats();
+    for (unsigned t = 0; t < numGlobalTags; ++t) {
+        const double p = stats.propensity(GlobalTag(t));
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 100.0);
+    }
+}
+
+TEST(GlobalTaint, CountingGate)
+{
+    test::TestRun run("li $t0, 1\n");
+    GlobalTaint taint(run.program());   // counting off by default
+    struct Quiet : sim::Observer
+    {
+        GlobalTaint *taint;
+        void
+        onRetire(const sim::InstrRecord &rec) override
+        {
+            taint->onInstr(rec, false);
+        }
+    } quiet;
+    quiet.taint = &taint;
+    run.machine().addObserver(&quiet);
+    run.run();
+    EXPECT_EQ(taint.stats().totalOverall, 0u);
+    // But the tags still propagated.
+    EXPECT_EQ(taint.regTag(isa::regT0), GlobalTag::Internal);
+}
+
+TEST(GlobalTaint, TagNames)
+{
+    EXPECT_EQ(globalTagName(GlobalTag::Internal), "internals");
+    EXPECT_EQ(globalTagName(GlobalTag::GlobalInit),
+              "global init data");
+    EXPECT_EQ(globalTagName(GlobalTag::External), "external input");
+    EXPECT_EQ(globalTagName(GlobalTag::Uninit), "uninit");
+}
+
+} // namespace
+} // namespace irep::core

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * LocalAnalysis tests: category classification (prologue, epilogue,
+ * return, SP, glb-addr-calc, argument/global/heap/retval/internal
+ * slices) on hand-written assembly with function metadata.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/local_analysis.hh"
+#include "core/repetition_tracker.hh"
+#include "isa/registers.hh"
+#include "sim_test_util.hh"
+
+namespace irep::core
+{
+namespace
+{
+
+/** Observer that records the category assigned to every pc. */
+struct LocalObserver : sim::Observer
+{
+    LocalObserver(const assem::Program &program, uint32_t num_static)
+        : local(program), tracker(num_static)
+    {
+        local.setCounting(true);
+    }
+
+    void
+    onRetire(const sim::InstrRecord &rec) override
+    {
+        const LocalCat cat = local.onInstr(rec, tracker.onInstr(rec));
+        categories.emplace_back(rec.pc, cat);
+    }
+
+    /** Category of the instruction at text index `i` (first visit). */
+    LocalCat
+    at(uint32_t index) const
+    {
+        const uint32_t pc = assem::Layout::textBase + index * 4;
+        for (const auto &[p, c] : categories) {
+            if (p == pc)
+                return c;
+        }
+        return LocalCat::NUM;
+    }
+
+    LocalAnalysis local;
+    RepetitionTracker tracker;
+    std::vector<std::pair<uint32_t, LocalCat>> categories;
+};
+
+struct Harness
+{
+    explicit Harness(const std::string &source)
+        : run(source),
+          obs(run.program(), run.machine().numStaticInstructions())
+    {
+        run.machine().addObserver(&obs);
+        run.run();
+    }
+
+    test::TestRun run;
+    LocalObserver obs;
+};
+
+TEST(LocalAnalysis, PrologueAndEpilogueDetection)
+{
+    Harness h(
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:\n"
+        "    addiu $sp, $sp, -16\n"   // idx 2: prologue (sp adjust)
+        "    sw $ra, 0($sp)\n"        // idx 3: prologue (save ra)
+        "    sw $s0, 4($sp)\n"        // idx 4: prologue (save s0)
+        "    li $s0, 5\n"             // idx 5: internals
+        "    lw $s0, 4($sp)\n"        // idx 6: epilogue (restore s0)
+        "    lw $ra, 0($sp)\n"        // idx 7: epilogue (restore ra)
+        "    addiu $sp, $sp, 16\n"    // idx 8: epilogue (sp adjust)
+        "    jr $ra\n"                // idx 9: return
+        ".end f\n"
+        "done:\n");
+    EXPECT_EQ(h.obs.at(2), LocalCat::Prologue);
+    EXPECT_EQ(h.obs.at(3), LocalCat::Prologue);
+    EXPECT_EQ(h.obs.at(4), LocalCat::Prologue);
+    EXPECT_EQ(h.obs.at(5), LocalCat::FuncInternal);
+    EXPECT_EQ(h.obs.at(6), LocalCat::Epilogue);
+    EXPECT_EQ(h.obs.at(7), LocalCat::Epilogue);
+    EXPECT_EQ(h.obs.at(8), LocalCat::Epilogue);
+    EXPECT_EQ(h.obs.at(9), LocalCat::Return);
+}
+
+TEST(LocalAnalysis, SecondSaveOfWrittenRegIsNotPrologue)
+{
+    Harness h(
+        "    addiu $sp, $sp, -8\n"
+        "    li $s0, 9\n"            // writes s0
+        "    sw $s0, 0($sp)\n"       // idx 2: NOT prologue (s0 written)
+        "    addiu $sp, $sp, 8\n");
+    EXPECT_EQ(h.obs.at(2), LocalCat::FuncInternal);
+}
+
+TEST(LocalAnalysis, GlobalAddressCalculation)
+{
+    Harness h(
+        ".data\nw: .word 1\n.text\n"
+        "    la $t0, w\n"            // idx 0-1: lui+ori glb addr calc
+        "    lw $t1, 0($t0)\n"       // idx 2: global load
+        "    addiu $t2, $gp, 16\n"); // idx 3: gp-relative addr calc
+    EXPECT_EQ(h.obs.at(0), LocalCat::GlbAddrCalc);
+    EXPECT_EQ(h.obs.at(1), LocalCat::GlbAddrCalc);
+    EXPECT_EQ(h.obs.at(2), LocalCat::Global);
+    EXPECT_EQ(h.obs.at(3), LocalCat::GlbAddrCalc);
+}
+
+TEST(LocalAnalysis, PlainConstantLuiIsInternal)
+{
+    Harness h("lui $t0, 0x0001\n");  // 0x00010000: not a data address
+    EXPECT_EQ(h.obs.at(0), LocalCat::FuncInternal);
+}
+
+TEST(LocalAnalysis, SpManipulation)
+{
+    Harness h(
+        "    addiu $t0, $sp, 16\n"   // idx 0: SP category
+        "    addiu $t1, $t0, 4\n");  // idx 1: still SP slice
+    EXPECT_EQ(h.obs.at(0), LocalCat::SP);
+    EXPECT_EQ(h.obs.at(1), LocalCat::SP);
+}
+
+TEST(LocalAnalysis, ArgumentSlices)
+{
+    Harness h(
+        "    li $a0, 7\n"
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 1\n"
+        "f:\n"
+        "    addiu $t0, $a0, 1\n"    // idx 3: argument slice
+        "    addu $t1, $t0, $t0\n"   // idx 4: still argument
+        "    li $t2, 3\n"            // idx 5: internal
+        "    jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    EXPECT_EQ(h.obs.at(3), LocalCat::Argument);
+    EXPECT_EQ(h.obs.at(4), LocalCat::Argument);
+    EXPECT_EQ(h.obs.at(5), LocalCat::FuncInternal);
+}
+
+TEST(LocalAnalysis, OnlyDeclaredArgsAreArgumentTagged)
+{
+    Harness h(
+        "    li $a0, 1\n"
+        "    li $a1, 2\n"
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 1\n"                // only 1 declared argument
+        "f:\n"
+        "    addiu $t0, $a0, 0\n"    // idx 4: argument
+        "    addiu $t1, $a1, 0\n"    // idx 5: NOT argument
+        "    jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    EXPECT_EQ(h.obs.at(4), LocalCat::Argument);
+    EXPECT_EQ(h.obs.at(5), LocalCat::FuncInternal);
+}
+
+TEST(LocalAnalysis, ReturnValueSlices)
+{
+    Harness h(
+        "    jal f\n"
+        "    addiu $t0, $v0, 1\n"    // idx 1: return-value slice
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:\n"
+        "    li $v0, 9\n"
+        "    jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    EXPECT_EQ(h.obs.at(1), LocalCat::RetVal);
+}
+
+TEST(LocalAnalysis, HeapLoads)
+{
+    Harness h(
+        "    li $a0, 64\n"
+        "    li $v0, 4\n"
+        "    syscall\n"              // sbrk
+        "    li $t1, 5\n"
+        "    sw $t1, 0($v0)\n"
+        "    lw $t2, 0($v0)\n"       // idx 5: heap load
+        "    addu $t3, $t2, $t2\n"); // idx 6: heap slice
+    EXPECT_EQ(h.obs.at(5), LocalCat::Heap);
+    EXPECT_EQ(h.obs.at(6), LocalCat::Heap);
+}
+
+TEST(LocalAnalysis, StackLoadsPropagateStoredTag)
+{
+    Harness h(
+        "    li $a0, 7\n"
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 1\n"
+        "f:\n"
+        "    addiu $sp, $sp, -8\n"
+        "    sw $a0, 0($sp)\n"       // spill the argument
+        "    lw $t0, 0($sp)\n"       // idx 5: argument tag comes back
+        "    addiu $sp, $sp, 8\n"
+        "    jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    EXPECT_EQ(h.obs.at(5), LocalCat::Argument);
+}
+
+TEST(LocalAnalysis, SupersedeArgumentOverGlobal)
+{
+    Harness h(
+        ".data\nw: .word 3\n.text\n"
+        "    li $a0, 7\n"
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 1\n"
+        "f:\n"
+        "    la $t0, w\n"
+        "    lw $t1, 0($t0)\n"       // global
+        "    addu $t2, $t1, $a0\n"   // idx 6: argument supersedes
+        "    jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    EXPECT_EQ(h.obs.at(6), LocalCat::Argument);
+}
+
+TEST(LocalAnalysis, StoreTakesStoredValueCategory)
+{
+    Harness h(
+        ".data\nw: .word 3\ndst: .word 0\n.text\n"
+        "    la $t0, w\n"
+        "    lw $t1, 0($t0)\n"       // global value
+        "    la $t2, dst\n"
+        "    sw $t1, 0($t2)\n");     // idx 5: stores a global value
+    EXPECT_EQ(h.obs.at(5), LocalCat::Global);
+}
+
+TEST(LocalAnalysis, StatsSumToTotals)
+{
+    Harness h(
+        "    li $t0, 1\n"
+        "    li $t0, 1\n"
+        "    addiu $t1, $sp, 4\n");
+    const auto &stats = h.obs.local.stats();
+    uint64_t sum = 0;
+    double pct = 0;
+    for (unsigned c = 0; c < numLocalCats; ++c) {
+        sum += stats.overall[c];
+        pct += stats.pctOverall(LocalCat(c));
+    }
+    EXPECT_EQ(sum, stats.totalOverall);
+    EXPECT_EQ(sum, h.run.machine().instret());
+    EXPECT_NEAR(pct, 100.0, 1e-9);
+}
+
+TEST(LocalAnalysis, ProEpiContributorsRanked)
+{
+    // Call f twice and g once; f contributes more prologue/epilogue
+    // repetition.
+    Harness h(
+        "    jal f\n"
+        "    jal f\n"
+        "    jal f\n"
+        "    jal g\n"
+        "    jal g\n"
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:\n"
+        "    addiu $sp, $sp, -8\n"
+        "    sw $s0, 0($sp)\n"
+        "    lw $s0, 0($sp)\n"
+        "    addiu $sp, $sp, 8\n"
+        "    jr $ra\n"
+        ".end f\n"
+        ".ent g, 0\n"
+        "g:\n"
+        "    addiu $sp, $sp, -8\n"
+        "    addiu $sp, $sp, 8\n"
+        "    jr $ra\n"
+        ".end g\n"
+        "done:\n");
+    const auto top = h.obs.local.topPrologueContributors(5);
+    ASSERT_GE(top.size(), 2u);
+    EXPECT_EQ(top[0].name, "f");
+    EXPECT_EQ(top[1].name, "g");
+    EXPECT_GT(top[0].repeated, top[1].repeated);
+    EXPECT_EQ(top[0].staticInstructions, 5u);
+    // Only f and g contribute, so the shares must sum to 1.
+    EXPECT_NEAR(top[0].share + top[1].share, 1.0, 1e-9);
+}
+
+TEST(LocalAnalysis, LoadValueCoverage)
+{
+    // One static global load executed 3x with value 5 (2 repeats)
+    // and once with 9 (no repeat): top-1 value covers everything.
+    Harness h(
+        ".data\nw: .word 5\n.text\n"
+        "    la $t0, w\n"
+        "    li $t3, 3\n"
+        "loop:\n"
+        "    lw $t1, 0($t0)\n"
+        "    addiu $t3, $t3, -1\n"
+        "    bgtz $t3, loop\n"
+        "    li $t2, 9\n"
+        "    sw $t2, 0($t0)\n"
+        "    lw $t1, 0($t0)\n");
+    EXPECT_DOUBLE_EQ(h.obs.local.loadValueCoverage(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.obs.local.loadValueCoverage(5), 1.0);
+}
+
+TEST(LocalAnalysis, LuiBelowDataRangeIsInternal)
+{
+    // 0x0fff0000 sits just below the data segment base.
+    Harness h("lui $t0, 0x0fff\n");
+    EXPECT_EQ(h.obs.at(0), LocalCat::FuncInternal);
+}
+
+TEST(LocalAnalysis, LuiAtDataBaseIsGlbAddr)
+{
+    Harness h("lui $t0, 0x1000\n");    // exactly the data base
+    EXPECT_EQ(h.obs.at(0), LocalCat::GlbAddrCalc);
+}
+
+TEST(LocalAnalysis, ReturnValuePropagatesThroughArithmetic)
+{
+    Harness h(
+        "    jal f\n"
+        "    addiu $t0, $v0, 1\n"
+        "    addu $t1, $t0, $t0\n"    // idx 2: still retval slice
+        "    b done\n"
+        ".ent f, 0\n"
+        "f:\n"
+        "    li $v0, 9\n"
+        "    jr $ra\n"
+        ".end f\n"
+        "done:\n");
+    EXPECT_EQ(h.obs.at(2), LocalCat::RetVal);
+}
+
+TEST(LocalAnalysis, ArgumentSupersedesRetVal)
+{
+    // argument >s return-value in the paper's rule.
+    Harness h(
+        "    li $a0, 5\n"
+        "    jal f\n"
+        "    b done\n"
+        ".ent f, 1\n"
+        "f:\n"
+        "    addiu $sp, $sp, -8\n"
+        "    sw $ra, 0($sp)\n"
+        "    sw $a0, 4($sp)\n"
+        "    jal g\n"
+        "    lw $a0, 4($sp)\n"
+        "    addu $t2, $v0, $a0\n"    // idx 8: arg meets retval
+        "    lw $ra, 0($sp)\n"
+        "    addiu $sp, $sp, 8\n"
+        "    jr $ra\n"
+        ".end f\n"
+        ".ent g, 0\n"
+        "g:\n"
+        "    li $v0, 1\n"
+        "    jr $ra\n"
+        ".end g\n"
+        "done:\n");
+    EXPECT_EQ(h.obs.at(8), LocalCat::Argument);
+}
+
+} // namespace
+} // namespace irep::core

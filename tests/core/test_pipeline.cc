@@ -1,0 +1,238 @@
+/**
+ * @file
+ * AnalysisPipeline tests: skip/window protocol, counting gates,
+ * cross-analysis consistency, and config handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.hh"
+#include "minicc/compiler.hh"
+#include "sim_test_util.hh"
+
+namespace irep::core
+{
+namespace
+{
+
+/** A small MiniC program with calls, globals and loops. */
+assem::Program
+sampleProgram()
+{
+    return minicc::compileToProgram(
+        "int g[16];\n"
+        "int f(int x) { return x * 2 + 1; }\n"
+        "int main() {\n"
+        "  int s; s = 0;\n"
+        "  for (int i = 0; i < 200; i++) {\n"
+        "    g[i & 15] = f(i & 7);\n"
+        "    s += g[i & 15];\n"
+        "  }\n"
+        "  return s & 0xff;\n"
+        "}\n");
+}
+
+TEST(Pipeline, WindowBoundsExecution)
+{
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    PipelineConfig config;
+    config.skipInstructions = 100;
+    config.windowInstructions = 500;
+    AnalysisPipeline pipeline(machine, config);
+    const uint64_t executed = pipeline.run();
+    EXPECT_EQ(executed, 500u);
+    EXPECT_EQ(machine.instret(), 600u);
+    EXPECT_EQ(pipeline.tracker().stats().dynTotal, 500u);
+}
+
+TEST(Pipeline, RunsToCompletionWhenWindowIsLarge)
+{
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    PipelineConfig config;
+    config.windowInstructions = 100'000'000;
+    AnalysisPipeline pipeline(machine, config);
+    pipeline.run();
+    EXPECT_TRUE(machine.halted());
+}
+
+TEST(Pipeline, SkipPhaseIsNotCounted)
+{
+    const auto program = sampleProgram();
+
+    // Full-program measurement...
+    sim::Machine m1(program);
+    PipelineConfig c1;
+    c1.windowInstructions = 100'000'000;
+    AnalysisPipeline p1(m1, c1);
+    const uint64_t full = p1.run();
+
+    // ...vs skipping half of it.
+    sim::Machine m2(program);
+    PipelineConfig c2;
+    c2.skipInstructions = full / 2;
+    c2.windowInstructions = 100'000'000;
+    AnalysisPipeline p2(m2, c2);
+    const uint64_t window = p2.run();
+
+    EXPECT_EQ(window + full / 2, full);
+    EXPECT_EQ(p2.tracker().stats().dynTotal, window);
+}
+
+TEST(Pipeline, AnalysesShareTheRepetitionVerdict)
+{
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    PipelineConfig config;
+    config.windowInstructions = 100'000'000;
+    AnalysisPipeline pipeline(machine, config);
+    pipeline.run();
+
+    const auto tracker_stats = pipeline.tracker().stats();
+    const auto &taint_stats = pipeline.taint().stats();
+    const auto &local_stats = pipeline.local().stats();
+
+    EXPECT_EQ(taint_stats.totalOverall, tracker_stats.dynTotal);
+    EXPECT_EQ(taint_stats.totalRepeated, tracker_stats.dynRepeated);
+    EXPECT_EQ(local_stats.totalOverall, tracker_stats.dynTotal);
+    EXPECT_EQ(local_stats.totalRepeated, tracker_stats.dynRepeated);
+    EXPECT_EQ(pipeline.reuse().stats().totalInstructions,
+              tracker_stats.dynTotal);
+    EXPECT_EQ(pipeline.reuse().stats().repeatedInstructions,
+              tracker_stats.dynRepeated);
+}
+
+TEST(Pipeline, ReuseHitsNeverExceedAccesses)
+{
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    PipelineConfig config;
+    config.windowInstructions = 100'000'000;
+    AnalysisPipeline pipeline(machine, config);
+    pipeline.run();
+    const auto &reuse = pipeline.reuse().stats();
+    EXPECT_LE(reuse.hits, reuse.accesses);
+    EXPECT_LE(reuse.accesses, reuse.totalInstructions);
+}
+
+TEST(Pipeline, DisabledAnalysesAreAbsent)
+{
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    PipelineConfig config;
+    config.windowInstructions = 1000;
+    config.enableGlobal = false;
+    config.enableLocal = false;
+    config.enableFunction = false;
+    config.enableReuse = false;
+    AnalysisPipeline pipeline(machine, config);
+    EXPECT_EQ(pipeline.run(), 1000u);
+    EXPECT_EQ(pipeline.tracker().stats().dynTotal, 1000u);
+}
+
+TEST(Pipeline, InstanceCapIsForwarded)
+{
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    PipelineConfig config;
+    config.instanceCap = 7;
+    config.windowInstructions = 1000;
+    AnalysisPipeline pipeline(machine, config);
+    EXPECT_EQ(pipeline.tracker().instanceCap(), 7u);
+}
+
+TEST(Pipeline, SmallerCapMeasuresLessRepetition)
+{
+    const auto program = sampleProgram();
+
+    auto measure = [&program](unsigned cap) {
+        sim::Machine machine(program);
+        PipelineConfig config;
+        config.instanceCap = cap;
+        config.windowInstructions = 100'000'000;
+        config.enableGlobal = false;
+        config.enableLocal = false;
+        config.enableFunction = false;
+        config.enableReuse = false;
+        AnalysisPipeline pipeline(machine, config);
+        pipeline.run();
+        return pipeline.tracker().stats().dynRepeated;
+    };
+
+    EXPECT_LE(measure(1), measure(8));
+    EXPECT_LE(measure(8), measure(2000));
+}
+
+TEST(Pipeline, ClassCountsCoverTheWindow)
+{
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    PipelineConfig config;
+    config.windowInstructions = 100'000'000;
+    AnalysisPipeline pipeline(machine, config);
+    const uint64_t executed = pipeline.run();
+
+    const auto &classes = pipeline.classes().stats();
+    EXPECT_EQ(classes.totalOverall, executed);
+    uint64_t sum = 0;
+    for (unsigned c = 0; c < numInstrClasses; ++c)
+        sum += classes.overall[c];
+    EXPECT_EQ(sum, executed);
+    // A compiled program certainly has ALU ops, loads, stores,
+    // branches, and jumps.
+    EXPECT_GT(classes.overall[unsigned(InstrClass::IntAlu)], 0u);
+    EXPECT_GT(classes.overall[unsigned(InstrClass::Load)], 0u);
+    EXPECT_GT(classes.overall[unsigned(InstrClass::Store)], 0u);
+    EXPECT_GT(classes.overall[unsigned(InstrClass::Branch)], 0u);
+    EXPECT_GT(classes.overall[unsigned(InstrClass::Jump)], 0u);
+}
+
+TEST(Pipeline, PredictorsTrackEligibleWrites)
+{
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    PipelineConfig config;
+    config.windowInstructions = 100'000'000;
+    AnalysisPipeline pipeline(machine, config);
+    pipeline.run();
+
+    const auto &pred = pipeline.prediction();
+    EXPECT_GT(pred.lastValue().eligible, 0u);
+    EXPECT_EQ(pred.lastValue().eligible, pred.stride().eligible);
+    EXPECT_EQ(pred.lastValue().eligible, pred.context().eligible);
+    EXPECT_LE(pred.lastValue().correct, pred.lastValue().predictions);
+    EXPECT_LE(pred.lastValue().predictions,
+              pred.lastValue().eligible);
+    // This loopy program is highly predictable by at least one
+    // scheme.
+    const double best = std::max(
+        {pred.lastValue().pctOfEligible(),
+         pred.stride().pctOfEligible(),
+         pred.context().pctOfEligible()});
+    EXPECT_GT(best, 30.0);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns)
+{
+    const auto program = sampleProgram();
+    auto run_once = [&program]() {
+        sim::Machine machine(program);
+        PipelineConfig config;
+        config.windowInstructions = 100'000'000;
+        AnalysisPipeline pipeline(machine, config);
+        pipeline.run();
+        return pipeline.tracker().stats();
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a.dynTotal, b.dynTotal);
+    EXPECT_EQ(a.dynRepeated, b.dynRepeated);
+    EXPECT_EQ(a.uniqueRepeatableInstances,
+              b.uniqueRepeatableInstances);
+}
+
+} // namespace
+} // namespace irep::core

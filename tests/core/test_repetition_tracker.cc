@@ -1,0 +1,213 @@
+/**
+ * @file
+ * RepetitionTracker unit tests: the paper's §2 definition (repeated =
+ * same inputs AND same outputs as a buffered instance), the 2000-
+ * instance cap, and the Table/Figure statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/repetition_tracker.hh"
+#include "isa/instruction.hh"
+#include "support/logging.hh"
+
+namespace irep::core
+{
+namespace
+{
+
+/** Build a minimal record for static instruction `index`. */
+sim::InstrRecord
+rec(uint32_t index, std::initializer_list<uint32_t> srcs,
+    uint64_t result)
+{
+    static isa::Instruction dummy = isa::decode(0x00851021); // addu
+    sim::InstrRecord r;
+    r.staticIndex = index;
+    r.inst = &dummy;
+    r.numSrcRegs = uint8_t(srcs.size());
+    int i = 0;
+    for (uint32_t s : srcs)
+        r.srcVal[i++] = s;
+    r.result = result;
+    return r;
+}
+
+TEST(Tracker, FirstInstanceIsNotRepeated)
+{
+    RepetitionTracker t(4);
+    EXPECT_FALSE(t.onInstr(rec(0, {1, 2}, 3)));
+}
+
+TEST(Tracker, SameInputsAndOutputRepeat)
+{
+    RepetitionTracker t(4);
+    t.onInstr(rec(0, {1, 2}, 3));
+    EXPECT_TRUE(t.onInstr(rec(0, {1, 2}, 3)));
+    EXPECT_TRUE(t.onInstr(rec(0, {1, 2}, 3)));
+}
+
+TEST(Tracker, DifferentInputsDoNotRepeat)
+{
+    RepetitionTracker t(4);
+    t.onInstr(rec(0, {1, 2}, 3));
+    EXPECT_FALSE(t.onInstr(rec(0, {1, 9}, 3)));
+    EXPECT_FALSE(t.onInstr(rec(0, {9, 2}, 3)));
+}
+
+TEST(Tracker, DifferentOutputDoesNotRepeat)
+{
+    // A load from the same address (same inputs) returning a changed
+    // value is NOT repeated — the paper's §2 example.
+    RepetitionTracker t(4);
+    t.onInstr(rec(0, {100}, 1));
+    EXPECT_FALSE(t.onInstr(rec(0, {100}, 2)));
+    EXPECT_TRUE(t.onInstr(rec(0, {100}, 1)));
+}
+
+TEST(Tracker, InstancesAreScopedToStaticInstruction)
+{
+    RepetitionTracker t(4);
+    t.onInstr(rec(0, {1, 2}, 3));
+    // Same values at a different static instruction: new instance.
+    EXPECT_FALSE(t.onInstr(rec(1, {1, 2}, 3)));
+    EXPECT_TRUE(t.onInstr(rec(1, {1, 2}, 3)));
+}
+
+TEST(Tracker, CapLimitsBufferedInstances)
+{
+    RepetitionTracker t(4, /*instance_cap=*/2);
+    t.onInstr(rec(0, {1}, 1));
+    t.onInstr(rec(0, {2}, 2));
+    t.onInstr(rec(0, {3}, 3));      // over cap: not buffered
+    EXPECT_TRUE(t.onInstr(rec(0, {1}, 1)));
+    EXPECT_TRUE(t.onInstr(rec(0, {2}, 2)));
+    EXPECT_FALSE(t.onInstr(rec(0, {3}, 3)));    // was never buffered
+}
+
+TEST(Tracker, ZeroCapIsRejected)
+{
+    EXPECT_THROW(RepetitionTracker(4, 0), FatalError);
+}
+
+TEST(Tracker, OutOfRangeStaticIndexPanics)
+{
+    RepetitionTracker t(2);
+    EXPECT_THROW(t.onInstr(rec(2, {1}, 1)), PanicError);
+}
+
+TEST(Tracker, StatsTable1Fields)
+{
+    RepetitionTracker t(10);
+    // static 0: executed 3x, 2 repeats.
+    t.onInstr(rec(0, {1}, 1));
+    t.onInstr(rec(0, {1}, 1));
+    t.onInstr(rec(0, {1}, 1));
+    // static 1: executed once, no repeats.
+    t.onInstr(rec(1, {5}, 5));
+    const auto s = t.stats();
+    EXPECT_EQ(s.dynTotal, 4u);
+    EXPECT_EQ(s.dynRepeated, 2u);
+    EXPECT_EQ(s.staticTotal, 10u);
+    EXPECT_EQ(s.staticExecuted, 2u);
+    EXPECT_EQ(s.staticRepeated, 1u);
+    EXPECT_DOUBLE_EQ(s.pctDynRepeated(), 50.0);
+    EXPECT_DOUBLE_EQ(s.pctStaticExecuted(), 20.0);
+    EXPECT_DOUBLE_EQ(s.pctStaticRepeatedOfExecuted(), 50.0);
+}
+
+TEST(Tracker, StatsTable2UniqueInstances)
+{
+    RepetitionTracker t(4);
+    // Two unique repeatable instances at static 0: one repeats 3x,
+    // one 1x. One non-repeating instance at static 1.
+    for (int i = 0; i < 4; ++i)
+        t.onInstr(rec(0, {7}, 7));
+    t.onInstr(rec(0, {8}, 8));
+    t.onInstr(rec(0, {8}, 8));
+    t.onInstr(rec(1, {9}, 9));
+    const auto s = t.stats();
+    EXPECT_EQ(s.uniqueRepeatableInstances, 2u);
+    EXPECT_DOUBLE_EQ(s.avgRepeatsPerInstance, (3 + 1) / 2.0);
+}
+
+TEST(Tracker, PerStaticAccessors)
+{
+    RepetitionTracker t(4);
+    t.onInstr(rec(2, {1}, 1));
+    t.onInstr(rec(2, {1}, 1));
+    EXPECT_EQ(t.execCount(2), 2u);
+    EXPECT_EQ(t.repeatCount(2), 1u);
+    EXPECT_EQ(t.execCount(0), 0u);
+}
+
+TEST(Tracker, StaticCoverageCurve)
+{
+    RepetitionTracker t(4);
+    // static 0 contributes 9 repeats, static 1 contributes 1.
+    for (int i = 0; i < 10; ++i)
+        t.onInstr(rec(0, {1}, 1));
+    t.onInstr(rec(1, {2}, 2));
+    t.onInstr(rec(1, {2}, 2));
+    const auto curve = t.staticCoverage({0.5, 0.9, 1.0});
+    ASSERT_EQ(curve.size(), 3u);
+    // 50% and 90% of 10 total repeats come from the single top
+    // static (9/10 = 90%), i.e. half the repeated statics.
+    EXPECT_DOUBLE_EQ(curve[0].contributors, 0.5);
+    EXPECT_DOUBLE_EQ(curve[1].contributors, 0.5);
+    EXPECT_DOUBLE_EQ(curve[2].contributors, 1.0);
+}
+
+TEST(Tracker, CoverageOnEmptyTrackerIsZero)
+{
+    RepetitionTracker t(4);
+    const auto curve = t.staticCoverage({0.5, 1.0});
+    EXPECT_DOUBLE_EQ(curve[0].contributors, 0.0);
+    EXPECT_DOUBLE_EQ(curve[1].contributors, 0.0);
+}
+
+TEST(Tracker, InstanceCoverageCurve)
+{
+    RepetitionTracker t(4);
+    // Instance A repeats 8x, instance B repeats 2x.
+    for (int i = 0; i < 9; ++i)
+        t.onInstr(rec(0, {1}, 1));
+    for (int i = 0; i < 3; ++i)
+        t.onInstr(rec(0, {2}, 2));
+    const auto curve = t.instanceCoverage({0.75, 1.0});
+    EXPECT_DOUBLE_EQ(curve[0].contributors, 0.5);   // top instance = 80%
+    EXPECT_DOUBLE_EQ(curve[1].contributors, 1.0);
+}
+
+TEST(Tracker, InstanceBuckets)
+{
+    RepetitionTracker t(8);
+    // static 0: 1 unique repeatable instance, 5 repeats -> bucket "1".
+    for (int i = 0; i < 6; ++i)
+        t.onInstr(rec(0, {1}, 1));
+    // static 1: 3 unique repeatable instances (bucket "2-10"),
+    // 3 repeats total.
+    for (int v = 0; v < 3; ++v) {
+        t.onInstr(rec(1, {uint32_t(v)}, uint64_t(v)));
+        t.onInstr(rec(1, {uint32_t(v)}, uint64_t(v)));
+    }
+    const auto buckets = t.instanceBuckets();
+    ASSERT_EQ(buckets.size(), 5u);
+    EXPECT_EQ(buckets[0].repetition, 5u);
+    EXPECT_EQ(buckets[1].repetition, 3u);
+    EXPECT_EQ(buckets[2].repetition, 0u);
+    EXPECT_DOUBLE_EQ(buckets[0].share, 5.0 / 8.0);
+    EXPECT_DOUBLE_EQ(buckets[1].share, 3.0 / 8.0);
+}
+
+TEST(Tracker, SourceCountDisambiguatesInstances)
+{
+    // (1 src: [5]) vs (2 src: [5,0]) must not collide even when the
+    // trailing values look alike.
+    RepetitionTracker t(4);
+    t.onInstr(rec(0, {5}, 9));
+    EXPECT_FALSE(t.onInstr(rec(0, {5, 0}, 9)));
+}
+
+} // namespace
+} // namespace irep::core

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * ReuseBuffer unit tests: hit/miss behaviour, set mapping, LRU
+ * replacement, store invalidation of load entries, and geometry
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reuse_buffer.hh"
+#include "isa/instruction.hh"
+#include "support/logging.hh"
+
+namespace irep::core
+{
+namespace
+{
+
+struct Fixture : ::testing::Test
+{
+    Fixture()
+    {
+        alu = isa::decode(0x00851021);      // addu
+        load = isa::decode(0x8fa80010);     // lw
+        store = isa::decode(0xafa80010);    // sw
+    }
+
+    sim::InstrRecord
+    aluRec(uint32_t pc, uint32_t a, uint32_t b, uint64_t result)
+    {
+        sim::InstrRecord r;
+        r.pc = pc;
+        r.inst = &alu;
+        r.numSrcRegs = 2;
+        r.srcVal[0] = a;
+        r.srcVal[1] = b;
+        r.result = result;
+        return r;
+    }
+
+    sim::InstrRecord
+    loadRec(uint32_t pc, uint32_t base, uint32_t addr, uint64_t value)
+    {
+        sim::InstrRecord r;
+        r.pc = pc;
+        r.inst = &load;
+        r.numSrcRegs = 1;
+        r.srcVal[0] = base;
+        r.isMemAccess = true;
+        r.memAddr = addr;
+        r.result = value;
+        return r;
+    }
+
+    sim::InstrRecord
+    storeRec(uint32_t pc, uint32_t addr, uint32_t value)
+    {
+        sim::InstrRecord r;
+        r.pc = pc;
+        r.inst = &store;
+        r.numSrcRegs = 2;
+        r.srcVal[0] = addr;
+        r.srcVal[1] = value;
+        r.isMemAccess = true;
+        r.memAddr = addr;
+        r.result = value;
+        return r;
+    }
+
+    isa::Instruction alu, load, store;
+};
+
+using ReuseBufferTest = Fixture;
+
+TEST_F(ReuseBufferTest, FirstAccessMisses)
+{
+    ReuseBuffer buffer;
+    buffer.setCounting(true);
+    EXPECT_FALSE(buffer.onInstr(aluRec(0x400000, 1, 2, 3), false));
+}
+
+TEST_F(ReuseBufferTest, SameOperandsHit)
+{
+    ReuseBuffer buffer;
+    buffer.setCounting(true);
+    buffer.onInstr(aluRec(0x400000, 1, 2, 3), false);
+    EXPECT_TRUE(buffer.onInstr(aluRec(0x400000, 1, 2, 3), true));
+    EXPECT_EQ(buffer.stats().hits, 1u);
+}
+
+TEST_F(ReuseBufferTest, DifferentOperandsMiss)
+{
+    ReuseBuffer buffer;
+    buffer.setCounting(true);
+    buffer.onInstr(aluRec(0x400000, 1, 2, 3), false);
+    EXPECT_FALSE(buffer.onInstr(aluRec(0x400000, 9, 2, 11), false));
+    // But the new instance is installed in another way, so both hit
+    // afterwards (4-way set).
+    EXPECT_TRUE(buffer.onInstr(aluRec(0x400000, 1, 2, 3), true));
+    EXPECT_TRUE(buffer.onInstr(aluRec(0x400000, 9, 2, 11), true));
+}
+
+TEST_F(ReuseBufferTest, DifferentPcsDoNotAlias)
+{
+    ReuseBuffer buffer;
+    buffer.setCounting(true);
+    buffer.onInstr(aluRec(0x400000, 1, 2, 3), false);
+    // Same set index (pc differs by sets*4), same values.
+    const uint32_t aliasing_pc = 0x400000 + 2048 * 4;
+    EXPECT_FALSE(buffer.onInstr(aluRec(aliasing_pc, 1, 2, 3), false));
+}
+
+TEST_F(ReuseBufferTest, LruEvictionWithinSet)
+{
+    ReuseConfig config;
+    config.entries = 8;     // 2 sets x 4 ways
+    config.ways = 4;
+    ReuseBuffer buffer(config);
+    buffer.setCounting(true);
+
+    // Fill one set (same pc -> same set, different operand values).
+    for (uint32_t v = 0; v < 4; ++v)
+        buffer.onInstr(aluRec(0x400000, v, v, v), false);
+    // Touch entries 1..3 so entry 0 is LRU.
+    for (uint32_t v = 1; v < 4; ++v)
+        EXPECT_TRUE(buffer.onInstr(aluRec(0x400000, v, v, v), true));
+    // Insert a 5th instance: evicts v=0.
+    buffer.onInstr(aluRec(0x400000, 9, 9, 9), false);
+    EXPECT_FALSE(buffer.onInstr(aluRec(0x400000, 0, 0, 0), false));
+    EXPECT_TRUE(buffer.onInstr(aluRec(0x400000, 9, 9, 9), true));
+}
+
+TEST_F(ReuseBufferTest, StoreInvalidatesLoadEntry)
+{
+    ReuseBuffer buffer;
+    buffer.setCounting(true);
+    buffer.onInstr(loadRec(0x400000, 100, 0x10000000, 7), false);
+    EXPECT_TRUE(
+        buffer.onInstr(loadRec(0x400000, 100, 0x10000000, 7), true));
+    // A store to the same word kills the entry.
+    buffer.onInstr(storeRec(0x400100, 0x10000000, 55), false);
+    EXPECT_FALSE(
+        buffer.onInstr(loadRec(0x400000, 100, 0x10000000, 55), true));
+    EXPECT_EQ(buffer.stats().invalidations, 1u);
+}
+
+TEST_F(ReuseBufferTest, SubWordStoreInvalidatesLoad)
+{
+    ReuseBuffer buffer;
+    buffer.setCounting(true);
+    buffer.onInstr(loadRec(0x400000, 100, 0x10000000, 7), false);
+    // A byte store inside the loaded word must invalidate too.
+    auto sb = storeRec(0x400100, 0x10000002, 9);
+    static isa::Instruction sb_inst = isa::decode(0xa1280002);  // sb
+    sb.inst = &sb_inst;
+    buffer.onInstr(sb, false);
+    EXPECT_FALSE(
+        buffer.onInstr(loadRec(0x400000, 100, 0x10000000, 7), true));
+}
+
+TEST_F(ReuseBufferTest, StoreToOtherAddressKeepsLoad)
+{
+    ReuseBuffer buffer;
+    buffer.setCounting(true);
+    buffer.onInstr(loadRec(0x400000, 100, 0x10000000, 7), false);
+    buffer.onInstr(storeRec(0x400100, 0x10000004, 55), false);
+    EXPECT_TRUE(
+        buffer.onInstr(loadRec(0x400000, 100, 0x10000000, 7), true));
+}
+
+TEST_F(ReuseBufferTest, StoresAndSyscallsAreNeverReused)
+{
+    ReuseBuffer buffer;
+    buffer.setCounting(true);
+    buffer.onInstr(storeRec(0x400000, 0x10000000, 1), false);
+    EXPECT_FALSE(
+        buffer.onInstr(storeRec(0x400000, 0x10000000, 1), true));
+    EXPECT_EQ(buffer.stats().accesses, 0u);
+}
+
+TEST_F(ReuseBufferTest, StatsRatios)
+{
+    ReuseBuffer buffer;
+    buffer.setCounting(true);
+    buffer.onInstr(aluRec(0x400000, 1, 2, 3), false);
+    buffer.onInstr(aluRec(0x400000, 1, 2, 3), true);
+    buffer.onInstr(aluRec(0x400000, 1, 2, 3), true);
+    buffer.onInstr(aluRec(0x400004, 5, 6, 11), false);
+    const auto &s = buffer.stats();
+    EXPECT_EQ(s.totalInstructions, 4u);
+    EXPECT_EQ(s.repeatedInstructions, 2u);
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_DOUBLE_EQ(s.pctOfAll(), 50.0);
+    EXPECT_DOUBLE_EQ(s.pctOfRepeated(), 100.0);
+}
+
+TEST_F(ReuseBufferTest, CountingDisabledCollectsNothing)
+{
+    ReuseBuffer buffer;
+    buffer.onInstr(aluRec(0x400000, 1, 2, 3), false);
+    buffer.onInstr(aluRec(0x400000, 1, 2, 3), true);
+    EXPECT_EQ(buffer.stats().totalInstructions, 0u);
+    EXPECT_EQ(buffer.stats().hits, 0u);
+}
+
+TEST_F(ReuseBufferTest, RepeatedReinstallWithoutStoresStaysCorrect)
+{
+    // A load evicted and reinstalled many times with no intervening
+    // store exercises the load-index compaction path; behaviour must
+    // stay correct throughout.
+    ReuseConfig config;
+    config.entries = 8;
+    config.ways = 4;
+    ReuseBuffer buffer(config);
+    buffer.setCounting(true);
+
+    for (int round = 0; round < 40; ++round) {
+        // Fill the set with 4 other loads (evicts the probe entry)...
+        for (uint32_t v = 1; v <= 4; ++v) {
+            buffer.onInstr(
+                loadRec(0x400000, v, 0x10000000 + 16 * v, v), false);
+        }
+        // ...then reinstall the probe load at the same address.
+        buffer.onInstr(loadRec(0x400000, 99, 0x10000100, 7), false);
+    }
+    // The probe entry is live; a store must still invalidate it.
+    EXPECT_TRUE(
+        buffer.onInstr(loadRec(0x400000, 99, 0x10000100, 7), true));
+    buffer.onInstr(storeRec(0x400200, 0x10000100, 1), false);
+    EXPECT_FALSE(
+        buffer.onInstr(loadRec(0x400000, 99, 0x10000100, 7), true));
+}
+
+class ReuseBufferRandomTest : public Fixture,
+                              public ::testing::WithParamInterface<int>
+{
+};
+
+TEST_P(ReuseBufferRandomTest, InvariantsUnderRandomTraffic)
+{
+    // Pseudo-random mixes of loads/stores/ALU ops: the buffer must
+    // never report a reuse whose operands mismatch, and the counters
+    // must stay consistent.
+    ReuseConfig config;
+    config.entries = 64;
+    config.ways = 4;
+    ReuseBuffer buffer(config);
+    buffer.setCounting(true);
+
+    uint32_t state = uint32_t(GetParam()) * 2654435761u + 1;
+    auto next = [&state]() {
+        state = state * 1664525u + 1013904223u;
+        return state >> 8;
+    };
+
+    // A tiny shadow memory so load results are consistent with
+    // store history (required for the buffer's result check).
+    uint32_t shadow[16] = {};
+
+    for (int i = 0; i < 5000; ++i) {
+        const uint32_t pc = 0x400000 + (next() % 128) * 4;
+        const uint32_t choice = next() % 3;
+        if (choice == 0) {
+            const uint32_t a = next() % 8, b = next() % 8;
+            buffer.onInstr(aluRec(pc, a, b, a + b), next() % 2);
+        } else if (choice == 1) {
+            const uint32_t slot = next() % 16;
+            buffer.onInstr(loadRec(pc, slot,
+                                   0x10000000 + slot * 4,
+                                   shadow[slot]),
+                           next() % 2);
+        } else {
+            const uint32_t slot = next() % 16;
+            shadow[slot] = next() % 4;
+            buffer.onInstr(
+                storeRec(pc, 0x10000000 + slot * 4, shadow[slot]),
+                false);
+        }
+    }
+    const auto &stats = buffer.stats();
+    EXPECT_LE(stats.hits, stats.accesses);
+    EXPECT_LE(stats.accesses, stats.totalInstructions);
+    EXPECT_EQ(stats.totalInstructions, 5000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReuseBufferRandomTest,
+                         ::testing::Range(1, 13));
+
+TEST(ReuseBufferConfig, BadGeometriesRejected)
+{
+    ReuseConfig zero_ways;
+    zero_ways.ways = 0;
+    EXPECT_THROW(ReuseBuffer{zero_ways}, FatalError);
+
+    ReuseConfig non_divisible;
+    non_divisible.entries = 10;
+    non_divisible.ways = 4;
+    EXPECT_THROW(ReuseBuffer{non_divisible}, FatalError);
+
+    ReuseConfig non_pow2_sets;
+    non_pow2_sets.entries = 12;
+    non_pow2_sets.ways = 4;
+    EXPECT_THROW(ReuseBuffer{non_pow2_sets}, FatalError);
+}
+
+TEST(ReuseBufferConfig, PaperGeometryIsDefault)
+{
+    ReuseBuffer buffer;
+    EXPECT_EQ(buffer.config().entries, 8192u);
+    EXPECT_EQ(buffer.config().ways, 4u);
+    EXPECT_EQ(buffer.config().sets(), 2048u);
+}
+
+} // namespace
+} // namespace irep::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * TagMemory unit tests: default tags, fills, page behaviour, and the
+ * max-over-range query the taint analyses rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tag_memory.hh"
+
+namespace irep::core
+{
+namespace
+{
+
+TEST(TagMemory, UntouchedReadsDefault)
+{
+    TagMemory mem(3);
+    EXPECT_EQ(mem.read(0), 3);
+    EXPECT_EQ(mem.read(0xffffffffu), 3);
+}
+
+TEST(TagMemory, FillAndRead)
+{
+    TagMemory mem(0);
+    mem.fill(100, 4, 2);
+    EXPECT_EQ(mem.read(99), 0);
+    EXPECT_EQ(mem.read(100), 2);
+    EXPECT_EQ(mem.read(103), 2);
+    EXPECT_EQ(mem.read(104), 0);
+}
+
+TEST(TagMemory, OverwriteWins)
+{
+    TagMemory mem(0);
+    mem.fill(0x1000, 8, 1);
+    mem.fill(0x1002, 2, 5);
+    EXPECT_EQ(mem.read(0x1001), 1);
+    EXPECT_EQ(mem.read(0x1002), 5);
+    EXPECT_EQ(mem.read(0x1003), 5);
+    EXPECT_EQ(mem.read(0x1004), 1);
+}
+
+TEST(TagMemory, ReadMaxOverRange)
+{
+    TagMemory mem(0);
+    mem.fill(0x2000, 1, 1);
+    mem.fill(0x2002, 1, 3);
+    EXPECT_EQ(mem.readMax(0x2000, 4), 3);
+    EXPECT_EQ(mem.readMax(0x2000, 2), 1);
+    EXPECT_EQ(mem.readMax(0x2003, 1), 0);
+}
+
+TEST(TagMemory, ReadMaxSeesDefaultInGaps)
+{
+    TagMemory mem(2);
+    mem.fill(0x3000, 1, 1);     // lower than the default!
+    EXPECT_EQ(mem.readMax(0x3000, 2), 2);   // gap byte carries 2
+    EXPECT_EQ(mem.readMax(0x3000, 1), 1);
+}
+
+TEST(TagMemory, FillAcrossPageBoundary)
+{
+    TagMemory mem(0);
+    const uint32_t boundary = TagMemory::pageSize;
+    mem.fill(boundary - 2, 4, 7);
+    EXPECT_EQ(mem.read(boundary - 2), 7);
+    EXPECT_EQ(mem.read(boundary - 1), 7);
+    EXPECT_EQ(mem.read(boundary), 7);
+    EXPECT_EQ(mem.read(boundary + 1), 7);
+    EXPECT_EQ(mem.read(boundary + 2), 0);
+}
+
+TEST(TagMemory, NewPageInheritsDefault)
+{
+    TagMemory mem(9);
+    mem.fill(0x5000, 1, 1);     // allocates the page
+    // Every other byte of that freshly-allocated page reads the
+    // default, not zero.
+    EXPECT_EQ(mem.read(0x5001), 9);
+    EXPECT_EQ(mem.read(0x5fff), 9);
+}
+
+TEST(TagMemory, ZeroLengthFillIsNoop)
+{
+    TagMemory mem(0);
+    EXPECT_NO_THROW(mem.fill(0x100, 0, 5));
+    EXPECT_EQ(mem.read(0x100), 0);
+}
+
+} // namespace
+} // namespace irep::core

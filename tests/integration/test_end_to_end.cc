@@ -1,0 +1,221 @@
+/**
+ * @file
+ * End-to-end integration: run real workloads through the full
+ * AnalysisPipeline and verify cross-analysis invariants and the
+ * paper's qualitative headline results at reduced scale.
+ */
+
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace irep
+{
+namespace
+{
+
+/** One cached pipeline run per workload (shared across tests). */
+struct PipelineRun
+{
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<core::AnalysisPipeline> pipeline;
+    uint64_t executed = 0;
+};
+
+const PipelineRun &
+runFor(const std::string &name)
+{
+    static std::map<std::string, PipelineRun> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        const auto &w = workloads::workloadByName(name);
+        PipelineRun run;
+        run.machine = std::make_unique<sim::Machine>(
+            workloads::buildProgram(w));
+        run.machine->setInput(w.input);
+        core::PipelineConfig config;
+        config.skipInstructions = 1'000'000;
+        config.windowInstructions = 1'500'000;
+        run.pipeline = std::make_unique<core::AnalysisPipeline>(
+            *run.machine, config);
+        run.executed = run.pipeline->run();
+        it = cache.emplace(name, std::move(run)).first;
+    }
+    return it->second;
+}
+
+class EndToEndTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    const PipelineRun &run() { return runFor(GetParam()); }
+};
+
+TEST_P(EndToEndTest, WindowFullyExecuted)
+{
+    EXPECT_EQ(run().executed, 1'500'000u);
+}
+
+TEST_P(EndToEndTest, MostInstructionsAreRepeated)
+{
+    // The paper's headline (Table 1): the clear majority of dynamic
+    // instructions repeat.
+    const auto stats = run().pipeline->tracker().stats();
+    EXPECT_GT(stats.pctDynRepeated(), 50.0);
+    EXPECT_LT(stats.pctDynRepeated(), 100.0);
+}
+
+TEST_P(EndToEndTest, MostExecutedStaticsRepeat)
+{
+    const auto stats = run().pipeline->tracker().stats();
+    EXPECT_GT(stats.pctStaticRepeatedOfExecuted(), 60.0);
+    EXPECT_LT(stats.pctStaticExecuted(), 100.0);
+}
+
+TEST_P(EndToEndTest, FewStaticsCoverMostRepetition)
+{
+    // Figure 1's headline: a minority of repeated statics cover 90%
+    // of the repetition.
+    const auto curve =
+        run().pipeline->tracker().staticCoverage({0.9});
+    ASSERT_EQ(curve.size(), 1u);
+    EXPECT_LT(curve[0].contributors, 0.6);
+}
+
+TEST_P(EndToEndTest, GlobalCategorySumsTo100)
+{
+    const auto &stats = run().pipeline->taint().stats();
+    double overall = 0, repeated = 0;
+    for (unsigned t = 0; t < core::numGlobalTags; ++t) {
+        overall += stats.pctOverall(core::GlobalTag(t));
+        repeated += stats.pctRepeated(core::GlobalTag(t));
+        EXPECT_LE(stats.propensity(core::GlobalTag(t)), 100.0);
+    }
+    EXPECT_NEAR(overall, 100.0, 1e-6);
+    EXPECT_NEAR(repeated, 100.0, 1e-6);
+}
+
+TEST_P(EndToEndTest, InternalsDominateGlobalAnalysis)
+{
+    // Table 3's headline: most computation is on program-internal
+    // and global-init data, not external input.
+    const auto &stats = run().pipeline->taint().stats();
+    const double internal_ish =
+        stats.pctOverall(core::GlobalTag::Internal) +
+        stats.pctOverall(core::GlobalTag::GlobalInit);
+    EXPECT_GT(internal_ish, 45.0);
+}
+
+TEST_P(EndToEndTest, LocalCategoriesSumTo100)
+{
+    const auto &stats = run().pipeline->local().stats();
+    double overall = 0;
+    for (unsigned c = 0; c < core::numLocalCats; ++c) {
+        overall += stats.pctOverall(core::LocalCat(c));
+        EXPECT_LE(stats.propensity(core::LocalCat(c)), 100.0);
+    }
+    EXPECT_NEAR(overall, 100.0, 1e-6);
+    EXPECT_EQ(stats.totalOverall, run().executed);
+}
+
+TEST_P(EndToEndTest, PrologueEpilogueAreSymmetric)
+{
+    // Every save has a restore: the two categories must be within a
+    // few percent of each other (Table 5 shows them equal).
+    const auto &stats = run().pipeline->local().stats();
+    const double pro =
+        stats.pctOverall(core::LocalCat::Prologue);
+    const double epi =
+        stats.pctOverall(core::LocalCat::Epilogue);
+    EXPECT_GT(pro, 0.0);
+    EXPECT_NEAR(pro, epi, 1.5);
+}
+
+TEST_P(EndToEndTest, MostCallsHaveAllArgsRepeated)
+{
+    // Table 4's headline.
+    const auto stats = run().pipeline->functions().stats();
+    EXPECT_GT(stats.dynamicCalls, 1000u);
+    EXPECT_GT(stats.pctAllArgsRepeated(), 50.0);
+    EXPECT_LT(stats.pctNoArgsRepeated(), 30.0);
+    EXPECT_LE(stats.allArgsRepeated + stats.noArgsRepeated,
+              stats.dynamicCalls);
+}
+
+TEST_P(EndToEndTest, AlmostNoCallsAreMemoizable)
+{
+    // Table 8's headline: side effects and implicit inputs are
+    // everywhere.
+    const auto memo = run().pipeline->functions().memoStats();
+    EXPECT_LT(memo.pctCleanOfAll(), 35.0);
+}
+
+TEST_P(EndToEndTest, ReuseBufferCapturesLessThanTotalRepetition)
+{
+    // Table 10's headline: the 8K buffer captures a solid fraction,
+    // but clearly less than the Table 1 repetition.
+    const auto &reuse = run().pipeline->reuse().stats();
+    const auto tracker = run().pipeline->tracker().stats();
+    EXPECT_GT(reuse.pctOfAll(), 10.0);
+    EXPECT_LT(reuse.pctOfAll() + 1.0, tracker.pctDynRepeated());
+    EXPECT_LE(reuse.pctOfRepeated(), 100.0);
+}
+
+TEST_P(EndToEndTest, CoverageCurvesAreMonotonic)
+{
+    const auto curve = run().pipeline->tracker().staticCoverage(
+        {0.25, 0.5, 0.75, 0.9, 1.0});
+    for (size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GE(curve[i].contributors, curve[i - 1].contributors);
+    const auto icurve = run().pipeline->tracker().instanceCoverage(
+        {0.25, 0.5, 0.75, 1.0});
+    for (size_t i = 1; i < icurve.size(); ++i)
+        EXPECT_GE(icurve[i].contributors, icurve[i - 1].contributors);
+}
+
+TEST_P(EndToEndTest, InstanceBucketsPartitionRepetition)
+{
+    const auto buckets = run().pipeline->tracker().instanceBuckets();
+    const auto stats = run().pipeline->tracker().stats();
+    uint64_t sum = 0;
+    for (const auto &b : buckets)
+        sum += b.repetition;
+    EXPECT_EQ(sum, stats.dynRepeated);
+}
+
+TEST_P(EndToEndTest, LoadValueCoverageIsMonotonicInK)
+{
+    const auto &local = run().pipeline->local();
+    double prev = 0.0;
+    for (unsigned k = 1; k <= 5; ++k) {
+        const double c = local.loadValueCoverage(k);
+        EXPECT_GE(c, prev);
+        EXPECT_LE(c, 1.0);
+        prev = c;
+    }
+}
+
+TEST_P(EndToEndTest, ArgSetCoverageIsMonotonicInK)
+{
+    const auto &funcs = run().pipeline->functions();
+    double prev = 0.0;
+    for (unsigned k = 1; k <= 5; ++k) {
+        const double c = funcs.argSetCoverage(k);
+        EXPECT_GE(c, prev);
+        EXPECT_LE(c, 1.0);
+        prev = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, EndToEndTest,
+    ::testing::Values("go", "m88ksim", "ijpeg", "perl", "vortex",
+                      "li", "gcc", "compress"),
+    [](const auto &info) { return std::string(info.param); });
+
+} // namespace
+} // namespace irep

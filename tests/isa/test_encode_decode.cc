@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Encode/decode tests: binary round-trips across the whole opcode
+ * table, field extraction, OpInfo consistency, and disassembly
+ * spot checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/registers.hh"
+
+namespace irep::isa
+{
+namespace
+{
+
+Instruction
+makeR(Op op, int rd, int rs, int rt, int shamt = 0)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = uint8_t(rd);
+    i.rs = uint8_t(rs);
+    i.rt = uint8_t(rt);
+    i.shamt = uint8_t(shamt);
+    return i;
+}
+
+Instruction
+makeI(Op op, int rt, int rs, int32_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rt = uint8_t(rt);
+    i.rs = uint8_t(rs);
+    i.imm = imm;
+    return i;
+}
+
+// ---------------------------------------------------------------------
+// Round-trip across all ops (property-style TEST_P sweep).
+// ---------------------------------------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RoundTripTest, EncodeDecodeIsIdentity)
+{
+    const Op op = Op(GetParam());
+    const OpInfo &info = opInfo(op);
+
+    Instruction inst;
+    inst.op = op;
+    if (info.format == Format::J) {
+        inst.target = 0x123456;
+    } else if (info.format == Format::I) {
+        inst.rs = 7;
+        inst.rt = 9;
+        inst.imm = info.unsignedImm ? 0xabcd : -1234;
+    } else {
+        inst.rs = 3;
+        inst.rt = 4;
+        inst.rd = info.writesRd ? 5 : 0;
+        inst.shamt = (op == Op::SLL || op == Op::SRL || op == Op::SRA)
+            ? 13 : 0;
+    }
+    // REGIMM ops carry their selector in rt.
+    if (op == Op::BLTZ || op == Op::BGEZ)
+        inst.rt = 0;
+
+    const uint32_t word = encode(inst);
+    const Instruction back = decode(word);
+
+    EXPECT_EQ(back.op, inst.op) << info.mnemonic;
+    if (info.format == Format::J) {
+        EXPECT_EQ(back.target, inst.target);
+    } else if (info.format == Format::I) {
+        EXPECT_EQ(back.rs, inst.rs);
+        if (op != Op::BLTZ && op != Op::BGEZ) {
+            EXPECT_EQ(back.rt, inst.rt);
+        }
+        EXPECT_EQ(back.imm, inst.imm) << info.mnemonic;
+    } else {
+        EXPECT_EQ(back.rs, inst.rs);
+        EXPECT_EQ(back.rt, inst.rt);
+        EXPECT_EQ(back.rd, inst.rd);
+        EXPECT_EQ(back.shamt, inst.shamt);
+    }
+    // And encoding the decode gives the same word.
+    EXPECT_EQ(encode(back), word) << info.mnemonic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, RoundTripTest,
+    ::testing::Range(0, int(Op::NUM_OPS)),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return std::string(opInfo(Op(info.param)).mnemonic);
+    });
+
+// ---------------------------------------------------------------------
+// Specific encodings against the MIPS manual.
+// ---------------------------------------------------------------------
+
+TEST(Decode, KnownWords)
+{
+    // addu $v0, $a0, $a1 = 000000 00100 00101 00010 00000 100001
+    const Instruction addu = decode(0x00851021u);
+    EXPECT_EQ(addu.op, Op::ADDU);
+    EXPECT_EQ(addu.rs, regA0);
+    EXPECT_EQ(addu.rt, regA1);
+    EXPECT_EQ(addu.rd, regV0);
+
+    // lw $t0, 16($sp) = 100011 11101 01000 0000000000010000
+    const Instruction lw = decode(0x8fa80010u);
+    EXPECT_EQ(lw.op, Op::LW);
+    EXPECT_EQ(lw.rs, regSP);
+    EXPECT_EQ(lw.rt, regT0);
+    EXPECT_EQ(lw.imm, 16);
+
+    // jal 0x00400000 -> target field 0x100000
+    const Instruction jal = decode(0x0c100000u);
+    EXPECT_EQ(jal.op, Op::JAL);
+    EXPECT_EQ(jal.target, 0x100000u);
+
+    // syscall
+    EXPECT_EQ(decode(0x0000000cu).op, Op::SYSCALL);
+    // nop == sll $zero, $zero, 0
+    EXPECT_EQ(decode(0x00000000u).op, Op::SLL);
+}
+
+TEST(Decode, SignExtension)
+{
+    // addiu $t0, $zero, -1
+    const Instruction i = decode(0x2408ffffu);
+    EXPECT_EQ(i.op, Op::ADDIU);
+    EXPECT_EQ(i.imm, -1);
+}
+
+TEST(Decode, ZeroExtension)
+{
+    // ori $t0, $zero, 0xffff
+    const Instruction i = decode(0x3408ffffu);
+    EXPECT_EQ(i.op, Op::ORI);
+    EXPECT_EQ(i.imm, 0xffff);
+}
+
+TEST(Decode, InvalidOpcodeYieldsInvalid)
+{
+    // Primary opcode 0x3f is unused in our subset.
+    EXPECT_FALSE(decode(0xfc000000u).valid());
+    // funct 0x3f under opcode 0 is unused.
+    EXPECT_FALSE(decode(0x0000003fu).valid());
+}
+
+// ---------------------------------------------------------------------
+// OpInfo consistency checks across the table.
+// ---------------------------------------------------------------------
+
+TEST(OpInfo, LoadsAndStoresHaveSizes)
+{
+    for (int o = 0; o < int(Op::NUM_OPS); ++o) {
+        const OpInfo &info = opInfo(Op(o));
+        if (info.isLoad || info.isStore) {
+            EXPECT_TRUE(info.memBytes == 1 || info.memBytes == 2 ||
+                        info.memBytes == 4)
+                << info.mnemonic;
+        } else {
+            EXPECT_EQ(info.memBytes, 0) << info.mnemonic;
+        }
+    }
+}
+
+TEST(OpInfo, LoadsWriteRtStoresRead)
+{
+    EXPECT_TRUE(opInfo(Op::LW).writesRt);
+    EXPECT_TRUE(opInfo(Op::LW).readsRs);
+    EXPECT_FALSE(opInfo(Op::LW).readsRt);
+    EXPECT_TRUE(opInfo(Op::SW).readsRt);
+    EXPECT_TRUE(opInfo(Op::SW).readsRs);
+    EXPECT_FALSE(opInfo(Op::SW).writesRt);
+}
+
+TEST(OpInfo, CallsAndJumps)
+{
+    EXPECT_TRUE(opInfo(Op::JAL).isCall);
+    EXPECT_TRUE(opInfo(Op::JALR).isCall);
+    EXPECT_TRUE(opInfo(Op::JR).isJump);
+    EXPECT_FALSE(opInfo(Op::JR).isCall);
+    EXPECT_TRUE(opInfo(Op::BEQ).isBranch);
+    EXPECT_FALSE(opInfo(Op::BEQ).isJump);
+}
+
+TEST(OpInfo, MnemonicLookupRoundTrips)
+{
+    for (int o = 0; o < int(Op::NUM_OPS); ++o) {
+        const OpInfo &info = opInfo(Op(o));
+        EXPECT_EQ(opFromMnemonic(info.mnemonic), Op(o))
+            << info.mnemonic;
+    }
+    EXPECT_EQ(opFromMnemonic("bogus"), Op::INVALID);
+    EXPECT_EQ(opFromMnemonic("li"), Op::INVALID);   // pseudo, not base
+}
+
+// ---------------------------------------------------------------------
+// destReg / srcReg accessors.
+// ---------------------------------------------------------------------
+
+TEST(Instruction, DestReg)
+{
+    EXPECT_EQ(makeR(Op::ADDU, 5, 3, 4).destReg(), 5);
+    EXPECT_EQ(makeI(Op::ADDIU, 9, 7, 1).destReg(), 9);
+    EXPECT_EQ(makeI(Op::SW, 9, 7, 0).destReg(), -1);
+    EXPECT_EQ(makeI(Op::BEQ, 9, 7, 0).destReg(), -1);
+
+    Instruction jal;
+    jal.op = Op::JAL;
+    EXPECT_EQ(jal.destReg(), int(regRA));
+}
+
+TEST(Instruction, SrcRegs)
+{
+    const Instruction addu = makeR(Op::ADDU, 5, 3, 4);
+    EXPECT_EQ(addu.numSrcRegs(), 2);
+    EXPECT_EQ(addu.srcReg(0), 3);
+    EXPECT_EQ(addu.srcReg(1), 4);
+
+    const Instruction sll = makeR(Op::SLL, 5, 0, 4, 2);
+    EXPECT_EQ(sll.numSrcRegs(), 1);
+    EXPECT_EQ(sll.srcReg(0), 4);    // shifts read rt only
+
+    Instruction jal;
+    jal.op = Op::JAL;
+    EXPECT_EQ(jal.numSrcRegs(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Disassembly spot checks.
+// ---------------------------------------------------------------------
+
+TEST(Disassemble, Samples)
+{
+    EXPECT_EQ(disassemble(makeR(Op::ADDU, regV0, regA0, regA1), 0),
+              "addu    $v0, $a0, $a1");
+    EXPECT_EQ(disassemble(makeI(Op::LW, regT0, regSP, 16), 0),
+              "lw      $t0, 16($sp)");
+    EXPECT_EQ(disassemble(decode(0x0000000cu), 0), "syscall");
+
+    // Branch target is pc-relative.
+    Instruction beq = makeI(Op::BEQ, regZero, regZero, 3);
+    beq.rs = regZero;
+    const std::string text = disassemble(beq, 0x400000);
+    EXPECT_NE(text.find("0x400010"), std::string::npos) << text;
+}
+
+TEST(Disassemble, InvalidInstruction)
+{
+    Instruction bad;
+    EXPECT_EQ(disassemble(bad, 0), "<invalid>");
+}
+
+} // namespace
+} // namespace irep::isa

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for register naming and ABI predicates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/registers.hh"
+
+namespace irep::isa
+{
+namespace
+{
+
+TEST(Registers, ConventionalNames)
+{
+    EXPECT_EQ(regName(0), "$zero");
+    EXPECT_EQ(regName(regAT), "$at");
+    EXPECT_EQ(regName(regV0), "$v0");
+    EXPECT_EQ(regName(regA0), "$a0");
+    EXPECT_EQ(regName(regT0), "$t0");
+    EXPECT_EQ(regName(regS0), "$s0");
+    EXPECT_EQ(regName(regGP), "$gp");
+    EXPECT_EQ(regName(regSP), "$sp");
+    EXPECT_EQ(regName(regFP), "$fp");
+    EXPECT_EQ(regName(regRA), "$ra");
+}
+
+TEST(Registers, OutOfRangeNameIsSafe)
+{
+    EXPECT_EQ(regName(32), "$??");
+    EXPECT_EQ(regName(1000), "$??");
+}
+
+TEST(Registers, ParseRoundTripsEveryRegister)
+{
+    for (unsigned r = 0; r < numIntRegs; ++r) {
+        EXPECT_EQ(parseRegName(regName(r)), int(r)) << regName(r);
+    }
+}
+
+TEST(Registers, ParseNumericForms)
+{
+    EXPECT_EQ(parseRegName("$0"), 0);
+    EXPECT_EQ(parseRegName("$31"), 31);
+    EXPECT_EQ(parseRegName("$29"), int(regSP));
+    EXPECT_EQ(parseRegName("$32"), -1);
+}
+
+TEST(Registers, ParseWithoutDollar)
+{
+    EXPECT_EQ(parseRegName("sp"), int(regSP));
+    EXPECT_EQ(parseRegName("a0"), int(regA0));
+}
+
+TEST(Registers, ParseAliases)
+{
+    EXPECT_EQ(parseRegName("$s8"), int(regFP));
+}
+
+TEST(Registers, ParseRejectsGarbage)
+{
+    EXPECT_EQ(parseRegName(""), -1);
+    EXPECT_EQ(parseRegName("$"), -1);
+    EXPECT_EQ(parseRegName("$xy"), -1);
+    EXPECT_EQ(parseRegName("$1x"), -1);
+}
+
+TEST(Registers, CalleeSavedSet)
+{
+    for (unsigned r = regS0; r <= regS7; ++r)
+        EXPECT_TRUE(isCalleeSaved(r)) << r;
+    EXPECT_TRUE(isCalleeSaved(regFP));
+    EXPECT_FALSE(isCalleeSaved(regT0));
+    EXPECT_FALSE(isCalleeSaved(regA0));
+    EXPECT_FALSE(isCalleeSaved(regRA));
+    EXPECT_FALSE(isCalleeSaved(regSP));
+}
+
+TEST(Registers, ArgRegSet)
+{
+    EXPECT_TRUE(isArgReg(regA0));
+    EXPECT_TRUE(isArgReg(regA3));
+    EXPECT_FALSE(isArgReg(regV0));
+    EXPECT_FALSE(isArgReg(regT0));
+}
+
+} // namespace
+} // namespace irep::isa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Helpers for MiniC tests: compile a snippet, run it, and report the
+ * exit code (the value returned from main) and output bytes.
+ */
+
+#ifndef IREP_TESTS_MINICC_TEST_UTIL_HH
+#define IREP_TESTS_MINICC_TEST_UTIL_HH
+
+#include <string>
+
+#include "minicc/compiler.hh"
+#include "sim/machine.hh"
+#include "workloads/runtime.hh"
+
+namespace irep::test
+{
+
+struct ExecResult
+{
+    int exitCode = -1;
+    std::string output;
+    uint64_t instructions = 0;
+    bool halted = false;
+};
+
+/** Compile and run a MiniC program; the exit code is main's return. */
+inline ExecResult
+runMiniC(const std::string &source, const std::string &input = "",
+         uint64_t max_instructions = 50'000'000)
+{
+    const assem::Program program =
+        minicc::compileToProgram(source);
+    sim::Machine machine(program);
+    machine.setInput(input);
+    machine.run(max_instructions);
+    ExecResult result;
+    result.exitCode = machine.exitCode();
+    result.output = machine.output();
+    result.instructions = machine.instret();
+    result.halted = machine.halted();
+    return result;
+}
+
+/** Same, with the runtime library prepended. */
+inline ExecResult
+runMiniCWithRuntime(const std::string &source,
+                    const std::string &input = "",
+                    uint64_t max_instructions = 50'000'000)
+{
+    return runMiniC(workloads::runtimeSource() + source, input,
+                    max_instructions);
+}
+
+/** Shorthand: wrap an expression in `int main() { return ...; }`. */
+inline int
+evalMiniC(const std::string &expression)
+{
+    return runMiniC("int main() { return " + expression + "; }")
+        .exitCode;
+}
+
+} // namespace irep::test
+
+#endif // IREP_TESTS_MINICC_TEST_UTIL_HH

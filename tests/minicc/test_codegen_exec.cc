@@ -1,0 +1,808 @@
+/**
+ * @file
+ * End-to-end MiniC execution tests: compile snippets and run them on
+ * the simulator, checking main's return value. Covers operators,
+ * control flow, pointers, arrays, structs, recursion, and the
+ * register-stack spill machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "minicc_test_util.hh"
+
+namespace irep
+{
+namespace
+{
+
+using test::evalMiniC;
+using test::runMiniC;
+
+// ---------------------------------------------------------------------
+// Expression evaluation sweep.
+// ---------------------------------------------------------------------
+
+struct ExprCase
+{
+    const char *expr;
+    int expect;
+};
+
+class ExprTest : public ::testing::TestWithParam<ExprCase>
+{
+};
+
+TEST_P(ExprTest, EvaluatesLikeC)
+{
+    EXPECT_EQ(evalMiniC(GetParam().expr) & 0xff, GetParam().expect & 0xff)
+        << GetParam().expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, ExprTest,
+    ::testing::Values(
+        ExprCase{"1 + 2", 3},
+        ExprCase{"10 - 3", 7},
+        ExprCase{"6 * 7", 42},
+        ExprCase{"100 / 7", 14},
+        ExprCase{"100 % 7", 2},
+        ExprCase{"-5 + 10", 5},
+        ExprCase{"(0 - 100) / 7", -14},    // trunc toward zero
+        ExprCase{"(0 - 100) % 7", -2},
+        ExprCase{"2 + 3 * 4", 14},
+        ExprCase{"(2 + 3) * 4", 20},
+        ExprCase{"1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10", 55}));
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndShifts, ExprTest,
+    ::testing::Values(
+        ExprCase{"0xf0 & 0x3c", 0x30},
+        ExprCase{"0xf0 | 0x0f", 0xff},
+        ExprCase{"0xff ^ 0x0f", 0xf0},
+        ExprCase{"~0 & 0xff", 0xff},
+        ExprCase{"1 << 6", 64},
+        ExprCase{"256 >> 4", 16},
+        ExprCase{"(0 - 16) >> 2", -4}));     // arithmetic shift
+
+INSTANTIATE_TEST_SUITE_P(
+    Comparisons, ExprTest,
+    ::testing::Values(
+        ExprCase{"3 < 4", 1},
+        ExprCase{"4 < 3", 0},
+        ExprCase{"3 <= 3", 1},
+        ExprCase{"3 > 2", 1},
+        ExprCase{"3 >= 4", 0},
+        ExprCase{"5 == 5", 1},
+        ExprCase{"5 != 5", 0},
+        ExprCase{"(0 - 1) < 1", 1},         // signed comparison
+        ExprCase{"!5", 0},
+        ExprCase{"!0", 1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    LogicalAndTernary, ExprTest,
+    ::testing::Values(
+        ExprCase{"1 && 2", 1},
+        ExprCase{"1 && 0", 0},
+        ExprCase{"0 || 3", 1},
+        ExprCase{"0 || 0", 0},
+        ExprCase{"1 ? 10 : 20", 10},
+        ExprCase{"0 ? 10 : 20", 20},
+        ExprCase{"1 ? 2 ? 3 : 4 : 5", 3}));
+
+TEST(CodegenExec, ShortCircuitSkipsSideEffects)
+{
+    const auto result = runMiniC(
+        "int g;\n"
+        "int bump() { g = g + 1; return 1; }\n"
+        "int main() {\n"
+        "  0 && bump();\n"
+        "  1 || bump();\n"
+        "  1 && bump();\n"
+        "  return g;\n"
+        "}\n");
+    EXPECT_EQ(result.exitCode, 1);
+}
+
+// ---------------------------------------------------------------------
+// Statements and control flow.
+// ---------------------------------------------------------------------
+
+TEST(CodegenExec, WhileLoop)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int s; int i;\n"
+                  "  s = 0; i = 1;\n"
+                  "  while (i <= 10) { s = s + i; i = i + 1; }\n"
+                  "  return s;\n"
+                  "}\n")
+                  .exitCode,
+              55);
+}
+
+TEST(CodegenExec, ForLoopWithDecl)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int s; s = 0;\n"
+                  "  for (int i = 0; i < 5; i++) s += i * i;\n"
+                  "  return s;\n"
+                  "}\n")
+                  .exitCode,
+              30);
+}
+
+TEST(CodegenExec, DoWhileRunsAtLeastOnce)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int n; n = 0;\n"
+                  "  do { n = n + 1; } while (0);\n"
+                  "  return n;\n"
+                  "}\n")
+                  .exitCode,
+              1);
+}
+
+TEST(CodegenExec, BreakAndContinue)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int s; s = 0;\n"
+                  "  for (int i = 0; i < 100; i++) {\n"
+                  "    if (i == 7) break;\n"
+                  "    if (i % 2) continue;\n"
+                  "    s = s + i;\n"      /* 0+2+4+6 */
+                  "  }\n"
+                  "  return s;\n"
+                  "}\n")
+                  .exitCode,
+              12);
+}
+
+TEST(CodegenExec, NestedLoopsWithBreak)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int c; c = 0;\n"
+                  "  for (int i = 0; i < 4; i++) {\n"
+                  "    for (int j = 0; j < 4; j++) {\n"
+                  "      if (j > i) break;\n"
+                  "      c++;\n"
+                  "    }\n"
+                  "  }\n"
+                  "  return c;\n"      /* 1+2+3+4 */
+                  "}\n")
+                  .exitCode,
+              10);
+}
+
+TEST(CodegenExec, IfElseChain)
+{
+    const char *prog =
+        "int grade(int x) {\n"
+        "  if (x > 90) return 4;\n"
+        "  else if (x > 80) return 3;\n"
+        "  else if (x > 70) return 2;\n"
+        "  else return 1;\n"
+        "}\n"
+        "int main() { return grade(95) * 1000 + grade(85) * 100 +\n"
+        "                    grade(75) * 10 + grade(65); }\n";
+    EXPECT_EQ(runMiniC(prog).exitCode & 0xff, 4321 & 0xff);
+}
+
+// ---------------------------------------------------------------------
+// Functions.
+// ---------------------------------------------------------------------
+
+TEST(CodegenExec, FourArguments)
+{
+    EXPECT_EQ(runMiniC(
+                  "int f(int a, int b, int c, int d) {\n"
+                  "  return a * 1000 + b * 100 + c * 10 + d;\n"
+                  "}\n"
+                  "int main() { return f(1, 2, 3, 4) % 256; }\n")
+                  .exitCode,
+              1234 % 256);
+}
+
+TEST(CodegenExec, RecursionFibonacci)
+{
+    EXPECT_EQ(runMiniC(
+                  "int fib(int n) {\n"
+                  "  if (n < 2) return n;\n"
+                  "  return fib(n - 1) + fib(n - 2);\n"
+                  "}\n"
+                  "int main() { return fib(11); }\n")
+                  .exitCode,
+              89);
+}
+
+TEST(CodegenExec, MutualRecursion)
+{
+    EXPECT_EQ(runMiniC(
+                  "int isodd(int n);\n"
+                  "int iseven(int n) {\n"
+                  "  if (n == 0) return 1;\n"
+                  "  return isodd(n - 1);\n"
+                  "}\n"
+                  "int isodd(int n) {\n"
+                  "  if (n == 0) return 0;\n"
+                  "  return iseven(n - 1);\n"
+                  "}\n"
+                  "int main() { return iseven(10) * 10 + isodd(7); }\n")
+                  .exitCode,
+              11);
+}
+
+TEST(CodegenExec, VoidFunctionWithGlobalEffect)
+{
+    EXPECT_EQ(runMiniC(
+                  "int g;\n"
+                  "void setg(int v) { g = v; }\n"
+                  "int main() { setg(77); return g; }\n")
+                  .exitCode,
+              77);
+}
+
+TEST(CodegenExec, ArgumentsSurviveNestedCalls)
+{
+    EXPECT_EQ(runMiniC(
+                  "int id(int x) { return x; }\n"
+                  "int f(int a, int b) { return id(a) * 10 + id(b); }\n"
+                  "int main() { return f(3, 4); }\n")
+                  .exitCode,
+              34);
+}
+
+TEST(CodegenExec, CallInExpressionPreservesTemps)
+{
+    // The temps holding 100 and 10 live across the calls.
+    EXPECT_EQ(runMiniC(
+                  "int two() { return 2; }\n"
+                  "int main() { return 100 + 10 * two() + two(); }\n")
+                  .exitCode,
+              122);
+}
+
+// ---------------------------------------------------------------------
+// Pointers and arrays.
+// ---------------------------------------------------------------------
+
+TEST(CodegenExec, PointerReadWrite)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int x; int *p;\n"
+                  "  p = &x;\n"
+                  "  *p = 31;\n"
+                  "  return x + *p;\n"
+                  "}\n")
+                  .exitCode,
+              62);
+}
+
+TEST(CodegenExec, PointerArithmeticScales)
+{
+    EXPECT_EQ(runMiniC(
+                  "int arr[5];\n"
+                  "int main() {\n"
+                  "  int *p;\n"
+                  "  for (int i = 0; i < 5; i++) arr[i] = i * 10;\n"
+                  "  p = arr;\n"
+                  "  p = p + 3;\n"
+                  "  return *p + *(p - 2);\n"
+                  "}\n")
+                  .exitCode,
+              40);
+}
+
+TEST(CodegenExec, PointerDifference)
+{
+    EXPECT_EQ(runMiniC(
+                  "int arr[8];\n"
+                  "int main() {\n"
+                  "  int *a; int *b;\n"
+                  "  a = &arr[1]; b = &arr[6];\n"
+                  "  return b - a;\n"
+                  "}\n")
+                  .exitCode,
+              5);
+}
+
+TEST(CodegenExec, LocalArray)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int a[4];\n"
+                  "  for (int i = 0; i < 4; i++) a[i] = i + 1;\n"
+                  "  return a[0] + a[1] * a[2] + a[3];\n"
+                  "}\n")
+                  .exitCode,
+              11);
+}
+
+TEST(CodegenExec, ArrayPassedToFunction)
+{
+    EXPECT_EQ(runMiniC(
+                  "int sum(int *v, int n) {\n"
+                  "  int s; s = 0;\n"
+                  "  for (int i = 0; i < n; i++) s += v[i];\n"
+                  "  return s;\n"
+                  "}\n"
+                  "int data[6] = { 4, 8, 15, 16, 23, 42 };\n"
+                  "int main() { return sum(data, 6); }\n")
+                  .exitCode,
+              108);
+}
+
+TEST(CodegenExec, PointerToPointer)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int x; int *p; int **pp;\n"
+                  "  p = &x; pp = &p;\n"
+                  "  **pp = 9;\n"
+                  "  return x;\n"
+                  "}\n")
+                  .exitCode,
+              9);
+}
+
+TEST(CodegenExec, SwapThroughPointers)
+{
+    EXPECT_EQ(runMiniC(
+                  "void swap(int *a, int *b) {\n"
+                  "  int t; t = *a; *a = *b; *b = t;\n"
+                  "}\n"
+                  "int main() {\n"
+                  "  int x; int y;\n"
+                  "  x = 3; y = 8;\n"
+                  "  swap(&x, &y);\n"
+                  "  return x * 10 + y;\n"
+                  "}\n")
+                  .exitCode,
+              83);
+}
+
+// ---------------------------------------------------------------------
+// Structs.
+// ---------------------------------------------------------------------
+
+TEST(CodegenExec, StructMembers)
+{
+    EXPECT_EQ(runMiniC(
+                  "struct point { int x; int y; };\n"
+                  "int main() {\n"
+                  "  struct point p;\n"
+                  "  p.x = 6; p.y = 7;\n"
+                  "  return p.x * p.y;\n"
+                  "}\n")
+                  .exitCode,
+              42);
+}
+
+TEST(CodegenExec, StructPointerArrow)
+{
+    EXPECT_EQ(runMiniC(
+                  "struct point { int x; int y; };\n"
+                  "int getx(struct point *p) { return p->x; }\n"
+                  "int main() {\n"
+                  "  struct point p;\n"
+                  "  p.x = 12; p.y = 1;\n"
+                  "  return getx(&p);\n"
+                  "}\n")
+                  .exitCode,
+              12);
+}
+
+TEST(CodegenExec, NestedStructsAndArraysOfStructs)
+{
+    EXPECT_EQ(runMiniC(
+                  "struct inner { int v; };\n"
+                  "struct outer { struct inner in; int pad; };\n"
+                  "struct outer arr[3];\n"
+                  "int main() {\n"
+                  "  for (int i = 0; i < 3; i++) arr[i].in.v = i + 1;\n"
+                  "  return arr[0].in.v + arr[1].in.v * arr[2].in.v;\n"
+                  "}\n")
+                  .exitCode,
+              7);
+}
+
+TEST(CodegenExec, LinkedListTraversal)
+{
+    EXPECT_EQ(runMiniC(
+                  "struct node { int v; struct node *next; };\n"
+                  "struct node nodes[4];\n"
+                  "int main() {\n"
+                  "  for (int i = 0; i < 4; i++) {\n"
+                  "    nodes[i].v = i + 1;\n"
+                  "    nodes[i].next = (i < 3) ? &nodes[i + 1]\n"
+                  "                            : (struct node *)0;\n"
+                  "  }\n"
+                  "  int s; s = 0;\n"
+                  "  struct node *p;\n"
+                  "  p = &nodes[0];\n"
+                  "  while (p) { s += p->v; p = p->next; }\n"
+                  "  return s;\n"
+                  "}\n")
+                  .exitCode,
+              10);
+}
+
+TEST(CodegenExec, StructMemberCharAndOffsets)
+{
+    EXPECT_EQ(runMiniC(
+                  "struct mix { char c; int i; char d; };\n"
+                  "int main() {\n"
+                  "  struct mix m;\n"
+                  "  m.c = (char)250; m.i = 1000; m.d = 'z';\n"
+                  "  return (m.c == 250) + (m.i == 1000) + (m.d == 'z');\n"
+                  "}\n")
+                  .exitCode,
+              3);
+}
+
+// ---------------------------------------------------------------------
+// Assignment forms, increments, chars, casts.
+// ---------------------------------------------------------------------
+
+TEST(CodegenExec, CompoundAssignments)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int x; x = 10;\n"
+                  "  x += 5; x -= 3; x *= 4; x /= 6; x %= 5;\n"
+                  "  x <<= 4; x |= 3; x &= 0x1e; x ^= 0x12;\n"
+                  "  x >>= 1;\n"
+                  "  return x;\n"
+                  "}\n")
+                  .exitCode,
+              ((((((10 + 5 - 3) * 4 / 6 % 5) << 4) | 3) & 0x1e) ^ 0x12)
+                  >> 1);
+}
+
+TEST(CodegenExec, CompoundAssignToMemory)
+{
+    EXPECT_EQ(runMiniC(
+                  "int g[2];\n"
+                  "int main() {\n"
+                  "  g[1] = 7;\n"
+                  "  g[1] += 10;\n"
+                  "  g[1] *= 2;\n"
+                  "  return g[1];\n"
+                  "}\n")
+                  .exitCode,
+              34);
+}
+
+TEST(CodegenExec, PrePostIncrement)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int x; int a; int b;\n"
+                  "  x = 5;\n"
+                  "  a = x++;\n"     /* a=5 x=6 */
+                  "  b = ++x;\n"     /* b=7 x=7 */
+                  "  return a * 100 + b * 10 + x;\n"
+                  "}\n")
+                  .exitCode,
+              5 * 100 + 7 * 10 + 7);
+}
+
+TEST(CodegenExec, PointerIncrementScales)
+{
+    EXPECT_EQ(runMiniC(
+                  "int arr[3] = { 10, 20, 30 };\n"
+                  "int main() {\n"
+                  "  int *p; p = arr;\n"
+                  "  p++;\n"
+                  "  return *p++ + *p;\n"   /* 20 + 30 */
+                  "}\n")
+                  .exitCode,
+              50);
+}
+
+TEST(CodegenExec, IncrementOnMemoryLValue)
+{
+    EXPECT_EQ(runMiniC(
+                  "int g[1];\n"
+                  "int main() {\n"
+                  "  g[0] = 5;\n"
+                  "  int a; a = g[0]++;\n"
+                  "  int b; b = --g[0];\n"
+                  "  return a * 10 + b;\n"
+                  "}\n")
+                  .exitCode,
+              55);
+}
+
+TEST(CodegenExec, CharIsUnsignedByte)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  char c;\n"
+                  "  c = (char)200;\n"
+                  "  c += 100;\n"       /* wraps to 44 */
+                  "  return c;\n"
+                  "}\n")
+                  .exitCode,
+              (200 + 100) & 0xff);
+}
+
+TEST(CodegenExec, CastsBetweenIntAndPointer)
+{
+    EXPECT_EQ(runMiniC(
+                  "int g;\n"
+                  "int main() {\n"
+                  "  int addr;\n"
+                  "  g = 123;\n"
+                  "  addr = (int)&g;\n"
+                  "  return *(int *)addr;\n"
+                  "}\n")
+                  .exitCode,
+              123);
+}
+
+TEST(CodegenExec, SizeofValues)
+{
+    EXPECT_EQ(runMiniC(
+                  "struct s { int a; char c; int b; };\n"
+                  "int main() {\n"
+                  "  return sizeof(int) + sizeof(char) * 10 +\n"
+                  "         sizeof(int *) + sizeof(struct s);\n"
+                  "}\n")
+                  .exitCode,
+              4 + 10 + 4 + 12);
+}
+
+// ---------------------------------------------------------------------
+// Register pressure / spilling.
+// ---------------------------------------------------------------------
+
+TEST(CodegenExec, DeepRightLeaningExpressionSpills)
+{
+    // Forces the expression register stack past 8 live temps.
+    EXPECT_EQ(evalMiniC(
+                  "1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 +\n"
+                  "(10 + (11 + (12 + (13 + 14))))))))))))"),
+              105);
+}
+
+TEST(CodegenExec, ManyLocalsOverflowSRegisters)
+{
+    // More than 8 register-eligible locals: the rest live on the
+    // stack; all must keep their values.
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int a; int b; int c; int d; int e; int f;\n"
+                  "  int g; int h; int i; int j; int k; int l;\n"
+                  "  a=1;b=2;c=3;d=4;e=5;f=6;g=7;h=8;i=9;j=10;k=11;"
+                  "l=12;\n"
+                  "  return a+b+c+d+e+f+g+h+i+j+k+l;\n"
+                  "}\n")
+                  .exitCode,
+              78);
+}
+
+TEST(CodegenExec, SpilledTempsSurviveCalls)
+{
+    EXPECT_EQ(runMiniC(
+                  "int one() { return 1; }\n"
+                  "int main() {\n"
+                  "  return 1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 +\n"
+                  "         (9 + (10 + one())))))))));\n"
+                  "}\n")
+                  .exitCode,
+              56);
+}
+
+// ---------------------------------------------------------------------
+// Globals.
+// ---------------------------------------------------------------------
+
+TEST(CodegenExec, GlobalInitializers)
+{
+    EXPECT_EQ(runMiniC(
+                  "int a = 5;\n"
+                  "int b = -3;\n"
+                  "int c = 1 << 4;\n"
+                  "char ch = 'A';\n"
+                  "int t[4] = { 1, 2, 3 };\n"      /* t[3] = 0 */
+                  "int main() { return a + b + c + ch + t[0] + t[1] +\n"
+                  "                    t[2] + t[3]; }\n")
+                  .exitCode,
+              5 - 3 + 16 + 65 + 6);
+}
+
+TEST(CodegenExec, GlobalPointerToGlobal)
+{
+    EXPECT_EQ(runMiniC(
+                  "int target = 99;\n"
+                  "int *p = target;\n"   /* label-constant initializer */
+                  "int main() { return *p; }\n")
+                  .exitCode,
+              99);
+}
+
+TEST(CodegenExec, GlobalCharArrayString)
+{
+    EXPECT_EQ(runMiniC(
+                  "char msg[16] = \"irep\";\n"
+                  "int main() {\n"
+                  "  return (msg[0] == 'i') + (msg[3] == 'p') +\n"
+                  "         (msg[4] == 0) + (msg[15] == 0);\n"
+                  "}\n")
+                  .exitCode,
+              4);
+}
+
+TEST(CodegenExec, StringLiteralPointer)
+{
+    EXPECT_EQ(runMiniC(
+                  "int len(char *s) {\n"
+                  "  int n; n = 0;\n"
+                  "  while (s[n]) n++;\n"
+                  "  return n;\n"
+                  "}\n"
+                  "int main() { return len(\"hello world\"); }\n")
+                  .exitCode,
+              11);
+}
+
+
+// ---------------------------------------------------------------------
+// Further edge cases.
+// ---------------------------------------------------------------------
+
+TEST(CodegenExec, ForWithEmptyClauses)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int n; n = 0;\n"
+                  "  for (;;) { n++; if (n == 5) break; }\n"
+                  "  return n;\n"
+                  "}\n")
+                  .exitCode,
+              5);
+}
+
+TEST(CodegenExec, DoWhileWithContinue)
+{
+    // continue in do-while jumps to the condition, not the top.
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int i; int s;\n"
+                  "  i = 0; s = 0;\n"
+                  "  do {\n"
+                  "    i++;\n"
+                  "    if (i % 2) continue;\n"
+                  "    s += i;\n"
+                  "  } while (i < 8);\n"
+                  "  return s;\n"     /* 2+4+6+8 */
+                  "}\n")
+                  .exitCode,
+              20);
+}
+
+TEST(CodegenExec, NegativeDivisionAndModulo)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int a; int b;\n"
+                  "  a = -17; b = 5;\n"
+                  "  return (a / b == -3) + (a % b == -2) +\n"
+                  "         (17 / -5 == -3) + (17 % -5 == 2);\n"
+                  "}\n")
+                  .exitCode,
+              4);
+}
+
+TEST(CodegenExec, DivisionByZeroIsDefinedZero)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int z; z = 0;\n"
+                  "  return (7 / z) + (7 % z);\n"
+                  "}\n")
+                  .exitCode,
+              0);
+}
+
+TEST(CodegenExec, CharComparisonsAreUnsigned)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  char hi; hi = (char)0xf0;\n"
+                  "  char lo; lo = 'a';\n"
+                  "  return (hi > lo) + (hi == 240);\n"
+                  "}\n")
+                  .exitCode,
+              2);
+}
+
+TEST(CodegenExec, TernaryAsCallArgumentAndNested)
+{
+    EXPECT_EQ(runMiniC(
+                  "int pick(int v) { return v * 2; }\n"
+                  "int main() {\n"
+                  "  int x; x = 3;\n"
+                  "  return pick(x > 2 ? x > 5 ? 100 : 10 : 1);\n"
+                  "}\n")
+                  .exitCode,
+              20);
+}
+
+TEST(CodegenExec, ChainedPointerMemberAccess)
+{
+    EXPECT_EQ(runMiniC(
+                  "struct c { int v; };\n"
+                  "struct b { struct c *c; };\n"
+                  "struct a { struct b *b; };\n"
+                  "int main() {\n"
+                  "  struct a A; struct b B; struct c C;\n"
+                  "  C.v = 77; B.c = &C; A.b = &B;\n"
+                  "  return A.b->c->v;\n"
+                  "}\n")
+                  .exitCode,
+              77);
+}
+
+TEST(CodegenExec, GlobalUpdatedAcrossCalls)
+{
+    EXPECT_EQ(runMiniC(
+                  "int counter;\n"
+                  "int tick() { counter++; return counter; }\n"
+                  "int main() {\n"
+                  "  int a; a = tick() * 100 + tick() * 10 + tick();\n"
+                  "  return a;\n"
+                  "}\n")
+                  .exitCode,
+              123);
+}
+
+TEST(CodegenExec, AssignmentValueChains)
+{
+    EXPECT_EQ(runMiniC(
+                  "int main() {\n"
+                  "  int a; int b; int c;\n"
+                  "  a = b = c = 4;\n"
+                  "  a += b += c;\n"      /* b=8, a=12 */
+                  "  return a * 10 + b;\n"
+                  "}\n")
+                  .exitCode,
+              128);
+}
+
+TEST(CodegenExec, WhileOverStringPointer)
+{
+    EXPECT_EQ(runMiniC(
+                  "int count(char *s, int ch) {\n"
+                  "  int n; n = 0;\n"
+                  "  while (*s) { if (*s == ch) n++; s++; }\n"
+                  "  return n;\n"
+                  "}\n"
+                  "int main() { return count(\"mississippi\", 's'); }\n")
+                  .exitCode,
+              4);
+}
+
+TEST(CodegenExec, StructArrayInStruct)
+{
+    EXPECT_EQ(runMiniC(
+                  "struct row { int cells[3]; };\n"
+                  "struct grid { struct row rows[2]; };\n"
+                  "struct grid g;\n"
+                  "int main() {\n"
+                  "  for (int r = 0; r < 2; r++)\n"
+                  "    for (int c = 0; c < 3; c++)\n"
+                  "      g.rows[r].cells[c] = r * 10 + c;\n"
+                  "  return g.rows[1].cells[2];\n"
+                  "}\n")
+                  .exitCode,
+              12);
+}
+
+} // namespace
+} // namespace irep

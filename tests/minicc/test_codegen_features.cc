@@ -1,0 +1,380 @@
+/**
+ * @file
+ * MiniC feature tests beyond the expression/statement basics: the
+ * syscall intrinsics, the runtime library, generated function
+ * metadata, and property-style differential sweeps against host C++
+ * evaluation.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "minicc_test_util.hh"
+
+namespace irep
+{
+namespace
+{
+
+using test::runMiniC;
+using test::runMiniCWithRuntime;
+
+// ---------------------------------------------------------------------
+// Intrinsics.
+// ---------------------------------------------------------------------
+
+TEST(Intrinsics, WriteProducesOutput)
+{
+    const auto result = runMiniC(
+        "char msg[4] = \"ok\\n\";\n"
+        "int main() { __write(msg, 3); return 0; }\n");
+    EXPECT_EQ(result.output, "ok\n");
+}
+
+TEST(Intrinsics, ReadReturnsByteCount)
+{
+    const auto result = runMiniC(
+        "char buf[8];\n"
+        "int main() { return __read(buf, 8); }\n",
+        "abc");
+    EXPECT_EQ(result.exitCode, 3);
+}
+
+TEST(Intrinsics, ExitSkipsRestOfMain)
+{
+    const auto result = runMiniC(
+        "int main() { __exit(9); return 1; }\n");
+    EXPECT_EQ(result.exitCode, 9);
+}
+
+TEST(Intrinsics, SbrkReturnsUsableMemory)
+{
+    const auto result = runMiniC(
+        "int main() {\n"
+        "  int *p;\n"
+        "  p = (int *)__sbrk(64);\n"
+        "  p[0] = 4; p[15] = 38;\n"
+        "  return p[0] + p[15];\n"
+        "}\n");
+    EXPECT_EQ(result.exitCode, 42);
+}
+
+// ---------------------------------------------------------------------
+// Runtime library.
+// ---------------------------------------------------------------------
+
+TEST(Runtime, PutIntFormatsNumbers)
+{
+    const auto result = runMiniCWithRuntime(
+        "int main() {\n"
+        "  putint(0); putchar(' ');\n"
+        "  putint(12345); putchar(' ');\n"
+        "  putint(-678);\n"
+        "  flushout();\n"
+        "  return 0;\n"
+        "}\n");
+    EXPECT_EQ(result.output, "0 12345 -678");
+}
+
+TEST(Runtime, PutHexFormats)
+{
+    const auto result = runMiniCWithRuntime(
+        "int main() { puthex(0xdeadbeef); flushout(); return 0; }\n");
+    EXPECT_EQ(result.output, "deadbeef");
+}
+
+TEST(Runtime, GetcharStreamsInput)
+{
+    const auto result = runMiniCWithRuntime(
+        "int main() {\n"
+        "  int c; int n; n = 0;\n"
+        "  c = getchar();\n"
+        "  while (c >= 0) { n = n * 10 + (c - '0'); c = getchar(); }\n"
+        "  return n;\n"
+        "}\n",
+        "123");
+    EXPECT_EQ(result.exitCode, 123);
+}
+
+TEST(Runtime, ReadlineSplitsLines)
+{
+    const auto result = runMiniCWithRuntime(
+        "char line[32];\n"
+        "int main() {\n"
+        "  int total; total = 0;\n"
+        "  int n; n = readline(line, 32);\n"
+        "  while (n >= 0) {\n"
+        "    total = total * 100 + n;\n"
+        "    n = readline(line, 32);\n"
+        "  }\n"
+        "  return total;\n"
+        "}\n",
+        "ab\n\ncdef\n");
+    // Lengths 2, 0, 4 -> 2*10000 + 0*100 + 4.
+    EXPECT_EQ(result.exitCode, 20004);
+}
+
+TEST(Runtime, StringFunctions)
+{
+    const auto result = runMiniCWithRuntime(
+        "char a[16]; char b[16];\n"
+        "int main() {\n"
+        "  strcpy(a, \"hello\");\n"
+        "  strcpy(b, a);\n"
+        "  int r; r = 0;\n"
+        "  if (strcmp(a, b) == 0) r = r + 1;\n"
+        "  if (strcmp(a, \"hellp\") < 0) r = r + 10;\n"
+        "  if (strncmp(a, \"help\", 3) == 0) r = r + 100;\n"
+        "  if (strlen(a) == 5) r = r + 1000;\n"
+        "  return r;\n"
+        "}\n");
+    EXPECT_EQ(result.exitCode, 1111);
+}
+
+TEST(Runtime, MemFunctions)
+{
+    const auto result = runMiniCWithRuntime(
+        "char buf[8]; char dst[8];\n"
+        "int main() {\n"
+        "  memset(buf, 7, 8);\n"
+        "  memcpy(dst, buf, 8);\n"
+        "  int s; s = 0;\n"
+        "  for (int i = 0; i < 8; i++) s += dst[i];\n"
+        "  return s;\n"
+        "}\n");
+    EXPECT_EQ(result.exitCode, 56);
+}
+
+TEST(Runtime, MallocReturnsDistinctAlignedBlocks)
+{
+    const auto result = runMiniCWithRuntime(
+        "int main() {\n"
+        "  char *a; char *b;\n"
+        "  a = malloc(10);\n"
+        "  b = malloc(100000);\n"     /* spans an sbrk chunk */
+        "  int r; r = 0;\n"
+        "  if (a != b) r = r + 1;\n"
+        "  if (((int)a & 7) == 0) r = r + 10;\n"
+        "  if (((int)b & 7) == 0) r = r + 100;\n"
+        "  a[0] = 'x'; b[99999] = 'y';\n"
+        "  if (a[0] == 'x' && b[99999] == 'y') r = r + 1000;\n"
+        "  return r;\n"
+        "}\n");
+    EXPECT_EQ(result.exitCode, 1111);
+}
+
+TEST(Runtime, FreeRecyclesSameSizeClass)
+{
+    const auto result = runMiniCWithRuntime(
+        "int main() {\n"
+        "  char *a; char *b; char *c;\n"
+        "  a = malloc(24);\n"
+        "  free(a);\n"
+        "  b = malloc(24);\n"      /* same class: reuses a */
+        "  c = malloc(24);\n"      /* freelist empty: fresh block */
+        "  return (a == b) * 10 + (b != c);\n"
+        "}\n");
+    EXPECT_EQ(result.exitCode, 11);
+}
+
+TEST(Runtime, FreeSegregatesSizeClasses)
+{
+    const auto result = runMiniCWithRuntime(
+        "int main() {\n"
+        "  char *a; char *b; char *c;\n"
+        "  a = malloc(8);\n"
+        "  b = malloc(64);\n"
+        "  free(a);\n"
+        "  free(b);\n"
+        "  c = malloc(64);\n"      /* must reuse b, not a */
+        "  return (c == b) * 10 + (c != a);\n"
+        "}\n");
+    EXPECT_EQ(result.exitCode, 11);
+}
+
+TEST(Runtime, FreedMemoryStaysUsableAfterReuse)
+{
+    const auto result = runMiniCWithRuntime(
+        "int main() {\n"
+        "  int *p; int i; int s;\n"
+        "  for (i = 0; i < 2000; i++) {\n"
+        "    p = (int *)malloc(16);\n"
+        "    p[0] = i; p[3] = i * 2;\n"
+        "    s = p[0] + p[3];\n"
+        "    free((char *)p);\n"
+        "  }\n"
+        "  return s & 0xff;\n"     /* 1999*3 & 0xff */
+        "}\n");
+    EXPECT_EQ(result.exitCode, (1999 * 3) & 0xff);
+}
+
+TEST(Runtime, FreeNullIsNoop)
+{
+    EXPECT_EQ(runMiniCWithRuntime(
+                  "int main() { free((char *)0); return 5; }\n")
+                  .exitCode,
+              5);
+}
+
+TEST(Runtime, LargeBlocksAreNotRecycledButWork)
+{
+    const auto result = runMiniCWithRuntime(
+        "int main() {\n"
+        "  char *a; char *b;\n"
+        "  a = malloc(4096);\n"
+        "  free(a);\n"
+        "  b = malloc(4096);\n"    /* not recycled */
+        "  a[0] = 'x'; b[4095] = 'y';\n"
+        "  return (a != b) + (b[4095] == 'y');\n"
+        "}\n");
+    EXPECT_EQ(result.exitCode, 2);
+}
+
+TEST(Runtime, AtoiParsesSignsAndSpaces)
+{
+    const auto result = runMiniCWithRuntime(
+        "char a[8] = \"  42\";\n"
+        "char b[8] = \"-17\";\n"
+        "char c[8] = \"9x\";\n"
+        "int main() { return atoi(a) * 1000 + atoi(b) * (0-10) +\n"
+        "                    atoi(c); }\n");
+    EXPECT_EQ(result.exitCode, 42000 + 170 + 9);
+}
+
+TEST(Runtime, RandIsDeterministic)
+{
+    const char *prog =
+        "int main() {\n"
+        "  srand(42);\n"
+        "  int a; a = rand();\n"
+        "  srand(42);\n"
+        "  int b; b = rand();\n"
+        "  return (a == b) + (a >= 0) + (a < 32768);\n"
+        "}\n";
+    EXPECT_EQ(runMiniCWithRuntime(prog).exitCode, 3);
+}
+
+TEST(Runtime, AbsFunction)
+{
+    EXPECT_EQ(runMiniCWithRuntime(
+                  "int main() { return abs(0 - 9) + abs(9) + abs(0); }\n")
+                  .exitCode,
+              18);
+}
+
+// ---------------------------------------------------------------------
+// Generated metadata.
+// ---------------------------------------------------------------------
+
+TEST(Metadata, FunctionsCarryArity)
+{
+    const auto program = minicc::compileToProgram(
+        "int f2(int a, int b) { return a + b; }\n"
+        "int f0() { return 1; }\n"
+        "int main() { return f2(1, 2) + f0(); }\n");
+    bool saw_f2 = false, saw_f0 = false, saw_main = false;
+    for (const auto &f : program.functions) {
+        if (f.name == "f2") {
+            saw_f2 = true;
+            EXPECT_EQ(f.numArgs, 2);
+        } else if (f.name == "f0") {
+            saw_f0 = true;
+            EXPECT_EQ(f.numArgs, 0);
+        } else if (f.name == "main") {
+            saw_main = true;
+        }
+    }
+    EXPECT_TRUE(saw_f2);
+    EXPECT_TRUE(saw_f0);
+    EXPECT_TRUE(saw_main);
+}
+
+TEST(Metadata, EntryIsStartStub)
+{
+    const auto program = minicc::compileToProgram(
+        "int main() { return 0; }\n");
+    EXPECT_EQ(program.entry, program.symbol("_start"));
+}
+
+TEST(Metadata, MainReturnBecomesExitCode)
+{
+    EXPECT_EQ(runMiniC("int main() { return 123; }\n").exitCode, 123);
+}
+
+// ---------------------------------------------------------------------
+// Property-style differential sweeps: evaluate the same arithmetic in
+// MiniC and in host C++ across a grid of operand values.
+// ---------------------------------------------------------------------
+
+struct DiffCase
+{
+    int a;
+    int b;
+};
+
+class ArithmeticDifferentialTest
+    : public ::testing::TestWithParam<DiffCase>
+{
+};
+
+TEST_P(ArithmeticDifferentialTest, MatchesHostSemantics)
+{
+    const int a = GetParam().a;
+    const int b = GetParam().b;
+    // The same formula evaluated by the host compiler:
+    const int expect =
+        (a + b) * 3 - (a - b) + ((a * b) % 97) + ((a & b) | (a ^ 5)) +
+        ((a < b) ? b - a : a - b) + (b != 0 ? a / b : 0);
+
+    const std::string src =
+        "int f(int a, int b) {\n"
+        "  return (a + b) * 3 - (a - b) + ((a * b) % 97) +\n"
+        "         ((a & b) | (a ^ 5)) +\n"
+        "         ((a < b) ? b - a : a - b) +\n"
+        "         (b != 0 ? a / b : 0);\n"
+        "}\n"
+        "int main() { return f(" +
+        std::to_string(a) + ", " + std::to_string(b) + "); }\n";
+    EXPECT_EQ(runMiniC(src).exitCode, expect)
+        << "a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ArithmeticDifferentialTest,
+    ::testing::Values(
+        DiffCase{0, 1}, DiffCase{1, 0}, DiffCase{7, 3},
+        DiffCase{-7, 3}, DiffCase{7, -3}, DiffCase{-7, -3},
+        DiffCase{1000, 999}, DiffCase{-1, -1}, DiffCase{12345, 678},
+        DiffCase{-12345, 678}, DiffCase{2, 1 << 20},
+        DiffCase{(1 << 20) + 3, 5}));
+
+class ShiftDifferentialTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ShiftDifferentialTest, ShiftsMatchHost)
+{
+    const int s = GetParam();
+    const int v = 0x12345678;
+    const int expect =
+        (int(unsigned(v) << s) ^ (v >> s)) + int(unsigned(v) >> s);
+    const std::string src =
+        "int main() {\n"
+        "  int v; int s; int logical;\n"
+        "  v = 0x12345678; s = " + std::to_string(s) + ";\n"
+        // No unsigned type: recover the logical shift by masking off
+        // the sign-extended bits.
+        "  logical = (v >> s) & ~((~0) << (32 - s));\n"
+        "  return ((v << s) ^ (v >> s)) + logical;\n"
+        "}\n";
+    if (s == 0)
+        return;     // the masking trick needs s > 0
+    EXPECT_EQ(runMiniC(src).exitCode, expect) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Amounts, ShiftDifferentialTest,
+                         ::testing::Values(1, 2, 4, 7, 15, 23, 31));
+
+} // namespace
+} // namespace irep

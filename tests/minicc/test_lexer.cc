@@ -1,0 +1,124 @@
+/**
+ * @file
+ * MiniC lexer tests: token kinds, literals, comments, escapes,
+ * operators, and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "minicc/lexer.hh"
+#include "support/logging.hh"
+
+namespace irep::minicc
+{
+namespace
+{
+
+TEST(Lexer, EmptySourceYieldsEnd)
+{
+    const auto tokens = lex("");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_TRUE(tokens[0].is(Tok::End));
+}
+
+TEST(Lexer, IdentifiersAndKeywords)
+{
+    const auto tokens = lex("int foo _bar x9 while");
+    EXPECT_TRUE(tokens[0].isKeyword("int"));
+    EXPECT_TRUE(tokens[1].is(Tok::Ident));
+    EXPECT_EQ(tokens[1].text, "foo");
+    EXPECT_EQ(tokens[2].text, "_bar");
+    EXPECT_EQ(tokens[3].text, "x9");
+    EXPECT_TRUE(tokens[4].isKeyword("while"));
+}
+
+TEST(Lexer, DecimalAndHexLiterals)
+{
+    const auto tokens = lex("0 42 0x10 0xff 0XAB");
+    EXPECT_EQ(tokens[0].value, 0);
+    EXPECT_EQ(tokens[1].value, 42);
+    EXPECT_EQ(tokens[2].value, 16);
+    EXPECT_EQ(tokens[3].value, 255);
+    EXPECT_EQ(tokens[4].value, 0xab);
+}
+
+TEST(Lexer, CharLiterals)
+{
+    const auto tokens = lex("'a' '\\n' '\\0' '\\\\' '\\''");
+    EXPECT_EQ(tokens[0].value, 'a');
+    EXPECT_EQ(tokens[1].value, '\n');
+    EXPECT_EQ(tokens[2].value, 0);
+    EXPECT_EQ(tokens[3].value, '\\');
+    EXPECT_EQ(tokens[4].value, '\'');
+}
+
+TEST(Lexer, StringLiteralsDecodeEscapes)
+{
+    const auto tokens = lex("\"a\\tb\\n\"");
+    ASSERT_TRUE(tokens[0].is(Tok::StrLit));
+    EXPECT_EQ(tokens[0].text, "a\tb\n");
+}
+
+TEST(Lexer, LineAndBlockComments)
+{
+    const auto tokens = lex(
+        "a // comment\n"
+        "/* multi\n line */ b");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0].text, "a");
+    EXPECT_EQ(tokens[1].text, "b");
+    EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(Lexer, MultiCharOperatorsAreGreedy)
+{
+    const auto tokens = lex("a<<=b>>c<=d==e&&f++g->h");
+    std::vector<std::string> punct;
+    for (const auto &t : tokens) {
+        if (t.is(Tok::Punct))
+            punct.push_back(t.text);
+    }
+    EXPECT_EQ(punct, (std::vector<std::string>{
+                         "<<=", ">>", "<=", "==", "&&", "++", "->"}));
+}
+
+TEST(Lexer, SingleCharOperators)
+{
+    const auto tokens = lex("( ) [ ] { } ; , . ? : ~ !");
+    for (size_t i = 0; i + 1 < tokens.size(); ++i)
+        EXPECT_TRUE(tokens[i].is(Tok::Punct)) << i;
+}
+
+TEST(Lexer, LineNumbersTrackNewlines)
+{
+    const auto tokens = lex("a\nb\n\nc");
+    EXPECT_EQ(tokens[0].line, 1);
+    EXPECT_EQ(tokens[1].line, 2);
+    EXPECT_EQ(tokens[2].line, 4);
+}
+
+TEST(Lexer, Errors)
+{
+    EXPECT_THROW(lex("\"unterminated"), FatalError);
+    EXPECT_THROW(lex("'x"), FatalError);
+    EXPECT_THROW(lex("'ab'"), FatalError);
+    EXPECT_THROW(lex("/* open"), FatalError);
+    EXPECT_THROW(lex("@"), FatalError);
+    EXPECT_THROW(lex("\"bad \\q escape\""), FatalError);
+    EXPECT_THROW(lex("\"newline\nin string\""), FatalError);
+}
+
+TEST(Lexer, ErrorsCarryLineNumbers)
+{
+    try {
+        lex("ok\nok\n@");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+} // namespace irep::minicc

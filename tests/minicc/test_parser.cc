@@ -1,0 +1,253 @@
+/**
+ * @file
+ * MiniC parser tests: AST shapes for declarations, statements and
+ * expressions, and parse-error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "minicc/parser.hh"
+#include "support/logging.hh"
+
+namespace irep::minicc
+{
+namespace
+{
+
+TEST(Parser, EmptyUnit)
+{
+    auto unit = parse("");
+    EXPECT_TRUE(unit->globals.empty());
+    EXPECT_TRUE(unit->funcs.empty());
+}
+
+TEST(Parser, GlobalDeclarations)
+{
+    auto unit = parse(
+        "int x;\n"
+        "int y = 5;\n"
+        "char buf[10];\n"
+        "int *p;\n"
+        "int a, b = 2, c;\n");
+    ASSERT_EQ(unit->globals.size(), 7u);
+    EXPECT_EQ(unit->globals[0].name, "x");
+    EXPECT_FALSE(unit->globals[0].init);
+    EXPECT_TRUE(unit->globals[1].init);
+    EXPECT_TRUE(unit->globals[2].type->isArray());
+    EXPECT_EQ(unit->globals[2].type->arraySize, 10);
+    EXPECT_TRUE(unit->globals[3].type->isPtr());
+    EXPECT_EQ(unit->globals[5].name, "b");
+    EXPECT_TRUE(unit->globals[5].init);
+}
+
+TEST(Parser, GlobalInitList)
+{
+    auto unit = parse("int t[4] = { 1, 2, 3 };\n");
+    ASSERT_EQ(unit->globals.size(), 1u);
+    EXPECT_TRUE(unit->globals[0].hasInitList);
+    EXPECT_EQ(unit->globals[0].initList.size(), 3u);
+}
+
+TEST(Parser, GlobalStringInit)
+{
+    auto unit = parse("char msg[8] = \"hi\";\n");
+    EXPECT_TRUE(unit->globals[0].hasStrInit);
+    EXPECT_EQ(unit->globals[0].strInit, "hi");
+}
+
+TEST(Parser, FunctionWithParams)
+{
+    auto unit = parse("int add(int a, int b) { return a + b; }\n");
+    ASSERT_EQ(unit->funcs.size(), 1u);
+    const FuncDecl &f = unit->funcs[0];
+    EXPECT_EQ(f.name, "add");
+    ASSERT_EQ(f.params.size(), 2u);
+    EXPECT_EQ(f.params[0].first, "a");
+    EXPECT_TRUE(f.body);
+    EXPECT_EQ(f.body->kind, StmtKind::Block);
+}
+
+TEST(Parser, VoidParameterList)
+{
+    auto unit = parse("int f(void) { return 0; }\n");
+    EXPECT_TRUE(unit->funcs[0].params.empty());
+}
+
+TEST(Parser, ForwardDeclaration)
+{
+    auto unit = parse(
+        "int f(int x);\n"
+        "int f(int x) { return x; }\n");
+    ASSERT_EQ(unit->funcs.size(), 2u);
+    EXPECT_FALSE(unit->funcs[0].body);
+    EXPECT_TRUE(unit->funcs[1].body);
+}
+
+TEST(Parser, StructDefinitionAndLayout)
+{
+    auto unit = parse(
+        "struct point { int x; int y; char tag; };\n");
+    const StructDef *def = unit->types.findStruct("point");
+    ASSERT_NE(def, nullptr);
+    ASSERT_EQ(def->members.size(), 3u);
+    EXPECT_EQ(def->members[0].offset, 0);
+    EXPECT_EQ(def->members[1].offset, 4);
+    EXPECT_EQ(def->members[2].offset, 8);
+    EXPECT_EQ(def->size, 12);   // padded to int alignment
+}
+
+TEST(Parser, SelfReferentialStructPointer)
+{
+    auto unit = parse(
+        "struct node { int v; struct node *next; };\n");
+    const StructDef *def = unit->types.findStruct("node");
+    ASSERT_NE(def, nullptr);
+    EXPECT_TRUE(def->members[1].type->isPtr());
+    EXPECT_EQ(def->size, 8);
+}
+
+TEST(Parser, StatementKinds)
+{
+    auto unit = parse(
+        "void f() {\n"
+        "  int x;\n"
+        "  if (x) x = 1; else x = 2;\n"
+        "  while (x) x = x - 1;\n"
+        "  do x = 1; while (x);\n"
+        "  for (x = 0; x < 3; x = x + 1) { }\n"
+        "  return;\n"
+        "}\n");
+    const auto &stmts = unit->funcs[0].body->stmts;
+    ASSERT_EQ(stmts.size(), 6u);
+    EXPECT_EQ(stmts[0]->kind, StmtKind::Decl);
+    EXPECT_EQ(stmts[1]->kind, StmtKind::If);
+    EXPECT_TRUE(stmts[1]->els);
+    EXPECT_EQ(stmts[2]->kind, StmtKind::While);
+    EXPECT_EQ(stmts[3]->kind, StmtKind::DoWhile);
+    EXPECT_EQ(stmts[4]->kind, StmtKind::For);
+    EXPECT_EQ(stmts[5]->kind, StmtKind::Return);
+}
+
+TEST(Parser, ForWithDeclInit)
+{
+    auto unit = parse("void f() { for (int i = 0; i < 9; i++) {} }\n");
+    const Stmt &f = *unit->funcs[0].body->stmts[0];
+    ASSERT_TRUE(f.init);
+    EXPECT_EQ(f.init->kind, StmtKind::Decl);
+    EXPECT_TRUE(f.cond);
+    EXPECT_TRUE(f.inc);
+}
+
+TEST(Parser, PrecedenceShapesTree)
+{
+    auto unit = parse("int g() { return 1 + 2 * 3; }\n");
+    const Expr &e = *unit->funcs[0].body->stmts[0]->expr;
+    ASSERT_EQ(e.kind, ExprKind::Binary);
+    EXPECT_EQ(e.op, "+");
+    EXPECT_EQ(e.a->kind, ExprKind::IntLit);
+    ASSERT_EQ(e.b->kind, ExprKind::Binary);
+    EXPECT_EQ(e.b->op, "*");
+}
+
+TEST(Parser, AssignmentIsRightAssociative)
+{
+    auto unit = parse("int g() { int a; int b; a = b = 1; return a; }\n");
+    const Expr &e = *unit->funcs[0].body->stmts[2]->expr;
+    ASSERT_EQ(e.kind, ExprKind::Assign);
+    EXPECT_EQ(e.b->kind, ExprKind::Assign);
+}
+
+TEST(Parser, UnaryChains)
+{
+    auto unit = parse("int g(int x) { return -~!x; }\n");
+    const Expr &e = *unit->funcs[0].body->stmts[0]->expr;
+    EXPECT_EQ(e.op, "-");
+    EXPECT_EQ(e.a->op, "~");
+    EXPECT_EQ(e.a->a->op, "!");
+}
+
+TEST(Parser, PostfixChains)
+{
+    auto unit = parse(
+        "struct s { int m; };\n"
+        "int g(struct s *p) { return p->m; }\n"
+        "int h(int *a) { return a[1]; }\n");
+    const Expr &arrow = *unit->funcs[0].body->stmts[0]->expr;
+    EXPECT_EQ(arrow.kind, ExprKind::Member);
+    EXPECT_TRUE(arrow.isArrow);
+    const Expr &index = *unit->funcs[1].body->stmts[0]->expr;
+    EXPECT_EQ(index.kind, ExprKind::Index);
+}
+
+TEST(Parser, CastVsParenthesizedExpr)
+{
+    auto unit = parse(
+        "int g(int x) { return (int)x + (x); }\n");
+    const Expr &e = *unit->funcs[0].body->stmts[0]->expr;
+    EXPECT_EQ(e.a->kind, ExprKind::Cast);
+    EXPECT_EQ(e.b->kind, ExprKind::Var);
+}
+
+TEST(Parser, SizeofType)
+{
+    auto unit = parse(
+        "struct s { int a; int b; };\n"
+        "int g() { return sizeof(struct s); }\n");
+    const Expr &e = *unit->funcs[0].body->stmts[0]->expr;
+    EXPECT_EQ(e.kind, ExprKind::SizeofType);
+}
+
+TEST(Parser, CallWithArguments)
+{
+    auto unit = parse(
+        "int f(int a, int b) { return a; }\n"
+        "int g() { return f(1, 2 + 3); }\n");
+    const Expr &call = *unit->funcs[1].body->stmts[0]->expr;
+    ASSERT_EQ(call.kind, ExprKind::Call);
+    EXPECT_EQ(call.callee, "f");
+    EXPECT_EQ(call.args.size(), 2u);
+}
+
+TEST(Parser, TernaryNests)
+{
+    auto unit = parse("int g(int x) { return x ? 1 : x ? 2 : 3; }\n");
+    const Expr &e = *unit->funcs[0].body->stmts[0]->expr;
+    ASSERT_EQ(e.kind, ExprKind::Cond);
+    EXPECT_EQ(e.c->kind, ExprKind::Cond);
+}
+
+class ParseErrorTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ParseErrorTest, RaisesFatalError)
+{
+    EXPECT_THROW(parse(GetParam()), FatalError) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, ParseErrorTest,
+    ::testing::Values(
+        "int;",
+        "int f(",
+        "int f() { return 1 }",
+        "int f() { if }",
+        "int f() { (1 + ; }",
+        "int x = ;",
+        "struct { int x; };",                   // anonymous struct
+        "struct s { int x };",                  // missing ';'
+        "struct s { struct s inner; };",        // struct contains self
+        "int f(int a, int b, int c, int d, int e) { return 0; }",
+        "int a[0];",                            // zero-size array
+        "int a[x];",                            // non-literal size
+        "void f() { int void; }",
+        "int f() { for (;;) }",
+        "struct unknown_fwd *g();x"));
+
+TEST(ParseError, UnknownStructType)
+{
+    EXPECT_THROW(parse("struct nosuch x;"), FatalError);
+}
+
+} // namespace
+} // namespace irep::minicc

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * MiniC semantic analysis tests: symbol resolution, type checking,
+ * lvalue rules, intrinsics, and constant evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "minicc/parser.hh"
+#include "minicc/sema.hh"
+#include "support/logging.hh"
+
+namespace irep::minicc
+{
+namespace
+{
+
+std::unique_ptr<Unit>
+analyzed(const std::string &source)
+{
+    auto unit = parse(source);
+    analyze(*unit);
+    return unit;
+}
+
+TEST(Sema, ResolvesLocalsAndParams)
+{
+    auto unit = analyzed(
+        "int f(int a) { int b; b = a; return b; }\n");
+    const FuncDecl &f = unit->funcs[0];
+    ASSERT_EQ(f.paramSyms.size(), 1u);
+    ASSERT_EQ(f.locals.size(), 1u);
+    EXPECT_EQ(f.paramSyms[0]->paramIndex, 0);
+    EXPECT_EQ(f.locals[0]->name, "b");
+}
+
+TEST(Sema, InnerScopeShadowsOuter)
+{
+    EXPECT_NO_THROW(analyzed(
+        "int f() { int x; x = 1; { int x; x = 2; } return x; }\n"));
+}
+
+TEST(Sema, TypesAnnotated)
+{
+    auto unit = analyzed(
+        "int g(int *p) { return *p + 1; }\n");
+    const Expr &ret = *unit->funcs[0].body->stmts[0]->expr;
+    ASSERT_NE(ret.type, nullptr);
+    EXPECT_TRUE(ret.type->isInt());
+    EXPECT_TRUE(ret.a->type->isInt());      // *p
+    EXPECT_TRUE(ret.a->isLValue);
+}
+
+TEST(Sema, PointerArithmeticTypes)
+{
+    auto unit = analyzed(
+        "int g(int *p, int n) { return *(p + n); }\n");
+    const Expr &deref = *unit->funcs[0].body->stmts[0]->expr;
+    EXPECT_TRUE(deref.a->type->isPtr());    // p + n is int*
+}
+
+TEST(Sema, ArrayDecaysInCalls)
+{
+    EXPECT_NO_THROW(analyzed(
+        "int f(int *p) { return p[0]; }\n"
+        "int buf[4];\n"
+        "int g() { return f(buf); }\n"));
+}
+
+TEST(Sema, AddressOfMarksVariable)
+{
+    auto unit = analyzed(
+        "int g() { int x; int *p; p = &x; *p = 3; return x; }\n");
+    EXPECT_TRUE(unit->funcs[0].locals[0]->addrTaken);
+    EXPECT_FALSE(unit->funcs[0].locals[1]->addrTaken);
+}
+
+TEST(Sema, AggregatesAreAlwaysAddressed)
+{
+    auto unit = analyzed(
+        "struct s { int a; };\n"
+        "int g() { struct s v; int arr[3]; v.a = 1; arr[0] = 2;\n"
+        "          return v.a + arr[0]; }\n");
+    EXPECT_TRUE(unit->funcs[0].locals[0]->addrTaken);
+    EXPECT_TRUE(unit->funcs[0].locals[1]->addrTaken);
+}
+
+TEST(Sema, StringLiteralsArePooledAndDeduplicated)
+{
+    auto unit = analyzed(
+        "int f(char *s) { return *s; }\n"
+        "int g() { return f(\"abc\") + f(\"abc\") + f(\"xy\"); }\n");
+    EXPECT_EQ(unit->stringPool.size(), 2u);
+}
+
+TEST(Sema, IntrinsicsArePredeclared)
+{
+    EXPECT_NO_THROW(analyzed(
+        "int main() { __exit(0); return 0; }\n"));
+}
+
+TEST(Sema, NullPointerConstantAssignable)
+{
+    EXPECT_NO_THROW(analyzed(
+        "int g() { int *p; p = 0; if (p == 0) return 1; return 0; }\n"));
+}
+
+class SemaErrorTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SemaErrorTest, RaisesFatalError)
+{
+    EXPECT_THROW(analyzed(GetParam()), FatalError) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadPrograms, SemaErrorTest,
+    ::testing::Values(
+        // Names.
+        "int f() { return missing; }",
+        "int f() { return g(); }",
+        "int f() { int x; int x; return 0; }",
+        "int x; int x;",
+        "int f() { return 0; } int f() { return 1; }",
+        "int f(); ",                                // declared, undefined
+        // Types.
+        "int f() { int *p; p = 5; return 0; }",
+        "int f() { int x; x = &x; return 0; }",     // fails: int = int*
+        "int f() { return 1 ? (int*)0 : 1; }",  // ptr vs non-null int
+        "struct s { int a; }; int f() { struct s v; return v + 1; }",
+        "struct s { int a; }; int f() { struct s v; v = v; return 0; }",
+        "int f() { int x; return x.member; }",
+        "struct s { int a; }; int f(struct s *p) { return p->b; }",
+        "int f(int *p) { return *p[0][0]; }",
+        "int f() { return *5; }",
+        "int f() { void v; return 0; }",
+        // LValues.
+        "int f() { 5 = 3; return 0; }",
+        "int f() { int x; &(x + 1); return 0; }",
+        "int f() { int x; (x + 1)++; return 0; }",
+        // Calls.
+        "int f(int a) { return a; } int g() { return f(); }",
+        "int f(int a) { return a; } int g() { return f(1, 2); }",
+        "int f(int *p) { return 0; } int g() { return f(5); }",
+        // Control.
+        "int f() { break; return 0; }",
+        "int f() { continue; return 0; }",
+        "void f() { return 5; }",
+        "int f() { return; }",
+        // Globals.
+        "int x = y + 1;",   // label arithmetic is not constant
+        "int g; int f() { return 0; } int arr[2] = {1, f()};",
+        "struct s { int a; }; struct s v = 5;"));
+
+TEST(SemaError, ConditionalPointerIntMismatch)
+{
+    EXPECT_THROW(
+        analyzed("int f(int *p) { return p ? p : 5; }"),
+        FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Constant evaluation (global initializers).
+// ---------------------------------------------------------------------
+
+TEST(ConstEval, ArithmeticFolds)
+{
+    EXPECT_NO_THROW(analyzed(
+        "int a = 1 + 2 * 3;\n"
+        "int b = -(4 - 7);\n"
+        "int c = (1 << 8) | 0x0f;\n"
+        "int d = ~0;\n"
+        "int e = 100 / 7 % 5;\n"));
+}
+
+TEST(ConstEval, Values)
+{
+    auto unit = parse("int x = 0;");
+    (void)unit;
+    Expr lit;
+    lit.kind = ExprKind::IntLit;
+    lit.intValue = 6;
+    ConstVal v = evalConst(lit);
+    EXPECT_FALSE(v.isLabel);
+    EXPECT_EQ(v.num, 6);
+}
+
+TEST(ConstEval, LabelReference)
+{
+    Expr ref;
+    ref.kind = ExprKind::Var;
+    ref.strValue = "target";
+    ConstVal v = evalConst(ref);
+    EXPECT_TRUE(v.isLabel);
+    EXPECT_EQ(v.label, "g_target");
+}
+
+TEST(ConstEval, NonConstantThrows)
+{
+    Expr call;
+    call.kind = ExprKind::Call;
+    EXPECT_THROW(evalConst(call), FatalError);
+}
+
+} // namespace
+} // namespace irep::minicc

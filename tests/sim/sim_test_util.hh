@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Helpers for simulator and analysis tests: assemble a snippet, run
+ * it on a Machine, inspect the final state. Snippets must end by
+ * exiting (the helper appends an exit sequence unless asked not to).
+ */
+
+#ifndef IREP_TESTS_SIM_TEST_UTIL_HH
+#define IREP_TESTS_SIM_TEST_UTIL_HH
+
+#include <memory>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "sim/machine.hh"
+
+namespace irep::test
+{
+
+/** An assembled program plus a machine executing it. */
+class TestRun
+{
+  public:
+    /**
+     * @param source      Assembly source.
+     * @param append_exit Append `li $v0,1; move $a0,$zero; syscall`
+     *                    so straight-line snippets halt cleanly.
+     */
+    explicit TestRun(const std::string &source, bool append_exit = true)
+        : program_(assem::assemble(
+              append_exit ? source + exitSequence() : source)),
+          machine_(std::make_unique<sim::Machine>(program_))
+    {}
+
+    static std::string
+    exitSequence()
+    {
+        return "\nli $v0, 1\nmove $a0, $zero\nsyscall\n";
+    }
+
+    sim::Machine &machine() { return *machine_; }
+    const assem::Program &program() const { return program_; }
+
+    /** Run to completion (caps at @p max_instructions). */
+    sim::Machine &
+    run(uint64_t max_instructions = 1'000'000)
+    {
+        machine_->run(max_instructions);
+        return *machine_;
+    }
+
+  private:
+    assem::Program program_;
+    std::unique_ptr<sim::Machine> machine_;
+};
+
+} // namespace irep::test
+
+#endif // IREP_TESTS_SIM_TEST_UTIL_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * ALU semantics: a parameterized sweep over every integer operation
+ * with edge-case operands (wrap-around, sign boundaries, shift
+ * amounts, division corner cases).
+ */
+
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "isa/registers.hh"
+#include "sim_test_util.hh"
+
+namespace irep
+{
+namespace
+{
+
+/** Run "li a; li b; <op> $t2, $t0, $t1" and return $t2. */
+uint32_t
+evalRRR(const std::string &op, uint32_t a, uint32_t b)
+{
+    test::TestRun run(
+        "li $t0, " + std::to_string(int64_t(int32_t(a))) + "\n" +
+        "li $t1, " + std::to_string(int64_t(int32_t(b))) + "\n" +
+        op + " $t2, $t0, $t1\n");
+    run.run();
+    EXPECT_TRUE(run.machine().halted());
+    return run.machine().reg(isa::regT0 + 2);
+}
+
+/** Run "li a; <op> $t2, $t0, imm" and return $t2. */
+uint32_t
+evalRRI(const std::string &op, uint32_t a, int imm)
+{
+    test::TestRun run(
+        "li $t0, " + std::to_string(int64_t(int32_t(a))) + "\n" + op +
+        " $t2, $t0, " + std::to_string(imm) + "\n");
+    run.run();
+    return run.machine().reg(isa::regT0 + 2);
+}
+
+struct RRRCase
+{
+    const char *op;
+    uint32_t a;
+    uint32_t b;
+    uint32_t expect;
+};
+
+class AluRRRTest : public ::testing::TestWithParam<RRRCase>
+{
+};
+
+TEST_P(AluRRRTest, ComputesExpected)
+{
+    const RRRCase &c = GetParam();
+    EXPECT_EQ(evalRRR(c.op, c.a, c.b), c.expect)
+        << c.op << "(" << c.a << ", " << c.b << ")";
+}
+
+constexpr uint32_t intMin = 0x80000000u;
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, AluRRRTest,
+    ::testing::Values(
+        RRRCase{"addu", 1, 2, 3},
+        RRRCase{"addu", 0xffffffffu, 1, 0},                 // wrap
+        RRRCase{"addu", 0x7fffffffu, 1, 0x80000000u},
+        RRRCase{"add", 40, 2, 42},
+        RRRCase{"subu", 5, 7, uint32_t(-2)},
+        RRRCase{"subu", 0, 1, 0xffffffffu},
+        RRRCase{"sub", 10, 3, 7},
+        RRRCase{"and", 0xff00ff00u, 0x0ff00ff0u, 0x0f000f00u},
+        RRRCase{"or", 0xf0f0f0f0u, 0x0f0f0f0fu, 0xffffffffu},
+        RRRCase{"xor", 0xaaaaaaaau, 0xffffffffu, 0x55555555u},
+        RRRCase{"nor", 0, 0, 0xffffffffu},
+        RRRCase{"nor", 0xf0f0f0f0u, 0x0f0f0f0fu, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Compare, AluRRRTest,
+    ::testing::Values(
+        RRRCase{"slt", 1, 2, 1},
+        RRRCase{"slt", 2, 1, 0},
+        RRRCase{"slt", 2, 2, 0},
+        RRRCase{"slt", uint32_t(-1), 0, 1},         // signed
+        RRRCase{"slt", intMin, 0, 1},
+        RRRCase{"sltu", uint32_t(-1), 0, 0},        // unsigned
+        RRRCase{"sltu", 0, uint32_t(-1), 1},
+        RRRCase{"sltu", intMin, 1, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    VariableShifts, AluRRRTest,
+    ::testing::Values(
+        // sllv/srlv/srav take the shift amount in rs (our assembler
+        // syntax is `sllv rd, rt, rs`, so a=value is $t0... note:
+        // assembler maps `sllv $t2, $t0, $t1` to rt=$t0 rs=$t1).
+        RRRCase{"sllv", 1, 4, 16},
+        RRRCase{"sllv", 1, 33, 2},                  // shift mod 32
+        RRRCase{"srlv", 0x80000000u, 31, 1},
+        RRRCase{"srav", 0x80000000u, 31, 0xffffffffu},
+        RRRCase{"srav", 0x40000000u, 30, 1}));
+
+TEST(Alu, ShiftImmediates)
+{
+    EXPECT_EQ(evalRRI("sll", 1, 4), 16u);
+    EXPECT_EQ(evalRRI("sll", 0xffffffffu, 31), 0x80000000u);
+    EXPECT_EQ(evalRRI("srl", 0x80000000u, 31), 1u);
+    EXPECT_EQ(evalRRI("sra", 0x80000000u, 31), 0xffffffffu);
+    EXPECT_EQ(evalRRI("sll", 123, 0), 123u);
+}
+
+TEST(Alu, ImmediateOps)
+{
+    EXPECT_EQ(evalRRI("addiu", 40, 2), 42u);
+    EXPECT_EQ(evalRRI("addiu", 0, -1), 0xffffffffu);
+    EXPECT_EQ(evalRRI("andi", 0xffffu, 0xff00), 0xff00u);
+    EXPECT_EQ(evalRRI("ori", 0xf0, 0x0f), 0xffu);
+    EXPECT_EQ(evalRRI("xori", 0xff, 0x0f), 0xf0u);
+    EXPECT_EQ(evalRRI("slti", 5, 6), 1u);
+    EXPECT_EQ(evalRRI("slti", uint32_t(-5), -6), 0u);
+    // sltiu: immediate is sign-extended then compared unsigned, so
+    // -1 becomes 0xffffffff (everything except 0xffffffff is below).
+    EXPECT_EQ(evalRRI("sltiu", 5, -1), 1u);
+    EXPECT_EQ(evalRRI("sltiu", 0xffffffffu, -1), 0u);
+}
+
+TEST(Alu, Lui)
+{
+    test::TestRun run("lui $t2, 0x1234\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 0x12340000u);
+}
+
+TEST(Alu, ZeroRegisterIsImmutable)
+{
+    test::TestRun run("li $t0, 7\naddu $zero, $t0, $t0\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regZero), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Multiply / divide through HI/LO.
+// ---------------------------------------------------------------------
+
+struct MulDivCase
+{
+    const char *op;     //!< mult/multu/div/divu
+    uint32_t a;
+    uint32_t b;
+    uint32_t expectHi;
+    uint32_t expectLo;
+};
+
+class MulDivTest : public ::testing::TestWithParam<MulDivCase>
+{
+};
+
+TEST_P(MulDivTest, HiLoAreCorrect)
+{
+    const MulDivCase &c = GetParam();
+    test::TestRun run(
+        "li $t0, " + std::to_string(int64_t(int32_t(c.a))) + "\n" +
+        "li $t1, " + std::to_string(int64_t(int32_t(c.b))) + "\n" +
+        std::string(c.op) + " $t0, $t1\n" +
+        "mfhi $t2\n"
+        "mflo $t3\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), c.expectHi) << "hi";
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 3), c.expectLo) << "lo";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MulDivTest,
+    ::testing::Values(
+        MulDivCase{"mult", 6, 7, 0, 42},
+        MulDivCase{"mult", uint32_t(-3), 7, 0xffffffffu,
+                   uint32_t(-21)},
+        MulDivCase{"mult", 0x10000u, 0x10000u, 1, 0},
+        MulDivCase{"multu", 0xffffffffu, 2, 1, 0xfffffffeu},
+        MulDivCase{"multu", 0x80000000u, 2, 1, 0},
+        MulDivCase{"div", 42, 5, 2, 8},
+        MulDivCase{"div", uint32_t(-42), 5, uint32_t(-2),
+                   uint32_t(-8)},                    // trunc toward 0
+        MulDivCase{"div", 42, uint32_t(-5), 2, uint32_t(-8)},
+        MulDivCase{"div", 7, 0, 0, 0},               // defined as 0
+        MulDivCase{"div", intMin, uint32_t(-1), 0, intMin},
+        MulDivCase{"divu", 42, 5, 2, 8},
+        MulDivCase{"divu", 0xffffffffu, 0x10000u, 0xffffu, 0xffffu},
+        MulDivCase{"divu", 7, 0, 0, 0}));
+
+TEST(Alu, MthiMtlo)
+{
+    test::TestRun run(
+        "li $t0, 11\n"
+        "li $t1, 22\n"
+        "mthi $t0\n"
+        "mtlo $t1\n"
+        "mfhi $t2\n"
+        "mflo $t3\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 11u);
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 3), 22u);
+}
+
+} // namespace
+} // namespace irep

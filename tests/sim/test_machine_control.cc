@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Control-flow semantics: branches (taken/not-taken, all conditions),
+ * jumps, call/return linkage, and loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/registers.hh"
+#include "sim_test_util.hh"
+#include "support/logging.hh"
+
+namespace irep
+{
+namespace
+{
+
+/**
+ * Run a snippet where the branch under test either jumps over
+ * `li $t2, 1` (so $t2 stays 0) or falls through into it.
+ * @return true when the branch was taken.
+ */
+bool
+branchTaken(const std::string &setup, const std::string &branch)
+{
+    test::TestRun run(setup + "\n" + branch + " over\n" +
+                      "li $t2, 1\n"
+                      "over:\n");
+    run.run();
+    return run.machine().reg(isa::regT0 + 2) == 0;
+}
+
+struct BranchCase
+{
+    const char *name;
+    const char *setup;
+    const char *branch;
+    bool taken;
+};
+
+class BranchTest : public ::testing::TestWithParam<BranchCase>
+{
+};
+
+TEST_P(BranchTest, TakenMatchesSemantics)
+{
+    const BranchCase &c = GetParam();
+    EXPECT_EQ(branchTaken(c.setup, c.branch), c.taken) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConditions, BranchTest,
+    ::testing::Values(
+        BranchCase{"beq_eq", "li $t0, 5\nli $t1, 5",
+                   "beq $t0, $t1,", true},
+        BranchCase{"beq_ne", "li $t0, 5\nli $t1, 6",
+                   "beq $t0, $t1,", false},
+        BranchCase{"bne_ne", "li $t0, 5\nli $t1, 6",
+                   "bne $t0, $t1,", true},
+        BranchCase{"bne_eq", "li $t0, 5\nli $t1, 5",
+                   "bne $t0, $t1,", false},
+        BranchCase{"blez_neg", "li $t0, -1", "blez $t0,", true},
+        BranchCase{"blez_zero", "li $t0, 0", "blez $t0,", true},
+        BranchCase{"blez_pos", "li $t0, 1", "blez $t0,", false},
+        BranchCase{"bgtz_pos", "li $t0, 1", "bgtz $t0,", true},
+        BranchCase{"bgtz_zero", "li $t0, 0", "bgtz $t0,", false},
+        BranchCase{"bltz_neg", "li $t0, -5", "bltz $t0,", true},
+        BranchCase{"bltz_zero", "li $t0, 0", "bltz $t0,", false},
+        BranchCase{"bgez_zero", "li $t0, 0", "bgez $t0,", true},
+        BranchCase{"bgez_neg", "li $t0, -1", "bgez $t0,", false}),
+    [](const auto &info) { return std::string(info.param.name); });
+
+TEST(Control, BackwardBranchLoops)
+{
+    test::TestRun run(
+        "li $t0, 0\n"
+        "li $t1, 10\n"
+        "loop:\n"
+        "addiu $t0, $t0, 1\n"
+        "bne $t0, $t1, loop\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0), 10u);
+}
+
+TEST(Control, JalSetsReturnAddress)
+{
+    test::TestRun run(
+        "    jal func\n"
+        "    b done\n"
+        "func:\n"
+        "    move $t0, $ra\n"
+        "    jr $ra\n"
+        "done:\n");
+    run.run();
+    EXPECT_TRUE(run.machine().halted());
+    // The return address is the instruction after the jal.
+    EXPECT_EQ(run.machine().reg(isa::regT0),
+              assem::Layout::textBase + 4);
+}
+
+TEST(Control, JalrLinksAndJumps)
+{
+    test::TestRun run(
+        "    la $t9, func\n"
+        "    jalr $t9\n"
+        "    b done\n"
+        "func:\n"
+        "    move $t0, $ra\n"
+        "    jr $ra\n"
+        "done:\n");
+    run.run();
+    EXPECT_TRUE(run.machine().halted());
+    // jalr is the 3rd instruction (la expands to 2).
+    EXPECT_EQ(run.machine().reg(isa::regT0),
+              assem::Layout::textBase + 12);
+}
+
+TEST(Control, NestedCalls)
+{
+    test::TestRun run(
+        "    li $t0, 0\n"
+        "    jal outer\n"
+        "    b done\n"
+        "outer:\n"
+        "    addiu $sp, $sp, -8\n"
+        "    sw $ra, 0($sp)\n"
+        "    jal inner\n"
+        "    lw $ra, 0($sp)\n"
+        "    addiu $sp, $sp, 8\n"
+        "    addiu $t0, $t0, 1\n"
+        "    jr $ra\n"
+        "inner:\n"
+        "    addiu $t0, $t0, 10\n"
+        "    jr $ra\n"
+        "done:\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0), 11u);
+}
+
+TEST(Control, RecursiveFactorial)
+{
+    // fact(n): result in $v0; n in $a0.
+    test::TestRun run(
+        "    li $a0, 6\n"
+        "    jal fact\n"
+        "    move $t0, $v0\n"
+        "    b done\n"
+        "fact:\n"
+        "    addiu $sp, $sp, -16\n"
+        "    sw $ra, 0($sp)\n"
+        "    sw $a0, 4($sp)\n"
+        "    li $v0, 1\n"
+        "    blez $a0, base\n"
+        "    addiu $a0, $a0, -1\n"
+        "    jal fact\n"
+        "    lw $a0, 4($sp)\n"
+        "    mul $v0, $v0, $a0\n"
+        "base:\n"
+        "    lw $ra, 0($sp)\n"
+        "    addiu $sp, $sp, 16\n"
+        "    jr $ra\n"
+        "done:\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0), 720u);
+}
+
+TEST(Control, PcOutOfTextIsFatal)
+{
+    // Fall off the end of text (no exit appended).
+    test::TestRun run("nop\n", false);
+    EXPECT_THROW(run.run(10), FatalError);
+}
+
+TEST(Control, JrToMisalignedAddressIsFatal)
+{
+    test::TestRun run("li $t0, 3\njr $t0\n", false);
+    EXPECT_THROW(run.run(10), FatalError);
+}
+
+TEST(Control, StepAfterHaltPanics)
+{
+    test::TestRun run("");
+    run.run();
+    ASSERT_TRUE(run.machine().halted());
+    EXPECT_THROW(run.machine().step(), PanicError);
+}
+
+TEST(Control, RunReturnsExecutedCount)
+{
+    test::TestRun run("nop\nnop\nnop\n");
+    EXPECT_EQ(run.machine().run(2), 2u);
+    EXPECT_FALSE(run.machine().halted());
+    // 1 nop + 3 exit-sequence instructions remain.
+    EXPECT_EQ(run.machine().run(100), 4u);
+    EXPECT_TRUE(run.machine().halted());
+}
+
+TEST(Control, RunZeroInstructionsIsNoop)
+{
+    test::TestRun run("nop\n");
+    EXPECT_EQ(run.machine().run(0), 0u);
+    EXPECT_EQ(run.machine().instret(), 0u);
+    EXPECT_FALSE(run.machine().halted());
+}
+
+TEST(Control, SetRegCannotWriteZero)
+{
+    test::TestRun run("nop\n");
+    run.machine().setReg(isa::regZero, 123);
+    EXPECT_EQ(run.machine().reg(isa::regZero), 0u);
+    run.machine().setReg(isa::regT0, 123);
+    EXPECT_EQ(run.machine().reg(isa::regT0), 123u);
+}
+
+TEST(Control, EntryDefaultsWithoutStartSymbol)
+{
+    // No _start/main/.entry: execution begins at the text base.
+    const assem::Program p = assem::assemble(
+        "li $t0, 9\n" + test::TestRun::exitSequence());
+    EXPECT_EQ(p.entry, assem::Layout::textBase);
+    sim::Machine m(p);
+    m.run(100);
+    EXPECT_TRUE(m.halted());
+    EXPECT_EQ(m.reg(isa::regT0), 9u);
+}
+
+TEST(Control, JumpWithinSegmentWrapsCorrectly)
+{
+    // j uses the 26-bit target field within the current 256MB region.
+    test::TestRun run(
+        "    j skip\n"
+        "    nop\n"
+        "skip:\n"
+        "    li $t0, 3\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0), 3u);
+    EXPECT_EQ(run.machine().instret(), 5u);     // j, li, exit x3
+}
+
+} // namespace
+} // namespace irep

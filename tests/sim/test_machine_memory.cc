@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Load/store semantics: sizes, sign/zero extension, data-section
+ * initialization, endianness, stack accesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/registers.hh"
+#include "sim_test_util.hh"
+#include "support/logging.hh"
+
+namespace irep
+{
+namespace
+{
+
+TEST(MachineMemory, DataSectionIsLoaded)
+{
+    test::TestRun run(
+        ".data\n"
+        "val: .word 0xcafebabe\n"
+        ".text\n"
+        "la $t0, val\n"
+        "lw $t1, 0($t0)\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 1), 0xcafebabeu);
+}
+
+TEST(MachineMemory, StoreThenLoadWord)
+{
+    test::TestRun run(
+        ".data\n"
+        "buf: .space 16\n"
+        ".text\n"
+        "la $t0, buf\n"
+        "li $t1, 0x11223344\n"
+        "sw $t1, 8($t0)\n"
+        "lw $t2, 8($t0)\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 0x11223344u);
+}
+
+TEST(MachineMemory, ByteSignExtension)
+{
+    test::TestRun run(
+        ".data\n"
+        "b: .byte 0x80, 0x7f\n"
+        ".text\n"
+        "la $t0, b\n"
+        "lb $t1, 0($t0)\n"
+        "lb $t2, 1($t0)\n"
+        "lbu $t3, 0($t0)\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 1), 0xffffff80u);
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 0x7fu);
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 3), 0x80u);
+}
+
+TEST(MachineMemory, HalfSignExtension)
+{
+    test::TestRun run(
+        ".data\n"
+        "h: .half 0x8000, 0x1234\n"
+        ".text\n"
+        "la $t0, h\n"
+        "lh $t1, 0($t0)\n"
+        "lhu $t2, 0($t0)\n"
+        "lh $t3, 2($t0)\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 1), 0xffff8000u);
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 0x8000u);
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 3), 0x1234u);
+}
+
+TEST(MachineMemory, ByteStoresTruncate)
+{
+    test::TestRun run(
+        ".data\n"
+        "buf: .word 0\n"
+        ".text\n"
+        "la $t0, buf\n"
+        "li $t1, 0x1ff\n"
+        "sb $t1, 0($t0)\n"
+        "lw $t2, 0($t0)\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 0xffu);
+}
+
+TEST(MachineMemory, LittleEndianByteOrder)
+{
+    test::TestRun run(
+        ".data\n"
+        "w: .word 0x04030201\n"
+        ".text\n"
+        "la $t0, w\n"
+        "lbu $t1, 0($t0)\n"
+        "lbu $t2, 3($t0)\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 1), 1u);
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 4u);
+}
+
+TEST(MachineMemory, HalfStore)
+{
+    test::TestRun run(
+        ".data\nbuf: .word 0xffffffff\n.text\n"
+        "la $t0, buf\n"
+        "li $t1, 0x1234\n"
+        "sh $t1, 0($t0)\n"
+        "lw $t2, 0($t0)\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 0xffff1234u);
+}
+
+TEST(MachineMemory, StackIsWritable)
+{
+    test::TestRun run(
+        "addiu $sp, $sp, -16\n"
+        "li $t1, 77\n"
+        "sw $t1, 4($sp)\n"
+        "lw $t2, 4($sp)\n"
+        "addiu $sp, $sp, 16\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 77u);
+}
+
+TEST(MachineMemory, NegativeOffsets)
+{
+    test::TestRun run(
+        ".data\n.word 0\nval: .word 99\n.text\n"
+        "la $t0, val\n"
+        "addiu $t0, $t0, 4\n"
+        "lw $t1, -4($t0)\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 1), 99u);
+}
+
+TEST(MachineMemory, MisalignedWordAccessIsFatal)
+{
+    test::TestRun run(
+        "li $t0, 0x10000001\n"
+        "lw $t1, 0($t0)\n",
+        false);
+    EXPECT_THROW(run.run(10), FatalError);
+}
+
+TEST(MachineMemory, MisalignedHalfAccessIsFatal)
+{
+    test::TestRun run(
+        "li $t0, 0x10000001\n"
+        "sh $t1, 0($t0)\n",
+        false);
+    EXPECT_THROW(run.run(10), FatalError);
+}
+
+TEST(MachineMemory, GpPointsIntoDataSegment)
+{
+    test::TestRun run("move $t0, $gp\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0), assem::Layout::gpValue);
+}
+
+TEST(MachineMemory, SpStartsAtStackTop)
+{
+    test::TestRun run("move $t0, $sp\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0), assem::Layout::stackTop);
+}
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Syscall semantics: exit, read (with short reads and EOF), write,
+ * sbrk, and the syscall observer records.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/registers.hh"
+#include "sim_test_util.hh"
+#include "support/logging.hh"
+
+namespace irep
+{
+namespace
+{
+
+TEST(Syscalls, ExitStopsWithCode)
+{
+    test::TestRun run(
+        "li $a0, 42\n"
+        "li $v0, 1\n"
+        "syscall\n"
+        "nop\n",    // must not execute
+        false);
+    run.run();
+    EXPECT_TRUE(run.machine().halted());
+    EXPECT_EQ(run.machine().exitCode(), 42);
+    EXPECT_EQ(run.machine().instret(), 3u);
+}
+
+TEST(Syscalls, WriteAppendsToOutput)
+{
+    test::TestRun run(
+        ".data\nmsg: .ascii \"hello\"\n.text\n"
+        "la $a0, msg\n"
+        "li $a1, 5\n"
+        "li $v0, 3\n"
+        "syscall\n"
+        "move $t0, $v0\n");
+    run.run();
+    EXPECT_EQ(run.machine().output(), "hello");
+    EXPECT_EQ(run.machine().reg(isa::regT0), 5u);
+}
+
+TEST(Syscalls, ReadFillsBufferAndReturnsCount)
+{
+    test::TestRun run(
+        ".data\nbuf: .space 16\n.text\n"
+        "la $a0, buf\n"
+        "li $a1, 16\n"
+        "li $v0, 2\n"
+        "syscall\n"
+        "move $t0, $v0\n"
+        "la $t1, buf\n"
+        "lbu $t2, 0($t1)\n"
+        "lbu $t3, 3($t1)\n");
+    run.machine().setInput("abcd");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0), 4u);   // short read
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 'a');
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 3), 'd');
+}
+
+TEST(Syscalls, ReadAtEofReturnsZero)
+{
+    test::TestRun run(
+        ".data\nbuf: .space 4\n.text\n"
+        "la $a0, buf\n"
+        "li $a1, 4\n"
+        "li $v0, 2\n"
+        "syscall\n"
+        "move $t0, $v0\n"
+        "li $v0, 2\n"
+        "syscall\n"
+        "move $t1, $v0\n");
+    run.machine().setInput("xyzw");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0), 4u);
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 1), 0u);
+}
+
+TEST(Syscalls, ReadConsumesInputIncrementally)
+{
+    test::TestRun run(
+        ".data\nbuf: .space 4\n.text\n"
+        "la $a0, buf\n"
+        "li $a1, 2\n"
+        "li $v0, 2\n"
+        "syscall\n"
+        "la $a0, buf\n"
+        "li $a1, 2\n"
+        "li $v0, 2\n"
+        "syscall\n"
+        "la $t1, buf\n"
+        "lbu $t2, 0($t1)\n");
+    run.machine().setInput("abcd");
+    run.run();
+    // Second read overwrote the buffer with "cd".
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 'c');
+}
+
+TEST(Syscalls, SbrkGrowsMonotonically)
+{
+    test::TestRun run(
+        "li $a0, 4096\n"
+        "li $v0, 4\n"
+        "syscall\n"
+        "move $t0, $v0\n"
+        "li $a0, 4096\n"
+        "li $v0, 4\n"
+        "syscall\n"
+        "move $t1, $v0\n");
+    run.run();
+    const uint32_t first = run.machine().reg(isa::regT0);
+    const uint32_t second = run.machine().reg(isa::regT0 + 1);
+    EXPECT_EQ(first, run.program().heapStart());
+    EXPECT_EQ(second, first + 4096);
+}
+
+TEST(Syscalls, SbrkMemoryIsUsable)
+{
+    test::TestRun run(
+        "li $a0, 64\n"
+        "li $v0, 4\n"
+        "syscall\n"
+        "li $t1, 123\n"
+        "sw $t1, 0($v0)\n"
+        "lw $t2, 0($v0)\n");
+    run.run();
+    EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 123u);
+}
+
+TEST(Syscalls, UnknownSyscallIsFatal)
+{
+    test::TestRun run("li $v0, 99\nsyscall\n", false);
+    EXPECT_THROW(run.run(10), FatalError);
+}
+
+TEST(Syscalls, SyscallObserverSeesRead)
+{
+    struct Recorder : sim::Observer
+    {
+        std::vector<sim::SyscallRecord> records;
+        void onRetire(const sim::InstrRecord &) override {}
+        void
+        onSyscall(const sim::SyscallRecord &rec) override
+        {
+            records.push_back(rec);
+        }
+    };
+
+    test::TestRun run(
+        ".data\nbuf: .space 8\n.text\n"
+        "la $a0, buf\n"
+        "li $a1, 8\n"
+        "li $v0, 2\n"
+        "syscall\n");
+    Recorder recorder;
+    run.machine().addObserver(&recorder);
+    run.machine().setInput("hi");
+    run.run();
+
+    ASSERT_EQ(recorder.records.size(), 2u);     // read + exit
+    const auto &read = recorder.records[0];
+    EXPECT_EQ(read.num, sim::Syscall::Read);
+    EXPECT_EQ(read.result, 2u);
+    EXPECT_EQ(read.writtenAddr, run.program().symbol("buf"));
+    EXPECT_EQ(read.writtenLen, 2u);
+    EXPECT_EQ(recorder.records[1].num, sim::Syscall::Exit);
+}
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Sparse-memory unit tests: widths, page behaviour, block transfers
+ * across page boundaries, alignment enforcement.
+ */
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+#include "support/logging.hh"
+
+namespace irep::sim
+{
+namespace
+{
+
+TEST(Memory, ZeroInitialized)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read8(0), 0);
+    EXPECT_EQ(mem.read32(0x7ffffffcu), 0u);
+}
+
+TEST(Memory, ByteRoundTrip)
+{
+    Memory mem;
+    mem.write8(100, 0xab);
+    EXPECT_EQ(mem.read8(100), 0xab);
+    EXPECT_EQ(mem.read8(99), 0);
+    EXPECT_EQ(mem.read8(101), 0);
+}
+
+TEST(Memory, WordRoundTrip)
+{
+    Memory mem;
+    mem.write32(0x1000, 0xdeadbeefu);
+    EXPECT_EQ(mem.read32(0x1000), 0xdeadbeefu);
+    // Little-endian byte view.
+    EXPECT_EQ(mem.read8(0x1000), 0xef);
+    EXPECT_EQ(mem.read8(0x1003), 0xde);
+}
+
+TEST(Memory, HalfRoundTrip)
+{
+    Memory mem;
+    mem.write16(0x2000, 0x1234);
+    EXPECT_EQ(mem.read16(0x2000), 0x1234);
+    EXPECT_EQ(mem.read8(0x2000), 0x34);
+}
+
+TEST(Memory, MisalignedAccessesAreFatal)
+{
+    Memory mem;
+    EXPECT_THROW(mem.read32(2), FatalError);
+    EXPECT_THROW(mem.read16(1), FatalError);
+    EXPECT_THROW(mem.write32(6, 0), FatalError);
+    EXPECT_THROW(mem.write16(3, 0), FatalError);
+}
+
+TEST(Memory, PagesAllocatedSparsely)
+{
+    Memory mem;
+    mem.write8(0, 1);
+    mem.write8(0x40000000u, 2);
+    mem.write8(0x7fffffffu, 3);
+    EXPECT_EQ(mem.numPages(), 3u);
+}
+
+TEST(Memory, BlockTransferWithinPage)
+{
+    Memory mem;
+    const std::string data = "hello, world";
+    mem.writeBlock(0x100, data.data(), uint32_t(data.size()));
+    char out[32] = {};
+    mem.readBlock(0x100, out, uint32_t(data.size()));
+    EXPECT_EQ(std::string(out), data);
+}
+
+TEST(Memory, BlockTransferAcrossPageBoundary)
+{
+    Memory mem;
+    std::string data(3 * Memory::pageSize / 2, '\0');
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = char(i * 31 + 7);
+    const uint32_t base = Memory::pageSize - 100;
+    mem.writeBlock(base, data.data(), uint32_t(data.size()));
+
+    std::string out(data.size(), '\0');
+    mem.readBlock(base, out.data(), uint32_t(out.size()));
+    EXPECT_EQ(out, data);
+    EXPECT_GE(mem.numPages(), 2u);
+}
+
+TEST(Memory, ZeroLengthBlockIsNoop)
+{
+    Memory mem;
+    EXPECT_NO_THROW(mem.writeBlock(0, nullptr, 0));
+    EXPECT_NO_THROW(mem.readBlock(0, nullptr, 0));
+}
+
+TEST(Memory, PageBoundaryWordAccess)
+{
+    Memory mem;
+    // Last word of one page, first word of the next.
+    const uint32_t boundary = Memory::pageSize;
+    mem.write32(boundary - 4, 0x11111111u);
+    mem.write32(boundary, 0x22222222u);
+    EXPECT_EQ(mem.read32(boundary - 4), 0x11111111u);
+    EXPECT_EQ(mem.read32(boundary), 0x22222222u);
+}
+
+} // namespace
+} // namespace irep::sim

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * InstrRecord contract tests: the analyses depend on exact semantics
+ * of the per-retire record (source values, result packing, memory
+ * addresses, static indices, sequence numbers).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "isa/registers.hh"
+#include "sim_test_util.hh"
+
+namespace irep
+{
+namespace
+{
+
+struct Capture : sim::Observer
+{
+    std::vector<sim::InstrRecord> records;
+
+    void
+    onRetire(const sim::InstrRecord &rec) override
+    {
+        records.push_back(rec);
+    }
+};
+
+/** Run a snippet and capture every retired record. */
+std::vector<sim::InstrRecord>
+trace(const std::string &source, const std::string &input = "")
+{
+    static std::vector<std::unique_ptr<test::TestRun>> keep_alive;
+    keep_alive.push_back(std::make_unique<test::TestRun>(source));
+    auto &run = *keep_alive.back();
+    auto capture = std::make_unique<Capture>();
+    run.machine().setInput(input);
+    run.machine().addObserver(capture.get());
+    run.run();
+    auto records = std::move(capture->records);
+    return records;
+}
+
+TEST(Observer, SequenceNumbersAreDense)
+{
+    const auto records = trace("nop\nnop\nnop\n");
+    ASSERT_GE(records.size(), 3u);
+    for (size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(records[i].seq, i);
+}
+
+TEST(Observer, StaticIndexMatchesPc)
+{
+    const auto records = trace("nop\nnop\n");
+    for (const auto &rec : records) {
+        EXPECT_EQ(rec.staticIndex,
+                  (rec.pc - assem::Layout::textBase) / 4);
+    }
+}
+
+TEST(Observer, AluRecordHasSourcesAndResult)
+{
+    const auto records = trace(
+        "li $t0, 6\n"
+        "li $t1, 7\n"
+        "addu $t2, $t0, $t1\n");
+    const auto &add = records[2];
+    EXPECT_EQ(add.inst->op, isa::Op::ADDU);
+    EXPECT_EQ(add.numSrcRegs, 2);
+    EXPECT_EQ(add.srcVal[0], 6u);
+    EXPECT_EQ(add.srcVal[1], 7u);
+    EXPECT_TRUE(add.writesReg);
+    EXPECT_EQ(add.destReg, isa::regT0 + 2);
+    EXPECT_EQ(add.result, 13u);
+    EXPECT_FALSE(add.isMemAccess);
+}
+
+TEST(Observer, LoadRecordHasAddressAndLoadedValue)
+{
+    const auto records = trace(
+        ".data\nv: .word 0x1234\n.text\n"
+        "la $t0, v\n"
+        "lw $t1, 0($t0)\n");
+    // la = lui+ori, so the lw is record 2.
+    const auto &lw = records[2];
+    ASSERT_EQ(lw.inst->op, isa::Op::LW);
+    EXPECT_TRUE(lw.isMemAccess);
+    EXPECT_EQ(lw.memAddr, assem::Layout::dataBase);
+    EXPECT_EQ(lw.result, 0x1234u);
+    EXPECT_EQ(lw.numSrcRegs, 1);
+    EXPECT_EQ(lw.srcVal[0], assem::Layout::dataBase);
+}
+
+TEST(Observer, StoreRecordHasAddressAndStoredValue)
+{
+    const auto records = trace(
+        ".data\nv: .word 0\n.text\n"
+        "la $t0, v\n"
+        "li $t1, 55\n"
+        "sw $t1, 0($t0)\n");
+    const auto &sw = records[3];
+    ASSERT_EQ(sw.inst->op, isa::Op::SW);
+    EXPECT_TRUE(sw.isMemAccess);
+    EXPECT_FALSE(sw.writesReg);
+    EXPECT_EQ(sw.memAddr, assem::Layout::dataBase);
+    EXPECT_EQ(sw.result, 55u);
+    EXPECT_EQ(sw.numSrcRegs, 2);
+    EXPECT_EQ(sw.srcVal[1], 55u);   // rt value (rs, rt) order
+}
+
+TEST(Observer, BranchRecordEncodesTakenness)
+{
+    const auto records = trace(
+        "li $t0, 1\n"
+        "beq $t0, $zero, skip\n"     // not taken
+        "bne $t0, $zero, skip\n"     // taken
+        "nop\n"
+        "skip:\n");
+    const auto &not_taken = records[1];
+    const auto &taken = records[2];
+    EXPECT_EQ(not_taken.result, 0u);
+    EXPECT_EQ(not_taken.nextPc, not_taken.pc + 4);
+    EXPECT_EQ(taken.result, 1u);
+    EXPECT_NE(taken.nextPc, taken.pc + 4);
+}
+
+TEST(Observer, JalRecordLinksAndJumps)
+{
+    const auto records = trace(
+        "jal f\n"
+        "b done\n"
+        "f: jr $ra\n"
+        "done:\n");
+    const auto &jal = records[0];
+    EXPECT_TRUE(jal.writesReg);
+    EXPECT_EQ(jal.destReg, isa::regRA);
+    EXPECT_EQ(jal.result, jal.pc + 4);
+    EXPECT_EQ(jal.nextPc, assem::Layout::textBase + 8);
+
+    const auto &jr = records[1];
+    ASSERT_EQ(jr.inst->op, isa::Op::JR);
+    EXPECT_EQ(jr.nextPc, assem::Layout::textBase + 4);
+    EXPECT_EQ(jr.numSrcRegs, 1);
+}
+
+TEST(Observer, MultRecordPacksHiLo)
+{
+    const auto records = trace(
+        "li $t0, 0x10000\n"
+        "li $t1, 0x10000\n"
+        "mult $t0, $t1\n");
+    const auto &mult = records[2];
+    EXPECT_EQ(mult.result, uint64_t(1) << 32);
+    EXPECT_FALSE(mult.writesReg);
+}
+
+TEST(Observer, MfhiExposesHiAsSource)
+{
+    const auto records = trace(
+        "li $t0, 3\n"
+        "li $t1, 5\n"
+        "mult $t0, $t1\n"
+        "mfhi $t2\n"
+        "mflo $t3\n");
+    EXPECT_EQ(records[3].numSrcRegs, 1);
+    EXPECT_EQ(records[3].srcVal[0], 0u);    // hi
+    EXPECT_EQ(records[4].numSrcRegs, 1);
+    EXPECT_EQ(records[4].srcVal[0], 15u);   // lo
+}
+
+TEST(Observer, SyscallRecordHasInputsAndResult)
+{
+    const auto records = trace(
+        ".data\nbuf: .space 4\n.text\n"
+        "la $a0, buf\n"
+        "li $a1, 4\n"
+        "li $v0, 2\n"
+        "syscall\n",
+        "ab");
+    const auto &sys = records[4];
+    ASSERT_EQ(sys.inst->op, isa::Op::SYSCALL);
+    EXPECT_EQ(sys.numSrcRegs, 2);
+    EXPECT_EQ(sys.srcVal[0], 2u);   // syscall number from $v0
+    EXPECT_TRUE(sys.writesReg);
+    EXPECT_EQ(sys.destReg, isa::regV0);
+    EXPECT_EQ(sys.result, 2u);      // bytes read
+}
+
+TEST(Observer, MultipleObserversAllNotified)
+{
+    test::TestRun run("nop\n");
+    Capture a;
+    Capture b;
+    run.machine().addObserver(&a);
+    run.machine().addObserver(&b);
+    run.run();
+    EXPECT_EQ(a.records.size(), b.records.size());
+    EXPECT_GE(a.records.size(), 1u);
+}
+
+} // namespace
+} // namespace irep

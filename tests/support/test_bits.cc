@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bits.hh"
+
+namespace irep
+{
+namespace
+{
+
+TEST(Bits, ExtractSingleBit)
+{
+    EXPECT_EQ(bits(0x80000000u, 31, 31), 1u);
+    EXPECT_EQ(bits(0x80000000u, 30, 30), 0u);
+    EXPECT_EQ(bits(0x00000001u, 0, 0), 1u);
+}
+
+TEST(Bits, ExtractField)
+{
+    EXPECT_EQ(bits(0xdeadbeefu, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeefu, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeefu, 31, 0), 0xdeadbeefu);
+    EXPECT_EQ(bits(0xffffffffu, 5, 0), 0x3fu);
+}
+
+TEST(Bits, ExtractMatchesShiftMask)
+{
+    const uint32_t word = 0xa5c3f019u;
+    for (unsigned lo = 0; lo < 32; lo += 3) {
+        for (unsigned hi = lo; hi < 32; hi += 5) {
+            const unsigned width = hi - lo + 1;
+            const uint32_t mask =
+                width >= 32 ? 0xffffffffu : ((1u << width) - 1);
+            EXPECT_EQ(bits(word, hi, lo), (word >> lo) & mask)
+                << "hi=" << hi << " lo=" << lo;
+        }
+    }
+}
+
+TEST(Bits, InsertField)
+{
+    EXPECT_EQ(insertBits(0, 15, 0, 0xbeef), 0x0000beefu);
+    EXPECT_EQ(insertBits(0, 31, 26, 0x3f), 0xfc000000u);
+    EXPECT_EQ(insertBits(0xffffffffu, 15, 8, 0), 0xffff00ffu);
+}
+
+TEST(Bits, InsertThenExtractRoundTrips)
+{
+    for (uint32_t value : {0u, 1u, 0x15u, 0x1fu}) {
+        const uint32_t word = insertBits(0xdeadbeefu, 20, 16, value);
+        EXPECT_EQ(bits(word, 20, 16), value);
+        // Other bits untouched.
+        EXPECT_EQ(bits(word, 15, 0), 0xbeefu);
+        EXPECT_EQ(bits(word, 31, 21), bits(0xdeadbeefu, 31, 21));
+    }
+}
+
+TEST(Bits, InsertMasksOversizedValue)
+{
+    // Only the low field bits of the value are used.
+    EXPECT_EQ(insertBits(0, 3, 0, 0xffu), 0xfu);
+}
+
+TEST(SignExtend, Positive)
+{
+    EXPECT_EQ(signExtend(0x7fff, 16), 0x7fff);
+    EXPECT_EQ(signExtend(0x0001, 16), 1);
+    EXPECT_EQ(signExtend(0, 16), 0);
+}
+
+TEST(SignExtend, Negative)
+{
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+}
+
+TEST(SignExtend, FullWidthIsIdentity)
+{
+    EXPECT_EQ(signExtend(0xdeadbeefu, 32),
+              int32_t(0xdeadbeefu));
+}
+
+TEST(Fits, Signed16)
+{
+    EXPECT_TRUE(fitsSigned(0, 16));
+    EXPECT_TRUE(fitsSigned(32767, 16));
+    EXPECT_TRUE(fitsSigned(-32768, 16));
+    EXPECT_FALSE(fitsSigned(32768, 16));
+    EXPECT_FALSE(fitsSigned(-32769, 16));
+}
+
+TEST(Fits, Unsigned16)
+{
+    EXPECT_TRUE(fitsUnsigned(0, 16));
+    EXPECT_TRUE(fitsUnsigned(65535, 16));
+    EXPECT_FALSE(fitsUnsigned(65536, 16));
+    EXPECT_FALSE(fitsUnsigned(-1, 16));
+}
+
+class FitsWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FitsWidthTest, BoundariesAreExact)
+{
+    const unsigned width = GetParam();
+    const int64_t smax = (int64_t(1) << (width - 1)) - 1;
+    const int64_t smin = -(int64_t(1) << (width - 1));
+    const int64_t umax = (int64_t(1) << width) - 1;
+    EXPECT_TRUE(fitsSigned(smax, width));
+    EXPECT_TRUE(fitsSigned(smin, width));
+    EXPECT_FALSE(fitsSigned(smax + 1, width));
+    EXPECT_FALSE(fitsSigned(smin - 1, width));
+    EXPECT_TRUE(fitsUnsigned(umax, width));
+    EXPECT_FALSE(fitsUnsigned(umax + 1, width));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FitsWidthTest,
+                         ::testing::Values(1u, 5u, 8u, 16u, 26u, 31u));
+
+} // namespace
+} // namespace irep

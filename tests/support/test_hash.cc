@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for the hash-combining helpers the repetition tracker
+ * depends on.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "support/hash.hh"
+
+namespace irep
+{
+namespace
+{
+
+TEST(Hash, Deterministic)
+{
+    EXPECT_EQ(hashMix(1, 2), hashMix(1, 2));
+    EXPECT_EQ(hashValues({1, 2, 3}), hashValues({1, 2, 3}));
+}
+
+TEST(Hash, OrderSensitive)
+{
+    EXPECT_NE(hashValues({1, 2}), hashValues({2, 1}));
+}
+
+TEST(Hash, LengthSensitive)
+{
+    EXPECT_NE(hashValues({1}), hashValues({1, 0}));
+    EXPECT_NE(hashValues({}), hashValues({0}));
+}
+
+TEST(Hash, SmallInputsDoNotCollide)
+{
+    // The tracker hashes (numSrc, srcVals..., result) tuples whose
+    // components are usually small integers; none of those nearby
+    // tuples may collide.
+    std::set<uint64_t> seen;
+    int inserted = 0;
+    for (uint64_t a = 0; a < 20; ++a) {
+        for (uint64_t b = 0; b < 20; ++b) {
+            for (uint64_t c = 0; c < 20; ++c) {
+                seen.insert(hashValues({a, b, c}));
+                ++inserted;
+            }
+        }
+    }
+    EXPECT_EQ(seen.size(), size_t(inserted));
+}
+
+TEST(Hash, AvalancheOnSingleBitFlip)
+{
+    // Flipping one input bit should flip roughly half the output
+    // bits; require at least 16 of 64 as a sanity floor.
+    const uint64_t base = hashMix(0x1234, 0x1000);
+    for (int bit = 0; bit < 64; bit += 7) {
+        const uint64_t other =
+            hashMix(0x1234, 0x1000 ^ (uint64_t(1) << bit));
+        EXPECT_GE(__builtin_popcountll(base ^ other), 16)
+            << "bit " << bit;
+    }
+}
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the fatal/panic error helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+namespace irep
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Logging, MessagesAreFormatted)
+{
+    try {
+        fatal("value is ", 42, ", not ", 43);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value is 42, not 43");
+    }
+}
+
+TEST(Logging, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "no"));
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+}
+
+TEST(Logging, PanicIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "no"));
+    EXPECT_THROW(panicIf(true, "yes"), PanicError);
+}
+
+TEST(Logging, FatalAndPanicAreDistinctTypes)
+{
+    // User errors (fatal) must not be catchable as internal bugs
+    // (panic) and vice versa.
+    EXPECT_THROW(
+        {
+            try {
+                fatal("user error");
+            } catch (const PanicError &) {
+                FAIL() << "fatal was caught as panic";
+            }
+        },
+        FatalError);
+}
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the text-table formatter used by the bench harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/table.hh"
+
+namespace irep
+{
+namespace
+{
+
+TEST(Table, NumFormatsDigits)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+    EXPECT_EQ(TextTable::num(100.0, 1), "100.0");
+    EXPECT_EQ(TextTable::num(-2.5, 1), "-2.5");
+}
+
+TEST(Table, CountAddsThousandsSeparators)
+{
+    EXPECT_EQ(TextTable::count(0), "0");
+    EXPECT_EQ(TextTable::count(999), "999");
+    EXPECT_EQ(TextTable::count(1000), "1,000");
+    EXPECT_EQ(TextTable::count(1234567), "1,234,567");
+    EXPECT_EQ(TextTable::count(1000000000ull), "1,000,000,000");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable table;
+    table.header({"name", "value"});
+    table.row({"a", "1"});
+    table.row({"longer", "22"});
+    const std::string out = table.render();
+
+    // Every data row must start at the same column offsets.
+    EXPECT_NE(out.find("name    value"), std::string::npos) << out;
+    EXPECT_NE(out.find("a       1"), std::string::npos) << out;
+    EXPECT_NE(out.find("longer  22"), std::string::npos) << out;
+}
+
+TEST(Table, HeaderRule)
+{
+    TextTable table;
+    table.header({"h"});
+    table.row({"x"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("-"), std::string::npos);
+    // Rule comes after header, before data.
+    EXPECT_LT(out.find("h"), out.find("-"));
+    EXPECT_LT(out.find("-"), out.find("x"));
+}
+
+TEST(Table, HandlesRaggedRows)
+{
+    TextTable table;
+    table.header({"a", "b", "c"});
+    table.row({"1"});
+    table.row({"1", "2", "3"});
+    EXPECT_NO_THROW(table.render());
+}
+
+TEST(Table, EmptyTableRendersEmpty)
+{
+    TextTable table;
+    EXPECT_EQ(table.render(), "");
+}
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Workload suite tests: every benchmark compiles, runs to completion,
+ * and produces its golden output (full determinism of the whole
+ * toolchain + simulator stack).
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "minicc/compiler.hh"
+#include "sim/machine.hh"
+#include "support/logging.hh"
+#include "workloads/runtime.hh"
+#include "workloads/workloads.hh"
+
+namespace irep::workloads
+{
+namespace
+{
+
+TEST(Workloads, SuiteHasEightBenchmarksInPaperOrder)
+{
+    const auto &all = allWorkloads();
+    ASSERT_EQ(all.size(), 8u);
+    const std::vector<std::string> expect = {
+        "go", "m88ksim", "ijpeg", "perl",
+        "vortex", "li", "gcc", "compress",
+    };
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(all[i].name, expect[i]);
+}
+
+TEST(Workloads, LookupByName)
+{
+    EXPECT_EQ(workloadByName("li").specAnalogue, "130.li");
+    EXPECT_THROW(workloadByName("nope"), FatalError);
+}
+
+TEST(Workloads, BuildProgramIsMemoized)
+{
+    const auto &w = workloadByName("compress");
+    const assem::Program &a = buildProgram(w);
+    const assem::Program &b = buildProgram(w);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Workloads, EveryProgramHasFunctionMetadata)
+{
+    for (const auto &w : allWorkloads()) {
+        const auto &program = buildProgram(w);
+        EXPECT_GE(program.functions.size(), 20u) << w.name;
+        std::set<std::string> names;
+        for (const auto &f : program.functions) {
+            EXPECT_GT(f.size, 0u) << w.name << ":" << f.name;
+            names.insert(f.name);
+        }
+        EXPECT_TRUE(names.count("main")) << w.name;
+        EXPECT_TRUE(names.count("_start")) << w.name;
+    }
+}
+
+class WorkloadRunTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadRunTest, RunsToGoldenOutput)
+{
+    const Workload &w = workloadByName(GetParam());
+    sim::Machine machine(buildProgram(w));
+    machine.setInput(w.input);
+    machine.run(500'000'000);
+
+    EXPECT_TRUE(machine.halted()) << w.name;
+    EXPECT_EQ(machine.exitCode(), 0) << w.name;
+    ASSERT_FALSE(w.expectedOutput.empty()) << w.name;
+    EXPECT_EQ(machine.output(), w.expectedOutput) << w.name;
+
+    // The analyses need a meaningful instruction volume.
+    EXPECT_GE(machine.instret(), 5'000'000u) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadRunTest,
+    ::testing::Values("go", "m88ksim", "ijpeg", "perl", "vortex",
+                      "li", "gcc", "compress"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(Workloads, RuntimeLibraryCompilesStandalone)
+{
+    EXPECT_NO_THROW(minicc::compileToProgram(
+        runtimeSource() + "int main() { return 0; }\n"));
+}
+
+TEST(Workloads, InputsAreDeterministic)
+{
+    // Input factories must be pure: two calls, identical bytes.
+    EXPECT_EQ(compressInput(), compressInput());
+    EXPECT_EQ(vortexInput(), vortexInput());
+    EXPECT_EQ(gccInput(), gccInput());
+    EXPECT_EQ(ijpegInput(), ijpegInput());
+    EXPECT_EQ(m88ksimInput(), m88ksimInput());
+    EXPECT_EQ(perlInput(), perlInput());
+    EXPECT_EQ(liInput(), liInput());
+}
+
+TEST(Workloads, AlternateInputsDifferFromPrimary)
+{
+    // The paper's input-sensitivity check needs genuinely different
+    // second inputs (go's primary is empty, its alternate is not).
+    for (const auto &w : allWorkloads())
+        EXPECT_NE(w.input, w.altInput) << w.name;
+}
+
+class AltInputRunTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AltInputRunTest, RunsToCompletionCleanly)
+{
+    const Workload &w = workloadByName(GetParam());
+    sim::Machine machine(buildProgram(w));
+    machine.setInput(w.altInput);
+    machine.run(500'000'000);
+    EXPECT_TRUE(machine.halted()) << w.name;
+    EXPECT_EQ(machine.exitCode(), 0) << w.name;
+    // Different input, different (non-empty) output.
+    EXPECT_FALSE(machine.output().empty()) << w.name;
+    EXPECT_NE(machine.output(), w.expectedOutput) << w.name;
+    EXPECT_GE(machine.instret(), 1'000'000u) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, AltInputRunTest,
+    ::testing::Values("go", "m88ksim", "ijpeg", "perl", "vortex",
+                      "li", "gcc", "compress"),
+    [](const auto &info) { return std::string(info.param); });
+
+TEST(Workloads, ExternalInputUseMatchesPaperCharacter)
+{
+    // go takes no input (SPEC's null.in); the interpreters take
+    // substantial input.
+    EXPECT_TRUE(workloadByName("go").input.empty());
+    EXPECT_GT(workloadByName("vortex").input.size(), 10'000u);
+    EXPECT_GT(workloadByName("ijpeg").input.size(), 10'000u);
+    EXPECT_FALSE(workloadByName("compress").input.empty());
+}
+
+} // namespace
+} // namespace irep::workloads

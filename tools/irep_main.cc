@@ -1,0 +1,303 @@
+/**
+ * @file
+ * `irep` — the command-line front door to the toolchain.
+ *
+ *   irep compile <file.mc>                 MiniC -> assembly on stdout
+ *   irep disasm <file.mc|file.s>           program image disassembly
+ *   irep run <file.mc|file.s> [options]    execute, print output/exit
+ *   irep analyze <file.mc|file.s> [opts]   full repetition report
+ *   irep bench <workload> [opts]           analyze a built-in workload
+ *
+ * Options:
+ *   --input <file>   bytes served by the read syscall
+ *   --skip N         instructions to skip before measuring
+ *   --window N       measurement window (default 5,000,000)
+ *   --max N          execution cap for `run` (default 1B)
+ *
+ * Sources ending in `.s` are assembled directly; anything else is
+ * treated as MiniC (with the runtime library linked in).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "core/pipeline.hh"
+#include "isa/instruction.hh"
+#include "minicc/compiler.hh"
+#include "sim/machine.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "workloads/runtime.hh"
+#include "workloads/workloads.hh"
+
+using namespace irep;
+
+namespace
+{
+
+struct Options
+{
+    std::string command;
+    std::string target;
+    std::string inputFile;
+    uint64_t skip = 0;
+    uint64_t window = 5'000'000;
+    uint64_t max = 1'000'000'000;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fputs(
+        "usage: irep <compile|disasm|run|analyze|bench> <target>\n"
+        "            [--input FILE] [--skip N] [--window N] [--max N]\n"
+        "  compile  MiniC -> assembly text\n"
+        "  disasm   assembled program image listing\n"
+        "  run      execute; prints program output and exit code\n"
+        "  analyze  repetition analysis report (the paper's tables,\n"
+        "           for your program)\n"
+        "  bench    same, for a built-in workload (go, m88ksim,\n"
+        "           ijpeg, perl, vortex, li, gcc, compress)\n",
+        stderr);
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open '", path, "'");
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/** Compile or assemble the target into a program image. */
+assem::Program
+buildTarget(const std::string &path)
+{
+    const std::string text = readFile(path);
+    if (endsWith(path, ".s") || endsWith(path, ".asm"))
+        return assem::assemble(text);
+    return minicc::compileToProgram(workloads::runtimeSource() + text);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opts;
+    if (argc < 3)
+        usage();
+    opts.command = argv[1];
+    opts.target = argv[2];
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--input")
+            opts.inputFile = next();
+        else if (arg == "--skip")
+            opts.skip = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--window")
+            opts.window = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--max")
+            opts.max = std::strtoull(next().c_str(), nullptr, 10);
+        else
+            usage();
+    }
+    return opts;
+}
+
+int
+cmdCompile(const Options &opts)
+{
+    const std::string text = readFile(opts.target);
+    std::fputs(
+        minicc::compileToAsm(workloads::runtimeSource() + text)
+            .c_str(),
+        stdout);
+    return 0;
+}
+
+int
+cmdDisasm(const Options &opts)
+{
+    const assem::Program program = buildTarget(opts.target);
+    const assem::FunctionInfo *current = nullptr;
+    for (size_t i = 0; i < program.text.size(); ++i) {
+        const uint32_t pc =
+            assem::Layout::textBase + uint32_t(i) * 4;
+        const assem::FunctionInfo *func = program.functionAt(pc);
+        if (func != current && func) {
+            std::printf("\n%s:  (args=%u, %u instructions)\n",
+                        func->name.c_str(), func->numArgs,
+                        func->size / 4);
+        }
+        current = func;
+        const isa::Instruction inst = isa::decode(program.text[i]);
+        std::printf("  %08x:  %08x  %s\n", pc, program.text[i],
+                    isa::disassemble(inst, pc).c_str());
+    }
+    std::printf("\n%zu instructions, %zu bytes of data, entry 0x%x\n",
+                program.text.size(), program.data.size(),
+                program.entry);
+    return 0;
+}
+
+int
+cmdRun(const Options &opts)
+{
+    const assem::Program program = buildTarget(opts.target);
+    sim::Machine machine(program);
+    if (!opts.inputFile.empty())
+        machine.setInput(readFile(opts.inputFile));
+    machine.run(opts.max);
+    std::fputs(machine.output().c_str(), stdout);
+    if (!machine.halted()) {
+        std::fprintf(stderr,
+                     "irep: stopped after %llu instructions "
+                     "(raise --max)\n",
+                     (unsigned long long)machine.instret());
+        return 3;
+    }
+    std::fprintf(stderr, "irep: exit %d after %llu instructions\n",
+                 machine.exitCode(),
+                 (unsigned long long)machine.instret());
+    return machine.exitCode();
+}
+
+void
+report(core::AnalysisPipeline &pipeline, uint64_t measured)
+{
+    const auto stats = pipeline.tracker().stats();
+    std::printf("window: %llu instructions\n\n",
+                (unsigned long long)measured);
+
+    std::printf("repetition (Table 1):\n");
+    std::printf("  dynamic repeated:        %6.1f%%\n",
+                stats.pctDynRepeated());
+    std::printf("  statics executed:        %6.1f%%\n",
+                stats.pctStaticExecuted());
+    std::printf("  executed statics repeat: %6.1f%%\n",
+                stats.pctStaticRepeatedOfExecuted());
+    std::printf("  unique instances: %llu (avg %.0f repeats)\n\n",
+                (unsigned long long)stats.uniqueRepeatableInstances,
+                stats.avgRepeatsPerInstance);
+
+    std::printf("sources (Table 3, %% of stream / propensity):\n");
+    for (unsigned t = 0; t < core::numGlobalTags; ++t) {
+        const auto tag = core::GlobalTag(t);
+        std::printf("  %-18s %6.1f%%  /  %5.1f%%\n",
+                    std::string(core::globalTagName(tag)).c_str(),
+                    pipeline.taint().stats().pctOverall(tag),
+                    pipeline.taint().stats().propensity(tag));
+    }
+
+    std::printf("\nwithin-function categories (Table 5, %% of "
+                "stream):\n");
+    for (unsigned c = 0; c < core::numLocalCats; ++c) {
+        const auto cat = core::LocalCat(c);
+        std::printf("  %-18s %6.2f%%\n",
+                    std::string(core::localCatName(cat)).c_str(),
+                    pipeline.local().stats().pctOverall(cat));
+    }
+
+    const auto funcs = pipeline.functions().stats();
+    const auto memo = pipeline.functions().memoStats();
+    std::printf("\nfunctions (Tables 4, 8):\n");
+    std::printf("  dynamic calls:       %llu\n",
+                (unsigned long long)funcs.dynamicCalls);
+    std::printf("  all-args repeated:   %6.1f%%\n",
+                funcs.pctAllArgsRepeated());
+    std::printf("  memoizable calls:    %6.1f%%\n",
+                memo.pctCleanOfAll());
+
+    const auto &reuse = pipeline.reuse().stats();
+    const auto &pred = pipeline.prediction();
+    std::printf("\nhardware (Table 10 + extension):\n");
+    std::printf("  8K 4-way reuse buffer: %5.1f%% of all "
+                "instructions\n",
+                reuse.pctOfAll());
+    std::printf("  last-value predictor:  %5.1f%% of writes\n",
+                pred.lastValue().pctOfEligible());
+    std::printf("  stride predictor:      %5.1f%% of writes\n",
+                pred.stride().pctOfEligible());
+    std::printf("  context predictor:     %5.1f%% of writes\n",
+                pred.context().pctOfEligible());
+}
+
+int
+cmdAnalyze(const Options &opts)
+{
+    const assem::Program program = buildTarget(opts.target);
+    sim::Machine machine(program);
+    if (!opts.inputFile.empty())
+        machine.setInput(readFile(opts.inputFile));
+    core::PipelineConfig config;
+    config.skipInstructions = opts.skip;
+    config.windowInstructions = opts.window;
+    core::AnalysisPipeline pipeline(machine, config);
+    const uint64_t measured = pipeline.run();
+    std::printf("=== irep analysis: %s ===\n", opts.target.c_str());
+    report(pipeline, measured);
+    return 0;
+}
+
+int
+cmdBench(const Options &opts)
+{
+    const auto &workload = workloads::workloadByName(opts.target);
+    sim::Machine machine(workloads::buildProgram(workload));
+    machine.setInput(workload.input);
+    core::PipelineConfig config;
+    config.skipInstructions = opts.skip ? opts.skip : 1'000'000;
+    config.windowInstructions = opts.window;
+    core::AnalysisPipeline pipeline(machine, config);
+    const uint64_t measured = pipeline.run();
+    std::printf("=== irep workload: %s (%s) ===\n",
+                workload.name.c_str(),
+                workload.specAnalogue.c_str());
+    report(pipeline, measured);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options opts = parse(argc, argv);
+        if (opts.command == "compile")
+            return cmdCompile(opts);
+        if (opts.command == "disasm")
+            return cmdDisasm(opts);
+        if (opts.command == "run")
+            return cmdRun(opts);
+        if (opts.command == "analyze")
+            return cmdAnalyze(opts);
+        if (opts.command == "bench")
+            return cmdBench(opts);
+        usage();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "irep: error: %s\n", e.what());
+        return 1;
+    } catch (const PanicError &e) {
+        std::fprintf(stderr, "irep: internal error: %s\n", e.what());
+        return 1;
+    }
+}
