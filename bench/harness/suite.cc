@@ -3,7 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace irep::bench
 {
@@ -75,6 +80,35 @@ Suite::runAll()
         entries_.push_back(std::move(entry));
     }
     ran_ = true;
+
+    const char *json_path = std::getenv("IREP_BENCH_JSON");
+    if (json_path && *json_path)
+        writeJson(json_path);
+}
+
+void
+Suite::writeJson(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fatalIf(!out, "cannot open '", path, "'");
+
+    json::Writer w(out);
+    w.beginObject();
+    w.field("schema", "irep-bench-1");
+    w.field("skip", skip_);
+    w.field("window", window_);
+    w.key("workloads");
+    w.beginObject();
+    for (const SuiteEntry &entry : entries_) {
+        w.key(entry.name);
+        stats::Group root;
+        entry.pipeline->registerStats(root);
+        stats::dumpJson(root, w);
+    }
+    w.endObject();
+    w.endObject();
+    out << '\n';
+    fatalIf(!out, "write to '", path, "' failed");
 }
 
 const std::vector<SuiteEntry> &

@@ -5,10 +5,15 @@
  * pipelines to the table printers.
  *
  * Environment knobs:
- *   IREP_SKIP    instructions to skip before measuring (default 1M;
- *                the paper skipped 0.5-2.5 B at SPEC scale)
- *   IREP_WINDOW  measurement window length (default 4M; paper: 1 B)
- *   IREP_BENCH   comma-separated subset of workload names to run
+ *   IREP_SKIP        instructions to skip before measuring (default
+ *                    1M; the paper skipped 0.5-2.5 B at SPEC scale)
+ *   IREP_WINDOW      measurement window length (default 4M; paper:
+ *                    1 B)
+ *   IREP_BENCH       comma-separated subset of workload names to run
+ *   IREP_BENCH_JSON  write one JSON document with every workload's
+ *                    full stats report (the perf-trajectory
+ *                    `BENCH_*.json` format) to this path after the
+ *                    suite runs
  */
 
 #ifndef IREP_BENCH_SUITE_HH
@@ -49,6 +54,14 @@ class Suite
     /** Run one workload with a custom pipeline config (ablations). */
     static SuiteEntry runOne(const std::string &name,
                              const core::PipelineConfig &config);
+
+    /**
+     * Write every entry's stats registry as one JSON document:
+     * `{schema, skip, window, workloads: {name: {stats...}}}`.
+     * Called automatically after runAll() when IREP_BENCH_JSON is
+     * set; public so harness users can emit extra snapshots.
+     */
+    void writeJson(const std::string &path);
 
   private:
     Suite();

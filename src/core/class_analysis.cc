@@ -2,6 +2,7 @@
 
 #include "isa/instruction.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace irep::core
 {
@@ -64,6 +65,41 @@ ClassStats::pctOfRepetition(InstrClass c) const
     return totalRepeated ? 100.0 * double(repeated[unsigned(c)]) /
                                double(totalRepeated)
                          : 0.0;
+}
+
+void
+ClassAnalysis::registerStats(stats::Group &group) const
+{
+    std::vector<std::string> names;
+    for (unsigned c = 0; c < numInstrClasses; ++c)
+        names.emplace_back(instrClassName(InstrClass(c)));
+
+    group.scalar("total_overall", "instructions classified",
+                 [this] { return double(stats_.totalOverall); });
+    group.scalar("total_repeated", "repeated instructions classified",
+                 [this] { return double(stats_.totalRepeated); });
+    group.vector("overall", "dynamic instructions per class", names,
+                 [this](size_t i) {
+                     return double(stats_.overall[i]);
+                 });
+    group.vector("repeated", "repeated instructions per class", names,
+                 [this](size_t i) {
+                     return double(stats_.repeated[i]);
+                 });
+    group.vector("pct_of_all", "% of the dynamic stream per class",
+                 names, [this](size_t i) {
+                     return stats_.pctOfAll(InstrClass(i));
+                 });
+    group.vector("propensity",
+                 "% of each class's instructions that repeat", names,
+                 [this](size_t i) {
+                     return stats_.propensity(InstrClass(i));
+                 });
+    group.vector("pct_of_repetition",
+                 "% of all repetition contributed by each class",
+                 names, [this](size_t i) {
+                     return stats_.pctOfRepetition(InstrClass(i));
+                 });
 }
 
 InstrClass

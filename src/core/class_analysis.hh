@@ -18,6 +18,11 @@
 
 #include "sim/observer.hh"
 
+namespace irep::stats
+{
+class Group;
+}
+
 namespace irep::core
 {
 
@@ -67,6 +72,10 @@ class ClassAnalysis
     InstrClass onInstr(const sim::InstrRecord &rec, bool repeated);
 
     const ClassStats &stats() const { return stats_; }
+
+    /** Register per-class counts and percentages into @p group; the
+     *  analysis must outlive it. */
+    void registerStats(stats::Group &group) const;
 
   private:
     ClassStats stats_;

@@ -4,6 +4,7 @@
 
 #include "isa/registers.hh"
 #include "support/hash.hh"
+#include "support/stats.hh"
 
 namespace irep::core
 {
@@ -35,6 +36,40 @@ MemoizationStats::pctCleanOfAllArgRep() const
     return allArgRepCalls
         ? 100.0 * double(cleanAllArgRepCalls) / double(allArgRepCalls)
         : 0.0;
+}
+
+void
+FunctionAnalysis::registerStats(stats::Group &group) const
+{
+    group.scalar("static_functions_called",
+                 "distinct functions invoked in the window",
+                 [this] {
+                     return double(stats().staticFunctionsCalled);
+                 });
+    group.scalar("dynamic_calls", "dynamic calls in the window",
+                 [this] { return double(stats().dynamicCalls); });
+    group.scalar("all_args_repeated",
+                 "calls whose full argument tuple was seen before",
+                 [this] { return double(stats().allArgsRepeated); });
+    group.scalar("no_args_repeated",
+                 "calls with every argument new for its position",
+                 [this] { return double(stats().noArgsRepeated); });
+    group.scalar("pct_all_args_repeated",
+                 "% of calls with all-argument repetition (Table 4)",
+                 [this] { return stats().pctAllArgsRepeated(); });
+    group.scalar("pct_no_args_repeated",
+                 "% of calls with no-argument repetition (Table 4)",
+                 [this] { return stats().pctNoArgsRepeated(); });
+    group.scalar("clean_calls",
+                 "calls without side effects or implicit inputs",
+                 [this] { return double(memo_.cleanCalls); });
+    group.scalar("pct_memoizable",
+                 "% of all calls that are memoizable (Table 8)",
+                 [this] { return memoStats().pctCleanOfAll(); });
+    group.scalar(
+        "pct_memoizable_of_all_arg_rep",
+        "% of all-args-repeated calls that are memoizable (Table 8)",
+        [this] { return memoStats().pctCleanOfAllArgRep(); });
 }
 
 FunctionAnalysis::FunctionAnalysis(const assem::Program &program,

@@ -29,6 +29,11 @@
 #include "sim/machine.hh"
 #include "sim/observer.hh"
 
+namespace irep::stats
+{
+class Group;
+}
+
 namespace irep::core
 {
 
@@ -76,6 +81,10 @@ class FunctionAnalysis
 
     FunctionStats stats() const;
     MemoizationStats memoStats() const;
+
+    /** Register Table 4 + Table 8 statistics into @p group; the
+     *  analysis must outlive it. */
+    void registerStats(stats::Group &group) const;
 
     /**
      * Figure 5: fraction of all-argument-repeated calls covered when

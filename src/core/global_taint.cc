@@ -4,6 +4,7 @@
 
 #include "isa/registers.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace irep::core
 {
@@ -46,6 +47,52 @@ GlobalTaintStats::propensity(GlobalTag tag) const
     const uint64_t all = overall[unsigned(tag)];
     return all ? 100.0 * double(repeated[unsigned(tag)]) / double(all)
                : 0.0;
+}
+
+namespace
+{
+
+std::vector<std::string>
+tagSubnames()
+{
+    std::vector<std::string> names;
+    for (unsigned t = 0; t < numGlobalTags; ++t)
+        names.emplace_back(globalTagName(GlobalTag(t)));
+    return names;
+}
+
+} // namespace
+
+void
+GlobalTaint::registerStats(stats::Group &group) const
+{
+    group.scalar("total_overall", "instructions classified",
+                 [this] { return double(stats_.totalOverall); });
+    group.scalar("total_repeated", "repeated instructions classified",
+                 [this] { return double(stats_.totalRepeated); });
+    group.vector("overall", "dynamic instructions per source tag",
+                 tagSubnames(), [this](size_t i) {
+                     return double(stats_.overall[i]);
+                 });
+    group.vector("repeated", "repeated instructions per source tag",
+                 tagSubnames(), [this](size_t i) {
+                     return double(stats_.repeated[i]);
+                 });
+    group.vector("pct_overall",
+                 "% of the dynamic stream per source tag (Table 3)",
+                 tagSubnames(), [this](size_t i) {
+                     return stats_.pctOverall(GlobalTag(i));
+                 });
+    group.vector("pct_repeated",
+                 "% of repeated instructions per source tag (Table 3)",
+                 tagSubnames(), [this](size_t i) {
+                     return stats_.pctRepeated(GlobalTag(i));
+                 });
+    group.vector("propensity",
+                 "% of each tag's instructions that repeat (Table 3)",
+                 tagSubnames(), [this](size_t i) {
+                     return stats_.propensity(GlobalTag(i));
+                 });
 }
 
 GlobalTaint::GlobalTaint(const assem::Program &program)

@@ -19,6 +19,11 @@
 #include "core/tag_memory.hh"
 #include "sim/observer.hh"
 
+namespace irep::stats
+{
+class Group;
+}
+
 namespace irep::core
 {
 
@@ -88,6 +93,10 @@ class GlobalTaint
     void onSyscall(const sim::SyscallRecord &rec);
 
     const GlobalTaintStats &stats() const { return stats_; }
+
+    /** Register Table 3 statistics (per-tag counts and derived
+     *  percentages) into @p group; the analysis must outlive it. */
+    void registerStats(stats::Group &group) const;
 
     /** Current tag of a register (exposed for tests). */
     GlobalTag regTag(unsigned reg) const { return regTags_[reg]; }

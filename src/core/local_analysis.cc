@@ -4,6 +4,7 @@
 
 #include "isa/registers.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace irep::core
 {
@@ -52,6 +53,53 @@ LocalStats::propensity(LocalCat cat) const
     const uint64_t all = overall[unsigned(cat)];
     return all ? 100.0 * double(repeated[unsigned(cat)]) / double(all)
                : 0.0;
+}
+
+namespace
+{
+
+std::vector<std::string>
+catSubnames()
+{
+    std::vector<std::string> names;
+    for (unsigned c = 0; c < numLocalCats; ++c)
+        names.emplace_back(localCatName(LocalCat(c)));
+    return names;
+}
+
+} // namespace
+
+void
+LocalAnalysis::registerStats(stats::Group &group) const
+{
+    group.scalar("total_overall", "instructions classified",
+                 [this] { return double(stats_.totalOverall); });
+    group.scalar("total_repeated", "repeated instructions classified",
+                 [this] { return double(stats_.totalRepeated); });
+    group.vector("overall", "dynamic instructions per category",
+                 catSubnames(), [this](size_t i) {
+                     return double(stats_.overall[i]);
+                 });
+    group.vector("repeated", "repeated instructions per category",
+                 catSubnames(), [this](size_t i) {
+                     return double(stats_.repeated[i]);
+                 });
+    group.vector("pct_overall",
+                 "% of the dynamic stream per category (Table 5)",
+                 catSubnames(), [this](size_t i) {
+                     return stats_.pctOverall(LocalCat(i));
+                 });
+    group.vector("pct_repeated",
+                 "% of repeated instructions per category (Table 6)",
+                 catSubnames(), [this](size_t i) {
+                     return stats_.pctRepeated(LocalCat(i));
+                 });
+    group.vector(
+        "propensity",
+        "% of each category's instructions that repeat (Table 7)",
+        catSubnames(), [this](size_t i) {
+            return stats_.propensity(LocalCat(i));
+        });
 }
 
 LocalAnalysis::LocalAnalysis(const assem::Program &program)

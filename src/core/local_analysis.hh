@@ -42,6 +42,11 @@
 #include "core/tag_memory.hh"
 #include "sim/observer.hh"
 
+namespace irep::stats
+{
+class Group;
+}
+
 namespace irep::core
 {
 
@@ -115,6 +120,10 @@ class LocalAnalysis
     LocalCat onInstr(const sim::InstrRecord &rec, bool repeated);
 
     const LocalStats &stats() const { return stats_; }
+
+    /** Register Tables 5-7 statistics (per-category counts and
+     *  percentages) into @p group; the analysis must outlive it. */
+    void registerStats(stats::Group &group) const;
 
     /** Table 9: the top @p n prologue+epilogue contributors. */
     std::vector<ProEpiContributor>

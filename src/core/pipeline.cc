@@ -1,5 +1,9 @@
 #include "core/pipeline.hh"
 
+#include <chrono>
+
+#include "support/stats.hh"
+
 namespace irep::core
 {
 
@@ -79,17 +83,71 @@ AnalysisPipeline::onSyscall(const sim::SyscallRecord &rec)
 uint64_t
 AnalysisPipeline::run()
 {
+    using clock = std::chrono::steady_clock;
+    const auto elapsed = [](clock::time_point from) {
+        return std::chrono::duration<double>(clock::now() - from)
+            .count();
+    };
+
     setCounting(false);
-    if (config_.skipInstructions)
-        machine_.run(config_.skipInstructions);
+    if (progress_)
+        progress_->setPhase("skip");
+    if (config_.skipInstructions) {
+        const auto start = clock::now();
+        timing_.skip.instructions =
+            machine_.run(config_.skipInstructions);
+        timing_.skip.seconds = elapsed(start);
+    }
 
     setCounting(true);
+    if (progress_)
+        progress_->setPhase("window");
+    const auto start = clock::now();
     const uint64_t executed = machine_.run(config_.windowInstructions);
+    timing_.window.seconds = elapsed(start);
+    timing_.window.instructions = executed;
     setCounting(false);
 
     if (functions_)
         functions_->finalize();
     return executed;
+}
+
+void
+AnalysisPipeline::registerStats(stats::Group &root) const
+{
+    auto &run = root.group("run");
+    run.scalar("skip_config", "configured skip length",
+               [this] { return double(config_.skipInstructions); });
+    run.scalar("window_config", "configured window length",
+               [this] { return double(config_.windowInstructions); });
+    run.scalar("skip_instructions", "instructions skipped",
+               [this] { return double(timing_.skip.instructions); });
+    run.scalar("skip_seconds", "wall-clock seconds of the skip phase",
+               [this] { return timing_.skip.seconds; });
+    run.scalar("window_instructions",
+               "instructions executed in the measurement window",
+               [this] { return double(timing_.window.instructions); });
+    run.scalar("window_seconds",
+               "wall-clock seconds of the measurement window",
+               [this] { return timing_.window.seconds; });
+    run.scalar("window_mips",
+               "simulated MIPS over the measurement window",
+               [this] { return timing_.window.mips(); });
+
+    tracker_->registerStats(root.group("repetition"));
+    if (taint_)
+        taint_->registerStats(root.group("global"));
+    if (local_)
+        local_->registerStats(root.group("local"));
+    if (functions_)
+        functions_->registerStats(root.group("functions"));
+    if (reuse_)
+        reuse_->registerStats(root.group("reuse"));
+    if (classes_)
+        classes_->registerStats(root.group("classes"));
+    if (prediction_)
+        prediction_->registerStats(root.group("prediction"));
 }
 
 } // namespace irep::core

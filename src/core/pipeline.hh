@@ -22,9 +22,37 @@
 #include "core/value_prediction.hh"
 #include "sim/machine.hh"
 #include "sim/observer.hh"
+#include "sim/trace.hh"
+
+namespace irep::stats
+{
+class Group;
+}
 
 namespace irep::core
 {
+
+/** Wall-clock measurement of one execution phase. */
+struct PhaseTiming
+{
+    uint64_t instructions = 0;
+    double seconds = 0.0;
+
+    /** Simulated throughput, in millions of instructions/second. */
+    double
+    mips() const
+    {
+        return seconds > 0.0
+            ? double(instructions) / seconds / 1e6 : 0.0;
+    }
+};
+
+/** Timing of a full skip + window run. */
+struct RunTiming
+{
+    PhaseTiming skip;
+    PhaseTiming window;
+};
 
 /** Pipeline configuration. */
 struct PipelineConfig
@@ -72,12 +100,30 @@ class AnalysisPipeline : public sim::Observer
     const sim::Machine &machine() const { return machine_; }
     const PipelineConfig &config() const { return config_; }
 
+    /** Wall-clock timing of the last run() (skip and window). */
+    const RunTiming &timing() const { return timing_; }
+
+    /** Report phase transitions ("skip" / "window") to @p meter while
+     *  run() executes. Not owned; pass nullptr to detach. */
+    void setProgress(sim::ProgressMeter *meter) { progress_ = meter; }
+
+    /**
+     * Register the whole run's statistics into @p root: a `run` group
+     * (per-phase instruction counts, wall-clock seconds and simulated
+     * MIPS) plus one group per enabled analysis. Derived stats read
+     * live values, so the pipeline must outlive @p root. Call after
+     * run().
+     */
+    void registerStats(stats::Group &root) const;
+
   private:
     void setCounting(bool enabled);
 
     sim::Machine &machine_;
     PipelineConfig config_;
     bool counting_ = false;
+    RunTiming timing_;
+    sim::ProgressMeter *progress_ = nullptr;
 
     std::unique_ptr<RepetitionTracker> tracker_;
     std::unique_ptr<GlobalTaint> taint_;

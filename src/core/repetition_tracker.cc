@@ -4,6 +4,7 @@
 
 #include "support/hash.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace irep::core
 {
@@ -89,6 +90,60 @@ RepetitionTracker::stats() const
         ? double(total_repeats) / double(s.uniqueRepeatableInstances)
         : 0.0;
     return s;
+}
+
+void
+RepetitionTracker::registerStats(stats::Group &group) const
+{
+    group.scalar("dyn_total", "dynamic instructions in the window",
+                 [this] { return double(dynTotal_); });
+    group.scalar("dyn_repeated", "repeated dynamic instructions",
+                 [this] { return double(dynRepeated_); });
+    group.scalar("pct_dyn_repeated",
+                 "% of dynamic instructions repeated (Table 1)",
+                 [this] { return stats().pctDynRepeated(); });
+    group.scalar("static_total", "static instructions in the program",
+                 [this] { return double(statics_.size()); });
+    group.scalar("static_executed", "static instructions executed",
+                 [this] { return double(stats().staticExecuted); });
+    group.scalar("static_repeated",
+                 "executed statics with at least one repeat",
+                 [this] { return double(stats().staticRepeated); });
+    group.scalar("pct_static_executed",
+                 "% of statics executed (Table 1)",
+                 [this] { return stats().pctStaticExecuted(); });
+    group.scalar(
+        "pct_static_repeated_of_executed",
+        "% of executed statics that repeat (Table 1)",
+        [this] { return stats().pctStaticRepeatedOfExecuted(); });
+    group.scalar(
+        "unique_repeatable_instances",
+        "buffered instances matched at least once (Table 2)",
+        [this] { return double(stats().uniqueRepeatableInstances); });
+    group.scalar("avg_repeats_per_instance",
+                 "mean repeats per unique repeatable instance",
+                 [this] { return stats().avgRepeatsPerInstance; });
+    group.scalar("instance_cap",
+                 "buffered-instance cap per static instruction",
+                 [this] { return double(cap_); });
+
+    // Figure 3's bucket layout, as a distribution of the
+    // unique-repeatable-instance count over repeating statics.
+    // Sampled now: register after run() for meaningful contents.
+    auto &dist = group.distribution(
+        "instances_per_repeating_static",
+        "unique repeatable instances per static with repeats",
+        {1, 10, 100, 1000});
+    for (const StaticEntry &e : statics_) {
+        if (!e.repeats)
+            continue;
+        uint32_t unique_repeatable = 0;
+        for (const auto &[key, repeats] : e.instances) {
+            if (repeats)
+                ++unique_repeatable;
+        }
+        dist.sample(double(unique_repeatable));
+    }
 }
 
 namespace

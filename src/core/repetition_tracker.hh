@@ -15,6 +15,11 @@
 
 #include "sim/observer.hh"
 
+namespace irep::stats
+{
+class Group;
+}
+
 namespace irep::core
 {
 
@@ -77,6 +82,14 @@ class RepetitionTracker
 
     /** Aggregate statistics (Table 1 / Table 2). */
     RepetitionStats stats() const;
+
+    /**
+     * Register this analysis's statistics (Table 1/2 values plus the
+     * Figure 3 instances-per-static distribution) into @p group.
+     * Scalars are derived — they read live values at dump time — so
+     * the tracker must outlive the group.
+     */
+    void registerStats(stats::Group &group) const;
 
     /**
      * Figure 1: fraction of *repeated static instructions* (sorted by

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace irep::core
 {
@@ -19,6 +20,28 @@ ReuseStats::pctOfRepeated() const
 {
     return repeatedInstructions
         ? 100.0 * double(hits) / double(repeatedInstructions) : 0.0;
+}
+
+void
+ReuseBuffer::registerStats(stats::Group &group) const
+{
+    group.scalar("entries", "buffer entries",
+                 [this] { return double(config_.entries); });
+    group.scalar("ways", "buffer associativity",
+                 [this] { return double(config_.ways); });
+    group.scalar("accesses", "instructions offered to the buffer",
+                 [this] { return double(stats_.accesses); });
+    group.scalar("hits", "reused instructions",
+                 [this] { return double(stats_.hits); });
+    group.scalar("invalidations",
+                 "load entries killed by stores",
+                 [this] { return double(stats_.invalidations); });
+    group.scalar("pct_of_all",
+                 "% of all dynamic instructions reused (Table 10)",
+                 [this] { return stats_.pctOfAll(); });
+    group.scalar("pct_of_repeated",
+                 "% of repeated instructions reused (Table 10)",
+                 [this] { return stats_.pctOfRepeated(); });
 }
 
 ReuseBuffer::ReuseBuffer(const ReuseConfig &config)

@@ -17,6 +17,11 @@
 
 #include "sim/observer.hh"
 
+namespace irep::stats
+{
+class Group;
+}
+
 namespace irep::core
 {
 
@@ -61,6 +66,10 @@ class ReuseBuffer
 
     const ReuseStats &stats() const { return stats_; }
     const ReuseConfig &config() const { return config_; }
+
+    /** Register Table 10 statistics and the buffer geometry into
+     *  @p group; the buffer must outlive it. */
+    void registerStats(stats::Group &group) const;
 
   private:
     struct Entry

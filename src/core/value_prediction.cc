@@ -2,6 +2,7 @@
 
 #include "support/hash.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
 
 namespace irep::core
 {
@@ -17,6 +18,36 @@ PredictorStats::accuracy() const
 {
     return predictions ? 100.0 * double(correct) / double(predictions)
                        : 0.0;
+}
+
+namespace
+{
+
+void
+registerScheme(stats::Group &group, const PredictorStats &scheme)
+{
+    group.scalar("eligible", "register-writing instructions seen",
+                 [&scheme] { return double(scheme.eligible); });
+    group.scalar("predictions", "predictions offered",
+                 [&scheme] { return double(scheme.predictions); });
+    group.scalar("correct", "correct predictions",
+                 [&scheme] { return double(scheme.correct); });
+    group.scalar("pct_of_eligible",
+                 "correct predictions as % of eligible instructions",
+                 [&scheme] { return scheme.pctOfEligible(); });
+    group.scalar("accuracy",
+                 "correct predictions as % of offered predictions",
+                 [&scheme] { return scheme.accuracy(); });
+}
+
+} // namespace
+
+void
+ValuePrediction::registerStats(stats::Group &group) const
+{
+    registerScheme(group.group("last_value"), last_);
+    registerScheme(group.group("stride"), stride_);
+    registerScheme(group.group("context"), context_);
 }
 
 ValuePrediction::ValuePrediction(const ValuePredictorConfig &config)

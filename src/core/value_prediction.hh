@@ -22,6 +22,11 @@
 
 #include "sim/observer.hh"
 
+namespace irep::stats
+{
+class Group;
+}
+
 namespace irep::core
 {
 
@@ -62,6 +67,10 @@ class ValuePrediction
     const PredictorStats &stride() const { return stride_; }
     const PredictorStats &context() const { return context_; }
     const ValuePredictorConfig &config() const { return config_; }
+
+    /** Register per-scheme accuracy statistics into @p group; the
+     *  predictor must outlive it. */
+    void registerStats(stats::Group &group) const;
 
   private:
     struct Entry

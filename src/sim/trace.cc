@@ -1,0 +1,111 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace irep::sim
+{
+
+RetireTracer::RetireTracer(std::ostream &out,
+                           const TraceConfig &config)
+    : out_(out), config_(config)
+{
+    fatalIf(config.sampleInterval == 0,
+            "trace sample interval must be positive");
+    fatalIf(config.filterPc && config.pcLo > config.pcHi,
+            "trace pc filter range is empty");
+}
+
+void
+RetireTracer::onRetire(const InstrRecord &rec)
+{
+    if (config_.filterPc &&
+        (rec.pc < config_.pcLo || rec.pc > config_.pcHi)) {
+        return;
+    }
+    const bool emit = observed_ % config_.sampleInterval == 0;
+    ++observed_;
+    if (!emit)
+        return;
+    ++emitted_;
+    if (config_.format == TraceConfig::Format::Jsonl)
+        emitJsonl(rec);
+    else
+        emitText(rec);
+}
+
+void
+RetireTracer::emitText(const InstrRecord &rec)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%10llu  %08x  %-28s",
+                  (unsigned long long)rec.seq, rec.pc,
+                  isa::disassemble(*rec.inst, rec.pc).c_str());
+    out_ << buf;
+    if (rec.isMemAccess) {
+        std::snprintf(buf, sizeof(buf), "  @%08x", rec.memAddr);
+        out_ << buf;
+    }
+    std::snprintf(buf, sizeof(buf), "  = %llx",
+                  (unsigned long long)rec.result);
+    out_ << buf << '\n';
+}
+
+void
+RetireTracer::emitJsonl(const InstrRecord &rec)
+{
+    json::Writer w(out_, /*pretty=*/false);
+    w.beginObject();
+    w.field("seq", rec.seq);
+    w.field("pc", uint64_t(rec.pc));
+    w.field("asm", isa::disassemble(*rec.inst, rec.pc));
+    if (rec.numSrcRegs) {
+        w.key("src");
+        w.beginArray();
+        for (int i = 0; i < rec.numSrcRegs; ++i)
+            w.value(uint64_t(rec.srcVal[i]));
+        w.endArray();
+    }
+    if (rec.isMemAccess)
+        w.field("addr", uint64_t(rec.memAddr));
+    w.field("result", rec.result);
+    w.endObject();
+    out_ << '\n';
+}
+
+ProgressMeter::ProgressMeter(uint64_t interval, std::ostream &out)
+    : interval_(interval), out_(out),
+      lastBeat_(std::chrono::steady_clock::now())
+{
+    fatalIf(interval == 0, "progress interval must be positive");
+}
+
+void
+ProgressMeter::onRetire(const InstrRecord &)
+{
+    ++total_;
+    if (++sinceBeat_ < interval_)
+        return;
+
+    const auto now = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(now - lastBeat_).count();
+    const double mips = seconds > 0.0
+        ? double(sinceBeat_) / seconds / 1e6 : 0.0;
+
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", mips);
+    out_ << "irep: [" << phase_ << "] "
+         << TextTable::count(total_) << " instret, " << buf
+         << " MIPS\n";
+    out_.flush();
+
+    sinceBeat_ = 0;
+    lastBeat_ = now;
+    ++beats_;
+}
+
+} // namespace irep::sim

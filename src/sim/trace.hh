@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Retire-stream observability: a sampling tracer that writes one
+ * record per selected retired instruction (compact text or JSONL),
+ * and a progress heartbeat that reports instret, phase and simulation
+ * throughput while a long window executes.
+ *
+ * Both are plain Observers: when neither is requested nothing is
+ * attached to the Machine, so the default path pays nothing.
+ */
+
+#ifndef IREP_SIM_TRACE_HH
+#define IREP_SIM_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "sim/observer.hh"
+
+namespace irep::sim
+{
+
+/** Retire-tracer configuration. */
+struct TraceConfig
+{
+    /**
+     * Emit every Nth instruction that passes the PC filter: the 1st,
+     * (N+1)th, (2N+1)th, ... observed instruction is recorded. 1
+     * records everything. Must be positive.
+     */
+    uint64_t sampleInterval = 1;
+
+    /** When set, only instructions with pcLo <= pc <= pcHi are
+     *  considered (they alone advance the sampling counter). */
+    bool filterPc = false;
+    uint32_t pcLo = 0;
+    uint32_t pcHi = UINT32_MAX;
+
+    enum class Format
+    {
+        Text,   //!< one aligned text line per record
+        Jsonl,  //!< one JSON object per line
+    };
+    Format format = Format::Text;
+};
+
+/**
+ * Writes sampled retire records to a stream.
+ *
+ * Text format:   `<seq> <pc> <disassembly> = <result>`
+ * JSONL format:  `{"seq":..,"pc":..,"op":"..","asm":"..","result":..}`
+ * (plus src/mem fields when present).
+ */
+class RetireTracer : public Observer
+{
+  public:
+    RetireTracer(std::ostream &out,
+                 const TraceConfig &config = TraceConfig());
+
+    void onRetire(const InstrRecord &rec) override;
+
+    /** Instructions that passed the PC filter. */
+    uint64_t observed() const { return observed_; }
+    /** Records actually written. */
+    uint64_t emitted() const { return emitted_; }
+
+    const TraceConfig &config() const { return config_; }
+
+  private:
+    void emitText(const InstrRecord &rec);
+    void emitJsonl(const InstrRecord &rec);
+
+    std::ostream &out_;
+    TraceConfig config_;
+    uint64_t observed_ = 0;
+    uint64_t emitted_ = 0;
+};
+
+/**
+ * Periodic stderr-style heartbeat: every @p interval retired
+ * instructions, print total instret, the current phase label (the
+ * pipeline reports "skip" / "window"; standalone runs stay "run") and
+ * the wall-clock simulation rate since the previous beat, in
+ * simulated MIPS.
+ */
+class ProgressMeter : public Observer
+{
+  public:
+    ProgressMeter(uint64_t interval, std::ostream &out);
+
+    /** Label the current execution phase (e.g. "skip", "window"). */
+    void setPhase(std::string_view phase) { phase_ = phase; }
+    const std::string &phase() const { return phase_; }
+
+    void onRetire(const InstrRecord &rec) override;
+
+    /** Heartbeats emitted so far. */
+    uint64_t beats() const { return beats_; }
+
+  private:
+    uint64_t interval_;
+    std::ostream &out_;
+    std::string phase_ = "run";
+    uint64_t sinceBeat_ = 0;
+    uint64_t total_ = 0;
+    uint64_t beats_ = 0;
+    std::chrono::steady_clock::time_point lastBeat_;
+};
+
+} // namespace irep::sim
+
+#endif // IREP_SIM_TRACE_HH

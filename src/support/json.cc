@@ -1,0 +1,541 @@
+#include "support/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace irep::json
+{
+
+// --- Writer ---------------------------------------------------------
+
+Writer::Writer(std::ostream &out, bool pretty)
+    : out_(out), pretty_(pretty)
+{
+}
+
+void
+Writer::writeEscaped(std::ostream &out, std::string_view text)
+{
+    out.put('"');
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out << "\\\"";
+            break;
+          case '\\':
+            out << "\\\\";
+            break;
+          case '\n':
+            out << "\\n";
+            break;
+          case '\r':
+            out << "\\r";
+            break;
+          case '\t':
+            out << "\\t";
+            break;
+          case '\b':
+            out << "\\b";
+            break;
+          case '\f':
+            out << "\\f";
+            break;
+          default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out << buf;
+            } else {
+                out.put(c);
+            }
+        }
+    }
+    out.put('"');
+}
+
+void
+Writer::newline()
+{
+    if (!pretty_)
+        return;
+    out_.put('\n');
+    for (size_t i = 0; i < stack_.size(); ++i)
+        out_ << "  ";
+}
+
+void
+Writer::beforeValue()
+{
+    panicIf(done_, "json: write past end of document");
+    if (stack_.empty()) {
+        // Document root: exactly one value allowed.
+        return;
+    }
+    Level &level = stack_.back();
+    if (level.isArray) {
+        if (level.members++)
+            out_.put(',');
+        newline();
+    } else {
+        panicIf(!keyPending_, "json: object member without key()");
+        keyPending_ = false;
+    }
+}
+
+void
+Writer::key(std::string_view name)
+{
+    panicIf(stack_.empty() || stack_.back().isArray,
+            "json: key() outside an object");
+    panicIf(keyPending_, "json: key() after key()");
+    if (stack_.back().members++)
+        out_.put(',');
+    newline();
+    writeEscaped(out_, name);
+    out_.put(':');
+    if (pretty_)
+        out_.put(' ');
+    keyPending_ = true;
+}
+
+void
+Writer::beginObject()
+{
+    beforeValue();
+    out_.put('{');
+    stack_.push_back({false});
+}
+
+void
+Writer::endObject()
+{
+    panicIf(stack_.empty() || stack_.back().isArray,
+            "json: endObject() without beginObject()");
+    panicIf(keyPending_, "json: endObject() after dangling key()");
+    const bool had = stack_.back().members > 0;
+    stack_.pop_back();
+    if (had)
+        newline();
+    out_.put('}');
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+Writer::beginArray()
+{
+    beforeValue();
+    out_.put('[');
+    stack_.push_back({true});
+}
+
+void
+Writer::endArray()
+{
+    panicIf(stack_.empty() || !stack_.back().isArray,
+            "json: endArray() without beginArray()");
+    const bool had = stack_.back().members > 0;
+    stack_.pop_back();
+    if (had)
+        newline();
+    out_.put(']');
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+Writer::value(std::string_view text)
+{
+    beforeValue();
+    writeEscaped(out_, text);
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+Writer::value(double number)
+{
+    beforeValue();
+    if (!std::isfinite(number)) {
+        out_ << "null";
+    } else if (number == std::floor(number) &&
+               std::abs(number) < 9.007199254740992e15) {
+        // Exactly-integral and representable: print without exponent
+        // so integer counters survive the double round-trip readably.
+        out_ << int64_t(number);
+    } else {
+        char buf[32];
+        const auto res =
+            std::to_chars(buf, buf + sizeof(buf), number);
+        out_ << std::string_view(buf, size_t(res.ptr - buf));
+    }
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+Writer::value(uint64_t number)
+{
+    beforeValue();
+    out_ << number;
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+Writer::value(int64_t number)
+{
+    beforeValue();
+    out_ << number;
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+Writer::value(bool flag)
+{
+    beforeValue();
+    out_ << (flag ? "true" : "false");
+    if (stack_.empty())
+        done_ = true;
+}
+
+void
+Writer::null()
+{
+    beforeValue();
+    out_ << "null";
+    if (stack_.empty())
+        done_ = true;
+}
+
+// --- Value ----------------------------------------------------------
+
+double
+Value::asNumber() const
+{
+    fatalIf(kind_ != Kind::Number, "json: not a number");
+    return number_;
+}
+
+uint64_t
+Value::asU64() const
+{
+    fatalIf(kind_ != Kind::Number, "json: not a number");
+    uint64_t out = 0;
+    const auto res =
+        std::from_chars(text_.data(), text_.data() + text_.size(), out);
+    if (res.ec == std::errc() && res.ptr == text_.data() + text_.size())
+        return out;
+    // Not a plain non-negative integer literal; round the double.
+    return uint64_t(number_);
+}
+
+bool
+Value::asBool() const
+{
+    fatalIf(kind_ != Kind::Bool, "json: not a bool");
+    return bool_;
+}
+
+const std::string &
+Value::asString() const
+{
+    fatalIf(kind_ != Kind::String, "json: not a string");
+    return text_;
+}
+
+const Value &
+Value::at(std::string_view key) const
+{
+    fatalIf(kind_ != Kind::Object, "json: not an object");
+    for (const auto &[name, member] : object_) {
+        if (name == key)
+            return member;
+    }
+    fatal("json: no member '", std::string(key), "'");
+}
+
+bool
+Value::contains(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (const auto &[name, member] : object_) {
+        if (name == key)
+            return true;
+    }
+    return false;
+}
+
+const Value &
+Value::at(size_t index) const
+{
+    fatalIf(kind_ != Kind::Array, "json: not an array");
+    fatalIf(index >= array_.size(), "json: index ", index,
+            " out of range (size ", array_.size(), ")");
+    return array_[index];
+}
+
+size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    fatal("json: size() on a non-container");
+}
+
+// --- Parser ---------------------------------------------------------
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value
+    document()
+    {
+        Value v = element();
+        skipSpace();
+        fatalIf(pos_ != text_.size(),
+                "json: trailing characters at offset ", pos_);
+        return v;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        fatalIf(pos_ >= text_.size(), "json: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        fatalIf(peek() != c, "json: expected '", c, "' at offset ",
+                pos_);
+        ++pos_;
+    }
+
+    bool
+    consume(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    Value
+    element()
+    {
+        skipSpace();
+        switch (peek()) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"': {
+            Value v;
+            v.kind_ = Value::Kind::String;
+            v.text_ = string();
+            return v;
+          }
+          case 't': {
+            fatalIf(!consume("true"), "json: bad literal");
+            Value v;
+            v.kind_ = Value::Kind::Bool;
+            v.bool_ = true;
+            return v;
+          }
+          case 'f': {
+            fatalIf(!consume("false"), "json: bad literal");
+            Value v;
+            v.kind_ = Value::Kind::Bool;
+            return v;
+          }
+          case 'n': {
+            fatalIf(!consume("null"), "json: bad literal");
+            return Value();
+          }
+          default:
+            return number();
+        }
+    }
+
+    Value
+    object()
+    {
+        expect('{');
+        Value v;
+        v.kind_ = Value::Kind::Object;
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipSpace();
+            std::string key = string();
+            skipSpace();
+            expect(':');
+            v.object_.emplace_back(std::move(key), element());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value
+    array()
+    {
+        expect('[');
+        Value v;
+        v.kind_ = Value::Kind::Array;
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array_.push_back(element());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            fatalIf(pos_ >= text_.size(),
+                    "json: unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            fatalIf(pos_ >= text_.size(), "json: unterminated escape");
+            c = text_[pos_++];
+            switch (c) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(c);
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'u': {
+                fatalIf(pos_ + 4 > text_.size(),
+                        "json: truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fatal("json: bad \\u escape digit '", h, "'");
+                }
+                // UTF-8 encode (BMP only; surrogates unsupported).
+                if (code < 0x80) {
+                    out.push_back(char(code));
+                } else if (code < 0x800) {
+                    out.push_back(char(0xc0 | (code >> 6)));
+                    out.push_back(char(0x80 | (code & 0x3f)));
+                } else {
+                    out.push_back(char(0xe0 | (code >> 12)));
+                    out.push_back(char(0x80 | ((code >> 6) & 0x3f)));
+                    out.push_back(char(0x80 | (code & 0x3f)));
+                }
+                break;
+              }
+              default:
+                fatal("json: bad escape '\\", c, "'");
+            }
+        }
+    }
+
+    Value
+    number()
+    {
+        const size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(uint8_t(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        const std::string_view raw = text_.substr(start, pos_ - start);
+        Value v;
+        v.kind_ = Value::Kind::Number;
+        v.text_ = std::string(raw);
+        const auto res = std::from_chars(raw.data(),
+                                         raw.data() + raw.size(),
+                                         v.number_);
+        fatalIf(res.ec != std::errc() ||
+                    res.ptr != raw.data() + raw.size(),
+                "json: bad number '", v.text_, "' at offset ", start);
+        return v;
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+Value
+parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+} // namespace irep::json

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming writer
+ * (used by `stats::dumpJson`, the JSONL retire tracer and the bench
+ * harness) and a small recursive-descent parser (used by tests and by
+ * anything that wants to diff two stats reports).
+ *
+ * The writer guarantees valid RFC 8259 output: strings are escaped,
+ * integers print exactly, doubles round-trip (shortest form via
+ * std::to_chars), and non-finite doubles — which JSON cannot
+ * represent — are emitted as null.
+ */
+
+#ifndef IREP_SUPPORT_JSON_HH
+#define IREP_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace irep::json
+{
+
+/**
+ * Streaming JSON writer. Call begin/end for containers, key() before
+ * each object member, value() for leaves. Nesting and comma placement
+ * are tracked internally; misuse (a value where a key is required,
+ * unbalanced end calls) panics.
+ */
+class Writer
+{
+  public:
+    /** @param pretty Indent output (2 spaces per level). */
+    explicit Writer(std::ostream &out, bool pretty = true);
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Start an object member; must be followed by a value or
+     *  container. */
+    void key(std::string_view name);
+
+    void value(std::string_view text);
+    void value(const char *text) { value(std::string_view(text)); }
+    void value(double number);
+    void value(uint64_t number);
+    void value(int64_t number);
+    void value(int number) { value(int64_t(number)); }
+    void value(unsigned number) { value(uint64_t(number)); }
+    void value(bool flag);
+    void null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(std::string_view name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** Depth of open containers (0 when the document is complete). */
+    size_t depth() const { return stack_.size(); }
+
+    /** Append @p text escaped as a JSON string (with quotes) to
+     *  @p out. */
+    static void writeEscaped(std::ostream &out, std::string_view text);
+
+  private:
+    struct Level
+    {
+        bool isArray;
+        size_t members = 0;
+    };
+
+    void beforeValue();
+    void newline();
+
+    std::ostream &out_;
+    bool pretty_;
+    bool keyPending_ = false;
+    bool done_ = false;
+    std::vector<Level> stack_;
+};
+
+/**
+ * A parsed JSON document node. Numbers are stored as double (plus the
+ * original text so integer callers can recover full uint64 precision).
+ */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Numeric value; fatal() when not a number. */
+    double asNumber() const;
+    /** Numeric value parsed as uint64 (full precision). */
+    uint64_t asU64() const;
+    bool asBool() const;
+    const std::string &asString() const;
+
+    /** Object member access; fatal() on missing key / wrong kind. */
+    const Value &at(std::string_view key) const;
+    bool contains(std::string_view key) const;
+    /** Array element access; fatal() when out of range. */
+    const Value &at(size_t index) const;
+    /** Array length or object member count. */
+    size_t size() const;
+
+    const std::vector<std::pair<std::string, Value>> &members() const
+    {
+        return object_;
+    }
+    const std::vector<Value> &elements() const { return array_; }
+
+  private:
+    friend class Parser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string text_;      //!< string value, or raw number text
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+/** Parse a complete JSON document; fatal() on malformed input. */
+Value parse(std::string_view text);
+
+} // namespace irep::json
+
+#endif // IREP_SUPPORT_JSON_HH

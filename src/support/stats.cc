@@ -1,0 +1,344 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace irep::stats
+{
+
+void
+Scalar::accept(Visitor &v) const
+{
+    v.visit(*this);
+}
+
+void
+Vector::accept(Visitor &v) const
+{
+    v.visit(*this);
+}
+
+Distribution::Distribution(std::string name, std::string desc,
+                           std::vector<double> upper_bounds)
+    : Stat(std::move(name), std::move(desc)),
+      bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0)
+{
+    fatalIf(bounds_.empty(), "distribution '", this->name(),
+            "' needs at least one bucket bound");
+    fatalIf(!std::is_sorted(bounds_.begin(), bounds_.end()),
+            "distribution '", this->name(),
+            "' bucket bounds must be ascending");
+}
+
+void
+Distribution::sample(double value, uint64_t count)
+{
+    if (!count)
+        return;
+    size_t bucket = bounds_.size();    // overflow by default
+    for (size_t i = 0; i < bounds_.size(); ++i) {
+        if (value <= bounds_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    counts_[bucket] += count;
+    if (!count_ || value < min_)
+        min_ = value;
+    if (!count_ || value > max_)
+        max_ = value;
+    count_ += count;
+    sum_ += value * double(count);
+}
+
+void
+Distribution::accept(Visitor &v) const
+{
+    v.visit(*this);
+}
+
+void
+Group::checkName(const std::string &name) const
+{
+    fatalIf(name.empty(), "stats: empty name in group '", name_, "'");
+    fatalIf(find(name) || findGroup(name), "stats: duplicate name '",
+            name, "' in group '", name_, "'");
+}
+
+Group &
+Group::group(std::string_view name)
+{
+    for (auto &child : children_) {
+        if (child->name() == name)
+            return *child;
+    }
+    fatalIf(find(name), "stats: group name '", std::string(name),
+            "' collides with a stat in group '", name_, "'");
+    children_.push_back(std::make_unique<Group>(std::string(name)));
+    return *children_.back();
+}
+
+Scalar &
+Group::scalar(std::string name, std::string desc)
+{
+    checkName(name);
+    auto stat =
+        std::make_unique<Scalar>(std::move(name), std::move(desc));
+    Scalar &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Scalar &
+Group::scalar(std::string name, std::string desc,
+              Scalar::Source source)
+{
+    checkName(name);
+    auto stat = std::make_unique<Scalar>(
+        std::move(name), std::move(desc), std::move(source));
+    Scalar &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Vector &
+Group::vector(std::string name, std::string desc,
+              std::vector<std::string> subnames)
+{
+    checkName(name);
+    auto stat = std::make_unique<Vector>(
+        std::move(name), std::move(desc), std::move(subnames));
+    Vector &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Vector &
+Group::vector(std::string name, std::string desc,
+              std::vector<std::string> subnames, Vector::Source source)
+{
+    checkName(name);
+    auto stat = std::make_unique<Vector>(
+        std::move(name), std::move(desc), std::move(subnames),
+        std::move(source));
+    Vector &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+Distribution &
+Group::distribution(std::string name, std::string desc,
+                    std::vector<double> upper_bounds)
+{
+    checkName(name);
+    auto stat = std::make_unique<Distribution>(
+        std::move(name), std::move(desc), std::move(upper_bounds));
+    Distribution &ref = *stat;
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+const Stat *
+Group::find(std::string_view name) const
+{
+    for (const auto &stat : stats_) {
+        if (stat->name() == name)
+            return stat.get();
+    }
+    return nullptr;
+}
+
+const Group *
+Group::findGroup(std::string_view name) const
+{
+    for (const auto &child : children_) {
+        if (child->name() == name)
+            return child.get();
+    }
+    return nullptr;
+}
+
+void
+Group::accept(Visitor &v) const
+{
+    v.beginGroup(*this);
+    for (const auto &stat : stats_)
+        stat->accept(v);
+    for (const auto &child : children_)
+        child->accept(v);
+    v.endGroup(*this);
+}
+
+namespace
+{
+
+/** Formats one `path.name  value  # desc` line per stat. */
+class TextDumper : public Visitor
+{
+  public:
+    std::string
+    str() const
+    {
+        return os_.str();
+    }
+
+    void
+    beginGroup(const Group &group) override
+    {
+        if (!group.name().empty())
+            path_.push_back(group.name());
+    }
+
+    void
+    endGroup(const Group &group) override
+    {
+        if (!group.name().empty())
+            path_.pop_back();
+    }
+
+    void
+    visit(const Scalar &stat) override
+    {
+        line(stat.name(), stat.value(), stat.desc());
+    }
+
+    void
+    visit(const Vector &stat) override
+    {
+        for (size_t i = 0; i < stat.size(); ++i) {
+            line(stat.name() + "::" + stat.subnames()[i],
+                 stat.value(i), stat.desc());
+        }
+    }
+
+    void
+    visit(const Distribution &stat) override
+    {
+        line(stat.name() + "::count", double(stat.count()),
+             stat.desc());
+        line(stat.name() + "::mean", stat.mean(), stat.desc());
+        for (size_t i = 0; i < stat.numBuckets(); ++i) {
+            std::ostringstream label;
+            label << stat.name() << "::";
+            if (i < stat.upperBounds().size())
+                label << "le_" << stat.upperBounds()[i];
+            else
+                label << "overflow";
+            line(label.str(), double(stat.bucketCount(i)),
+                 stat.desc());
+        }
+    }
+
+  private:
+    void
+    line(const std::string &name, double value,
+         const std::string &desc)
+    {
+        std::string full;
+        for (const std::string &part : path_)
+            full += part + '.';
+        full += name;
+        os_ << full;
+        if (full.size() < 44)
+            os_ << std::string(44 - full.size(), ' ');
+        os_ << "  " << value;
+        if (!desc.empty())
+            os_ << "  # " << desc;
+        os_ << '\n';
+    }
+
+    std::vector<std::string> path_;
+    std::ostringstream os_;
+};
+
+/** Streams the tree into a json::Writer as nested objects. */
+class JsonDumper : public Visitor
+{
+  public:
+    explicit JsonDumper(json::Writer &w) : w_(w) {}
+
+    void
+    beginGroup(const Group &group) override
+    {
+        if (root_) {
+            root_ = false;
+        } else {
+            w_.key(group.name());
+        }
+        w_.beginObject();
+    }
+
+    void
+    endGroup(const Group &) override
+    {
+        w_.endObject();
+    }
+
+    void
+    visit(const Scalar &stat) override
+    {
+        w_.field(stat.name(), stat.value());
+    }
+
+    void
+    visit(const Vector &stat) override
+    {
+        w_.key(stat.name());
+        w_.beginObject();
+        for (size_t i = 0; i < stat.size(); ++i)
+            w_.field(stat.subnames()[i], stat.value(i));
+        w_.endObject();
+    }
+
+    void
+    visit(const Distribution &stat) override
+    {
+        w_.key(stat.name());
+        w_.beginObject();
+        w_.key("buckets");
+        w_.beginArray();
+        for (size_t i = 0; i < stat.numBuckets(); ++i) {
+            w_.beginObject();
+            if (i < stat.upperBounds().size())
+                w_.field("le", stat.upperBounds()[i]);
+            else
+                w_.field("le", "inf");
+            w_.field("count", stat.bucketCount(i));
+            w_.endObject();
+        }
+        w_.endArray();
+        w_.field("count", stat.count());
+        w_.field("sum", stat.sum());
+        w_.field("min", stat.min());
+        w_.field("max", stat.max());
+        w_.field("mean", stat.mean());
+        w_.endObject();
+    }
+
+  private:
+    json::Writer &w_;
+    bool root_ = true;
+};
+
+} // namespace
+
+std::string
+dumpText(const Group &root)
+{
+    TextDumper dumper;
+    root.accept(dumper);
+    return dumper.str();
+}
+
+void
+dumpJson(const Group &root, json::Writer &writer)
+{
+    JsonDumper dumper(writer);
+    root.accept(dumper);
+}
+
+} // namespace irep::stats

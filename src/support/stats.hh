@@ -1,0 +1,273 @@
+/**
+ * @file
+ * A gem5-style statistics registry: named scalar / vector /
+ * distribution stats with one-line descriptions, organized into a
+ * hierarchy of groups, walked by visitors, dumpable as aligned text or
+ * JSON.
+ *
+ * Two flavours of stat coexist:
+ *
+ *  - *storage* stats own their value (`Scalar s = group.scalar(...);
+ *    s += 3;`) — used for counters the observability layer itself
+ *    maintains (timing, trace bookkeeping);
+ *  - *derived* stats evaluate a callback at dump time — used by the
+ *    analyses in src/core/, whose counters already live in their own
+ *    result structs. `registerStats()` on an analysis binds callbacks
+ *    into a group without duplicating state, so a dump always reflects
+ *    the live values.
+ *
+ * Lifetime rule: a Group owns its stats and child groups; anything a
+ * derived stat's callback captures must outlive the group (in
+ * practice: build the group tree after run(), dump, discard).
+ */
+
+#ifndef IREP_SUPPORT_STATS_HH
+#define IREP_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace irep::json
+{
+class Writer;
+}
+
+namespace irep::stats
+{
+
+class Visitor;
+
+/** Base of every named statistic. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    virtual void accept(Visitor &v) const = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A single named value — storage-backed or derived. */
+class Scalar : public Stat
+{
+  public:
+    using Source = std::function<double()>;
+
+    Scalar(std::string name, std::string desc)
+        : Stat(std::move(name), std::move(desc))
+    {}
+    Scalar(std::string name, std::string desc, Source source)
+        : Stat(std::move(name), std::move(desc)),
+          source_(std::move(source))
+    {}
+
+    double value() const { return source_ ? source_() : value_; }
+    bool derived() const { return bool(source_); }
+
+    Scalar &
+    operator=(double v)
+    {
+        value_ = v;
+        return *this;
+    }
+    Scalar &
+    operator+=(double v)
+    {
+        value_ += v;
+        return *this;
+    }
+    Scalar &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    void accept(Visitor &v) const override;
+
+  private:
+    double value_ = 0.0;
+    Source source_;
+};
+
+/** A named vector with per-element subnames. */
+class Vector : public Stat
+{
+  public:
+    /** Derived element source: index -> value. */
+    using Source = std::function<double(size_t)>;
+
+    Vector(std::string name, std::string desc,
+           std::vector<std::string> subnames)
+        : Stat(std::move(name), std::move(desc)),
+          subnames_(std::move(subnames)),
+          values_(subnames_.size(), 0.0)
+    {}
+    Vector(std::string name, std::string desc,
+           std::vector<std::string> subnames, Source source)
+        : Stat(std::move(name), std::move(desc)),
+          subnames_(std::move(subnames)),
+          values_(subnames_.size(), 0.0),
+          source_(std::move(source))
+    {}
+
+    size_t size() const { return subnames_.size(); }
+    const std::vector<std::string> &subnames() const
+    {
+        return subnames_;
+    }
+
+    double
+    value(size_t i) const
+    {
+        return source_ ? source_(i) : values_.at(i);
+    }
+    void set(size_t i, double v) { values_.at(i) = v; }
+    void
+    add(size_t i, double v)
+    {
+        values_.at(i) += v;
+    }
+
+    void accept(Visitor &v) const override;
+
+  private:
+    std::vector<std::string> subnames_;
+    std::vector<double> values_;
+    Source source_;
+};
+
+/**
+ * A bucketed distribution. Bucket i counts samples with
+ * value <= upperBounds[i] (and greater than the previous bound); one
+ * implicit overflow bucket counts everything above the last bound.
+ */
+class Distribution : public Stat
+{
+  public:
+    Distribution(std::string name, std::string desc,
+                 std::vector<double> upper_bounds);
+
+    void sample(double value, uint64_t count = 1);
+
+    /** Number of buckets including the overflow bucket. */
+    size_t numBuckets() const { return counts_.size(); }
+    const std::vector<double> &upperBounds() const { return bounds_; }
+    uint64_t bucketCount(size_t i) const { return counts_.at(i); }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+
+    void accept(Visitor &v) const override;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<uint64_t> counts_;  //!< bounds_.size() + 1 (overflow)
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A node in the stats hierarchy. Owns its stats and child groups;
+ * names are unique within a group (duplicate registration is fatal).
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name = "") : name_(std::move(name)) {}
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Find-or-create a child group. */
+    Group &group(std::string_view name);
+
+    Scalar &scalar(std::string name, std::string desc);
+    Scalar &scalar(std::string name, std::string desc,
+                   Scalar::Source source);
+    Vector &vector(std::string name, std::string desc,
+                   std::vector<std::string> subnames);
+    Vector &vector(std::string name, std::string desc,
+                   std::vector<std::string> subnames,
+                   Vector::Source source);
+    Distribution &distribution(std::string name, std::string desc,
+                               std::vector<double> upper_bounds);
+
+    /** Stats in registration order. */
+    const std::vector<std::unique_ptr<Stat>> &statList() const
+    {
+        return stats_;
+    }
+    /** Child groups in registration order. */
+    const std::vector<std::unique_ptr<Group>> &groups() const
+    {
+        return children_;
+    }
+
+    /** Stat lookup by name in this group; nullptr when absent. */
+    const Stat *find(std::string_view name) const;
+    /** Child-group lookup by name; nullptr when absent. */
+    const Group *findGroup(std::string_view name) const;
+
+    /** Depth-first walk: beginGroup, stats, children, endGroup. */
+    void accept(Visitor &v) const;
+
+  private:
+    void checkName(const std::string &name) const;
+
+    std::string name_;
+    std::vector<std::unique_ptr<Stat>> stats_;
+    std::vector<std::unique_ptr<Group>> children_;
+};
+
+/** Double-dispatch target for walking a stats tree. */
+class Visitor
+{
+  public:
+    virtual ~Visitor() = default;
+
+    virtual void beginGroup(const Group &group) { (void)group; }
+    virtual void endGroup(const Group &group) { (void)group; }
+    virtual void visit(const Scalar &stat) { (void)stat; }
+    virtual void visit(const Vector &stat) { (void)stat; }
+    virtual void visit(const Distribution &stat) { (void)stat; }
+};
+
+/**
+ * Render the tree as aligned text, one `path.name  value  # desc`
+ * line per stat — the gem5 stats.txt convention.
+ */
+std::string dumpText(const Group &root);
+
+/**
+ * Write the *contents* of @p root as a JSON object at the writer's
+ * current position: scalars as numbers, vectors as subname-keyed
+ * objects, distributions as {buckets, count, sum, min, max, mean},
+ * child groups as nested objects. Usable both for whole documents and
+ * nested inside a larger document.
+ */
+void dumpJson(const Group &root, json::Writer &writer);
+
+} // namespace irep::stats
+
+#endif // IREP_SUPPORT_STATS_HH

@@ -53,6 +53,44 @@ TextTable::render() const
     return os.str();
 }
 
+namespace
+{
+
+std::string
+csvCell(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace
+
+std::string
+TextTable::renderCsv() const
+{
+    std::string out;
+    for (const auto &r : rows_) {
+        for (size_t c = 0; c < r.size(); ++c) {
+            if (c)
+                out.push_back(',');
+            out += csvCell(r[c]);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
 std::string
 TextTable::num(double value, int digits)
 {

@@ -29,6 +29,13 @@ class TextTable
     /** Render the table with a rule under the header. */
     std::string render() const;
 
+    /**
+     * Render as RFC 4180 CSV (for plotting / spreadsheet import):
+     * header first, CRLF-free "\n" line endings, cells containing a
+     * comma, quote or newline quoted with embedded quotes doubled.
+     */
+    std::string renderCsv() const;
+
     /** Format a double with @p digits fractional digits. */
     static std::string num(double value, int digits = 1);
 

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Integration: the stats-JSON export must parse and agree with the
+ * numbers the text report prints — Table 1 (repetition), Table 3
+ * (global sources) and Table 5 (local sources) — plus the run-timing
+ * block `irep analyze --stats-json` embeds.
+ */
+
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "sim/machine.hh"
+#include "support/json.hh"
+#include "support/stats.hh"
+#include "workloads/workloads.hh"
+
+namespace irep
+{
+namespace
+{
+
+/** One pipeline run plus its parsed stats-JSON, shared across tests. */
+struct JsonRun
+{
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<core::AnalysisPipeline> pipeline;
+    std::unique_ptr<stats::Group> root;
+    json::Value doc;
+};
+
+const JsonRun &
+theRun()
+{
+    static JsonRun run;
+    if (!run.pipeline) {
+        const auto &w = workloads::workloadByName("compress");
+        run.machine = std::make_unique<sim::Machine>(
+            workloads::buildProgram(w));
+        run.machine->setInput(w.input);
+        core::PipelineConfig config;
+        config.skipInstructions = 200'000;
+        config.windowInstructions = 500'000;
+        run.pipeline = std::make_unique<core::AnalysisPipeline>(
+            *run.machine, config);
+        run.pipeline->run();
+
+        run.root = std::make_unique<stats::Group>();
+        run.pipeline->registerStats(*run.root);
+        std::ostringstream os;
+        json::Writer writer(os);
+        stats::dumpJson(*run.root, writer);
+        run.doc = json::parse(os.str());
+    }
+    return run;
+}
+
+TEST(StatsJson, RunBlockMatchesPipelineTiming)
+{
+    const JsonRun &run = theRun();
+    const json::Value &r = run.doc.at("run");
+    EXPECT_EQ(r.at("skip_config").asU64(), 200'000u);
+    EXPECT_EQ(r.at("window_config").asU64(), 500'000u);
+    EXPECT_EQ(r.at("skip_instructions").asU64(),
+              run.pipeline->timing().skip.instructions);
+    EXPECT_EQ(r.at("window_instructions").asU64(),
+              run.pipeline->timing().window.instructions);
+    EXPECT_GT(r.at("window_seconds").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(r.at("window_mips").asNumber(),
+                     run.pipeline->timing().window.mips());
+}
+
+TEST(StatsJson, Table1NumbersMatchTextReport)
+{
+    const JsonRun &run = theRun();
+    const auto s = run.pipeline->tracker().stats();
+    const json::Value &rep = run.doc.at("repetition");
+
+    EXPECT_EQ(rep.at("dyn_total").asU64(), s.dynTotal);
+    EXPECT_EQ(rep.at("dyn_repeated").asU64(), s.dynRepeated);
+    EXPECT_DOUBLE_EQ(rep.at("pct_dyn_repeated").asNumber(),
+                     s.pctDynRepeated());
+    EXPECT_EQ(rep.at("static_total").asU64(), s.staticTotal);
+    EXPECT_EQ(rep.at("static_executed").asU64(), s.staticExecuted);
+    EXPECT_EQ(rep.at("static_repeated").asU64(), s.staticRepeated);
+    EXPECT_DOUBLE_EQ(rep.at("pct_static_executed").asNumber(),
+                     s.pctStaticExecuted());
+    EXPECT_DOUBLE_EQ(
+        rep.at("pct_static_repeated_of_executed").asNumber(),
+        s.pctStaticRepeatedOfExecuted());
+
+    // Sanity: the window actually measured something repetitive.
+    EXPECT_EQ(s.dynTotal, 500'000u);
+    EXPECT_GT(s.pctDynRepeated(), 50.0);
+}
+
+TEST(StatsJson, Table3GlobalSourcesMatch)
+{
+    const JsonRun &run = theRun();
+    const auto &s = run.pipeline->taint().stats();
+    const json::Value &global = run.doc.at("global");
+
+    EXPECT_EQ(global.at("total_overall").asU64(), s.totalOverall);
+    EXPECT_EQ(global.at("total_repeated").asU64(), s.totalRepeated);
+    uint64_t overall_sum = 0;
+    for (size_t i = 0; i < core::numGlobalTags; ++i) {
+        const auto tag = core::GlobalTag(i);
+        const std::string name{core::globalTagName(tag)};
+        EXPECT_EQ(global.at("overall").at(name).asU64(), s.overall[i])
+            << name;
+        EXPECT_EQ(global.at("repeated").at(name).asU64(),
+                  s.repeated[i])
+            << name;
+        EXPECT_DOUBLE_EQ(global.at("pct_overall").at(name).asNumber(),
+                         s.pctOverall(tag))
+            << name;
+        overall_sum += s.overall[i];
+    }
+    // Every counted instruction carries exactly one source tag.
+    EXPECT_EQ(overall_sum, s.totalOverall);
+}
+
+TEST(StatsJson, Table5LocalSourcesMatch)
+{
+    const JsonRun &run = theRun();
+    const auto &s = run.pipeline->local().stats();
+    const json::Value &local = run.doc.at("local");
+
+    EXPECT_EQ(local.at("total_overall").asU64(), s.totalOverall);
+    EXPECT_EQ(local.at("total_repeated").asU64(), s.totalRepeated);
+    for (size_t i = 0; i < core::numLocalCats; ++i) {
+        const auto cat = core::LocalCat(i);
+        const std::string name{core::localCatName(cat)};
+        EXPECT_EQ(local.at("overall").at(name).asU64(), s.overall[i])
+            << name;
+        EXPECT_DOUBLE_EQ(
+            local.at("pct_overall").at(name).asNumber(),
+            s.pctOverall(cat))
+            << name;
+    }
+}
+
+TEST(StatsJson, EveryEnabledAnalysisHasAGroup)
+{
+    const JsonRun &run = theRun();
+    for (const char *group : {"run", "repetition", "global", "local",
+                              "functions", "reuse", "classes",
+                              "prediction"}) {
+        EXPECT_TRUE(run.doc.contains(group)) << group;
+    }
+}
+
+TEST(StatsJson, TextDumpCoversSameTree)
+{
+    const JsonRun &run = theRun();
+    const std::string text = stats::dumpText(*run.root);
+    EXPECT_NE(text.find("repetition.pct_dyn_repeated"),
+              std::string::npos);
+    EXPECT_NE(text.find("run.window_mips"), std::string::npos);
+}
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Retire-tracer and progress-meter tests: sampling arithmetic (first
+ * and last retired instruction, interval boundaries), PC filtering,
+ * JSONL validity, and heartbeat cadence.
+ */
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "asm/program.hh"
+#include "sim/trace.hh"
+#include "sim_test_util.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace irep
+{
+namespace
+{
+
+/** Count newline-terminated lines. */
+size_t
+lineCount(const std::string &text)
+{
+    size_t n = 0;
+    for (char c : text) {
+        if (c == '\n')
+            ++n;
+    }
+    return n;
+}
+
+/** A straight-line program of exactly @p n nops (+ 3-instr exit). */
+std::string
+nops(size_t n)
+{
+    std::string src;
+    for (size_t i = 0; i < n; ++i)
+        src += "nop\n";
+    return src;
+}
+
+TEST(RetireTracer, RecordsEveryInstructionByDefault)
+{
+    test::TestRun run(nops(5));    // 5 nops + 3 exit instructions
+    std::ostringstream os;
+    sim::RetireTracer tracer(os);
+    run.machine().addObserver(&tracer);
+    run.run();
+    EXPECT_EQ(tracer.observed(), 8u);
+    EXPECT_EQ(tracer.emitted(), 8u);
+    EXPECT_EQ(lineCount(os.str()), 8u);
+}
+
+TEST(RetireTracer, SamplingKeepsFirstAndEveryNth)
+{
+    // 7 retired instructions, interval 3 -> seq 0, 3, 6 recorded.
+    test::TestRun run(nops(4));
+    std::ostringstream os;
+    sim::TraceConfig config;
+    config.sampleInterval = 3;
+    config.format = sim::TraceConfig::Format::Jsonl;
+    sim::RetireTracer tracer(os, config);
+    run.machine().addObserver(&tracer);
+    run.run();
+
+    EXPECT_EQ(tracer.observed(), 7u);
+    EXPECT_EQ(tracer.emitted(), 3u);
+
+    std::istringstream lines(os.str());
+    std::string line;
+    std::vector<uint64_t> seqs;
+    while (std::getline(lines, line))
+        seqs.push_back(json::parse(line).at("seq").asU64());
+    EXPECT_EQ(seqs, (std::vector<uint64_t>{0, 3, 6}));
+}
+
+TEST(RetireTracer, IntervalBoundaryExactMultiple)
+{
+    // 8 retired instructions, interval 4 -> seq 0 and 4; the 8th
+    // instruction (seq 7) is not a sample point.
+    test::TestRun run(nops(5));
+    std::ostringstream os;
+    sim::TraceConfig config;
+    config.sampleInterval = 4;
+    sim::RetireTracer tracer(os, config);
+    run.machine().addObserver(&tracer);
+    run.run();
+    EXPECT_EQ(tracer.observed(), 8u);
+    EXPECT_EQ(tracer.emitted(), 2u);
+}
+
+TEST(RetireTracer, IntervalLargerThanRunEmitsFirstOnly)
+{
+    test::TestRun run(nops(2));
+    std::ostringstream os;
+    sim::TraceConfig config;
+    config.sampleInterval = 1000;
+    sim::RetireTracer tracer(os, config);
+    run.machine().addObserver(&tracer);
+    run.run();
+    EXPECT_EQ(tracer.emitted(), 1u);
+    // The one record is the very first retired instruction.
+    EXPECT_NE(os.str().find("         0  "), std::string::npos)
+        << os.str();
+}
+
+TEST(RetireTracer, PcFilterGatesSamplingCounter)
+{
+    // Only the two nops at textBase and textBase+4 pass the filter;
+    // with interval 2 exactly the first of them is emitted.
+    test::TestRun run(nops(6));
+    std::ostringstream os;
+    sim::TraceConfig config;
+    config.filterPc = true;
+    config.pcLo = assem::Layout::textBase;
+    config.pcHi = assem::Layout::textBase + 4;
+    config.sampleInterval = 2;
+    config.format = sim::TraceConfig::Format::Jsonl;
+    sim::RetireTracer tracer(os, config);
+    run.machine().addObserver(&tracer);
+    run.run();
+    EXPECT_EQ(tracer.observed(), 2u);
+    EXPECT_EQ(tracer.emitted(), 1u);
+    EXPECT_EQ(json::parse(os.str()).at("pc").asU64(),
+              uint64_t(assem::Layout::textBase));
+}
+
+TEST(RetireTracer, JsonlRecordsCarryOperands)
+{
+    test::TestRun run(
+        "li $t0, 6\n"
+        "li $t1, 7\n"
+        "addu $t2, $t0, $t1\n");
+    std::ostringstream os;
+    sim::TraceConfig config;
+    config.format = sim::TraceConfig::Format::Jsonl;
+    sim::RetireTracer tracer(os, config);
+    run.machine().addObserver(&tracer);
+    run.run();
+
+    std::istringstream lines(os.str());
+    std::string line;
+    std::vector<json::Value> records;
+    while (std::getline(lines, line))
+        records.push_back(json::parse(line));
+    ASSERT_GE(records.size(), 3u);
+    const json::Value &add = records[2];
+    EXPECT_EQ(add.at("src").at(0).asU64(), 6u);
+    EXPECT_EQ(add.at("src").at(1).asU64(), 7u);
+    EXPECT_EQ(add.at("result").asU64(), 13u);
+}
+
+TEST(RetireTracer, RejectsBadConfig)
+{
+    std::ostringstream os;
+    sim::TraceConfig zero;
+    zero.sampleInterval = 0;
+    EXPECT_THROW(sim::RetireTracer(os, zero), FatalError);
+
+    sim::TraceConfig empty;
+    empty.filterPc = true;
+    empty.pcLo = 8;
+    empty.pcHi = 4;
+    EXPECT_THROW(sim::RetireTracer(os, empty), FatalError);
+}
+
+TEST(ProgressMeter, BeatsAtConfiguredCadence)
+{
+    // 13 retired instructions at interval 5 -> beats after 5 and 10.
+    test::TestRun run(nops(10));
+    std::ostringstream os;
+    sim::ProgressMeter meter(5, os);
+    run.machine().addObserver(&meter);
+    run.run();
+    EXPECT_EQ(meter.beats(), 2u);
+    EXPECT_EQ(lineCount(os.str()), 2u);
+    EXPECT_NE(os.str().find("[run] 5 instret"), std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("MIPS"), std::string::npos);
+}
+
+TEST(ProgressMeter, PhaseLabelAppearsInBeats)
+{
+    test::TestRun run(nops(5));
+    std::ostringstream os;
+    sim::ProgressMeter meter(4, os);
+    meter.setPhase("window");
+    run.machine().addObserver(&meter);
+    run.run();
+    EXPECT_EQ(meter.beats(), 2u);
+    EXPECT_NE(os.str().find("[window]"), std::string::npos)
+        << os.str();
+}
+
+TEST(ProgressMeter, RejectsZeroInterval)
+{
+    std::ostringstream os;
+    EXPECT_THROW(sim::ProgressMeter(0, os), FatalError);
+}
+
+} // namespace
+} // namespace irep

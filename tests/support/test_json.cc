@@ -1,0 +1,161 @@
+/**
+ * @file
+ * JSON writer/parser tests: escaping, number formatting, structure
+ * tracking, and parse round-trips. The stats exporter and the JSONL
+ * tracer both lean on these guarantees.
+ */
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace irep
+{
+namespace
+{
+
+std::string
+compact(const std::function<void(json::Writer &)> &body)
+{
+    std::ostringstream os;
+    json::Writer w(os, /*pretty=*/false);
+    body(w);
+    return os.str();
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters)
+{
+    const std::string out = compact([](json::Writer &w) {
+        w.value("a\"b\\c\nd\te\x01");
+    });
+    EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonWriter, IntegersPrintExactly)
+{
+    const std::string out = compact([](json::Writer &w) {
+        w.beginArray();
+        w.value(uint64_t(18446744073709551615ull));
+        w.value(int64_t(-42));
+        w.endArray();
+    });
+    EXPECT_EQ(out, "[18446744073709551615,-42]");
+}
+
+TEST(JsonWriter, IntegralDoublesAvoidExponent)
+{
+    EXPECT_EQ(compact([](json::Writer &w) { w.value(1e6); }),
+              "1000000");
+    EXPECT_EQ(compact([](json::Writer &w) { w.value(-3.0); }), "-3");
+}
+
+TEST(JsonWriter, DoublesRoundTrip)
+{
+    const std::string out =
+        compact([](json::Writer &w) { w.value(79.71366666666667); });
+    EXPECT_EQ(std::stod(out), 79.71366666666667);
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(compact([](json::Writer &w) { w.value(NAN); }), "null");
+    EXPECT_EQ(compact([](json::Writer &w) {
+                  w.value(INFINITY);
+              }),
+              "null");
+}
+
+TEST(JsonWriter, NestedStructure)
+{
+    const std::string out = compact([](json::Writer &w) {
+        w.beginObject();
+        w.field("a", 1);
+        w.key("b");
+        w.beginArray();
+        w.value(true);
+        w.null();
+        w.endArray();
+        w.endObject();
+    });
+    EXPECT_EQ(out, "{\"a\":1,\"b\":[true,null]}");
+}
+
+TEST(JsonWriter, PrettyOutputParses)
+{
+    std::ostringstream os;
+    json::Writer w(os);    // pretty
+    w.beginObject();
+    w.field("x", 1.5);
+    w.key("nested");
+    w.beginObject();
+    w.field("s", "hi");
+    w.endObject();
+    w.endObject();
+    const json::Value v = json::parse(os.str());
+    EXPECT_EQ(v.at("x").asNumber(), 1.5);
+    EXPECT_EQ(v.at("nested").at("s").asString(), "hi");
+}
+
+TEST(JsonWriter, MisuseIsCaught)
+{
+    std::ostringstream os;
+    json::Writer w(os, false);
+    w.beginObject();
+    EXPECT_THROW(w.value(1), PanicError);      // value without key
+    EXPECT_THROW(w.endArray(), PanicError);    // mismatched end
+}
+
+TEST(JsonParser, ParsesScalars)
+{
+    EXPECT_TRUE(json::parse("null").isNull());
+    EXPECT_TRUE(json::parse("true").asBool());
+    EXPECT_FALSE(json::parse("false").asBool());
+    EXPECT_EQ(json::parse("-2.5e2").asNumber(), -250.0);
+    EXPECT_EQ(json::parse("\"a\\u0041b\"").asString(), "aAb");
+}
+
+TEST(JsonParser, U64KeepsFullPrecision)
+{
+    EXPECT_EQ(json::parse("18446744073709551615").asU64(),
+              18446744073709551615ull);
+}
+
+TEST(JsonParser, ObjectAndArrayAccess)
+{
+    const json::Value v =
+        json::parse(R"({"a": [1, 2, 3], "b": {"c": 4}})");
+    EXPECT_EQ(v.size(), 2u);
+    EXPECT_EQ(v.at("a").size(), 3u);
+    EXPECT_EQ(v.at("a").at(1).asNumber(), 2.0);
+    EXPECT_EQ(v.at("b").at("c").asNumber(), 4.0);
+    EXPECT_TRUE(v.contains("a"));
+    EXPECT_FALSE(v.contains("z"));
+    EXPECT_THROW(v.at("z"), FatalError);
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    EXPECT_THROW(json::parse(""), FatalError);
+    EXPECT_THROW(json::parse("{"), FatalError);
+    EXPECT_THROW(json::parse("[1,]2"), FatalError);
+    EXPECT_THROW(json::parse("{\"a\":1} trailing"), FatalError);
+    EXPECT_THROW(json::parse("\"unterminated"), FatalError);
+    EXPECT_THROW(json::parse("nope"), FatalError);
+}
+
+TEST(JsonParser, RoundTripsWriterEscapes)
+{
+    const std::string text = "quote\" slash\\ nl\n tab\t ctl\x02";
+    std::ostringstream os;
+    json::Writer w(os, false);
+    w.value(text);
+    EXPECT_EQ(json::parse(os.str()).asString(), text);
+}
+
+} // namespace
+} // namespace irep

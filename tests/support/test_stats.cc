@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Stats-registry tests: registration, storage vs. derived stats,
+ * hierarchy, distributions, and the text/JSON dump round-trip.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace irep
+{
+namespace
+{
+
+TEST(Stats, StorageScalarArithmetic)
+{
+    stats::Group root;
+    stats::Scalar &s = root.scalar("count", "a counter");
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 4.0;
+    EXPECT_EQ(s.value(), 5.0);
+    s = 2.5;
+    EXPECT_EQ(s.value(), 2.5);
+    EXPECT_FALSE(s.derived());
+}
+
+TEST(Stats, DerivedScalarReadsLiveValue)
+{
+    uint64_t counter = 7;
+    stats::Group root;
+    stats::Scalar &s = root.scalar("live", "reads a variable",
+                                   [&] { return double(counter); });
+    EXPECT_TRUE(s.derived());
+    EXPECT_EQ(s.value(), 7.0);
+    counter = 11;
+    EXPECT_EQ(s.value(), 11.0);
+}
+
+TEST(Stats, VectorSubnamesAndValues)
+{
+    stats::Group root;
+    stats::Vector &v =
+        root.vector("perClass", "per-class counts", {"a", "b", "c"});
+    EXPECT_EQ(v.size(), 3u);
+    v.set(1, 4.0);
+    v.add(1, 1.0);
+    EXPECT_EQ(v.value(0), 0.0);
+    EXPECT_EQ(v.value(1), 5.0);
+    EXPECT_EQ(v.subnames()[2], "c");
+}
+
+TEST(Stats, DerivedVector)
+{
+    stats::Group root;
+    stats::Vector &v =
+        root.vector("squares", "i^2", {"zero", "one", "two"},
+                    [](size_t i) { return double(i * i); });
+    EXPECT_EQ(v.value(2), 4.0);
+}
+
+TEST(Stats, DistributionBucketBoundaries)
+{
+    stats::Group root;
+    stats::Distribution &d =
+        root.distribution("dist", "test dist", {1, 10, 100});
+    d.sample(1);      // bucket 0 (<= 1)
+    d.sample(2);      // bucket 1
+    d.sample(10);     // bucket 1 (inclusive upper bound)
+    d.sample(11);     // bucket 2
+    d.sample(1000);   // overflow
+    EXPECT_EQ(d.numBuckets(), 4u);
+    EXPECT_EQ(d.bucketCount(0), 1u);
+    EXPECT_EQ(d.bucketCount(1), 2u);
+    EXPECT_EQ(d.bucketCount(2), 1u);
+    EXPECT_EQ(d.bucketCount(3), 1u);
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.min(), 1.0);
+    EXPECT_EQ(d.max(), 1000.0);
+    EXPECT_EQ(d.sum(), 1024.0);
+}
+
+TEST(Stats, DistributionWeightedSamples)
+{
+    stats::Group root;
+    stats::Distribution &d =
+        root.distribution("dist", "weighted", {10});
+    d.sample(3, 4);
+    d.sample(20, 0);    // zero-count sample is a no-op
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_EQ(d.bucketCount(0), 4u);
+    EXPECT_EQ(d.bucketCount(1), 0u);
+    EXPECT_EQ(d.sum(), 12.0);
+}
+
+TEST(Stats, GroupHierarchyAndLookup)
+{
+    stats::Group root;
+    stats::Group &child = root.group("core");
+    child.scalar("x", "leaf");
+    EXPECT_EQ(&root.group("core"), &child);    // find-or-create
+    ASSERT_NE(root.findGroup("core"), nullptr);
+    EXPECT_NE(root.findGroup("core")->find("x"), nullptr);
+    EXPECT_EQ(root.findGroup("nope"), nullptr);
+    EXPECT_EQ(root.find("x"), nullptr);    // not in the root
+}
+
+TEST(Stats, DuplicateNamesAreFatal)
+{
+    stats::Group root;
+    root.scalar("x", "first");
+    EXPECT_THROW(root.scalar("x", "dup"), FatalError);
+    EXPECT_THROW(root.group("x"), FatalError);
+    EXPECT_THROW(root.scalar("", "anon"), FatalError);
+}
+
+TEST(Stats, TextDumpShowsPathValueAndDesc)
+{
+    stats::Group root;
+    auto &core = root.group("core");
+    core.scalar("hits", "cache hits") = 42;
+    const std::string text = stats::dumpText(root);
+    EXPECT_NE(text.find("core.hits"), std::string::npos) << text;
+    EXPECT_NE(text.find("42"), std::string::npos) << text;
+    EXPECT_NE(text.find("# cache hits"), std::string::npos) << text;
+}
+
+TEST(Stats, JsonDumpRoundTrip)
+{
+    uint64_t live = 9;
+    stats::Group root;
+    root.scalar("top", "top-level") = 1.5;
+    auto &g = root.group("sub");
+    g.scalar("live", "derived", [&] { return double(live); });
+    g.vector("vec", "a vector", {"a", "b"}).set(0, 3.0);
+    auto &d = g.distribution("dist", "a distribution", {10, 100});
+    d.sample(5);
+    d.sample(50, 2);
+
+    std::ostringstream os;
+    json::Writer w(os);
+    stats::dumpJson(root, w);
+    const json::Value v = json::parse(os.str());
+
+    EXPECT_EQ(v.at("top").asNumber(), 1.5);
+    EXPECT_EQ(v.at("sub").at("live").asNumber(), 9.0);
+    EXPECT_EQ(v.at("sub").at("vec").at("a").asNumber(), 3.0);
+    EXPECT_EQ(v.at("sub").at("vec").at("b").asNumber(), 0.0);
+    const json::Value &dist = v.at("sub").at("dist");
+    EXPECT_EQ(dist.at("count").asU64(), 3u);
+    EXPECT_EQ(dist.at("buckets").at(0).at("count").asU64(), 1u);
+    EXPECT_EQ(dist.at("buckets").at(1).at("count").asU64(), 2u);
+    EXPECT_EQ(dist.at("buckets").at(2).at("count").asU64(), 0u);
+    EXPECT_EQ(dist.at("mean").asNumber(), 35.0);
+}
+
+TEST(Stats, VisitorWalksDepthFirst)
+{
+    stats::Group root;
+    root.scalar("a", "");
+    auto &g = root.group("g");
+    g.scalar("b", "");
+
+    struct Walk : stats::Visitor
+    {
+        std::vector<std::string> events;
+        void
+        beginGroup(const stats::Group &group) override
+        {
+            events.push_back("begin:" + group.name());
+        }
+        void
+        endGroup(const stats::Group &group) override
+        {
+            events.push_back("end:" + group.name());
+        }
+        void
+        visit(const stats::Scalar &s) override
+        {
+            events.push_back("scalar:" + s.name());
+        }
+    } walk;
+    root.accept(walk);
+
+    const std::vector<std::string> expected = {
+        "begin:", "scalar:a", "begin:g", "scalar:b", "end:g", "end:",
+    };
+    EXPECT_EQ(walk.events, expected);
+}
+
+} // namespace
+} // namespace irep

@@ -70,5 +70,43 @@ TEST(Table, EmptyTableRendersEmpty)
     EXPECT_EQ(table.render(), "");
 }
 
+TEST(Table, CsvPlainCellsStayUnquoted)
+{
+    TextTable table;
+    table.header({"name", "value"});
+    table.row({"a", "1"});
+    table.row({"longer", "22"});
+    EXPECT_EQ(table.renderCsv(), "name,value\na,1\nlonger,22\n");
+}
+
+TEST(Table, CsvQuotesCommasAndNewlines)
+{
+    TextTable table;
+    table.row({"a,b", "line1\nline2", "cr\rhere"});
+    EXPECT_EQ(table.renderCsv(),
+              "\"a,b\",\"line1\nline2\",\"cr\rhere\"\n");
+}
+
+TEST(Table, CsvDoublesEmbeddedQuotes)
+{
+    TextTable table;
+    table.row({"say \"hi\"", "plain"});
+    EXPECT_EQ(table.renderCsv(), "\"say \"\"hi\"\"\",plain\n");
+}
+
+TEST(Table, CsvKeepsSpacesAndEmptyCells)
+{
+    TextTable table;
+    table.row({"has space", "", "x"});
+    // Spaces need no quoting; empty cells stay empty.
+    EXPECT_EQ(table.renderCsv(), "has space,,x\n");
+}
+
+TEST(Table, CsvEmptyTableRendersEmpty)
+{
+    TextTable table;
+    EXPECT_EQ(table.renderCsv(), "");
+}
+
 } // namespace
 } // namespace irep

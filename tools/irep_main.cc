@@ -9,18 +9,26 @@
  *   irep bench <workload> [opts]           analyze a built-in workload
  *
  * Options:
- *   --input <file>   bytes served by the read syscall
- *   --skip N         instructions to skip before measuring
- *   --window N       measurement window (default 5,000,000)
- *   --max N          execution cap for `run` (default 1B)
+ *   --input <file>     bytes served by the read syscall
+ *   --skip N           instructions to skip before measuring
+ *   --window N         measurement window (default 5,000,000)
+ *   --max N            execution cap for `run` (default 1B)
+ *   --stats-json FILE  write the full stats report as JSON
+ *   --trace FILE       write sampled retire records (.jsonl = JSONL)
+ *   --trace-sample N   record every Nth retired instruction
+ *   --progress N       stderr heartbeat every N instructions
  *
  * Sources ending in `.s` are assembled directly; anything else is
  * treated as MiniC (with the runtime library linked in).
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -29,7 +37,10 @@
 #include "isa/instruction.hh"
 #include "minicc/compiler.hh"
 #include "sim/machine.hh"
+#include "sim/trace.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
+#include "support/stats.hh"
 #include "support/table.hh"
 #include "workloads/runtime.hh"
 #include "workloads/workloads.hh"
@@ -47,23 +58,56 @@ struct Options
     uint64_t skip = 0;
     uint64_t window = 5'000'000;
     uint64_t max = 1'000'000'000;
+
+    std::string statsJsonFile;
+    std::string traceFile;
+    uint64_t traceSample = 1;
+    uint64_t progress = 0;
 };
+
+const char *const usageText =
+    "usage: irep <compile|disasm|run|analyze|bench> <target>\n"
+    "            [--input FILE] [--skip N] [--window N] [--max N]\n"
+    "            [--stats-json FILE] [--trace FILE]\n"
+    "            [--trace-sample N] [--progress N]\n"
+    "  compile  MiniC -> assembly text\n"
+    "  disasm   assembled program image listing\n"
+    "  run      execute; prints program output and exit code\n"
+    "  analyze  repetition analysis report (the paper's tables,\n"
+    "           for your program)\n"
+    "  bench    same, for a built-in workload (go, m88ksim,\n"
+    "           ijpeg, perl, vortex, li, gcc, compress)\n"
+    "options:\n"
+    "  --input FILE       bytes served by the read syscall\n"
+    "  --skip N           instructions to skip before measuring\n"
+    "  --window N         measurement window (default 5,000,000)\n"
+    "  --max N            execution cap for `run` (default 1B)\n"
+    "  --stats-json FILE  write the analysis report as JSON\n"
+    "  --trace FILE       sampled retire trace (.jsonl for JSONL)\n"
+    "  --trace-sample N   record every Nth instruction (default 1)\n"
+    "  --progress N       stderr heartbeat every N instructions\n";
 
 [[noreturn]] void
 usage()
 {
-    std::fputs(
-        "usage: irep <compile|disasm|run|analyze|bench> <target>\n"
-        "            [--input FILE] [--skip N] [--window N] [--max N]\n"
-        "  compile  MiniC -> assembly text\n"
-        "  disasm   assembled program image listing\n"
-        "  run      execute; prints program output and exit code\n"
-        "  analyze  repetition analysis report (the paper's tables,\n"
-        "           for your program)\n"
-        "  bench    same, for a built-in workload (go, m88ksim,\n"
-        "           ijpeg, perl, vortex, li, gcc, compress)\n",
-        stderr);
+    std::fputs(usageText, stderr);
     std::exit(2);
+}
+
+/** Parse a decimal count, rejecting empty/garbage/overflow values
+ *  (`--window 5m` used to silently become 0). */
+uint64_t
+parseU64(const std::string &flag, const std::string &text)
+{
+    fatalIf(text.empty(), flag, " needs a number");
+    errno = 0;
+    char *end = nullptr;
+    const uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    fatalIf(end == text.c_str() || *end != '\0',
+            flag, ": '", text, "' is not a number");
+    fatalIf(errno == ERANGE, flag, ": '", text, "' is out of range");
+    fatalIf(text[0] == '-', flag, ": '", text, "' is negative");
+    return value;
 }
 
 std::string
@@ -96,6 +140,14 @@ buildTarget(const std::string &path)
 Options
 parse(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h" || arg == "help") {
+            std::fputs(usageText, stdout);
+            std::exit(0);
+        }
+    }
+
     Options opts;
     if (argc < 3)
         usage();
@@ -111,16 +163,58 @@ parse(int argc, char **argv)
         if (arg == "--input")
             opts.inputFile = next();
         else if (arg == "--skip")
-            opts.skip = std::strtoull(next().c_str(), nullptr, 10);
+            opts.skip = parseU64(arg, next());
         else if (arg == "--window")
-            opts.window = std::strtoull(next().c_str(), nullptr, 10);
+            opts.window = parseU64(arg, next());
         else if (arg == "--max")
-            opts.max = std::strtoull(next().c_str(), nullptr, 10);
+            opts.max = parseU64(arg, next());
+        else if (arg == "--stats-json")
+            opts.statsJsonFile = next();
+        else if (arg == "--trace")
+            opts.traceFile = next();
+        else if (arg == "--trace-sample")
+            opts.traceSample = parseU64(arg, next());
+        else if (arg == "--progress")
+            opts.progress = parseU64(arg, next());
         else
             usage();
     }
+    fatalIf(opts.traceSample == 0, "--trace-sample must be positive");
     return opts;
 }
+
+/**
+ * The requested retire-stream observers, attached to a machine for the
+ * duration of a command. When no flag asks for them nothing is
+ * attached — the default path keeps an empty observer list.
+ */
+struct Instrumentation
+{
+    std::ofstream traceOut;
+    std::unique_ptr<sim::RetireTracer> tracer;
+    std::unique_ptr<sim::ProgressMeter> progress;
+
+    Instrumentation(const Options &opts, sim::Machine &machine)
+    {
+        if (!opts.traceFile.empty()) {
+            traceOut.open(opts.traceFile,
+                          std::ios::binary | std::ios::trunc);
+            fatalIf(!traceOut, "cannot open '", opts.traceFile, "'");
+            sim::TraceConfig config;
+            config.sampleInterval = opts.traceSample;
+            if (endsWith(opts.traceFile, ".jsonl"))
+                config.format = sim::TraceConfig::Format::Jsonl;
+            tracer = std::make_unique<sim::RetireTracer>(traceOut,
+                                                         config);
+            machine.addObserver(tracer.get());
+        }
+        if (opts.progress) {
+            progress = std::make_unique<sim::ProgressMeter>(
+                opts.progress, std::cerr);
+            machine.addObserver(progress.get());
+        }
+    }
+};
 
 int
 cmdCompile(const Options &opts)
@@ -165,6 +259,7 @@ cmdRun(const Options &opts)
     sim::Machine machine(program);
     if (!opts.inputFile.empty())
         machine.setInput(readFile(opts.inputFile));
+    Instrumentation instr(opts, machine);
     machine.run(opts.max);
     std::fputs(machine.output().c_str(), stdout);
     if (!machine.halted()) {
@@ -240,6 +335,65 @@ report(core::AnalysisPipeline &pipeline, uint64_t measured)
                 pred.context().pctOfEligible());
 }
 
+/**
+ * Write the schema-stable JSON report: run config, per-phase timing
+ * and throughput, and every statistic each analysis registers.
+ */
+void
+writeStatsJson(const Options &opts,
+               core::AnalysisPipeline &pipeline,
+               const std::string &workload)
+{
+    std::ofstream out(opts.statsJsonFile,
+                      std::ios::binary | std::ios::trunc);
+    fatalIf(!out, "cannot open '", opts.statsJsonFile, "'");
+
+    json::Writer w(out);
+    w.beginObject();
+    w.field("schema", "irep-stats-1");
+    w.field("command", opts.command);
+    w.field("target", opts.target);
+
+    w.key("config");
+    w.beginObject();
+    w.field("skip", pipeline.config().skipInstructions);
+    w.field("window", pipeline.config().windowInstructions);
+    w.field("instance_cap",
+            uint64_t(pipeline.config().instanceCap));
+    if (!workload.empty())
+        w.field("workload", workload);
+    if (!opts.inputFile.empty())
+        w.field("input", opts.inputFile);
+    w.endObject();
+
+    stats::Group root;
+    pipeline.registerStats(root);
+    w.key("stats");
+    stats::dumpJson(root, w);
+
+    w.endObject();
+    out << '\n';
+    fatalIf(!out, "write to '", opts.statsJsonFile, "' failed");
+}
+
+int
+analyzeMachine(const Options &opts, sim::Machine &machine,
+               uint64_t default_skip, const std::string &workload)
+{
+    Instrumentation instr(opts, machine);
+    core::PipelineConfig config;
+    config.skipInstructions = opts.skip ? opts.skip : default_skip;
+    config.windowInstructions = opts.window;
+    core::AnalysisPipeline pipeline(machine, config);
+    if (instr.progress)
+        pipeline.setProgress(instr.progress.get());
+    const uint64_t measured = pipeline.run();
+    report(pipeline, measured);
+    if (!opts.statsJsonFile.empty())
+        writeStatsJson(opts, pipeline, workload);
+    return 0;
+}
+
 int
 cmdAnalyze(const Options &opts)
 {
@@ -247,14 +401,8 @@ cmdAnalyze(const Options &opts)
     sim::Machine machine(program);
     if (!opts.inputFile.empty())
         machine.setInput(readFile(opts.inputFile));
-    core::PipelineConfig config;
-    config.skipInstructions = opts.skip;
-    config.windowInstructions = opts.window;
-    core::AnalysisPipeline pipeline(machine, config);
-    const uint64_t measured = pipeline.run();
     std::printf("=== irep analysis: %s ===\n", opts.target.c_str());
-    report(pipeline, measured);
-    return 0;
+    return analyzeMachine(opts, machine, 0, "");
 }
 
 int
@@ -263,16 +411,10 @@ cmdBench(const Options &opts)
     const auto &workload = workloads::workloadByName(opts.target);
     sim::Machine machine(workloads::buildProgram(workload));
     machine.setInput(workload.input);
-    core::PipelineConfig config;
-    config.skipInstructions = opts.skip ? opts.skip : 1'000'000;
-    config.windowInstructions = opts.window;
-    core::AnalysisPipeline pipeline(machine, config);
-    const uint64_t measured = pipeline.run();
     std::printf("=== irep workload: %s (%s) ===\n",
                 workload.name.c_str(),
                 workload.specAnalogue.c_str());
-    report(pipeline, measured);
-    return 0;
+    return analyzeMachine(opts, machine, 1'000'000, workload.name);
 }
 
 } // namespace
