@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/suite.hh"
+#include "support/parallel.hh"
 #include "support/table.hh"
 
 using namespace irep;
@@ -31,21 +32,29 @@ main()
         header.push_back("cap=" + std::to_string(cap));
     table.header(header);
 
-    for (auto &entry : suite.entries()) {
-        std::vector<std::string> row = {entry.name};
-        for (unsigned cap : caps) {
-            core::PipelineConfig config;
-            config.skipInstructions = suite.skip();
-            config.windowInstructions = suite.window();
-            config.instanceCap = cap;
-            config.enableGlobal = false;
-            config.enableLocal = false;
-            config.enableFunction = false;
-            config.enableReuse = false;
-            auto run = bench::Suite::runOne(entry.name, config);
-            row.push_back(TextTable::num(
-                run.pipeline->tracker().stats().pctDynRepeated()));
-        }
+    // The sweep is a grid of independent runs: flatten (workload,
+    // cap) pairs, run them all in parallel, print in grid order.
+    const auto &entries = suite.entries();
+    std::vector<double> repeated(entries.size() * caps.size());
+    parallel::parallelFor(repeated.size(), [&](size_t i) {
+        core::PipelineConfig config;
+        config.skipInstructions = suite.skip();
+        config.windowInstructions = suite.window();
+        config.instanceCap = caps[i % caps.size()];
+        config.enableGlobal = false;
+        config.enableLocal = false;
+        config.enableFunction = false;
+        config.enableReuse = false;
+        auto run = bench::Suite::runOne(
+            entries[i / caps.size()].name, config);
+        repeated[i] = run.pipeline->tracker().stats().pctDynRepeated();
+    });
+
+    for (size_t e = 0; e < entries.size(); ++e) {
+        std::vector<std::string> row = {entries[e].name};
+        for (size_t c = 0; c < caps.size(); ++c)
+            row.push_back(
+                TextTable::num(repeated[e * caps.size() + c]));
         table.row(row);
     }
     std::fputs(table.render().c_str(), stdout);

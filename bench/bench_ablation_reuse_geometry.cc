@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "harness/suite.hh"
+#include "support/parallel.hh"
 #include "support/table.hh"
 
 using namespace irep;
@@ -39,21 +40,30 @@ main()
     }
     table.header(header);
 
-    for (auto &entry : suite.entries()) {
-        std::vector<std::string> row = {entry.name};
-        for (const auto &g : sweep) {
-            core::PipelineConfig config;
-            config.skipInstructions = suite.skip();
-            config.windowInstructions = suite.window();
-            config.enableGlobal = false;
-            config.enableLocal = false;
-            config.enableFunction = false;
-            config.reuse.entries = g.entries;
-            config.reuse.ways = g.ways;
-            auto run = bench::Suite::runOne(entry.name, config);
-            row.push_back(TextTable::num(
-                run.pipeline->reuse().stats().pctOfAll()));
-        }
+    // Flatten the (workload, geometry) grid and sweep it in
+    // parallel; the table is printed from the indexed results.
+    const auto &entries = suite.entries();
+    std::vector<double> captured(entries.size() * sweep.size());
+    parallel::parallelFor(captured.size(), [&](size_t i) {
+        const Geometry &g = sweep[i % sweep.size()];
+        core::PipelineConfig config;
+        config.skipInstructions = suite.skip();
+        config.windowInstructions = suite.window();
+        config.enableGlobal = false;
+        config.enableLocal = false;
+        config.enableFunction = false;
+        config.reuse.entries = g.entries;
+        config.reuse.ways = g.ways;
+        auto run = bench::Suite::runOne(
+            entries[i / sweep.size()].name, config);
+        captured[i] = run.pipeline->reuse().stats().pctOfAll();
+    });
+
+    for (size_t e = 0; e < entries.size(); ++e) {
+        std::vector<std::string> row = {entries[e].name};
+        for (size_t s = 0; s < sweep.size(); ++s)
+            row.push_back(
+                TextTable::num(captured[e * sweep.size() + s]));
         table.row(row);
     }
     std::fputs(table.render().c_str(), stdout);

@@ -10,11 +10,13 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/global_taint.hh"
 #include "core/repetition_tracker.hh"
 #include "harness/suite.hh"
 #include "sim/machine.hh"
+#include "support/parallel.hh"
 #include "support/table.hh"
 #include "workloads/workloads.hh"
 
@@ -76,22 +78,28 @@ main()
     TextTable table;
     table.header({"bench", "rule", "internals", "glb init",
                   "external", "uninit"});
-    for (const auto &name :
-         {"go", "m88ksim", "ijpeg", "perl", "vortex", "li", "gcc",
-          "compress"}) {
-        for (bool inverted : {false, true}) {
-            const auto stats = runTaint(name, inverted, suite.skip(),
-                                        suite.window());
-            table.row({
-                name,
-                inverted ? "inverted" : "paper",
-                TextTable::num(stats.pctOverall(GlobalTag::Internal)),
-                TextTable::num(
-                    stats.pctOverall(GlobalTag::GlobalInit)),
-                TextTable::num(stats.pctOverall(GlobalTag::External)),
-                TextTable::num(stats.pctOverall(GlobalTag::Uninit)),
-            });
-        }
+    const std::vector<std::string> names = {
+        "go", "m88ksim", "ijpeg", "perl", "vortex", "li", "gcc",
+        "compress"};
+
+    // 8 workloads x 2 rule directions, all independent: run the grid
+    // in parallel and print rows in the fixed order.
+    std::vector<core::GlobalTaintStats> results(names.size() * 2);
+    parallel::parallelFor(results.size(), [&](size_t i) {
+        results[i] = runTaint(names[i / 2], i % 2 != 0, suite.skip(),
+                              suite.window());
+    });
+
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &stats = results[i];
+        table.row({
+            names[i / 2],
+            i % 2 ? "inverted" : "paper",
+            TextTable::num(stats.pctOverall(GlobalTag::Internal)),
+            TextTable::num(stats.pctOverall(GlobalTag::GlobalInit)),
+            TextTable::num(stats.pctOverall(GlobalTag::External)),
+            TextTable::num(stats.pctOverall(GlobalTag::Uninit)),
+        });
     }
     std::fputs(table.render().c_str(), stdout);
     std::puts("\nLarge paper-vs-inverted gaps = many instructions sit "

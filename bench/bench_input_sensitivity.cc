@@ -9,10 +9,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "core/pipeline.hh"
 #include "harness/suite.hh"
 #include "sim/machine.hh"
+#include "support/parallel.hh"
 #include "support/table.hh"
 #include "workloads/workloads.hh"
 
@@ -73,17 +75,26 @@ main()
     table.header({"bench", "input", "repeat%", "internals%",
                   "glb-init%", "external%", "all-args%"});
 
-    for (const workloads::Workload &w : workloads::allWorkloads()) {
-        const Row a =
-            measure(w, w.input, suite.skip(), suite.window());
-        const Row b =
-            measure(w, w.altInput, suite.skip(), suite.window());
-        table.row({w.name, "primary", TextTable::num(a.repeatPct),
+    // Every (workload, input) run is independent: measure them all in
+    // parallel, indexed so the table stays in canonical order.
+    const auto &all = workloads::allWorkloads();
+    std::vector<Row> rows(all.size() * 2);
+    parallel::parallelFor(rows.size(), [&](size_t i) {
+        const workloads::Workload &w = all[i / 2];
+        rows[i] = measure(w, i % 2 ? w.altInput : w.input,
+                          suite.skip(), suite.window());
+    });
+
+    for (size_t i = 0; i < all.size(); ++i) {
+        const Row &a = rows[i * 2];
+        const Row &b = rows[i * 2 + 1];
+        const std::string &name = all[i].name;
+        table.row({name, "primary", TextTable::num(a.repeatPct),
                    TextTable::num(a.internals),
                    TextTable::num(a.globalInit),
                    TextTable::num(a.external),
                    TextTable::num(a.allArgsPct)});
-        table.row({w.name, "alternate", TextTable::num(b.repeatPct),
+        table.row({name, "alternate", TextTable::num(b.repeatPct),
                    TextTable::num(b.internals),
                    TextTable::num(b.globalInit),
                    TextTable::num(b.external),

@@ -1,13 +1,15 @@
 #include "harness/suite.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "support/json.hh"
 #include "support/logging.hh"
+#include "support/parallel.hh"
+#include "support/parse.hh"
 #include "support/stats.hh"
 
 namespace irep::bench
@@ -15,15 +17,6 @@ namespace irep::bench
 
 namespace
 {
-
-uint64_t
-envU64(const char *name, uint64_t fallback)
-{
-    const char *value = std::getenv(name);
-    if (!value || !*value)
-        return fallback;
-    return std::strtoull(value, nullptr, 10);
-}
 
 std::vector<std::string>
 envList(const char *name)
@@ -39,14 +32,49 @@ envList(const char *name)
     return out;
 }
 
+/** fatal() naming the valid workloads when @p filter holds a typo
+ *  ("ijepg"): a misspelt IREP_BENCH used to silently run nothing. */
+void
+validateFilter(const std::vector<std::string> &filter)
+{
+    for (const std::string &f : filter) {
+        bool known = false;
+        for (const workloads::Workload &w : workloads::allWorkloads())
+            known = known || f == w.name;
+        if (known)
+            continue;
+        std::string valid;
+        for (const workloads::Workload &w : workloads::allWorkloads())
+            valid += (valid.empty() ? "" : ", ") + w.name;
+        fatal("unknown workload '", f, "' in benchmark filter "
+              "(valid names: ", valid, ")");
+    }
+}
+
+SuiteEntry
+buildEntry(const workloads::Workload &w,
+           const core::PipelineConfig &config)
+{
+    SuiteEntry entry;
+    entry.name = w.name;
+    entry.machine =
+        std::make_unique<sim::Machine>(workloads::buildProgram(w));
+    entry.machine->setInput(w.input);
+    entry.pipeline = std::make_unique<core::AnalysisPipeline>(
+        *entry.machine, config);
+    return entry;
+}
+
 } // namespace
 
 Suite::Suite()
-    : skip_(envU64("IREP_SKIP", 1'000'000)),
-      window_(envU64("IREP_WINDOW", 4'000'000)),
-      filter_(envList("IREP_BENCH"))
 {
+    config_.skip = parse::envU64("IREP_SKIP", 1'000'000);
+    config_.window = parse::envU64("IREP_WINDOW", 4'000'000);
+    config_.filter = envList("IREP_BENCH");
 }
+
+Suite::Suite(const SuiteConfig &config) : config_(config) {}
 
 Suite &
 Suite::instance()
@@ -58,27 +86,36 @@ Suite::instance()
 void
 Suite::runAll()
 {
+    validateFilter(config_.filter);
+
+    // Build every entry up front (workload compilation is memoized
+    // and the pipelines register no global state), in the paper's
+    // canonical order — scheduling then cannot affect any output.
+    core::PipelineConfig config;
+    config.skipInstructions = config_.skip;
+    config.windowInstructions = config_.window;
     for (const workloads::Workload &w : workloads::allWorkloads()) {
-        if (!filter_.empty()) {
+        if (!config_.filter.empty()) {
             bool found = false;
-            for (const std::string &f : filter_)
+            for (const std::string &f : config_.filter)
                 found = found || f == w.name;
             if (!found)
                 continue;
         }
-        SuiteEntry entry;
-        entry.name = w.name;
-        entry.machine =
-            std::make_unique<sim::Machine>(workloads::buildProgram(w));
-        entry.machine->setInput(w.input);
-        core::PipelineConfig config;
-        config.skipInstructions = skip_;
-        config.windowInstructions = window_;
-        entry.pipeline = std::make_unique<core::AnalysisPipeline>(
-            *entry.machine, config);
-        entry.windowExecuted = entry.pipeline->run();
-        entries_.push_back(std::move(entry));
+        entries_.push_back(buildEntry(w, config));
     }
+
+    jobs_ = config_.jobs ? config_.jobs : parallel::defaultJobs();
+    const auto start = std::chrono::steady_clock::now();
+    parallel::parallelFor(
+        entries_.size(),
+        [this](size_t i) {
+            entries_[i].windowExecuted = entries_[i].pipeline->run();
+        },
+        jobs_);
+    suiteSeconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
     ran_ = true;
 
     const char *json_path = std::getenv("IREP_BENCH_JSON");
@@ -86,17 +123,25 @@ Suite::runAll()
         writeJson(json_path);
 }
 
-void
-Suite::writeJson(const std::string &path)
+double
+Suite::workloadSeconds() const
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    fatalIf(!out, "cannot open '", path, "'");
+    double sum = 0.0;
+    for (const SuiteEntry &entry : entries_) {
+        const core::RunTiming &t = entry.pipeline->timing();
+        sum += t.skip.seconds + t.window.seconds;
+    }
+    return sum;
+}
 
+void
+Suite::writeJson(std::ostream &out)
+{
     json::Writer w(out);
     w.beginObject();
     w.field("schema", "irep-bench-1");
-    w.field("skip", skip_);
-    w.field("window", window_);
+    w.field("skip", config_.skip);
+    w.field("window", config_.window);
     w.key("workloads");
     w.beginObject();
     for (const SuiteEntry &entry : entries_) {
@@ -106,8 +151,25 @@ Suite::writeJson(const std::string &path)
         stats::dumpJson(root, w);
     }
     w.endObject();
+    // Suite-level wall-clock timing: how long the (possibly
+    // parallel) run took vs. the serial-equivalent sum. Timing
+    // fields are the only ones that may differ between serial and
+    // parallel runs.
+    w.key("suite");
+    w.beginObject();
+    w.field("wall_seconds", suiteSeconds_);
+    w.field("workload_seconds", workloadSeconds());
+    w.endObject();
     w.endObject();
     out << '\n';
+}
+
+void
+Suite::writeJson(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fatalIf(!out, "cannot open '", path, "'");
+    writeJson(out);
     fatalIf(!out, "write to '", path, "' failed");
 }
 
@@ -123,14 +185,8 @@ SuiteEntry
 Suite::runOne(const std::string &name,
               const core::PipelineConfig &config)
 {
-    const workloads::Workload &w = workloads::workloadByName(name);
-    SuiteEntry entry;
-    entry.name = name;
-    entry.machine =
-        std::make_unique<sim::Machine>(workloads::buildProgram(w));
-    entry.machine->setInput(w.input);
-    entry.pipeline = std::make_unique<core::AnalysisPipeline>(
-        *entry.machine, config);
+    SuiteEntry entry = buildEntry(workloads::workloadByName(name),
+                                  config);
     entry.windowExecuted = entry.pipeline->run();
     return entry;
 }

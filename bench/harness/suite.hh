@@ -4,12 +4,22 @@
  * instrumented AnalysisPipeline pass and hands the per-benchmark
  * pipelines to the table printers.
  *
+ * The eight workloads share nothing (each owns its Machine and
+ * pipeline), so the suite dispatches them to a thread pool
+ * (support/parallel.hh). Entries are built up front and kept in
+ * canonical workload order, so every table printer and writeJson()
+ * emit byte-identical output regardless of scheduling; only
+ * wall-clock timing fields vary between serial and parallel runs.
+ *
  * Environment knobs:
  *   IREP_SKIP        instructions to skip before measuring (default
  *                    1M; the paper skipped 0.5-2.5 B at SPEC scale)
  *   IREP_WINDOW      measurement window length (default 4M; paper:
  *                    1 B)
  *   IREP_BENCH       comma-separated subset of workload names to run
+ *                    (unknown names are fatal)
+ *   IREP_JOBS        worker threads (default: hardware concurrency;
+ *                    1 = serial, today's behaviour)
  *   IREP_BENCH_JSON  write one JSON document with every workload's
  *                    full stats report (the perf-trajectory
  *                    `BENCH_*.json` format) to this path after the
@@ -19,6 +29,7 @@
 #ifndef IREP_BENCH_SUITE_HH
 #define IREP_BENCH_SUITE_HH
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,17 +50,41 @@ struct SuiteEntry
     uint64_t windowExecuted = 0;
 };
 
-/** Lazily-run, process-wide benchmark suite. */
+/** Explicit suite configuration (tools and tests; the shared
+ *  instance() reads the same knobs from the environment). */
+struct SuiteConfig
+{
+    uint64_t skip = 1'000'000;
+    uint64_t window = 4'000'000;
+    std::vector<std::string> filter;    //!< empty = all workloads
+    unsigned jobs = 0;                  //!< 0 = parallel::defaultJobs()
+};
+
+/** A benchmark suite run: all (filtered) workloads, in paper order. */
 class Suite
 {
   public:
-    /** The shared instance (runs the workloads on first use). */
+    /** The shared, environment-configured instance (runs the
+     *  workloads on first use). */
     static Suite &instance();
+
+    /** A suite with explicit configuration (lazy, like instance()). */
+    explicit Suite(const SuiteConfig &config);
 
     const std::vector<SuiteEntry> &entries();
 
-    uint64_t skip() const { return skip_; }
-    uint64_t window() const { return window_; }
+    uint64_t skip() const { return config_.skip; }
+    uint64_t window() const { return config_.window; }
+
+    /** Worker threads the run used (resolved from config/env). */
+    unsigned jobs() const { return jobs_; }
+
+    /** Wall-clock seconds of the whole suite run (dispatch+join). */
+    double suiteSeconds() const { return suiteSeconds_; }
+
+    /** Sum of every workload's skip+window wall-clock seconds — the
+     *  serial-equivalent cost; suiteSeconds() below this = speedup. */
+    double workloadSeconds() const;
 
     /** Run one workload with a custom pipeline config (ablations). */
     static SuiteEntry runOne(const std::string &name,
@@ -57,19 +92,22 @@ class Suite
 
     /**
      * Write every entry's stats registry as one JSON document:
-     * `{schema, skip, window, workloads: {name: {stats...}}}`.
+     * `{schema, skip, window, workloads: {name: {stats...}}, suite}`.
      * Called automatically after runAll() when IREP_BENCH_JSON is
      * set; public so harness users can emit extra snapshots.
      */
     void writeJson(const std::string &path);
 
+    /** Same document, to an already-open stream. */
+    void writeJson(std::ostream &out);
+
   private:
     Suite();
     void runAll();
 
-    uint64_t skip_;
-    uint64_t window_;
-    std::vector<std::string> filter_;
+    SuiteConfig config_;
+    unsigned jobs_ = 1;
+    double suiteSeconds_ = 0.0;
     std::vector<SuiteEntry> entries_;
     bool ran_ = false;
 };

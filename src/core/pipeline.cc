@@ -32,6 +32,11 @@ AnalysisPipeline::AnalysisPipeline(sim::Machine &machine,
     machine.addObserver(this);
 }
 
+AnalysisPipeline::~AnalysisPipeline()
+{
+    machine_.removeObserver(this);
+}
+
 void
 AnalysisPipeline::setCounting(bool enabled)
 {

@@ -82,6 +82,11 @@ class AnalysisPipeline : public sim::Observer
     AnalysisPipeline(sim::Machine &machine,
                      const PipelineConfig &config = PipelineConfig());
 
+    /** Detaches from the machine, so a pipeline may be destroyed
+     *  while its machine lives (e.g. re-analysis under a fresh
+     *  config) without leaving a dangling observer. */
+    ~AnalysisPipeline() override;
+
     /** Execute skip + window. @return instructions executed in the
      *  measurement window. */
     uint64_t run();

@@ -42,6 +42,14 @@ Machine::addObserver(Observer *observer)
 }
 
 void
+Machine::removeObserver(Observer *observer)
+{
+    observers_.erase(
+        std::remove(observers_.begin(), observers_.end(), observer),
+        observers_.end());
+}
+
+void
 Machine::setReg(unsigned index, uint32_t value)
 {
     if (index != isa::regZero)

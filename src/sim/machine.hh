@@ -37,8 +37,12 @@ class Machine
     /** Bytes emitted through the Write syscall so far. */
     const std::string &output() const { return output_; }
 
-    /** Attach an observer (not owned; must outlive the machine). */
+    /** Attach an observer (not owned; must outlive the machine or
+     *  detach with removeObserver() first). */
     void addObserver(Observer *observer);
+
+    /** Detach a previously attached observer (no-op when absent). */
+    void removeObserver(Observer *observer);
 
     /**
      * Execute up to @p max_instructions more instructions.

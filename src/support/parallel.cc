@@ -1,0 +1,106 @@
+#include "support/parallel.hh"
+
+#include "support/logging.hh"
+#include "support/parse.hh"
+
+namespace irep::parallel
+{
+
+unsigned
+defaultJobs()
+{
+    const uint64_t jobs =
+        parse::envU64("IREP_JOBS", std::thread::hardware_concurrency());
+    fatalIf(std::getenv("IREP_JOBS") && jobs == 0,
+            "IREP_JOBS must be positive");
+    return jobs ? unsigned(jobs) : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    fatalIf(workers == 0, "thread pool needs at least one worker");
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> job)
+{
+    std::packaged_task<void()> task(std::move(job));
+    std::future<void> future = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        panicIf(stopping_, "submit() on a stopping pool");
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;     // stopping, queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();             // exceptions land in the future
+    }
+}
+
+void
+parallelFor(size_t count, const std::function<void(size_t)> &body,
+            unsigned jobs)
+{
+    if (count == 0)
+        return;
+    if (jobs == 0)
+        jobs = defaultJobs();
+
+    if (jobs <= 1 || count == 1) {
+        for (size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    ThreadPool pool(jobs < count ? jobs : unsigned(count));
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        futures.push_back(pool.submit([&body, i] { body(i); }));
+
+    // Join everything before rethrowing so no job outlives the call,
+    // and rethrow the lowest-index failure for a deterministic report.
+    std::exception_ptr first;
+    for (std::future<void> &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace irep::parallel

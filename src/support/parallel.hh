@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A fixed-size worker pool and an ordered parallel-for on top of it,
+ * for embarrassingly parallel work (the bench suite's independent
+ * workload simulations).
+ *
+ * Design rules:
+ *
+ *  - *Determinism is the caller's job to preserve, ours to enable.*
+ *    parallelFor() indexes results by iteration number, so callers
+ *    that only write slot i from iteration i get output identical to
+ *    a serial loop regardless of scheduling.
+ *  - *jobs == 1 means no threads.* The serial path runs the jobs
+ *    inline on the calling thread, byte-for-byte today's behaviour —
+ *    `--jobs 1` / `IREP_JOBS=1` is the escape hatch.
+ *  - *Exceptions propagate.* A job that throws fails the whole
+ *    parallelFor(): the first exception (by iteration order, so the
+ *    report is deterministic too) is rethrown on the caller after
+ *    every job has finished.
+ */
+
+#ifndef IREP_SUPPORT_PARALLEL_HH
+#define IREP_SUPPORT_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace irep::parallel
+{
+
+/**
+ * The default worker count: `IREP_JOBS` when set (strictly parsed;
+ * 0 or malformed is fatal), otherwise std::thread::hardware_concurrency
+ * (at least 1).
+ */
+unsigned defaultJobs();
+
+/** Fixed pool of worker threads draining a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (fatal if 0). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Joins the workers; outstanding jobs finish first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workers() const { return unsigned(threads_.size()); }
+
+    /**
+     * Enqueue @p job. The future resolves when it finishes and
+     * rethrows anything the job threw.
+     */
+    std::future<void> submit(std::function<void()> job);
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::packaged_task<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> threads_;
+};
+
+/**
+ * Run `body(i)` for every i in [0, count) on @p jobs workers
+ * (defaultJobs() when 0). With jobs <= 1 the loop runs serially
+ * inline. Blocks until every iteration finished; if any threw, the
+ * lowest-index exception is rethrown.
+ */
+void parallelFor(size_t count, const std::function<void(size_t)> &body,
+                 unsigned jobs = 0);
+
+} // namespace irep::parallel
+
+#endif // IREP_SUPPORT_PARALLEL_HH

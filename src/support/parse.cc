@@ -1,0 +1,34 @@
+#include "support/parse.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace irep::parse
+{
+
+uint64_t
+parseU64(const std::string &what, const std::string &text)
+{
+    fatalIf(text.empty(), what, " needs a number");
+    errno = 0;
+    char *end = nullptr;
+    const uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    fatalIf(end == text.c_str() || *end != '\0',
+            what, ": '", text, "' is not a number");
+    fatalIf(errno == ERANGE, what, ": '", text, "' is out of range");
+    fatalIf(text[0] == '-', what, ": '", text, "' is negative");
+    return value;
+}
+
+uint64_t
+envU64(const char *name, uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return parseU64(name, value);
+}
+
+} // namespace irep::parse

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Strict numeric parsing shared by CLI flags and environment knobs.
+ * Rejects empty strings, trailing garbage, negatives and overflow —
+ * `--window 5m` or `IREP_SKIP=4m` fail loudly instead of silently
+ * becoming 5 or 4.
+ */
+
+#ifndef IREP_SUPPORT_PARSE_HH
+#define IREP_SUPPORT_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace irep::parse
+{
+
+/**
+ * Parse @p text as a decimal uint64_t. @p what names the flag or
+ * variable being parsed ("--window", "IREP_SKIP") for the error
+ * message. fatal()s on anything but a plain non-negative decimal.
+ */
+uint64_t parseU64(const std::string &what, const std::string &text);
+
+/**
+ * Read environment variable @p name as a decimal uint64_t, returning
+ * @p fallback when unset or empty. Malformed values are fatal, not
+ * silently truncated.
+ */
+uint64_t envU64(const char *name, uint64_t fallback);
+
+} // namespace irep::parse
+
+#endif // IREP_SUPPORT_PARSE_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Bench-harness tests: the parallel suite must be a pure speedup —
+ * canonical entry order, byte-identical JSON modulo wall-clock
+ * timing fields — and malformed configuration must fail loudly.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/suite.hh"
+#include "support/logging.hh"
+
+namespace irep::bench
+{
+namespace
+{
+
+SuiteConfig
+smallConfig(unsigned jobs)
+{
+    SuiteConfig config;
+    config.skip = 20'000;
+    config.window = 60'000;
+    config.filter = {"perl", "compress"};
+    config.jobs = jobs;
+    return config;
+}
+
+/** Drop the wall-clock timing lines (`*_seconds`, `*_mips`) — the
+ *  only fields allowed to differ between serial and parallel runs. */
+std::string
+stripTimingFields(const std::string &json)
+{
+    std::istringstream in(json);
+    std::string out, line;
+    while (std::getline(in, line)) {
+        if (line.find("seconds") != std::string::npos ||
+            line.find("mips") != std::string::npos)
+            continue;
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(Suite, ParallelJsonIdenticalToSerialModuloTiming)
+{
+    Suite serial(smallConfig(1));
+    Suite parallel(smallConfig(4));
+    serial.entries();
+    parallel.entries();
+    EXPECT_EQ(serial.jobs(), 1u);
+    EXPECT_EQ(parallel.jobs(), 4u);
+
+    std::ostringstream a, b;
+    serial.writeJson(a);
+    parallel.writeJson(b);
+    EXPECT_EQ(stripTimingFields(a.str()), stripTimingFields(b.str()));
+    // The stripped document must still carry real content.
+    EXPECT_NE(a.str(), stripTimingFields(a.str()));
+    EXPECT_NE(stripTimingFields(a.str()).find("\"repetition\""),
+              std::string::npos);
+}
+
+TEST(Suite, EntriesKeepCanonicalWorkloadOrder)
+{
+    SuiteConfig config = smallConfig(4);
+    // Filter deliberately lists names against paper order; entries
+    // must come back in paper order (go before compress).
+    config.filter = {"compress", "go"};
+    Suite suite(config);
+    const auto &entries = suite.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].name, "go");
+    EXPECT_EQ(entries[1].name, "compress");
+}
+
+TEST(Suite, WindowExecutedAndTimingArePopulated)
+{
+    Suite suite(smallConfig(2));
+    const auto &entries = suite.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    for (const auto &entry : entries) {
+        EXPECT_EQ(entry.windowExecuted, 60'000u);
+        EXPECT_GT(entry.pipeline->timing().window.seconds, 0.0);
+    }
+    EXPECT_GT(suite.suiteSeconds(), 0.0);
+    EXPECT_GT(suite.workloadSeconds(), 0.0);
+}
+
+/** A typo in the benchmark filter used to be silently dropped and
+ *  could run a zero-workload suite; now it is fatal and names the
+ *  valid workloads. */
+TEST(Suite, UnknownFilterNameIsFatal)
+{
+    SuiteConfig config = smallConfig(1);
+    config.filter = {"ijepg"};
+    Suite suite(config);
+    try {
+        suite.entries();
+        FAIL() << "unknown workload name did not throw";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("ijepg"), std::string::npos);
+        EXPECT_NE(msg.find("valid names"), std::string::npos);
+        EXPECT_NE(msg.find("ijpeg"), std::string::npos);
+    }
+}
+
+TEST(Suite, RunOneMatchesSuiteEntry)
+{
+    Suite suite(smallConfig(2));
+    const auto &entries = suite.entries();
+    core::PipelineConfig config;
+    config.skipInstructions = suite.skip();
+    config.windowInstructions = suite.window();
+    const SuiteEntry alone = Suite::runOne("perl", config);
+    EXPECT_EQ(alone.windowExecuted, entries[0].windowExecuted);
+    EXPECT_EQ(alone.pipeline->tracker().stats().dynRepeated,
+              entries[0].pipeline->tracker().stats().dynRepeated);
+}
+
+} // namespace
+} // namespace irep::bench

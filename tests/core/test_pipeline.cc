@@ -234,5 +234,52 @@ TEST(Pipeline, DeterministicAcrossRuns)
               b.uniqueRepeatableInstances);
 }
 
+
+/** Destroying a pipeline while its machine lives used to leave a
+ *  dangling observer pointer; re-analysis of one machine with a
+ *  fresh config must be safe. */
+TEST(Pipeline, DestructorDetachesFromMachine)
+{
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    {
+        PipelineConfig config;
+        config.windowInstructions = 300;
+        AnalysisPipeline first(machine, config);
+        first.run();
+    }
+    // The first pipeline is gone; running the machine again must not
+    // notify it. A second pipeline sees only its own window.
+    PipelineConfig config;
+    config.windowInstructions = 400;
+    AnalysisPipeline second(machine, config);
+    const uint64_t executed = second.run();
+    EXPECT_EQ(executed, 400u);
+    EXPECT_EQ(second.tracker().stats().dynTotal, 400u);
+    EXPECT_EQ(machine.instret(), 700u);
+}
+
+TEST(Pipeline, ReanalysisWithFreshConfigsObservesOnlyItsOwnRun)
+{
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    uint64_t before = 0;
+    {
+        PipelineConfig config;
+        config.windowInstructions = 250;
+        AnalysisPipeline pipeline(machine, config);
+        pipeline.run();
+        before = pipeline.tracker().stats().dynTotal;
+    }
+    {
+        PipelineConfig config;
+        config.windowInstructions = 250;
+        config.enableReuse = false;
+        AnalysisPipeline pipeline(machine, config);
+        pipeline.run();
+        EXPECT_EQ(pipeline.tracker().stats().dynTotal, before);
+    }
+}
+
 } // namespace
 } // namespace irep::core

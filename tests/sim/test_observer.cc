@@ -200,5 +200,32 @@ TEST(Observer, MultipleObserversAllNotified)
     EXPECT_GE(a.records.size(), 1u);
 }
 
+
+TEST(Observer, RemoveObserverStopsNotifications)
+{
+    test::TestRun run("nop\nnop\nnop\n");
+    Capture a;
+    Capture b;
+    run.machine().addObserver(&a);
+    run.machine().addObserver(&b);
+    run.machine().step();
+    run.machine().removeObserver(&a);
+    run.run();
+    EXPECT_EQ(a.records.size(), 1u);
+    EXPECT_GT(b.records.size(), 1u);
+}
+
+TEST(Observer, RemoveUnknownObserverIsANoop)
+{
+    test::TestRun run("nop\n");
+    Capture a;
+    run.machine().removeObserver(&a);    // never attached
+    run.machine().addObserver(&a);
+    run.machine().removeObserver(&a);
+    run.machine().removeObserver(&a);    // already detached
+    run.run();
+    EXPECT_TRUE(a.records.empty());
+}
+
 } // namespace
 } // namespace irep

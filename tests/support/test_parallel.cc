@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Thread-pool / parallelFor tests: result ordering, exception
+ * propagation, the jobs=1 serial path, and IREP_JOBS handling.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/parallel.hh"
+
+namespace irep::parallel
+{
+namespace
+{
+
+/** Set an environment variable for one test, restoring on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old)
+            saved_ = old;
+        had_ = old != nullptr;
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, saved_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    std::string saved_;
+    bool had_ = false;
+};
+
+TEST(ParallelFor, ResultsIndexedByIterationRegardlessOfScheduling)
+{
+    const size_t n = 100;
+    std::vector<int> out(n, -1);
+    parallelFor(n, [&](size_t i) { out[i] = int(i) * 3; }, 4);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], int(i) * 3);
+}
+
+TEST(ParallelFor, JobsOneRunsInlineOnCallingThread)
+{
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen(8);
+    parallelFor(8, [&](size_t i) {
+        seen[i] = std::this_thread::get_id();
+    }, 1);
+    for (const auto &id : seen)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, SerialAndParallelResultsMatch)
+{
+    auto work = [](size_t i) {
+        uint64_t h = i * 2654435761u;
+        for (int r = 0; r < 1000; ++r)
+            h = h * 6364136223846793005ull + 1442695040888963407ull;
+        return h;
+    };
+    std::vector<uint64_t> serial(64), parallel(64);
+    parallelFor(64, [&](size_t i) { serial[i] = work(i); }, 1);
+    parallelFor(64, [&](size_t i) { parallel[i] = work(i); }, 7);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller)
+{
+    EXPECT_THROW(
+        parallelFor(10, [](size_t i) {
+            if (i == 3)
+                fatal("boom from job ", i);
+        }, 4),
+        FatalError);
+}
+
+TEST(ParallelFor, LowestIndexExceptionWinsDeterministically)
+{
+    for (int attempt = 0; attempt < 10; ++attempt) {
+        try {
+            parallelFor(16, [](size_t i) {
+                if (i == 2 || i == 7 || i == 13)
+                    throw std::runtime_error(std::to_string(i));
+            }, 4);
+            FAIL() << "parallelFor did not throw";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "2");
+        }
+    }
+}
+
+TEST(ParallelFor, AllIterationsFinishEvenWhenOneThrows)
+{
+    std::atomic<int> ran{0};
+    try {
+        parallelFor(32, [&](size_t i) {
+            if (i == 0)
+                fatal("first job fails");
+            ++ran;
+        }, 4);
+        FAIL() << "parallelFor did not throw";
+    } catch (const FatalError &) {
+    }
+    EXPECT_EQ(ran.load(), 31);
+}
+
+TEST(ParallelFor, ZeroCountIsANoop)
+{
+    bool called = false;
+    parallelFor(0, [&](size_t) { called = true; }, 4);
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SubmittedJobsAllRun)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workers(), 3u);
+    std::atomic<int> sum{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i)
+        futures.push_back(pool.submit([&sum, i] { sum += i; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(sum.load(), 190);
+}
+
+TEST(ThreadPool, FutureRethrowsJobException)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] { fatal("job failed"); });
+    EXPECT_THROW(future.get(), FatalError);
+}
+
+TEST(ThreadPool, ZeroWorkersIsFatal)
+{
+    EXPECT_THROW(ThreadPool pool(0), FatalError);
+}
+
+TEST(DefaultJobs, ReadsIrepJobs)
+{
+    ScopedEnv env("IREP_JOBS", "3");
+    EXPECT_EQ(defaultJobs(), 3u);
+}
+
+TEST(DefaultJobs, UnsetFallsBackToHardwareConcurrency)
+{
+    ScopedEnv env("IREP_JOBS", nullptr);
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(DefaultJobs, MalformedIrepJobsIsFatal)
+{
+    ScopedEnv env("IREP_JOBS", "4x");
+    EXPECT_THROW(defaultJobs(), FatalError);
+}
+
+TEST(DefaultJobs, ZeroIrepJobsIsFatal)
+{
+    ScopedEnv env("IREP_JOBS", "0");
+    EXPECT_THROW(defaultJobs(), FatalError);
+}
+
+} // namespace
+} // namespace irep::parallel

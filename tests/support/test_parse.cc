@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Strict numeric parsing tests — CLI flags and environment knobs
+ * share one parser that fails loudly on malformed values
+ * (`IREP_SKIP=4m` used to silently become 4).
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/parse.hh"
+
+namespace irep::parse
+{
+namespace
+{
+
+TEST(ParseU64, AcceptsPlainDecimals)
+{
+    EXPECT_EQ(parseU64("--window", "0"), 0u);
+    EXPECT_EQ(parseU64("--window", "4000000"), 4'000'000u);
+    EXPECT_EQ(parseU64("--window", "18446744073709551615"),
+              UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsSuffixedNumbers)
+{
+    EXPECT_THROW(parseU64("IREP_WINDOW", "4m"), FatalError);
+    EXPECT_THROW(parseU64("IREP_WINDOW", "5e6"), FatalError);
+}
+
+TEST(ParseU64, RejectsGarbageEmptyNegativeOverflow)
+{
+    EXPECT_THROW(parseU64("IREP_SKIP", "abc"), FatalError);
+    EXPECT_THROW(parseU64("IREP_SKIP", ""), FatalError);
+    EXPECT_THROW(parseU64("IREP_SKIP", "-5"), FatalError);
+    EXPECT_THROW(parseU64("IREP_SKIP", "99999999999999999999999"),
+                 FatalError);
+}
+
+TEST(EnvU64, UnsetOrEmptyReturnsFallback)
+{
+    unsetenv("IREP_TEST_KNOB");
+    EXPECT_EQ(envU64("IREP_TEST_KNOB", 42), 42u);
+    setenv("IREP_TEST_KNOB", "", 1);
+    EXPECT_EQ(envU64("IREP_TEST_KNOB", 42), 42u);
+    unsetenv("IREP_TEST_KNOB");
+}
+
+TEST(EnvU64, ParsesSetValue)
+{
+    setenv("IREP_TEST_KNOB", "123456", 1);
+    EXPECT_EQ(envU64("IREP_TEST_KNOB", 42), 123'456u);
+    unsetenv("IREP_TEST_KNOB");
+}
+
+/** The IREP_SKIP=4m regression: malformed env values must be fatal,
+ *  not silently truncated to the leading digits. */
+TEST(EnvU64, MalformedValueIsFatalNotTruncated)
+{
+    setenv("IREP_TEST_KNOB", "4m", 1);
+    EXPECT_THROW(envU64("IREP_TEST_KNOB", 42), FatalError);
+    setenv("IREP_TEST_KNOB", "abc", 1);
+    EXPECT_THROW(envU64("IREP_TEST_KNOB", 42), FatalError);
+    unsetenv("IREP_TEST_KNOB");
+}
+
+} // namespace
+} // namespace irep::parse

@@ -7,12 +7,16 @@
  *   irep run <file.mc|file.s> [options]    execute, print output/exit
  *   irep analyze <file.mc|file.s> [opts]   full repetition report
  *   irep bench <workload> [opts]           analyze a built-in workload
+ *   irep bench all [opts]                  the whole suite, workloads
+ *                                          run in parallel (--jobs)
  *
  * Options:
  *   --input <file>     bytes served by the read syscall
  *   --skip N           instructions to skip before measuring
  *   --window N         measurement window (default 5,000,000)
  *   --max N            execution cap for `run` (default 1B)
+ *   --jobs N           worker threads for `bench all` (default:
+ *                      hardware concurrency; 1 = serial)
  *   --stats-json FILE  write the full stats report as JSON
  *   --trace FILE       write sampled retire records (.jsonl = JSONL)
  *   --trace-sample N   record every Nth retired instruction
@@ -22,7 +26,6 @@
  * treated as MiniC (with the runtime library linked in).
  */
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,12 +37,15 @@
 
 #include "asm/assembler.hh"
 #include "core/pipeline.hh"
+#include "harness/suite.hh"
 #include "isa/instruction.hh"
 #include "minicc/compiler.hh"
 #include "sim/machine.hh"
 #include "sim/trace.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
+#include "support/parallel.hh"
+#include "support/parse.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 #include "workloads/runtime.hh"
@@ -58,6 +64,7 @@ struct Options
     uint64_t skip = 0;
     uint64_t window = 5'000'000;
     uint64_t max = 1'000'000'000;
+    unsigned jobs = 0;      //!< 0 = parallel::defaultJobs()
 
     std::string statsJsonFile;
     std::string traceFile;
@@ -68,7 +75,7 @@ struct Options
 const char *const usageText =
     "usage: irep <compile|disasm|run|analyze|bench> <target>\n"
     "            [--input FILE] [--skip N] [--window N] [--max N]\n"
-    "            [--stats-json FILE] [--trace FILE]\n"
+    "            [--jobs N] [--stats-json FILE] [--trace FILE]\n"
     "            [--trace-sample N] [--progress N]\n"
     "  compile  MiniC -> assembly text\n"
     "  disasm   assembled program image listing\n"
@@ -76,12 +83,15 @@ const char *const usageText =
     "  analyze  repetition analysis report (the paper's tables,\n"
     "           for your program)\n"
     "  bench    same, for a built-in workload (go, m88ksim,\n"
-    "           ijpeg, perl, vortex, li, gcc, compress)\n"
+    "           ijpeg, perl, vortex, li, gcc, compress), or `all`\n"
+    "           for the whole suite with workloads run in parallel\n"
     "options:\n"
     "  --input FILE       bytes served by the read syscall\n"
     "  --skip N           instructions to skip before measuring\n"
     "  --window N         measurement window (default 5,000,000)\n"
     "  --max N            execution cap for `run` (default 1B)\n"
+    "  --jobs N           worker threads for `bench all` (default:\n"
+    "                     hardware concurrency; 1 = serial)\n"
     "  --stats-json FILE  write the analysis report as JSON\n"
     "  --trace FILE       sampled retire trace (.jsonl for JSONL)\n"
     "  --trace-sample N   record every Nth instruction (default 1)\n"
@@ -94,21 +104,7 @@ usage()
     std::exit(2);
 }
 
-/** Parse a decimal count, rejecting empty/garbage/overflow values
- *  (`--window 5m` used to silently become 0). */
-uint64_t
-parseU64(const std::string &flag, const std::string &text)
-{
-    fatalIf(text.empty(), flag, " needs a number");
-    errno = 0;
-    char *end = nullptr;
-    const uint64_t value = std::strtoull(text.c_str(), &end, 10);
-    fatalIf(end == text.c_str() || *end != '\0',
-            flag, ": '", text, "' is not a number");
-    fatalIf(errno == ERANGE, flag, ": '", text, "' is out of range");
-    fatalIf(text[0] == '-', flag, ": '", text, "' is negative");
-    return value;
-}
+using parse::parseU64;
 
 std::string
 readFile(const std::string &path)
@@ -138,7 +134,7 @@ buildTarget(const std::string &path)
 }
 
 Options
-parse(int argc, char **argv)
+parseArgs(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -168,6 +164,10 @@ parse(int argc, char **argv)
             opts.window = parseU64(arg, next());
         else if (arg == "--max")
             opts.max = parseU64(arg, next());
+        else if (arg == "--jobs") {
+            opts.jobs = unsigned(parseU64(arg, next()));
+            fatalIf(opts.jobs == 0, "--jobs must be positive");
+        }
         else if (arg == "--stats-json")
             opts.statsJsonFile = next();
         else if (arg == "--trace")
@@ -405,9 +405,62 @@ cmdAnalyze(const Options &opts)
     return analyzeMachine(opts, machine, 0, "");
 }
 
+/**
+ * `irep bench all`: the full suite with the workloads simulated in
+ * parallel (each owns its machine and pipeline; output order is
+ * canonical regardless of scheduling).
+ */
+int
+cmdBenchAll(const Options &opts)
+{
+    bench::SuiteConfig config;
+    config.skip = opts.skip ? opts.skip : 1'000'000;
+    config.window = opts.window;
+    config.jobs = opts.jobs;
+    bench::Suite suite(config);
+
+    const auto &entries = suite.entries();
+
+    // Analysis results go to stdout (byte-identical for any --jobs);
+    // wall-clock timing goes to stderr, where runs legitimately vary.
+    std::printf("=== irep bench suite: %zu workloads ===\n",
+                entries.size());
+    TextTable table;
+    table.header({"bench", "window", "repeat%"});
+    for (const auto &entry : entries) {
+        table.row({entry.name,
+                   TextTable::count(entry.windowExecuted),
+                   TextTable::num(entry.pipeline->tracker()
+                                      .stats()
+                                      .pctDynRepeated())});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    for (const auto &entry : entries) {
+        const auto &t = entry.pipeline->timing();
+        std::fprintf(stderr, "irep: %-10s %.2fs  %.1f mips\n",
+                     entry.name.c_str(),
+                     t.skip.seconds + t.window.seconds,
+                     t.window.mips());
+    }
+    std::fprintf(stderr,
+                 "irep: %u jobs: suite wall-clock %.2fs, sum of "
+                 "workloads %.2fs (%.2fx)\n",
+                 suite.jobs(), suite.suiteSeconds(),
+                 suite.workloadSeconds(),
+                 suite.suiteSeconds() > 0.0
+                     ? suite.workloadSeconds() / suite.suiteSeconds()
+                     : 0.0);
+    if (!opts.statsJsonFile.empty())
+        suite.writeJson(opts.statsJsonFile);
+    return 0;
+}
+
 int
 cmdBench(const Options &opts)
 {
+    if (opts.target == "all")
+        return cmdBenchAll(opts);
     const auto &workload = workloads::workloadByName(opts.target);
     sim::Machine machine(workloads::buildProgram(workload));
     machine.setInput(workload.input);
@@ -423,7 +476,7 @@ int
 main(int argc, char **argv)
 {
     try {
-        const Options opts = parse(argc, argv);
+        const Options opts = parseArgs(argc, argv);
         if (opts.command == "compile")
             return cmdCompile(opts);
         if (opts.command == "disasm")
