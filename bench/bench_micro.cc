@@ -1,15 +1,24 @@
 /**
  * @file
  * google-benchmark microbenchmarks for the hot structures: the bare
- * simulator, the repetition tracker, the reuse buffer, and the full
- * pipeline — documents the throughput cost of each analysis layer.
+ * simulator (the skip-phase fast path), the repetition tracker, the
+ * full pipeline, and the per-layer primitives underneath them —
+ * memory translation, observer dispatch, and flat-map probes —
+ * documenting the throughput cost of each layer.
  */
+
+#include <random>
+#include <unordered_map>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "core/pipeline.hh"
+#include "core/repetition_tracker.hh"
 #include "minicc/compiler.hh"
 #include "sim/machine.hh"
+#include "support/flat_map.hh"
+#include "support/hash.hh"
 #include "workloads/workloads.hh"
 
 using namespace irep;
@@ -80,6 +89,97 @@ BM_CompileWorkload(benchmark::State &state)
     }
 }
 
+/** The skip phase proper: observers attached but counting disabled. */
+void
+BM_PipelineSkipPhase(benchmark::State &state)
+{
+    const auto &prog = workloads::buildProgram(bm_workload());
+    for (auto _ : state) {
+        sim::Machine machine(prog);
+        machine.setInput(bm_workload().input);
+        core::PipelineConfig config;
+        config.skipInstructions = uint64_t(state.range(0));
+        config.windowInstructions = 1;
+        core::AnalysisPipeline pipeline(machine, config);
+        benchmark::DoNotOptimize(pipeline.run());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+/** Raw memory-translation throughput: strided 32-bit loads. */
+void
+BM_MemoryRead32(benchmark::State &state)
+{
+    sim::Memory mem;
+    mem.pin(0x10000000, 1 << 20);
+    uint32_t addr = 0x10000000;
+    uint32_t sum = 0;
+    for (auto _ : state) {
+        sum += mem.read32(0x10000000 + (addr & 0xffffc));
+        addr += 64;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+
+/** Tracker insert/probe on a synthetic stream: @p range(0) statics,
+ *  each cycling through range(1) distinct instances. */
+void
+BM_TrackerOnInstr(benchmark::State &state)
+{
+    const uint32_t num_static = uint32_t(state.range(0));
+    const uint32_t instances = uint32_t(state.range(1));
+    core::RepetitionTracker tracker(num_static);
+    isa::Instruction inst = isa::decode(0x00430820);    // add $1,$2,$3
+    sim::InstrRecord rec;
+    rec.inst = &inst;
+    rec.numSrcRegs = 2;
+    uint64_t n = 0;
+    for (auto _ : state) {
+        rec.staticIndex = uint32_t(n) % num_static;
+        rec.srcVal[0] = uint32_t(n) % instances;
+        rec.srcVal[1] = 7;
+        rec.result = rec.srcVal[0] + 7;
+        benchmark::DoNotOptimize(tracker.onInstr(rec));
+        ++n;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+/** FlatMap vs std::unordered_map probe throughput on hot keys. */
+template <typename Map>
+void
+mapProbeLoop(benchmark::State &state)
+{
+    Map map;
+    std::mt19937_64 rng(42);
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 512; ++i) {
+        keys.push_back(hashMix(0, rng()));
+        map[keys.back()] = uint64_t(i);
+    }
+    uint64_t sum = 0;
+    size_t at = 0;
+    for (auto _ : state) {
+        sum += map[keys[at]];
+        at = (at + 1) & 511;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_FlatMapProbe(benchmark::State &state)
+{
+    mapProbeLoop<FlatMap<uint64_t, uint64_t, IdentityHash>>(state);
+}
+
+void
+BM_UnorderedMapProbe(benchmark::State &state)
+{
+    mapProbeLoop<std::unordered_map<uint64_t, uint64_t>>(state);
+}
+
 } // namespace
 
 BENCHMARK(BM_SimulatorOnly)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
@@ -88,5 +188,12 @@ BENCHMARK(BM_TrackerPipeline)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FullPipeline)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CompileWorkload)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PipelineSkipPhase)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MemoryRead32);
+BENCHMARK(BM_TrackerOnInstr)->Args({1024, 4})->Args({1024, 1024});
+BENCHMARK(BM_FlatMapProbe);
+BENCHMARK(BM_UnorderedMapProbe);
 
 BENCHMARK_MAIN();

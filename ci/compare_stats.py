@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare two irep --stats-json documents, ignoring timing fields.
+
+Every counted statistic the toolchain reports is deterministic; only
+wall-clock-derived fields legitimately differ between runs (see
+docs/performance.md and docs/parallelism.md). CI uses this script to
+diff a freshly generated stats report against the checked-in golden
+copy, so any change to the simulator or the analyses that perturbs
+the numbers must also update the golden file — deliberately.
+
+Usage: compare_stats.py GOLDEN ACTUAL
+Exits 0 when the documents match modulo timing, 1 with a list of
+differing paths otherwise.
+"""
+
+import json
+import sys
+
+# Wall-clock-derived fields, excluded from the comparison.
+TIMING_KEYS = {
+    "skip_seconds",
+    "window_seconds",
+    "window_mips",
+    "wall_seconds",
+    "workload_seconds",
+}
+
+
+def strip_timing(value):
+    if isinstance(value, dict):
+        return {
+            key: strip_timing(sub)
+            for key, sub in value.items()
+            if key not in TIMING_KEYS
+        }
+    if isinstance(value, list):
+        return [strip_timing(sub) for sub in value]
+    return value
+
+
+def diff(golden, actual, path, out):
+    if type(golden) is not type(actual):
+        out.append(f"{path}: type {type(golden).__name__} != "
+                   f"{type(actual).__name__}")
+    elif isinstance(golden, dict):
+        for key in sorted(set(golden) | set(actual)):
+            sub = f"{path}.{key}"
+            if key not in golden:
+                out.append(f"{sub}: only in actual")
+            elif key not in actual:
+                out.append(f"{sub}: only in golden")
+            else:
+                diff(golden[key], actual[key], sub, out)
+    elif isinstance(golden, list):
+        if len(golden) != len(actual):
+            out.append(f"{path}: length {len(golden)} != {len(actual)}")
+        else:
+            for i, (g, a) in enumerate(zip(golden, actual)):
+                diff(g, a, f"{path}[{i}]", out)
+    elif golden != actual:
+        out.append(f"{path}: {golden!r} != {actual!r}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        golden = strip_timing(json.load(f))
+    with open(argv[2]) as f:
+        actual = strip_timing(json.load(f))
+
+    differences = []
+    diff(golden, actual, "$", differences)
+    if differences:
+        print(f"stats mismatch vs golden ({len(differences)} paths):")
+        for line in differences:
+            print(f"  {line}")
+        print(f"\nIf the change is intentional, regenerate {argv[1]} "
+              f"with the command in .github/workflows/ci.yml.")
+        return 1
+    print("stats match golden (timing fields excluded)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,6 +25,9 @@ struct Layout
      *  data base + 0x8000 so 16-bit signed offsets span 64 KiB). */
     static constexpr uint32_t gpValue = dataBase + 0x8000;
     static constexpr uint32_t stackTop = 0x7ffff000;
+    /** Addresses at or above this belong to the stack region; the heap
+     *  break may never grow into it. */
+    static constexpr uint32_t stackRegionBase = 0x70000000;
 };
 
 /**

@@ -117,11 +117,11 @@ FunctionAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
     // frame: anything in the global/heap regions, or at/above the
     // stack pointer the function was entered with.
     if (info.isStore &&
-        (rec.memAddr < 0x70000000u ||
+        (rec.memAddr < assem::Layout::stackRegionBase ||
          rec.memAddr >= stack_.current().data.spAtEntry)) {
         stack_.current().data.sideEffect = true;
     }
-    if (info.isLoad && rec.memAddr < 0x70000000u &&
+    if (info.isLoad && rec.memAddr < assem::Layout::stackRegionBase &&
         rec.memAddr >= assem::Layout::dataBase) {
         stack_.current().data.implicitInput = true;
     }
@@ -162,20 +162,16 @@ FunctionAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
     for (unsigned i = 0; i < nargs; ++i) {
         const uint32_t value = machine_.reg(isa::regA0 + i);
         key = hashMix(key, value);
-        auto &seen = state.argSeen[i];
-        if (seen.count(value))
+        if (!state.argSeen[i].insert(value))
             any_repeated = true;
-        else
-            seen.insert(value);
     }
 
-    auto it = state.tuples.find(key);
-    if (it != state.tuples.end()) {
-        ++it->second;
+    if (uint64_t *count = state.tuples.find(key)) {
+        ++*count;
         data.allArgsRep = true;
         ++state.allArgsRep;
     } else if (state.tuples.size() < tupleCap) {
-        state.tuples.emplace(key, 1);
+        state.tuples.tryEmplace(key, 1);
     }
 
     if (nargs > 0 && !any_repeated)

@@ -20,14 +20,13 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "asm/program.hh"
 #include "core/callstack.hh"
 #include "sim/machine.hh"
 #include "sim/observer.hh"
+#include "support/flat_map.hh"
 
 namespace irep::stats
 {
@@ -111,8 +110,9 @@ class FunctionAnalysis
         uint64_t allArgsRep = 0;
         uint64_t noArgsRep = 0;
         unsigned numArgs = 0;
-        std::unordered_map<uint64_t, uint64_t> tuples;
-        std::array<std::unordered_set<uint32_t>, 4> argSeen;
+        // Tuple keys are already hash-mixed; identity hashing suffices.
+        FlatMap<uint64_t, uint64_t, IdentityHash> tuples;
+        std::array<FlatSet<uint32_t>, 4> argSeen;
     };
 
     static constexpr size_t tupleCap = 1u << 16;
@@ -122,7 +122,7 @@ class FunctionAnalysis
     const assem::Program &program_;
     const sim::Machine &machine_;
     CallStack<FrameData> stack_;
-    std::unordered_map<uint32_t, FuncState> funcs_;
+    FlatMap<uint32_t, FuncState> funcs_;
     MemoizationStats memo_;
     bool counting_ = false;
 };

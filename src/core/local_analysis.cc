@@ -157,7 +157,7 @@ LocalAnalysis::regionTagFor(uint32_t addr) const
 {
     if (addr >= assem::Layout::dataBase && addr < heapStart_)
         return LocalTag::Global;
-    if (addr >= heapStart_ && addr < 0x70000000u)
+    if (addr >= heapStart_ && addr < assem::Layout::stackRegionBase)
         return LocalTag::Heap;
     return LocalTag::SP;    // stack region marker (not used as tag)
 }
@@ -210,7 +210,7 @@ LocalAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
         }
         // Stack stores propagate the stored value's tag; stores to
         // global/heap do not (loads there start fresh slices).
-        if (rec.memAddr >= 0x70000000u) {
+        if (rec.memAddr >= assem::Layout::stackRegionBase) {
             stackTags_.fill(rec.memAddr, info.memBytes,
                             uint8_t(frame.regTags[inst.rt]));
         }
@@ -221,7 +221,7 @@ LocalAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
             frame.saveAddr[size_t(slot)] == rec.memAddr) {
             cat = LocalCat::Epilogue;
             dest_tag = LocalTag::FuncInternal;
-        } else if (rec.memAddr >= 0x70000000u) {
+        } else if (rec.memAddr >= assem::Layout::stackRegionBase) {
             // Stack load: propagate the stored tag.
             const auto tag =
                 LocalTag(stackTags_.read(rec.memAddr));
@@ -236,12 +236,10 @@ LocalAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
             if (counting_) {
                 if (repeated) {
                     auto &values = loadValueRepeats_[rec.staticIndex];
-                    auto it = values.find(uint32_t(rec.result));
-                    if (it != values.end()) {
-                        ++it->second;
-                    } else if (values.size() < valueCapPerLoad) {
-                        values.emplace(uint32_t(rec.result), 1);
-                    }
+                    if (uint64_t *n = values.find(uint32_t(rec.result)))
+                        ++*n;
+                    else if (values.size() < valueCapPerLoad)
+                        values.tryEmplace(uint32_t(rec.result), 1);
                     ++totalGlobalLoadRepeats_;
                 }
             }
@@ -252,7 +250,7 @@ LocalAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
         const uint32_t value = uint32_t(inst.imm) << 16;
         const bool data_addr =
             value >= (assem::Layout::dataBase & 0xffff0000u) &&
-            value < 0x70000000u;
+            value < assem::Layout::stackRegionBase;
         dest_tag = data_addr ? LocalTag::GlbAddr
                              : LocalTag::FuncInternal;
         cat = categoryOfTag(dest_tag);

@@ -34,13 +34,13 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "asm/program.hh"
 #include "core/callstack.hh"
 #include "core/tag_memory.hh"
 #include "sim/observer.hh"
+#include "support/flat_map.hh"
 
 namespace irep::stats
 {
@@ -164,13 +164,11 @@ class LocalAnalysis
     bool counting_ = false;
 
     // Table 9: per-function prologue+epilogue repetition.
-    std::unordered_map<uint32_t, uint64_t> proEpiRepeatsByFunc_;
+    FlatMap<uint32_t, uint64_t> proEpiRepeatsByFunc_;
 
     // Figure 6: per static global/heap load, value -> repeat count.
     static constexpr size_t valueCapPerLoad = 4096;
-    std::unordered_map<uint32_t,
-                       std::unordered_map<uint32_t, uint64_t>>
-        loadValueRepeats_;
+    FlatMap<uint32_t, FlatMap<uint32_t, uint64_t>> loadValueRepeats_;
     uint64_t totalGlobalLoadRepeats_ = 0;
 };
 

@@ -59,8 +59,11 @@ void
 AnalysisPipeline::onRetire(const sim::InstrRecord &rec)
 {
     // Repetition buffering only runs in the window (the paper's
-    // buffers start cold at the window boundary).
-    const bool repeated = counting_ ? tracker_->onInstr(rec) : false;
+    // buffers start cold at the window boundary). The instance hash is
+    // computed once here and shared with every analysis keyed on it.
+    const bool repeated = counting_
+        ? tracker_->onInstr(rec, RepetitionTracker::instanceKey(rec))
+        : false;
 
     if (taint_)
         taint_->onInstr(rec, repeated);
@@ -85,8 +88,9 @@ AnalysisPipeline::onSyscall(const sim::SyscallRecord &rec)
         functions_->onSyscall(rec);
 }
 
+template <typename Exec>
 uint64_t
-AnalysisPipeline::run()
+AnalysisPipeline::runPhases(Exec &&exec)
 {
     using clock = std::chrono::steady_clock;
     const auto elapsed = [](clock::time_point from) {
@@ -99,8 +103,7 @@ AnalysisPipeline::run()
         progress_->setPhase("skip");
     if (config_.skipInstructions) {
         const auto start = clock::now();
-        timing_.skip.instructions =
-            machine_.run(config_.skipInstructions);
+        timing_.skip.instructions = exec(config_.skipInstructions);
         timing_.skip.seconds = elapsed(start);
     }
 
@@ -108,7 +111,7 @@ AnalysisPipeline::run()
     if (progress_)
         progress_->setPhase("window");
     const auto start = clock::now();
-    const uint64_t executed = machine_.run(config_.windowInstructions);
+    const uint64_t executed = exec(config_.windowInstructions);
     timing_.window.seconds = elapsed(start);
     timing_.window.instructions = executed;
     setCounting(false);
@@ -116,6 +119,26 @@ AnalysisPipeline::run()
     if (functions_)
         functions_->finalize();
     return executed;
+}
+
+uint64_t
+AnalysisPipeline::run()
+{
+    return runPhases(
+        [this](uint64_t n) { return machine_.run(n); });
+}
+
+uint64_t
+AnalysisPipeline::runStepwise()
+{
+    return runPhases([this](uint64_t n) {
+        uint64_t done = 0;
+        while (done < n && !machine_.halted()) {
+            machine_.step();
+            ++done;
+        }
+        return done;
+    });
 }
 
 void

@@ -91,6 +91,14 @@ class AnalysisPipeline : public sim::Observer
      *  measurement window. */
     uint64_t run();
 
+    /**
+     * Verification mode: identical protocol to run(), but drives the
+     * machine one step() at a time instead of through the fused run
+     * loop. Exists so tests can check the two execution paths produce
+     * identical architectural state and statistics.
+     */
+    uint64_t runStepwise();
+
     void onRetire(const sim::InstrRecord &rec) override;
     void onSyscall(const sim::SyscallRecord &rec) override;
 
@@ -123,6 +131,11 @@ class AnalysisPipeline : public sim::Observer
 
   private:
     void setCounting(bool enabled);
+
+    /** Shared skip/window protocol; @p exec executes up to its
+     *  argument's worth of instructions and returns the count done. */
+    template <typename Exec>
+    uint64_t runPhases(Exec &&exec);
 
     sim::Machine &machine_;
     PipelineConfig config_;

@@ -38,7 +38,7 @@ RepetitionTracker::RepetitionTracker(uint32_t num_static,
 }
 
 bool
-RepetitionTracker::onInstr(const sim::InstrRecord &rec)
+RepetitionTracker::onInstr(const sim::InstrRecord &rec, uint64_t key)
 {
     panicIf(rec.staticIndex >= statics_.size(),
             "static index out of range");
@@ -46,23 +46,14 @@ RepetitionTracker::onInstr(const sim::InstrRecord &rec)
     ++entry.exec;
     ++dynTotal_;
 
-    // Key both inputs and outputs: an instance is repeated only when
-    // it uses the same operand values AND produces the same result as
-    // a buffered instance (paper §2).
-    uint64_t key = hashMix(0x9368e53c2f6af274ull, rec.numSrcRegs);
-    for (int i = 0; i < rec.numSrcRegs; ++i)
-        key = hashMix(key, rec.srcVal[i]);
-    key = hashMix(key, rec.result);
-
-    auto it = entry.instances.find(key);
-    if (it != entry.instances.end()) {
-        ++it->second;
+    if (uint32_t *repeats = entry.instances.find(key)) {
+        ++*repeats;
         ++entry.repeats;
         ++dynRepeated_;
         return true;
     }
     if (entry.instances.size() < cap_)
-        entry.instances.emplace(key, 0);
+        entry.instances.tryEmplace(key, 0);
     return false;
 }
 
@@ -79,12 +70,12 @@ RepetitionTracker::stats() const
             ++s.staticExecuted;
         if (e.repeats)
             ++s.staticRepeated;
-        for (const auto &[key, repeats] : e.instances) {
+        e.instances.forEach([&](uint64_t, uint32_t repeats) {
             if (repeats) {
                 ++s.uniqueRepeatableInstances;
                 total_repeats += repeats;
             }
-        }
+        });
     }
     s.avgRepeatsPerInstance = s.uniqueRepeatableInstances
         ? double(total_repeats) / double(s.uniqueRepeatableInstances)
@@ -138,10 +129,10 @@ RepetitionTracker::registerStats(stats::Group &group) const
         if (!e.repeats)
             continue;
         uint32_t unique_repeatable = 0;
-        for (const auto &[key, repeats] : e.instances) {
+        e.instances.forEach([&](uint64_t, uint32_t repeats) {
             if (repeats)
                 ++unique_repeatable;
-        }
+        });
         dist.sample(double(unique_repeatable));
     }
 }
@@ -217,10 +208,10 @@ RepetitionTracker::instanceCoverage(const std::vector<double> &targets)
 {
     std::vector<uint64_t> contributions;
     for (const StaticEntry &e : statics_) {
-        for (const auto &[key, repeats] : e.instances) {
+        e.instances.forEach([&](uint64_t, uint32_t repeats) {
             if (repeats)
                 contributions.push_back(repeats);
-        }
+        });
     }
     return coverageCurve(std::move(contributions), targets);
 }
@@ -240,10 +231,10 @@ RepetitionTracker::instanceBuckets() const
         if (!e.repeats)
             continue;
         uint32_t unique_repeatable = 0;
-        for (const auto &[key, repeats] : e.instances) {
+        e.instances.forEach([&](uint64_t, uint32_t repeats) {
             if (repeats)
                 ++unique_repeatable;
-        }
+        });
         total += e.repeats;
         for (InstanceBucket &b : buckets) {
             if (unique_repeatable >= b.lo && unique_repeatable <= b.hi) {

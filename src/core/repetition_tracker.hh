@@ -10,10 +10,11 @@
 #define IREP_CORE_REPETITION_TRACKER_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/observer.hh"
+#include "support/flat_map.hh"
+#include "support/hash.hh"
 
 namespace irep::stats
 {
@@ -75,10 +76,33 @@ class RepetitionTracker
                                unsigned instance_cap = 2000);
 
     /**
+     * The (inputs, outputs) instance hash of a retired instruction.
+     * Exposed so the pipeline can compute it once and share it across
+     * every analysis that keys on the instance.
+     */
+    static uint64_t
+    instanceKey(const sim::InstrRecord &rec)
+    {
+        // Key both inputs and outputs: an instance is repeated only
+        // when it uses the same operand values AND produces the same
+        // result as a buffered instance (paper §2).
+        uint64_t key = hashMix(0x9368e53c2f6af274ull, rec.numSrcRegs);
+        for (int i = 0; i < rec.numSrcRegs; ++i)
+            key = hashMix(key, rec.srcVal[i]);
+        return hashMix(key, rec.result);
+    }
+
+    /**
      * Process a retired instruction.
      * @return true when this dynamic instance is repeated.
      */
-    bool onInstr(const sim::InstrRecord &rec);
+    bool onInstr(const sim::InstrRecord &rec)
+    {
+        return onInstr(rec, instanceKey(rec));
+    }
+
+    /** As above, with the instance hash precomputed by the caller. */
+    bool onInstr(const sim::InstrRecord &rec, uint64_t key);
 
     /** Aggregate statistics (Table 1 / Table 2). */
     RepetitionStats stats() const;
@@ -119,8 +143,10 @@ class RepetitionTracker
     struct StaticEntry
     {
         // instance hash -> times this instance repeated (0 = buffered
-        // but never matched again).
-        std::unordered_map<uint64_t, uint32_t> instances;
+        // but never matched again). Most statics see only a handful of
+        // distinct instances, so a few pairs live inline; keys are
+        // already mixed, so identity hashing suffices after a spill.
+        SmallFlatMap<uint64_t, uint32_t, 4, IdentityHash> instances;
         uint64_t exec = 0;
         uint64_t repeats = 0;
     };

@@ -2,6 +2,10 @@
  * @file
  * Sparse byte-granular shadow memory for data-flow tags, mirroring the
  * simulator's address space. Untouched bytes read as the default tag.
+ *
+ * Translation mirrors sim::Memory: a flat page table with one slot per
+ * possible 64 KiB page, so shadow reads and writes on the per-access
+ * analysis path never hash.
  */
 
 #ifndef IREP_CORE_TAG_MEMORY_HH
@@ -11,7 +15,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 namespace irep::core
 {
@@ -22,19 +26,20 @@ class TagMemory
   public:
     static constexpr unsigned pageBits = 16;
     static constexpr uint32_t pageSize = 1u << pageBits;
+    static constexpr uint32_t numPageSlots = 1u << (32 - pageBits);
 
     explicit TagMemory(uint8_t default_tag = 0)
-        : defaultTag_(default_tag)
+        : defaultTag_(default_tag), table_(numPageSlots)
     {}
 
     /** Read one byte tag. */
     uint8_t
     read(uint32_t addr) const
     {
-        auto it = pages_.find(addr >> pageBits);
-        if (it == pages_.end())
+        const Page *page = table_[addr >> pageBits].get();
+        if (!page)
             return defaultTag_;
-        return it->second->tags[addr & (pageSize - 1)];
+        return page->tags[addr & (pageSize - 1)];
     }
 
     /** The maximum tag over @p len bytes starting at @p addr. */
@@ -64,7 +69,7 @@ class TagMemory
     void
     writeByte(uint32_t addr, uint8_t tag)
     {
-        auto &page = pages_[addr >> pageBits];
+        auto &page = table_[addr >> pageBits];
         if (!page) {
             page = std::make_unique<Page>();
             std::memset(page->tags, defaultTag_, pageSize);
@@ -73,7 +78,7 @@ class TagMemory
     }
 
     uint8_t defaultTag_;
-    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+    std::vector<std::unique_ptr<Page>> table_;
 };
 
 } // namespace irep::core

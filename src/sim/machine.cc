@@ -14,11 +14,15 @@ using isa::Op;
 
 Machine::Machine(const assem::Program &program)
     : program_(program), pc_(program.entry),
-      brk_(program.heapStart())
+      brk_(program.heapStart()), heapStart_(program.heapStart())
 {
     decoded_.reserve(program.text.size());
-    for (uint32_t word : program.text)
+    destRegs_.reserve(program.text.size());
+    for (uint32_t word : program.text) {
         decoded_.push_back(isa::decode(word));
+        const isa::Instruction &inst = decoded_.back();
+        destRegs_.push_back(int8_t(inst.valid() ? inst.destReg() : -1));
+    }
 
     if (!program.data.empty())
         mem_.writeBlock(assem::Layout::dataBase, program.data.data(),
@@ -26,6 +30,13 @@ Machine::Machine(const assem::Program &program)
 
     regs_[isa::regSP] = assem::Layout::stackTop;
     regs_[isa::regGP] = assem::Layout::gpValue;
+
+    // Pre-pin the segments the program touches from the first
+    // instruction, so the hot path's page-allocation branch is never
+    // taken for them.
+    mem_.pin(assem::Layout::dataBase, uint32_t(program.data.size()));
+    mem_.pin(assem::Layout::stackTop - Memory::pageSize,
+             Memory::pageSize);
 }
 
 void
@@ -64,7 +75,7 @@ Machine::dispatchRetire(const InstrRecord &record)
 }
 
 void
-Machine::doSyscall(InstrRecord &record)
+Machine::doSyscall(InstrRecord *record)
 {
     SyscallRecord sys;
     sys.num = Syscall(regs_[isa::regV0]);
@@ -72,9 +83,11 @@ Machine::doSyscall(InstrRecord &record)
     sys.arg1 = regs_[isa::regA1];
 
     // Expose the syscall's data inputs for repetition tracking.
-    record.numSrcRegs = 2;
-    record.srcVal[0] = regs_[isa::regV0];
-    record.srcVal[1] = regs_[isa::regA0];
+    if (record) {
+        record->numSrcRegs = 2;
+        record->srcVal[0] = regs_[isa::regV0];
+        record->srcVal[1] = regs_[isa::regA0];
+    }
 
     switch (sys.num) {
       case Syscall::Exit:
@@ -96,18 +109,31 @@ Machine::doSyscall(InstrRecord &record)
         break;
       }
       case Syscall::Write: {
+        // Copy straight from simulated memory into the tail of the
+        // accumulated output; no per-call scratch allocation.
         const uint32_t n = sys.arg1;
-        std::string buf(n, '\0');
-        if (n)
-            mem_.readBlock(sys.arg0, buf.data(), n);
-        output_ += buf;
+        if (n) {
+            const size_t old_size = output_.size();
+            output_.resize(old_size + n);
+            mem_.readBlock(sys.arg0, output_.data() + old_size, n);
+        }
         sys.result = n;
         regs_[isa::regV0] = n;
         break;
       }
       case Syscall::Sbrk: {
+        // The increment is signed; the break must stay inside the
+        // heap segment [heapStart, stack region).
         const uint32_t old = brk_;
-        brk_ += sys.arg0;
+        const int64_t increment = int64_t(int32_t(sys.arg0));
+        const int64_t new_brk = int64_t(old) + increment;
+        fatalIf(new_brk < int64_t(heapStart_) ||
+                    new_brk >= int64_t(assem::Layout::stackRegionBase),
+                "sbrk(", increment, ") at pc 0x", std::hex, pc_,
+                std::dec, " would move the break to ", new_brk,
+                ", outside the heap segment [", heapStart_, ", ",
+                assem::Layout::stackRegionBase, ")");
+        brk_ = uint32_t(new_brk);
         sys.result = old;
         regs_[isa::regV0] = old;
         break;
@@ -120,56 +146,66 @@ Machine::doSyscall(InstrRecord &record)
     for (Observer *obs : observers_)
         obs->onSyscall(sys);
 
-    record.writesReg = sys.num != Syscall::Exit;
-    record.destReg = isa::regV0;
-    record.result = regs_[isa::regV0];
+    if (record) {
+        record->writesReg = sys.num != Syscall::Exit;
+        record->destReg = isa::regV0;
+        record->result = regs_[isa::regV0];
+    }
 }
 
-void
-Machine::step()
+template <bool Observed>
+uint32_t
+Machine::exec1(const isa::Instruction &inst, uint32_t index, uint32_t pc)
 {
-    panicIf(halted_, "step() on a halted machine");
-
-    const uint32_t text_base = assem::Layout::textBase;
-    fatalIf(pc_ < text_base || pc_ >= text_base + program_.textBytes() ||
-                (pc_ & 3),
-            "pc out of text segment: 0x", std::hex, pc_);
-
-    const uint32_t index = (pc_ - text_base) >> 2;
-    const Instruction &inst = decoded_[index];
-    fatalIf(!inst.valid(), "executing invalid instruction at 0x",
-            std::hex, pc_);
-    const isa::OpInfo &info = isa::opInfo(inst.op);
-
     InstrRecord rec;
-    rec.seq = instret_;
-    rec.pc = pc_;
-    rec.staticIndex = index;
-    rec.inst = &inst;
-    rec.nextPc = pc_ + 4;
+    uint32_t next_pc = pc + 4;
 
     // Gather data inputs. srcVal holds (rs, rt) values in order, or
     // HI/LO for mfhi/mflo.
     const uint32_t rs_val = regs_[inst.rs];
     const uint32_t rt_val = regs_[inst.rt];
-    int n = 0;
-    if (info.readsRs)
-        rec.srcVal[n++] = rs_val;
-    if (info.readsRt)
-        rec.srcVal[n++] = rt_val;
-    if (info.readsHi)
-        rec.srcVal[n++] = hi_;
-    if (info.readsLo)
-        rec.srcVal[n++] = lo_;
-    rec.numSrcRegs = uint8_t(n);
+
+    if constexpr (Observed) {
+        // Checked here (not per-iteration in the run loop) because the
+        // op-table lookup below requires a valid op.
+        fatalIf(!inst.valid(), "executing invalid instruction at 0x",
+                std::hex, pc);
+        const isa::OpInfo &info = isa::opInfo(inst.op);
+        rec.seq = instret_;
+        rec.pc = pc;
+        rec.staticIndex = index;
+        rec.inst = &inst;
+        rec.nextPc = next_pc;
+
+        int n = 0;
+        if (info.readsRs)
+            rec.srcVal[n++] = rs_val;
+        if (info.readsRt)
+            rec.srcVal[n++] = rt_val;
+        if (info.readsHi)
+            rec.srcVal[n++] = hi_;
+        if (info.readsLo)
+            rec.srcVal[n++] = lo_;
+        rec.numSrcRegs = uint8_t(n);
+    }
 
     uint32_t dest_val = 0;
     bool writes = false;
+    uint32_t mem_addr = 0;
 
     auto branch = [&](bool taken) {
-        rec.result = taken ? 1 : 0;
+        if constexpr (Observed)
+            rec.result = taken ? 1 : 0;
         if (taken)
-            rec.nextPc = pc_ + 4 + (uint32_t(inst.imm) << 2);
+            next_pc = pc + 4 + (uint32_t(inst.imm) << 2);
+    };
+
+    auto memAccess = [&]() {
+        mem_addr = rs_val + uint32_t(inst.imm);
+        if constexpr (Observed) {
+            rec.memAddr = mem_addr;
+            rec.isMemAccess = true;
+        }
     };
 
     switch (inst.op) {
@@ -200,29 +236,35 @@ Machine::step()
       case Op::JR:
         fatalIf(rs_val & 3, "jr to misaligned address 0x", std::hex,
                 rs_val);
-        rec.nextPc = rs_val;
-        rec.result = rs_val;
+        next_pc = rs_val;
+        if constexpr (Observed)
+            rec.result = rs_val;
         break;
       case Op::JALR:
         fatalIf(rs_val & 3, "jalr to misaligned address 0x", std::hex,
                 rs_val);
-        dest_val = pc_ + 4;
+        dest_val = pc + 4;
         writes = true;
-        rec.nextPc = rs_val;
-        rec.result = (uint64_t(rs_val) << 32) | dest_val;
+        next_pc = rs_val;
+        if constexpr (Observed)
+            rec.result = (uint64_t(rs_val) << 32) | dest_val;
         break;
       case Op::SYSCALL:
-        doSyscall(rec);
+        // Sync the architectural pc: syscall handling (and anything it
+        // reports) must see the syscall instruction's address.
+        pc_ = pc;
+        doSyscall(Observed ? &rec : nullptr);
         break;
       case Op::BREAK:
-        fatal("break instruction at pc 0x", std::hex, pc_);
+        fatal("break instruction at pc 0x", std::hex, pc);
       case Op::MFHI:
         dest_val = hi_;
         writes = true;
         break;
       case Op::MTHI:
         hi_ = rs_val;
-        rec.result = rs_val;
+        if constexpr (Observed)
+            rec.result = rs_val;
         break;
       case Op::MFLO:
         dest_val = lo_;
@@ -230,20 +272,23 @@ Machine::step()
         break;
       case Op::MTLO:
         lo_ = rs_val;
-        rec.result = rs_val;
+        if constexpr (Observed)
+            rec.result = rs_val;
         break;
       case Op::MULT: {
         const int64_t p = int64_t(int32_t(rs_val)) * int32_t(rt_val);
         hi_ = uint32_t(uint64_t(p) >> 32);
         lo_ = uint32_t(uint64_t(p));
-        rec.result = uint64_t(p);
+        if constexpr (Observed)
+            rec.result = uint64_t(p);
         break;
       }
       case Op::MULTU: {
         const uint64_t p = uint64_t(rs_val) * rt_val;
         hi_ = uint32_t(p >> 32);
         lo_ = uint32_t(p);
-        rec.result = p;
+        if constexpr (Observed)
+            rec.result = p;
         break;
       }
       case Op::DIV: {
@@ -258,7 +303,8 @@ Machine::step()
             lo_ = uint32_t(a / b);
             hi_ = uint32_t(a % b);
         }
-        rec.result = (uint64_t(hi_) << 32) | lo_;
+        if constexpr (Observed)
+            rec.result = (uint64_t(hi_) << 32) | lo_;
         break;
       }
       case Op::DIVU: {
@@ -269,7 +315,8 @@ Machine::step()
             lo_ = rs_val / rt_val;
             hi_ = rs_val % rt_val;
         }
-        rec.result = (uint64_t(hi_) << 32) | lo_;
+        if constexpr (Observed)
+            rec.result = (uint64_t(hi_) << 32) | lo_;
         break;
       }
       case Op::ADD:
@@ -313,14 +360,16 @@ Machine::step()
         branch(int32_t(rs_val) >= 0);
         break;
       case Op::J:
-        rec.nextPc = ((pc_ + 4) & 0xf0000000u) | (inst.target << 2);
-        rec.result = rec.nextPc;
+        next_pc = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
+        if constexpr (Observed)
+            rec.result = next_pc;
         break;
       case Op::JAL:
-        dest_val = pc_ + 4;
+        dest_val = pc + 4;
         writes = true;
-        rec.nextPc = ((pc_ + 4) & 0xf0000000u) | (inst.target << 2);
-        rec.result = dest_val;
+        next_pc = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
+        if constexpr (Observed)
+            rec.result = dest_val;
         break;
       case Op::BEQ:
         branch(rs_val == rt_val);
@@ -364,81 +413,133 @@ Machine::step()
         writes = true;
         break;
       case Op::LB:
-        rec.memAddr = rs_val + uint32_t(inst.imm);
-        rec.isMemAccess = true;
-        dest_val = uint32_t(int32_t(int8_t(mem_.read8(rec.memAddr))));
+        memAccess();
+        dest_val = uint32_t(int32_t(int8_t(mem_.read8(mem_addr))));
         writes = true;
         break;
       case Op::LBU:
-        rec.memAddr = rs_val + uint32_t(inst.imm);
-        rec.isMemAccess = true;
-        dest_val = mem_.read8(rec.memAddr);
+        memAccess();
+        dest_val = mem_.read8(mem_addr);
         writes = true;
         break;
       case Op::LH:
-        rec.memAddr = rs_val + uint32_t(inst.imm);
-        rec.isMemAccess = true;
-        dest_val = uint32_t(int32_t(int16_t(mem_.read16(rec.memAddr))));
+        memAccess();
+        dest_val = uint32_t(int32_t(int16_t(mem_.read16(mem_addr))));
         writes = true;
         break;
       case Op::LHU:
-        rec.memAddr = rs_val + uint32_t(inst.imm);
-        rec.isMemAccess = true;
-        dest_val = mem_.read16(rec.memAddr);
+        memAccess();
+        dest_val = mem_.read16(mem_addr);
         writes = true;
         break;
       case Op::LW:
-        rec.memAddr = rs_val + uint32_t(inst.imm);
-        rec.isMemAccess = true;
-        dest_val = mem_.read32(rec.memAddr);
+        memAccess();
+        dest_val = mem_.read32(mem_addr);
         writes = true;
         break;
       case Op::SB:
-        rec.memAddr = rs_val + uint32_t(inst.imm);
-        rec.isMemAccess = true;
-        mem_.write8(rec.memAddr, uint8_t(rt_val));
-        rec.result = uint8_t(rt_val);
+        memAccess();
+        mem_.write8(mem_addr, uint8_t(rt_val));
+        if constexpr (Observed)
+            rec.result = uint8_t(rt_val);
         break;
       case Op::SH:
-        rec.memAddr = rs_val + uint32_t(inst.imm);
-        rec.isMemAccess = true;
-        mem_.write16(rec.memAddr, uint16_t(rt_val));
-        rec.result = uint16_t(rt_val);
+        memAccess();
+        mem_.write16(mem_addr, uint16_t(rt_val));
+        if constexpr (Observed)
+            rec.result = uint16_t(rt_val);
         break;
       case Op::SW:
-        rec.memAddr = rs_val + uint32_t(inst.imm);
-        rec.isMemAccess = true;
-        mem_.write32(rec.memAddr, rt_val);
-        rec.result = rt_val;
+        memAccess();
+        mem_.write32(mem_addr, rt_val);
+        if constexpr (Observed)
+            rec.result = rt_val;
         break;
+      case Op::INVALID:
+        fatal("executing invalid instruction at 0x", std::hex, pc);
       default:
-        panic("unhandled op in step()");
+        panic("unhandled op in exec1()");
     }
 
     if (writes) {
-        const int dest = inst.destReg();
+        const int dest = destRegs_[index];
         panicIf(dest < 0, "writes with no destination");
         setReg(unsigned(dest), dest_val);
-        rec.writesReg = true;
-        rec.destReg = uint8_t(dest);
-        if (inst.op != Op::JALR)
-            rec.result = regs_[dest];
+        if constexpr (Observed) {
+            rec.writesReg = true;
+            rec.destReg = uint8_t(dest);
+            if (inst.op != Op::JALR)
+                rec.result = regs_[dest];
+        }
     }
 
-    pc_ = rec.nextPc;
     ++instret_;
-    dispatchRetire(rec);
+    if constexpr (Observed) {
+        pc_ = next_pc;
+        rec.nextPc = next_pc;
+        dispatchRetire(rec);
+    }
+    return next_pc;
+}
+
+void
+Machine::step()
+{
+    panicIf(halted_, "step() on a halted machine");
+
+    const uint32_t text_base = assem::Layout::textBase;
+    fatalIf(pc_ < text_base || pc_ >= text_base + program_.textBytes() ||
+                (pc_ & 3),
+            "pc out of text segment: 0x", std::hex, pc_);
+
+    const uint32_t index = (pc_ - text_base) >> 2;
+    pc_ = exec1<true>(decoded_[index], index, pc_);
+}
+
+template <bool Observed>
+uint64_t
+Machine::runLoop(uint64_t max_instructions)
+{
+    // Every control transfer either checks its target's alignment
+    // (jr/jalr) or constructs a 4-aligned one (branches, j/jal,
+    // fall-through), so checking once at loop entry covers the run.
+    fatalIf(pc_ & 3, "pc out of text segment: 0x", std::hex, pc_);
+
+    const uint32_t num_static = uint32_t(decoded_.size());
+    const Instruction *code = decoded_.data();
+    uint64_t done = 0;
+    // The pc lives in a local across the loop; invalid instructions
+    // surface through exec1's Op::INVALID case, so the only
+    // per-iteration check is the bounds compare.
+    uint32_t pc = pc_;
+    try {
+        while (done < max_instructions && !halted_) {
+            // Aligned pc below textBase wraps to a huge index, so one
+            // compare covers both bounds.
+            const uint32_t index =
+                (pc - assem::Layout::textBase) >> 2;
+            fatalIf(index >= num_static, "pc out of text segment: 0x",
+                    std::hex, pc);
+            pc = exec1<Observed>(code[index], index, pc);
+            ++done;
+        }
+    } catch (...) {
+        // Leave the architectural pc at the faulting instruction,
+        // exactly like the stepwise path.
+        pc_ = pc;
+        throw;
+    }
+    pc_ = pc;
+    return done;
 }
 
 uint64_t
 Machine::run(uint64_t max_instructions)
 {
-    uint64_t done = 0;
-    while (done < max_instructions && !halted_) {
-        step();
-        ++done;
-    }
-    return done;
+    if (halted_ || max_instructions == 0)
+        return 0;
+    return observers_.empty() ? runLoop<false>(max_instructions)
+                              : runLoop<true>(max_instructions);
 }
 
 } // namespace irep::sim

@@ -3,6 +3,13 @@
  * The functional MIPS-I simulator. Executes an assembled Program
  * in-order with full operand visibility, dispatching an InstrRecord to
  * attached observers after every retired instruction.
+ *
+ * run() is a fused loop with two instantiations of one instruction
+ * body: the instrumented path builds the InstrRecord and dispatches
+ * observers exactly like step(); the fast path — taken whenever no
+ * observer is attached — skips record construction and dispatch
+ * entirely and hoists the pc alignment check out of the
+ * per-instruction body.
  */
 
 #ifndef IREP_SIM_MACHINE_HH
@@ -27,7 +34,8 @@ class Machine
     /**
      * Build a machine and load @p program: text is predecoded, data is
      * copied to memory, $sp/$gp are initialized, the heap break is set
-     * past the data section.
+     * past the data section. The data segment and the top of the stack
+     * are pre-pinned so steady-state accesses never allocate.
      */
     explicit Machine(const assem::Program &program);
 
@@ -63,6 +71,9 @@ class Machine
     uint32_t reg(unsigned index) const { return regs_[index]; }
     void setReg(unsigned index, uint32_t value);
 
+    uint32_t hi() const { return hi_; }
+    uint32_t lo() const { return lo_; }
+
     Memory &memory() { return mem_; }
     const Memory &memory() const { return mem_; }
 
@@ -75,11 +86,35 @@ class Machine
     }
 
   private:
+    /**
+     * Execute one decoded instruction at @p pc and return the next pc.
+     * The Observed instantiation fills an InstrRecord, syncs pc_, and
+     * dispatches observers; the fast instantiation compiles the record
+     * bookkeeping out and leaves pc_ to the caller. The caller has
+     * already checked pc bounds.
+     */
+    template <bool Observed>
+    uint32_t exec1(const isa::Instruction &inst, uint32_t index,
+                   uint32_t pc);
+
+    /** The fused run loop: per-iteration bounds/validity checks, the
+     *  alignment check hoisted to loop entry. */
+    template <bool Observed>
+    uint64_t runLoop(uint64_t max_instructions);
+
     void dispatchRetire(const InstrRecord &record);
-    void doSyscall(InstrRecord &record);
+
+    /** Execute a syscall. @p record is filled with the syscall's
+     *  repetition-relevant inputs/outputs when non-null (observed
+     *  execution) and ignored when null (fast path). */
+    void doSyscall(InstrRecord *record);
 
     const assem::Program &program_;
     std::vector<isa::Instruction> decoded_;
+    /** Destination register per static instruction (-1 = none),
+     *  precomputed at decode so the retire loop never consults the op
+     *  table. */
+    std::vector<int8_t> destRegs_;
     Memory mem_;
 
     uint32_t regs_[32] = {};
@@ -87,6 +122,7 @@ class Machine
     uint32_t lo_ = 0;
     uint32_t pc_;
     uint32_t brk_;          //!< heap break for Sbrk
+    uint32_t heapStart_;    //!< lower bound for the break
 
     bool halted_ = false;
     int exitCode_ = 0;

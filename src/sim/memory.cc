@@ -1,78 +1,16 @@
 #include "sim/memory.hh"
 
-#include <cstring>
-
-#include "support/logging.hh"
+#include <algorithm>
 
 namespace irep::sim
 {
 
-uint8_t *
-Memory::pagePtr(uint32_t addr)
+Memory::Page *
+Memory::allocatePage(uint32_t key) const
 {
-    const uint32_t key = addr >> pageBits;
-    auto &page = pages_[key];
-    if (!page)
-        page = std::make_unique<Page>();
-    return page->bytes + (addr & (pageSize - 1));
-}
-
-const uint8_t *
-Memory::pagePtrConst(uint32_t addr) const
-{
-    const uint32_t key = addr >> pageBits;
-    auto &page = pages_[key];
-    if (!page)
-        page = std::make_unique<Page>();
-    return page->bytes + (addr & (pageSize - 1));
-}
-
-uint8_t
-Memory::read8(uint32_t addr) const
-{
-    return *pagePtrConst(addr);
-}
-
-uint16_t
-Memory::read16(uint32_t addr) const
-{
-    fatalIf(addr & 1, "misaligned 16-bit read at 0x",
-            std::hex, addr);
-    uint16_t v;
-    std::memcpy(&v, pagePtrConst(addr), 2);
-    return v;
-}
-
-uint32_t
-Memory::read32(uint32_t addr) const
-{
-    fatalIf(addr & 3, "misaligned 32-bit read at 0x",
-            std::hex, addr);
-    uint32_t v;
-    std::memcpy(&v, pagePtrConst(addr), 4);
-    return v;
-}
-
-void
-Memory::write8(uint32_t addr, uint8_t value)
-{
-    *pagePtr(addr) = value;
-}
-
-void
-Memory::write16(uint32_t addr, uint16_t value)
-{
-    fatalIf(addr & 1, "misaligned 16-bit write at 0x",
-            std::hex, addr);
-    std::memcpy(pagePtr(addr), &value, 2);
-}
-
-void
-Memory::write32(uint32_t addr, uint32_t value)
-{
-    fatalIf(addr & 3, "misaligned 32-bit write at 0x",
-            std::hex, addr);
-    std::memcpy(pagePtr(addr), &value, 4);
+    table_[key] = std::make_unique<Page>();
+    ++allocated_;
+    return table_[key].get();
 }
 
 void
@@ -84,7 +22,7 @@ Memory::writeBlock(uint32_t addr, const void *src, uint32_t len)
         const uint32_t in_page =
             pageSize - ((addr + done) & (pageSize - 1));
         const uint32_t chunk = std::min(in_page, len - done);
-        std::memcpy(pagePtr(addr + done), p + done, chunk);
+        std::memcpy(bytePtr(addr + done), p + done, chunk);
         done += chunk;
     }
 }
@@ -98,9 +36,34 @@ Memory::readBlock(uint32_t addr, void *dst, uint32_t len) const
         const uint32_t in_page =
             pageSize - ((addr + done) & (pageSize - 1));
         const uint32_t chunk = std::min(in_page, len - done);
-        std::memcpy(p + done, pagePtrConst(addr + done), chunk);
+        std::memcpy(p + done, bytePtr(addr + done), chunk);
         done += chunk;
     }
+}
+
+void
+Memory::pin(uint32_t addr, uint32_t len)
+{
+    if (len == 0)
+        return;
+    const uint32_t first = addr >> pageBits;
+    const uint32_t last = (addr + (len - 1)) >> pageBits;
+    for (uint32_t key = first; key <= last; ++key) {
+        if (!table_[key])
+            allocatePage(key);
+    }
+}
+
+std::vector<uint32_t>
+Memory::touchedPages() const
+{
+    std::vector<uint32_t> keys;
+    keys.reserve(allocated_);
+    for (uint32_t key = 0; key < numPageSlots; ++key) {
+        if (table_[key])
+            keys.push_back(key);
+    }
+    return keys;
 }
 
 } // namespace irep::sim

@@ -3,14 +3,24 @@
  * Sparse, paged flat memory for the functional simulator. Pages are
  * allocated on first touch and zero-filled, so the large gaps between
  * text, data, heap, and stack cost nothing.
+ *
+ * Translation is a flat page table: one pointer slot per possible
+ * 64 KiB page of the 32-bit address space (512 KiB of slots). Hot
+ * accesses are a shift, an index, and a null check — no hashing —
+ * and the narrow read/write entry points are inline. The loader pins
+ * the data and stack segments up front so steady-state execution
+ * never takes the allocation branch.
  */
 
 #ifndef IREP_SIM_MEMORY_HH
 #define IREP_SIM_MEMORY_HH
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
-#include <unordered_map>
+#include <vector>
+
+#include "support/logging.hh"
 
 namespace irep::sim
 {
@@ -21,14 +31,60 @@ class Memory
   public:
     static constexpr unsigned pageBits = 16;
     static constexpr uint32_t pageSize = 1u << pageBits;
+    /** Page-table slots covering the whole 32-bit address space. */
+    static constexpr uint32_t numPageSlots = 1u << (32 - pageBits);
 
-    uint8_t read8(uint32_t addr) const;
-    uint16_t read16(uint32_t addr) const;   //!< addr must be 2-aligned
-    uint32_t read32(uint32_t addr) const;   //!< addr must be 4-aligned
+    Memory() : table_(numPageSlots) {}
 
-    void write8(uint32_t addr, uint8_t value);
-    void write16(uint32_t addr, uint16_t value);
-    void write32(uint32_t addr, uint32_t value);
+    uint8_t
+    read8(uint32_t addr) const
+    {
+        return *bytePtr(addr);
+    }
+
+    /** addr must be 2-aligned. */
+    uint16_t
+    read16(uint32_t addr) const
+    {
+        fatalIf(addr & 1, "misaligned 16-bit read at 0x",
+                std::hex, addr);
+        uint16_t v;
+        std::memcpy(&v, bytePtr(addr), 2);
+        return v;
+    }
+
+    /** addr must be 4-aligned. */
+    uint32_t
+    read32(uint32_t addr) const
+    {
+        fatalIf(addr & 3, "misaligned 32-bit read at 0x",
+                std::hex, addr);
+        uint32_t v;
+        std::memcpy(&v, bytePtr(addr), 4);
+        return v;
+    }
+
+    void
+    write8(uint32_t addr, uint8_t value)
+    {
+        *bytePtr(addr) = value;
+    }
+
+    void
+    write16(uint32_t addr, uint16_t value)
+    {
+        fatalIf(addr & 1, "misaligned 16-bit write at 0x",
+                std::hex, addr);
+        std::memcpy(bytePtr(addr), &value, 2);
+    }
+
+    void
+    write32(uint32_t addr, uint32_t value)
+    {
+        fatalIf(addr & 3, "misaligned 32-bit write at 0x",
+                std::hex, addr);
+        std::memcpy(bytePtr(addr), &value, 4);
+    }
 
     /** Bulk copy into memory (used by the loader and syscalls). */
     void writeBlock(uint32_t addr, const void *src, uint32_t len);
@@ -36,8 +92,16 @@ class Memory
     /** Bulk copy out of memory. */
     void readBlock(uint32_t addr, void *dst, uint32_t len) const;
 
+    /** Pre-allocate every page overlapping [addr, addr + len), so
+     *  later accesses to the segment skip the allocation branch. */
+    void pin(uint32_t addr, uint32_t len);
+
     /** Number of currently allocated pages (for tests/stats). */
-    size_t numPages() const { return pages_.size(); }
+    size_t numPages() const { return allocated_; }
+
+    /** Allocated page numbers (addr >> pageBits), ascending — lets
+     *  tests compare two memories without touching new pages. */
+    std::vector<uint32_t> touchedPages() const;
 
   private:
     struct Page
@@ -45,12 +109,24 @@ class Memory
         uint8_t bytes[pageSize] = {};
     };
 
-    uint8_t *pagePtr(uint32_t addr);
-    const uint8_t *pagePtrConst(uint32_t addr) const;
+    /**
+     * Pointer to the byte backing @p addr. Reads of untouched memory
+     * lazily allocate a zero page (hence const + mutable state) so
+     * const read paths stay simple.
+     */
+    uint8_t *
+    bytePtr(uint32_t addr) const
+    {
+        Page *page = table_[addr >> pageBits].get();
+        if (!page)
+            page = allocatePage(addr >> pageBits);
+        return page->bytes + (addr & (pageSize - 1));
+    }
 
-    // mutable: reads of untouched memory lazily allocate a zero page so
-    // that const read paths stay simple.
-    mutable std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+    Page *allocatePage(uint32_t key) const;
+
+    mutable std::vector<std::unique_ptr<Page>> table_;
+    mutable size_t allocated_ = 0;
 };
 
 } // namespace irep::sim

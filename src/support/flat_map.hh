@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Open-addressing flat hash containers for the simulate-and-measure
+ * hot path. The per-retire analyses key millions of lookups by small
+ * integers (instance hashes, static indices, function addresses);
+ * node-based std::unordered_map pays an allocation and a pointer
+ * chase per entry, which dominates the tracker's insert/probe cost.
+ *
+ * FlatMap stores entries densely (insertion order) and probes a
+ * separate power-of-two index array of 32-bit slots, so a probe
+ * touches one small cache line and a hit costs one extra indirection
+ * into the dense array. Erase is deliberately unsupported: every hot
+ * consumer (repetition tracker, argument tuples, load-value profiles)
+ * only ever inserts.
+ *
+ * SmallFlatMap adds an inline buffer for the common
+ * few-instances-per-static case: the first N entries live inside the
+ * object and are scanned linearly, and only statics with more unique
+ * instances spill to a heap-backed FlatMap.
+ */
+
+#ifndef IREP_SUPPORT_FLAT_MAP_HH
+#define IREP_SUPPORT_FLAT_MAP_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/hash.hh"
+
+namespace irep
+{
+
+/** Default hasher: splitmix-style finalizer, good for raw integers
+ *  (addresses, values, dense indices) with clustered low bits. */
+template <typename Key>
+struct FlatHash
+{
+    uint64_t operator()(const Key &key) const
+    {
+        return hashMix(0x8f1bbcdcbfa53e0bull, uint64_t(key));
+    }
+};
+
+/** Pass-through hasher for keys that are already well-mixed hashes
+ *  (e.g. the tracker's instance keys, themselves hashMix output). */
+struct IdentityHash
+{
+    uint64_t operator()(uint64_t key) const { return key; }
+};
+
+/**
+ * Insert-only open-addressing hash map with dense, insertion-ordered
+ * storage.
+ *
+ * Iteration (const) runs over the dense entry array in insertion
+ * order. Pointers returned by find()/operator[] are invalidated by
+ * any subsequent insertion (the dense array may grow).
+ */
+template <typename Key, typename T, typename Hash = FlatHash<Key>>
+class FlatMap
+{
+  public:
+    using value_type = std::pair<Key, T>;
+    using const_iterator =
+        typename std::vector<value_type>::const_iterator;
+
+    FlatMap() = default;
+
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    const_iterator begin() const { return entries_.begin(); }
+    const_iterator end() const { return entries_.end(); }
+
+    /** Pre-size the index for @p n entries (optional). */
+    void
+    reserve(size_t n)
+    {
+        entries_.reserve(n);
+        const size_t needed = indexSizeFor(n);
+        if (needed > index_.size())
+            rehash(needed);
+    }
+
+    /** @return the mapped value for @p key, or nullptr. */
+    T *
+    find(const Key &key)
+    {
+        return const_cast<T *>(std::as_const(*this).find(key));
+    }
+
+    const T *
+    find(const Key &key) const
+    {
+        if (entries_.empty())
+            return nullptr;
+        size_t slot = Hash{}(key) & mask_;
+        while (true) {
+            const uint32_t idx = index_[slot];
+            if (idx == kEmptySlot)
+                return nullptr;
+            if (entries_[idx].first == key)
+                return &entries_[idx].second;
+            slot = (slot + 1) & mask_;
+        }
+    }
+
+    /**
+     * Insert (key, value) unless the key is present.
+     * @return {pointer to the mapped value, true when inserted}.
+     */
+    std::pair<T *, bool>
+    tryEmplace(const Key &key, T value = T())
+    {
+        if (entries_.size() + 1 > capacityLimit())
+            rehash(index_.empty() ? kMinIndexSize : index_.size() * 2);
+        size_t slot = Hash{}(key) & mask_;
+        while (true) {
+            const uint32_t idx = index_[slot];
+            if (idx == kEmptySlot)
+                break;
+            if (entries_[idx].first == key)
+                return {&entries_[idx].second, false};
+            slot = (slot + 1) & mask_;
+        }
+        index_[slot] = uint32_t(entries_.size());
+        entries_.emplace_back(key, std::move(value));
+        return {&entries_.back().second, true};
+    }
+
+    /** The mapped value for @p key, default-constructed on first
+     *  access. */
+    T &operator[](const Key &key) { return *tryEmplace(key).first; }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        index_.clear();
+        mask_ = 0;
+    }
+
+  private:
+    static constexpr uint32_t kEmptySlot = 0xffffffffu;
+    static constexpr size_t kMinIndexSize = 8;
+
+    /** Index slots needed to keep the load factor under ~0.75. */
+    static size_t
+    indexSizeFor(size_t entries)
+    {
+        size_t size = kMinIndexSize;
+        while (entries + 1 > size - size / 4)
+            size *= 2;
+        return size;
+    }
+
+    size_t
+    capacityLimit() const
+    {
+        return index_.empty() ? 0 : index_.size() - index_.size() / 4;
+    }
+
+    void
+    rehash(size_t new_size)
+    {
+        index_.assign(new_size, kEmptySlot);
+        mask_ = new_size - 1;
+        for (size_t i = 0; i < entries_.size(); ++i) {
+            size_t slot = Hash{}(entries_[i].first) & mask_;
+            while (index_[slot] != kEmptySlot)
+                slot = (slot + 1) & mask_;
+            index_[slot] = uint32_t(i);
+        }
+    }
+
+    std::vector<value_type> entries_;
+    std::vector<uint32_t> index_;
+    size_t mask_ = 0;
+};
+
+/**
+ * FlatMap with an inline buffer for the first @p InlineN entries.
+ * Small maps (the overwhelmingly common few-instances-per-static
+ * case) never touch the heap; larger ones spill every entry into the
+ * backing FlatMap and stay there.
+ */
+template <typename Key, typename T, size_t InlineN,
+          typename Hash = FlatHash<Key>>
+class SmallFlatMap
+{
+    static_assert(InlineN > 0, "use FlatMap for no inline buffer");
+
+  public:
+    using value_type = std::pair<Key, T>;
+
+    size_t
+    size() const
+    {
+        return spilled() ? rest_.size() : inlineCount_;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    T *
+    find(const Key &key)
+    {
+        return const_cast<T *>(std::as_const(*this).find(key));
+    }
+
+    const T *
+    find(const Key &key) const
+    {
+        if (spilled())
+            return rest_.find(key);
+        for (uint32_t i = 0; i < inlineCount_; ++i) {
+            if (inline_[i].first == key)
+                return &inline_[i].second;
+        }
+        return nullptr;
+    }
+
+    std::pair<T *, bool>
+    tryEmplace(const Key &key, T value = T())
+    {
+        if (spilled())
+            return rest_.tryEmplace(key, std::move(value));
+        for (uint32_t i = 0; i < inlineCount_; ++i) {
+            if (inline_[i].first == key)
+                return {&inline_[i].second, false};
+        }
+        if (inlineCount_ < InlineN) {
+            inline_[inlineCount_] = {key, std::move(value)};
+            return {&inline_[inlineCount_++].second, true};
+        }
+        spill();
+        return rest_.tryEmplace(key, std::move(value));
+    }
+
+    T &operator[](const Key &key) { return *tryEmplace(key).first; }
+
+    /** Visit every (key, value) pair in insertion order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        if (spilled()) {
+            for (const auto &[key, value] : rest_)
+                fn(key, value);
+        } else {
+            for (uint32_t i = 0; i < inlineCount_; ++i)
+                fn(inline_[i].first, inline_[i].second);
+        }
+    }
+
+  private:
+    bool spilled() const { return inlineCount_ > InlineN; }
+
+    void
+    spill()
+    {
+        rest_.reserve(InlineN + 1);
+        for (uint32_t i = 0; i < InlineN; ++i) {
+            rest_.tryEmplace(inline_[i].first,
+                             std::move(inline_[i].second));
+        }
+        inlineCount_ = uint32_t(InlineN) + 1;   // spilled marker
+    }
+
+    std::array<value_type, InlineN> inline_ = {};
+    uint32_t inlineCount_ = 0;
+    FlatMap<Key, T, Hash> rest_;
+};
+
+/** Insert-only flat hash set (FlatMap with no mapped payload). */
+template <typename Key, typename Hash = FlatHash<Key>>
+class FlatSet
+{
+  public:
+    size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+
+    bool count(const Key &key) const
+    {
+        return map_.find(key) != nullptr;
+    }
+
+    /** @return true when @p key was newly inserted. */
+    bool insert(const Key &key)
+    {
+        return map_.tryEmplace(key, Empty{}).second;
+    }
+
+  private:
+    struct Empty
+    {};
+
+    FlatMap<Key, Empty, Hash> map_;
+};
+
+} // namespace irep
+
+#endif // IREP_SUPPORT_FLAT_MAP_HH

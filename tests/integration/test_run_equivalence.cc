@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Fast-loop equivalence: Machine::run()'s fused loop — both the
+ * no-observer fast path and the instrumented path — must leave exactly
+ * the architectural state of the one-instruction step() path, and
+ * AnalysisPipeline::run() must produce exactly the statistics of
+ * runStepwise(), including when run boundaries fall mid-basic-block.
+ */
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "sim/machine.hh"
+#include "sim/memory.hh"
+#include "sim/observer.hh"
+#include "support/json.hh"
+#include "support/stats.hh"
+#include "workloads/workloads.hh"
+
+namespace irep
+{
+namespace
+{
+
+using sim::Machine;
+
+std::unique_ptr<Machine>
+makeMachine(const std::string &name)
+{
+    const auto &w = workloads::workloadByName(name);
+    auto machine =
+        std::make_unique<Machine>(workloads::buildProgram(w));
+    machine->setInput(w.input);
+    return machine;
+}
+
+/** Step @p machine up to @p n instructions, like the pre-fused loop. */
+uint64_t
+stepN(Machine &machine, uint64_t n)
+{
+    uint64_t done = 0;
+    while (done < n && !machine.halted()) {
+        machine.step();
+        ++done;
+    }
+    return done;
+}
+
+void
+expectSameRegisters(const Machine &a, const Machine &b)
+{
+    for (unsigned r = 0; r < 32; ++r)
+        EXPECT_EQ(a.reg(r), b.reg(r)) << "register " << r;
+    EXPECT_EQ(a.hi(), b.hi());
+    EXPECT_EQ(a.lo(), b.lo());
+    EXPECT_EQ(a.pc(), b.pc());
+    EXPECT_EQ(a.instret(), b.instret());
+    EXPECT_EQ(a.halted(), b.halted());
+}
+
+void
+expectSameState(const Machine &a, const Machine &b)
+{
+    expectSameRegisters(a, b);
+    EXPECT_EQ(a.exitCode(), b.exitCode());
+    EXPECT_EQ(a.output(), b.output());
+
+    const std::vector<uint32_t> pages_a = a.memory().touchedPages();
+    const std::vector<uint32_t> pages_b = b.memory().touchedPages();
+    ASSERT_EQ(pages_a, pages_b);
+    std::vector<uint8_t> buf_a(sim::Memory::pageSize);
+    std::vector<uint8_t> buf_b(sim::Memory::pageSize);
+    for (uint32_t page : pages_a) {
+        const uint32_t addr = page << sim::Memory::pageBits;
+        a.memory().readBlock(addr, buf_a.data(), sim::Memory::pageSize);
+        b.memory().readBlock(addr, buf_b.data(), sim::Memory::pageSize);
+        EXPECT_EQ(buf_a, buf_b) << "page at 0x" << std::hex << addr;
+    }
+}
+
+TEST(RunEquivalence, FastPathMatchesStepwise)
+{
+    auto fused = makeMachine("compress");
+    auto stepped = makeMachine("compress");
+
+    constexpr uint64_t n = 400'000;
+    EXPECT_EQ(fused->run(n), stepN(*stepped, n));
+    expectSameState(*fused, *stepped);
+}
+
+TEST(RunEquivalence, ChunkedRunsMatchStepwiseMidBasicBlock)
+{
+    auto fused = makeMachine("li");
+    auto stepped = makeMachine("li");
+
+    // Prime-sized chunks make nearly every boundary fall in the middle
+    // of a basic block.
+    constexpr uint64_t chunk = 997;
+    for (int i = 0; i < 40; ++i) {
+        EXPECT_EQ(fused->run(chunk), stepN(*stepped, chunk));
+        expectSameRegisters(*fused, *stepped);
+    }
+    expectSameState(*fused, *stepped);
+}
+
+TEST(RunEquivalence, ObservedRunMatchesFastPath)
+{
+    struct Counter : sim::Observer
+    {
+        uint64_t retired = 0;
+        void onRetire(const sim::InstrRecord &) override { ++retired; }
+    };
+
+    auto fast = makeMachine("go");
+    auto observed = makeMachine("go");
+    Counter counter;
+    observed->addObserver(&counter);
+
+    constexpr uint64_t n = 300'000;
+    EXPECT_EQ(fast->run(n), observed->run(n));
+    EXPECT_EQ(counter.retired, observed->instret());
+    expectSameState(*fast, *observed);
+}
+
+TEST(RunEquivalence, DetachingObserverSwitchesToFastPath)
+{
+    struct Counter : sim::Observer
+    {
+        uint64_t retired = 0;
+        void onRetire(const sim::InstrRecord &) override { ++retired; }
+    };
+
+    auto mixed = makeMachine("compress");
+    auto stepped = makeMachine("compress");
+    Counter counter;
+
+    // Observed, fast, observed again — state must track stepwise
+    // execution across every switch.
+    mixed->addObserver(&counter);
+    mixed->run(50'000);
+    mixed->removeObserver(&counter);
+    mixed->run(50'000);
+    mixed->addObserver(&counter);
+    mixed->run(50'000);
+    stepN(*stepped, 150'000);
+
+    EXPECT_EQ(counter.retired, 100'000u);
+    expectSameState(*mixed, *stepped);
+}
+
+/** Structural JSON equality, ignoring wall-clock-derived stats. */
+void
+expectJsonEqual(const json::Value &a, const json::Value &b,
+                const std::string &path)
+{
+    ASSERT_EQ(int(a.kind()), int(b.kind())) << path;
+    switch (a.kind()) {
+      case json::Value::Kind::Object: {
+        ASSERT_EQ(a.size(), b.size()) << path;
+        for (size_t i = 0; i < a.members().size(); ++i) {
+            const auto &[key, value] = a.members()[i];
+            ASSERT_EQ(key, b.members()[i].first) << path;
+            if (key == "skip_seconds" || key == "window_seconds" ||
+                key == "window_mips") {
+                continue;
+            }
+            expectJsonEqual(value, b.members()[i].second,
+                            path + "." + key);
+        }
+        break;
+      }
+      case json::Value::Kind::Array:
+        ASSERT_EQ(a.size(), b.size()) << path;
+        for (size_t i = 0; i < a.elements().size(); ++i) {
+            expectJsonEqual(a.elements()[i], b.elements()[i],
+                            path + "[" + std::to_string(i) + "]");
+        }
+        break;
+      case json::Value::Kind::Number:
+        EXPECT_EQ(a.asNumber(), b.asNumber()) << path;
+        break;
+      case json::Value::Kind::String:
+        EXPECT_EQ(a.asString(), b.asString()) << path;
+        break;
+      case json::Value::Kind::Bool:
+        EXPECT_EQ(a.asBool(), b.asBool()) << path;
+        break;
+      case json::Value::Kind::Null:
+        break;
+    }
+}
+
+json::Value
+statsDocument(const core::AnalysisPipeline &pipeline)
+{
+    stats::Group root;
+    pipeline.registerStats(root);
+    std::ostringstream os;
+    json::Writer writer(os);
+    stats::dumpJson(root, writer);
+    return json::parse(os.str());
+}
+
+TEST(RunEquivalence, PipelineRunMatchesStepwise)
+{
+    auto fused = makeMachine("compress");
+    auto stepped = makeMachine("compress");
+
+    // Deliberately un-round phase lengths so both the skip/window
+    // boundary and the window end land mid-basic-block.
+    core::PipelineConfig config;
+    config.skipInstructions = 12'347;
+    config.windowInstructions = 123'457;
+
+    core::AnalysisPipeline fused_pipe(*fused, config);
+    core::AnalysisPipeline stepped_pipe(*stepped, config);
+    EXPECT_EQ(fused_pipe.run(), stepped_pipe.runStepwise());
+
+    expectSameState(*fused, *stepped);
+    expectJsonEqual(statsDocument(fused_pipe),
+                    statsDocument(stepped_pipe), "stats");
+}
+
+} // namespace
+} // namespace irep

@@ -131,6 +131,91 @@ TEST(Syscalls, SbrkMemoryIsUsable)
     EXPECT_EQ(run.machine().reg(isa::regT0 + 2), 123u);
 }
 
+TEST(Syscalls, SbrkModerateShrinkIsAllowed)
+{
+    test::TestRun run(
+        "li $a0, 8192\n"
+        "li $v0, 4\n"
+        "syscall\n"
+        "li $a0, -4096\n"
+        "li $v0, 4\n"
+        "syscall\n"
+        "li $a0, 0\n"
+        "li $v0, 4\n"
+        "syscall\n"
+        "move $t0, $v0\n");
+    run.run();
+    // After +8192 then -4096 the break sits 4096 past the heap start.
+    EXPECT_EQ(run.machine().reg(isa::regT0),
+              run.program().heapStart() + 4096);
+}
+
+TEST(Syscalls, SbrkBelowHeapStartIsFatal)
+{
+    test::TestRun run(
+        "li $a0, -8192\n"
+        "li $v0, 4\n"
+        "syscall\n",
+        false);
+    EXPECT_THROW(run.run(10), FatalError);
+}
+
+TEST(Syscalls, SbrkIntoStackRegionIsFatal)
+{
+    // An increment that would push the break past the stack region
+    // boundary must not be silently accepted.
+    test::TestRun run(
+        "lui $a0, 0x7000\n"
+        "li $v0, 4\n"
+        "syscall\n",
+        false);
+    EXPECT_THROW(run.run(10), FatalError);
+}
+
+TEST(Syscalls, SbrkHugeArgumentDoesNotWrapAround)
+{
+    // 0xf0000000 as an unsigned add would wrap brk_ around to a tiny
+    // value; as a signed decrement it lands below the heap start.
+    // Either reading must be rejected, never silently applied.
+    test::TestRun run(
+        "lui $a0, 0xf000\n"
+        "li $v0, 4\n"
+        "syscall\n",
+        false);
+    EXPECT_THROW(run.run(10), FatalError);
+}
+
+TEST(Syscalls, WriteTwiceConcatenatesOutput)
+{
+    test::TestRun run(
+        ".data\nmsg: .ascii \"hello, world\"\n.text\n"
+        "la $a0, msg\n"
+        "li $a1, 5\n"
+        "li $v0, 3\n"
+        "syscall\n"
+        "la $a0, msg\n"
+        "addiu $a0, $a0, 7\n"
+        "li $a1, 5\n"
+        "li $v0, 3\n"
+        "syscall\n");
+    run.run();
+    EXPECT_EQ(run.machine().output(), "helloworld");
+}
+
+TEST(Syscalls, WriteZeroLengthIsANoop)
+{
+    test::TestRun run(
+        ".data\nmsg: .ascii \"x\"\n.text\n"
+        "la $a0, msg\n"
+        "li $a1, 0\n"
+        "li $v0, 3\n"
+        "syscall\n"
+        "move $t0, $v0\n");
+    run.run();
+    EXPECT_EQ(run.machine().output(), "");
+    EXPECT_EQ(run.machine().reg(isa::regT0), 0u);
+}
+
 TEST(Syscalls, UnknownSyscallIsFatal)
 {
     test::TestRun run("li $v0, 99\nsyscall\n", false);

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * FlatMap / SmallFlatMap / FlatSet: insert/find semantics, growth
+ * across rehashes, inline-to-spill promotion, insertion-order
+ * iteration, and agreement with std::unordered_map under a randomized
+ * workload.
+ */
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "support/flat_map.hh"
+#include "support/hash.hh"
+
+namespace irep
+{
+namespace
+{
+
+TEST(FlatMap, EmptyMapFindsNothing)
+{
+    FlatMap<uint64_t, uint32_t> map;
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(42), nullptr);
+}
+
+TEST(FlatMap, InsertThenFind)
+{
+    FlatMap<uint64_t, uint32_t> map;
+    auto [value, inserted] = map.tryEmplace(7, 100);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*value, 100u);
+    EXPECT_EQ(map.size(), 1u);
+
+    auto [again, second] = map.tryEmplace(7, 999);
+    EXPECT_FALSE(second);
+    EXPECT_EQ(*again, 100u);    // original value kept
+    EXPECT_EQ(map.size(), 1u);
+
+    ASSERT_NE(map.find(7), nullptr);
+    EXPECT_EQ(*map.find(7), 100u);
+    EXPECT_EQ(map.find(8), nullptr);
+}
+
+TEST(FlatMap, OperatorIndexDefaultConstructs)
+{
+    FlatMap<uint32_t, uint64_t> map;
+    EXPECT_EQ(map[5], 0u);
+    map[5] += 3;
+    map[5] += 4;
+    EXPECT_EQ(map[5], 7u);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, GrowsThroughManyRehashes)
+{
+    FlatMap<uint64_t, uint64_t> map;
+    constexpr uint64_t n = 10'000;
+    for (uint64_t i = 0; i < n; ++i)
+        map.tryEmplace(i * 0x10001, i);
+    EXPECT_EQ(map.size(), n);
+    for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t *v = map.find(i * 0x10001);
+        ASSERT_NE(v, nullptr) << i;
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_EQ(map.find(1), nullptr);
+}
+
+TEST(FlatMap, IterationIsInsertionOrdered)
+{
+    FlatMap<uint32_t, uint32_t> map;
+    const uint32_t keys[] = {90, 4, 77, 12, 3};
+    for (uint32_t i = 0; i < 5; ++i)
+        map.tryEmplace(keys[i], i);
+    uint32_t at = 0;
+    for (const auto &[key, value] : map) {
+        EXPECT_EQ(key, keys[at]);
+        EXPECT_EQ(value, at);
+        ++at;
+    }
+    EXPECT_EQ(at, 5u);
+}
+
+TEST(FlatMap, IdentityHashWorksWithPreMixedKeys)
+{
+    FlatMap<uint64_t, uint32_t, IdentityHash> map;
+    for (uint64_t i = 0; i < 1000; ++i)
+        map.tryEmplace(hashMix(0, i), uint32_t(i));
+    for (uint64_t i = 0; i < 1000; ++i) {
+        const uint32_t *v = map.find(hashMix(0, i));
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, uint32_t(i));
+    }
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderRandomWorkload)
+{
+    FlatMap<uint64_t, uint64_t> map;
+    std::unordered_map<uint64_t, uint64_t> reference;
+    std::mt19937_64 rng(1234);
+    for (int i = 0; i < 50'000; ++i) {
+        const uint64_t key = rng() & 0xfff;     // force collisions
+        if (rng() & 1) {
+            const uint64_t value = rng();
+            const bool inserted = map.tryEmplace(key, value).second;
+            EXPECT_EQ(inserted,
+                      reference.emplace(key, value).second);
+        } else {
+            const uint64_t *v = map.find(key);
+            auto it = reference.find(key);
+            ASSERT_EQ(v != nullptr, it != reference.end());
+            if (v)
+                EXPECT_EQ(*v, it->second);
+        }
+    }
+    EXPECT_EQ(map.size(), reference.size());
+}
+
+TEST(FlatMap, ReserveDoesNotDisturbContents)
+{
+    FlatMap<uint32_t, uint32_t> map;
+    for (uint32_t i = 0; i < 10; ++i)
+        map.tryEmplace(i, i * 2);
+    map.reserve(1000);
+    EXPECT_EQ(map.size(), 10u);
+    for (uint32_t i = 0; i < 10; ++i) {
+        ASSERT_NE(map.find(i), nullptr);
+        EXPECT_EQ(*map.find(i), i * 2);
+    }
+}
+
+TEST(SmallFlatMap, StaysInlineBelowCapacity)
+{
+    SmallFlatMap<uint64_t, uint32_t, 4> map;
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(map.tryEmplace(i, uint32_t(i)).second);
+    EXPECT_EQ(map.size(), 4u);
+    for (uint64_t i = 0; i < 4; ++i) {
+        ASSERT_NE(map.find(i), nullptr);
+        EXPECT_EQ(*map.find(i), uint32_t(i));
+    }
+    EXPECT_EQ(map.find(99), nullptr);
+}
+
+TEST(SmallFlatMap, SpillsPreservingContents)
+{
+    SmallFlatMap<uint64_t, uint32_t, 4> map;
+    constexpr uint64_t n = 500;
+    for (uint64_t i = 0; i < n; ++i)
+        EXPECT_TRUE(map.tryEmplace(i * 3, uint32_t(i)).second);
+    EXPECT_EQ(map.size(), n);
+    for (uint64_t i = 0; i < n; ++i) {
+        const uint32_t *v = map.find(i * 3);
+        ASSERT_NE(v, nullptr) << i;
+        EXPECT_EQ(*v, uint32_t(i));
+    }
+    // Duplicate insertion still reports the original mapping.
+    auto [value, inserted] = map.tryEmplace(0, 777);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(*value, 0u);
+}
+
+TEST(SmallFlatMap, ForEachVisitsInInsertionOrderInlineAndSpilled)
+{
+    for (const uint32_t count : {3u, 40u}) {
+        SmallFlatMap<uint64_t, uint32_t, 4> map;
+        for (uint32_t i = 0; i < count; ++i)
+            map.tryEmplace(1000 - i, i);
+        uint32_t at = 0;
+        map.forEach([&](uint64_t key, uint32_t value) {
+            EXPECT_EQ(key, 1000u - at);
+            EXPECT_EQ(value, at);
+            ++at;
+        });
+        EXPECT_EQ(at, count);
+    }
+}
+
+TEST(SmallFlatMap, ValuesMutableThroughFind)
+{
+    SmallFlatMap<uint64_t, uint32_t, 2> map;
+    map.tryEmplace(1, 0);
+    ++*map.find(1);
+    ++*map.find(1);
+    EXPECT_EQ(*map.find(1), 2u);
+    // Same after spilling.
+    map.tryEmplace(2, 0);
+    map.tryEmplace(3, 0);
+    ++*map.find(1);
+    EXPECT_EQ(*map.find(1), 3u);
+}
+
+TEST(FlatSet, InsertAndCount)
+{
+    FlatSet<uint32_t> set;
+    EXPECT_FALSE(set.count(10));
+    EXPECT_TRUE(set.insert(10));
+    EXPECT_FALSE(set.insert(10));
+    EXPECT_TRUE(set.count(10));
+    EXPECT_EQ(set.size(), 1u);
+    for (uint32_t i = 0; i < 1000; ++i)
+        set.insert(i);
+    EXPECT_EQ(set.size(), 1000u);
+    EXPECT_TRUE(set.count(999));
+    EXPECT_FALSE(set.count(1000));
+}
+
+} // namespace
+} // namespace irep
