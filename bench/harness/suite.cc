@@ -11,6 +11,8 @@
 #include "support/parallel.hh"
 #include "support/parse.hh"
 #include "support/stats.hh"
+#include "trace_io/cache.hh"
+#include "trace_io/writer.hh"
 
 namespace irep::bench
 {
@@ -57,12 +59,48 @@ buildEntry(const workloads::Workload &w,
 {
     SuiteEntry entry;
     entry.name = w.name;
+    entry.input = w.input;
     entry.machine =
         std::make_unique<sim::Machine>(workloads::buildProgram(w));
     entry.machine->setInput(w.input);
     entry.pipeline = std::make_unique<core::AnalysisPipeline>(
         *entry.machine, config);
     return entry;
+}
+
+/**
+ * Run one entry's pipeline, through the trace cache when enabled: a
+ * valid cached trace for this exact (workload, skip, window) key is
+ * replayed; otherwise the workload runs live with a TraceWriter
+ * attached and publishes its trace for the next run. Entries touch
+ * disjoint cache files, so parallel workers need no coordination.
+ */
+uint64_t
+runEntry(SuiteEntry &entry, const std::string &trace_dir,
+         uint64_t skip, uint64_t window)
+{
+    if (trace_dir.empty())
+        return entry.pipeline->run();
+
+    const uint64_t identity = trace_io::identityHash(
+        entry.machine->program(), entry.input);
+    const std::string path = trace_io::cachePath(
+        trace_dir, entry.name, identity, skip, window);
+
+    if (auto reader =
+            trace_io::openCached(path, identity, skip, window)) {
+        reader->bind(*entry.machine, entry.input);
+        entry.replayed = true;
+        return entry.pipeline->runFromSource(*reader);
+    }
+
+    trace_io::TraceWriter writer(path, *entry.machine, entry.input,
+                                 skip, window);
+    entry.machine->addObserver(&writer);
+    const uint64_t executed = entry.pipeline->run();
+    entry.machine->removeObserver(&writer);
+    writer.commit();
+    return executed;
 }
 
 } // namespace
@@ -106,11 +144,13 @@ Suite::runAll()
     }
 
     jobs_ = config_.jobs ? config_.jobs : parallel::defaultJobs();
+    const std::string trace_dir = trace_io::cacheDir();
     const auto start = std::chrono::steady_clock::now();
     parallel::parallelFor(
         entries_.size(),
-        [this](size_t i) {
-            entries_[i].windowExecuted = entries_[i].pipeline->run();
+        [this, &trace_dir](size_t i) {
+            entries_[i].windowExecuted = runEntry(
+                entries_[i], trace_dir, config_.skip, config_.window);
         },
         jobs_);
     suiteSeconds_ = std::chrono::duration<double>(
@@ -121,6 +161,15 @@ Suite::runAll()
     const char *json_path = std::getenv("IREP_BENCH_JSON");
     if (json_path && *json_path)
         writeJson(json_path);
+}
+
+unsigned
+Suite::tracesReplayed() const
+{
+    unsigned count = 0;
+    for (const SuiteEntry &entry : entries_)
+        count += entry.replayed ? 1 : 0;
+    return count;
 }
 
 double
@@ -187,7 +236,12 @@ Suite::runOne(const std::string &name,
 {
     SuiteEntry entry = buildEntry(workloads::workloadByName(name),
                                   config);
-    entry.windowExecuted = entry.pipeline->run();
+    // The retire stream is independent of the analysis configuration,
+    // so ablation reruns share cache entries with the plain suite
+    // whenever their skip/window match.
+    entry.windowExecuted = runEntry(entry, trace_io::cacheDir(),
+                                    config.skipInstructions,
+                                    config.windowInstructions);
     return entry;
 }
 

@@ -24,6 +24,11 @@
  *                    full stats report (the perf-trajectory
  *                    `BENCH_*.json` format) to this path after the
  *                    suite runs
+ *   IREP_TRACE_DIR   retire-trace cache directory (src/trace_io):
+ *                    each (workload, skip, window) is simulated and
+ *                    recorded once, then replayed from its trace on
+ *                    later runs; key or format-version mismatches
+ *                    re-record automatically. Unset = no caching.
  */
 
 #ifndef IREP_BENCH_SUITE_HH
@@ -45,9 +50,11 @@ namespace irep::bench
 struct SuiteEntry
 {
     std::string name;
+    std::string input;
     std::unique_ptr<sim::Machine> machine;
     std::unique_ptr<core::AnalysisPipeline> pipeline;
     uint64_t windowExecuted = 0;
+    bool replayed = false;  //!< served from the trace cache
 };
 
 /** Explicit suite configuration (tools and tests; the shared
@@ -81,6 +88,10 @@ class Suite
 
     /** Wall-clock seconds of the whole suite run (dispatch+join). */
     double suiteSeconds() const { return suiteSeconds_; }
+
+    /** Entries served from the trace cache (0 when IREP_TRACE_DIR is
+     *  unset or every workload recorded cold). */
+    unsigned tracesReplayed() const;
 
     /** Sum of every workload's skip+window wall-clock seconds — the
      *  serial-equivalent cost; suiteSeconds() below this = speedup. */

@@ -129,6 +129,13 @@ AnalysisPipeline::run()
 }
 
 uint64_t
+AnalysisPipeline::runFromSource(sim::ReplaySource &source)
+{
+    return runPhases(
+        [this, &source](uint64_t n) { return source.replay(*this, n); });
+}
+
+uint64_t
 AnalysisPipeline::runStepwise()
 {
     return runPhases([this](uint64_t n) {

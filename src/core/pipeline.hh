@@ -22,6 +22,7 @@
 #include "core/value_prediction.hh"
 #include "sim/machine.hh"
 #include "sim/observer.hh"
+#include "sim/replay.hh"
 #include "sim/trace.hh"
 
 namespace irep::stats
@@ -98,6 +99,15 @@ class AnalysisPipeline : public sim::Observer
      * identical architectural state and statistics.
      */
     uint64_t runStepwise();
+
+    /**
+     * Run the identical skip + window protocol off a recorded trace:
+     * @p source dispatches records straight into this observer, so
+     * the machine never executes and every analysis sees the exact
+     * stream the live run produced. The source must have been bound
+     * to this pipeline's machine (call-site register write-back).
+     */
+    uint64_t runFromSource(sim::ReplaySource &source);
 
     void onRetire(const sim::InstrRecord &rec) override;
     void onSyscall(const sim::SyscallRecord &rec) override;

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The replay side of the instrumentation interface: a ReplaySource
+ * produces the retired-instruction stream an already-executed run
+ * generated — from a trace file, a buffer, anywhere — and dispatches
+ * it into an Observer, so analyses run identically whether records
+ * come from live simulation or from storage.
+ */
+
+#ifndef IREP_SIM_REPLAY_HH
+#define IREP_SIM_REPLAY_HH
+
+#include <cstdint>
+
+#include "sim/observer.hh"
+
+namespace irep::sim
+{
+
+/** A source of previously recorded InstrRecord/SyscallRecord streams. */
+class ReplaySource
+{
+  public:
+    virtual ~ReplaySource() = default;
+
+    /**
+     * Dispatch up to @p max_instructions retired-instruction records
+     * into @p observer, preserving the recorded syscall interleaving
+     * (syscall records do not count toward the limit, exactly as
+     * syscalls retire as part of their SYSCALL instruction live).
+     *
+     * @return The number of instruction records dispatched (less than
+     *         @p max_instructions only at end of stream).
+     */
+    virtual uint64_t replay(Observer &observer,
+                            uint64_t max_instructions) = 0;
+
+    /** True once the stream is exhausted. */
+    virtual bool atEnd() const = 0;
+};
+
+} // namespace irep::sim
+
+#endif // IREP_SIM_REPLAY_HH

@@ -1,0 +1,68 @@
+#include "support/checksum.hh"
+
+#include <array>
+#include <cstring>
+
+namespace irep
+{
+
+namespace
+{
+
+/**
+ * Slicing-by-8 tables for the reflected 0xEDB88320 polynomial:
+ * table[0] is the classic byte-at-a-time table; table[k][b] is the
+ * CRC of byte b followed by k zero bytes, which lets the hot loop
+ * fold eight input bytes per iteration. Trace replay checksums every
+ * block payload (~8 bytes per retired instruction), so the
+ * byte-at-a-time loop would show up in end-to-end replay throughput.
+ */
+constexpr std::array<std::array<uint32_t, 256>, 8>
+makeTables()
+{
+    std::array<std::array<uint32_t, 256>, 8> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+        t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = t[0][i];
+        for (size_t k = 1; k < 8; ++k) {
+            c = t[0][c & 0xff] ^ (c >> 8);
+            t[k][i] = c;
+        }
+    }
+    return t;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 8> tables =
+    makeTables();
+
+} // namespace
+
+uint32_t
+crc32Update(uint32_t crc, const void *data, size_t size)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    while (size >= 8) {
+        uint32_t lo;
+        uint32_t hi;
+        std::memcpy(&lo, p, 4);
+        std::memcpy(&hi, p + 4, 4);
+        lo ^= crc;
+        crc = tables[7][lo & 0xff] ^ tables[6][(lo >> 8) & 0xff] ^
+              tables[5][(lo >> 16) & 0xff] ^ tables[4][lo >> 24] ^
+              tables[3][hi & 0xff] ^ tables[2][(hi >> 8) & 0xff] ^
+              tables[1][(hi >> 16) & 0xff] ^ tables[0][hi >> 24];
+        p += 8;
+        size -= 8;
+    }
+    while (size--)
+        crc = tables[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+} // namespace irep

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * CRC-32 (the IEEE 802.3 polynomial, as used by gzip and zlib) for
+ * integrity-checking binary trace blocks. Incremental: feed chunks
+ * into crc32Update() starting from crc32Init.
+ */
+
+#ifndef IREP_SUPPORT_CHECKSUM_HH
+#define IREP_SUPPORT_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace irep
+{
+
+/** Initial CRC-32 accumulator value. */
+constexpr uint32_t crc32Init = 0;
+
+/** Fold @p size bytes at @p data into the running checksum @p crc. */
+uint32_t crc32Update(uint32_t crc, const void *data, size_t size);
+
+/** One-shot CRC-32 of a buffer. */
+inline uint32_t
+crc32(const void *data, size_t size)
+{
+    return crc32Update(crc32Init, data, size);
+}
+
+} // namespace irep
+
+#endif // IREP_SUPPORT_CHECKSUM_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * LEB128 variable-length integers and zigzag signed mapping, used by
+ * the binary retire-trace codec (src/trace_io). Encoding appends to a
+ * std::string buffer; decoding reads from a bounded byte range and
+ * fatal()s on truncation or over-length sequences instead of reading
+ * past the end.
+ */
+
+#ifndef IREP_SUPPORT_VARINT_HH
+#define IREP_SUPPORT_VARINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace irep::varint
+{
+
+/** Append @p value as LEB128 (7 bits per byte, MSB = continuation). */
+inline void
+put(std::string &out, uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(char(uint8_t(value) | 0x80));
+        value >>= 7;
+    }
+    out.push_back(char(uint8_t(value)));
+}
+
+/**
+ * Decode one LEB128 integer from [@p p, @p end).
+ *
+ * @param p Advanced past the consumed bytes on success.
+ * @return The decoded value. fatal()s when the buffer ends inside a
+ *         sequence or the sequence exceeds 10 bytes (the longest a
+ *         uint64_t needs), so corrupt data cannot spin or overflow.
+ */
+inline uint64_t
+get(const uint8_t *&p, const uint8_t *end)
+{
+    uint64_t value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        fatalIf(p == end, "truncated varint in trace data");
+        const uint8_t byte = *p++;
+        value |= uint64_t(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return value;
+        shift += 7;
+        fatalIf(shift >= 64, "over-long varint in trace data");
+    }
+}
+
+/** Map a signed value to unsigned so small magnitudes stay short
+ *  (0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...). */
+constexpr uint64_t
+zigzag(int64_t value)
+{
+    return (uint64_t(value) << 1) ^ uint64_t(value >> 63);
+}
+
+/** Inverse of zigzag(). */
+constexpr int64_t
+unzigzag(uint64_t value)
+{
+    return int64_t(value >> 1) ^ -int64_t(value & 1);
+}
+
+/** put(zigzag(value)) */
+inline void
+putSigned(std::string &out, int64_t value)
+{
+    put(out, zigzag(value));
+}
+
+/** unzigzag(get(...)) */
+inline int64_t
+getSigned(const uint8_t *&p, const uint8_t *end)
+{
+    return unzigzag(get(p, end));
+}
+
+} // namespace irep::varint
+
+#endif // IREP_SUPPORT_VARINT_HH

@@ -1,0 +1,77 @@
+#include "trace_io/cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "support/logging.hh"
+
+namespace irep::trace_io
+{
+
+std::string
+cacheDir()
+{
+    const char *value = std::getenv("IREP_TRACE_DIR");
+    if (!value || !*value)
+        return "";
+    std::error_code ec;
+    std::filesystem::create_directories(value, ec);
+    fatalIf(bool(ec), "IREP_TRACE_DIR: cannot create '", value,
+            "': ", ec.message());
+    return value;
+}
+
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' ||
+                          c == '_' || c == '-';
+        out.push_back(safe ? c : '_');
+    }
+    return out.empty() ? "trace" : out;
+}
+
+std::string
+cachePath(const std::string &dir, const std::string &name,
+          uint64_t identity, uint64_t skip, uint64_t window)
+{
+    char key[96];
+    std::snprintf(key, sizeof(key),
+                  ".%016llx.s%llu.w%llu.v%u.irtrace",
+                  (unsigned long long)identity,
+                  (unsigned long long)skip,
+                  (unsigned long long)window, formatVersion);
+    return dir + "/" + sanitizeName(name) + key;
+}
+
+std::unique_ptr<TraceReader>
+openCached(const std::string &path, uint64_t identity, uint64_t skip,
+           uint64_t window)
+{
+    if (!std::filesystem::exists(path))
+        return nullptr;
+    std::unique_ptr<TraceReader> reader;
+    try {
+        reader = std::make_unique<TraceReader>(path);
+    } catch (const FatalError &e) {
+        // Committed traces are published atomically, so a bad file
+        // here means outside interference; say so, then re-record.
+        std::fprintf(stderr,
+                     "irep: ignoring unusable cached trace: %s\n",
+                     e.what());
+        return nullptr;
+    }
+    const TraceHeader &h = reader->header();
+    if (h.identity != identity || h.skip != skip ||
+        h.window != window)
+        return nullptr;
+    return reader;
+}
+
+} // namespace irep::trace_io

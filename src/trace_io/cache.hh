@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The config-keyed trace cache. A cache entry is one committed trace
+ * file whose name encodes the full replay key — workload identity
+ * hash, skip, window and format version — so a key change simply
+ * misses and re-records; the header carries the same key and is
+ * re-verified on open, so a stale or tampered file can never replay.
+ *
+ * Enabled by IREP_TRACE_DIR (parsed strictly, like the other
+ * environment knobs: set-but-unusable is fatal, unset disables
+ * caching). bench::Suite and `irep bench`/`analyze` consult it so a
+ * given (workload, skip, window) is simulated once and replayed
+ * thereafter.
+ */
+
+#ifndef IREP_TRACE_IO_CACHE_HH
+#define IREP_TRACE_IO_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace_io/reader.hh"
+
+namespace irep::trace_io
+{
+
+/**
+ * The trace-cache directory from IREP_TRACE_DIR, created if missing.
+ * @return "" when the variable is unset or empty (caching disabled);
+ *         fatal() when it is set but the directory cannot be created.
+ */
+std::string cacheDir();
+
+/** @p name reduced to filename-safe characters ([A-Za-z0-9._-]). */
+std::string sanitizeName(const std::string &name);
+
+/** Canonical cache path for one (workload, skip, window) key. */
+std::string cachePath(const std::string &dir, const std::string &name,
+                      uint64_t identity, uint64_t skip,
+                      uint64_t window);
+
+/**
+ * Open a cached trace and verify its header against the expected key.
+ * @return nullptr on a miss — no file, an unreadable/corrupt file
+ *         (noted on stderr; the caller should re-record), or a key
+ *         mismatch. Never fatal for cache misses.
+ */
+std::unique_ptr<TraceReader> openCached(const std::string &path,
+                                        uint64_t identity,
+                                        uint64_t skip,
+                                        uint64_t window);
+
+} // namespace irep::trace_io
+
+#endif // IREP_TRACE_IO_CACHE_HH

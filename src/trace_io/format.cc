@@ -1,0 +1,47 @@
+#include "trace_io/format.hh"
+
+#include "support/hash.hh"
+
+namespace irep::trace_io
+{
+
+uint64_t
+identityHash(const assem::Program &program, const std::string &input)
+{
+    uint64_t h = 0x7472616365696431ull; // "tracei d1"
+    h = hashMix(h, program.text.size());
+    for (uint32_t word : program.text)
+        h = hashMix(h, word);
+    h = hashMix(h, program.data.size());
+    // Fold data bytes eight at a time; the tail is padded with zeros,
+    // which the length mixed above disambiguates.
+    uint64_t chunk = 0;
+    unsigned fill = 0;
+    for (uint8_t byte : program.data) {
+        chunk |= uint64_t(byte) << (8 * fill);
+        if (++fill == 8) {
+            h = hashMix(h, chunk);
+            chunk = 0;
+            fill = 0;
+        }
+    }
+    if (fill)
+        h = hashMix(h, chunk);
+    h = hashMix(h, program.entry);
+    h = hashMix(h, input.size());
+    chunk = 0;
+    fill = 0;
+    for (char c : input) {
+        chunk |= uint64_t(uint8_t(c)) << (8 * fill);
+        if (++fill == 8) {
+            h = hashMix(h, chunk);
+            chunk = 0;
+            fill = 0;
+        }
+    }
+    if (fill)
+        h = hashMix(h, chunk);
+    return h;
+}
+
+} // namespace irep::trace_io

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The irep binary retire-trace format (see docs/trace-format.md for
+ * the normative layout): a fixed header identifying the format
+ * version, the program and the skip/window protocol the stream was
+ * recorded under; CRC-framed blocks of delta/varint-encoded retire
+ * and syscall records; and a footer whose presence distinguishes a
+ * complete trace from a truncated one.
+ */
+
+#ifndef IREP_TRACE_IO_FORMAT_HH
+#define IREP_TRACE_IO_FORMAT_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "asm/program.hh"
+
+namespace irep::trace_io
+{
+
+// Fixed-width fields are written in host byte order and the format is
+// defined as little-endian; every supported target is.
+static_assert(std::endian::native == std::endian::little,
+              "trace files are little-endian");
+
+/** "IRTC" little-endian: the first four bytes of every trace file. */
+constexpr uint32_t fileMagic = 0x43545249;
+/** Bumped on any incompatible layout change; readers reject other
+ *  versions, and the cache treats them as misses. */
+constexpr uint32_t formatVersion = 1;
+
+/** "BLK1": starts every record block frame. */
+constexpr uint32_t blockMagic = 0x314b4c42;
+/** "EOF1": starts the footer; a file that ends without one was
+ *  truncated mid-write and must not be replayed. */
+constexpr uint32_t footerMagic = 0x31464f45;
+
+/** Target encoded-payload size at which the writer seals a block. */
+constexpr size_t blockTarget = 1u << 18;
+
+/**
+ * Fixed-size (64-byte) file header. All fields little-endian; the
+ * trailing CRC covers the preceding 60 bytes.
+ */
+struct TraceHeader
+{
+    uint32_t magic = fileMagic;
+    uint32_t version = formatVersion;
+    uint32_t textBase = 0;      //!< load address of the text section
+    uint32_t textWords = 0;     //!< static instruction count
+    uint32_t entry = 0;         //!< program entry pc
+    uint32_t reserved0 = 0;
+    uint64_t identity = 0;      //!< identityHash(program, input)
+    uint64_t skip = 0;          //!< skip-phase length recorded under
+    uint64_t window = 0;        //!< window length recorded under
+    uint64_t reserved1 = 0;
+    uint32_t reserved2 = 0;
+    uint32_t crc = 0;           //!< crc32 of the 60 bytes above
+};
+static_assert(sizeof(TraceHeader) == 64,
+              "trace header layout is part of the on-disk format");
+
+/** Per-block frame preceding the payload bytes. */
+struct BlockFrame
+{
+    uint32_t magic = blockMagic;
+    uint32_t payloadBytes = 0;
+    uint32_t instrRecords = 0;  //!< instruction records in the payload
+    uint32_t payloadCrc = 0;    //!< crc32 of the payload bytes
+};
+static_assert(sizeof(BlockFrame) == 16,
+              "block frame layout is part of the on-disk format");
+
+/** Fixed-size (32-byte) footer; crc covers the preceding 28 bytes. */
+struct TraceFooter
+{
+    uint32_t magic = footerMagic;
+    uint32_t blockCount = 0;
+    uint64_t instrRecords = 0;
+    uint64_t syscallRecords = 0;
+    uint32_t reserved0 = 0;
+    uint32_t crc = 0;
+};
+static_assert(sizeof(TraceFooter) == 32,
+              "trace footer layout is part of the on-disk format");
+
+/**
+ * Record flags byte. The low two bits hold the source-register count
+ * (0-2) for instruction records; the value 3 marks a syscall record
+ * (whose remaining bits are zero).
+ */
+enum RecordFlags : uint8_t
+{
+    flagSrcCountMask = 0x03,
+    syscallRecordTag = 0x03,
+    flagMemAccess = 0x04,
+    flagWritesReg = 0x08,
+    flagCallRegs = 0x10,        //!< $sp + $a0-$a3 payload follows
+    flagControl = 0x20,         //!< nextPc != pc + 4
+    flagReservedMask = 0xc0,    //!< must be zero in version 1
+};
+
+/**
+ * The workload-identity hash stored in the header and baked into
+ * cache file names: covers the text and data images, the entry point
+ * and the exact input byte stream, so a trace can never silently
+ * replay against a different program or input.
+ */
+uint64_t identityHash(const assem::Program &program,
+                      const std::string &input);
+
+} // namespace irep::trace_io
+
+#endif // IREP_TRACE_IO_FORMAT_HH

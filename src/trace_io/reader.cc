@@ -1,0 +1,284 @@
+#include "trace_io/reader.hh"
+
+#include "isa/registers.hh"
+#include "support/checksum.hh"
+#include "support/logging.hh"
+#include "support/varint.hh"
+
+namespace irep::trace_io
+{
+
+TraceReader::TraceReader(std::string path) : path_(std::move(path))
+{
+    file_ = std::fopen(path_.c_str(), "rb");
+    fatalIf(!file_, "cannot open trace '", path_, "'");
+
+    readRaw(&header_, sizeof(header_), "header");
+    fatalIf(header_.magic != fileMagic,
+            "'", path_, "' is not an irep trace file");
+    fatalIf(header_.version != formatVersion,
+            "trace '", path_, "' has format version ", header_.version,
+            ", this build reads version ", formatVersion,
+            " — re-record it");
+    fatalIf(crc32(&header_, sizeof(header_) - sizeof(header_.crc)) !=
+                header_.crc,
+            "trace '", path_, "' header checksum mismatch");
+
+    validateShape();
+    fatalIf(std::fseek(file_, long(sizeof(TraceHeader)), SEEK_SET) != 0,
+            "seek in trace '", path_, "' failed");
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceReader::corrupt(const std::string &what) const
+{
+    fatal("trace '", path_, "' ", what,
+          " — the file is corrupt or truncated; delete it and "
+          "re-record");
+}
+
+void
+TraceReader::readRaw(void *data, size_t size, const char *what)
+{
+    if (std::fread(data, 1, size, file_) != size)
+        corrupt(std::string("ends inside its ") + what);
+}
+
+/**
+ * Walk every frame once (seeking over payloads) and insist on a
+ * well-formed footer whose counts match: a file cut off mid-write —
+ * kill -9 during `irep record`, a full disk, a crashed bench job —
+ * fails here, before any record is dispatched.
+ */
+void
+TraceReader::validateShape()
+{
+    uint32_t blocks = 0;
+    uint64_t instr_records = 0;
+    for (;;) {
+        uint32_t magic;
+        readRaw(&magic, sizeof(magic), "frame header");
+        if (magic == blockMagic) {
+            BlockFrame frame;
+            frame.magic = magic;
+            readRaw(reinterpret_cast<char *>(&frame) + sizeof(magic),
+                    sizeof(frame) - sizeof(magic), "block frame");
+            fatalIf(std::fseek(file_, long(frame.payloadBytes),
+                               SEEK_CUR) != 0,
+                    "seek in trace '", path_, "' failed");
+            // A seek past EOF succeeds; the next frame read catches it.
+            ++blocks;
+            instr_records += frame.instrRecords;
+            continue;
+        }
+        if (magic != footerMagic)
+            corrupt("contains an unrecognized frame");
+        footer_.magic = magic;
+        readRaw(reinterpret_cast<char *>(&footer_) + sizeof(magic),
+                sizeof(footer_) - sizeof(magic), "footer");
+        break;
+    }
+    if (crc32(&footer_, sizeof(footer_) - sizeof(footer_.crc)) !=
+        footer_.crc)
+        corrupt("footer checksum mismatch");
+    if (footer_.blockCount != blocks ||
+        footer_.instrRecords != instr_records)
+        corrupt("footer does not match its blocks");
+    char extra;
+    if (std::fread(&extra, 1, 1, file_) != 0)
+        corrupt("has data after its footer");
+}
+
+void
+TraceReader::bind(sim::Machine &machine, const std::string &input)
+{
+    const assem::Program &program = machine.program();
+    fatalIf(header_.textBase != assem::Layout::textBase ||
+                header_.textWords != machine.numStaticInstructions() ||
+                header_.entry != program.entry ||
+                header_.identity != identityHash(program, input),
+            "trace '", path_, "' was recorded for a different "
+            "program or input (identity mismatch)");
+
+    decoded_.clear();
+    decoded_.reserve(program.text.size());
+    destRegs_.clear();
+    destRegs_.reserve(program.text.size());
+    for (uint32_t word : program.text) {
+        decoded_.push_back(isa::decode(word));
+        const isa::Instruction &inst = decoded_.back();
+        destRegs_.push_back(
+            int8_t(inst.valid() ? inst.destReg() : -1));
+    }
+    machine_ = &machine;
+}
+
+bool
+TraceReader::loadNextBlock()
+{
+    if (blockInstrLeft_ != 0)
+        corrupt("block ended before its declared record count");
+    if (sawFooter_)
+        return false;
+    uint32_t magic;
+    readRaw(&magic, sizeof(magic), "frame header");
+    if (magic == footerMagic) {
+        // Shape and counts were validated at open; just stop.
+        sawFooter_ = true;
+        return false;
+    }
+    if (magic != blockMagic)
+        corrupt("contains an unrecognized frame");
+    BlockFrame frame;
+    frame.magic = magic;
+    readRaw(reinterpret_cast<char *>(&frame) + sizeof(magic),
+            sizeof(frame) - sizeof(magic), "block frame");
+    block_.resize(frame.payloadBytes);
+    readRaw(block_.data(), block_.size(), "block payload");
+    if (crc32(block_.data(), block_.size()) != frame.payloadCrc)
+        corrupt("block payload checksum mismatch");
+    cursor_ = reinterpret_cast<const uint8_t *>(block_.data());
+    blockEnd_ = cursor_ + block_.size();
+    blockInstrLeft_ = frame.instrRecords;
+    ++blocksLoaded_;
+    return true;
+}
+
+bool
+TraceReader::atEnd() const
+{
+    return sawFooter_ && cursor_ == blockEnd_;
+}
+
+uint64_t
+TraceReader::replay(sim::Observer &observer, uint64_t max_instructions)
+{
+    panicIf(!machine_, "TraceReader::replay() before bind()");
+    const uint32_t text_words = header_.textWords;
+    const uint32_t text_base = header_.textBase;
+    const isa::Instruction *const decoded = decoded_.data();
+    const int8_t *const dest_regs = destRegs_.data();
+    uint64_t done = 0;
+    while (done < max_instructions) {
+        while (cursor_ == blockEnd_) {
+            if (!loadNextBlock())
+                return done;
+        }
+
+        // Decode state lives in locals across the block: the virtual
+        // observer call would otherwise force every member through
+        // memory on each record, which dominates replay throughput.
+        const uint8_t *p = cursor_;
+        const uint8_t *const end = blockEnd_;
+        uint32_t prev_index = prevStaticIndex_;
+        uint32_t prev_mem = prevMemAddr_;
+        uint32_t instr_left = blockInstrLeft_;
+        uint64_t seq = seq_;
+
+        while (p != end && done < max_instructions) {
+            const uint8_t flags = *p++;
+
+            if ((flags & flagSrcCountMask) == syscallRecordTag) {
+                if (flags != syscallRecordTag)
+                    corrupt("contains a malformed syscall record");
+                sim::SyscallRecord sys;
+                sys.num = sim::Syscall(varint::get(p, end));
+                sys.arg0 = uint32_t(varint::get(p, end));
+                sys.arg1 = uint32_t(varint::get(p, end));
+                sys.result = uint32_t(varint::get(p, end));
+                sys.writtenAddr = uint32_t(varint::get(p, end));
+                sys.writtenLen = uint32_t(varint::get(p, end));
+                observer.onSyscall(sys);
+                ++syscallsDispatched_;
+                continue;
+            }
+
+            if (flags & flagReservedMask)
+                corrupt("contains a record with reserved flags set");
+            if (instr_left == 0)
+                corrupt("block holds more records than it declares");
+            --instr_left;
+
+            sim::InstrRecord rec;
+            rec.seq = seq;
+
+            const int64_t index_delta = varint::getSigned(p, end);
+            const uint32_t index =
+                uint32_t(int64_t(prev_index) + index_delta);
+            if (index >= text_words)
+                corrupt(
+                    "references a static instruction out of range");
+            prev_index = index;
+            rec.staticIndex = index;
+            rec.pc = text_base + index * 4;
+            rec.inst = &decoded[index];
+
+            rec.numSrcRegs = flags & flagSrcCountMask;
+            for (int i = 0; i < rec.numSrcRegs; ++i)
+                rec.srcVal[i] = uint32_t(varint::get(p, end));
+
+            if (flags & flagMemAccess) {
+                rec.isMemAccess = true;
+                const int64_t mem_delta = varint::getSigned(p, end);
+                prev_mem = uint32_t(int64_t(prev_mem) + mem_delta);
+                rec.memAddr = prev_mem;
+            }
+
+            if (flags & flagWritesReg) {
+                rec.writesReg = true;
+                const int8_t static_dest = dest_regs[index];
+                if (static_dest >= 0) {
+                    rec.destReg = uint8_t(static_dest);
+                } else {
+                    // Dynamic destination: the SYSCALL result
+                    // register.
+                    if (p == end)
+                        corrupt("ends inside a record");
+                    rec.destReg = *p++;
+                    if (rec.destReg >= 32)
+                        corrupt(
+                            "names an invalid destination register");
+                }
+            }
+
+            rec.result = varint::get(p, end);
+
+            rec.nextPc = rec.pc + 4;
+            if (flags & flagControl) {
+                rec.nextPc = uint32_t(int64_t(rec.pc + 4) +
+                                      varint::getSigned(p, end));
+            }
+
+            if (flags & flagCallRegs) {
+                // Restore the registers the function-level analysis
+                // samples at call retires; nothing else reads live
+                // machine state.
+                machine_->setReg(isa::regSP,
+                                 uint32_t(varint::get(p, end)));
+                for (unsigned i = 0; i < 4; ++i) {
+                    machine_->setReg(isa::regA0 + i,
+                                     uint32_t(varint::get(p, end)));
+                }
+            }
+
+            ++seq;
+            ++done;
+            observer.onRetire(rec);
+        }
+
+        cursor_ = p;
+        prevStaticIndex_ = prev_index;
+        prevMemAddr_ = prev_mem;
+        blockInstrLeft_ = instr_left;
+        seq_ = seq;
+    }
+    return done;
+}
+
+} // namespace irep::trace_io

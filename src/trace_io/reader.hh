@@ -1,0 +1,97 @@
+/**
+ * @file
+ * TraceReader: streams a recorded binary trace back into the
+ * Observer interface, reconstructing the exact InstrRecord and
+ * SyscallRecord sequence the live run dispatched — without decoding
+ * or executing a single instruction.
+ *
+ * Opening a trace validates the whole file shape up front (header
+ * CRC, every block frame, footer presence and record counts), so a
+ * truncated or corrupt file is rejected with a diagnostic before any
+ * record reaches an analysis; block payload CRCs are then verified
+ * as each block is loaded during replay.
+ */
+
+#ifndef IREP_TRACE_IO_READER_HH
+#define IREP_TRACE_IO_READER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/machine.hh"
+#include "sim/replay.hh"
+#include "trace_io/format.hh"
+
+namespace irep::trace_io
+{
+
+/** Replays one trace file into observers. */
+class TraceReader : public sim::ReplaySource
+{
+  public:
+    /** Open @p path and validate header, framing and footer.
+     *  fatal()s on anything malformed, truncated or version-skewed. */
+    explicit TraceReader(std::string path);
+
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    const TraceHeader &header() const { return header_; }
+
+    /**
+     * Attach the machine the trace will be replayed against: verifies
+     * the recorded identity hash against (program, @p input), decodes
+     * the text section for the records' instruction pointers, and
+     * arms the register write-back that keeps the machine's $sp and
+     * argument registers live at recorded call sites (the only
+     * machine state analyses read directly). Must be called before
+     * replay().
+     */
+    void bind(sim::Machine &machine, const std::string &input);
+
+    uint64_t replay(sim::Observer &observer,
+                    uint64_t max_instructions) override;
+
+    bool atEnd() const override;
+
+    /** Instruction records dispatched so far. */
+    uint64_t dispatched() const { return seq_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void validateShape();
+    [[noreturn]] void corrupt(const std::string &what) const;
+    void readRaw(void *data, size_t size, const char *what);
+    bool loadNextBlock();
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    TraceHeader header_;
+    TraceFooter footer_;
+
+    sim::Machine *machine_ = nullptr;
+    std::vector<isa::Instruction> decoded_;
+    std::vector<int8_t> destRegs_;
+
+    std::string block_;
+    const uint8_t *cursor_ = nullptr;
+    const uint8_t *blockEnd_ = nullptr;
+    uint32_t blockInstrLeft_ = 0;   //!< declared instr records left
+    uint32_t blocksLoaded_ = 0;
+    bool sawFooter_ = false;
+
+    uint64_t seq_ = 0;
+    uint64_t syscallsDispatched_ = 0;
+    uint32_t prevStaticIndex_ = 0;
+    uint32_t prevMemAddr_ = 0;
+};
+
+} // namespace irep::trace_io
+
+#endif // IREP_TRACE_IO_READER_HH

@@ -1,0 +1,158 @@
+#include "trace_io/writer.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "isa/registers.hh"
+#include "support/checksum.hh"
+#include "support/logging.hh"
+#include "support/varint.hh"
+
+namespace irep::trace_io
+{
+
+TraceWriter::TraceWriter(std::string path, const sim::Machine &machine,
+                         const std::string &input, uint64_t skip,
+                         uint64_t window)
+    : path_(std::move(path)), machine_(machine)
+{
+    tmpPath_ = path_ + ".tmp." + std::to_string(::getpid());
+    file_ = std::fopen(tmpPath_.c_str(), "wb");
+    fatalIf(!file_, "cannot open '", tmpPath_, "' for trace recording");
+
+    TraceHeader header;
+    header.textBase = assem::Layout::textBase;
+    header.textWords = machine.numStaticInstructions();
+    header.entry = machine.program().entry;
+    header.identity = identityHash(machine.program(), input);
+    header.skip = skip;
+    header.window = window;
+    header.crc = crc32(&header, sizeof(header) - sizeof(header.crc));
+    writeRaw(&header, sizeof(header));
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_)
+        std::fclose(file_);
+    if (!committed_)
+        std::remove(tmpPath_.c_str());
+}
+
+void
+TraceWriter::writeRaw(const void *data, size_t size)
+{
+    fatalIf(std::fwrite(data, 1, size, file_) != size,
+            "write to '", tmpPath_, "' failed");
+    bytesWritten_ += size;
+}
+
+void
+TraceWriter::onRetire(const sim::InstrRecord &rec)
+{
+    uint8_t flags = rec.numSrcRegs & flagSrcCountMask;
+    if (rec.isMemAccess)
+        flags |= flagMemAccess;
+    if (rec.writesReg)
+        flags |= flagWritesReg;
+    const bool call = isa::opInfo(rec.inst->op).isCall;
+    if (call)
+        flags |= flagCallRegs;
+    const bool control = rec.nextPc != rec.pc + 4;
+    if (control)
+        flags |= flagControl;
+    block_.push_back(char(flags));
+
+    varint::putSigned(block_, int64_t(rec.staticIndex) -
+                                  int64_t(prevStaticIndex_));
+    prevStaticIndex_ = rec.staticIndex;
+
+    for (int i = 0; i < rec.numSrcRegs; ++i)
+        varint::put(block_, rec.srcVal[i]);
+    if (rec.isMemAccess) {
+        varint::putSigned(block_, int64_t(rec.memAddr) -
+                                      int64_t(prevMemAddr_));
+        prevMemAddr_ = rec.memAddr;
+    }
+    // The destination register is static for every op except SYSCALL
+    // (which dynamically writes $v0, or nothing for Exit); the reader
+    // derives it from its own decode, so only the dynamic case is
+    // stored.
+    if (rec.writesReg && rec.inst->destReg() < 0)
+        block_.push_back(char(rec.destReg));
+    varint::put(block_, rec.result);
+    if (control) {
+        varint::putSigned(block_, int64_t(rec.nextPc) -
+                                      int64_t(rec.pc + 4));
+    }
+    if (call) {
+        varint::put(block_, machine_.reg(isa::regSP));
+        for (unsigned i = 0; i < 4; ++i)
+            varint::put(block_, machine_.reg(isa::regA0 + i));
+    }
+
+    ++instrRecords_;
+    ++blockInstrRecords_;
+    if (block_.size() >= blockTarget)
+        sealBlock();
+}
+
+void
+TraceWriter::onSyscall(const sim::SyscallRecord &rec)
+{
+    block_.push_back(char(syscallRecordTag));
+    varint::put(block_, uint32_t(rec.num));
+    varint::put(block_, rec.arg0);
+    varint::put(block_, rec.arg1);
+    varint::put(block_, rec.result);
+    varint::put(block_, rec.writtenAddr);
+    varint::put(block_, rec.writtenLen);
+    ++syscallRecords_;
+}
+
+void
+TraceWriter::sealBlock()
+{
+    if (block_.empty())
+        return;
+    BlockFrame frame;
+    frame.payloadBytes = uint32_t(block_.size());
+    frame.instrRecords = blockInstrRecords_;
+    frame.payloadCrc = crc32(block_.data(), block_.size());
+    writeRaw(&frame, sizeof(frame));
+    writeRaw(block_.data(), block_.size());
+    block_.clear();
+    blockInstrRecords_ = 0;
+    ++blockCount_;
+}
+
+void
+TraceWriter::commit()
+{
+    panicIf(committed_, "trace committed twice");
+    sealBlock();
+
+    TraceFooter footer;
+    footer.blockCount = blockCount_;
+    footer.instrRecords = instrRecords_;
+    footer.syscallRecords = syscallRecords_;
+    footer.crc = crc32(&footer, sizeof(footer) - sizeof(footer.crc));
+    writeRaw(&footer, sizeof(footer));
+
+    // fsync before the rename: the rename must never become visible
+    // ahead of the data it names (a crashed bench job would otherwise
+    // publish a trace of zeros the cache would happily replay).
+    fatalIf(std::fflush(file_) != 0, "flush of '", tmpPath_,
+            "' failed");
+    fatalIf(::fsync(::fileno(file_)) != 0, "fsync of '", tmpPath_,
+            "' failed");
+    fatalIf(std::fclose(file_) != 0, "close of '", tmpPath_,
+            "' failed");
+    file_ = nullptr;
+    fatalIf(std::rename(tmpPath_.c_str(), path_.c_str()) != 0,
+            "cannot rename '", tmpPath_, "' to '", path_, "'");
+    committed_ = true;
+}
+
+} // namespace irep::trace_io

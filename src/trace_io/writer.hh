@@ -1,0 +1,94 @@
+/**
+ * @file
+ * TraceWriter: an Observer that records the retired-instruction and
+ * syscall stream to a binary trace file (docs/trace-format.md).
+ *
+ * Writes go to `<path>.tmp.<pid>` and only an explicit commit() —
+ * which seals the final block, appends the footer, fsync()s and
+ * atomically renames over the target — makes the trace visible, so an
+ * interrupted recording can never leave a file the replay cache would
+ * pick up. A writer destroyed without commit() removes its temporary.
+ */
+
+#ifndef IREP_TRACE_IO_WRITER_HH
+#define IREP_TRACE_IO_WRITER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "sim/machine.hh"
+#include "sim/observer.hh"
+#include "trace_io/format.hh"
+
+namespace irep::trace_io
+{
+
+/** Records one machine's retire stream to @p path. */
+class TraceWriter : public sim::Observer
+{
+  public:
+    /**
+     * Open `<path>.tmp.<pid>` and write the header.
+     *
+     * @param path    Final trace path (created on commit()).
+     * @param machine The machine being recorded; sampled for the
+     *                call-site register values function-level analysis
+     *                needs, and hashed (with @p input) into the
+     *                workload identity.
+     * @param input   The input byte stream the run consumes.
+     * @param skip    Skip-phase length this recording covers.
+     * @param window  Window length this recording covers.
+     */
+    TraceWriter(std::string path, const sim::Machine &machine,
+                const std::string &input, uint64_t skip,
+                uint64_t window);
+
+    /** Removes the temporary when commit() was never reached. */
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void onRetire(const sim::InstrRecord &rec) override;
+    void onSyscall(const sim::SyscallRecord &rec) override;
+
+    /** Seal, fsync and atomically publish the trace. Call after the
+     *  recorded run finishes; the writer must be detached first (or
+     *  simply not observe any further retires). */
+    void commit();
+
+    uint64_t instrRecords() const { return instrRecords_; }
+    uint64_t syscallRecords() const { return syscallRecords_; }
+
+    /** Bytes written so far (header + sealed blocks). */
+    uint64_t bytesWritten() const { return bytesWritten_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void sealBlock();
+    void writeRaw(const void *data, size_t size);
+
+    std::string path_;
+    std::string tmpPath_;
+    const sim::Machine &machine_;
+    std::FILE *file_ = nullptr;
+    bool committed_ = false;
+
+    std::string block_;             //!< encoded payload being filled
+    uint32_t blockInstrRecords_ = 0;
+    uint32_t blockCount_ = 0;
+    uint64_t instrRecords_ = 0;
+    uint64_t syscallRecords_ = 0;
+    uint64_t bytesWritten_ = 0;
+
+    // Delta-encoding state (reset never; the reader decodes the
+    // stream strictly in order).
+    uint32_t prevStaticIndex_ = 0;
+    uint32_t prevMemAddr_ = 0;
+};
+
+} // namespace irep::trace_io
+
+#endif // IREP_TRACE_IO_WRITER_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Replay equivalence: an AnalysisPipeline driven from a recorded
+ * trace (runFromSource) must produce exactly the statistics of the
+ * live simulation it was recorded from — every analysis, every
+ * counter, for multiple workloads — so any analysis can run off a
+ * trace without a simulator.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "sim/machine.hh"
+#include "support/json.hh"
+#include "support/stats.hh"
+#include "trace_io/reader.hh"
+#include "trace_io/writer.hh"
+#include "workloads/workloads.hh"
+
+namespace irep
+{
+namespace
+{
+
+std::unique_ptr<sim::Machine>
+makeMachine(const std::string &name)
+{
+    const auto &w = workloads::workloadByName(name);
+    auto machine =
+        std::make_unique<sim::Machine>(workloads::buildProgram(w));
+    machine->setInput(w.input);
+    return machine;
+}
+
+/** Structural JSON equality, ignoring wall-clock-derived stats. */
+void
+expectJsonEqual(const json::Value &a, const json::Value &b,
+                const std::string &path)
+{
+    ASSERT_EQ(int(a.kind()), int(b.kind())) << path;
+    switch (a.kind()) {
+      case json::Value::Kind::Object: {
+        ASSERT_EQ(a.size(), b.size()) << path;
+        for (size_t i = 0; i < a.members().size(); ++i) {
+            const auto &[key, value] = a.members()[i];
+            ASSERT_EQ(key, b.members()[i].first) << path;
+            if (key == "skip_seconds" || key == "window_seconds" ||
+                key == "window_mips") {
+                continue;
+            }
+            expectJsonEqual(value, b.members()[i].second,
+                            path + "." + key);
+        }
+        break;
+      }
+      case json::Value::Kind::Array:
+        ASSERT_EQ(a.size(), b.size()) << path;
+        for (size_t i = 0; i < a.elements().size(); ++i) {
+            expectJsonEqual(a.elements()[i], b.elements()[i],
+                            path + "[" + std::to_string(i) + "]");
+        }
+        break;
+      case json::Value::Kind::Number:
+        EXPECT_EQ(a.asNumber(), b.asNumber()) << path;
+        break;
+      case json::Value::Kind::String:
+        EXPECT_EQ(a.asString(), b.asString()) << path;
+        break;
+      case json::Value::Kind::Bool:
+        EXPECT_EQ(a.asBool(), b.asBool()) << path;
+        break;
+      case json::Value::Kind::Null:
+        break;
+    }
+}
+
+json::Value
+statsDocument(const core::AnalysisPipeline &pipeline)
+{
+    stats::Group root;
+    pipeline.registerStats(root);
+    std::ostringstream os;
+    json::Writer writer(os);
+    stats::dumpJson(root, writer);
+    return json::parse(os.str());
+}
+
+void
+expectReplayMatchesLive(const std::string &workload)
+{
+    const auto &w = workloads::workloadByName(workload);
+    const std::string path =
+        testing::TempDir() + workload + "-equiv.irtrace";
+
+    // Deliberately un-round phase lengths so both the skip/window
+    // boundary and the window end land mid-basic-block.
+    core::PipelineConfig config;
+    config.skipInstructions = 12'347;
+    config.windowInstructions = 123'457;
+
+    // Live run, recording as it goes (exactly how the bench-suite
+    // cache records on a cold run).
+    auto live_machine = makeMachine(workload);
+    core::AnalysisPipeline live(*live_machine, config);
+    trace_io::TraceWriter writer(path, *live_machine, w.input,
+                                 config.skipInstructions,
+                                 config.windowInstructions);
+    live_machine->addObserver(&writer);
+    const uint64_t live_measured = live.run();
+    live_machine->removeObserver(&writer);
+    writer.commit();
+
+    // Replay into a fresh machine + pipeline.
+    auto replay_machine = makeMachine(workload);
+    core::AnalysisPipeline replayed(*replay_machine, config);
+    trace_io::TraceReader reader(path);
+    reader.bind(*replay_machine, w.input);
+    const uint64_t replay_measured = replayed.runFromSource(reader);
+
+    EXPECT_EQ(live_measured, replay_measured);
+    expectJsonEqual(statsDocument(live), statsDocument(replayed),
+                    workload + ".stats");
+    std::filesystem::remove(path);
+}
+
+TEST(ReplayEquivalence, CompressStatsIdentical)
+{
+    expectReplayMatchesLive("compress");
+}
+
+TEST(ReplayEquivalence, LiStatsIdentical)
+{
+    expectReplayMatchesLive("li");
+}
+
+} // namespace
+} // namespace irep

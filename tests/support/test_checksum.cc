@@ -1,0 +1,78 @@
+/**
+ * @file
+ * CRC-32 tests against the published check value and the properties
+ * the trace format depends on: incremental updates compose, and any
+ * single-bit corruption changes the checksum.
+ */
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/checksum.hh"
+
+namespace irep
+{
+namespace
+{
+
+uint32_t
+crcOf(const std::string &s)
+{
+    return crc32(s.data(), s.size());
+}
+
+TEST(Crc32, PublishedCheckValue)
+{
+    // The standard CRC-32 (reflected, poly 0xedb88320) check value.
+    EXPECT_EQ(crcOf("123456789"), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyInput)
+{
+    EXPECT_EQ(crcOf(""), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const std::string data =
+        "the retire stream, in blocks of arbitrary size";
+    for (size_t split = 0; split <= data.size(); ++split) {
+        uint32_t crc = crc32Init;
+        crc = crc32Update(crc, data.data(), split);
+        crc = crc32Update(crc, data.data() + split,
+                          data.size() - split);
+        EXPECT_EQ(crc, crcOf(data)) << "split at " << split;
+    }
+}
+
+TEST(Crc32, EverySingleBitFlipDetected)
+{
+    const std::string data = "block payload under test 0123456789";
+    const uint32_t good = crcOf(data);
+    for (size_t byte = 0; byte < data.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string flipped = data;
+            flipped[byte] = char(flipped[byte] ^ (1 << bit));
+            EXPECT_NE(crcOf(flipped), good)
+                << "byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+TEST(Crc32, DistinctPrefixesDistinctCrcs)
+{
+    // Weak sanity: a run of zero bytes of different lengths must not
+    // collide (guards against a broken table or init/final xor).
+    const char zeros[8] = {};
+    uint32_t last = crc32(zeros, 0);
+    for (size_t n = 1; n <= sizeof(zeros); ++n) {
+        const uint32_t crc = crc32(zeros, n);
+        EXPECT_NE(crc, last) << n;
+        last = crc;
+    }
+}
+
+} // namespace
+} // namespace irep

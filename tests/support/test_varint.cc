@@ -1,0 +1,177 @@
+/**
+ * @file
+ * LEB128/zigzag codec tests: exact byte layouts at the 7-bit group
+ * boundaries, round-trips across the whole value range, and the
+ * bounded-decode guarantees (truncation and over-long sequences
+ * fatal() instead of reading past the buffer).
+ */
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/varint.hh"
+
+namespace irep
+{
+namespace
+{
+
+std::string
+encode(uint64_t value)
+{
+    std::string out;
+    varint::put(out, value);
+    return out;
+}
+
+uint64_t
+decode(const std::string &bytes)
+{
+    const uint8_t *p =
+        reinterpret_cast<const uint8_t *>(bytes.data());
+    const uint8_t *end = p + bytes.size();
+    const uint64_t value = varint::get(p, end);
+    EXPECT_EQ(p, end) << "decode consumed a partial buffer";
+    return value;
+}
+
+TEST(Varint, BoundaryEncodingLengths)
+{
+    EXPECT_EQ(encode(0).size(), 1u);
+    EXPECT_EQ(encode(1).size(), 1u);
+    EXPECT_EQ(encode(0x7f).size(), 1u);
+    EXPECT_EQ(encode(0x80).size(), 2u);
+    EXPECT_EQ(encode(0x3fff).size(), 2u);
+    EXPECT_EQ(encode(0x4000).size(), 3u);
+    EXPECT_EQ(encode(std::numeric_limits<uint32_t>::max()).size(), 5u);
+    EXPECT_EQ(encode(std::numeric_limits<uint64_t>::max()).size(),
+              10u);
+}
+
+TEST(Varint, KnownByteSequences)
+{
+    EXPECT_EQ(encode(0), std::string("\x00", 1));
+    EXPECT_EQ(encode(0x7f), "\x7f");
+    EXPECT_EQ(encode(0x80), "\x80\x01");
+    EXPECT_EQ(encode(300), "\xac\x02");
+}
+
+TEST(Varint, RoundTripBoundaries)
+{
+    const uint64_t values[] = {
+        0,
+        1,
+        0x7f,
+        0x80,
+        0x3fff,
+        0x4000,
+        0x1f'ffff,
+        0x20'0000,
+        std::numeric_limits<uint32_t>::max(),
+        uint64_t(std::numeric_limits<uint32_t>::max()) + 1,
+        std::numeric_limits<uint64_t>::max() - 1,
+        std::numeric_limits<uint64_t>::max(),
+    };
+    for (uint64_t v : values)
+        EXPECT_EQ(decode(encode(v)), v) << v;
+}
+
+TEST(Varint, RoundTripRandom)
+{
+    // Deterministic xorshift; spread values across all bit widths.
+    uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 10'000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const uint64_t v = x >> (x % 64);
+        EXPECT_EQ(decode(encode(v)), v);
+    }
+}
+
+TEST(Varint, StreamOfValuesDecodesInOrder)
+{
+    std::string buf;
+    for (uint64_t v = 0; v < 1000; v += 7)
+        varint::put(buf, v * v);
+    const uint8_t *p = reinterpret_cast<const uint8_t *>(buf.data());
+    const uint8_t *end = p + buf.size();
+    for (uint64_t v = 0; v < 1000; v += 7)
+        EXPECT_EQ(varint::get(p, end), v * v);
+    EXPECT_EQ(p, end);
+}
+
+TEST(Varint, TruncatedSequenceIsFatal)
+{
+    // Every strict prefix of a multi-byte encoding must be rejected.
+    const std::string full =
+        encode(std::numeric_limits<uint64_t>::max());
+    for (size_t len = 0; len < full.size(); ++len) {
+        const std::string cut = full.substr(0, len);
+        const uint8_t *p =
+            reinterpret_cast<const uint8_t *>(cut.data());
+        EXPECT_THROW(varint::get(p, p + cut.size()), FatalError)
+            << "prefix length " << len;
+    }
+}
+
+TEST(Varint, OverLongSequenceIsFatal)
+{
+    // Eleven continuation bytes can't be a uint64_t; a decoder that
+    // kept going would shift past the value width.
+    const std::string bad(11, char(0x80));
+    const uint8_t *p = reinterpret_cast<const uint8_t *>(bad.data());
+    EXPECT_THROW(varint::get(p, p + bad.size()), FatalError);
+}
+
+TEST(Zigzag, MapsSignOntoLowBit)
+{
+    EXPECT_EQ(varint::zigzag(0), 0u);
+    EXPECT_EQ(varint::zigzag(-1), 1u);
+    EXPECT_EQ(varint::zigzag(1), 2u);
+    EXPECT_EQ(varint::zigzag(-2), 3u);
+    EXPECT_EQ(varint::zigzag(2), 4u);
+}
+
+TEST(Zigzag, RoundTripExtremes)
+{
+    const int64_t values[] = {
+        0,
+        1,
+        -1,
+        63,
+        -64,
+        64,
+        -65,
+        std::numeric_limits<int32_t>::min(),
+        std::numeric_limits<int32_t>::max(),
+        std::numeric_limits<int64_t>::min(),
+        std::numeric_limits<int64_t>::max(),
+    };
+    for (int64_t v : values) {
+        EXPECT_EQ(varint::unzigzag(varint::zigzag(v)), v) << v;
+        std::string buf;
+        varint::putSigned(buf, v);
+        const uint8_t *p =
+            reinterpret_cast<const uint8_t *>(buf.data());
+        EXPECT_EQ(varint::getSigned(p, p + buf.size()), v) << v;
+    }
+}
+
+TEST(Zigzag, SmallMagnitudesEncodeShort)
+{
+    // The point of zigzag + LEB128: deltas near zero stay one byte
+    // regardless of sign.
+    for (int64_t v = -63; v <= 63; ++v) {
+        std::string buf;
+        varint::putSigned(buf, v);
+        EXPECT_EQ(buf.size(), 1u) << v;
+    }
+}
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Config-keyed cache tests: path naming, strict IREP_TRACE_DIR
+ * parsing, and openCached()'s miss/hit/invalidation behaviour —
+ * including that a corrupt cached file is a miss (re-record), never a
+ * crash and never a silent replay.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "trace_io/cache.hh"
+#include "trace_io/format.hh"
+#include "trace_test_util.hh"
+#include "workloads/workloads.hh"
+
+namespace irep
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class TraceCache : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Per-test-case directory: ctest runs each case as its own
+        // process, concurrently, and they must not share files.
+        dir_ = testing::TempDir() + "trace_cache_" +
+               testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(dir_);
+        unsetenv("IREP_TRACE_DIR");
+    }
+
+    std::string dir_;
+};
+
+TEST_F(TraceCache, PathEncodesEveryKeyComponent)
+{
+    const std::string base =
+        trace_io::cachePath(dir_, "li", 0x1234, 1000, 4000);
+    EXPECT_NE(base.find("li"), std::string::npos);
+    EXPECT_NE(base.find("s1000"), std::string::npos);
+    EXPECT_NE(base.find("w4000"), std::string::npos);
+
+    // Changing any key component must change the file name, so stale
+    // entries can never be opened under a new key.
+    EXPECT_NE(base, trace_io::cachePath(dir_, "li", 0x1235, 1000,
+                                        4000));
+    EXPECT_NE(base, trace_io::cachePath(dir_, "li", 0x1234, 1001,
+                                        4000));
+    EXPECT_NE(base, trace_io::cachePath(dir_, "li", 0x1234, 1000,
+                                        4001));
+    EXPECT_NE(base, trace_io::cachePath(dir_, "go", 0x1234, 1000,
+                                        4000));
+}
+
+TEST_F(TraceCache, SanitizeNameKeepsPathsFlat)
+{
+    EXPECT_EQ(trace_io::sanitizeName("compress"), "compress");
+    EXPECT_EQ(trace_io::sanitizeName("../a b/c.mc"), ".._a_b_c.mc");
+    EXPECT_EQ(trace_io::sanitizeName(""), "trace");
+}
+
+TEST_F(TraceCache, CacheDirUnsetOrEmptyDisables)
+{
+    unsetenv("IREP_TRACE_DIR");
+    EXPECT_EQ(trace_io::cacheDir(), "");
+    setenv("IREP_TRACE_DIR", "", 1);
+    EXPECT_EQ(trace_io::cacheDir(), "");
+}
+
+TEST_F(TraceCache, CacheDirCreatesAndStrictlyParses)
+{
+    const std::string nested = dir_ + "/a/b";
+    setenv("IREP_TRACE_DIR", nested.c_str(), 1);
+    EXPECT_EQ(trace_io::cacheDir(), nested);
+    EXPECT_TRUE(fs::is_directory(nested));
+
+    // A path that cannot be a directory is the user's error: fatal,
+    // not a silent fall-back to uncached runs.
+    const std::string blocked = dir_ + "/file";
+    std::ofstream(blocked).put('x');
+    const std::string bad = blocked + "/sub";
+    setenv("IREP_TRACE_DIR", bad.c_str(), 1);
+    EXPECT_THROW(trace_io::cacheDir(), FatalError);
+}
+
+TEST_F(TraceCache, MissThenHitThenKeyInvalidation)
+{
+    const auto &w = workloads::workloadByName("li");
+    const uint64_t identity =
+        trace_io::identityHash(workloads::buildProgram(w), w.input);
+    const std::string path =
+        trace_io::cachePath(dir_, "li", identity, 0, 40'000);
+
+    EXPECT_EQ(trace_io::openCached(path, identity, 0, 40'000),
+              nullptr);
+
+    test::recordWorkload("li", path, 40'000);
+    auto reader = trace_io::openCached(path, identity, 0, 40'000);
+    ASSERT_NE(reader, nullptr);
+    EXPECT_EQ(reader->header().identity, identity);
+
+    // Same file, different expected key: stale, so a miss.
+    EXPECT_EQ(trace_io::openCached(path, identity + 1, 0, 40'000),
+              nullptr);
+    EXPECT_EQ(trace_io::openCached(path, identity, 1, 40'000),
+              nullptr);
+    EXPECT_EQ(trace_io::openCached(path, identity, 0, 39'999),
+              nullptr);
+}
+
+TEST_F(TraceCache, CorruptCachedFileIsAMissNotACrash)
+{
+    const std::string path =
+        trace_io::cachePath(dir_, "li", 7, 0, 1000);
+    std::ofstream(path, std::ios::binary)
+        << std::string(1000, '\xee');
+    EXPECT_EQ(trace_io::openCached(path, 7, 0, 1000), nullptr);
+}
+
+} // namespace
+} // namespace irep

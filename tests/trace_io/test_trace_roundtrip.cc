@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Record/replay round-trip: a replayed trace must dispatch the exact
+ * event stream the live run produced — every InstrRecord field, every
+ * SyscallRecord, and their interleaving — and the writer must publish
+ * atomically (no file until commit(), no temporaries left behind).
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "trace_io/format.hh"
+#include "trace_io/reader.hh"
+#include "trace_io/writer.hh"
+#include "trace_test_util.hh"
+#include "workloads/workloads.hh"
+
+namespace irep
+{
+namespace
+{
+
+using test::CaptureObserver;
+using test::Event;
+using test::makeWorkloadMachine;
+using test::recordWorkload;
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+void
+expectSameStream(const std::vector<Event> &live,
+                 const std::vector<Event> &replayed)
+{
+    ASSERT_EQ(live.size(), replayed.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+        const Event &a = live[i];
+        const Event &b = replayed[i];
+        ASSERT_EQ(a.isSyscall, b.isSyscall) << "event " << i;
+        if (a.isSyscall) {
+            EXPECT_EQ(int(a.syscall.num), int(b.syscall.num));
+            EXPECT_EQ(a.syscall.arg0, b.syscall.arg0);
+            EXPECT_EQ(a.syscall.arg1, b.syscall.arg1);
+            EXPECT_EQ(a.syscall.result, b.syscall.result);
+            EXPECT_EQ(a.syscall.writtenAddr, b.syscall.writtenAddr);
+            EXPECT_EQ(a.syscall.writtenLen, b.syscall.writtenLen);
+            continue;
+        }
+        ASSERT_EQ(a.instr.seq, b.instr.seq) << "event " << i;
+        EXPECT_EQ(a.instr.pc, b.instr.pc);
+        EXPECT_EQ(a.instr.staticIndex, b.instr.staticIndex);
+        ASSERT_NE(b.instr.inst, nullptr);
+        EXPECT_EQ(int(a.instr.inst->op), int(b.instr.inst->op));
+        ASSERT_EQ(a.instr.numSrcRegs, b.instr.numSrcRegs);
+        for (int s = 0; s < a.instr.numSrcRegs; ++s)
+            EXPECT_EQ(a.instr.srcVal[s], b.instr.srcVal[s]);
+        EXPECT_EQ(a.instr.isMemAccess, b.instr.isMemAccess);
+        if (a.instr.isMemAccess) {
+            EXPECT_EQ(a.instr.memAddr, b.instr.memAddr);
+        }
+        EXPECT_EQ(a.instr.writesReg, b.instr.writesReg);
+        if (a.instr.writesReg) {
+            EXPECT_EQ(int(a.instr.destReg), int(b.instr.destReg));
+        }
+        EXPECT_EQ(a.instr.result, b.instr.result);
+        EXPECT_EQ(a.instr.nextPc, b.instr.nextPc);
+    }
+}
+
+TEST(TraceRoundTrip, ReplayDispatchesIdenticalStream)
+{
+    const std::string path = tempPath("roundtrip.irtrace");
+    const std::vector<Event> live =
+        recordWorkload("compress", path, 200'000);
+    ASSERT_GT(live.size(), 200'000u);  // retires + syscall events
+
+    auto machine = makeWorkloadMachine("compress");
+    trace_io::TraceReader reader(path);
+    reader.bind(*machine,
+                workloads::workloadByName("compress").input);
+    CaptureObserver replayed;
+    EXPECT_EQ(reader.replay(replayed, UINT64_MAX), 200'000u);
+    EXPECT_TRUE(reader.atEnd());
+
+    expectSameStream(live, replayed.events);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceRoundTrip, ReplayHonorsChunkBoundaries)
+{
+    // The pipeline replays in two calls (skip, then window); record
+    // counts must add up across arbitrary chunk sizes and syscall
+    // records must not count toward the instruction budget.
+    const std::string path = tempPath("chunked.irtrace");
+    const std::vector<Event> live =
+        recordWorkload("li", path, 100'000);
+
+    auto machine = makeWorkloadMachine("li");
+    trace_io::TraceReader reader(path);
+    reader.bind(*machine, workloads::workloadByName("li").input);
+    CaptureObserver replayed;
+    uint64_t total = 0;
+    const uint64_t chunks[] = {1, 999, 30'000, UINT64_MAX};
+    for (uint64_t chunk : chunks)
+        total += reader.replay(replayed, chunk);
+    EXPECT_EQ(total, 100'000u);
+    EXPECT_TRUE(reader.atEnd());
+    EXPECT_EQ(reader.replay(replayed, 1000), 0u);
+
+    expectSameStream(live, replayed.events);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceRoundTrip, HeaderCarriesConfigAndCounts)
+{
+    const std::string path = tempPath("header.irtrace");
+    recordWorkload("compress", path, 60'000, 10'000);
+
+    trace_io::TraceReader reader(path);
+    EXPECT_EQ(reader.header().version, trace_io::formatVersion);
+    EXPECT_EQ(reader.header().skip, 10'000u);
+    EXPECT_EQ(reader.header().window, 50'000u);
+    EXPECT_EQ(reader.header().identity,
+              trace_io::identityHash(
+                  workloads::buildProgram(
+                      workloads::workloadByName("compress")),
+                  workloads::workloadByName("compress").input));
+    std::filesystem::remove(path);
+}
+
+TEST(TraceRoundTrip, NoFileUntilCommitAndNoTempAfter)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = testing::TempDir() + "trace_publish";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string path = dir + "/out.irtrace";
+
+    auto machine = makeWorkloadMachine("li");
+    {
+        trace_io::TraceWriter writer(
+            path, *machine, workloads::workloadByName("li").input, 0,
+            50'000);
+        machine->addObserver(&writer);
+        machine->run(50'000);
+        machine->removeObserver(&writer);
+        EXPECT_FALSE(fs::exists(path))
+            << "trace visible before commit";
+        writer.commit();
+        EXPECT_TRUE(fs::exists(path));
+    }
+    size_t files = 0;
+    for ([[maybe_unused]] const auto &e : fs::directory_iterator(dir))
+        ++files;
+    EXPECT_EQ(files, 1u) << "temporary left next to the trace";
+    fs::remove_all(dir);
+}
+
+TEST(TraceRoundTrip, AbandonedWriterRemovesItsTemporary)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = testing::TempDir() + "trace_abandon";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string path = dir + "/out.irtrace";
+
+    auto machine = makeWorkloadMachine("li");
+    {
+        trace_io::TraceWriter writer(
+            path, *machine, workloads::workloadByName("li").input, 0,
+            50'000);
+        machine->addObserver(&writer);
+        machine->run(50'000);
+        machine->removeObserver(&writer);
+        // No commit: simulates a recording killed mid-run.
+    }
+    EXPECT_TRUE(fs::is_empty(dir));
+    fs::remove_all(dir);
+}
+
+TEST(TraceRoundTrip, BindRejectsDifferentProgramOrInput)
+{
+    const std::string path = tempPath("identity.irtrace");
+    recordWorkload("li", path, 30'000);
+
+    trace_io::TraceReader other(path);
+    auto wrong_program = makeWorkloadMachine("compress");
+    EXPECT_THROW(
+        other.bind(*wrong_program,
+                   workloads::workloadByName("compress").input),
+        FatalError);
+
+    trace_io::TraceReader same(path);
+    auto right_program = makeWorkloadMachine("li");
+    EXPECT_THROW(same.bind(*right_program, "a different input"),
+                 FatalError);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace irep

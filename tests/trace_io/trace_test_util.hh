@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Helpers for trace record/replay tests: build a workload machine,
+ * capture a dispatch stream (retires and syscalls, in order), and
+ * record a trace file while doing so.
+ */
+
+#ifndef IREP_TESTS_TRACE_IO_TRACE_TEST_UTIL_HH
+#define IREP_TESTS_TRACE_IO_TRACE_TEST_UTIL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "sim/observer.hh"
+#include "trace_io/writer.hh"
+#include "workloads/workloads.hh"
+
+namespace irep::test
+{
+
+inline std::unique_ptr<sim::Machine>
+makeWorkloadMachine(const std::string &name)
+{
+    const auto &w = workloads::workloadByName(name);
+    auto machine =
+        std::make_unique<sim::Machine>(workloads::buildProgram(w));
+    machine->setInput(w.input);
+    return machine;
+}
+
+/** One dispatched event, preserving retire/syscall interleaving. */
+struct Event
+{
+    bool isSyscall = false;
+    sim::InstrRecord instr;     //!< valid when !isSyscall
+    sim::SyscallRecord syscall; //!< valid when isSyscall
+};
+
+/** Records every dispatch, in order. */
+struct CaptureObserver : sim::Observer
+{
+    std::vector<Event> events;
+
+    void
+    onRetire(const sim::InstrRecord &rec) override
+    {
+        Event e;
+        e.instr = rec;
+        events.push_back(e);
+    }
+
+    void
+    onSyscall(const sim::SyscallRecord &rec) override
+    {
+        Event e;
+        e.isSyscall = true;
+        e.syscall = rec;
+        events.push_back(e);
+    }
+};
+
+/**
+ * Run @p instructions of workload @p name while recording to @p path
+ * (committed on return). @return the live dispatch stream.
+ */
+inline std::vector<Event>
+recordWorkload(const std::string &name, const std::string &path,
+               uint64_t instructions, uint64_t skip = 0)
+{
+    const auto &w = workloads::workloadByName(name);
+    auto machine = makeWorkloadMachine(name);
+    CaptureObserver capture;
+    trace_io::TraceWriter writer(path, *machine, w.input, skip,
+                                 instructions - skip);
+    machine->addObserver(&capture);
+    machine->addObserver(&writer);
+    machine->run(instructions);
+    writer.commit();
+    return std::move(capture.events);
+}
+
+} // namespace irep::test
+
+#endif // IREP_TESTS_TRACE_IO_TRACE_TEST_UTIL_HH

@@ -9,6 +9,9 @@
  *   irep bench <workload> [opts]           analyze a built-in workload
  *   irep bench all [opts]                  the whole suite, workloads
  *                                          run in parallel (--jobs)
+ *   irep record <workload|file> [opts]     record a binary retire
+ *                                          trace (src/trace_io) for
+ *                                          later --from-trace replay
  *
  * Options:
  *   --input <file>     bytes served by the read syscall
@@ -21,9 +24,14 @@
  *   --trace FILE       write sampled retire records (.jsonl = JSONL)
  *   --trace-sample N   record every Nth retired instruction
  *   --progress N       stderr heartbeat every N instructions
+ *   --from-trace FILE  analyze/bench off a recorded trace instead of
+ *                      simulating (adopts the trace's skip/window)
+ *   --output FILE      where `record` writes the trace
  *
- * Sources ending in `.s` are assembled directly; anything else is
- * treated as MiniC (with the runtime library linked in).
+ * `irep bench all` also consults the IREP_TRACE_DIR trace cache (see
+ * bench/harness/suite.hh): workloads record on first run and replay
+ * thereafter. Sources ending in `.s` are assembled directly; anything
+ * else is treated as MiniC (with the runtime library linked in).
  */
 
 #include <cstdio>
@@ -48,6 +56,9 @@
 #include "support/parse.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
+#include "trace_io/cache.hh"
+#include "trace_io/reader.hh"
+#include "trace_io/writer.hh"
 #include "workloads/runtime.hh"
 #include "workloads/workloads.hh"
 
@@ -65,18 +76,23 @@ struct Options
     uint64_t window = 5'000'000;
     uint64_t max = 1'000'000'000;
     unsigned jobs = 0;      //!< 0 = parallel::defaultJobs()
+    bool skipSet = false;   //!< --skip given explicitly
+    bool windowSet = false; //!< --window given explicitly
 
     std::string statsJsonFile;
     std::string traceFile;
     uint64_t traceSample = 1;
     uint64_t progress = 0;
+    std::string fromTrace;  //!< replay source for analyze/bench
+    std::string outputFile; //!< trace destination for record
 };
 
 const char *const usageText =
-    "usage: irep <compile|disasm|run|analyze|bench> <target>\n"
+    "usage: irep <compile|disasm|run|analyze|bench|record> <target>\n"
     "            [--input FILE] [--skip N] [--window N] [--max N]\n"
     "            [--jobs N] [--stats-json FILE] [--trace FILE]\n"
     "            [--trace-sample N] [--progress N]\n"
+    "            [--from-trace FILE] [--output FILE]\n"
     "  compile  MiniC -> assembly text\n"
     "  disasm   assembled program image listing\n"
     "  run      execute; prints program output and exit code\n"
@@ -85,6 +101,9 @@ const char *const usageText =
     "  bench    same, for a built-in workload (go, m88ksim,\n"
     "           ijpeg, perl, vortex, li, gcc, compress), or `all`\n"
     "           for the whole suite with workloads run in parallel\n"
+    "  record   write the retired-instruction stream as a binary\n"
+    "           trace; analyze/bench replay it with --from-trace,\n"
+    "           skipping simulation entirely\n"
     "options:\n"
     "  --input FILE       bytes served by the read syscall\n"
     "  --skip N           instructions to skip before measuring\n"
@@ -95,7 +114,18 @@ const char *const usageText =
     "  --stats-json FILE  write the analysis report as JSON\n"
     "  --trace FILE       sampled retire trace (.jsonl for JSONL)\n"
     "  --trace-sample N   record every Nth instruction (default 1)\n"
-    "  --progress N       stderr heartbeat every N instructions\n";
+    "  --progress N       stderr heartbeat every N instructions\n"
+    "  --from-trace FILE  replay a recorded trace instead of\n"
+    "                     simulating (analyze and bench <workload>\n"
+    "                     only; adopts the trace's skip/window)\n"
+    "  --output FILE      trace destination for `record` (default:\n"
+    "                     the IREP_TRACE_DIR cache when set, else\n"
+    "                     <name>.irtrace in the current directory)\n"
+    "environment:\n"
+    "  IREP_TRACE_DIR     trace-cache directory: `record` publishes\n"
+    "                     into it and `bench all` records each\n"
+    "                     (workload, skip, window) once, replaying\n"
+    "                     on later runs\n";
 
 [[noreturn]] void
 usage()
@@ -158,10 +188,14 @@ parseArgs(int argc, char **argv)
         };
         if (arg == "--input")
             opts.inputFile = next();
-        else if (arg == "--skip")
+        else if (arg == "--skip") {
             opts.skip = parseU64(arg, next());
-        else if (arg == "--window")
+            opts.skipSet = true;
+        }
+        else if (arg == "--window") {
             opts.window = parseU64(arg, next());
+            opts.windowSet = true;
+        }
         else if (arg == "--max")
             opts.max = parseU64(arg, next());
         else if (arg == "--jobs") {
@@ -176,10 +210,27 @@ parseArgs(int argc, char **argv)
             opts.traceSample = parseU64(arg, next());
         else if (arg == "--progress")
             opts.progress = parseU64(arg, next());
+        else if (arg == "--from-trace")
+            opts.fromTrace = next();
+        else if (arg == "--output")
+            opts.outputFile = next();
         else
             usage();
     }
     fatalIf(opts.traceSample == 0, "--trace-sample must be positive");
+
+    // Replay drives the analyses straight off a recorded stream, so
+    // it only makes sense where analyses run; reject it everywhere
+    // else instead of silently simulating.
+    const bool replayable = opts.command == "analyze" ||
+        (opts.command == "bench" && opts.target != "all");
+    fatalIf(!opts.fromTrace.empty() && !replayable,
+            "--from-trace only applies to `analyze` and "
+            "`bench <workload>`; `", opts.command,
+            opts.command == "bench" ? " all" : "",
+            "` cannot replay a trace");
+    fatalIf(!opts.outputFile.empty() && opts.command != "record",
+            "--output only applies to `record`");
     return opts;
 }
 
@@ -378,16 +429,47 @@ writeStatsJson(const Options &opts,
 
 int
 analyzeMachine(const Options &opts, sim::Machine &machine,
-               uint64_t default_skip, const std::string &workload)
+               const std::string &input, uint64_t default_skip,
+               const std::string &workload)
 {
     Instrumentation instr(opts, machine);
     core::PipelineConfig config;
     config.skipInstructions = opts.skip ? opts.skip : default_skip;
     config.windowInstructions = opts.window;
+
+    // Replay adopts the skip/window the trace was recorded under —
+    // silently measuring a different window than the stream holds
+    // would skew every table, so conflicting flags are an error.
+    std::unique_ptr<trace_io::TraceReader> reader;
+    if (!opts.fromTrace.empty()) {
+        reader =
+            std::make_unique<trace_io::TraceReader>(opts.fromTrace);
+        const trace_io::TraceHeader &h = reader->header();
+        fatalIf(opts.skipSet && opts.skip != h.skip,
+                "--skip ", opts.skip, " conflicts with '",
+                opts.fromTrace, "' (recorded with skip ", h.skip,
+                "); drop the flag to adopt the trace's value");
+        fatalIf(opts.windowSet && opts.window != h.window,
+                "--window ", opts.window, " conflicts with '",
+                opts.fromTrace, "' (recorded with window ", h.window,
+                "); drop the flag to adopt the trace's value");
+        config.skipInstructions = h.skip;
+        config.windowInstructions = h.window;
+        reader->bind(machine, input);
+    }
+
     core::AnalysisPipeline pipeline(machine, config);
     if (instr.progress)
         pipeline.setProgress(instr.progress.get());
-    const uint64_t measured = pipeline.run();
+    const uint64_t measured =
+        reader ? pipeline.runFromSource(*reader) : pipeline.run();
+    if (reader) {
+        // Note the mode on stderr only: stdout stays byte-identical
+        // to the live-simulation run of the same stream.
+        std::fprintf(stderr, "irep: replayed %llu records from %s\n",
+                     (unsigned long long)reader->dispatched(),
+                     opts.fromTrace.c_str());
+    }
     report(pipeline, measured);
     if (!opts.statsJsonFile.empty())
         writeStatsJson(opts, pipeline, workload);
@@ -399,10 +481,13 @@ cmdAnalyze(const Options &opts)
 {
     const assem::Program program = buildTarget(opts.target);
     sim::Machine machine(program);
-    if (!opts.inputFile.empty())
-        machine.setInput(readFile(opts.inputFile));
+    std::string input;
+    if (!opts.inputFile.empty()) {
+        input = readFile(opts.inputFile);
+        machine.setInput(input);
+    }
     std::printf("=== irep analysis: %s ===\n", opts.target.c_str());
-    return analyzeMachine(opts, machine, 0, "");
+    return analyzeMachine(opts, machine, input, 0, "");
 }
 
 /**
@@ -467,7 +552,89 @@ cmdBench(const Options &opts)
     std::printf("=== irep workload: %s (%s) ===\n",
                 workload.name.c_str(),
                 workload.specAnalogue.c_str());
-    return analyzeMachine(opts, machine, 1'000'000, workload.name);
+    return analyzeMachine(opts, machine, workload.input, 1'000'000,
+                          workload.name);
+}
+
+/**
+ * `irep record`: run the target under a TraceWriter only — no
+ * analyses attached, so recording runs at near raw-simulation speed —
+ * and publish the binary trace for --from-trace / cache replay.
+ */
+int
+cmdRecord(const Options &opts)
+{
+    // The machine holds a reference to the program, so the program
+    // must outlive it in this scope.
+    assem::Program program;
+    std::string input;
+    std::string name = opts.target;
+    uint64_t default_skip = 0;
+
+    const workloads::Workload *workload = nullptr;
+    for (const workloads::Workload &w : workloads::allWorkloads()) {
+        if (w.name == opts.target)
+            workload = &w;
+    }
+    if (workload) {
+        fatalIf(!opts.inputFile.empty(),
+                "workload '", workload->name,
+                "' has a fixed input; --input only applies when "
+                "recording a source file");
+        program = workloads::buildProgram(*workload);
+        input = workload->input;
+        default_skip = 1'000'000;   // the `bench` default
+    } else {
+        program = buildTarget(opts.target);
+        if (!opts.inputFile.empty())
+            input = readFile(opts.inputFile);
+        // "dir/prog.mc" -> "prog", for the default/cache file name.
+        const size_t slash = name.find_last_of('/');
+        if (slash != std::string::npos)
+            name = name.substr(slash + 1);
+        const size_t dot = name.find_last_of('.');
+        if (dot != std::string::npos && dot > 0)
+            name = name.substr(0, dot);
+    }
+    sim::Machine machine(program);
+    machine.setInput(input);
+
+    const uint64_t skip = opts.skipSet ? opts.skip : default_skip;
+    const uint64_t window = opts.window;
+
+    std::string path = opts.outputFile;
+    if (path.empty()) {
+        const std::string dir = trace_io::cacheDir();
+        path = dir.empty()
+            ? trace_io::sanitizeName(name) + ".irtrace"
+            : trace_io::cachePath(
+                  dir, name,
+                  trace_io::identityHash(machine.program(), input),
+                  skip, window);
+    }
+
+    Instrumentation instr(opts, machine);
+    trace_io::TraceWriter writer(path, machine, input, skip, window);
+    machine.addObserver(&writer);
+    const uint64_t executed = machine.run(skip + window);
+    machine.removeObserver(&writer);
+    writer.commit();
+
+    std::fprintf(stderr,
+                 "irep: recorded %llu instructions + %llu syscall "
+                 "records (%.1f MiB, skip=%llu window=%llu) to %s\n",
+                 (unsigned long long)writer.instrRecords(),
+                 (unsigned long long)writer.syscallRecords(),
+                 double(writer.bytesWritten()) / (1024.0 * 1024.0),
+                 (unsigned long long)skip,
+                 (unsigned long long)window, path.c_str());
+    if (executed < skip + window) {
+        std::fprintf(stderr,
+                     "irep: note: program halted after %llu "
+                     "instructions, before skip+window\n",
+                     (unsigned long long)executed);
+    }
+    return 0;
 }
 
 } // namespace
@@ -487,6 +654,8 @@ main(int argc, char **argv)
             return cmdAnalyze(opts);
         if (opts.command == "bench")
             return cmdBench(opts);
+        if (opts.command == "record")
+            return cmdRecord(opts);
         usage();
     } catch (const FatalError &e) {
         std::fprintf(stderr, "irep: error: %s\n", e.what());
