@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Check relative links and anchors in the repository's Markdown.
+
+Scans every tracked .md file for inline links, verifies that relative
+targets exist on disk, and that #fragment targets name a real heading
+(GitHub slug rules: lowercase, spaces to dashes, punctuation dropped)
+in the linked file. External (scheme://) and mailto links are ignored.
+
+Exit code 0 iff no broken links. Usage:
+
+    python3 ci/check_links.py [root]
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+SKIP_DIRS = {".git", "build", "third_party", "node_modules"}
+
+
+def slugify(heading):
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        with open(path, encoding="utf-8") as f:
+            text = CODE_FENCE.sub("", f.read())
+        cache[path] = {slugify(h) for h in HEADING.findall(text)}
+    return cache[path]
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE.sub("", f.read())
+    for target in LINK.findall(text):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # scheme: URLs
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{path}: broken link '{target}' "
+                              f"(no such file: {resolved})")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if not resolved.endswith(".md"):
+                continue  # anchors into non-markdown: not checkable
+            if fragment not in anchors_of(resolved):
+                errors.append(f"{path}: broken anchor '{target}' "
+                              f"(no heading '#{fragment}' in "
+                              f"{resolved})")
+    return errors
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    errors = []
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        checked += 1
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"check_links: {checked} markdown files, "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+#include "fuzz/differ.hh"
+
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "minicc/compiler.hh"
+#include "sim/machine.hh"
+#include "support/logging.hh"
+
+namespace irep::fuzz
+{
+
+namespace
+{
+
+/** Printable summary of a byte string for mismatch details. */
+std::string
+quoted(const std::string &bytes, size_t limit = 64)
+{
+    std::string out = "\"";
+    for (size_t i = 0; i < bytes.size() && i < limit; ++i) {
+        const unsigned char c = (unsigned char)bytes[i];
+        if (c == '\n') {
+            out += "\\n";
+        } else if (c >= 0x20 && c < 0x7f) {
+            out += char(c);
+        } else {
+            char hex[8];
+            std::snprintf(hex, sizeof(hex), "\\x%02x", c);
+            out += hex;
+        }
+    }
+    out += "\"";
+    if (bytes.size() > limit)
+        out += "...";
+    return out;
+}
+
+} // namespace
+
+const char *
+diffStatusName(DiffStatus status)
+{
+    switch (status) {
+      case DiffStatus::Match:
+        return "match";
+      case DiffStatus::Mismatch:
+        return "MISMATCH";
+      case DiffStatus::CompileError:
+        return "compile-error";
+      case DiffStatus::RefError:
+        return "ref-error";
+      case DiffStatus::SimError:
+        return "sim-error";
+    }
+    return "?";
+}
+
+DiffOutcome
+runDifferential(const std::string &source, const std::string &input,
+                const DiffLimits &limits)
+{
+    DiffOutcome out;
+
+    // 1. Front half: parse + sema (shared by both engines), codegen,
+    //    assemble. Any fault here is a compile error — parse/sema
+    //    bugs cannot be caught differentially since both engines
+    //    consume the same analyzed AST, but crashes still surface.
+    std::unique_ptr<minicc::Unit> unit;
+    assem::Program program;
+    try {
+        unit = minicc::compileToUnit(source);
+        program = assem::assemble(minicc::generateAsm(*unit));
+    } catch (const std::exception &e) {
+        out.status = DiffStatus::CompileError;
+        out.detail = e.what();
+        return out;
+    }
+
+    // 2. Reference interpreter. Its step budget scales with the
+    //    simulator's instruction budget: a tree-walk "step" is one AST
+    //    node or statement, and expression-heavy code retires fewer
+    //    instructions per node than the budget ratio would otherwise
+    //    assume (observed ~0.65 steps/instruction), so a fixed default
+    //    flags legitimately heavy programs as non-terminating.
+    InterpLimits interpLimits = limits.interp;
+    if (interpLimits.maxSteps < 4 * limits.maxInstructions)
+        interpLimits.maxSteps = 4 * limits.maxInstructions;
+    const InterpResult ref = interpret(*unit, input, interpLimits);
+    out.refExit = ref.exitCode;
+    out.refOutput = ref.output;
+    const bool refBudget =
+        ref.error && ref.steps > interpLimits.maxSteps;
+    if (ref.error && !refBudget) {
+        out.status = DiffStatus::RefError;
+        out.detail = ref.errorText;
+        return out;
+    }
+    if (refBudget) {
+        // Only convict the interpreter if the compiled pipeline can
+        // actually finish the program within its own budget; when both
+        // engines run out, the program is just too heavy to decide.
+        sim::RunResult sim;
+        try {
+            sim = sim::runToHalt(program, input,
+                                 limits.maxInstructions);
+        } catch (const std::exception &e) {
+            out.status = DiffStatus::SimError;
+            out.detail = e.what();
+            return out;
+        }
+        if (sim.halted) {
+            out.status = DiffStatus::RefError;
+            out.detail = ref.errorText + " (sim halted after " +
+                         std::to_string(sim.instructions) +
+                         " instructions)";
+        } else {
+            out.status = DiffStatus::Match;
+            out.detail = "undecided: both engines exceeded their "
+                         "budgets";
+        }
+        return out;
+    }
+
+    // 3. Compiled pipeline.
+    sim::RunResult sim;
+    try {
+        sim = sim::runToHalt(program, input, limits.maxInstructions);
+    } catch (const std::exception &e) {
+        out.status = DiffStatus::SimError;
+        out.detail = e.what();
+        return out;
+    }
+    out.simExit = sim.exitCode;
+    out.simOutput = sim.output;
+    if (!sim.halted) {
+        // Convict the pipeline of non-termination only when the
+        // interpreter proved the program light: at the observed ~0.65
+        // steps/instruction, a trace of maxInstructions/4 steps sits a
+        // comfortable 2.5x inside the simulator's budget. A heavier
+        // reference trace means the program may simply need more than
+        // maxInstructions instructions to finish — undecidable here.
+        if (ref.steps >= limits.maxInstructions / 4) {
+            out.status = DiffStatus::Match;
+            out.detail = "undecided: ref halted after " +
+                         std::to_string(ref.steps) +
+                         " steps but sim budget exhausted";
+            return out;
+        }
+        out.status = DiffStatus::SimError;
+        out.detail = "instruction budget exhausted after " +
+                     std::to_string(sim.instructions) +
+                     " instructions (ref halted after " +
+                     std::to_string(ref.steps) + " steps)";
+        return out;
+    }
+
+    // 4. Compare observable behaviour.
+    if (ref.exitCode != sim.exitCode ||
+        ref.output != sim.output) {
+        out.status = DiffStatus::Mismatch;
+        std::ostringstream os;
+        if (ref.exitCode != sim.exitCode) {
+            os << "exit: ref " << ref.exitCode << " vs sim "
+               << sim.exitCode << "; ";
+        }
+        if (ref.output != sim.output) {
+            os << "output: ref " << quoted(ref.output) << " vs sim "
+               << quoted(sim.output);
+        }
+        out.detail = os.str();
+        return out;
+    }
+
+    out.status = DiffStatus::Match;
+    return out;
+}
+
+} // namespace irep::fuzz

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The differential driver: run one MiniC source text through the
+ * reference interpreter and through the full compiled pipeline
+ * (minicc -> asm -> sim), and compare the observable behaviour —
+ * output bytes and exit status. A mismatch convicts the pipeline
+ * (codegen, assembler, or simulator); crashes in either engine are
+ * classified separately.
+ */
+
+#ifndef IREP_FUZZ_DIFFER_HH
+#define IREP_FUZZ_DIFFER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/interp.hh"
+
+namespace irep::fuzz
+{
+
+/** Resource bounds for one differential run. */
+struct DiffLimits
+{
+    uint64_t maxInstructions = 100'000'000;     //!< simulator budget
+    InterpLimits interp;
+};
+
+enum class DiffStatus : uint8_t
+{
+    Match,          //!< both ran to completion with equal behaviour
+    Mismatch,       //!< both completed but disagree — a pipeline bug
+    CompileError,   //!< minicc/assembler rejected or crashed
+    RefError,       //!< interpreter fault or budget exhausted
+    SimError,       //!< simulator fault or budget exhausted
+};
+
+const char *diffStatusName(DiffStatus status);
+
+/** Everything observed from one differential run. */
+struct DiffOutcome
+{
+    DiffStatus status = DiffStatus::Match;
+    std::string detail;         //!< human-readable description
+    int refExit = 0;
+    int simExit = 0;
+    std::string refOutput;
+    std::string simOutput;
+};
+
+/**
+ * Compile @p source, interpret it, simulate it, compare. @p input is
+ * the byte stream served by __read to both engines. Never throws.
+ */
+DiffOutcome runDifferential(const std::string &source,
+                            const std::string &input,
+                            const DiffLimits &limits = {});
+
+} // namespace irep::fuzz
+
+#endif // IREP_FUZZ_DIFFER_HH

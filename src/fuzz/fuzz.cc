@@ -1,0 +1,138 @@
+#include "fuzz/fuzz.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "fuzz/minimize.hh"
+#include "support/logging.hh"
+
+namespace irep::fuzz
+{
+
+namespace
+{
+
+/** Detail text with digits removed, so compile errors can be compared
+ *  across minimization steps even as line numbers shift. */
+std::string
+stripDigits(const std::string &text)
+{
+    std::string out;
+    for (char c : text)
+        if (c < '0' || c > '9')
+            out += c;
+    return out;
+}
+
+/** Write a minimized repro (source + optional input) to disk. */
+std::string
+dumpRepro(const FuzzOptions &options, uint64_t seed,
+          const GenProgram &program, const DiffOutcome &outcome,
+          std::ostream &log)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(options.reproDir, ec);
+    if (ec) {
+        log << "  (cannot create repro dir '" << options.reproDir
+            << "': " << ec.message() << ")\n";
+        return "";
+    }
+
+    const std::string stem =
+        options.reproDir + "/repro_seed" + std::to_string(seed);
+    const std::string mcPath = stem + ".mc";
+    std::ofstream mc(mcPath);
+    mc << "// irep fuzz repro — seed " << seed << "\n"
+       << "// status: " << diffStatusName(outcome.status) << "\n"
+       << "// " << outcome.detail << "\n";
+    if (!program.input.empty()) {
+        mc << "// input file: repro_seed" << seed << ".in\n";
+        std::ofstream in(stem + ".in", std::ios::binary);
+        in.write(program.input.data(),
+                 std::streamsize(program.input.size()));
+    }
+    mc << program.render();
+    if (!mc) {
+        log << "  (failed writing " << mcPath << ")\n";
+        return "";
+    }
+    return mcPath;
+}
+
+} // namespace
+
+FuzzReport
+runFuzz(const FuzzOptions &options, std::ostream &log)
+{
+    FuzzReport report;
+    DiffLimits limits;
+    limits.maxInstructions = options.maxInstructions;
+    limits.interp = options.interp;
+
+    for (int i = 0; i < options.count; ++i) {
+        const uint64_t seed = options.seed + uint64_t(i);
+        GenOptions gen;
+        gen.seed = seed;
+        gen.maxStmts = options.maxStmts;
+
+        const GenProgram program = generateProgram(gen);
+        const DiffOutcome outcome =
+            runDifferential(program.render(), program.input, limits);
+
+        ++report.total;
+        if (outcome.status == DiffStatus::Match) {
+            ++report.matches;
+            if (options.logEach) {
+                log << "seed " << seed << ": match ("
+                    << outcome.refOutput.size() << " output bytes)\n";
+            }
+            continue;
+        }
+
+        log << "seed " << seed << ": "
+            << diffStatusName(outcome.status) << " — "
+            << outcome.detail << "\n";
+
+        // Minimize while the same failure persists, then dump. For
+        // compile errors the message itself (minus line numbers) must
+        // survive: otherwise removing a referenced declaration would
+        // "reproduce" via an unrelated undeclared-identifier error.
+        const DiffStatus want = outcome.status;
+        const std::string wantDetail = stripDigits(outcome.detail);
+        const GenProgram minimal = minimizeProgram(
+            program, [&](const GenProgram &candidate) {
+                const DiffOutcome got = runDifferential(
+                    candidate.render(), candidate.input, limits);
+                if (got.status != want)
+                    return false;
+                if (want == DiffStatus::CompileError)
+                    return stripDigits(got.detail) == wantDetail;
+                return true;
+            });
+        const DiffOutcome finalOutcome = runDifferential(
+            minimal.render(), minimal.input, limits);
+
+        FuzzFailure failure;
+        failure.seed = seed;
+        failure.status = finalOutcome.status;
+        failure.detail = finalOutcome.detail;
+        failure.reproPath =
+            dumpRepro(options, seed, minimal, finalOutcome, log);
+        if (!failure.reproPath.empty()) {
+            log << "  minimized repro (" << minimal.chunkCount()
+                << " chunks): " << failure.reproPath << "\n";
+        }
+        report.failures.push_back(std::move(failure));
+    }
+
+    log << "fuzz: " << report.matches << "/" << report.total
+        << " programs match";
+    if (!report.failures.empty())
+        log << ", " << report.failures.size() << " failure(s)";
+    log << "\n";
+    return report;
+}
+
+} // namespace irep::fuzz

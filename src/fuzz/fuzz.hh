@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The fuzz campaign driver behind `irep fuzz`: generate N seeded
+ * programs, run each differentially (reference interpreter vs the
+ * compiled minicc->asm->sim pipeline), and for every failure minimize
+ * the program and dump a standalone `.mc` repro (plus a `.in` input
+ * file when the program consumes input).
+ */
+
+#ifndef IREP_FUZZ_FUZZ_HH
+#define IREP_FUZZ_FUZZ_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.hh"
+
+namespace irep::fuzz
+{
+
+/** Campaign configuration (see `irep fuzz --help`). */
+struct FuzzOptions
+{
+    uint64_t seed = 1;          //!< first seed; program i uses seed+i
+    int count = 100;            //!< number of programs
+    int maxStmts = 24;          //!< statement budget per program
+    std::string reproDir = "fuzz-repros";   //!< where repros go
+    uint64_t maxInstructions = 100'000'000;
+    InterpLimits interp;        //!< reference-interpreter bounds
+    bool logEach = false;       //!< one line per program
+};
+
+/** One failed program (after minimization). */
+struct FuzzFailure
+{
+    uint64_t seed = 0;
+    DiffStatus status = DiffStatus::Mismatch;
+    std::string detail;
+    std::string reproPath;      //!< empty when the dump failed
+};
+
+struct FuzzReport
+{
+    int total = 0;
+    int matches = 0;
+    std::vector<FuzzFailure> failures;
+
+    bool ok() const { return matches == total; }
+};
+
+/**
+ * Run one campaign, logging progress and failures to @p log.
+ * Deterministic for fixed options.
+ */
+FuzzReport runFuzz(const FuzzOptions &options, std::ostream &log);
+
+} // namespace irep::fuzz
+
+#endif // IREP_FUZZ_FUZZ_HH

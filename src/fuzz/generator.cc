@@ -1,0 +1,1195 @@
+#include "fuzz/generator.hh"
+
+#include <sstream>
+
+namespace irep::fuzz
+{
+
+namespace
+{
+
+/** splitmix64: tiny, seedable, and stable across platforms. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed)
+        : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, n). n must be > 0. */
+    uint32_t below(uint32_t n) { return uint32_t(next() % n); }
+
+    /** Uniform in [lo, hi] inclusive. */
+    int
+    range(int lo, int hi)
+    {
+        return lo + int(below(uint32_t(hi - lo + 1)));
+    }
+
+    bool chance(int percent) { return below(100) < uint32_t(percent); }
+
+  private:
+    uint64_t state_;
+};
+
+/** What a name in scope denotes (with pointer provenance). */
+struct VarInfo
+{
+    enum Kind
+    {
+        Int,
+        Char,
+        IntArr,
+        CharArr,
+        PtrInt,     //!< int* into a known int array
+        PtrChar,    //!< char* into a known char array / string
+        StructV,
+        StructArr,
+        PtrStruct,  //!< struct* at a known struct var / array element
+    };
+
+    std::string name;
+    Kind kind = Int;
+    int count = 0;          //!< element count for arrays (power of two)
+    int structIdx = -1;
+    std::string prov;       //!< pointers: name of the target object
+    int provCount = 0;      //!< pointers into arrays: target's count
+    bool readable = true;   //!< false until stored (local aggregates)
+    /** Never select as an assignment/incdec target. Set for loop
+     *  counters and the recursion guard parameter: overwriting either
+     *  would destroy the termination argument (the guard must strictly
+     *  decrease; a counter set to INT_MIN loops for ~2^32 steps). */
+    bool noWrite = false;
+};
+
+struct MemberInfo
+{
+    std::string name;
+    bool isChar = false;
+    int arr = 0;    //!< element count when the member is an array
+};
+
+struct StructInfo
+{
+    std::string name;
+    std::vector<MemberInfo> members;
+};
+
+struct HelperInfo
+{
+    std::string name;
+    bool retChar = false;
+    /** Parameter kinds: 0 int, 1 char, 2 int* (>= 8 elems),
+     *  3 char* (>= 8 elems). */
+    std::vector<int> params;
+    bool recursive = false;
+};
+
+class Generator
+{
+  public:
+    explicit Generator(const GenOptions &options)
+        : opts_(options), rng_(options.seed)
+    {}
+
+    GenProgram run();
+
+  private:
+    // --- naming --------------------------------------------------------
+    std::string
+    fresh(const char *stem)
+    {
+        return std::string(stem) + std::to_string(nameCounter_++);
+    }
+
+    // --- scope helpers -------------------------------------------------
+    using Scope = std::vector<VarInfo>;
+
+    std::vector<const VarInfo *>
+    pick(const Scope &scope, VarInfo::Kind kind,
+         bool need_readable) const
+    {
+        std::vector<const VarInfo *> out;
+        for (const VarInfo &v : scope) {
+            if (v.kind == kind && (!need_readable || v.readable))
+                out.push_back(&v);
+        }
+        return out;
+    }
+
+    const VarInfo *
+    any(const Scope &scope, VarInfo::Kind kind, bool need_readable)
+    {
+        auto c = pick(scope, kind, need_readable);
+        if (c.empty())
+            return nullptr;
+        return c[rng_.below(uint32_t(c.size()))];
+    }
+
+    // --- expressions ---------------------------------------------------
+    std::string literal();
+    std::string intAtom(const Scope &scope, bool pure);
+    std::string intExpr(const Scope &scope, int depth, bool pure);
+    std::string condExpr(const Scope &scope, int depth, bool pure);
+    std::string intLValue(const Scope &scope, bool &found);
+    std::string charLValue(const Scope &scope, bool &found);
+    std::string callExpr(const Scope &scope, int depth);
+
+    // --- statements ----------------------------------------------------
+    void stmt(std::ostream &os, Scope &scope, int &budget,
+              int loop_depth, const std::string &ind);
+    void declChunk(std::ostream &os, Scope &scope, int &budget,
+                   const std::string &ind);
+    void loopStmt(std::ostream &os, Scope &scope, int &budget,
+                  int loop_depth, const std::string &ind);
+    void body(std::ostream &os, Scope &scope, int budget,
+              const std::string &ind);
+
+    // --- top level -----------------------------------------------------
+    void genStructs(GenProgram &out);
+    void genGlobals(GenProgram &out);
+    void genHelpers(GenProgram &out);
+    void genMain(GenProgram &out);
+
+    GenOptions opts_;
+    Rng rng_;
+    int nameCounter_ = 0;
+    std::vector<StructInfo> structs_;
+    Scope globals_;
+    std::vector<HelperInfo> helpers_;
+    size_t inputBytes_ = 0;     //!< bytes consumed via __read so far
+};
+
+// -----------------------------------------------------------------------
+// Expressions
+// -----------------------------------------------------------------------
+
+std::string
+Generator::literal()
+{
+    switch (rng_.below(8)) {
+      case 0:
+        return std::to_string(rng_.below(10));
+      case 1:
+        return std::to_string(rng_.below(256));
+      case 2:
+        return std::to_string(int32_t(rng_.next()));
+      case 3:
+        return "0x" + [&] {
+            std::ostringstream os;
+            os << std::hex << rng_.next() % 0x100000000ull;
+            return os.str();
+        }();
+      case 4:
+        return "0x7fffffff";
+      case 5:
+        return "0x80000000";
+      case 6:
+        return "(-" + std::to_string(rng_.below(1000) + 1) + ")";
+      default:
+        return std::to_string(rng_.below(65536));
+    }
+}
+
+std::string
+Generator::intAtom(const Scope &scope, bool pure)
+{
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        switch (rng_.below(10)) {
+          case 0:
+          case 1:
+            return literal();
+          case 2: {
+            const VarInfo *v = any(scope, VarInfo::Int, true);
+            if (v)
+                return v->name;
+            break;
+          }
+          case 3: {
+            const VarInfo *v = any(scope, VarInfo::Char, true);
+            if (v)
+                return v->name;
+            break;
+          }
+          case 4:
+            return "g_chk";
+          case 5: {
+            const VarInfo *v = rng_.chance(50)
+                ? any(scope, VarInfo::IntArr, true)
+                : any(scope, VarInfo::CharArr, true);
+            if (v) {
+                return v->name + "[" + intAtom(scope, pure) + " & " +
+                       std::to_string(v->count - 1) + "]";
+            }
+            break;
+          }
+          case 6: {
+            const VarInfo *v = rng_.chance(50)
+                ? any(scope, VarInfo::PtrInt, true)
+                : any(scope, VarInfo::PtrChar, true);
+            if (v)
+                return "(*" + v->name + ")";
+            break;
+          }
+          case 7: {
+            const VarInfo *v = any(scope, VarInfo::StructV, true);
+            if (v && !structs_[size_t(v->structIdx)].members.empty()) {
+                const auto &ms =
+                    structs_[size_t(v->structIdx)].members;
+                const MemberInfo &m = ms[rng_.below(
+                    uint32_t(ms.size()))];
+                if (m.arr) {
+                    return v->name + "." + m.name + "[" +
+                           intAtom(scope, pure) + " & " +
+                           std::to_string(m.arr - 1) + "]";
+                }
+                return v->name + "." + m.name;
+            }
+            break;
+          }
+          case 8: {
+            const VarInfo *v = any(scope, VarInfo::PtrStruct, true);
+            if (v) {
+                const auto &ms =
+                    structs_[size_t(v->structIdx)].members;
+                const MemberInfo &m = ms[rng_.below(
+                    uint32_t(ms.size()))];
+                if (m.arr)
+                    break;      // keep pointer-member access simple
+                return v->name + "->" + m.name;
+            }
+            break;
+          }
+          case 9:
+            switch (rng_.below(4)) {
+              case 0:
+                return "sizeof(int)";
+              case 1:
+                return "sizeof(char)";
+              case 2:
+                return "sizeof(int *)";
+              default:
+                if (!structs_.empty()) {
+                    return "sizeof(struct " +
+                           structs_[rng_.below(uint32_t(
+                               structs_.size()))].name + ")";
+                }
+                return "sizeof(int)";
+            }
+        }
+    }
+    return literal();
+}
+
+std::string
+Generator::callExpr(const Scope &scope, int depth)
+{
+    if (helpers_.empty())
+        return "";
+    const HelperInfo &h =
+        helpers_[rng_.below(uint32_t(helpers_.size()))];
+    std::string call = h.name + "(";
+    for (size_t i = 0; i < h.params.size(); ++i) {
+        if (i)
+            call += ", ";
+        switch (h.params[i]) {
+          case 0:
+            // A recursive helper's first parameter is its decreasing
+            // depth guard; keep it a small literal.
+            if (h.recursive && i == 0)
+                call += std::to_string(rng_.range(0, 6));
+            else
+                call += intExpr(scope, depth - 1, true);
+            break;
+          case 1:
+            call += intExpr(scope, depth - 1, true);
+            break;
+          case 2:
+          case 3: {
+            const VarInfo *arr = any(scope,
+                                     h.params[i] == 2
+                                         ? VarInfo::IntArr
+                                         : VarInfo::CharArr,
+                                     true);
+            if (arr && arr->count >= 8)
+                call += arr->name;
+            else
+                return "";  // no suitable argument in scope
+            break;
+          }
+        }
+    }
+    return call + ")";
+}
+
+std::string
+Generator::intExpr(const Scope &scope, int depth, bool pure)
+{
+    if (depth <= 0)
+        return intAtom(scope, pure);
+
+    switch (rng_.below(14)) {
+      case 0:
+        return intAtom(scope, pure);
+      case 1:
+      case 2: {
+        static const char *const ops[] = {"+", "-", "*", "/", "%",
+                                          "&", "|", "^"};
+        return "(" + intExpr(scope, depth - 1, pure) + " " +
+               ops[rng_.below(8)] + " " +
+               intExpr(scope, depth - 1, pure) + ")";
+      }
+      case 3: {
+        // Literal shift counts stay in 0..31; variable counts are
+        // wrapped mod 32 by the machine (sllv/srav) either way.
+        const char *op = rng_.chance(50) ? "<<" : ">>";
+        if (rng_.chance(50)) {
+            return "(" + intExpr(scope, depth - 1, pure) + " " + op +
+                   " " + std::to_string(rng_.below(32)) + ")";
+        }
+        return "(" + intExpr(scope, depth - 1, pure) + " " + op +
+               " " + intExpr(scope, depth - 1, pure) + ")";
+      }
+      case 4: {
+        static const char *const ops[] = {"==", "!=", "<",
+                                          ">",  "<=", ">="};
+        return "(" + intExpr(scope, depth - 1, pure) + " " +
+               ops[rng_.below(6)] + " " +
+               intExpr(scope, depth - 1, pure) + ")";
+      }
+      case 5: {
+        // The space matters: `-` next to an operand that begins with a
+        // negative literal would otherwise paste into a `--` token.
+        static const char *const ops[] = {"-", "~", "!"};
+        return "(" + std::string(ops[rng_.below(3)]) + " " +
+               intExpr(scope, depth - 1, pure) + ")";
+      }
+      case 6:
+        return "(" + condExpr(scope, depth - 1, pure) + " ? " +
+               intExpr(scope, depth - 1, pure) + " : " +
+               intExpr(scope, depth - 1, pure) + ")";
+      case 7: {
+        const char *op = rng_.chance(50) ? "&&" : "||";
+        return "(" + condExpr(scope, depth - 1, pure) + " " + op +
+               " " + condExpr(scope, depth - 1, pure) + ")";
+      }
+      case 8:
+        return "((char)" + intExpr(scope, depth - 1, pure) + ")";
+      case 9: {
+        // Same-provenance pointer difference / comparison.
+        auto ptrs = pick(scope, VarInfo::PtrInt, false);
+        auto cptrs = pick(scope, VarInfo::PtrChar, false);
+        for (const VarInfo *p : cptrs)
+            ptrs.push_back(p);
+        for (const VarInfo *p : ptrs) {
+            for (const VarInfo *q : ptrs) {
+                if (p != q && p->prov == q->prov) {
+                    static const char *const ops[] = {"-",  "==",
+                                                      "!=", "<"};
+                    return "(" + p->name + " " + ops[rng_.below(4)] +
+                           " " + q->name + ")";
+                }
+            }
+        }
+        return intAtom(scope, pure);
+      }
+      case 10: {
+        if (pure)
+            return intAtom(scope, pure);
+        const std::string call = callExpr(scope, depth);
+        if (!call.empty())
+            return call;
+        return intAtom(scope, pure);
+      }
+      case 11: {
+        // Assignment as an expression (its value is the bug bait for
+        // char narrowing).
+        if (pure)
+            return intAtom(scope, pure);
+        bool found = false;
+        const std::string lv = rng_.chance(40)
+            ? charLValue(scope, found)
+            : intLValue(scope, found);
+        if (!found)
+            return intAtom(scope, pure);
+        return "(" + lv + " = " + intExpr(scope, depth - 1, pure) +
+               ")";
+      }
+      case 12: {
+        if (pure)
+            return intAtom(scope, pure);
+        bool found = false;
+        const std::string lv = rng_.chance(40)
+            ? charLValue(scope, found)
+            : intLValue(scope, found);
+        if (!found)
+            return intAtom(scope, pure);
+        const char *op = rng_.chance(50) ? "++" : "--";
+        return rng_.chance(50) ? "(" + lv + op + ")"
+                               : "(" + std::string(op) + lv + ")";
+      }
+      default:
+        return "(" + intExpr(scope, depth - 1, pure) + " + " +
+               intExpr(scope, depth - 1, pure) + ")";
+    }
+}
+
+std::string
+Generator::condExpr(const Scope &scope, int depth, bool pure)
+{
+    if (rng_.chance(60)) {
+        static const char *const ops[] = {"==", "!=", "<",
+                                          ">",  "<=", ">="};
+        return intExpr(scope, depth, pure) + " " + ops[rng_.below(6)] +
+               " " + intExpr(scope, depth, pure);
+    }
+    return intExpr(scope, depth, pure);
+}
+
+std::string
+Generator::intLValue(const Scope &scope, bool &found)
+{
+    found = true;
+    for (int attempt = 0; attempt < 6; ++attempt) {
+        switch (rng_.below(4)) {
+          case 0: {
+            const VarInfo *v = any(scope, VarInfo::Int, false);
+            if (v && v->name != "g_chk" && !v->noWrite)
+                return v->name;
+            break;
+          }
+          case 1: {
+            const VarInfo *v = any(scope, VarInfo::IntArr, true);
+            if (v) {
+                return v->name + "[" + intAtom(scope, true) + " & " +
+                       std::to_string(v->count - 1) + "]";
+            }
+            break;
+          }
+          case 2: {
+            const VarInfo *v = any(scope, VarInfo::PtrInt, true);
+            if (v)
+                return "(*" + v->name + ")";
+            break;
+          }
+          case 3: {
+            const VarInfo *v = any(scope, VarInfo::StructV, false);
+            if (v) {
+                for (const MemberInfo &m :
+                     structs_[size_t(v->structIdx)].members) {
+                    if (!m.isChar && !m.arr)
+                        return v->name + "." + m.name;
+                }
+            }
+            break;
+          }
+        }
+    }
+    found = false;
+    return "";
+}
+
+std::string
+Generator::charLValue(const Scope &scope, bool &found)
+{
+    found = true;
+    for (int attempt = 0; attempt < 6; ++attempt) {
+        switch (rng_.below(3)) {
+          case 0: {
+            const VarInfo *v = any(scope, VarInfo::Char, false);
+            if (v && !v->noWrite)
+                return v->name;
+            break;
+          }
+          case 1: {
+            const VarInfo *v = any(scope, VarInfo::CharArr, true);
+            if (v) {
+                return v->name + "[" + intAtom(scope, true) + " & " +
+                       std::to_string(v->count - 1) + "]";
+            }
+            break;
+          }
+          case 2: {
+            const VarInfo *v = any(scope, VarInfo::PtrChar, true);
+            if (v)
+                return "(*" + v->name + ")";
+            break;
+          }
+        }
+    }
+    found = false;
+    return "";
+}
+
+// -----------------------------------------------------------------------
+// Statements
+// -----------------------------------------------------------------------
+
+/** Declare a fresh variable (with safe initialization) in scope. */
+void
+Generator::declChunk(std::ostream &os, Scope &scope, int &budget,
+                     const std::string &ind)
+{
+    const int d = opts_.maxDepth;
+    switch (rng_.below(9)) {
+      case 0: {
+        VarInfo v;
+        v.name = fresh("v");
+        v.kind = VarInfo::Int;
+        os << ind << "int " << v.name << " = "
+           << intExpr(scope, d - 1, false) << ";\n";
+        scope.push_back(v);
+        break;
+      }
+      case 1: {
+        VarInfo v;
+        v.name = fresh("c");
+        v.kind = VarInfo::Char;
+        os << ind << "char " << v.name << " = "
+           << intExpr(scope, d - 1, false) << ";\n";
+        scope.push_back(v);
+        break;
+      }
+      case 2:
+      case 3: {
+        // Array with an initialization loop (frame memory is reused
+        // between calls in the compiled pipeline, so local aggregates
+        // must be stored before they are read).
+        VarInfo v;
+        v.name = fresh("a");
+        const bool is_char = rng_.chance(40);
+        v.kind = is_char ? VarInfo::CharArr : VarInfo::IntArr;
+        v.count = 1 << rng_.range(3, 5);
+        v.readable = true;
+        const std::string i = fresh("i");
+        os << ind << (is_char ? "char " : "int ") << v.name << "["
+           << v.count << "];\n";
+        os << ind << "for (int " << i << " = 0; " << i << " < "
+           << v.count << "; " << i << "++) { " << v.name << "[" << i
+           << "] = " << (is_char ? "(char)(" : "(") << i << " * "
+           << rng_.range(1, 99) << " + " << rng_.range(0, 999)
+           << "); }\n";
+        scope.push_back(v);
+        break;
+      }
+      case 4: {
+        // Pointer anchored into an array already in scope.
+        const bool is_char = rng_.chance(40);
+        const VarInfo *arr = any(scope,
+                                 is_char ? VarInfo::CharArr
+                                         : VarInfo::IntArr,
+                                 true);
+        if (!arr)
+            break;
+        VarInfo v;
+        v.name = fresh("p");
+        v.kind = is_char ? VarInfo::PtrChar : VarInfo::PtrInt;
+        v.prov = arr->name;
+        v.provCount = arr->count;
+        os << ind << (is_char ? "char *" : "int *") << v.name
+           << " = &" << arr->name << "[" << intAtom(scope, true)
+           << " & " << arr->count - 1 << "];\n";
+        scope.push_back(v);
+        break;
+      }
+      case 5: {
+        // Local struct: declare, store every member, mark readable.
+        if (structs_.empty())
+            break;
+        const int si = int(rng_.below(uint32_t(structs_.size())));
+        const StructInfo &s = structs_[size_t(si)];
+        VarInfo v;
+        v.name = fresh("s");
+        v.kind = VarInfo::StructV;
+        v.structIdx = si;
+        v.readable = true;
+        os << ind << "struct " << s.name << " " << v.name << ";\n";
+        for (const MemberInfo &m : s.members) {
+            if (m.arr) {
+                const std::string i = fresh("i");
+                os << ind << "for (int " << i << " = 0; " << i
+                   << " < " << m.arr << "; " << i << "++) { "
+                   << v.name << "." << m.name << "[" << i << "] = "
+                   << i << " + " << rng_.range(0, 99) << "; }\n";
+            } else {
+                os << ind << v.name << "." << m.name << " = "
+                   << intExpr(scope, d - 1, false) << ";\n";
+            }
+        }
+        scope.push_back(v);
+        break;
+      }
+      case 6: {
+        // Struct pointer at a readable struct variable.
+        const VarInfo *sv = any(scope, VarInfo::StructV, true);
+        if (!sv)
+            break;
+        VarInfo v;
+        v.name = fresh("q");
+        v.kind = VarInfo::PtrStruct;
+        v.structIdx = sv->structIdx;
+        v.prov = sv->name;
+        os << ind << "struct "
+           << structs_[size_t(sv->structIdx)].name << " *" << v.name
+           << " = &" << sv->name << ";\n";
+        scope.push_back(v);
+        break;
+      }
+      case 7: {
+        // Heap chunk from __sbrk (fresh pages read as zero in both
+        // the simulator and the interpreter).
+        VarInfo v;
+        v.name = fresh("hp");
+        v.kind = VarInfo::PtrInt;
+        v.prov = v.name;    // its own provenance domain
+        v.provCount = 16;
+        os << ind << "int *" << v.name
+           << " = (int *) __sbrk(64);\n";
+        const std::string i = fresh("i");
+        os << ind << "for (int " << i << " = 0; " << i
+           << " < 16; " << i << "++) { " << v.name << "[" << i
+           << "] = " << i << " * " << rng_.range(1, 99) << "; }\n";
+        // Expose it as a 16-element int array for later statements.
+        VarInfo arr = v;
+        arr.kind = VarInfo::IntArr;
+        arr.count = 16;
+        scope.push_back(arr);
+        break;
+      }
+      case 8: {
+        // String literal bound to a char*; length 7 so index & 7
+        // stays inside the body + NUL.
+        VarInfo v;
+        v.name = fresh("str");
+        v.kind = VarInfo::CharArr;  // indexable like an array
+        v.count = 8;
+        static const char *const alphabet =
+            "abcdefghijklmnopqrstuvwxyz";
+        std::string lit;
+        for (int i = 0; i < 7; ++i)
+            lit += alphabet[rng_.below(26)];
+        os << ind << "char *" << v.name << " = \"" << lit
+           << "\";\n";
+        scope.push_back(v);
+        break;
+      }
+    }
+    --budget;
+}
+
+void
+Generator::loopStmt(std::ostream &os, Scope &scope, int &budget,
+                    int loop_depth, const std::string &ind)
+{
+    const int kind = rng_.below(3);
+    const int bound = rng_.range(1, 10);
+    const std::string inner_ind = ind + "    ";
+
+    // The loop body runs with a private scope copy so its
+    // declarations do not leak out of the braces.
+    Scope inner = scope;
+    std::ostringstream bodyText;
+    int inner_budget = budget > 4 ? 4 : budget;
+    budget -= inner_budget + 1;
+    if (kind == 0) {
+        const std::string i = fresh("i");
+        VarInfo vi;
+        vi.name = i;
+        vi.kind = VarInfo::Int;
+        vi.noWrite = true;
+        inner.push_back(vi);
+        while (inner_budget > 0)
+            stmt(bodyText, inner, inner_budget, loop_depth + 1,
+                 inner_ind);
+        os << ind << "for (int " << i << " = 0; " << i << " < "
+           << bound << "; " << i << "++) {\n"
+           << bodyText.str() << ind << "}\n";
+        return;
+    }
+
+    // while / do-while drive an explicit counter; `continue` must not
+    // be generated here (it would skip the decrement), which stmt()
+    // guarantees by only emitting continue under a for loop. Pass
+    // loop_depth 0 inside so neither break nor continue is emitted —
+    // break is fine semantically but keeping the counter pattern
+    // canonical keeps termination trivially provable.
+    const std::string w = fresh("w");
+    while (inner_budget > 0)
+        stmt(bodyText, inner, inner_budget, 0, inner_ind);
+    if (kind == 1) {
+        os << ind << "int " << w << " = " << bound << ";\n"
+           << ind << "while (" << w << " > 0) {\n"
+           << bodyText.str() << inner_ind << w << " = " << w
+           << " - 1;\n"
+           << ind << "}\n";
+    } else {
+        os << ind << "int " << w << " = " << bound << ";\n"
+           << ind << "do {\n"
+           << bodyText.str() << inner_ind << w << " = " << w
+           << " - 1;\n"
+           << ind << "} while (" << w << " > 0);\n";
+    }
+}
+
+void
+Generator::stmt(std::ostream &os, Scope &scope, int &budget,
+                int loop_depth, const std::string &ind)
+{
+    if (budget <= 0)
+        return;
+    const int d = opts_.maxDepth;
+
+    switch (rng_.below(12)) {
+      case 0:
+      case 1:
+        os << ind << "mix(" << intExpr(scope, d, false) << ");\n";
+        --budget;
+        return;
+      case 2: {
+        bool found = false;
+        const std::string lv = rng_.chance(35)
+            ? charLValue(scope, found)
+            : intLValue(scope, found);
+        if (!found)
+            break;
+        os << ind << lv << " = " << intExpr(scope, d, false)
+           << ";\n";
+        --budget;
+        return;
+      }
+      case 3: {
+        // Compound assignment: rhs must be side-effect-free (see
+        // generator.hh).
+        bool found = false;
+        const std::string lv = rng_.chance(35)
+            ? charLValue(scope, found)
+            : intLValue(scope, found);
+        if (!found)
+            break;
+        static const char *const ops[] = {"+=", "-=", "*=", "/=",
+                                          "%=", "&=", "|=", "^=",
+                                          "<<=", ">>="};
+        os << ind << lv << " " << ops[rng_.below(10)] << " "
+           << intExpr(scope, d - 1, true) << ";\n";
+        --budget;
+        return;
+      }
+      case 4: {
+        bool found = false;
+        const std::string lv = rng_.chance(50)
+            ? charLValue(scope, found)
+            : intLValue(scope, found);
+        if (!found)
+            break;
+        os << ind << lv << (rng_.chance(50) ? "++" : "--") << ";\n";
+        --budget;
+        return;
+      }
+      case 5: {
+        // if / if-else
+        std::ostringstream thenText, elseText;
+        int half = budget > 3 ? 3 : budget;
+        budget -= half + 1;
+        Scope inner = scope;
+        while (half > 0)
+            stmt(thenText, inner, half, loop_depth, ind + "    ");
+        os << ind << "if (" << condExpr(scope, d - 1, false)
+           << ") {\n"
+           << thenText.str() << ind << "}";
+        if (rng_.chance(50) && budget > 0) {
+            int other = budget > 2 ? 2 : budget;
+            budget -= other;
+            Scope inner2 = scope;
+            while (other > 0)
+                stmt(elseText, inner2, other, loop_depth,
+                     ind + "    ");
+            os << " else {\n" << elseText.str() << ind << "}";
+        }
+        os << "\n";
+        return;
+      }
+      case 6:
+        loopStmt(os, scope, budget, loop_depth, ind);
+        return;
+      case 7:
+        if (loop_depth > 0 && rng_.chance(60)) {
+            os << ind << "if (" << condExpr(scope, d - 1, true)
+               << ") { "
+               << (rng_.chance(50) ? "break" : "continue")
+               << "; }\n";
+            --budget;
+            return;
+        }
+        break;
+      case 8:
+      case 9:
+        declChunk(os, scope, budget, ind);
+        return;
+      case 10: {
+        const std::string call = callExpr(scope, d);
+        if (call.empty())
+            break;
+        os << ind << "mix(" << call << ");\n";
+        --budget;
+        return;
+      }
+      case 11: {
+        // __read into a pre-zeroed buffer: the tail past the bytes
+        // actually delivered reads as zero on both sides.
+        VarInfo v;
+        v.name = fresh("rb");
+        v.kind = VarInfo::CharArr;
+        v.count = 16;
+        const std::string i = fresh("i");
+        const std::string n = fresh("n");
+        os << ind << "char " << v.name << "[16];\n"
+           << ind << "for (int " << i << " = 0; " << i
+           << " < 16; " << i << "++) { " << v.name << "[" << i
+           << "] = 0; }\n"
+           << ind << "int " << n << " = __read(" << v.name
+           << ", 16);\n"
+           << ind << "mix(" << n << ");\n";
+        scope.push_back(v);
+        VarInfo nv;
+        nv.name = n;
+        nv.kind = VarInfo::Int;
+        scope.push_back(nv);
+        inputBytes_ += 16;
+        budget -= 2;
+        return;
+      }
+    }
+
+    // Fallback so the budget always drains.
+    os << ind << "mix(" << intExpr(scope, d - 1, false) << ");\n";
+    --budget;
+}
+
+void
+Generator::body(std::ostream &os, Scope &scope, int budget,
+                const std::string &ind)
+{
+    while (budget > 0)
+        stmt(os, scope, budget, 0, ind);
+}
+
+// -----------------------------------------------------------------------
+// Top level
+// -----------------------------------------------------------------------
+
+void
+Generator::genStructs(GenProgram &out)
+{
+    const int n = rng_.range(0, 2);
+    for (int s = 0; s < n; ++s) {
+        StructInfo info;
+        info.name = fresh("S");
+        std::ostringstream os;
+        os << "struct " << info.name << " {\n";
+        const int members = rng_.range(1, 4);
+        for (int m = 0; m < members; ++m) {
+            MemberInfo mi;
+            mi.name = fresh("m");
+            switch (rng_.below(4)) {
+              case 0:
+                mi.isChar = true;
+                os << "    char " << mi.name << ";\n";
+                break;
+              case 1:
+                mi.arr = 4;
+                os << "    int " << mi.name << "[4];\n";
+                break;
+              default:
+                os << "    int " << mi.name << ";\n";
+            }
+            info.members.push_back(mi);
+        }
+        os << "};\n";
+        structs_.push_back(info);
+        out.structs.push_back(os.str());
+    }
+}
+
+void
+Generator::genGlobals(GenProgram &out)
+{
+    const int n = rng_.range(2, opts_.maxGlobals);
+    for (int g = 0; g < n; ++g) {
+        VarInfo v;
+        std::ostringstream os;
+        switch (rng_.below(8)) {
+          case 0:
+          case 1:
+            v.name = fresh("g");
+            v.kind = VarInfo::Int;
+            if (rng_.chance(70)) {
+                os << "int " << v.name << " = "
+                   << int32_t(rng_.next()) << ";\n";
+            } else {
+                os << "int " << v.name << ";\n";
+            }
+            break;
+          case 2:
+            v.name = fresh("gc");
+            v.kind = VarInfo::Char;
+            os << "char " << v.name << " = " << rng_.below(256)
+               << ";\n";
+            break;
+          case 3:
+          case 4: {
+            v.name = fresh("ga");
+            v.kind = VarInfo::IntArr;
+            v.count = 1 << rng_.range(3, 4);
+            os << "int " << v.name << "[" << v.count << "]";
+            if (rng_.chance(60)) {
+                os << " = {";
+                for (int i = 0; i < v.count; ++i) {
+                    if (i)
+                        os << ", ";
+                    os << int32_t(rng_.next() % 100000);
+                }
+                os << "}";
+            }
+            os << ";\n";
+            break;
+          }
+          case 5: {
+            // char array with a string initializer, padded with NULs
+            // to the declared (power-of-two) size.
+            v.name = fresh("gs");
+            v.kind = VarInfo::CharArr;
+            v.count = 16;
+            std::string lit;
+            const int len = rng_.range(1, 15);
+            for (int i = 0; i < len; ++i)
+                lit += char('a' + rng_.below(26));
+            os << "char " << v.name << "[16] = \"" << lit
+               << "\";\n";
+            break;
+          }
+          case 6: {
+            // char* at an interned string literal (length 7 + NUL
+            // = 8 bytes, so & 7 indexing stays in bounds).
+            v.name = fresh("gp");
+            v.kind = VarInfo::CharArr;
+            v.count = 8;
+            std::string lit;
+            for (int i = 0; i < 7; ++i)
+                lit += char('a' + rng_.below(26));
+            os << "char *" << v.name << " = \"" << lit << "\";\n";
+            break;
+          }
+          case 7: {
+            // Global struct: uninitialized, so it reads as zeros on
+            // both sides (the data segment is zero-filled).
+            if (structs_.empty()) {
+                v.name = fresh("g");
+                v.kind = VarInfo::Int;
+                os << "int " << v.name << " = 1;\n";
+                break;
+            }
+            const int si =
+                int(rng_.below(uint32_t(structs_.size())));
+            v.name = fresh("gt");
+            v.kind = VarInfo::StructV;
+            v.structIdx = si;
+            os << "struct " << structs_[size_t(si)].name << " "
+               << v.name << ";\n";
+            break;
+          }
+        }
+        globals_.push_back(v);
+        out.globals.push_back(os.str());
+    }
+}
+
+void
+Generator::genHelpers(GenProgram &out)
+{
+    const int n = rng_.range(1, opts_.maxHelpers);
+    for (int h = 0; h < n; ++h) {
+        HelperInfo info;
+        info.name = fresh("h");
+        // First helper of each run is recursion bait; the rest favor
+        // the char-narrowing paths in the calling convention.
+        info.recursive = (h == 0);
+        info.retChar = !info.recursive && rng_.chance(30);
+        if (info.recursive) {
+            info.params = {0, 0};
+        } else {
+            const int nparams = rng_.range(1, 3);
+            for (int p = 0; p < nparams; ++p)
+                info.params.push_back(int(rng_.below(4)));
+        }
+
+        // Body scope: params + globals; helpers may call only
+        // earlier helpers (a DAG). A recursive helper never sees
+        // itself in callExpr — its only self-call is the final
+        // `return hN(guard - 1, ...)`, so the guard strictly
+        // decreases and recursion is bounded.
+        Scope scope = globals_;
+        std::ostringstream os;
+        os << (info.retChar ? "char " : "int ") << info.name << "(";
+        static const char *const ptypes[] = {"int ", "char ",
+                                             "int *", "char *"};
+        std::vector<std::string> pnames;
+        for (size_t p = 0; p < info.params.size(); ++p) {
+            if (p)
+                os << ", ";
+            const std::string pn = fresh("x");
+            pnames.push_back(pn);
+            os << ptypes[info.params[p]] << pn;
+            VarInfo v;
+            v.name = pn;
+            if (info.recursive && p == 0)
+                v.noWrite = true;  // the guard must only decrease
+            switch (info.params[p]) {
+              case 0:
+                v.kind = VarInfo::Int;
+                break;
+              case 1:
+                v.kind = VarInfo::Char;
+                break;
+              case 2:
+                // Callers only pass arrays of >= 8 elements.
+                v.kind = VarInfo::IntArr;
+                v.count = 8;
+                break;
+              case 3:
+                v.kind = VarInfo::CharArr;
+                v.count = 8;
+                break;
+            }
+            scope.push_back(v);
+        }
+        os << ") {\n";
+
+        if (info.recursive) {
+            os << "    if (" << pnames[0] << " <= 0) { return "
+               << pnames[1] << "; }\n";
+        }
+
+        std::ostringstream bodyText;
+        body(bodyText, scope, rng_.range(2, 5), "    ");
+        os << bodyText.str();
+        if (info.recursive) {
+            os << "    return " << info.name << "(" << pnames[0]
+               << " - 1, " << intExpr(scope, 1, false) << ");\n";
+        } else {
+            os << "    return " << intExpr(scope, opts_.maxDepth, false)
+               << ";\n";
+        }
+        os << "}\n";
+
+        helpers_.push_back(info);
+        out.helpers.push_back(os.str());
+    }
+}
+
+void
+Generator::genMain(GenProgram &out)
+{
+    int budget = opts_.maxStmts;
+    while (budget > 0) {
+        // Each chunk is brace-wrapped: its locals are private, so the
+        // minimizer can delete chunks independently.
+        Scope scope = globals_;
+        std::ostringstream os;
+        int chunk = rng_.range(2, 6);
+        if (chunk > budget)
+            chunk = budget;
+        budget -= chunk;
+        os << "    {\n";
+        std::ostringstream inner;
+        while (chunk > 0)
+            stmt(inner, scope, chunk, 0, "        ");
+        os << inner.str() << "    }\n";
+        out.mainBody.push_back(os.str());
+    }
+}
+
+} // namespace
+
+std::string
+GenProgram::render() const
+{
+    std::string src;
+    for (const std::string &s : structs)
+        src += s;
+    src += "int g_chk = 0;\n";
+    for (const std::string &g : globals)
+        src += g;
+    src += "void mix(int v) { g_chk = (g_chk * 33) ^ v; }\n";
+    for (const std::string &h : helpers)
+        src += h;
+    src +=
+        "void emit_chk(void) {\n"
+        "    char buf[9];\n"
+        "    int i = 0;\n"
+        "    while (i < 8) {\n"
+        "        int d = (g_chk >> ((7 - i) * 4)) & 15;\n"
+        "        if (d < 10) { buf[i] = 48 + d; }\n"
+        "        else { buf[i] = 87 + d; }\n"
+        "        i = i + 1;\n"
+        "    }\n"
+        "    buf[8] = 10;\n"
+        "    __write(buf, 9);\n"
+        "}\n";
+    src += "int main(void) {\n";
+    for (const std::string &c : mainBody)
+        src += c;
+    src +=
+        "    emit_chk();\n"
+        "    return g_chk & 255;\n"
+        "}\n";
+    return src;
+}
+
+size_t
+GenProgram::chunkCount() const
+{
+    return structs.size() + globals.size() + helpers.size() +
+           mainBody.size();
+}
+
+GenProgram
+generateProgram(const GenOptions &options)
+{
+    Generator gen(options);
+    return gen.run();
+}
+
+namespace
+{
+
+GenProgram
+Generator::run()
+{
+    GenProgram out;
+    genStructs(out);
+    genGlobals(out);
+    genHelpers(out);
+    genMain(out);
+
+    // Input bytes for however many __read(.., 16) calls were
+    // generated; printable so repro .in files stay readable. Leave
+    // some reads short (or empty) to exercise partial reads.
+    const size_t want =
+        inputBytes_ ? rng_.below(uint32_t(inputBytes_ + 1)) : 0;
+    for (size_t i = 0; i < want; ++i)
+        out.input += char(' ' + rng_.below(95));
+    return out;
+}
+
+} // namespace
+
+} // namespace irep::fuzz

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Seeded random MiniC program generator. Produces self-contained,
+ * deterministic, memory-safe-by-construction programs exercising
+ * everything the grammar in docs/minic.md permits: wrapping int32
+ * arithmetic, char narrowing, pointers with provenance, arrays,
+ * structs, loops, recursion, short-circuit logic, the ?: operator,
+ * casts, sizeof, and the __read/__write/__sbrk intrinsics.
+ *
+ * Safety discipline (so the reference interpreter and the compiled
+ * pipeline are guaranteed to agree on well-defined behaviour):
+ *   - every array index is masked to the (power-of-two) array size
+ *   - pointers always carry provenance: they point into one known
+ *     array and are only dereferenced, differenced, or compared
+ *     against pointers into the same array
+ *   - raw pointer values never flow into observable results
+ *   - every local scalar is initialized at declaration; local
+ *     aggregates are stored before they are read
+ *   - loops have literal bounds, recursion a decreasing guard
+ *   - compound-assignment right-hand sides are side-effect-free (the
+ *     load-operate-store order around calls differs between register-
+ *     and memory-homed variables, so aliasing there is unspecified)
+ *
+ * Programs fold every result into a global checksum and print it as
+ * hex through __write, then return it from main, so any divergence
+ * in any computed value surfaces in the output or the exit status.
+ */
+
+#ifndef IREP_FUZZ_GENERATOR_HH
+#define IREP_FUZZ_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace irep::fuzz
+{
+
+/** Tuning knobs for one generated program. */
+struct GenOptions
+{
+    uint64_t seed = 1;
+    int maxStmts = 24;      //!< statement budget for main's body
+    int maxHelpers = 5;     //!< helper functions (callable DAG)
+    int maxGlobals = 8;
+    int maxDepth = 3;       //!< expression nesting depth
+};
+
+/**
+ * A generated program kept as deletable chunks so the minimizer can
+ * remove whole declarations/statement groups and re-render.
+ */
+struct GenProgram
+{
+    std::vector<std::string> structs;   //!< struct definitions
+    std::vector<std::string> globals;   //!< global declarations
+    std::vector<std::string> helpers;   //!< helper function definitions
+    std::vector<std::string> mainBody;  //!< brace-wrapped chunks in main
+    std::string input;                  //!< byte stream served by __read
+
+    /** Assemble the full translation unit (prologue + chunks). */
+    std::string render() const;
+
+    /** Total number of deletable chunks across all sections. */
+    size_t chunkCount() const;
+};
+
+/** Generate one program. Same options -> identical program. */
+GenProgram generateProgram(const GenOptions &options);
+
+} // namespace irep::fuzz
+
+#endif // IREP_FUZZ_GENERATOR_HH

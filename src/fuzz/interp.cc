@@ -1,0 +1,881 @@
+#include "fuzz/interp.hh"
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "asm/program.hh"
+#include "minicc/sema.hh"
+#include "sim/observer.hh"
+#include "support/logging.hh"
+
+namespace irep::fuzz
+{
+
+namespace
+{
+
+using minicc::Expr;
+using minicc::ExprKind;
+using minicc::FuncDecl;
+using minicc::GlobalDecl;
+using minicc::Stmt;
+using minicc::StmtKind;
+using minicc::Type;
+using minicc::Unit;
+using minicc::VarSym;
+
+/** Internal fault; converted to InterpResult::error at the boundary. */
+struct InterpError
+{
+    std::string text;
+};
+
+[[noreturn]] void
+die(std::string text)
+{
+    throw InterpError{std::move(text)};
+}
+
+/** Sparse zero-filled byte memory, little-endian like sim::Memory. */
+class ByteMemory
+{
+  public:
+    static constexpr uint32_t pageBits = 12;
+    static constexpr uint32_t pageSize = 1u << pageBits;
+
+    uint8_t *
+    at(uint32_t addr)
+    {
+        auto &page = pages_[addr >> pageBits];
+        if (!page) {
+            page = std::make_unique<std::array<uint8_t, pageSize>>();
+            page->fill(0);
+        }
+        return page->data() + (addr & (pageSize - 1));
+    }
+
+    uint32_t read8(uint32_t a) { return *at(a); }
+
+    uint32_t
+    read32(uint32_t a)
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= uint32_t(*at(a + uint32_t(i))) << (8 * i);
+        return v;
+    }
+
+    void write8(uint32_t a, uint32_t v) { *at(a) = uint8_t(v); }
+
+    void
+    write32(uint32_t a, uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            *at(a + uint32_t(i)) = uint8_t(v >> (8 * i));
+    }
+
+    void
+    writeBlock(uint32_t a, const void *src, uint32_t len)
+    {
+        const auto *p = static_cast<const uint8_t *>(src);
+        for (uint32_t i = 0; i < len; ++i)
+            *at(a + i) = p[i];
+    }
+
+    void
+    readBlock(uint32_t a, void *dst, uint32_t len)
+    {
+        auto *p = static_cast<uint8_t *>(dst);
+        for (uint32_t i = 0; i < len; ++i)
+            p[i] = *at(a + i);
+    }
+
+  private:
+    std::unordered_map<uint32_t,
+                       std::unique_ptr<std::array<uint8_t, pageSize>>>
+        pages_;
+};
+
+/** How a statement finished. */
+enum class Flow : uint8_t
+{
+    Normal,
+    Break,
+    Continue,
+    Return,
+};
+
+/** A resolved assignment target: a direct slot or a memory address. */
+struct LValue
+{
+    uint32_t *slot = nullptr;   //!< non-null for register-like vars
+    uint32_t addr = 0;          //!< memory address otherwise
+    const Type *type = nullptr;
+};
+
+/** One activation record. */
+struct Frame
+{
+    std::unordered_map<const VarSym *, uint32_t> slots;
+    std::unordered_map<const VarSym *, uint32_t> addrs;
+};
+
+class Interp
+{
+  public:
+    Interp(const Unit &unit, const std::string &input,
+           const InterpLimits &limits)
+        : unit_(unit), input_(input), limits_(limits)
+    {}
+
+    InterpResult run();
+
+  private:
+    // --- setup ---------------------------------------------------------
+    void layoutGlobals();
+    void initGlobals();
+    uint32_t internString(const std::string &body);
+
+    // --- execution -----------------------------------------------------
+    uint32_t callFunction(const FuncDecl &f,
+                          const std::vector<uint32_t> &args);
+    Flow execStmt(const Stmt &s);
+    uint32_t evalExpr(const Expr &e);
+    LValue evalLValue(const Expr &e);
+    LValue varLValue(const VarSym *v);
+    uint32_t loadLValue(const LValue &lv);
+    void storeLValue(const LValue &lv, uint32_t value);
+    uint32_t evalBinaryOp(const std::string &op, uint32_t a,
+                          uint32_t b, bool unsigned_cmp);
+    uint32_t doSyscall(int number, const std::vector<uint32_t> &args);
+
+    /** Convert a value to @p type (chars mask to one byte). */
+    static uint32_t
+    convert(uint32_t value, const Type *type)
+    {
+        return type->isChar() ? (value & 0xff) : value;
+    }
+
+    void
+    step()
+    {
+        if (++steps_ > limits_.maxSteps)
+            die("step budget exceeded (likely non-termination)");
+    }
+
+    const Unit &unit_;
+    const std::string &input_;
+    InterpLimits limits_;
+
+    ByteMemory mem_;
+    std::unordered_map<const VarSym *, uint32_t> globalAddr_;
+    std::unordered_map<std::string, uint32_t> labelAddr_;
+    std::vector<std::string> pool_;         //!< interned string bodies
+    std::vector<uint32_t> poolAddr_;
+    std::unordered_map<std::string, const FuncDecl *> funcs_;
+
+    std::vector<Frame> frames_;
+    uint32_t sp_ = assem::Layout::stackTop;
+    uint32_t brk_ = 0;
+    uint32_t heapStart_ = 0;
+
+    size_t inputPos_ = 0;
+    std::string output_;
+    uint64_t steps_ = 0;
+    uint32_t returnValue_ = 0;
+
+    bool halted_ = false;
+    int exitCode_ = 0;
+};
+
+// -----------------------------------------------------------------------
+// Layout and global initialization
+// -----------------------------------------------------------------------
+
+uint32_t
+Interp::internString(const std::string &body)
+{
+    for (size_t i = 0; i < pool_.size(); ++i) {
+        if (pool_[i] == body)
+            return uint32_t(i);
+    }
+    pool_.push_back(body);
+    return uint32_t(pool_.size() - 1);
+}
+
+void
+Interp::layoutGlobals()
+{
+    // Mirrors codegen's .data section shape: every global 4-aligned,
+    // the string pool after the globals. Absolute addresses differ
+    // from the compiled image, which is fine — MiniC programs cannot
+    // observe raw pointer values, only differences and ordering
+    // within one object.
+    uint32_t addr = assem::Layout::dataBase;
+    for (const GlobalDecl &g : unit_.globals) {
+        addr = (addr + 3u) & ~3u;
+        globalAddr_[g.sym] = addr;
+        labelAddr_[g.sym->label] = addr;
+        addr += uint32_t(g.type->size());
+    }
+
+    pool_ = unit_.stringPool;
+    for (const GlobalDecl &g : unit_.globals) {
+        if (g.hasStrInit && g.type->isPtr())
+            internString(g.strInit);
+    }
+    poolAddr_.resize(pool_.size());
+    for (size_t i = 0; i < pool_.size(); ++i) {
+        addr = (addr + 3u) & ~3u;
+        poolAddr_[i] = addr;
+        addr += uint32_t(pool_[i].size()) + 1;
+    }
+
+    heapStart_ = (addr + ByteMemory::pageSize - 1) &
+                 ~(ByteMemory::pageSize - 1);
+    brk_ = heapStart_;
+}
+
+void
+Interp::initGlobals()
+{
+    auto constValue = [&](const Expr &e) -> uint32_t {
+        const minicc::ConstVal v = minicc::evalConst(e);
+        if (!v.isLabel)
+            return uint32_t(v.num);
+        auto it = labelAddr_.find(v.label);
+        if (it == labelAddr_.end())
+            die("initializer references unknown global '" + v.label +
+                "'");
+        return it->second;
+    };
+
+    for (const GlobalDecl &g : unit_.globals) {
+        const uint32_t base = globalAddr_.at(g.sym);
+        if (g.hasStrInit) {
+            if (g.type->isPtr()) {
+                mem_.write32(base,
+                             poolAddr_[internString(g.strInit)]);
+            } else {
+                mem_.writeBlock(base, g.strInit.data(),
+                                uint32_t(g.strInit.size()));
+                // NUL terminator and zero padding are already there.
+            }
+        } else if (g.hasInitList) {
+            const Type *elem = g.type->base;
+            uint32_t addr = base;
+            for (const minicc::ExprPtr &e : g.initList) {
+                const uint32_t v = constValue(*e);
+                if (elem->isChar()) {
+                    mem_.write8(addr, v);
+                    addr += 1;
+                } else {
+                    mem_.write32(addr, v);
+                    addr += 4;
+                }
+            }
+        } else if (g.init) {
+            const uint32_t v = constValue(*g.init);
+            if (g.type->isChar())
+                mem_.write8(base, v);
+            else
+                mem_.write32(base, v);
+        }
+    }
+
+    for (size_t i = 0; i < pool_.size(); ++i) {
+        mem_.writeBlock(poolAddr_[i], pool_[i].data(),
+                        uint32_t(pool_[i].size()));
+    }
+}
+
+// -----------------------------------------------------------------------
+// Syscalls
+// -----------------------------------------------------------------------
+
+uint32_t
+Interp::doSyscall(int number, const std::vector<uint32_t> &args)
+{
+    const uint32_t arg0 = args.size() > 0 ? args[0] : 0;
+    const uint32_t arg1 = args.size() > 1 ? args[1] : 0;
+    switch (sim::Syscall(number)) {
+      case sim::Syscall::Exit:
+        halted_ = true;
+        exitCode_ = int(arg0);
+        return arg0;
+      case sim::Syscall::Read: {
+        const uint32_t avail = uint32_t(input_.size() - inputPos_);
+        const uint32_t n = arg1 < avail ? arg1 : avail;
+        if (n)
+            mem_.writeBlock(arg0, input_.data() + inputPos_, n);
+        inputPos_ += n;
+        return n;
+      }
+      case sim::Syscall::Write: {
+        const uint32_t n = arg1;
+        if (output_.size() + n > limits_.maxOutputBytes)
+            die("output budget exceeded");
+        if (n) {
+            const size_t old = output_.size();
+            output_.resize(old + n);
+            mem_.readBlock(arg0, output_.data() + old, n);
+        }
+        return n;
+      }
+      case sim::Syscall::Sbrk: {
+        const uint32_t old = brk_;
+        const int64_t inc = int64_t(int32_t(arg0));
+        const int64_t next = int64_t(old) + inc;
+        if (next < int64_t(heapStart_) ||
+            next >= int64_t(assem::Layout::stackRegionBase))
+            die("sbrk moves the break outside the heap segment");
+        brk_ = uint32_t(next);
+        return old;
+      }
+    }
+    die("unknown syscall number " + std::to_string(number));
+}
+
+// -----------------------------------------------------------------------
+// LValues
+// -----------------------------------------------------------------------
+
+LValue
+Interp::varLValue(const VarSym *v)
+{
+    LValue lv;
+    lv.type = v->type;
+    if (v->isGlobal) {
+        lv.addr = globalAddr_.at(v);
+        return lv;
+    }
+    Frame &frame = frames_.back();
+    auto slot = frame.slots.find(v);
+    if (slot != frame.slots.end()) {
+        lv.slot = &slot->second;
+        return lv;
+    }
+    auto addr = frame.addrs.find(v);
+    if (addr == frame.addrs.end())
+        die("unresolved variable '" + v->name + "'");
+    lv.addr = addr->second;
+    return lv;
+}
+
+LValue
+Interp::evalLValue(const Expr &e)
+{
+    switch (e.kind) {
+      case ExprKind::Var:
+        return varLValue(e.var);
+      case ExprKind::Unary: {
+        // Deref: the operand is the address.
+        if (e.op != "*")
+            die("unary '" + e.op + "' is not an lvalue");
+        LValue lv;
+        lv.addr = evalExpr(*e.a);
+        lv.type = e.type;
+        return lv;
+      }
+      case ExprKind::Index: {
+        // Mirrors codegen: base address first, then the subscript.
+        const uint32_t base = evalExpr(*e.a);
+        const uint32_t idx = evalExpr(*e.b);
+        LValue lv;
+        lv.addr = base + idx * uint32_t(e.type->size());
+        lv.type = e.type;
+        return lv;
+      }
+      case ExprKind::Member: {
+        uint32_t base;
+        if (e.isArrow) {
+            base = evalExpr(*e.a);
+        } else {
+            const LValue blv = evalLValue(*e.a);
+            if (blv.slot)
+                die("member access on register variable");
+            base = blv.addr;
+        }
+        LValue lv;
+        lv.addr = base + uint32_t(e.memberRef->offset);
+        lv.type = e.type;
+        return lv;
+      }
+      default:
+        die("expression is not an lvalue");
+    }
+}
+
+uint32_t
+Interp::loadLValue(const LValue &lv)
+{
+    if (lv.slot)
+        return *lv.slot;
+    if (!lv.type->isScalar())
+        return lv.addr;     // aggregates evaluate to their address
+    return lv.type->isChar() ? mem_.read8(lv.addr)
+                             : mem_.read32(lv.addr);
+}
+
+void
+Interp::storeLValue(const LValue &lv, uint32_t value)
+{
+    if (lv.slot) {
+        *lv.slot = convert(value, lv.type);
+        return;
+    }
+    if (lv.type->isChar())
+        mem_.write8(lv.addr, value);
+    else
+        mem_.write32(lv.addr, value);
+}
+
+// -----------------------------------------------------------------------
+// Expressions
+// -----------------------------------------------------------------------
+
+namespace sem
+{
+
+/** MiPS DIV semantics: /0 yields 0, INT_MIN / -1 yields INT_MIN. */
+int32_t
+div32(int32_t a, int32_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == INT32_MIN && b == -1)
+        return INT32_MIN;
+    return a / b;
+}
+
+int32_t
+rem32(int32_t a, int32_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == INT32_MIN && b == -1)
+        return 0;
+    return a % b;
+}
+
+} // namespace sem
+
+uint32_t
+Interp::evalBinaryOp(const std::string &op, uint32_t a, uint32_t b,
+                     bool unsigned_cmp)
+{
+    const int32_t sa = int32_t(a), sb = int32_t(b);
+    if (op == "+")
+        return a + b;
+    if (op == "-")
+        return a - b;
+    if (op == "*")
+        return uint32_t(int64_t(sa) * int64_t(sb));
+    if (op == "/")
+        return uint32_t(sem::div32(sa, sb));
+    if (op == "%")
+        return uint32_t(sem::rem32(sa, sb));
+    if (op == "&")
+        return a & b;
+    if (op == "|")
+        return a | b;
+    if (op == "^")
+        return a ^ b;
+    if (op == "<<")
+        return a << (b & 31);
+    if (op == ">>")
+        return uint32_t(sa >> (b & 31));
+    if (op == "==")
+        return a == b;
+    if (op == "!=")
+        return a != b;
+    if (op == "<")
+        return unsigned_cmp ? a < b : sa < sb;
+    if (op == ">")
+        return unsigned_cmp ? a > b : sa > sb;
+    if (op == "<=")
+        return unsigned_cmp ? a <= b : sa <= sb;
+    if (op == ">=")
+        return unsigned_cmp ? a >= b : sa >= sb;
+    die("unhandled binary operator '" + op + "'");
+}
+
+uint32_t
+Interp::evalExpr(const Expr &e)
+{
+    step();
+    switch (e.kind) {
+      case ExprKind::IntLit:
+      case ExprKind::SizeofType:
+        return uint32_t(e.intValue);
+
+      case ExprKind::StrLit:
+        return poolAddr_.at(size_t(e.strLabel));
+
+      case ExprKind::Var:
+        return loadLValue(evalLValue(e));
+
+      case ExprKind::Unary: {
+        if (e.op == "&") {
+            const LValue lv = evalLValue(*e.a);
+            if (lv.slot)
+                die("address of register variable");
+            return lv.addr;
+        }
+        const uint32_t v = evalExpr(*e.a);
+        if (e.op == "*") {
+            if (!e.type->isScalar())
+                return v;   // *p on struct pointer: the address
+            return e.type->isChar() ? mem_.read8(v) : mem_.read32(v);
+        }
+        if (e.op == "-")
+            return 0u - v;
+        if (e.op == "~")
+            return ~v;
+        if (e.op == "!")
+            return v == 0;
+        die("unhandled unary operator '" + e.op + "'");
+      }
+
+      case ExprKind::Binary: {
+        const Type *at = e.a->type->isArray()
+            ? nullptr : e.a->type;  // array decays to pointer
+        const Type *bt = e.b->type->isArray() ? nullptr : e.b->type;
+        const bool a_ptr = !at || at->isPtr();
+        const bool b_ptr = !bt || bt->isPtr();
+
+        if (e.op == "&&" || e.op == "||") {
+            const uint32_t a = evalExpr(*e.a);
+            if (e.op == "&&" && a == 0)
+                return 0;
+            if (e.op == "||" && a != 0)
+                return 1;
+            return evalExpr(*e.b) != 0;
+        }
+
+        const uint32_t a = evalExpr(*e.a);
+        const uint32_t b = evalExpr(*e.b);
+
+        // Pointer arithmetic scales by the element size; pointer
+        // difference divides by it (sra for powers of two, signed
+        // division otherwise — exactly what codegen emits).
+        if (e.op == "+" || e.op == "-") {
+            const Type *abase = e.a->type->isArray()
+                ? e.a->type->base
+                : (e.a->type->isPtr() ? e.a->type->base : nullptr);
+            const Type *bbase = e.b->type->isArray()
+                ? e.b->type->base
+                : (e.b->type->isPtr() ? e.b->type->base : nullptr);
+            if (a_ptr && b_ptr && e.op == "-") {
+                const uint32_t diff = a - b;
+                const int size = abase->size();
+                if (size <= 1)
+                    return diff;
+                if ((size & (size - 1)) == 0) {
+                    int shift = 0;
+                    while ((1 << shift) != size)
+                        ++shift;
+                    return uint32_t(int32_t(diff) >> shift);
+                }
+                return uint32_t(
+                    sem::div32(int32_t(diff), int32_t(size)));
+            }
+            if (a_ptr && !b_ptr) {
+                const uint32_t scaled =
+                    b * uint32_t(abase->size());
+                return e.op == "+" ? a + scaled : a - scaled;
+            }
+            if (!a_ptr && b_ptr)    // int + ptr only; sema rejects -
+                return b + a * uint32_t(bbase->size());
+        }
+
+        return evalBinaryOp(e.op, a, b, a_ptr || b_ptr);
+      }
+
+      case ExprKind::Assign: {
+        if (e.op == "=") {
+            // rhs first, then the target address (codegen's order).
+            const uint32_t v =
+                convert(evalExpr(*e.b), e.a->type);
+            storeLValue(evalLValue(*e.a), v);
+            return v;
+        }
+        // Compound: target address first, then load, then rhs.
+        const LValue lv = evalLValue(*e.a);
+        const uint32_t old = loadLValue(lv);
+        uint32_t rhs = evalExpr(*e.b);
+        const std::string base_op =
+            e.op.substr(0, e.op.size() - 1);
+        if (e.a->type->isPtr() &&
+            (base_op == "+" || base_op == "-"))
+            rhs *= uint32_t(e.a->type->base->size());
+        const uint32_t v = convert(
+            evalBinaryOp(base_op, old, rhs, false), e.a->type);
+        storeLValue(lv, v);
+        return v;
+      }
+
+      case ExprKind::Cond: {
+        const uint32_t c = evalExpr(*e.a);
+        return c != 0 ? evalExpr(*e.b) : evalExpr(*e.c);
+      }
+
+      case ExprKind::Call: {
+        std::vector<uint32_t> args;
+        args.reserve(e.args.size());
+        for (size_t i = 0; i < e.args.size(); ++i) {
+            args.push_back(convert(evalExpr(*e.args[i]),
+                                   e.func->paramTypes[i]));
+        }
+        if (halted_)
+            return 0;
+        if (e.func->intrinsic >= 0)
+            return doSyscall(e.func->intrinsic, args);
+        auto it = funcs_.find(e.callee);
+        if (it == funcs_.end())
+            die("call to undefined function '" + e.callee + "'");
+        return callFunction(*it->second, args);
+      }
+
+      case ExprKind::Index:
+      case ExprKind::Member:
+        return loadLValue(evalLValue(e));
+
+      case ExprKind::Cast:
+        return convert(evalExpr(*e.a), e.type);
+
+      case ExprKind::IncDec: {
+        const LValue lv = evalLValue(*e.a);
+        const uint32_t old = loadLValue(lv);
+        const uint32_t delta = e.a->type->isPtr()
+            ? uint32_t(e.a->type->base->size()) : 1u;
+        const uint32_t next = convert(
+            e.op == "++" ? old + delta : old - delta, e.a->type);
+        storeLValue(lv, next);
+        return e.isPrefix ? next : old;
+      }
+    }
+    die("unhandled expression kind");
+}
+
+// -----------------------------------------------------------------------
+// Statements
+// -----------------------------------------------------------------------
+
+Flow
+Interp::execStmt(const Stmt &s)
+{
+    step();
+    if (halted_)
+        return Flow::Return;
+    switch (s.kind) {
+      case StmtKind::Expr:
+        evalExpr(*s.expr);
+        return Flow::Normal;
+
+      case StmtKind::If:
+        if (evalExpr(*s.expr) != 0)
+            return execStmt(*s.then);
+        if (s.els)
+            return execStmt(*s.els);
+        return Flow::Normal;
+
+      case StmtKind::While:
+        while (!halted_ && evalExpr(*s.expr) != 0) {
+            step();
+            const Flow f = execStmt(*s.body);
+            if (f == Flow::Break)
+                break;
+            if (f == Flow::Return)
+                return f;
+        }
+        return Flow::Normal;
+
+      case StmtKind::DoWhile:
+        do {
+            step();
+            const Flow f = execStmt(*s.body);
+            if (f == Flow::Break)
+                break;
+            if (f == Flow::Return)
+                return f;
+        } while (!halted_ && evalExpr(*s.expr) != 0);
+        return Flow::Normal;
+
+      case StmtKind::For: {
+        if (s.init)
+            execStmt(*s.init);
+        while (!halted_ &&
+               (!s.cond || evalExpr(*s.cond) != 0)) {
+            step();
+            const Flow f = execStmt(*s.body);
+            if (f == Flow::Return)
+                return f;
+            if (f == Flow::Break)
+                break;
+            if (halted_)
+                break;
+            if (s.inc)
+                evalExpr(*s.inc);
+        }
+        return Flow::Normal;
+      }
+
+      case StmtKind::Return:
+        if (s.expr)
+            returnValue_ = evalExpr(*s.expr);
+        else
+            returnValue_ = 0;
+        return Flow::Return;
+
+      case StmtKind::Break:
+        return Flow::Break;
+
+      case StmtKind::Continue:
+        return Flow::Continue;
+
+      case StmtKind::Block:
+        for (const minicc::StmtPtr &child : s.stmts) {
+            const Flow f = execStmt(*child);
+            if (f != Flow::Normal)
+                return f;
+            if (halted_)
+                return Flow::Return;
+        }
+        return Flow::Normal;
+
+      case StmtKind::Decl:
+        for (const minicc::LocalDecl &d : s.decls) {
+            if (!d.init)
+                continue;
+            const uint32_t v = evalExpr(*d.init);
+            storeLValue(varLValue(d.sym), v);
+        }
+        return Flow::Normal;
+    }
+    die("unhandled statement kind");
+}
+
+// -----------------------------------------------------------------------
+// Calls and top level
+// -----------------------------------------------------------------------
+
+uint32_t
+Interp::callFunction(const FuncDecl &f,
+                     const std::vector<uint32_t> &args)
+{
+    if (frames_.size() >= limits_.maxCallDepth)
+        die("call depth limit exceeded in '" + f.name + "'");
+
+    Frame frame;
+    // Lay out memory-homed variables (aggregates and address-taken
+    // scalars) in a fresh stack frame; everything else is a direct
+    // slot. Frame memory is zeroed: MiniC programs must initialize
+    // before reading, so the fill value is unobservable.
+    uint32_t bytes = 0;
+    auto place = [&](VarSym *v) {
+        if (v->type->isScalar() && !v->addrTaken) {
+            frame.slots.emplace(v, 0u);
+            return;
+        }
+        const uint32_t align =
+            uint32_t(v->type->align() < 4 ? 4 : v->type->align());
+        bytes = (bytes + align - 1) & ~(align - 1);
+        frame.addrs.emplace(v, bytes);   // offset for now
+        bytes += uint32_t(v->type->size());
+    };
+    for (VarSym *p : f.paramSyms)
+        place(p);
+    for (VarSym *l : f.locals)
+        place(l);
+
+    bytes = (bytes + 7u) & ~7u;
+    if (sp_ < bytes ||
+        sp_ - bytes < assem::Layout::stackRegionBase)
+        die("stack overflow in '" + f.name + "'");
+    const uint32_t old_sp = sp_;
+    sp_ -= bytes;
+    for (auto &[sym, off] : frame.addrs) {
+        off += sp_;
+        // Zero the slot so reads of uninitialized aggregate bytes are
+        // deterministic.
+        for (uint32_t i = 0; i < uint32_t(sym->type->size()); ++i)
+            mem_.write8(off + i, 0);
+    }
+
+    frames_.push_back(std::move(frame));
+
+    // Bind parameters (already converted by the caller).
+    for (size_t i = 0; i < f.paramSyms.size(); ++i) {
+        LValue lv;
+        VarSym *p = f.paramSyms[i];
+        lv.type = p->type;
+        auto slot = frames_.back().slots.find(p);
+        if (slot != frames_.back().slots.end())
+            lv.slot = &slot->second;
+        else
+            lv.addr = frames_.back().addrs.at(p);
+        storeLValue(lv, i < args.size() ? args[i] : 0u);
+    }
+
+    returnValue_ = 0;
+    execStmt(*f.body);
+    const uint32_t result =
+        f.retType->isVoid() ? 0u : convert(returnValue_, f.retType);
+
+    frames_.pop_back();
+    sp_ = old_sp;
+    return result;
+}
+
+InterpResult
+Interp::run()
+{
+    InterpResult result;
+    try {
+        layoutGlobals();
+        initGlobals();
+        for (const FuncDecl &f : unit_.funcs) {
+            if (f.body)
+                funcs_.emplace(f.name, &f);
+        }
+        auto main = funcs_.find("main");
+        if (main == funcs_.end())
+            die("no main() defined");
+        const std::vector<uint32_t> no_args(
+            main->second->paramSyms.size(), 0u);
+        const uint32_t ret =
+            callFunction(*main->second, no_args);
+        if (!halted_) {
+            // _start passes main's return value to the exit syscall.
+            halted_ = true;
+            exitCode_ = int(ret);
+        }
+        result.halted = true;
+        result.exitCode = exitCode_;
+    } catch (const InterpError &e) {
+        result.error = true;
+        result.errorText = e.text;
+    } catch (const FatalError &e) {
+        result.error = true;
+        result.errorText = e.what();
+    }
+    result.output = std::move(output_);
+    result.steps = steps_;
+    return result;
+}
+
+} // namespace
+
+InterpResult
+interpret(const minicc::Unit &unit, const std::string &input,
+          const InterpLimits &limits)
+{
+    Interp interp(unit, input, limits);
+    return interp.run();
+}
+
+} // namespace irep::fuzz

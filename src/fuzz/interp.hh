@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The MiniC reference interpreter: a direct tree-walking evaluator
+ * over the analyzed AST that defines the language's ground-truth
+ * semantics, independently of the minicc→asm→sim pipeline. The
+ * differential fuzzer (src/fuzz/differ.hh) runs both and convicts the
+ * compiled path whenever they disagree.
+ *
+ * Semantics implemented here (the normative set, see docs/minic.md):
+ *   - int is two's-complement int32; + - * wrap, there is no UB
+ *   - x / 0 == x % 0 == 0; INT_MIN / -1 == INT_MIN, INT_MIN % -1 == 0
+ *     (the simulator's DIV behaviour)
+ *   - shift counts are taken mod 32; >> is arithmetic
+ *   - char is an unsigned byte: every store, assignment, cast,
+ *     argument pass and return into a char masks to 0..255
+ *   - pointer comparisons are unsigned; arithmetic scales by the
+ *     element size and wraps like uint32
+ *   - evaluation order is fixed (docs/minic.md "Evaluation order"):
+ *     left-to-right operands and arguments, rhs before lhs address in
+ *     simple assignment, lhs address first in compound assignment
+ *
+ * Programs must initialize every variable before reading it and keep
+ * memory accesses in bounds of the object they name; the fuzz
+ * generator produces only such programs. (Out-of-bounds addresses do
+ * not trap — memory is a sparse zero-filled byte space, like the
+ * simulator's — but frame addresses differ from compiled code, so a
+ * wild program can legitimately diverge.)
+ */
+
+#ifndef IREP_FUZZ_INTERP_HH
+#define IREP_FUZZ_INTERP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "minicc/ast.hh"
+
+namespace irep::fuzz
+{
+
+/** Resource bounds for one interpreted run. */
+struct InterpLimits
+{
+    /** Evaluation steps (one per statement/expression node). */
+    uint64_t maxSteps = 50'000'000;
+    /** Bytes the program may emit through the write syscall. */
+    uint64_t maxOutputBytes = 1 << 20;
+    /** Nested call depth (host recursion guard). */
+    uint32_t maxCallDepth = 5000;
+};
+
+/** Outcome of one interpreted run. */
+struct InterpResult
+{
+    bool halted = false;        //!< reached exit (main return / __exit)
+    bool error = false;         //!< budget exceeded or runtime fault
+    std::string errorText;
+    int exitCode = 0;
+    std::string output;         //!< bytes written through __write
+    uint64_t steps = 0;
+};
+
+/**
+ * Interpret an analyzed translation unit (minicc::compileToUnit).
+ * @p input is the byte stream served by __read. Never throws: faults
+ * are reported through InterpResult::error.
+ */
+InterpResult interpret(const minicc::Unit &unit,
+                       const std::string &input,
+                       const InterpLimits &limits = {});
+
+} // namespace irep::fuzz
+
+#endif // IREP_FUZZ_INTERP_HH

@@ -1,0 +1,80 @@
+#include "fuzz/minimize.hh"
+
+#include <vector>
+
+namespace irep::fuzz
+{
+
+namespace
+{
+
+/** Remove [begin, begin+len) from one section, testing the result. */
+bool
+tryRemove(GenProgram &program,
+          std::vector<std::string> GenProgram::*section,
+          size_t begin, size_t len, const FailPredicate &failing)
+{
+    GenProgram candidate = program;
+    auto &chunks = candidate.*section;
+    chunks.erase(chunks.begin() + long(begin),
+                 chunks.begin() + long(begin + len));
+    if (!failing(candidate))
+        return false;
+    program = std::move(candidate);
+    return true;
+}
+
+/** Reduce one section to (greedy) 1-minimality. */
+bool
+reduceSection(GenProgram &program,
+              std::vector<std::string> GenProgram::*section,
+              const FailPredicate &failing)
+{
+    bool changed = false;
+
+    // Halves first: big deletions converge fast when most of the
+    // program is irrelevant to the failure.
+    for (size_t len = (program.*section).size() / 2; len >= 2;
+         len /= 2) {
+        size_t i = 0;
+        while (i + len <= (program.*section).size()) {
+            if (tryRemove(program, section, i, len, failing))
+                changed = true;
+            else
+                i += len;
+        }
+    }
+
+    // Then single chunks, back to front (later chunks tend to depend
+    // on earlier ones, so removing from the back succeeds more).
+    for (size_t i = (program.*section).size(); i-- > 0;) {
+        if (tryRemove(program, section, i, 1, failing))
+            changed = true;
+    }
+    return changed;
+}
+
+} // namespace
+
+GenProgram
+minimizeProgram(GenProgram program, const FailPredicate &still_failing)
+{
+    if (!still_failing(program))
+        return program;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        changed |= reduceSection(program, &GenProgram::mainBody,
+                                 still_failing);
+        changed |= reduceSection(program, &GenProgram::helpers,
+                                 still_failing);
+        changed |= reduceSection(program, &GenProgram::globals,
+                                 still_failing);
+        changed |= reduceSection(program, &GenProgram::structs,
+                                 still_failing);
+    }
+    return program;
+}
+
+} // namespace irep::fuzz

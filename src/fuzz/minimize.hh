@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Delta-debugging minimizer for generated programs. Works on the
+ * chunk lists of a GenProgram (struct defs, globals, helpers, main
+ * statement groups): repeatedly re-render the program with chunks
+ * removed and keep any removal under which the caller's predicate
+ * still reports the failure. Removals that break compilation simply
+ * fail the predicate and are rolled back, so the minimizer needs no
+ * knowledge of cross-chunk references.
+ */
+
+#ifndef IREP_FUZZ_MINIMIZE_HH
+#define IREP_FUZZ_MINIMIZE_HH
+
+#include <functional>
+
+#include "fuzz/generator.hh"
+
+namespace irep::fuzz
+{
+
+/** Returns true when the candidate still exhibits the failure. */
+using FailPredicate = std::function<bool(const GenProgram &)>;
+
+/**
+ * Greedy 1-minimal reduction: drop chunks (largest sections first,
+ * halves before singles) while @p still_failing holds, to a fixpoint.
+ * The returned program always satisfies the predicate (the input
+ * program is returned unchanged if it already does not).
+ */
+GenProgram minimizeProgram(GenProgram program,
+                           const FailPredicate &still_failing);
+
+} // namespace irep::fuzz
+
+#endif // IREP_FUZZ_MINIMIZE_HH

@@ -521,13 +521,18 @@ CodeGen::genAssign(const Expr &e, int depth)
 
     if (simple) {
         genExpr(*e.b, depth);
+        if (lhs.type->isChar()) {
+            // Narrow before the store so the value this expression
+            // yields is the converted one, exactly as the stored byte
+            // will read back.
+            const std::string r0 = rdTemp(depth, "$t8");
+            const std::string d = defReg(depth);
+            emit("andi " + d + ", " + r0 + ", 0xff");
+            wrTemp(depth);
+        }
         if (reg_var) {
             const std::string r = rdTemp(depth, "$t8");
             emit("move $s" + std::to_string(lhs.var->sreg) + ", " + r);
-            if (lhs.type->isChar()) {
-                emit("andi $s" + std::to_string(lhs.var->sreg) + ", $s" +
-                     std::to_string(lhs.var->sreg) + ", 0xff");
-            }
         } else {
             genAddr(lhs, depth + 1);
             const std::string rv = rdTemp(depth, "$t8");
@@ -856,7 +861,10 @@ CodeGen::genStmt(const Stmt &s)
       case StmtKind::Return:
         if (s.expr) {
             genExpr(*s.expr, 0);
-            emit("move $v0, $t0");
+            if (func_->retType->isChar())
+                emit("andi $v0, $t0, 0xff");
+            else
+                emit("move $v0, $t0");
         }
         emit("b " + epilogueLabel_);
         break;
@@ -1017,7 +1025,15 @@ CodeGen::genFunction(FuncDecl &f)
         const VarSym *p = f.paramSyms[i];
         const std::string areg = "$a" + std::to_string(i);
         if (p->home == VarHome::SReg) {
-            emit("move $s" + std::to_string(p->sreg) + ", " + areg);
+            if (p->type->isChar()) {
+                // Callers pass the raw word; a stack-homed char param
+                // narrows via sb/lbu, so narrow the register home the
+                // same way.
+                emit("andi $s" + std::to_string(p->sreg) + ", " + areg +
+                     ", 0xff");
+            } else {
+                emit("move $s" + std::to_string(p->sreg) + ", " + areg);
+            }
         } else {
             emit(std::string(storeOpFor(p->type)) + " " + areg + ", " +
                  std::to_string(p->stackOffset) + "($sp)");

@@ -8,6 +8,20 @@
 namespace irep::minicc
 {
 
+std::unique_ptr<Unit>
+compileToUnit(const std::string &source)
+{
+    auto unit = parse(source);
+    analyze(*unit);
+    return unit;
+}
+
+std::string
+generateAsm(Unit &unit)
+{
+    return generate(unit);
+}
+
 std::string
 compileToAsm(const std::string &source)
 {

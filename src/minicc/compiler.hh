@@ -7,15 +7,28 @@
 #ifndef IREP_MINICC_COMPILER_HH
 #define IREP_MINICC_COMPILER_HH
 
+#include <memory>
 #include <string>
 
 #include "asm/program.hh"
+#include "minicc/ast.hh"
 
 namespace irep::minicc
 {
 
+/**
+ * Parse and analyze one MiniC translation unit without generating
+ * code. The returned Unit is fully resolved (types, symbols, string
+ * pool) — the form the reference interpreter and other AST consumers
+ * work from.
+ */
+std::unique_ptr<Unit> compileToUnit(const std::string &source);
+
 /** Compile one MiniC translation unit to assembly text. */
 std::string compileToAsm(const std::string &source);
+
+/** Generate assembly from an already-analyzed unit. */
+std::string generateAsm(Unit &unit);
 
 /** Compile and assemble one MiniC translation unit. */
 assem::Program compileToProgram(const std::string &source);

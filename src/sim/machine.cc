@@ -542,4 +542,20 @@ Machine::run(uint64_t max_instructions)
                               : runLoop<true>(max_instructions);
 }
 
+RunResult
+runToHalt(const assem::Program &program, const std::string &input,
+          uint64_t max_instructions)
+{
+    Machine machine(program);
+    machine.setInput(input);
+    machine.run(max_instructions);
+
+    RunResult result;
+    result.halted = machine.halted();
+    result.exitCode = machine.exitCode();
+    result.instructions = machine.instret();
+    result.output = machine.output();
+    return result;
+}
+
 } // namespace irep::sim

@@ -135,6 +135,24 @@ class Machine
     std::vector<Observer *> observers_;
 };
 
+/** Outcome of one run-to-completion execution (runToHalt). */
+struct RunResult
+{
+    bool halted = false;        //!< false = instruction budget hit
+    int exitCode = 0;
+    uint64_t instructions = 0;
+    std::string output;         //!< bytes written through Write
+};
+
+/**
+ * Load @p program into a fresh machine, feed it @p input, and run it
+ * until it exits or @p max_instructions retire. Convenience wrapper
+ * for programmatic batch execution (e.g. the differential fuzzer).
+ */
+RunResult runToHalt(const assem::Program &program,
+                    const std::string &input,
+                    uint64_t max_instructions = 100'000'000);
+
 } // namespace irep::sim
 
 #endif // IREP_SIM_MACHINE_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Differential-fuzzing pipeline tests: the fixed-seed smoke campaign
+ * that gates every commit, sensitivity to an injected miscompile, and
+ * the repro-dumping driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "fuzz/differ.hh"
+#include "fuzz/fuzz.hh"
+#include "fuzz/interp.hh"
+#include "minicc/compiler.hh"
+#include "sim/machine.hh"
+
+namespace irep
+{
+namespace
+{
+
+TEST(Differential, HandwrittenProgramMatches)
+{
+    const auto outcome = fuzz::runDifferential(
+        "int fib(int n) { if (n < 2) { return n; }\n"
+        "                 return fib(n - 1) + fib(n - 2); }\n"
+        "int main(void) { return fib(12); }",
+        "", {});
+    EXPECT_EQ(outcome.status, fuzz::DiffStatus::Match)
+        << outcome.detail;
+    EXPECT_EQ(outcome.refExit, 144);
+}
+
+TEST(Differential, CompileErrorIsReported)
+{
+    const auto outcome =
+        fuzz::runDifferential("int main(void) { return x; }", "", {});
+    EXPECT_EQ(outcome.status, fuzz::DiffStatus::CompileError);
+    EXPECT_NE(outcome.detail.find("x"), std::string::npos);
+}
+
+// A program the simulator cannot finish within its budget is only a
+// sim bug when the interpreter proved the program light; when the
+// reference trace is itself heavy relative to the budget, the program
+// may simply need more instructions than the budget allows, and the
+// differ must call it undecided rather than convict the pipeline.
+TEST(Differential, HeavyProgramOverSimBudgetIsUndecided)
+{
+    fuzz::DiffLimits limits;
+    limits.maxInstructions = 1'000;
+    limits.interp.maxSteps = 100'000'000;
+    const auto outcome = fuzz::runDifferential(
+        "int main(void) { int i; int s; s = 0;\n"
+        "  for (i = 0; i < 1000000; i++) { s = s + i; }\n"
+        "  return s & 255; }",
+        "", limits);
+    EXPECT_EQ(outcome.status, fuzz::DiffStatus::Match)
+        << outcome.detail;
+    EXPECT_NE(outcome.detail.find("undecided"), std::string::npos)
+        << outcome.detail;
+}
+
+// An artificial miscompile — the assembly is patched behind the
+// compiler's back — must be flagged as a mismatch. This is the
+// sensitivity check for the whole differential setup: if this test
+// fails, fuzz campaigns prove nothing.
+TEST(Differential, InjectedMiscompileIsCaught)
+{
+    const std::string source = "int main(void) { return 41; }";
+    const auto unit = minicc::compileToUnit(source);
+    std::string asmText = minicc::generateAsm(*unit);
+
+    const auto pos = asmText.find("41");
+    ASSERT_NE(pos, std::string::npos) << asmText;
+    asmText.replace(pos, 2, "42");
+
+    const auto program = assem::assemble(asmText);
+    const auto sim = sim::runToHalt(program, "");
+    const auto ref = fuzz::interpret(*unit, "");
+
+    ASSERT_TRUE(sim.halted);
+    ASSERT_TRUE(ref.halted);
+    EXPECT_EQ(ref.exitCode, 41);
+    EXPECT_EQ(sim.exitCode, 42);
+    EXPECT_NE(ref.exitCode, sim.exitCode);
+}
+
+// The same sensitivity, end to end through runFuzz: a failing seed
+// must produce a minimized on-disk repro.
+TEST(Differential, FailingProgramProducesMinimizedRepro)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "irep_fuzz_repro_test";
+    fs::remove_all(dir);
+
+    // A mismatch cannot be staged through the real compiler (that
+    // would require a live bug), so exercise the dump path by denying
+    // the interpreter any call depth: every program then fails
+    // deterministically at the entry to main — a minimizable
+    // ref-error.
+    fuzz::FuzzOptions options;
+    options.seed = 1;
+    options.count = 3;
+    options.reproDir = dir.string();
+    options.interp.maxCallDepth = 0;
+    std::ostringstream log;
+    const auto report = fuzz::runFuzz(options, log);
+
+    EXPECT_FALSE(report.ok());
+    ASSERT_FALSE(report.failures.empty());
+    for (const auto &failure : report.failures) {
+        ASSERT_FALSE(failure.reproPath.empty()) << log.str();
+        EXPECT_TRUE(fs::exists(failure.reproPath));
+        std::ifstream in(failure.reproPath);
+        std::stringstream text;
+        text << in.rdbuf();
+        EXPECT_NE(text.str().find("int main(void)"),
+                  std::string::npos);
+    }
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// The commit-gating smoke campaign: 200 fixed seeds, zero divergence.
+// ---------------------------------------------------------------------
+
+TEST(DifferentialSmoke, TwoHundredSeedsMatch)
+{
+    fuzz::FuzzOptions options;
+    options.seed = 1;
+    options.count = 200;
+    options.reproDir = (std::filesystem::path(::testing::TempDir()) /
+                        "irep_fuzz_smoke")
+                           .string();
+    std::ostringstream log;
+    const auto report = fuzz::runFuzz(options, log);
+    EXPECT_EQ(report.matches, report.total) << log.str();
+    EXPECT_TRUE(report.ok()) << log.str();
+}
+
+} // namespace
+} // namespace irep

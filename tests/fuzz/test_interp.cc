@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the reference MiniC interpreter — the ground truth of
+ * the differential fuzzer. Each case pins one piece of the normative
+ * semantics in docs/minic.md (wrap-around int32, MIPS-I division and
+ * shift edge cases, unsigned char narrowing, syscalls, resource
+ * limits).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/interp.hh"
+#include "minicc/compiler.hh"
+
+namespace irep
+{
+namespace
+{
+
+fuzz::InterpResult
+runInterp(const std::string &source, const std::string &input = "",
+          const fuzz::InterpLimits &limits = {})
+{
+    const auto unit = minicc::compileToUnit(source);
+    return fuzz::interpret(*unit, input, limits);
+}
+
+int
+evalInterp(const std::string &expression)
+{
+    const auto r =
+        runInterp("int main(void) { return " + expression + "; }");
+    EXPECT_TRUE(r.halted) << r.errorText;
+    return r.exitCode;
+}
+
+// ---------------------------------------------------------------------
+// Arithmetic edge cases (MIPS-I semantics).
+// ---------------------------------------------------------------------
+
+TEST(InterpArith, TruncatingDivision)
+{
+    EXPECT_EQ(evalInterp("100 / 7"), 14);
+    EXPECT_EQ(evalInterp("(0 - 100) / 7"), -14);
+    EXPECT_EQ(evalInterp("100 % 7"), 2);
+    EXPECT_EQ(evalInterp("(0 - 100) % 7"), -2);
+}
+
+TEST(InterpArith, DivisionByZeroYieldsZero)
+{
+    EXPECT_EQ(evalInterp("7 / 0"), 0);
+    EXPECT_EQ(evalInterp("7 % 0"), 0);
+    EXPECT_EQ(evalInterp("(0 - 7) / 0"), 0);
+}
+
+TEST(InterpArith, IntMinOverflowCases)
+{
+    EXPECT_EQ(evalInterp("0x80000000 / (0 - 1)"), INT32_MIN);
+    EXPECT_EQ(evalInterp("0x80000000 % (0 - 1)"), 0);
+}
+
+TEST(InterpArith, WrapAroundAddMul)
+{
+    EXPECT_EQ(evalInterp("0x7fffffff + 1"), INT32_MIN);
+    EXPECT_EQ(evalInterp("0x10001 * 0x10001"), 131073);
+}
+
+TEST(InterpArith, ShiftCountsAreMod32)
+{
+    EXPECT_EQ(evalInterp("1 << 33"), 2);   // sllv masks to 1
+    EXPECT_EQ(evalInterp("256 >> 40"), 1); // srav masks to 8
+}
+
+TEST(InterpArith, RightShiftIsArithmetic)
+{
+    EXPECT_EQ(evalInterp("(0 - 8) >> 1"), -4);
+    EXPECT_EQ(evalInterp("0x80000000 >> 31"), -1);
+}
+
+TEST(InterpArith, ShortCircuitYieldsZeroOrOne)
+{
+    EXPECT_EQ(evalInterp("5 && 7"), 1);
+    EXPECT_EQ(evalInterp("0 || 9"), 1);
+    EXPECT_EQ(evalInterp("0 && (1 / 0)"), 0);
+    // The rhs must not be evaluated at all: a diverging rhs would
+    // otherwise blow the step budget.
+    const auto r = runInterp(
+        "int f(void) { while (1) {} return 0; }\n"
+        "int main(void) { return 1 || f(); }");
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.exitCode, 1);
+}
+
+// ---------------------------------------------------------------------
+// char narrowing.
+// ---------------------------------------------------------------------
+
+TEST(InterpChar, AssignmentNarrowsAndYieldsNarrowed)
+{
+    const auto r = runInterp(
+        "int main(void) { char c; c = 0; return (c = 300); }");
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.exitCode, 44);
+}
+
+TEST(InterpChar, CharIsUnsigned)
+{
+    const auto r = runInterp(
+        "int main(void) { char c; c = 0 - 1; return c; }");
+    EXPECT_EQ(r.exitCode, 255);
+}
+
+TEST(InterpChar, CastMasksLowByte)
+{
+    EXPECT_EQ(evalInterp("(char)0x1ff"), 0xff);
+    EXPECT_EQ(evalInterp("(char)(0 - 1)"), 0xff);
+}
+
+TEST(InterpChar, ReturnFromCharFunctionNarrows)
+{
+    const auto r = runInterp(
+        "char f(void) { return 300; }\n"
+        "int main(void) { return f(); }");
+    EXPECT_EQ(r.exitCode, 44);
+}
+
+TEST(InterpChar, CharParameterNarrows)
+{
+    const auto r = runInterp(
+        "int f(char c) { return c; }\n"
+        "int main(void) { return f(300); }");
+    EXPECT_EQ(r.exitCode, 44);
+}
+
+// ---------------------------------------------------------------------
+// Globals, arrays, pointers.
+// ---------------------------------------------------------------------
+
+TEST(InterpData, GlobalsAreZeroInitialized)
+{
+    const auto r = runInterp(
+        "int g[4];\n"
+        "int s;\n"
+        "int main(void) { return g[2] + s; }");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(InterpData, GlobalInitializerList)
+{
+    const auto r = runInterp(
+        "int g[4] = {10, 20, 30, 40};\n"
+        "int main(void) { return g[0] + g[3]; }");
+    EXPECT_EQ(r.exitCode, 50);
+}
+
+TEST(InterpData, StringLiteralContents)
+{
+    const auto r = runInterp(
+        "char *s = \"AB\";\n"
+        "int main(void) { return s[0] + s[1] + s[2]; }");
+    EXPECT_EQ(r.exitCode, 'A' + 'B');
+}
+
+TEST(InterpData, PointerArithmeticScales)
+{
+    const auto r = runInterp(
+        "int a[4] = {1, 2, 3, 4};\n"
+        "int main(void) { int *p = &a[0]; int *q = p + 3;\n"
+        "                 return (*q) + (q - p); }");
+    EXPECT_EQ(r.exitCode, 7);
+}
+
+TEST(InterpData, StructMembers)
+{
+    const auto r = runInterp(
+        "struct P { int x; char tag; int v[2]; };\n"
+        "struct P g;\n"
+        "int main(void) { g.x = 5; g.tag = 300; g.v[1] = 7;\n"
+        "                 return g.x + g.tag + g.v[1]; }");
+    EXPECT_EQ(r.exitCode, 5 + 44 + 7);
+}
+
+// ---------------------------------------------------------------------
+// Syscalls.
+// ---------------------------------------------------------------------
+
+TEST(InterpSyscall, WriteCollectsOutput)
+{
+    const auto r = runInterp(
+        "char msg[4] = \"hi\\n\";\n"
+        "int main(void) { __write(msg, 3); return 0; }");
+    EXPECT_EQ(r.output, "hi\n");
+}
+
+TEST(InterpSyscall, ReadConsumesInput)
+{
+    const auto r = runInterp(
+        "int main(void) { char b[8]; int i;\n"
+        "  for (i = 0; i < 8; i++) { b[i] = 0; }\n"
+        "  int n = __read(b, 8);\n"
+        "  return n * 100 + b[0]; }",
+        "xy");
+    EXPECT_EQ(r.exitCode, 2 * 100 + 'x');
+}
+
+TEST(InterpSyscall, ReadPastEofReturnsZero)
+{
+    const auto r = runInterp(
+        "int main(void) { char b[4];\n"
+        "  __read(b, 4);\n"
+        "  return __read(b, 4); }",
+        "abcd");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(InterpSyscall, SbrkReturnsZeroedMemory)
+{
+    const auto r = runInterp(
+        "int main(void) { int *p = (int *)__sbrk(64);\n"
+        "  int s = p[0] + p[15]; p[3] = 9; return s + p[3]; }");
+    EXPECT_EQ(r.exitCode, 9);
+}
+
+TEST(InterpSyscall, ExplicitExit)
+{
+    const auto r = runInterp(
+        "int main(void) { __exit(7); return 1; }");
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.exitCode, 7);
+}
+
+// ---------------------------------------------------------------------
+// Resource limits.
+// ---------------------------------------------------------------------
+
+TEST(InterpLimits, StepBudgetStopsInfiniteLoop)
+{
+    fuzz::InterpLimits limits;
+    limits.maxSteps = 10'000;
+    const auto r =
+        runInterp("int main(void) { while (1) {} return 0; }", "",
+                  limits);
+    EXPECT_FALSE(r.halted);
+    EXPECT_TRUE(r.error);
+}
+
+TEST(InterpLimits, CallDepthGuardStopsRunawayRecursion)
+{
+    fuzz::InterpLimits limits;
+    limits.maxCallDepth = 50;
+    const auto r = runInterp(
+        "int f(int n) { return f(n + 1); }\n"
+        "int main(void) { return f(0); }",
+        "", limits);
+    EXPECT_FALSE(r.halted);
+    EXPECT_TRUE(r.error);
+}
+
+} // namespace
+} // namespace irep

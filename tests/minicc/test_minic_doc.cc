@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Conformance suite for docs/minic.md: one executable snippet per
+ * documented language feature, table-driven. If a rule in the
+ * reference changes, the matching case here must change with it —
+ * the table's `feature` strings name the section being pinned.
+ */
+
+#include <gtest/gtest.h>
+
+#include "minicc_test_util.hh"
+
+namespace irep
+{
+namespace
+{
+
+using test::runMiniC;
+
+struct DocCase
+{
+    const char *feature;
+    const char *source;
+    int exitCode;
+    const char *input = "";
+    const char *output = "";
+};
+
+class MinicDocTest : public ::testing::TestWithParam<DocCase>
+{
+};
+
+TEST_P(MinicDocTest, SnippetBehavesAsDocumented)
+{
+    const DocCase &c = GetParam();
+    const auto r = runMiniC(c.source, c.input);
+    EXPECT_TRUE(r.halted) << c.feature;
+    EXPECT_EQ(r.exitCode, c.exitCode) << c.feature;
+    EXPECT_EQ(r.output, c.output) << c.feature;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, MinicDocTest,
+    ::testing::Values(
+        DocCase{"int is 32-bit two's complement; >> is arithmetic",
+                "int main(void) { return ((0 - 16) >> 2) == (0 - 4); }",
+                1},
+        DocCase{"char is unsigned 0..255; stores truncate",
+                "int main(void) { char c; c = 0 - 1; return c; }",
+                255},
+        DocCase{"pointer arithmetic scales by sizeof(T)",
+                "int a[4] = {1, 2, 3, 4};\n"
+                "int main(void) { int *p = a; return *(p + 2); }",
+                3},
+        DocCase{"1-D arrays with literal size",
+                "int main(void) { int t[8]; t[7] = 9; return t[7]; }",
+                9},
+        DocCase{"struct members aligned; self-pointer allowed",
+                "struct node { char tag; int v; struct node *next; };\n"
+                "struct node a; struct node b;\n"
+                "int main(void) { a.next = &b; b.v = 6;\n"
+                "                 return a.next->v + (sizeof(struct node) == 12); }",
+                7},
+        DocCase{"sizeof(type) is a compile-time constant",
+                "int main(void) { return sizeof(int) + sizeof(char) +\n"
+                "                        sizeof(int *); }",
+                9},
+        DocCase{"(char) cast masks to the low byte",
+                "int main(void) { return (char)0x1ff; }",
+                0xff},
+        DocCase{"scalar casts between pointer and int",
+                "int g = 42;\n"
+                "int main(void) { int *p = (int *)(int)&g; return *p; }",
+                42}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Declarations, MinicDocTest,
+    ::testing::Values(
+        DocCase{"globals are zero-initialized",
+                "int g; int t[4]; char c;\n"
+                "int main(void) { return g + t[3] + c; }",
+                0},
+        DocCase{"global constant-expression initializer",
+                "int n = 5 * 4 + 1;\n"
+                "int main(void) { return n; }",
+                21},
+        DocCase{"a global NAME initializes a pointer to its address",
+                "int g = 8;\n"
+                "int *p = g;\n"
+                "int main(void) { return *p; }",
+                8},
+        DocCase{"array initializer list, rest zero-filled",
+                "int tab[8] = {1, 2, 3};\n"
+                "int main(void) { return tab[2] + tab[7]; }",
+                3},
+        DocCase{"char array from string literal, zero-padded",
+                "char msg[16] = \"hello\";\n"
+                "int main(void) { return msg[4] + msg[5]; }",
+                'o'},
+        DocCase{"char * from a pooled string literal",
+                "char *s = \"hello\";\n"
+                "int main(void) { return s[1]; }",
+                'e'},
+        DocCase{"locals declared in any block incl. for-init",
+                "int main(void) { int s; s = 0;\n"
+                "  for (int i = 0; i < 5; i++) { int d; d = i; s = s + d; }\n"
+                "  return s; }",
+                10}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, MinicDocTest,
+    ::testing::Values(
+        DocCase{"up to 4 scalar parameters",
+                "int f(int a, char b, int *c, int d) {\n"
+                "  return a + b + *c + d; }\n"
+                "int g = 3;\n"
+                "int main(void) { return f(1, 2, &g, 4); }",
+                10},
+        DocCase{"forward declarations",
+                "int twice(int x);\n"
+                "int main(void) { return twice(21); }\n"
+                "int twice(int x) { return x * 2; }",
+                42},
+        DocCase{"mutual recursion",
+                "int odd(int n);\n"
+                "int even(int n) { if (n == 0) { return 1; }\n"
+                "                  return odd(n - 1); }\n"
+                "int odd(int n) { if (n == 0) { return 0; }\n"
+                "                 return even(n - 1); }\n"
+                "int main(void) { return even(10) + odd(7); }",
+                2},
+        DocCase{"structs pass by pointer",
+                "struct p { int x; int y; };\n"
+                "int sum(struct p *v) { return v->x + v->y; }\n"
+                "int main(void) { struct p v; v.x = 30; v.y = 12;\n"
+                "                 return sum(&v); }",
+                42}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, MinicDocTest,
+    ::testing::Values(
+        DocCase{"if/else, while, do-while, break, continue",
+                "int main(void) { int n; int s; n = 0; s = 0;\n"
+                "  while (1) { n++; if (n > 10) { break; }\n"
+                "              if (n % 2) { continue; } s = s + n; }\n"
+                "  do { s++; } while (0);\n"
+                "  if (s > 30) { return s; } else { return 0; }\n"
+                "}",
+                31},
+        DocCase{"?: and compound assignment and ++/--",
+                "int main(void) { int x; x = 5; x += 3; x <<= 2;\n"
+                "  x--; ++x; return x > 30 ? x : 0; }",
+                32},
+        DocCase{"&& and || short-circuit",
+                "int g = 0;\n"
+                "int touch(void) { g = 1; return 1; }\n"
+                "int main(void) { int a; a = 0 && touch();\n"
+                "  int b; b = 1 || touch();\n"
+                "  return g * 100 + a * 10 + b; }",
+                1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Semantics, MinicDocTest,
+    ::testing::Values(
+        DocCase{"division truncates toward zero; x/0 and x%0 yield 0",
+                "int main(void) { return ((0 - 7) / 2 == (0 - 3)) +\n"
+                "                        (7 / 0 == 0) + (7 % 0 == 0); }",
+                3},
+        DocCase{"signed overflow wraps",
+                "int main(void) { return 0x7fffffff + 1 == 0x80000000; }",
+                1},
+        DocCase{"pointer comparisons; if (p) tests null",
+                "int g;\n"
+                "int main(void) { int *p = &g; int *q = 0;\n"
+                "  int r; r = 0; if (p) { r = r + 1; } if (q) { r = r + 8; }\n"
+                "  return r + (p != 0) + (q == 0); }",
+                3},
+        DocCase{"identical string literals are interned",
+                "int main(void) { char *a = \"dup\"; char *b = \"dup\";\n"
+                "                 return a == b; }",
+                1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Intrinsics, MinicDocTest,
+    ::testing::Values(
+        DocCase{"__read fills a buffer, 0 at EOF",
+                "int main(void) { char b[4]; int n; n = __read(b, 4);\n"
+                "  int m; m = __read(b, 4); return n * 10 + m; }",
+                20, "ab"},
+        DocCase{"__write appends to the output stream",
+                "char msg[3] = \"ok\";\n"
+                "int main(void) { return __write(msg, 2); }",
+                2, "", "ok"},
+        DocCase{"__sbrk grows the heap, returns the old break",
+                "int main(void) { int *p = (int *)__sbrk(64);\n"
+                "  int *q = (int *)__sbrk(64);\n"
+                "  p[0] = 7; return ((char *)q - (char *)p == 64) + p[0]; }",
+                8},
+        DocCase{"__exit terminates with the given code",
+                "int main(void) { __exit(5); return 1; }",
+                5}));
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Keeps the CLI help text, its committed golden copy, and docs/cli.md
+ * from drifting apart. The golden file is what `irep --help` prints;
+ * regenerate it with:
+ *
+ *     build/tools/irep --help > tools/help.golden
+ *
+ * and update docs/cli.md to match.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "usage.hh"
+
+namespace irep
+{
+namespace
+{
+
+std::string
+readFile(const char *path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+    std::stringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Every --flag and IREP_* env knob mentioned in `text`. */
+std::set<std::string>
+knobs(const std::string &text)
+{
+    std::set<std::string> out;
+    const std::regex pattern("--[a-z][a-z-]+|IREP_[A-Z_]+");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                        pattern);
+         it != std::sregex_iterator(); ++it)
+        out.insert(it->str());
+    return out;
+}
+
+TEST(CliHelp, MatchesCommittedGolden)
+{
+    EXPECT_EQ(readFile(IREP_CLI_HELP_GOLDEN), cli::usageText)
+        << "tools/help.golden is stale; regenerate with "
+           "`build/tools/irep --help > tools/help.golden` and update "
+           "docs/cli.md";
+}
+
+TEST(CliHelp, EveryKnobIsInTheCliReference)
+{
+    const std::string reference = readFile(IREP_CLI_DOC);
+    for (const std::string &knob : knobs(cli::usageText)) {
+        EXPECT_NE(reference.find(knob), std::string::npos)
+            << "docs/cli.md does not mention " << knob;
+    }
+}
+
+TEST(CliHelp, EverySubcommandIsInTheCliReference)
+{
+    const std::string reference = readFile(IREP_CLI_DOC);
+    for (const char *command :
+         {"compile", "disasm", "run", "analyze", "bench", "record",
+          "fuzz"}) {
+        EXPECT_NE(reference.find(std::string("irep ") + command),
+                  std::string::npos)
+            << "docs/cli.md does not document `irep " << command
+            << "`";
+    }
+}
+
+} // namespace
+} // namespace irep

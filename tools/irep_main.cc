@@ -12,6 +12,10 @@
  *   irep record <workload|file> [opts]     record a binary retire
  *                                          trace (src/trace_io) for
  *                                          later --from-trace replay
+ *   irep fuzz [opts]                       differential fuzzing of
+ *                                          the minicc->asm->sim
+ *                                          pipeline against the
+ *                                          reference interpreter
  *
  * Options:
  *   --input <file>     bytes served by the read syscall
@@ -45,6 +49,7 @@
 
 #include "asm/assembler.hh"
 #include "core/pipeline.hh"
+#include "fuzz/fuzz.hh"
 #include "harness/suite.hh"
 #include "isa/instruction.hh"
 #include "minicc/compiler.hh"
@@ -59,6 +64,7 @@
 #include "trace_io/cache.hh"
 #include "trace_io/reader.hh"
 #include "trace_io/writer.hh"
+#include "usage.hh"
 #include "workloads/runtime.hh"
 #include "workloads/workloads.hh"
 
@@ -85,47 +91,17 @@ struct Options
     uint64_t progress = 0;
     std::string fromTrace;  //!< replay source for analyze/bench
     std::string outputFile; //!< trace destination for record
+
+    // fuzz only:
+    uint64_t seed = 1;
+    int count = 100;
+    int maxStmts = 24;
+    std::string reproDir = "fuzz-repros";
+    bool verbose = false;
+    bool fuzzFlagSeen = false;  //!< any fuzz-only flag was given
 };
 
-const char *const usageText =
-    "usage: irep <compile|disasm|run|analyze|bench|record> <target>\n"
-    "            [--input FILE] [--skip N] [--window N] [--max N]\n"
-    "            [--jobs N] [--stats-json FILE] [--trace FILE]\n"
-    "            [--trace-sample N] [--progress N]\n"
-    "            [--from-trace FILE] [--output FILE]\n"
-    "  compile  MiniC -> assembly text\n"
-    "  disasm   assembled program image listing\n"
-    "  run      execute; prints program output and exit code\n"
-    "  analyze  repetition analysis report (the paper's tables,\n"
-    "           for your program)\n"
-    "  bench    same, for a built-in workload (go, m88ksim,\n"
-    "           ijpeg, perl, vortex, li, gcc, compress), or `all`\n"
-    "           for the whole suite with workloads run in parallel\n"
-    "  record   write the retired-instruction stream as a binary\n"
-    "           trace; analyze/bench replay it with --from-trace,\n"
-    "           skipping simulation entirely\n"
-    "options:\n"
-    "  --input FILE       bytes served by the read syscall\n"
-    "  --skip N           instructions to skip before measuring\n"
-    "  --window N         measurement window (default 5,000,000)\n"
-    "  --max N            execution cap for `run` (default 1B)\n"
-    "  --jobs N           worker threads for `bench all` (default:\n"
-    "                     hardware concurrency; 1 = serial)\n"
-    "  --stats-json FILE  write the analysis report as JSON\n"
-    "  --trace FILE       sampled retire trace (.jsonl for JSONL)\n"
-    "  --trace-sample N   record every Nth instruction (default 1)\n"
-    "  --progress N       stderr heartbeat every N instructions\n"
-    "  --from-trace FILE  replay a recorded trace instead of\n"
-    "                     simulating (analyze and bench <workload>\n"
-    "                     only; adopts the trace's skip/window)\n"
-    "  --output FILE      trace destination for `record` (default:\n"
-    "                     the IREP_TRACE_DIR cache when set, else\n"
-    "                     <name>.irtrace in the current directory)\n"
-    "environment:\n"
-    "  IREP_TRACE_DIR     trace-cache directory: `record` publishes\n"
-    "                     into it and `bench all` records each\n"
-    "                     (workload, skip, window) once, replaying\n"
-    "                     on later runs\n";
+using cli::usageText;
 
 [[noreturn]] void
 usage()
@@ -175,11 +151,18 @@ parseArgs(int argc, char **argv)
     }
 
     Options opts;
-    if (argc < 3)
+    if (argc < 2)
         usage();
     opts.command = argv[1];
-    opts.target = argv[2];
-    for (int i = 3; i < argc; ++i) {
+    // `fuzz` takes no target; every other command requires one.
+    int first_flag = 2;
+    if (opts.command != "fuzz") {
+        if (argc < 3)
+            usage();
+        opts.target = argv[2];
+        first_flag = 3;
+    }
+    for (int i = first_flag; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
@@ -214,10 +197,35 @@ parseArgs(int argc, char **argv)
             opts.fromTrace = next();
         else if (arg == "--output")
             opts.outputFile = next();
+        else if (arg == "--seed") {
+            opts.seed = parseU64(arg, next());
+            opts.fuzzFlagSeen = true;
+        }
+        else if (arg == "--count") {
+            opts.count = int(parseU64(arg, next()));
+            fatalIf(opts.count == 0, "--count must be positive");
+            opts.fuzzFlagSeen = true;
+        }
+        else if (arg == "--max-stmts") {
+            opts.maxStmts = int(parseU64(arg, next()));
+            fatalIf(opts.maxStmts == 0, "--max-stmts must be positive");
+            opts.fuzzFlagSeen = true;
+        }
+        else if (arg == "--repro-dir") {
+            opts.reproDir = next();
+            opts.fuzzFlagSeen = true;
+        }
+        else if (arg == "--verbose") {
+            opts.verbose = true;
+            opts.fuzzFlagSeen = true;
+        }
         else
             usage();
     }
     fatalIf(opts.traceSample == 0, "--trace-sample must be positive");
+    fatalIf(opts.fuzzFlagSeen && opts.command != "fuzz",
+            "--seed/--count/--max-stmts/--repro-dir/--verbose only "
+            "apply to `fuzz`");
 
     // Replay drives the analyses straight off a recorded stream, so
     // it only makes sense where analyses run; reject it everywhere
@@ -637,6 +645,27 @@ cmdRecord(const Options &opts)
     return 0;
 }
 
+/**
+ * `irep fuzz`: run a differential campaign. Exit 0 when every program
+ * matches, 1 when any divergence (or engine crash) was found —
+ * minimized repros land in --repro-dir.
+ */
+int
+cmdFuzz(const Options &opts)
+{
+    fuzz::FuzzOptions config;
+    config.seed = opts.seed;
+    config.count = opts.count;
+    config.maxStmts = opts.maxStmts;
+    config.reproDir = opts.reproDir;
+    config.maxInstructions = opts.max == 1'000'000'000
+        ? 100'000'000 : opts.max;   // fuzz default is 100M
+    config.logEach = opts.verbose;
+
+    const fuzz::FuzzReport report = fuzz::runFuzz(config, std::cout);
+    return report.ok() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -656,6 +685,8 @@ main(int argc, char **argv)
             return cmdBench(opts);
         if (opts.command == "record")
             return cmdRecord(opts);
+        if (opts.command == "fuzz")
+            return cmdFuzz(opts);
         usage();
     } catch (const FatalError &e) {
         std::fprintf(stderr, "irep: error: %s\n", e.what());

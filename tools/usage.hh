@@ -1,0 +1,19 @@
+/**
+ * @file
+ * The `irep --help` text, in its own translation unit so the golden
+ * help test (tests/tools/test_cli_help.cc) can link it and diff it
+ * against the committed copy — keeping docs/cli.md, the golden file,
+ * and the binary from drifting apart.
+ */
+
+#ifndef IREP_TOOLS_USAGE_HH
+#define IREP_TOOLS_USAGE_HH
+
+namespace irep::cli
+{
+
+extern const char *const usageText;
+
+} // namespace irep::cli
+
+#endif // IREP_TOOLS_USAGE_HH
