@@ -3,13 +3,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "support/json.hh"
 #include "support/logging.hh"
+#include "support/outfile.hh"
 #include "support/parallel.hh"
 #include "support/parse.hh"
+#include "support/prof.hh"
+#include "support/stat_math.hh"
 #include "support/stats.hh"
 #include "trace_io/cache.hh"
 #include "trace_io/writer.hh"
@@ -110,6 +112,8 @@ Suite::Suite()
     config_.skip = parse::envU64("IREP_SKIP", 1'000'000);
     config_.window = parse::envU64("IREP_WINDOW", 4'000'000);
     config_.filter = envList("IREP_BENCH");
+    config_.repetitions =
+        unsigned(parse::envU64("IREP_BENCH_REPS", 1));
 }
 
 Suite::Suite(const SuiteConfig &config) : config_(config) {}
@@ -125,6 +129,8 @@ void
 Suite::runAll()
 {
     validateFilter(config_.filter);
+    fatalIf(config_.repetitions == 0,
+            "IREP_BENCH_REPS/--repetitions must be at least 1");
 
     // Build every entry up front (workload compilation is memoized
     // and the pipelines register no global state), in the paper's
@@ -149,8 +155,16 @@ Suite::runAll()
     parallel::parallelFor(
         entries_.size(),
         [this, &trace_dir](size_t i) {
-            entries_[i].windowExecuted = runEntry(
-                entries_[i], trace_dir, config_.skip, config_.window);
+            SuiteEntry &entry = entries_[i];
+            {
+                prof::Span span("workload:" + entry.name, "bench");
+                entry.windowExecuted = runEntry(
+                    entry, trace_dir, config_.skip, config_.window);
+                span.arg("window_executed",
+                         double(entry.windowExecuted));
+                span.arg("replayed", entry.replayed ? 1.0 : 0.0);
+            }
+            timeEntry(entry, trace_dir);
         },
         jobs_);
     suiteSeconds_ = std::chrono::duration<double>(
@@ -161,6 +175,43 @@ Suite::runAll()
     const char *json_path = std::getenv("IREP_BENCH_JSON");
     if (json_path && *json_path)
         writeJson(json_path);
+}
+
+/**
+ * Collect @p entry's timed runs. At repetitions=1 the stats pass is
+ * the one timed run. With more, every measured run is a dedicated
+ * pass *after* the stats pass so all of them are in one mode: with
+ * the trace cache enabled the stats pass may have recorded live while
+ * its successors replay, and mixing those modes in one sample would
+ * make the median meaningless.
+ */
+void
+Suite::timeEntry(SuiteEntry &entry, const std::string &trace_dir)
+{
+    if (config_.repetitions <= 1) {
+        const core::RunTiming &t = entry.pipeline->timing();
+        entry.runSeconds.push_back(t.skip.seconds +
+                                   t.window.seconds);
+        entry.timingReplayed = entry.replayed;
+        return;
+    }
+
+    core::PipelineConfig config;
+    config.skipInstructions = config_.skip;
+    config.windowInstructions = config_.window;
+    const workloads::Workload &w =
+        workloads::workloadByName(entry.name);
+    for (unsigned r = 0; r < config_.repetitions; ++r) {
+        SuiteEntry fresh = buildEntry(w, config);
+        prof::Span span("timing:" + entry.name, "bench");
+        fresh.windowExecuted = runEntry(fresh, trace_dir,
+                                        config_.skip, config_.window);
+        span.arg("repetition", double(r));
+        const core::RunTiming &t = fresh.pipeline->timing();
+        entry.runSeconds.push_back(t.skip.seconds +
+                                   t.window.seconds);
+        entry.timingReplayed = fresh.replayed;
+    }
 }
 
 unsigned
@@ -183,32 +234,71 @@ Suite::workloadSeconds() const
     return sum;
 }
 
+namespace
+{
+
+/** The `perf` block of one workload: the honest timing numbers. */
+void
+writePerf(json::Writer &w, const SuiteEntry &entry)
+{
+    const std::vector<double> &runs = entry.runSeconds;
+    w.beginObject();
+    w.key("runs_seconds");
+    w.beginArray();
+    for (double s : runs)
+        w.value(s);
+    w.endArray();
+    w.field("median_seconds", stat::median(runs));
+    const stat::Interval ci = stat::medianCI(runs);
+    w.key("median_ci95_seconds");
+    w.beginObject();
+    w.field("lo", ci.lo);
+    w.field("hi", ci.hi);
+    w.endObject();
+    w.field("noise_rel_iqr", stat::relativeIQR(runs));
+    w.field("timing_mode",
+            entry.timingReplayed ? "replay" : "live");
+    w.endObject();
+}
+
+} // namespace
+
 void
 Suite::writeJson(std::ostream &out)
 {
     json::Writer w(out);
     w.beginObject();
-    w.field("schema", "irep-bench-1");
+    w.field("schema", "irep-bench-2");
     w.field("skip", config_.skip);
     w.field("window", config_.window);
+    w.field("repetitions", uint64_t(config_.repetitions));
     w.key("workloads");
     w.beginObject();
     for (const SuiteEntry &entry : entries_) {
         w.key(entry.name);
+        w.beginObject();
+        w.key("stats");
         stats::Group root;
         entry.pipeline->registerStats(root);
         stats::dumpJson(root, w);
+        w.key("perf");
+        writePerf(w, entry);
+        w.endObject();
     }
     w.endObject();
     // Suite-level wall-clock timing: how long the (possibly
     // parallel) run took vs. the serial-equivalent sum. Timing
-    // fields are the only ones that may differ between serial and
-    // parallel runs.
+    // fields — `perf`, `profile` and the two below — are the only
+    // ones that may differ between serial and parallel runs.
     w.key("suite");
     w.beginObject();
     w.field("wall_seconds", suiteSeconds_);
     w.field("workload_seconds", workloadSeconds());
     w.endObject();
+    if (prof::enabled()) {
+        w.key("profile");
+        prof::writeSummary(w);
+    }
     w.endObject();
     out << '\n';
 }
@@ -216,10 +306,9 @@ Suite::writeJson(std::ostream &out)
 void
 Suite::writeJson(const std::string &path)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    fatalIf(!out, "cannot open '", path, "'");
-    writeJson(out);
-    fatalIf(!out, "write to '", path, "' failed");
+    AtomicOutFile file(path);
+    writeJson(file.stream());
+    file.commit();
 }
 
 const std::vector<SuiteEntry> &

@@ -20,6 +20,11 @@
  *                    (unknown names are fatal)
  *   IREP_JOBS        worker threads (default: hardware concurrency;
  *                    1 = serial, today's behaviour)
+ *   IREP_BENCH_REPS  timed repetitions per workload (default 1; 0 is
+ *                    fatal). With more than one, each workload gets
+ *                    dedicated timing passes after the stats pass and
+ *                    irep-bench-2 reports the run array, median,
+ *                    confidence interval and noise estimate
  *   IREP_BENCH_JSON  write one JSON document with every workload's
  *                    full stats report (the perf-trajectory
  *                    `BENCH_*.json` format) to this path after the
@@ -55,6 +60,12 @@ struct SuiteEntry
     std::unique_ptr<core::AnalysisPipeline> pipeline;
     uint64_t windowExecuted = 0;
     bool replayed = false;  //!< served from the trace cache
+
+    /** Wall-clock skip+window seconds of every timed run. One entry
+     *  (the stats pass itself) at repetitions=1; otherwise one per
+     *  dedicated timing pass. */
+    std::vector<double> runSeconds;
+    bool timingReplayed = false;    //!< timed runs came from the cache
 };
 
 /** Explicit suite configuration (tools and tests; the shared
@@ -65,6 +76,7 @@ struct SuiteConfig
     uint64_t window = 4'000'000;
     std::vector<std::string> filter;    //!< empty = all workloads
     unsigned jobs = 0;                  //!< 0 = parallel::defaultJobs()
+    unsigned repetitions = 1;           //!< timed runs per workload
 };
 
 /** A benchmark suite run: all (filtered) workloads, in paper order. */
@@ -86,6 +98,9 @@ class Suite
     /** Worker threads the run used (resolved from config/env). */
     unsigned jobs() const { return jobs_; }
 
+    /** Timed repetitions per workload (resolved from config/env). */
+    unsigned repetitions() const { return config_.repetitions; }
+
     /** Wall-clock seconds of the whole suite run (dispatch+join). */
     double suiteSeconds() const { return suiteSeconds_; }
 
@@ -102,10 +117,14 @@ class Suite
                              const core::PipelineConfig &config);
 
     /**
-     * Write every entry's stats registry as one JSON document:
-     * `{schema, skip, window, workloads: {name: {stats...}}, suite}`.
-     * Called automatically after runAll() when IREP_BENCH_JSON is
-     * set; public so harness users can emit extra snapshots.
+     * Write the `irep-bench-2` document: `{schema, skip, window,
+     * repetitions, workloads: {name: {stats, perf}}, suite}` — `stats`
+     * is the full registry, `perf` the run-seconds array with median,
+     * 95% confidence interval, noise estimate and timing mode. When
+     * the profiler is enabled an `irep-prof-1` `profile` block rides
+     * along. Called automatically after runAll() when IREP_BENCH_JSON
+     * is set; public so harness users can emit extra snapshots. The
+     * @p path variant publishes atomically (`-` = stdout).
      */
     void writeJson(const std::string &path);
 
@@ -115,6 +134,7 @@ class Suite
   private:
     Suite();
     void runAll();
+    void timeEntry(SuiteEntry &entry, const std::string &traceDir);
 
     SuiteConfig config_;
     unsigned jobs_ = 1;

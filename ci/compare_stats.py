@@ -1,28 +1,49 @@
 #!/usr/bin/env python3
-"""Compare two irep --stats-json documents, ignoring timing fields.
+"""Compare two irep stats/bench JSON documents.
 
-Every counted statistic the toolchain reports is deterministic; only
-wall-clock-derived fields legitimately differ between runs (see
-docs/performance.md and docs/parallelism.md). CI uses this script to
-diff a freshly generated stats report against the checked-in golden
-copy, so any change to the simulator or the analyses that perturbs
-the numbers must also update the golden file — deliberately.
+Two modes:
 
-Usage: compare_stats.py GOLDEN ACTUAL
-Exits 0 when the documents match modulo timing, 1 with a list of
-differing paths otherwise.
+Exact mode (default):
+    compare_stats.py GOLDEN ACTUAL
+  Every counted statistic the toolchain reports is deterministic;
+  only wall-clock-derived fields legitimately differ between runs
+  (see docs/performance.md and docs/parallelism.md). CI uses this
+  mode to diff a freshly generated stats report against the
+  checked-in golden copy, so any change to the simulator or the
+  analyses that perturbs the numbers must also update the golden
+  file — deliberately. Exits 0 when the documents match modulo
+  timing, 1 with a list of differing paths otherwise.
+
+Speedup mode (Touati et al.'s Speedup-Test, docs/observability.md):
+    compare_stats.py --speedup BASELINE CANDIDATE \
+        [--alpha 0.05] [--min-effect 0.02]
+  Both inputs must be irep-bench-2 documents with per-workload
+  `perf.runs_seconds` arrays (irep bench all --repetitions N).
+  For each workload the two run samples are compared with a
+  two-sided Mann-Whitney U test; a workload *fails* only when the
+  difference is statistically significant (p < alpha) AND the
+  candidate's median is slower than the baseline's by more than
+  min-effect (relative). Noisy-but-insignificant differences and
+  significant *improvements* both pass — the gate only fires on
+  regressions it can defend. Exits 1 when any workload fails.
 """
 
+import argparse
 import json
+import math
 import sys
 
-# Wall-clock-derived fields, excluded from the comparison.
+# Wall-clock-derived fields, excluded from the exact comparison.
+# `perf` (irep-bench-2 run timing) and `profile` (irep-prof-1
+# spans/counters) are whole subtrees of wall-clock data.
 TIMING_KEYS = {
     "skip_seconds",
     "window_seconds",
     "window_mips",
     "wall_seconds",
     "workload_seconds",
+    "perf",
+    "profile",
 }
 
 
@@ -61,13 +82,102 @@ def diff(golden, actual, path, out):
         out.append(f"{path}: {golden!r} != {actual!r}")
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(argv[1]) as f:
+def median(values):
+    values = sorted(values)
+    n = len(values)
+    mid = n // 2
+    if n % 2:
+        return values[mid]
+    return (values[mid - 1] + values[mid]) / 2.0
+
+
+def mann_whitney_p(a, b):
+    """Two-sided Mann-Whitney U p-value, normal approximation with
+    tie and continuity corrections — the same computation as
+    src/support/stat_math.cc, so the CLI and the CI gate agree."""
+    na, nb = len(a), len(b)
+    if na == 0 or nb == 0:
+        return 1.0
+    pooled = sorted([(v, 0) for v in a] + [(v, 1) for v in b])
+    n = na + nb
+    ranks = [0.0] * n
+    tie_term = 0.0
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and pooled[j + 1][0] == pooled[i][0]:
+            j += 1
+        mid_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[k] = mid_rank
+        t = j - i + 1
+        tie_term += t * (t * t - 1.0)
+        i = j + 1
+    rank_sum_a = sum(r for r, (_, which) in zip(ranks, pooled)
+                     if which == 0)
+    u = rank_sum_a - na * (na + 1) / 2.0
+    mean_u = na * nb / 2.0
+    var_u = (na * nb / 12.0) * (n + 1.0 - tie_term / (n * (n - 1.0)))
+    if var_u <= 0.0:
+        return 1.0
+    z = (abs(u - mean_u) - 0.5) / math.sqrt(var_u)
+    if z < 0.0:
+        z = 0.0
+    return math.erfc(z / math.sqrt(2.0))
+
+
+def run_seconds(doc, path):
+    if doc.get("schema") != "irep-bench-2":
+        sys.exit(f"{path}: --speedup needs an irep-bench-2 document "
+                 f"(got schema {doc.get('schema')!r})")
+    out = {}
+    for name, workload in doc.get("workloads", {}).items():
+        runs = workload.get("perf", {}).get("runs_seconds", [])
+        if not runs:
+            sys.exit(f"{path}: workload {name!r} has no "
+                     f"perf.runs_seconds (re-run with --repetitions)")
+        out[name] = runs
+    return out
+
+
+def speedup_main(args):
+    with open(args.baseline) as f:
+        base = run_seconds(json.load(f), args.baseline)
+    with open(args.candidate) as f:
+        cand = run_seconds(json.load(f), args.candidate)
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        sys.exit("no workloads in common between the two documents")
+
+    failures = 0
+    for name in shared:
+        b, c = base[name], cand[name]
+        mb, mc = median(b), median(c)
+        slowdown = (mc - mb) / mb if mb > 0 else 0.0
+        p = mann_whitney_p(b, c)
+        significant = p < args.alpha
+        regressed = significant and slowdown > args.min_effect
+        verdict = "REGRESSED" if regressed else (
+            "faster" if significant and slowdown < 0 else "ok")
+        print(f"  {name:12s} median {mb:.4f}s -> {mc:.4f}s "
+              f"({slowdown:+.1%}, n={len(b)}/{len(c)}, "
+              f"p={p:.3f}) {verdict}")
+        failures += regressed
+    if failures:
+        print(f"\n{failures} workload(s) show a statistically "
+              f"significant slowdown beyond {args.min_effect:.0%} "
+              f"(alpha={args.alpha}).")
+        return 1
+    print(f"\nno significant regression (alpha={args.alpha}, "
+          f"min effect {args.min_effect:.0%})")
+    return 0
+
+
+def exact_main(args):
+    with open(args.baseline) as f:
         golden = strip_timing(json.load(f))
-    with open(argv[2]) as f:
+    with open(args.candidate) as f:
         actual = strip_timing(json.load(f))
 
     differences = []
@@ -76,11 +186,32 @@ def main(argv):
         print(f"stats mismatch vs golden ({len(differences)} paths):")
         for line in differences:
             print(f"  {line}")
-        print(f"\nIf the change is intentional, regenerate {argv[1]} "
-              f"with the command in .github/workflows/ci.yml.")
+        print(f"\nIf the change is intentional, regenerate "
+              f"{args.baseline} with the command in "
+              f".github/workflows/ci.yml.")
         return 1
     print("stats match golden (timing fields excluded)")
     return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--speedup", action="store_true",
+                        help="statistical comparison of perf runs "
+                             "instead of exact stats diff")
+    parser.add_argument("--alpha", type=float, default=0.05,
+                        help="significance level (default 0.05)")
+    parser.add_argument("--min-effect", type=float, default=0.02,
+                        help="minimum relative slowdown to flag "
+                             "(default 0.02 = 2%%)")
+    args = parser.parse_args(argv[1:])
+    if args.speedup:
+        return speedup_main(args)
+    return exact_main(args)
 
 
 if __name__ == "__main__":

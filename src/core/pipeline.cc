@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "support/prof.hh"
 #include "support/stats.hh"
 
 namespace irep::core
@@ -58,6 +59,16 @@ AnalysisPipeline::setCounting(bool enabled)
 void
 AnalysisPipeline::onRetire(const sim::InstrRecord &rec)
 {
+    // Profiling samples every Nth window retire through the timed
+    // dispatch below; the other N-1 (and everything when profiling is
+    // off, where this is one predictable branch) take the plain path.
+    if (profiling_ && counting_ &&
+        ++profTick_ >= ProfSample::interval) {
+        profTick_ = 0;
+        onRetireSampled(rec);
+        return;
+    }
+
     // Repetition buffering only runs in the window (the paper's
     // buffers start cold at the window boundary). The instance hash is
     // computed once here and shared with every analysis keyed on it.
@@ -79,6 +90,61 @@ AnalysisPipeline::onRetire(const sim::InstrRecord &rec)
         prediction_->onInstr(rec, repeated);
 }
 
+/**
+ * Identical dispatch to onRetire()'s plain path — same calls, same
+ * order, same `repeated` plumbing, so statistics are bit-identical
+ * with profiling on — but with a clock read around each analysis.
+ * Only ever called inside the window (counting_ is true).
+ */
+void
+AnalysisPipeline::onRetireSampled(const sim::InstrRecord &rec)
+{
+    uint64_t t = prof::nowNs();
+    const auto lap = [&t](uint64_t &sink) {
+        const uint64_t now = prof::nowNs();
+        sink += now - t;
+        t = now;
+    };
+
+    const bool repeated =
+        tracker_->onInstr(rec, RepetitionTracker::instanceKey(rec));
+    lap(profSample_.ns[0]);
+    if (taint_) {
+        taint_->onInstr(rec, repeated);
+        lap(profSample_.ns[1]);
+    }
+    if (local_) {
+        local_->onInstr(rec, repeated);
+        lap(profSample_.ns[2]);
+    }
+    if (functions_) {
+        functions_->onInstr(rec, repeated);
+        lap(profSample_.ns[3]);
+    }
+    if (reuse_) {
+        reuse_->onInstr(rec, repeated);
+        lap(profSample_.ns[4]);
+    }
+    if (classes_) {
+        classes_->onInstr(rec, repeated);
+        lap(profSample_.ns[5]);
+    }
+    if (prediction_) {
+        prediction_->onInstr(rec, repeated);
+        lap(profSample_.ns[6]);
+    }
+    ++profSample_.samples;
+}
+
+const char *
+AnalysisPipeline::profAnalysisName(unsigned i)
+{
+    static const char *const names[ProfSample::numAnalyses] = {
+        "tracker", "taint", "local", "functions", "reuse", "classes",
+        "prediction"};
+    return names[i];
+}
+
 void
 AnalysisPipeline::onSyscall(const sim::SyscallRecord &rec)
 {
@@ -98,27 +164,74 @@ AnalysisPipeline::runPhases(Exec &&exec)
             .count();
     };
 
+    profiling_ = prof::enabled();
+    profTick_ = 0;
+    profSample_ = ProfSample();
+
     setCounting(false);
     if (progress_)
         progress_->setPhase("skip");
     if (config_.skipInstructions) {
+        const uint64_t span_start = profiling_ ? prof::nowNs() : 0;
         const auto start = clock::now();
         timing_.skip.instructions = exec(config_.skipInstructions);
         timing_.skip.seconds = elapsed(start);
+        if (profiling_) {
+            prof::recordSpan(
+                "skip", "pipeline", span_start,
+                prof::nowNs() - span_start,
+                {{"instructions", double(timing_.skip.instructions)}});
+        }
     }
 
     setCounting(true);
     if (progress_)
         progress_->setPhase("window");
+    const uint64_t span_start = profiling_ ? prof::nowNs() : 0;
     const auto start = clock::now();
     const uint64_t executed = exec(config_.windowInstructions);
     timing_.window.seconds = elapsed(start);
     timing_.window.instructions = executed;
     setCounting(false);
+    if (profiling_)
+        publishProf(span_start);
 
     if (functions_)
         functions_->finalize();
     return executed;
+}
+
+/**
+ * Turn the sampled per-analysis costs into the report: one "window"
+ * span whose args carry the estimated per-analysis nanoseconds
+ * (sampled_ns scaled by retires/samples), plus raw counters so suite
+ * runs aggregate across workloads.
+ */
+void
+AnalysisPipeline::publishProf(uint64_t window_start_ns)
+{
+    prof::SpanArgs args;
+    args.emplace_back("instructions",
+                      double(timing_.window.instructions));
+    const double scale = profSample_.samples
+        ? double(timing_.window.instructions) /
+            double(profSample_.samples)
+        : 0.0;
+    prof::counterAdd("pipeline/windows", 1);
+    prof::counterAdd("pipeline/window_retires",
+                     double(timing_.window.instructions));
+    prof::counterAdd("pipeline/sampled_retires",
+                     double(profSample_.samples));
+    for (unsigned i = 0; i < ProfSample::numAnalyses; ++i) {
+        const std::string name = profAnalysisName(i);
+        const double est = double(profSample_.ns[i]) * scale;
+        args.emplace_back(name + "_ns_est", est);
+        prof::counterAdd("analysis/" + name + "/sampled_ns",
+                         double(profSample_.ns[i]));
+        prof::counterAdd("analysis/" + name + "/window_ns_est", est);
+    }
+    prof::recordSpan("window", "pipeline", window_start_ns,
+                     prof::nowNs() - window_start_ns, std::move(args));
 }
 
 uint64_t

@@ -139,8 +139,37 @@ class AnalysisPipeline : public sim::Observer
      */
     void registerStats(stats::Group &root) const;
 
+    /**
+     * Sampled per-analysis window cost, filled when the profiler
+     * (support/prof.hh) is enabled during run(): every Nth retire in
+     * the measurement window is dispatched with a clock read around
+     * each analysis, attributing window cost per analysis without
+     * slowing the other N-1 retires. Estimates, not exact — each
+     * sample carries the clock-read overhead — but the *shares* are
+     * what sharding decisions need.
+     */
+    struct ProfSample
+    {
+        static constexpr unsigned numAnalyses = 7;
+        static constexpr uint32_t interval = 512;
+        uint64_t ns[numAnalyses] = {};
+        uint64_t samples = 0;
+    };
+
+    /** Analysis name for ProfSample::ns[i] ("tracker", "taint", …). */
+    static const char *profAnalysisName(unsigned i);
+
+    const ProfSample &profSample() const { return profSample_; }
+
   private:
     void setCounting(bool enabled);
+
+    /** The every-Nth-retire dispatch with per-analysis timing. */
+    void onRetireSampled(const sim::InstrRecord &rec);
+
+    /** Publish sampled attribution as profiler counters; returns the
+     *  per-analysis estimated window cost as span args. */
+    void publishProf(uint64_t window_start_ns);
 
     /** Shared skip/window protocol; @p exec executes up to its
      *  argument's worth of instructions and returns the count done. */
@@ -152,6 +181,10 @@ class AnalysisPipeline : public sim::Observer
     bool counting_ = false;
     RunTiming timing_;
     sim::ProgressMeter *progress_ = nullptr;
+
+    bool profiling_ = false;    //!< prof::enabled(), cached per run()
+    uint32_t profTick_ = 0;
+    ProfSample profSample_;
 
     std::unique_ptr<RepetitionTracker> tracker_;
     std::unique_ptr<GlobalTaint> taint_;

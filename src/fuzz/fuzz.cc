@@ -6,6 +6,7 @@
 
 #include "fuzz/minimize.hh"
 #include "support/logging.hh"
+#include "support/prof.hh"
 
 namespace irep::fuzz
 {
@@ -67,12 +68,15 @@ FuzzReport
 runFuzz(const FuzzOptions &options, std::ostream &log)
 {
     FuzzReport report;
+    prof::Span campaign("campaign", "fuzz");
     DiffLimits limits;
     limits.maxInstructions = options.maxInstructions;
     limits.interp = options.interp;
 
     for (int i = 0; i < options.count; ++i) {
         const uint64_t seed = options.seed + uint64_t(i);
+        prof::Span span("program", "fuzz");
+        span.arg("seed", double(seed));
         GenOptions gen;
         gen.seed = seed;
         gen.maxStmts = options.maxStmts;
@@ -82,6 +86,9 @@ runFuzz(const FuzzOptions &options, std::ostream &log)
             runDifferential(program.render(), program.input, limits);
 
         ++report.total;
+        prof::counterAdd("fuzz/programs", 1);
+        prof::counterAdd(outcome.status == DiffStatus::Match
+                             ? "fuzz/matches" : "fuzz/failures", 1);
         if (outcome.status == DiffStatus::Match) {
             ++report.matches;
             if (options.logEach) {
@@ -132,6 +139,8 @@ runFuzz(const FuzzOptions &options, std::ostream &log)
     if (!report.failures.empty())
         log << ", " << report.failures.size() << " failure(s)";
     log << "\n";
+    campaign.arg("programs", double(report.total));
+    campaign.arg("failures", double(report.failures.size()));
     return report;
 }
 

@@ -1,0 +1,55 @@
+#include "support/outfile.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace irep
+{
+
+AtomicOutFile::AtomicOutFile(std::string path) : path_(std::move(path))
+{
+    fatalIf(path_.empty(), "output path must not be empty");
+}
+
+void
+AtomicOutFile::commit()
+{
+    panicIf(committed_, "AtomicOutFile committed twice");
+    committed_ = true;
+    const std::string doc = buffer_.str();
+
+    if (toStdout()) {
+        fatalIf(std::fwrite(doc.data(), 1, doc.size(), stdout) !=
+                    doc.size(),
+                "write to stdout failed");
+        std::fflush(stdout);
+        return;
+    }
+
+    const std::string tmp =
+        path_ + ".tmp." + std::to_string(::getpid());
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    fatalIf(!file, "cannot open '", tmp, "'");
+
+    const bool wrote =
+        std::fwrite(doc.data(), 1, doc.size(), file) == doc.size() &&
+        std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
+    if (!wrote || std::fclose(file) != 0) {
+        if (!wrote)
+            std::fclose(file);
+        std::remove(tmp.c_str());
+        fatal("write to '", tmp, "' failed");
+    }
+    // The rename must never become visible ahead of the data it
+    // names (same rule as trace publication): only now does `path_`
+    // change, and it changes to a complete document or not at all.
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal("cannot rename '", tmp, "' to '", path_, "'");
+    }
+}
+
+} // namespace irep

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Atomic publication of generated report files (stats JSON, profile
+ * JSON), following the same discipline trace_io uses for traces:
+ * build the full document, then write it to `<path>.tmp.<pid>`,
+ * fsync, and rename over the target. A run killed mid-write leaves
+ * either the old file or nothing — never a truncated JSON a consumer
+ * would choke on.
+ *
+ * The path `-` selects stdout: the document is written straight to
+ * it at commit() (no atomicity possible, none expected).
+ */
+
+#ifndef IREP_SUPPORT_OUTFILE_HH
+#define IREP_SUPPORT_OUTFILE_HH
+
+#include <sstream>
+#include <string>
+
+namespace irep
+{
+
+/**
+ * Buffered, atomically published output file. stream() collects the
+ * document in memory; commit() publishes it. Destroying an
+ * uncommitted instance leaves the target path untouched.
+ */
+class AtomicOutFile
+{
+  public:
+    /** @param path Target file, or `-` for stdout. */
+    explicit AtomicOutFile(std::string path);
+
+    /** Nothing was published if commit() never ran. */
+    ~AtomicOutFile() = default;
+
+    AtomicOutFile(const AtomicOutFile &) = delete;
+    AtomicOutFile &operator=(const AtomicOutFile &) = delete;
+
+    /** The in-memory document being built. */
+    std::ostream &stream() { return buffer_; }
+
+    bool toStdout() const { return path_ == "-"; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Publish: write the buffered bytes to `<path>.tmp.<pid>`,
+     * flush + fsync, and rename onto the target (or write to stdout
+     * for `-`). fatal()s on any I/O failure, removing the temporary.
+     * Must be called at most once.
+     */
+    void commit();
+
+  private:
+    std::string path_;
+    std::ostringstream buffer_;
+    bool committed_ = false;
+};
+
+} // namespace irep
+
+#endif // IREP_SUPPORT_OUTFILE_HH

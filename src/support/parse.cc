@@ -31,4 +31,16 @@ envU64(const char *name, uint64_t fallback)
     return parseU64(name, value);
 }
 
+bool
+envFlag(const char *name)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return false;
+    const std::string text = value;
+    fatalIf(text != "0" && text != "1",
+            name, ": '", text, "' is not a flag (use 0 or 1)");
+    return text == "1";
+}
+
 } // namespace irep::parse

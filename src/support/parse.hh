@@ -29,6 +29,14 @@ uint64_t parseU64(const std::string &what, const std::string &text);
  */
 uint64_t envU64(const char *name, uint64_t fallback);
 
+/**
+ * Read environment variable @p name as a boolean switch: unset,
+ * empty, or `0` is false; `1` is true; anything else —
+ * `IREP_PROF=yes`, `IREP_PROF=01` — is fatal, matching the
+ * IREP_SKIP/WINDOW/JOBS discipline of never guessing at junk.
+ */
+bool envFlag(const char *name);
+
 } // namespace irep::parse
 
 #endif // IREP_SUPPORT_PARSE_HH

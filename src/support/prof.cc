@@ -1,0 +1,286 @@
+#include "support/prof.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "support/json.hh"
+#include "support/outfile.hh"
+
+namespace irep::prof
+{
+
+namespace detail
+{
+std::atomic<bool> enabledFlag{false};
+}
+
+namespace
+{
+
+/**
+ * One thread's recording buffer. Owned by the global registry (so it
+ * survives its thread — pool workers die before the report is
+ * written), written only by its thread, read by whichever thread
+ * merges the snapshot; the per-buffer mutex makes both directions
+ * race-free and is uncontended in the steady state.
+ */
+struct ThreadBuf
+{
+    std::mutex mutex;
+    std::vector<Event> events;
+    std::map<std::string, double> counters;
+    unsigned tid = 0;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<std::unique_ptr<ThreadBuf>> buffers;
+    std::atomic<uint64_t> epoch{0};     //!< bumped by reset()
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** The calling thread's buffer, re-acquired after any reset(). */
+ThreadBuf &
+threadBuf()
+{
+    thread_local ThreadBuf *buf = nullptr;
+    thread_local uint64_t bufEpoch = ~uint64_t(0);
+
+    Registry &reg = registry();
+    const uint64_t epoch = reg.epoch.load(std::memory_order_acquire);
+    if (buf && bufEpoch == epoch)
+        return *buf;
+
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto fresh = std::make_unique<ThreadBuf>();
+    fresh->tid = unsigned(reg.buffers.size()) + 1;
+    buf = fresh.get();
+    bufEpoch = reg.epoch.load(std::memory_order_relaxed);
+    reg.buffers.push_back(std::move(fresh));
+    return *buf;
+}
+
+std::chrono::steady_clock::time_point
+epochStart()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return start;
+}
+
+} // namespace
+
+void
+enable(bool on)
+{
+#ifdef IREP_PROF_DISABLED
+    (void)on;
+#else
+    epochStart();   // pin the clock epoch before the first probe
+    detail::enabledFlag.store(on, std::memory_order_relaxed);
+#endif
+}
+
+uint64_t
+nowNs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - epochStart())
+                        .count());
+}
+
+void
+recordSpan(std::string name, std::string cat, uint64_t start_ns,
+           uint64_t dur_ns, SpanArgs args)
+{
+    if (!enabled())
+        return;
+    ThreadBuf &buf = threadBuf();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    Event event;
+    event.name = std::move(name);
+    event.cat = std::move(cat);
+    event.startNs = start_ns;
+    event.durNs = dur_ns;
+    event.tid = buf.tid;
+    event.args = std::move(args);
+    buf.events.push_back(std::move(event));
+}
+
+void
+counterAdd(const std::string &name, double delta)
+{
+    if (!enabled())
+        return;
+    ThreadBuf &buf = threadBuf();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.counters[name] += delta;
+}
+
+Report
+snapshot()
+{
+    Report report;
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> reg_lock(reg.mutex);
+    for (const auto &buf : reg.buffers) {
+        std::lock_guard<std::mutex> lock(buf->mutex);
+        report.events.insert(report.events.end(), buf->events.begin(),
+                             buf->events.end());
+        for (const auto &[name, value] : buf->counters)
+            report.counters[name] += value;
+    }
+
+    std::sort(report.events.begin(), report.events.end(),
+              [](const Event &a, const Event &b) {
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.name < b.name;
+              });
+
+    // Aggregate by (cat, name), deterministically ordered.
+    std::map<std::pair<std::string, std::string>, SpanStat> agg;
+    for (const Event &event : report.events) {
+        SpanStat &stat = agg[{event.cat, event.name}];
+        if (stat.count == 0) {
+            stat.name = event.name;
+            stat.cat = event.cat;
+            stat.minNs = event.durNs;
+            stat.maxNs = event.durNs;
+        }
+        ++stat.count;
+        stat.totalNs += event.durNs;
+        stat.minNs = std::min(stat.minNs, event.durNs);
+        stat.maxNs = std::max(stat.maxNs, event.durNs);
+    }
+    report.spans.reserve(agg.size());
+    for (auto &[key, stat] : agg)
+        report.spans.push_back(std::move(stat));
+    return report;
+}
+
+bool
+anythingRecorded()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> reg_lock(reg.mutex);
+    for (const auto &buf : reg.buffers) {
+        std::lock_guard<std::mutex> lock(buf->mutex);
+        if (!buf->events.empty() || !buf->counters.empty())
+            return true;
+    }
+    return false;
+}
+
+void
+writeTraceJson(std::ostream &out)
+{
+    const Report report = snapshot();
+    json::Writer w(out, /*pretty=*/false);
+    w.beginObject();
+    w.field("displayTimeUnit", "ms");
+    w.key("otherData");
+    w.beginObject();
+    w.field("tool", "irep");
+    w.field("schema", "irep-prof-trace-1");
+    w.endObject();
+    w.key("traceEvents");
+    w.beginArray();
+    for (const Event &event : report.events) {
+        w.beginObject();
+        w.field("name", event.name);
+        w.field("cat", event.cat);
+        w.field("ph", "X");
+        w.field("pid", 1);
+        w.field("tid", event.tid);
+        // Trace-event timestamps are microseconds (doubles).
+        w.field("ts", double(event.startNs) / 1e3);
+        w.field("dur", double(event.durNs) / 1e3);
+        if (!event.args.empty()) {
+            w.key("args");
+            w.beginObject();
+            for (const auto &[key, value] : event.args)
+                w.field(key, value);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    // Merged counters ride along as one counter event at the end of
+    // the recorded interval, so Perfetto shows them next to the spans.
+    if (!report.counters.empty()) {
+        uint64_t end_ns = 0;
+        for (const Event &event : report.events)
+            end_ns = std::max(end_ns, event.startNs + event.durNs);
+        w.beginObject();
+        w.field("name", "counters");
+        w.field("cat", "irep");
+        w.field("ph", "C");
+        w.field("pid", 1);
+        w.field("tid", 0);
+        w.field("ts", double(end_ns) / 1e3);
+        w.key("args");
+        w.beginObject();
+        for (const auto &[name, value] : report.counters)
+            w.field(name, value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    out << '\n';
+}
+
+void
+writeTraceJson(const std::string &path)
+{
+    AtomicOutFile out(path);
+    writeTraceJson(out.stream());
+    out.commit();
+}
+
+void
+writeSummary(json::Writer &w)
+{
+    const Report report = snapshot();
+    w.beginObject();
+    w.field("schema", "irep-prof-1");
+    w.key("spans");
+    w.beginObject();
+    for (const SpanStat &stat : report.spans) {
+        w.key(stat.cat + "/" + stat.name);
+        w.beginObject();
+        w.field("count", stat.count);
+        w.field("total_ns", stat.totalNs);
+        w.field("min_ns", stat.minNs);
+        w.field("max_ns", stat.maxNs);
+        w.endObject();
+    }
+    w.endObject();
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, value] : report.counters)
+        w.field(name, value);
+    w.endObject();
+    w.endObject();
+}
+
+void
+reset()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.buffers.clear();
+    reg.epoch.fetch_add(1, std::memory_order_release);
+}
+
+} // namespace irep::prof

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * A low-overhead, pipeline-wide profiler and metrics registry.
+ *
+ * Two kinds of probe, both safe to leave compiled into hot code:
+ *
+ *  - **Spans** — scoped wall-clock intervals (`Span s("window",
+ *    "pipeline");` or the explicit `recordSpan()`), each tagged with a
+ *    name, a category, the recording thread, and optional numeric
+ *    args. Spans are what the Chrome trace-event export renders as
+ *    bars in Perfetto / chrome://tracing.
+ *  - **Counters** — named accumulating metrics (`counterAdd("trace_io/
+ *    records", n)`). Counters from every thread merge additively at
+ *    report time.
+ *
+ * Cost model: profiling is off by default. Every probe starts with a
+ * single relaxed atomic load (`enabled()`); when it is false the probe
+ * is a branch and nothing else — no clock read, no allocation, no
+ * lock. Defining `IREP_PROF_DISABLED` at compile time turns
+ * `enabled()` into a constant `false`, folding every probe away
+ * entirely. When profiling *is* on, each recording thread appends into
+ * its own buffer under an uncontended per-thread mutex (taken only so
+ * a report can be merged while worker threads are still alive —
+ * TSan-clean by construction); nothing in the process is globally
+ * serialized except thread registration and the final merge.
+ *
+ * Probes are deliberately coarse (phases, workloads, replay calls,
+ * fuzz programs). Per-retire costs are never spanned directly — the
+ * analysis pipeline *samples* them (see AnalysisPipeline) and
+ * publishes the aggregate through counters.
+ *
+ * Reports:
+ *  - `writeTraceJson()` — Chrome trace-event JSON (`--profile-json`),
+ *    loadable in Perfetto; published atomically via AtomicOutFile.
+ *  - `writeSummary()` — the `irep-prof-1` block embedded in
+ *    `--stats-json` documents: spans aggregated by category/name
+ *    (count, total/min/max ns) plus every merged counter, in
+ *    deterministic (sorted) order.
+ */
+
+#ifndef IREP_SUPPORT_PROF_HH
+#define IREP_SUPPORT_PROF_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace irep::json
+{
+class Writer;
+}
+
+namespace irep::prof
+{
+
+namespace detail
+{
+extern std::atomic<bool> enabledFlag;
+}
+
+/** Is profiling on? One relaxed load; constant false when compiled
+ *  out with IREP_PROF_DISABLED. */
+inline bool
+enabled()
+{
+#ifdef IREP_PROF_DISABLED
+    return false;
+#else
+    return detail::enabledFlag.load(std::memory_order_relaxed);
+#endif
+}
+
+/** Turn profiling on or off process-wide (CLI: --profile-json or
+ *  IREP_PROF=1). A no-op under IREP_PROF_DISABLED. */
+void enable(bool on = true);
+
+/** Monotonic nanoseconds since the profiler epoch (first use). */
+uint64_t nowNs();
+
+/** Optional numeric annotations attached to a span (rendered as
+ *  `args` in the trace-event export). */
+using SpanArgs = std::vector<std::pair<std::string, double>>;
+
+/**
+ * Record one completed span on the calling thread. @p start_ns /
+ * @p dur_ns come from nowNs(). Does nothing when profiling is off.
+ */
+void recordSpan(std::string name, std::string cat, uint64_t start_ns,
+                uint64_t dur_ns, SpanArgs args = {});
+
+/** Add @p delta to the named counter (created on first use). Does
+ *  nothing when profiling is off. */
+void counterAdd(const std::string &name, double delta);
+
+/**
+ * RAII span: stamps the clock at construction, records on
+ * destruction. When profiling is off both ends are a single branch.
+ */
+class Span
+{
+  public:
+    explicit Span(std::string name, std::string cat = "irep")
+    {
+        if (enabled()) {
+            live_ = true;
+            name_ = std::move(name);
+            cat_ = std::move(cat);
+            start_ = nowNs();
+        }
+    }
+
+    ~Span()
+    {
+        if (live_)
+            recordSpan(std::move(name_), std::move(cat_), start_,
+                       nowNs() - start_, std::move(args_));
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach a numeric annotation to the span being recorded. */
+    void
+    arg(std::string key, double value)
+    {
+        if (live_)
+            args_.emplace_back(std::move(key), value);
+    }
+
+  private:
+    bool live_ = false;
+    std::string name_;
+    std::string cat_;
+    uint64_t start_ = 0;
+    SpanArgs args_;
+};
+
+/** One recorded span, as merged into a report. */
+struct Event
+{
+    std::string name;
+    std::string cat;
+    uint64_t startNs = 0;
+    uint64_t durNs = 0;
+    unsigned tid = 0;   //!< profiler thread id (registration order)
+    SpanArgs args;
+};
+
+/** Aggregate of every span sharing one (cat, name). */
+struct SpanStat
+{
+    std::string name;
+    std::string cat;
+    uint64_t count = 0;
+    uint64_t totalNs = 0;
+    uint64_t minNs = 0;
+    uint64_t maxNs = 0;
+};
+
+/** A merged snapshot of every thread's buffer. */
+struct Report
+{
+    std::vector<Event> events;      //!< by (startNs, tid)
+    std::vector<SpanStat> spans;    //!< by (cat, name)
+    std::map<std::string, double> counters;
+};
+
+/** Merge every thread buffer (live threads included) into a report. */
+Report snapshot();
+
+/** Any span or counter recorded since the last reset()? */
+bool anythingRecorded();
+
+/**
+ * Write the merged trace as Chrome trace-event JSON. The @p path
+ * variant publishes atomically (tmp + fsync + rename; `-` = stdout).
+ */
+void writeTraceJson(std::ostream &out);
+void writeTraceJson(const std::string &path);
+
+/** Write the `irep-prof-1` summary object at the writer's current
+ *  position (caller supplies the surrounding key). */
+void writeSummary(json::Writer &w);
+
+/** Drop every recorded event and counter (tests). Threads keep
+ *  recording into fresh buffers afterwards. */
+void reset();
+
+} // namespace irep::prof
+
+#endif // IREP_SUPPORT_PROF_HH

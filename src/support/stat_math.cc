@@ -1,0 +1,138 @@
+#include "support/stat_math.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace irep::stat
+{
+
+double
+median(std::vector<double> values)
+{
+    fatalIf(values.empty(), "median of an empty sample");
+    std::sort(values.begin(), values.end());
+    const size_t n = values.size();
+    return n % 2 ? values[n / 2]
+                 : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    fatalIf(sorted.empty(), "quantile of an empty sample");
+    fatalIf(q < 0.0 || q > 1.0, "quantile q out of [0, 1]");
+    const double pos = q * double(sorted.size() - 1);
+    const size_t lo = size_t(pos);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = pos - double(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Interval
+medianCI(std::vector<double> values, double confidence)
+{
+    fatalIf(values.empty(), "confidence interval of an empty sample");
+    std::sort(values.begin(), values.end());
+    const size_t n = values.size();
+    if (n == 1)
+        return {values[0], values[0]};
+
+    // Coverage of (x_(k), x_(n+1-k)) is P(k <= X <= n-k) for
+    // X ~ Bin(n, 1/2). Walk k up from 1 (full range) while coverage
+    // stays at or above the requested confidence.
+    std::vector<double> pmf(n + 1);
+    double coeff = std::pow(0.5, double(n));    // C(n,0) / 2^n
+    for (size_t i = 0; i <= n; ++i) {
+        pmf[i] = coeff;
+        if (i < n)
+            coeff = coeff * double(n - i) / double(i + 1);
+    }
+    size_t best = 1;
+    for (size_t k = 2; 2 * k <= n; ++k) {
+        double coverage = 0.0;
+        for (size_t i = k; i + k <= n; ++i)
+            coverage += pmf[i];
+        if (coverage < confidence)
+            break;
+        best = k;
+    }
+    return {values[best - 1], values[n - best]};
+}
+
+double
+relativeIQR(std::vector<double> values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double med = median(values);
+    if (med == 0.0)
+        return 0.0;
+    return (quantileSorted(values, 0.75) -
+            quantileSorted(values, 0.25)) /
+        med;
+}
+
+double
+mannWhitneyP(const std::vector<double> &a, const std::vector<double> &b)
+{
+    const size_t na = a.size(), nb = b.size();
+    if (na == 0 || nb == 0)
+        return 1.0;
+
+    // Midranks over the pooled sample, tracking tie groups for the
+    // variance correction.
+    struct Tagged
+    {
+        double value;
+        bool fromA;
+    };
+    std::vector<Tagged> pool;
+    pool.reserve(na + nb);
+    for (double v : a)
+        pool.push_back({v, true});
+    for (double v : b)
+        pool.push_back({v, false});
+    std::sort(pool.begin(), pool.end(),
+              [](const Tagged &x, const Tagged &y) {
+                  return x.value < y.value;
+              });
+
+    const double n = double(na + nb);
+    double rankSumA = 0.0;
+    double tieTerm = 0.0;   // sum of t^3 - t over tie groups
+    for (size_t i = 0; i < pool.size();) {
+        size_t j = i;
+        while (j < pool.size() && pool[j].value == pool[i].value)
+            ++j;
+        const double t = double(j - i);
+        // Ranks are 1-based; tied values share the group's midrank.
+        const double midrank = 0.5 * (double(i + 1) + double(j));
+        for (size_t k = i; k < j; ++k) {
+            if (pool[k].fromA)
+                rankSumA += midrank;
+        }
+        tieTerm += t * t * t - t;
+        i = j;
+    }
+
+    const double u =
+        rankSumA - double(na) * double(na + 1) / 2.0;
+    const double meanU = double(na) * double(nb) / 2.0;
+    const double var = double(na) * double(nb) / 12.0 *
+        (n + 1.0 - tieTerm / (n * (n - 1.0)));
+    if (var <= 0.0)
+        return 1.0;     // every value tied — no evidence of difference
+
+    // Continuity correction toward the mean, two-sided normal tail.
+    const double z =
+        (std::fabs(u - meanU) - 0.5) / std::sqrt(var);
+    if (z <= 0.0)
+        return 1.0;
+    return std::erfc(z / std::sqrt(2.0));
+}
+
+} // namespace irep::stat

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The statistics behind `irep-bench-2`'s honest performance numbers,
+ * after Touati et al.'s Speedup-Test methodology: report the *median*
+ * of repeated runs, bound it with a distribution-free confidence
+ * interval from order statistics, quantify run-to-run noise, and test
+ * significance of a difference with the Mann-Whitney U test rather
+ * than eyeballing raw deltas.
+ *
+ * Everything here is distribution-free on purpose: execution times
+ * are skewed and multi-modal, so mean ± t-interval assumptions do not
+ * hold. With very few repetitions the interval degrades gracefully to
+ * [min, max] (conservative, still honest).
+ */
+
+#ifndef IREP_SUPPORT_STAT_MATH_HH
+#define IREP_SUPPORT_STAT_MATH_HH
+
+#include <vector>
+
+namespace irep::stat
+{
+
+/** Sample median (average of central pair for even sizes). Empty
+ *  input is fatal. */
+double median(std::vector<double> values);
+
+/** Linear-interpolation quantile of @p sorted (ascending), q in
+ *  [0, 1]. Empty input is fatal. */
+double quantileSorted(const std::vector<double> &sorted, double q);
+
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Distribution-free confidence interval for the median via binomial
+ * order statistics: the widest pair of order statistics (x_(k),
+ * x_(n+1-k)) whose binomial coverage is at least @p confidence. For
+ * small n this is [min, max] — the honest answer when five runs are
+ * all the data there is.
+ */
+Interval medianCI(std::vector<double> values,
+                  double confidence = 0.95);
+
+/**
+ * Relative spread of the runs: interquartile range divided by the
+ * median — the "noise estimate" irep-bench-2 reports. 0 for fewer
+ * than two values or a zero median.
+ */
+double relativeIQR(std::vector<double> values);
+
+/**
+ * Two-sided Mann-Whitney U p-value for samples @p a vs @p b (normal
+ * approximation with tie correction and continuity correction).
+ * Small p means the two run distributions genuinely differ; which
+ * direction is the caller's comparison of medians. Either sample
+ * empty, or all values tied, yields p = 1.
+ */
+double mannWhitneyP(const std::vector<double> &a,
+                    const std::vector<double> &b);
+
+} // namespace irep::stat
+
+#endif // IREP_SUPPORT_STAT_MATH_HH

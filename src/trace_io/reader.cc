@@ -3,6 +3,7 @@
 #include "isa/registers.hh"
 #include "support/checksum.hh"
 #include "support/logging.hh"
+#include "support/prof.hh"
 #include "support/varint.hh"
 
 namespace irep::trace_io
@@ -147,6 +148,7 @@ TraceReader::loadNextBlock()
     blockEnd_ = cursor_ + block_.size();
     blockInstrLeft_ = frame.instrRecords;
     ++blocksLoaded_;
+    payloadBytes_ += block_.size();
     return true;
 }
 
@@ -158,6 +160,37 @@ TraceReader::atEnd() const
 
 uint64_t
 TraceReader::replay(sim::Observer &observer, uint64_t max_instructions)
+{
+    if (!prof::enabled())
+        return replayImpl(observer, max_instructions);
+
+    // One span per phase-sized replay call, attributing decode cost
+    // and volume (records, blocks, payload bytes) to trace_io.
+    const uint64_t start_ns = prof::nowNs();
+    const uint64_t seq0 = seq_;
+    const uint64_t sys0 = syscallsDispatched_;
+    const uint32_t blocks0 = blocksLoaded_;
+    const uint64_t bytes0 = payloadBytes_;
+    const uint64_t done = replayImpl(observer, max_instructions);
+    const double records = double(seq_ - seq0);
+    const double blocks = double(blocksLoaded_ - blocks0);
+    const double bytes = double(payloadBytes_ - bytes0);
+    prof::counterAdd("trace_io/records", records);
+    prof::counterAdd("trace_io/syscalls",
+                     double(syscallsDispatched_ - sys0));
+    prof::counterAdd("trace_io/blocks", blocks);
+    prof::counterAdd("trace_io/payload_bytes", bytes);
+    prof::recordSpan("replay", "trace_io", start_ns,
+                     prof::nowNs() - start_ns,
+                     {{"records", records},
+                      {"blocks", blocks},
+                      {"payload_bytes", bytes}});
+    return done;
+}
+
+uint64_t
+TraceReader::replayImpl(sim::Observer &observer,
+                        uint64_t max_instructions)
 {
     panicIf(!machine_, "TraceReader::replay() before bind()");
     const uint32_t text_words = header_.textWords;

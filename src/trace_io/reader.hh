@@ -69,6 +69,8 @@ class TraceReader : public sim::ReplaySource
     [[noreturn]] void corrupt(const std::string &what) const;
     void readRaw(void *data, size_t size, const char *what);
     bool loadNextBlock();
+    uint64_t replayImpl(sim::Observer &observer,
+                        uint64_t max_instructions);
 
     std::string path_;
     std::FILE *file_ = nullptr;
@@ -84,6 +86,7 @@ class TraceReader : public sim::ReplaySource
     const uint8_t *blockEnd_ = nullptr;
     uint32_t blockInstrLeft_ = 0;   //!< declared instr records left
     uint32_t blocksLoaded_ = 0;
+    uint64_t payloadBytes_ = 0;     //!< compressed payload decoded
     bool sawFooter_ = false;
 
     uint64_t seq_ = 0;

@@ -2,16 +2,23 @@
  * @file
  * Bench-harness tests: the parallel suite must be a pure speedup —
  * canonical entry order, byte-identical JSON modulo wall-clock
- * timing fields — and malformed configuration must fail loudly.
+ * timing — the irep-bench-2 report must carry honest repetition
+ * statistics, and malformed configuration must fail loudly. The
+ * `Suite.*` tests also run under ThreadSanitizer in CI, including
+ * the profiled parallel run.
  */
 
+#include <cstdint>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "harness/suite.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
+#include "support/prof.hh"
 
 namespace irep::bench
 {
@@ -29,21 +36,54 @@ smallConfig(unsigned jobs)
     return config;
 }
 
-/** Drop the wall-clock timing lines (`*_seconds`, `*_mips`) — the
- *  only fields allowed to differ between serial and parallel runs. */
+/** Re-serialize @p value with every wall-clock-derived field removed
+ *  (the same set ci/compare_stats.py strips): scalar `*_seconds` /
+ *  `*_mips` stats plus the `perf` and `profile` subtrees, the only
+ *  content allowed to differ between serial and parallel runs. */
+void
+writeStripped(const json::Value &value, json::Writer &w)
+{
+    switch (value.kind()) {
+      case json::Value::Kind::Object:
+        w.beginObject();
+        for (const auto &[key, sub] : value.members()) {
+            if (key == "perf" || key == "profile" ||
+                key.find("seconds") != std::string::npos ||
+                key.find("mips") != std::string::npos)
+                continue;
+            w.key(key);
+            writeStripped(sub, w);
+        }
+        w.endObject();
+        break;
+      case json::Value::Kind::Array:
+        w.beginArray();
+        for (const json::Value &sub : value.elements())
+            writeStripped(sub, w);
+        w.endArray();
+        break;
+      case json::Value::Kind::String:
+        w.value(value.asString());
+        break;
+      case json::Value::Kind::Number:
+        w.value(value.asNumber());
+        break;
+      case json::Value::Kind::Bool:
+        w.value(value.asBool());
+        break;
+      case json::Value::Kind::Null:
+        w.null();
+        break;
+    }
+}
+
 std::string
 stripTimingFields(const std::string &json)
 {
-    std::istringstream in(json);
-    std::string out, line;
-    while (std::getline(in, line)) {
-        if (line.find("seconds") != std::string::npos ||
-            line.find("mips") != std::string::npos)
-            continue;
-        out += line;
-        out += '\n';
-    }
-    return out;
+    std::ostringstream out;
+    json::Writer w(out);
+    writeStripped(json::parse(json), w);
+    return out.str();
 }
 
 TEST(Suite, ParallelJsonIdenticalToSerialModuloTiming)
@@ -86,9 +126,63 @@ TEST(Suite, WindowExecutedAndTimingArePopulated)
     for (const auto &entry : entries) {
         EXPECT_EQ(entry.windowExecuted, 60'000u);
         EXPECT_GT(entry.pipeline->timing().window.seconds, 0.0);
+        // One timed run (the stats pass itself) at repetitions=1.
+        ASSERT_EQ(entry.runSeconds.size(), 1u);
+        EXPECT_GT(entry.runSeconds[0], 0.0);
     }
     EXPECT_GT(suite.suiteSeconds(), 0.0);
     EXPECT_GT(suite.workloadSeconds(), 0.0);
+}
+
+TEST(Suite, BenchTwoSchemaCarriesPerfBlock)
+{
+    SuiteConfig config = smallConfig(2);
+    config.repetitions = 3;
+    Suite suite(config);
+    suite.entries();
+
+    std::ostringstream out;
+    suite.writeJson(out);
+    const json::Value doc = json::parse(out.str());
+    EXPECT_EQ(doc.at("schema").asString(), "irep-bench-2");
+    EXPECT_EQ(doc.at("repetitions").asU64(), 3u);
+    for (const char *name : {"perl", "compress"}) {
+        const json::Value &workload = doc.at("workloads").at(name);
+        EXPECT_TRUE(workload.at("stats").isObject());
+        const json::Value &perf = workload.at("perf");
+        ASSERT_EQ(perf.at("runs_seconds").size(), 3u);
+        const double median = perf.at("median_seconds").asNumber();
+        EXPECT_GT(median, 0.0);
+        const json::Value &ci = perf.at("median_ci95_seconds");
+        EXPECT_LE(ci.at("lo").asNumber(), median);
+        EXPECT_GE(ci.at("hi").asNumber(), median);
+        EXPECT_GE(perf.at("noise_rel_iqr").asNumber(), 0.0);
+        const std::string mode =
+            perf.at("timing_mode").asString();
+        EXPECT_TRUE(mode == "live" || mode == "replay") << mode;
+    }
+    // Profiling off: no profile block rides along.
+    EXPECT_FALSE(doc.contains("profile"));
+}
+
+TEST(Suite, DedicatedTimingPassesCollectRepetitionRuns)
+{
+    SuiteConfig config = smallConfig(1);
+    config.repetitions = 2;
+    Suite suite(config);
+    for (const auto &entry : suite.entries()) {
+        EXPECT_EQ(entry.runSeconds.size(), 2u);
+        for (double s : entry.runSeconds)
+            EXPECT_GT(s, 0.0);
+    }
+}
+
+TEST(Suite, ZeroRepetitionsIsFatal)
+{
+    SuiteConfig config = smallConfig(1);
+    config.repetitions = 0;
+    Suite suite(config);
+    EXPECT_THROW(suite.entries(), FatalError);
 }
 
 /** A typo in the benchmark filter used to be silently dropped and
@@ -121,6 +215,58 @@ TEST(Suite, RunOneMatchesSuiteEntry)
     EXPECT_EQ(alone.windowExecuted, entries[0].windowExecuted);
     EXPECT_EQ(alone.pipeline->tracker().stats().dynRepeated,
               entries[0].pipeline->tracker().stats().dynRepeated);
+}
+
+/**
+ * The profiler must not perturb results or break determinism: with
+ * profiling enabled, a parallel suite run still produces stats
+ * byte-identical (modulo timing) to a serial run, and the merged
+ * trace-event export is one well-formed document containing worker
+ * spans from the pool threads. Runs under TSan in CI (`Suite\.`),
+ * covering the record-while-merging paths.
+ */
+TEST(Suite, ProfiledParallelJsonIdenticalToSerialModuloTiming)
+{
+    prof::reset();
+    prof::enable();
+
+    Suite serial(smallConfig(1));
+    Suite parallel(smallConfig(4));
+    serial.entries();
+    parallel.entries();
+
+    std::ostringstream a, b;
+    serial.writeJson(a);
+    parallel.writeJson(b);
+
+    std::ostringstream trace;
+    prof::writeTraceJson(trace);
+    prof::enable(false);
+    prof::reset();
+
+    EXPECT_EQ(stripTimingFields(a.str()), stripTimingFields(b.str()));
+    // Both documents carry the profile block while profiling is on.
+    EXPECT_NE(a.str().find("irep-prof-1"), std::string::npos);
+
+    // The merged trace parses, and the parallel run's workload spans
+    // landed on more than one profiler thread.
+    const json::Value doc = json::parse(trace.str());
+    const json::Value &events = doc.at("traceEvents");
+    ASSERT_GT(events.size(), 0u);
+    std::set<uint64_t> workloadTids;
+    size_t workloadSpans = 0;
+    for (const json::Value &event : events.elements()) {
+        if (event.at("ph").asString() != "X")
+            continue;
+        const std::string &name = event.at("name").asString();
+        if (name.rfind("workload:", 0) == 0) {
+            ++workloadSpans;
+            workloadTids.insert(event.at("tid").asU64());
+        }
+    }
+    // Two workloads ran in each suite: 4 workload spans in total.
+    EXPECT_EQ(workloadSpans, 4u);
+    EXPECT_GE(workloadTids.size(), 2u);
 }
 
 } // namespace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Integration: the profiler must observe without perturbing. Running
+ * a workload with profiling enabled yields exactly the same analysis
+ * statistics as running it disabled (the sampled dispatch is
+ * bit-faithful to the plain one), the sampled per-analysis window
+ * attribution is populated and consistent, and the pipeline's spans
+ * land in the export with per-phase and per-analysis cost.
+ */
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "sim/machine.hh"
+#include "support/json.hh"
+#include "support/prof.hh"
+#include "support/stats.hh"
+#include "workloads/workloads.hh"
+
+namespace irep
+{
+namespace
+{
+
+struct RunResult
+{
+    std::unique_ptr<sim::Machine> machine;
+    std::unique_ptr<core::AnalysisPipeline> pipeline;
+};
+
+RunResult
+runWorkload(const char *name, uint64_t skip, uint64_t window)
+{
+    RunResult result;
+    const auto &w = workloads::workloadByName(name);
+    result.machine =
+        std::make_unique<sim::Machine>(workloads::buildProgram(w));
+    result.machine->setInput(w.input);
+    core::PipelineConfig config;
+    config.skipInstructions = skip;
+    config.windowInstructions = window;
+    result.pipeline = std::make_unique<core::AnalysisPipeline>(
+        *result.machine, config);
+    result.pipeline->run();
+    return result;
+}
+
+/** The full stats tree as JSON — every counted statistic — with the
+ *  wall-clock scalars dropped, for cross-run comparison. */
+std::string
+countedStats(core::AnalysisPipeline &pipeline)
+{
+    stats::Group root;
+    pipeline.registerStats(root);
+    std::ostringstream os;
+    json::Writer w(os);
+    stats::dumpJson(root, w);
+
+    std::istringstream in(os.str());
+    std::string out, line;
+    while (std::getline(in, line)) {
+        if (line.find("seconds") != std::string::npos ||
+            line.find("mips") != std::string::npos)
+            continue;
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+class Observability : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        prof::enable(false);
+        prof::reset();
+    }
+
+    void
+    TearDown() override
+    {
+        prof::enable(false);
+        prof::reset();
+    }
+};
+
+TEST_F(Observability, ProfilingDoesNotPerturbAnalysisResults)
+{
+    // > 512 window retires, so the sampled dispatch definitely runs.
+    RunResult plain = runWorkload("compress", 50'000, 200'000);
+
+    prof::enable();
+    RunResult profiled = runWorkload("compress", 50'000, 200'000);
+    prof::enable(false);
+
+    EXPECT_EQ(countedStats(*plain.pipeline),
+              countedStats(*profiled.pipeline));
+    // The plain run sampled nothing; the profiled run did.
+    EXPECT_EQ(plain.pipeline->profSample().samples, 0u);
+    EXPECT_GT(profiled.pipeline->profSample().samples, 0u);
+}
+
+TEST_F(Observability, SampledAttributionCoversEveryAnalysis)
+{
+    prof::enable();
+    RunResult run = runWorkload("compress", 50'000, 200'000);
+    prof::enable(false);
+
+    const auto &sample = run.pipeline->profSample();
+    // Every 512th of 200k window retires: ~390 samples.
+    EXPECT_GT(sample.samples, 300u);
+    EXPECT_LT(sample.samples, 500u);
+    for (unsigned i = 0;
+         i < core::AnalysisPipeline::ProfSample::numAnalyses; ++i) {
+        EXPECT_GT(sample.ns[i], 0u)
+            << core::AnalysisPipeline::profAnalysisName(i);
+    }
+}
+
+TEST_F(Observability, PipelineSpansAndCountersLandInTheExport)
+{
+    prof::enable();
+    RunResult run = runWorkload("compress", 50'000, 200'000);
+
+    std::ostringstream trace;
+    prof::writeTraceJson(trace);
+    const json::Value doc = json::parse(trace.str());
+
+    bool sawSkip = false, sawWindow = false;
+    for (const json::Value &event :
+         doc.at("traceEvents").elements()) {
+        if (event.at("ph").asString() != "X")
+            continue;
+        const std::string &name = event.at("name").asString();
+        if (name == "skip" && event.at("cat").asString() == "pipeline")
+            sawSkip = true;
+        if (name == "window" &&
+            event.at("cat").asString() == "pipeline") {
+            sawWindow = true;
+            // The window span carries per-analysis cost estimates.
+            const json::Value &args = event.at("args");
+            EXPECT_EQ(args.at("instructions").asNumber(), 200'000.0);
+            for (const char *analysis :
+                 {"tracker", "taint", "local", "functions", "reuse",
+                  "classes", "prediction"}) {
+                EXPECT_GT(args.at(std::string(analysis) + "_ns_est")
+                              .asNumber(),
+                          0.0)
+                    << analysis;
+            }
+        }
+    }
+    EXPECT_TRUE(sawSkip);
+    EXPECT_TRUE(sawWindow);
+
+    const prof::Report report = prof::snapshot();
+    EXPECT_EQ(report.counters.at("pipeline/windows"), 1.0);
+    EXPECT_EQ(report.counters.at("pipeline/window_retires"),
+              200'000.0);
+    EXPECT_GT(
+        report.counters.at("analysis/tracker/window_ns_est"), 0.0);
+}
+
+TEST_F(Observability, DisabledProfilerLeavesNoTrace)
+{
+    RunResult run = runWorkload("compress", 20'000, 60'000);
+    EXPECT_FALSE(prof::anythingRecorded());
+    EXPECT_EQ(run.pipeline->profSample().samples, 0u);
+}
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Atomic report publication: commit() publishes a complete document
+ * or nothing, an interrupted writer (destroyed before commit) leaves
+ * the previous file untouched, and a consumer that opens the target
+ * path never sees a truncated document.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/outfile.hh"
+
+namespace irep
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class OutFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+            ("irep_outfile_test_" + std::to_string(::getpid()));
+        fs::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    std::string
+    path(const char *name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    static std::string
+    slurp(const std::string &p)
+    {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream out;
+        out << in.rdbuf();
+        return out.str();
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(OutFileTest, CommitPublishesTheDocument)
+{
+    const std::string target = path("stats.json");
+    AtomicOutFile file(target);
+    file.stream() << "{\"ok\": true}\n";
+    file.commit();
+    EXPECT_EQ(slurp(target), "{\"ok\": true}\n");
+}
+
+TEST_F(OutFileTest, NoCommitLeavesNothingBehind)
+{
+    const std::string target = path("stats.json");
+    {
+        AtomicOutFile file(target);
+        file.stream() << "half a docu";
+        // Destroyed without commit() — the simulated interruption.
+    }
+    EXPECT_FALSE(fs::exists(target));
+    // No temporary litter either.
+    EXPECT_TRUE(fs::is_empty(dir_));
+}
+
+TEST_F(OutFileTest, InterruptedRewriteKeepsThePreviousDocument)
+{
+    const std::string target = path("stats.json");
+    {
+        AtomicOutFile file(target);
+        file.stream() << "{\"version\": 1}\n";
+        file.commit();
+    }
+    {
+        AtomicOutFile file(target);
+        file.stream() << "{\"version\": 2, \"unfinis";
+        // Interrupted mid-build: never committed.
+    }
+    // A consumer parsing the path still gets the old, complete doc.
+    const json::Value doc = json::parse(slurp(target));
+    EXPECT_EQ(doc.at("version").asU64(), 1u);
+}
+
+TEST_F(OutFileTest, CommitReplacesAnExistingDocumentCompletely)
+{
+    const std::string target = path("stats.json");
+    {
+        AtomicOutFile file(target);
+        file.stream() << "{\"version\": 1, \"padding\": \""
+                      << std::string(4096, 'x') << "\"}\n";
+        file.commit();
+    }
+    {
+        AtomicOutFile file(target);
+        file.stream() << "{\"version\": 2}\n";
+        file.commit();
+    }
+    const json::Value doc = json::parse(slurp(target));
+    EXPECT_EQ(doc.at("version").asU64(), 2u);
+    EXPECT_EQ(slurp(target), "{\"version\": 2}\n");
+}
+
+TEST_F(OutFileTest, EmptyPathIsFatal)
+{
+    EXPECT_THROW(AtomicOutFile(""), FatalError);
+}
+
+TEST_F(OutFileTest, UnwritableDirectoryIsFatalAtCommit)
+{
+    AtomicOutFile file(path("no/such/dir/stats.json"));
+    file.stream() << "{}\n";
+    EXPECT_THROW(file.commit(), FatalError);
+}
+
+TEST_F(OutFileTest, StdoutPathIsRecognized)
+{
+    AtomicOutFile file("-");
+    EXPECT_TRUE(file.toStdout());
+    // Not committed: nothing is written to the test's stdout.
+}
+
+} // namespace
+} // namespace irep

@@ -67,5 +67,34 @@ TEST(EnvU64, MalformedValueIsFatalNotTruncated)
     unsetenv("IREP_TEST_KNOB");
 }
 
+TEST(EnvFlag, UnsetEmptyOrZeroIsFalse)
+{
+    unsetenv("IREP_TEST_FLAG");
+    EXPECT_FALSE(envFlag("IREP_TEST_FLAG"));
+    setenv("IREP_TEST_FLAG", "", 1);
+    EXPECT_FALSE(envFlag("IREP_TEST_FLAG"));
+    setenv("IREP_TEST_FLAG", "0", 1);
+    EXPECT_FALSE(envFlag("IREP_TEST_FLAG"));
+    unsetenv("IREP_TEST_FLAG");
+}
+
+TEST(EnvFlag, OneIsTrue)
+{
+    setenv("IREP_TEST_FLAG", "1", 1);
+    EXPECT_TRUE(envFlag("IREP_TEST_FLAG"));
+    unsetenv("IREP_TEST_FLAG");
+}
+
+/** IREP_PROF=yes must fail loudly, not silently mean "off". */
+TEST(EnvFlag, JunkIsFatalNotFalse)
+{
+    for (const char *junk : {"yes", "true", "on", "01", "2", " 1"}) {
+        setenv("IREP_TEST_FLAG", junk, 1);
+        EXPECT_THROW(envFlag("IREP_TEST_FLAG"), FatalError)
+            << "value: " << junk;
+    }
+    unsetenv("IREP_TEST_FLAG");
+}
+
 } // namespace
 } // namespace irep::parse

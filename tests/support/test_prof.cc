@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Profiler/metrics registry tests: disabled probes record nothing,
+ * enabled probes record spans and counters, buffers from many threads
+ * merge into one deterministic report, and both exporters (Chrome
+ * trace-event JSON and the irep-prof-1 summary) emit well-formed
+ * documents.
+ */
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/json.hh"
+#include "support/prof.hh"
+
+namespace irep::prof
+{
+namespace
+{
+
+/** Every test starts and ends with the profiler off and empty, so
+ *  tests cannot leak state into each other. */
+class ProfTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        enable(false);
+        reset();
+    }
+
+    void
+    TearDown() override
+    {
+        enable(false);
+        reset();
+    }
+};
+
+TEST_F(ProfTest, DisabledProbesRecordNothing)
+{
+    ASSERT_FALSE(enabled());
+    recordSpan("never", "test", 0, 100);
+    counterAdd("test/never", 5.0);
+    {
+        Span span("scoped", "test");
+        span.arg("x", 1.0);
+    }
+    EXPECT_FALSE(anythingRecorded());
+    const Report report = snapshot();
+    EXPECT_TRUE(report.events.empty());
+    EXPECT_TRUE(report.counters.empty());
+}
+
+TEST_F(ProfTest, EnabledSpanAndCounterAppearInSnapshot)
+{
+    enable();
+    ASSERT_TRUE(enabled());
+    recordSpan("phase", "test", 10, 90, {{"n", 3.0}});
+    counterAdd("test/items", 2.0);
+    counterAdd("test/items", 3.0);
+
+    const Report report = snapshot();
+    ASSERT_EQ(report.events.size(), 1u);
+    EXPECT_EQ(report.events[0].name, "phase");
+    EXPECT_EQ(report.events[0].cat, "test");
+    EXPECT_EQ(report.events[0].startNs, 10u);
+    EXPECT_EQ(report.events[0].durNs, 90u);
+    ASSERT_EQ(report.events[0].args.size(), 1u);
+    EXPECT_EQ(report.events[0].args[0].first, "n");
+    EXPECT_EQ(report.counters.at("test/items"), 5.0);
+
+    ASSERT_EQ(report.spans.size(), 1u);
+    EXPECT_EQ(report.spans[0].count, 1u);
+    EXPECT_EQ(report.spans[0].totalNs, 90u);
+}
+
+TEST_F(ProfTest, ScopedSpanMeasuresItsLifetime)
+{
+    enable();
+    {
+        Span span("work", "test");
+    }
+    const Report report = snapshot();
+    ASSERT_EQ(report.events.size(), 1u);
+    EXPECT_EQ(report.events[0].name, "work");
+}
+
+TEST_F(ProfTest, SpanStatsAggregateByCategoryAndName)
+{
+    enable();
+    recordSpan("a", "cat", 0, 10);
+    recordSpan("a", "cat", 20, 30);
+    recordSpan("b", "cat", 5, 7);
+    const Report report = snapshot();
+    ASSERT_EQ(report.spans.size(), 2u);
+    EXPECT_EQ(report.spans[0].name, "a");
+    EXPECT_EQ(report.spans[0].count, 2u);
+    EXPECT_EQ(report.spans[0].totalNs, 40u);
+    EXPECT_EQ(report.spans[0].minNs, 10u);
+    EXPECT_EQ(report.spans[0].maxNs, 30u);
+    EXPECT_EQ(report.spans[1].name, "b");
+}
+
+TEST_F(ProfTest, ThreadsMergeAdditively)
+{
+    enable();
+    constexpr int numThreads = 8;
+    constexpr int perThread = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < numThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < perThread; ++i) {
+                counterAdd("test/shared", 1.0);
+                recordSpan("tick", "test",
+                           uint64_t(t * 1000 + i), 1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    const Report report = snapshot();
+    EXPECT_EQ(report.counters.at("test/shared"),
+              double(numThreads * perThread));
+    EXPECT_EQ(report.events.size(),
+              size_t(numThreads) * perThread);
+    ASSERT_EQ(report.spans.size(), 1u);
+    EXPECT_EQ(report.spans[0].count,
+              uint64_t(numThreads) * perThread);
+}
+
+TEST_F(ProfTest, SnapshotWhileThreadsRecordIsSafe)
+{
+    enable();
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([] {
+            for (int i = 0; i < 200; ++i) {
+                counterAdd("test/racing", 1.0);
+                recordSpan("race", "test", uint64_t(i), 1);
+            }
+        });
+    }
+    // Concurrent merges must see a consistent (if partial) state.
+    for (int i = 0; i < 10; ++i)
+        (void)snapshot();
+    for (auto &thread : writers)
+        thread.join();
+    const Report report = snapshot();
+    EXPECT_EQ(report.counters.at("test/racing"), 800.0);
+}
+
+TEST_F(ProfTest, ResetDropsEverything)
+{
+    enable();
+    counterAdd("test/x", 1.0);
+    recordSpan("x", "test", 0, 1);
+    ASSERT_TRUE(anythingRecorded());
+    reset();
+    EXPECT_FALSE(anythingRecorded());
+    // Recording continues into fresh buffers after a reset.
+    counterAdd("test/y", 2.0);
+    EXPECT_EQ(snapshot().counters.at("test/y"), 2.0);
+}
+
+TEST_F(ProfTest, TraceJsonIsWellFormedChromeFormat)
+{
+    enable();
+    recordSpan("window", "pipeline", 100, 900, {{"instructions", 5.0}});
+    counterAdd("pipeline/windows", 1.0);
+
+    std::ostringstream out;
+    writeTraceJson(out);
+    const json::Value doc = json::parse(out.str());
+    const json::Value &events = doc.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    // One complete event plus the trailing counter event.
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events.at(size_t(0)).at("ph").asString(), "X");
+    EXPECT_EQ(events.at(size_t(0)).at("name").asString(), "window");
+    EXPECT_DOUBLE_EQ(events.at(size_t(0)).at("ts").asNumber(), 0.1);
+    EXPECT_DOUBLE_EQ(events.at(size_t(0)).at("dur").asNumber(), 0.9);
+    EXPECT_EQ(events.at(size_t(1)).at("ph").asString(), "C");
+    EXPECT_DOUBLE_EQ(events.at(size_t(1))
+                         .at("args")
+                         .at("pipeline/windows")
+                         .asNumber(),
+                     1.0);
+    EXPECT_EQ(doc.at("otherData").at("schema").asString(),
+              "irep-prof-trace-1");
+}
+
+TEST_F(ProfTest, SummaryIsWellFormedProfSchema)
+{
+    enable();
+    recordSpan("replay", "trace_io", 0, 500);
+    recordSpan("replay", "trace_io", 600, 700);
+    counterAdd("trace_io/records", 42.0);
+
+    std::ostringstream out;
+    json::Writer w(out);
+    writeSummary(w);
+    const json::Value doc = json::parse(out.str());
+    EXPECT_EQ(doc.at("schema").asString(), "irep-prof-1");
+    const json::Value &span = doc.at("spans").at("trace_io/replay");
+    EXPECT_EQ(span.at("count").asU64(), 2u);
+    EXPECT_EQ(span.at("total_ns").asU64(), 1200u);
+    EXPECT_EQ(span.at("min_ns").asU64(), 500u);
+    EXPECT_EQ(span.at("max_ns").asU64(), 700u);
+    EXPECT_DOUBLE_EQ(
+        doc.at("counters").at("trace_io/records").asNumber(), 42.0);
+}
+
+TEST_F(ProfTest, NowNsIsMonotonic)
+{
+    const uint64_t a = nowNs();
+    const uint64_t b = nowNs();
+    EXPECT_LE(a, b);
+}
+
+} // namespace
+} // namespace irep::prof

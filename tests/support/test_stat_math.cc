@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The statistics behind irep-bench-2's performance numbers: median,
+ * distribution-free median CI from order statistics, relative IQR
+ * noise, and the Mann-Whitney U significance test. All of these gate
+ * CI (ci/compare_stats.py --speedup mirrors the same math), so they
+ * are pinned against hand-computed values here.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/stat_math.hh"
+
+namespace irep::stat
+{
+namespace
+{
+
+TEST(Median, OddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Median, EmptyIsFatal)
+{
+    EXPECT_THROW(median({}), FatalError);
+}
+
+TEST(QuantileSorted, InterpolatesLinearly)
+{
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantileSorted(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantileSorted(v, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(quantileSorted(v, 0.25), 1.75);
+}
+
+TEST(MedianCI, SmallSamplesDegradeToMinMax)
+{
+    // With n <= 5 no inner order-statistic pair reaches 95%
+    // coverage, so the honest interval is [min, max].
+    const Interval ci = medianCI({5.0, 1.0, 3.0});
+    EXPECT_DOUBLE_EQ(ci.lo, 1.0);
+    EXPECT_DOUBLE_EQ(ci.hi, 5.0);
+}
+
+TEST(MedianCI, TightensWithMoreRuns)
+{
+    std::vector<double> many;
+    for (int i = 1; i <= 100; ++i)
+        many.push_back(double(i));
+    const Interval ci = medianCI(many);
+    // The binomial interval for n=100 sits near ranks 40..60 —
+    // strictly inside [min, max] and containing the median.
+    EXPECT_GT(ci.lo, 1.0);
+    EXPECT_LT(ci.hi, 100.0);
+    EXPECT_LE(ci.lo, 50.5);
+    EXPECT_GE(ci.hi, 50.5);
+}
+
+TEST(MedianCI, ContainsTheMedian)
+{
+    const std::vector<double> runs{0.9, 1.1, 1.0, 1.05, 0.95, 1.02,
+                                   0.98};
+    const Interval ci = medianCI(runs);
+    const double m = median(runs);
+    EXPECT_LE(ci.lo, m);
+    EXPECT_GE(ci.hi, m);
+}
+
+TEST(RelativeIQR, ZeroForConstantRuns)
+{
+    EXPECT_DOUBLE_EQ(relativeIQR({2.0, 2.0, 2.0, 2.0}), 0.0);
+    EXPECT_DOUBLE_EQ(relativeIQR({2.0}), 0.0);
+    EXPECT_DOUBLE_EQ(relativeIQR({}), 0.0);
+}
+
+TEST(RelativeIQR, MatchesHandComputation)
+{
+    // Sorted: 1 2 3 4 -> q25=1.75, q75=3.25, IQR=1.5, median=2.5.
+    EXPECT_NEAR(relativeIQR({4.0, 1.0, 3.0, 2.0}), 1.5 / 2.5, 1e-12);
+}
+
+TEST(MannWhitney, IdenticalSamplesAreInsignificant)
+{
+    const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(mannWhitneyP(a, a), 1.0);
+}
+
+TEST(MannWhitney, DisjointSamplesAreSignificant)
+{
+    // Every candidate run slower than every baseline run: with
+    // n=8 per side this is far past the 0.05 threshold.
+    std::vector<double> fast, slow;
+    for (int i = 0; i < 8; ++i) {
+        fast.push_back(1.0 + i * 0.01);
+        slow.push_back(2.0 + i * 0.01);
+    }
+    EXPECT_LT(mannWhitneyP(fast, slow), 0.01);
+}
+
+TEST(MannWhitney, OverlappingSamplesAreNot)
+{
+    const std::vector<double> a{1.0, 1.2, 1.1, 1.3, 1.15};
+    const std::vector<double> b{1.05, 1.25, 1.12, 1.28, 1.18};
+    EXPECT_GT(mannWhitneyP(a, b), 0.05);
+}
+
+TEST(MannWhitney, SymmetricInItsArguments)
+{
+    const std::vector<double> a{1.0, 1.5, 2.0, 2.5};
+    const std::vector<double> b{1.2, 1.7, 2.2, 2.9};
+    EXPECT_NEAR(mannWhitneyP(a, b), mannWhitneyP(b, a), 1e-12);
+}
+
+TEST(MannWhitney, EmptyOrAllTiedYieldsOne)
+{
+    EXPECT_DOUBLE_EQ(mannWhitneyP({}, {1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(mannWhitneyP({1.0}, {}), 1.0);
+    EXPECT_DOUBLE_EQ(mannWhitneyP({2.0, 2.0}, {2.0, 2.0}), 1.0);
+}
+
+} // namespace
+} // namespace irep::stat

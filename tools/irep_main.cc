@@ -24,7 +24,13 @@
  *   --max N            execution cap for `run` (default 1B)
  *   --jobs N           worker threads for `bench all` (default:
  *                      hardware concurrency; 1 = serial)
- *   --stats-json FILE  write the full stats report as JSON
+ *   --repetitions N    timed repetitions per workload for `bench all`
+ *                      (median/CI in the irep-bench-2 report)
+ *   --stats-json FILE  write the full stats report as JSON,
+ *                      atomically (`-` = stdout; the human report
+ *                      moves to stderr)
+ *   --profile-json FILE  enable the profiler and write the merged
+ *                      Chrome trace-event file (`-` = stdout)
  *   --trace FILE       write sampled retire records (.jsonl = JSONL)
  *   --trace-sample N   record every Nth retired instruction
  *   --progress N       stderr heartbeat every N instructions
@@ -57,8 +63,11 @@
 #include "sim/trace.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
+#include "support/outfile.hh"
 #include "support/parallel.hh"
 #include "support/parse.hh"
+#include "support/prof.hh"
+#include "support/stat_math.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 #include "trace_io/cache.hh"
@@ -86,6 +95,8 @@ struct Options
     bool windowSet = false; //!< --window given explicitly
 
     std::string statsJsonFile;
+    std::string profileJsonFile;
+    unsigned repetitions = 0;   //!< 0 = IREP_BENCH_REPS or 1
     std::string traceFile;
     uint64_t traceSample = 1;
     uint64_t progress = 0;
@@ -187,6 +198,13 @@ parseArgs(int argc, char **argv)
         }
         else if (arg == "--stats-json")
             opts.statsJsonFile = next();
+        else if (arg == "--profile-json")
+            opts.profileJsonFile = next();
+        else if (arg == "--repetitions") {
+            opts.repetitions = unsigned(parseU64(arg, next()));
+            fatalIf(opts.repetitions == 0,
+                    "--repetitions must be positive");
+        }
         else if (arg == "--trace")
             opts.traceFile = next();
         else if (arg == "--trace-sample")
@@ -239,6 +257,12 @@ parseArgs(int argc, char **argv)
             "` cannot replay a trace");
     fatalIf(!opts.outputFile.empty() && opts.command != "record",
             "--output only applies to `record`");
+    fatalIf(opts.repetitions != 0 &&
+                !(opts.command == "bench" && opts.target == "all"),
+            "--repetitions only applies to `bench all`");
+    fatalIf(opts.statsJsonFile == "-" && opts.profileJsonFile == "-",
+            "--stats-json and --profile-json cannot both write to "
+            "stdout");
     return opts;
 }
 
@@ -334,78 +358,93 @@ cmdRun(const Options &opts)
     return machine.exitCode();
 }
 
+/**
+ * The stream the human-readable report belongs on: stdout normally,
+ * stderr when `--stats-json -` claims stdout for the machine-readable
+ * document (a consumer piping `irep ... --stats-json - | jq` must
+ * never see report text mixed into the JSON).
+ */
+FILE *
+reportStream(const Options &opts)
+{
+    return opts.statsJsonFile == "-" ? stderr : stdout;
+}
+
 void
-report(core::AnalysisPipeline &pipeline, uint64_t measured)
+report(core::AnalysisPipeline &pipeline, uint64_t measured, FILE *out)
 {
     const auto stats = pipeline.tracker().stats();
-    std::printf("window: %llu instructions\n\n",
-                (unsigned long long)measured);
+    std::fprintf(out, "window: %llu instructions\n\n",
+                 (unsigned long long)measured);
 
-    std::printf("repetition (Table 1):\n");
-    std::printf("  dynamic repeated:        %6.1f%%\n",
-                stats.pctDynRepeated());
-    std::printf("  statics executed:        %6.1f%%\n",
-                stats.pctStaticExecuted());
-    std::printf("  executed statics repeat: %6.1f%%\n",
-                stats.pctStaticRepeatedOfExecuted());
-    std::printf("  unique instances: %llu (avg %.0f repeats)\n\n",
-                (unsigned long long)stats.uniqueRepeatableInstances,
-                stats.avgRepeatsPerInstance);
+    std::fprintf(out, "repetition (Table 1):\n");
+    std::fprintf(out, "  dynamic repeated:        %6.1f%%\n",
+                 stats.pctDynRepeated());
+    std::fprintf(out, "  statics executed:        %6.1f%%\n",
+                 stats.pctStaticExecuted());
+    std::fprintf(out, "  executed statics repeat: %6.1f%%\n",
+                 stats.pctStaticRepeatedOfExecuted());
+    std::fprintf(out, "  unique instances: %llu (avg %.0f repeats)\n\n",
+                 (unsigned long long)stats.uniqueRepeatableInstances,
+                 stats.avgRepeatsPerInstance);
 
-    std::printf("sources (Table 3, %% of stream / propensity):\n");
+    std::fprintf(out, "sources (Table 3, %% of stream / propensity):\n");
     for (unsigned t = 0; t < core::numGlobalTags; ++t) {
         const auto tag = core::GlobalTag(t);
-        std::printf("  %-18s %6.1f%%  /  %5.1f%%\n",
-                    std::string(core::globalTagName(tag)).c_str(),
-                    pipeline.taint().stats().pctOverall(tag),
-                    pipeline.taint().stats().propensity(tag));
+        std::fprintf(out, "  %-18s %6.1f%%  /  %5.1f%%\n",
+                     std::string(core::globalTagName(tag)).c_str(),
+                     pipeline.taint().stats().pctOverall(tag),
+                     pipeline.taint().stats().propensity(tag));
     }
 
-    std::printf("\nwithin-function categories (Table 5, %% of "
-                "stream):\n");
+    std::fprintf(out, "\nwithin-function categories (Table 5, %% of "
+                 "stream):\n");
     for (unsigned c = 0; c < core::numLocalCats; ++c) {
         const auto cat = core::LocalCat(c);
-        std::printf("  %-18s %6.2f%%\n",
-                    std::string(core::localCatName(cat)).c_str(),
-                    pipeline.local().stats().pctOverall(cat));
+        std::fprintf(out, "  %-18s %6.2f%%\n",
+                     std::string(core::localCatName(cat)).c_str(),
+                     pipeline.local().stats().pctOverall(cat));
     }
 
     const auto funcs = pipeline.functions().stats();
     const auto memo = pipeline.functions().memoStats();
-    std::printf("\nfunctions (Tables 4, 8):\n");
-    std::printf("  dynamic calls:       %llu\n",
-                (unsigned long long)funcs.dynamicCalls);
-    std::printf("  all-args repeated:   %6.1f%%\n",
-                funcs.pctAllArgsRepeated());
-    std::printf("  memoizable calls:    %6.1f%%\n",
-                memo.pctCleanOfAll());
+    std::fprintf(out, "\nfunctions (Tables 4, 8):\n");
+    std::fprintf(out, "  dynamic calls:       %llu\n",
+                 (unsigned long long)funcs.dynamicCalls);
+    std::fprintf(out, "  all-args repeated:   %6.1f%%\n",
+                 funcs.pctAllArgsRepeated());
+    std::fprintf(out, "  memoizable calls:    %6.1f%%\n",
+                 memo.pctCleanOfAll());
 
     const auto &reuse = pipeline.reuse().stats();
     const auto &pred = pipeline.prediction();
-    std::printf("\nhardware (Table 10 + extension):\n");
-    std::printf("  8K 4-way reuse buffer: %5.1f%% of all "
-                "instructions\n",
-                reuse.pctOfAll());
-    std::printf("  last-value predictor:  %5.1f%% of writes\n",
-                pred.lastValue().pctOfEligible());
-    std::printf("  stride predictor:      %5.1f%% of writes\n",
-                pred.stride().pctOfEligible());
-    std::printf("  context predictor:     %5.1f%% of writes\n",
-                pred.context().pctOfEligible());
+    std::fprintf(out, "\nhardware (Table 10 + extension):\n");
+    std::fprintf(out, "  8K 4-way reuse buffer: %5.1f%% of all "
+                 "instructions\n",
+                 reuse.pctOfAll());
+    std::fprintf(out, "  last-value predictor:  %5.1f%% of writes\n",
+                 pred.lastValue().pctOfEligible());
+    std::fprintf(out, "  stride predictor:      %5.1f%% of writes\n",
+                 pred.stride().pctOfEligible());
+    std::fprintf(out, "  context predictor:     %5.1f%% of writes\n",
+                 pred.context().pctOfEligible());
 }
 
 /**
  * Write the schema-stable JSON report: run config, per-phase timing
- * and throughput, and every statistic each analysis registers.
+ * and throughput, and every statistic each analysis registers. The
+ * document is built in memory and published atomically (tmp + rename;
+ * `-` = stdout); with the profiler enabled an `irep-prof-1` `profile`
+ * block rides along — without it the document is byte-identical to
+ * what pre-profiler builds wrote.
  */
 void
 writeStatsJson(const Options &opts,
                core::AnalysisPipeline &pipeline,
                const std::string &workload)
 {
-    std::ofstream out(opts.statsJsonFile,
-                      std::ios::binary | std::ios::trunc);
-    fatalIf(!out, "cannot open '", opts.statsJsonFile, "'");
+    AtomicOutFile file(opts.statsJsonFile);
+    std::ostream &out = file.stream();
 
     json::Writer w(out);
     w.beginObject();
@@ -430,9 +469,14 @@ writeStatsJson(const Options &opts,
     w.key("stats");
     stats::dumpJson(root, w);
 
+    if (prof::enabled()) {
+        w.key("profile");
+        prof::writeSummary(w);
+    }
+
     w.endObject();
     out << '\n';
-    fatalIf(!out, "write to '", opts.statsJsonFile, "' failed");
+    file.commit();
 }
 
 int
@@ -478,7 +522,7 @@ analyzeMachine(const Options &opts, sim::Machine &machine,
                      (unsigned long long)reader->dispatched(),
                      opts.fromTrace.c_str());
     }
-    report(pipeline, measured);
+    report(pipeline, measured, reportStream(opts));
     if (!opts.statsJsonFile.empty())
         writeStatsJson(opts, pipeline, workload);
     return 0;
@@ -494,7 +538,8 @@ cmdAnalyze(const Options &opts)
         input = readFile(opts.inputFile);
         machine.setInput(input);
     }
-    std::printf("=== irep analysis: %s ===\n", opts.target.c_str());
+    std::fprintf(reportStream(opts), "=== irep analysis: %s ===\n",
+                 opts.target.c_str());
     return analyzeMachine(opts, machine, input, 0, "");
 }
 
@@ -510,14 +555,19 @@ cmdBenchAll(const Options &opts)
     config.skip = opts.skip ? opts.skip : 1'000'000;
     config.window = opts.window;
     config.jobs = opts.jobs;
+    config.repetitions = opts.repetitions
+        ? opts.repetitions
+        : unsigned(parse::envU64("IREP_BENCH_REPS", 1));
     bench::Suite suite(config);
 
     const auto &entries = suite.entries();
 
-    // Analysis results go to stdout (byte-identical for any --jobs);
-    // wall-clock timing goes to stderr, where runs legitimately vary.
-    std::printf("=== irep bench suite: %zu workloads ===\n",
-                entries.size());
+    // Analysis results go to the report stream (byte-identical for
+    // any --jobs); wall-clock timing goes to stderr, where runs
+    // legitimately vary.
+    FILE *rep = reportStream(opts);
+    std::fprintf(rep, "=== irep bench suite: %zu workloads ===\n",
+                 entries.size());
     TextTable table;
     table.header({"bench", "window", "repeat%"});
     for (const auto &entry : entries) {
@@ -527,14 +577,24 @@ cmdBenchAll(const Options &opts)
                                       .stats()
                                       .pctDynRepeated())});
     }
-    std::fputs(table.render().c_str(), stdout);
+    std::fputs(table.render().c_str(), rep);
 
     for (const auto &entry : entries) {
-        const auto &t = entry.pipeline->timing();
-        std::fprintf(stderr, "irep: %-10s %.2fs  %.1f mips\n",
-                     entry.name.c_str(),
-                     t.skip.seconds + t.window.seconds,
-                     t.window.mips());
+        const double median = stat::median(entry.runSeconds);
+        const stat::Interval ci = stat::medianCI(entry.runSeconds);
+        if (suite.repetitions() > 1) {
+            std::fprintf(stderr,
+                         "irep: %-10s median %.3fs of %zu runs "
+                         "(95%% CI [%.3f, %.3f], %s)\n",
+                         entry.name.c_str(), median,
+                         entry.runSeconds.size(), ci.lo, ci.hi,
+                         entry.timingReplayed ? "replay" : "live");
+        } else {
+            const auto &t = entry.pipeline->timing();
+            std::fprintf(stderr, "irep: %-10s %.2fs  %.1f mips\n",
+                         entry.name.c_str(), median,
+                         t.window.mips());
+        }
     }
     std::fprintf(stderr,
                  "irep: %u jobs: suite wall-clock %.2fs, sum of "
@@ -557,9 +617,9 @@ cmdBench(const Options &opts)
     const auto &workload = workloads::workloadByName(opts.target);
     sim::Machine machine(workloads::buildProgram(workload));
     machine.setInput(workload.input);
-    std::printf("=== irep workload: %s (%s) ===\n",
-                workload.name.c_str(),
-                workload.specAnalogue.c_str());
+    std::fprintf(reportStream(opts), "=== irep workload: %s (%s) ===\n",
+                 workload.name.c_str(),
+                 workload.specAnalogue.c_str());
     return analyzeMachine(opts, machine, workload.input, 1'000'000,
                           workload.name);
 }
@@ -666,6 +726,29 @@ cmdFuzz(const Options &opts)
     return report.ok() ? 0 : 1;
 }
 
+int
+dispatch(const Options &opts)
+{
+    // The whole command gets a root span, so every export shows the
+    // total next to the phases it decomposes into.
+    prof::Span span("command:" + opts.command, "cli");
+    if (opts.command == "compile")
+        return cmdCompile(opts);
+    if (opts.command == "disasm")
+        return cmdDisasm(opts);
+    if (opts.command == "run")
+        return cmdRun(opts);
+    if (opts.command == "analyze")
+        return cmdAnalyze(opts);
+    if (opts.command == "bench")
+        return cmdBench(opts);
+    if (opts.command == "record")
+        return cmdRecord(opts);
+    if (opts.command == "fuzz")
+        return cmdFuzz(opts);
+    usage();
+}
+
 } // namespace
 
 int
@@ -673,21 +756,14 @@ main(int argc, char **argv)
 {
     try {
         const Options opts = parseArgs(argc, argv);
-        if (opts.command == "compile")
-            return cmdCompile(opts);
-        if (opts.command == "disasm")
-            return cmdDisasm(opts);
-        if (opts.command == "run")
-            return cmdRun(opts);
-        if (opts.command == "analyze")
-            return cmdAnalyze(opts);
-        if (opts.command == "bench")
-            return cmdBench(opts);
-        if (opts.command == "record")
-            return cmdRecord(opts);
-        if (opts.command == "fuzz")
-            return cmdFuzz(opts);
-        usage();
+        if (!opts.profileJsonFile.empty() ||
+            parse::envFlag("IREP_PROF")) {
+            prof::enable();
+        }
+        const int rc = dispatch(opts);
+        if (!opts.profileJsonFile.empty())
+            prof::writeTraceJson(opts.profileJsonFile);
+        return rc;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "irep: error: %s\n", e.what());
         return 1;
