@@ -138,6 +138,7 @@ Suite::runAll()
     core::PipelineConfig config;
     config.skipInstructions = config_.skip;
     config.windowInstructions = config_.window;
+    config.windowJobs = config_.windowJobs;
     for (const workloads::Workload &w : workloads::allWorkloads()) {
         if (!config_.filter.empty()) {
             bool found = false;
@@ -199,6 +200,7 @@ Suite::timeEntry(SuiteEntry &entry, const std::string &trace_dir)
     core::PipelineConfig config;
     config.skipInstructions = config_.skip;
     config.windowInstructions = config_.window;
+    config.windowJobs = config_.windowJobs;
     const workloads::Workload &w =
         workloads::workloadByName(entry.name);
     for (unsigned r = 0; r < config_.repetitions; ++r) {

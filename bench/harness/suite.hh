@@ -76,6 +76,8 @@ struct SuiteConfig
     uint64_t window = 4'000'000;
     std::vector<std::string> filter;    //!< empty = all workloads
     unsigned jobs = 0;                  //!< 0 = parallel::defaultJobs()
+    unsigned windowJobs = 0;    //!< intra-window shards per pipeline
+                                //!< (0 = IREP_WINDOW_JOBS, 1 = serial)
     unsigned repetitions = 1;           //!< timed runs per workload
 };
 

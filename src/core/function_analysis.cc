@@ -106,7 +106,8 @@ FunctionAnalysis::settleInvocation(const FrameData &data)
 }
 
 void
-FunctionAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
+FunctionAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated,
+                          const CallRegs *call)
 {
     (void)repeated;
     const isa::Instruction &inst = *rec.inst;
@@ -138,10 +139,12 @@ FunctionAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
     if (delta <= 0)
         return;
 
-    // A call was pushed; sample the argument registers.
+    // A call was pushed; sample the argument registers. A snapshot
+    // taken when the call retired (sharded dispatch) takes precedence
+    // over the live machine, whose registers have moved on by now.
     FrameData &data = stack_.current().data;
     data.funcAddr = stack_.current().funcAddr;
-    data.spAtEntry = machine_.reg(isa::regSP);
+    data.spAtEntry = call ? call->sp : machine_.reg(isa::regSP);
     data.counted = counting_;
     if (!counting_)
         return;
@@ -160,7 +163,8 @@ FunctionAnalysis::onInstr(const sim::InstrRecord &rec, bool repeated)
     uint64_t key = 0x243f6a8885a308d3ull;
     bool any_repeated = false;
     for (unsigned i = 0; i < nargs; ++i) {
-        const uint32_t value = machine_.reg(isa::regA0 + i);
+        const uint32_t value =
+            call ? call->args[i] : machine_.reg(isa::regA0 + i);
         key = hashMix(key, value);
         if (!state.argSeen[i].insert(value))
             any_repeated = true;

@@ -48,6 +48,19 @@ struct FunctionStats
     double pctNoArgsRepeated() const;
 };
 
+/**
+ * Register values a call retire needs, captured at retire time. The
+ * analysis samples SP and the argument registers when a call pushes a
+ * frame; off the machine's own thread (the sharded window) those
+ * registers keep moving, so the dispatcher snapshots them at enqueue
+ * and hands the snapshot to onInstr() instead.
+ */
+struct CallRegs
+{
+    uint32_t sp = 0;
+    uint32_t args[4] = {};
+};
+
 /** Table 8 row contents. */
 struct MemoizationStats
 {
@@ -69,8 +82,11 @@ class FunctionAnalysis
     void setCounting(bool enabled) { counting_ = enabled; }
 
     /** Process a retired instruction (@p repeated is unused here but
-     *  kept for interface uniformity). */
-    void onInstr(const sim::InstrRecord &rec, bool repeated);
+     *  kept for interface uniformity). When @p call is non-null it
+     *  supplies SP/argument values for a call retire; when null they
+     *  are read from the live machine (serial dispatch only). */
+    void onInstr(const sim::InstrRecord &rec, bool repeated,
+                 const CallRegs *call = nullptr);
 
     /** Syscalls are side effects of every active invocation. */
     void onSyscall(const sim::SyscallRecord &rec);

@@ -1,7 +1,9 @@
 #include "core/pipeline.hh"
 
+#include <algorithm>
 #include <chrono>
 
+#include "core/shard.hh"
 #include "support/prof.hh"
 #include "support/stats.hh"
 
@@ -59,6 +61,14 @@ AnalysisPipeline::setCounting(bool enabled)
 void
 AnalysisPipeline::onRetire(const sim::InstrRecord &rec)
 {
+    // Sharded window: the producer thread only enqueues; the tracker
+    // worker and the consumer shards run the dispatch below on their
+    // own threads (core/shard.hh), including the sampled-timing path.
+    if (shard_) {
+        shard_->enqueueRetire(rec);
+        return;
+    }
+
     // Profiling samples every Nth window retire through the timed
     // dispatch below; the other N-1 (and everything when profiling is
     // off, where this is one predictable branch) take the plain path.
@@ -148,15 +158,30 @@ AnalysisPipeline::profAnalysisName(unsigned i)
 void
 AnalysisPipeline::onSyscall(const sim::SyscallRecord &rec)
 {
+    if (shard_) {
+        shard_->enqueueSyscall(rec);
+        return;
+    }
     if (taint_)
         taint_->onSyscall(rec);
     if (functions_)
         functions_->onSyscall(rec);
 }
 
+unsigned
+AnalysisPipeline::effectiveWindowJobs() const
+{
+    const unsigned others =
+        (taint_ ? 1u : 0u) + (local_ ? 1u : 0u) +
+        (functions_ ? 1u : 0u) + (reuse_ ? 1u : 0u) +
+        (classes_ ? 1u : 0u) + (prediction_ ? 1u : 0u);
+    return std::min(ShardedWindow::resolveJobs(config_.windowJobs),
+                    1 + others);
+}
+
 template <typename Exec>
 uint64_t
-AnalysisPipeline::runPhases(Exec &&exec)
+AnalysisPipeline::runPhases(Exec &&exec, bool allow_sharding)
 {
     using clock = std::chrono::steady_clock;
     const auto elapsed = [](clock::time_point from) {
@@ -164,17 +189,52 @@ AnalysisPipeline::runPhases(Exec &&exec)
             .count();
     };
 
+    // Fresh per-run state: a second run() on the same pipeline must
+    // not inherit the previous run's timing, sample accumulators, or
+    // sampling phase (satellite of the sharding work — profSample_
+    // aggregation has to start from zero every run).
     profiling_ = prof::enabled();
     profTick_ = 0;
     profSample_ = ProfSample();
+    timing_ = RunTiming();
+
+    // Leave the pipeline quiescent however we exit: counting off, no
+    // shard workers. Declared in this order so the shard (which may
+    // still be dispatching into the analyses) is torn down *before*
+    // counting is reset during unwinding.
+    struct CountingOff
+    {
+        AnalysisPipeline &pipe;
+        ~CountingOff() { pipe.setCounting(false); }
+    } counting_off{*this};
+    struct ShardOff
+    {
+        std::unique_ptr<ShardedWindow> &slot;
+        ~ShardOff() { slot.reset(); }
+    } shard_off{shard_};
+
+    if (allow_sharding) {
+        const unsigned jobs = effectiveWindowJobs();
+        if (jobs >= 2) {
+            shard_ = std::make_unique<ShardedWindow>(*this, jobs,
+                                                     profiling_);
+        }
+    }
 
     setCounting(false);
     if (progress_)
         progress_->setPhase("skip");
     if (config_.skipInstructions) {
+        if (shard_)
+            shard_->beginPhase(false);
         const uint64_t span_start = profiling_ ? prof::nowNs() : 0;
         const auto start = clock::now();
         timing_.skip.instructions = exec(config_.skipInstructions);
+        if (shard_)
+            shard_->endPhase();
+        // The phase clock stops after the drain barrier, so sharded
+        // timing covers the slowest consumer, not just the producer's
+        // enqueue loop.
         timing_.skip.seconds = elapsed(start);
         if (profiling_) {
             prof::recordSpan(
@@ -184,14 +244,22 @@ AnalysisPipeline::runPhases(Exec &&exec)
         }
     }
 
+    // Counting may only flip while the shard workers are quiescent
+    // (before any batch, or after an endPhase() barrier).
     setCounting(true);
     if (progress_)
         progress_->setPhase("window");
+    if (shard_)
+        shard_->beginPhase(true);
     const uint64_t span_start = profiling_ ? prof::nowNs() : 0;
     const auto start = clock::now();
     const uint64_t executed = exec(config_.windowInstructions);
+    if (shard_)
+        shard_->endPhase();
     timing_.window.seconds = elapsed(start);
     timing_.window.instructions = executed;
+    if (shard_ && profiling_)
+        shard_->mergeProf(profSample_);
     setCounting(false);
     if (profiling_)
         publishProf(span_start);
@@ -238,19 +306,23 @@ uint64_t
 AnalysisPipeline::run()
 {
     return runPhases(
-        [this](uint64_t n) { return machine_.run(n); });
+        [this](uint64_t n) { return machine_.run(n); },
+        /*allow_sharding=*/true);
 }
 
 uint64_t
 AnalysisPipeline::runFromSource(sim::ReplaySource &source)
 {
     return runPhases(
-        [this, &source](uint64_t n) { return source.replay(*this, n); });
+        [this, &source](uint64_t n) { return source.replay(*this, n); },
+        /*allow_sharding=*/true);
 }
 
 uint64_t
 AnalysisPipeline::runStepwise()
 {
+    // The stepwise path exists to verify the execution engines; keep
+    // it strictly serial regardless of the window-jobs knob.
     return runPhases([this](uint64_t n) {
         uint64_t done = 0;
         while (done < n && !machine_.halted()) {
@@ -258,7 +330,7 @@ AnalysisPipeline::runStepwise()
             ++done;
         }
         return done;
-    });
+    }, /*allow_sharding=*/false);
 }
 
 void

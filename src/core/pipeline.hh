@@ -33,6 +33,8 @@ class Group;
 namespace irep::core
 {
 
+class ShardedWindow;
+
 /** Wall-clock measurement of one execution phase. */
 struct PhaseTiming
 {
@@ -61,6 +63,15 @@ struct PipelineConfig
     uint64_t skipInstructions = 0;
     uint64_t windowInstructions = 5'000'000;
     unsigned instanceCap = 2000;    //!< paper: 2000 per static instr
+
+    /**
+     * Worker threads sharding the analyses within the window
+     * (core/shard.hh). 0 resolves `IREP_WINDOW_JOBS` (default 1);
+     * 1 is today's serial dispatch, byte-for-byte. Always clamped to
+     * the enabled-analysis count; never serialized into stats JSON,
+     * because the output is identical at any value.
+     */
+    unsigned windowJobs = 0;
 
     bool enableGlobal = true;
     bool enableLocal = true;
@@ -161,7 +172,17 @@ class AnalysisPipeline : public sim::Observer
 
     const ProfSample &profSample() const { return profSample_; }
 
+    /**
+     * The window-shard count this pipeline would actually use:
+     * config().windowJobs resolved against `IREP_WINDOW_JOBS` and
+     * clamped to 1 + the number of enabled non-tracker analyses
+     * (extra workers would sit idle). 1 means serial dispatch.
+     */
+    unsigned effectiveWindowJobs() const;
+
   private:
+    friend class ShardedWindow;
+
     void setCounting(bool enabled);
 
     /** The every-Nth-retire dispatch with per-analysis timing. */
@@ -172,9 +193,11 @@ class AnalysisPipeline : public sim::Observer
     void publishProf(uint64_t window_start_ns);
 
     /** Shared skip/window protocol; @p exec executes up to its
-     *  argument's worth of instructions and returns the count done. */
+     *  argument's worth of instructions and returns the count done.
+     *  @p allow_sharding gates the sharded window (runStepwise() and
+     *  other single-thread verification paths keep it off). */
     template <typename Exec>
-    uint64_t runPhases(Exec &&exec);
+    uint64_t runPhases(Exec &&exec, bool allow_sharding);
 
     sim::Machine &machine_;
     PipelineConfig config_;
@@ -185,6 +208,10 @@ class AnalysisPipeline : public sim::Observer
     bool profiling_ = false;    //!< prof::enabled(), cached per run()
     uint32_t profTick_ = 0;
     ProfSample profSample_;
+
+    /** Live only inside a sharded runPhases(); onRetire()/onSyscall()
+     *  enqueue instead of dispatching while it is set. */
+    std::unique_ptr<ShardedWindow> shard_;
 
     std::unique_ptr<RepetitionTracker> tracker_;
     std::unique_ptr<GlobalTaint> taint_;

@@ -1,0 +1,434 @@
+#include "core/shard.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "isa/registers.hh"
+#include "support/logging.hh"
+#include "support/parse.hh"
+#include "support/prof.hh"
+
+namespace irep::core
+{
+
+namespace
+{
+
+/** Entries per batch: big enough to amortize ring traffic, small
+ *  enough that a batch stays cache-friendly (~1024 * ~112 B). */
+constexpr size_t batchCap = 1024;
+
+/** Batches in flight per ring; bounds producer run-ahead so a slow
+ *  analysis exerts backpressure instead of growing a queue. */
+constexpr size_t ringDepth = 8;
+
+} // namespace
+
+unsigned
+ShardedWindow::resolveJobs(unsigned configured)
+{
+    if (configured)
+        return configured;
+    const uint64_t env = parse::envU64("IREP_WINDOW_JOBS", 1);
+    fatalIf(env == 0, "IREP_WINDOW_JOBS must be positive");
+    fatalIf(env > 1024, "IREP_WINDOW_JOBS is implausibly large");
+    return unsigned(env);
+}
+
+ShardedWindow::ShardedWindow(AnalysisPipeline &pipe, unsigned jobs,
+                             bool profiling)
+    : pipe_(pipe), profiling_(profiling),
+      wantCallRegs_(pipe.functions_ != nullptr), tracker_(ringDepth)
+{
+    panicIf(jobs < 2, "ShardedWindow needs at least 2 jobs");
+    tracker_.spanName = "shard:tracker";
+
+    // Round-robin the enabled non-tracker analyses over jobs-1
+    // consumer workers, preserving the serial dispatch order inside
+    // each worker. effectiveWindowJobs() clamps jobs, so every worker
+    // gets at least one analysis.
+    std::vector<Which> enabled;
+    if (pipe.taint_)
+        enabled.push_back(Which::Taint);
+    if (pipe.local_)
+        enabled.push_back(Which::Local);
+    if (pipe.functions_)
+        enabled.push_back(Which::Functions);
+    if (pipe.reuse_)
+        enabled.push_back(Which::Reuse);
+    if (pipe.classes_)
+        enabled.push_back(Which::Classes);
+    if (pipe.prediction_)
+        enabled.push_back(Which::Prediction);
+    panicIf(enabled.empty(), "ShardedWindow with no analyses to shard");
+
+    const size_t numConsumers = std::min<size_t>(jobs - 1,
+                                                 enabled.size());
+    consumers_.reserve(numConsumers);
+    for (size_t i = 0; i < numConsumers; ++i)
+        consumers_.push_back(std::make_unique<Worker>(ringDepth));
+    for (size_t i = 0; i < enabled.size(); ++i)
+        consumers_[i % numConsumers]->owned.push_back(enabled[i]);
+    for (auto &w : consumers_) {
+        w->spanName = "shard:";
+        for (size_t i = 0; i < w->owned.size(); ++i) {
+            if (i)
+                w->spanName += '+';
+            w->spanName += AnalysisPipeline::profAnalysisName(
+                unsigned(w->owned[i]) + 1);
+        }
+    }
+
+    // Spawn last, so a throw above never leaves threads running.
+    try {
+        tracker_.thread = std::thread([this] { trackerLoop(); });
+        for (auto &w : consumers_) {
+            Worker *worker = w.get();
+            worker->thread =
+                std::thread([this, worker] { consumerLoop(*worker); });
+        }
+    } catch (...) {
+        // Thread spawn failed; unwind the ones already running.
+        tracker_.ring.close();
+        if (tracker_.thread.joinable())
+            tracker_.thread.join();
+        for (auto &w : consumers_) {
+            if (w->thread.joinable())
+                w->thread.join();
+        }
+        throw;
+    }
+}
+
+ShardedWindow::~ShardedWindow()
+{
+    tracker_.ring.close();
+    tracker_.thread.join();     // closes the consumer rings on exit
+    for (auto &w : consumers_)
+        w->thread.join();
+}
+
+ShardedWindow::Entry &
+ShardedWindow::nextEntry()
+{
+    if (!pending_) {
+        pending_ = std::make_shared<Batch>();
+        pending_->entries.reserve(batchCap);
+        pending_->counting = counting_;
+    }
+    pending_->entries.emplace_back();
+    return pending_->entries.back();
+}
+
+void
+ShardedWindow::enqueueRetire(const sim::InstrRecord &rec)
+{
+    Entry &e = nextEntry();
+    e.kind = Entry::Kind::Instr;
+    e.rec = rec;
+
+    // FunctionAnalysis samples SP and the argument registers when a
+    // call pushes a frame; snapshot them now, while the machine still
+    // holds this retire's values (trace replay writes them back just
+    // before dispatch, so the read is valid on both paths).
+    if (wantCallRegs_ && isa::opInfo(rec.inst->op).isCall) {
+        e.hasCallRegs = true;
+        const sim::Machine &m = pipe_.machine_;
+        e.callRegs.sp = m.reg(isa::regSP);
+        for (unsigned i = 0; i < 4; ++i)
+            e.callRegs.args[i] = m.reg(isa::regA0 + i);
+    }
+
+    // Same cadence as serial onRetire(): every Nth counting retire is
+    // a timed sample. The timing itself happens on the workers.
+    if (profiling_ && counting_ &&
+        ++profTick_ >= AnalysisPipeline::ProfSample::interval) {
+        profTick_ = 0;
+        e.sampled = true;
+        ++samples_;
+    }
+
+    if (pending_->entries.size() >= batchCap)
+        flush();
+}
+
+void
+ShardedWindow::enqueueSyscall(const sim::SyscallRecord &rec)
+{
+    Entry &e = nextEntry();
+    e.kind = Entry::Kind::Syscall;
+    e.sys = rec;
+    if (pending_->entries.size() >= batchCap)
+        flush();
+}
+
+void
+ShardedWindow::flush()
+{
+    if (!pending_ || pending_->entries.empty())
+        return;
+    ++pushed_;
+    tracker_.ring.push(std::move(pending_));
+}
+
+void
+ShardedWindow::beginPhase(bool counting)
+{
+    panicIf(pending_ && !pending_->entries.empty(),
+            "beginPhase() with unflushed records");
+    counting_ = counting;
+}
+
+void
+ShardedWindow::endPhase()
+{
+    flush();
+    auto sentinel = std::make_shared<Batch>();
+    sentinel->counting = counting_;
+    sentinel->phaseEnd = true;
+    ++pushed_;
+    tracker_.ring.push(std::move(sentinel));
+    awaitDrained();
+    rethrowIfFailed();
+}
+
+void
+ShardedWindow::awaitDrained()
+{
+    const auto drained = [this] {
+        if (tracker_.processed.load(std::memory_order_acquire) !=
+            pushed_) {
+            return false;
+        }
+        for (const auto &w : consumers_) {
+            if (w->processed.load(std::memory_order_acquire) !=
+                pushed_) {
+                return false;
+            }
+        }
+        return true;
+    };
+    // Only runs at phase boundaries (twice per run); a polite
+    // yield-then-nap poll is plenty and never deadlocks, because
+    // workers bump their counters even when draining after a failure.
+    for (int spin = 0; !drained(); ++spin) {
+        if (spin < 64)
+            std::this_thread::yield();
+        else
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(100));
+    }
+}
+
+void
+ShardedWindow::mergeProf(AnalysisPipeline::ProfSample &into)
+{
+    for (unsigned i = 0;
+         i < AnalysisPipeline::ProfSample::numAnalyses; ++i) {
+        into.ns[i] += tracker_.ns[i];
+        tracker_.ns[i] = 0;
+        for (auto &w : consumers_) {
+            into.ns[i] += w->ns[i];
+            w->ns[i] = 0;
+        }
+    }
+    into.samples += samples_;
+    samples_ = 0;
+}
+
+void
+ShardedWindow::noteFailure(std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(failMutex_);
+    if (!firstError_)
+        firstError_ = std::move(error);
+    failed_.store(true, std::memory_order_release);
+}
+
+void
+ShardedWindow::rethrowIfFailed()
+{
+    if (!failed_.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(failMutex_);
+    std::rethrow_exception(firstError_);
+}
+
+/**
+ * Stage 0: annotate each batch with the repetition tracker's verdicts,
+ * then fan the now-immutable batch out to every consumer ring. This
+ * worker is the single producer for the downstream rings, so they
+ * remain SPSC.
+ */
+void
+ShardedWindow::trackerLoop()
+{
+    BatchPtr batch;
+    while (tracker_.ring.pop(batch)) {
+        if (!tracker_.drainOnly) {
+            try {
+                trackBatch(*batch);
+            } catch (...) {
+                noteFailure(std::current_exception());
+                tracker_.drainOnly = true;
+            }
+        }
+        for (auto &w : consumers_)
+            w->ring.push(batch);
+        batch.reset();
+        tracker_.processed.fetch_add(1, std::memory_order_release);
+    }
+    for (auto &w : consumers_)
+        w->ring.close();
+}
+
+void
+ShardedWindow::trackBatch(Batch &batch)
+{
+    if (batch.phaseEnd) {
+        closePhaseSpan(tracker_);
+        return;
+    }
+    if (profiling_ && !tracker_.phaseOpen) {
+        tracker_.phaseOpen = true;
+        tracker_.phaseStartNs = prof::nowNs();
+        tracker_.phaseBatches = 0;
+        tracker_.phaseEntries = 0;
+    }
+    ++tracker_.phaseBatches;
+    tracker_.phaseEntries += batch.entries.size();
+
+    // The tracker only runs inside the window, exactly like serial
+    // dispatch: repetition buffers start cold at the window boundary.
+    if (!batch.counting)
+        return;
+    RepetitionTracker &tracker = *pipe_.tracker_;
+    for (Entry &e : batch.entries) {
+        if (e.kind != Entry::Kind::Instr)
+            continue;
+        if (e.sampled) {
+            const uint64_t t = prof::nowNs();
+            e.repeated = tracker.onInstr(
+                e.rec, RepetitionTracker::instanceKey(e.rec));
+            tracker_.ns[0] += prof::nowNs() - t;
+        } else {
+            e.repeated = tracker.onInstr(
+                e.rec, RepetitionTracker::instanceKey(e.rec));
+        }
+    }
+}
+
+void
+ShardedWindow::consumerLoop(Worker &w)
+{
+    BatchPtr batch;
+    while (w.ring.pop(batch)) {
+        if (!w.drainOnly) {
+            try {
+                consumeBatch(w, *batch);
+            } catch (...) {
+                noteFailure(std::current_exception());
+                w.drainOnly = true;
+            }
+        }
+        batch.reset();
+        w.processed.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ShardedWindow::consumeBatch(Worker &w, const Batch &batch)
+{
+    if (batch.phaseEnd) {
+        closePhaseSpan(w);
+        return;
+    }
+    if (profiling_ && !w.phaseOpen) {
+        w.phaseOpen = true;
+        w.phaseStartNs = prof::nowNs();
+        w.phaseBatches = 0;
+        w.phaseEntries = 0;
+    }
+    ++w.phaseBatches;
+    w.phaseEntries += batch.entries.size();
+
+    for (const Entry &e : batch.entries) {
+        if (e.sampled) {
+            // The timed path: identical dispatch, with a clock read
+            // around each analysis, accumulated into this worker's
+            // ProfSample slots (merged at the barrier).
+            uint64_t t = prof::nowNs();
+            for (Which which : w.owned) {
+                dispatch(which, e, batch.counting);
+                const uint64_t now = prof::nowNs();
+                w.ns[unsigned(which) + 1] += now - t;
+                t = now;
+            }
+        } else {
+            for (Which which : w.owned)
+                dispatch(which, e, batch.counting);
+        }
+    }
+}
+
+/**
+ * One analysis, one entry — the same calls serial onRetire()/
+ * onSyscall() makes, with the same counting gates, so counted
+ * statistics are bit-identical.
+ */
+void
+ShardedWindow::dispatch(Which which, const Entry &entry, bool counting)
+{
+    if (entry.kind == Entry::Kind::Syscall) {
+        // Serial dispatch sends syscalls to taint and functions only.
+        if (which == Which::Taint)
+            pipe_.taint_->onSyscall(entry.sys);
+        else if (which == Which::Functions)
+            pipe_.functions_->onSyscall(entry.sys);
+        return;
+    }
+
+    switch (which) {
+      case Which::Taint:
+        pipe_.taint_->onInstr(entry.rec, entry.repeated);
+        break;
+      case Which::Local:
+        pipe_.local_->onInstr(entry.rec, entry.repeated);
+        break;
+      case Which::Functions:
+        pipe_.functions_->onInstr(
+            entry.rec, entry.repeated,
+            entry.hasCallRegs ? &entry.callRegs : nullptr);
+        break;
+      case Which::Reuse:
+        // The reuse buffer only observes the window, like serial.
+        if (counting)
+            pipe_.reuse_->onInstr(entry.rec, entry.repeated);
+        break;
+      case Which::Classes:
+        pipe_.classes_->onInstr(entry.rec, entry.repeated);
+        break;
+      case Which::Prediction:
+        pipe_.prediction_->onInstr(entry.rec, entry.repeated);
+        break;
+    }
+}
+
+/** Record this worker's span for the phase that just ended, from the
+ *  worker's own thread so the profiler attributes it to the worker's
+ *  tid row instead of nesting it under a producer span. */
+void
+ShardedWindow::closePhaseSpan(Worker &w)
+{
+    if (!w.phaseOpen)
+        return;
+    w.phaseOpen = false;
+    if (!profiling_)
+        return;
+    prof::recordSpan(w.spanName, "pipeline", w.phaseStartNs,
+                     prof::nowNs() - w.phaseStartNs,
+                     {{"batches", double(w.phaseBatches)},
+                      {"entries", double(w.phaseEntries)}});
+}
+
+} // namespace irep::core

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * ShardedWindow: fans one retire stream out to per-analysis worker
+ * threads (`--window-jobs N`), keeping every reported statistic
+ * byte-identical to serial dispatch.
+ *
+ * Topology — a two-stage pipeline over bounded SPSC rings
+ * (support/spsc.hh):
+ *
+ *     producer ──ring──► tracker worker ──ring──► consumer worker 1
+ *     (run loop /         (repetition        ├───► consumer worker 2
+ *      trace decoder)      tracker)          └───► ...
+ *
+ * The producer thread (the fused Machine::run() loop or the trace
+ * replay decoder, via AnalysisPipeline::onRetire) appends records
+ * into batches and pushes each full batch to the tracker worker. The
+ * tracker must run first because every other analysis consumes its
+ * `repeated` verdict; once the tracker worker has annotated a batch
+ * it is immutable, and the worker fans the same std::shared_ptr out
+ * to every consumer ring — each ring still has exactly one producer
+ * (the tracker worker) and one consumer, so the SPSC contract holds.
+ * Consumer workers own disjoint subsets of the remaining analyses
+ * (taint / local / functions / reuse / classes / prediction,
+ * round-robin), so all analysis state stays thread-confined.
+ *
+ * Determinism: every analysis sees exactly the record sequence serial
+ * dispatch would have shown it, in order. Batches never straddle a
+ * phase boundary; endPhase() flushes, pushes a phase-end sentinel,
+ * and blocks until every worker's processed-batch counter matches the
+ * produced count. After that barrier the workers are quiescent, so
+ * counting transitions, finalize(), profiler merging, and
+ * registerStats() all run race-free on the calling thread.
+ *
+ * Concurrency fixes baked into the design (the bugs serial dispatch
+ * masked):
+ *  - FunctionAnalysis samples SP/argument registers at call retires;
+ *    off-thread those registers have long moved on. The producer
+ *    snapshots them into the batch entry (CallRegs) at enqueue time.
+ *  - Sampled profiling attribution happens on the worker that runs
+ *    the analysis (the producer only marks every Nth counting retire),
+ *    and per-worker nanosecond slots merge at the barrier.
+ *  - Worker phase spans are recorded from the worker's own thread, so
+ *    the profiler attributes them to the correct tid row.
+ */
+
+#ifndef IREP_CORE_SHARD_HH
+#define IREP_CORE_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/function_analysis.hh"
+#include "core/pipeline.hh"
+#include "sim/observer.hh"
+#include "support/spsc.hh"
+
+namespace irep::core
+{
+
+class ShardedWindow
+{
+  public:
+    /**
+     * Resolve the requested window-shard count: a non-zero
+     * @p configured value wins, otherwise `IREP_WINDOW_JOBS` (strictly
+     * parsed, 0 is fatal), otherwise 1 (serial).
+     */
+    static unsigned resolveJobs(unsigned configured);
+
+    /**
+     * Spin up @p jobs worker threads (1 tracker + jobs-1 consumers)
+     * for @p pipe. @p jobs must be >= 2 and is expected to already be
+     * clamped to the enabled-analysis count
+     * (AnalysisPipeline::effectiveWindowJobs()).
+     */
+    ShardedWindow(AnalysisPipeline &pipe, unsigned jobs,
+                  bool profiling);
+
+    /** Closes the rings and joins every worker. */
+    ~ShardedWindow();
+
+    ShardedWindow(const ShardedWindow &) = delete;
+    ShardedWindow &operator=(const ShardedWindow &) = delete;
+
+    /** Worker threads in use (tracker included). */
+    unsigned jobs() const { return 1 + unsigned(consumers_.size()); }
+
+    /** Producer only: append one retired instruction. */
+    void enqueueRetire(const sim::InstrRecord &rec);
+
+    /** Producer only: append one completed syscall. */
+    void enqueueSyscall(const sim::SyscallRecord &rec);
+
+    /** Producer only: the next records belong to a new phase with the
+     *  given counting mode. Call only at a quiescent point (after
+     *  construction or endPhase()). */
+    void beginPhase(bool counting);
+
+    /**
+     * Producer only: flush pending records, push the phase-end
+     * sentinel, and block until every worker has drained everything —
+     * the deterministic barrier. Rethrows the first worker exception,
+     * if any. On return the workers are parked and the analyses may be
+     * read or reconfigured from the calling thread.
+     */
+    void endPhase();
+
+    /** Producer only, after endPhase(): fold the workers' sampled
+     *  per-analysis nanoseconds and the producer's sample count into
+     *  @p into, then zero the worker slots. */
+    void mergeProf(AnalysisPipeline::ProfSample &into);
+
+  private:
+    struct Entry
+    {
+        enum class Kind : uint8_t { Instr, Syscall };
+
+        sim::InstrRecord rec;
+        sim::SyscallRecord sys = {};
+        CallRegs callRegs;
+        Kind kind = Kind::Instr;
+        bool sampled = false;       //!< timed dispatch on the workers
+        bool hasCallRegs = false;
+        bool repeated = false;      //!< tracker verdict (stage 0)
+    };
+
+    struct Batch
+    {
+        std::vector<Entry> entries;
+        bool counting = false;
+        bool phaseEnd = false;
+    };
+
+    using BatchPtr = std::shared_ptr<Batch>;
+
+    /** Analyses a consumer worker can own; numeric value + 1 is the
+     *  ProfSample slot (0 is the tracker's). */
+    enum class Which : uint8_t
+    {
+        Taint, Local, Functions, Reuse, Classes, Prediction
+    };
+
+    struct Worker
+    {
+        explicit Worker(size_t ring_depth) : ring(ring_depth) {}
+
+        parallel::SpscRing<BatchPtr> ring;
+        std::vector<Which> owned;       //!< empty for the tracker
+        std::string spanName;
+        std::thread thread;
+
+        alignas(64) std::atomic<uint64_t> processed{0};
+
+        // Worker-thread state below; the producer only touches it
+        // after the endPhase() barrier.
+        uint64_t ns[AnalysisPipeline::ProfSample::numAnalyses] = {};
+        bool drainOnly = false;     //!< threw; keep draining, skip work
+        bool phaseOpen = false;
+        uint64_t phaseStartNs = 0;
+        uint64_t phaseBatches = 0;
+        uint64_t phaseEntries = 0;
+    };
+
+    Entry &nextEntry();
+    void flush();
+    void awaitDrained();
+    void rethrowIfFailed();
+    void noteFailure(std::exception_ptr error);
+
+    void trackerLoop();
+    void consumerLoop(Worker &w);
+    void trackBatch(Batch &batch);
+    void consumeBatch(Worker &w, const Batch &batch);
+    void dispatch(Which which, const Entry &entry, bool counting);
+    void closePhaseSpan(Worker &w);
+
+    AnalysisPipeline &pipe_;
+    const bool profiling_;
+    const bool wantCallRegs_;
+
+    // Producer-side state.
+    BatchPtr pending_;
+    bool counting_ = false;
+    uint32_t profTick_ = 0;
+    uint64_t samples_ = 0;      //!< entries marked for timed dispatch
+    uint64_t pushed_ = 0;       //!< batches pushed (sentinels included)
+
+    Worker tracker_;
+    std::vector<std::unique_ptr<Worker>> consumers_;
+
+    std::mutex failMutex_;
+    std::exception_ptr firstError_;
+    std::atomic<bool> failed_{false};
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_SHARD_HH

@@ -20,19 +20,38 @@ ThreadPool::ThreadPool(unsigned workers)
 {
     fatalIf(workers == 0, "thread pool needs at least one worker");
     threads_.reserve(workers);
-    for (unsigned i = 0; i < workers; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+    try {
+        for (unsigned i = 0; i < workers; ++i)
+            threads_.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        // Thread spawn failed partway: join the workers that did
+        // start, or their std::thread destructors terminate the
+        // whole process during unwinding.
+        stop();
+        throw;
+    }
 }
 
 ThreadPool::~ThreadPool()
+{
+    stop();
+}
+
+void
+ThreadPool::stop()
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
     }
     wake_.notify_all();
-    for (std::thread &t : threads_)
-        t.join();
+    // Workers drain the queue before exiting (see workerLoop), so
+    // every submitted job runs and every outstanding future is ready
+    // once the joins return. joinable() makes repeated stop() a no-op.
+    for (std::thread &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
 }
 
 std::future<void>
@@ -42,7 +61,9 @@ ThreadPool::submit(std::function<void()> job)
     std::future<void> future = task.get_future();
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        panicIf(stopping_, "submit() on a stopping pool");
+        panicIf(stopping_,
+                "ThreadPool::submit() after stop(): the pool is "
+                "stopped and would never run this job (use-after-stop)");
         queue_.push_back(std::move(task));
     }
     wake_.notify_one();

@@ -46,10 +46,12 @@ unsigned defaultJobs();
 class ThreadPool
 {
   public:
-    /** Spawn @p workers threads (fatal if 0). */
+    /** Spawn @p workers threads (fatal if 0). If spawning fails
+     *  partway, the threads already started are joined before the
+     *  exception propagates. */
     explicit ThreadPool(unsigned workers);
 
-    /** Joins the workers; outstanding jobs finish first. */
+    /** Calls stop(). */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -59,9 +61,20 @@ class ThreadPool
 
     /**
      * Enqueue @p job. The future resolves when it finishes and
-     * rethrows anything the job threw.
+     * rethrows anything the job threw. Calling submit() on a stopped
+     * (or stopping) pool is a use-after-stop bug and panics loudly
+     * instead of silently queueing a job no worker will ever run.
      */
     std::future<void> submit(std::function<void()> job);
+
+    /**
+     * Stop accepting new work, let the workers finish the queue, and
+     * join them. Every future handed out by submit() is ready when
+     * stop() returns — jobs are never dropped, so no outstanding
+     * future can dangle past the workers' lifetime. Idempotent (the
+     * destructor calls it); must be driven by the owning thread.
+     */
+    void stop();
 
   private:
     void workerLoop();

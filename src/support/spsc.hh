@@ -1,0 +1,203 @@
+/**
+ * @file
+ * A bounded single-producer/single-consumer ring, the transport under
+ * the sharded analysis window (core/shard.hh): one thread pushes, one
+ * thread pops, order is preserved exactly, and capacity is fixed so a
+ * slow consumer exerts backpressure instead of growing a queue.
+ *
+ * Design rules:
+ *
+ *  - *One producer, one consumer.* head_ is written only by the
+ *    consumer, tail_ only by the producer; each side reads the other's
+ *    index with acquire ordering and publishes its own with release.
+ *    Any second thread on either end is a usage bug, not a supported
+ *    mode — use a mutex queue for that.
+ *  - *Slots move.* Payloads are moved in on push and moved out on pop,
+ *    so move-only types (std::unique_ptr, batches owning buffers)
+ *    work; T must be default-constructible for the slot storage.
+ *  - *Blocking calls spin briefly, then park.* The fast path is two
+ *    atomic loads and a store; only when the ring stays full/empty
+ *    does a side take the mutex and wait on the condition variable.
+ *    Waiters advertise themselves through sleepers_, so the hot path
+ *    never touches the mutex when nobody is parked. This matters on
+ *    oversubscribed hosts (CI runners, --jobs x --window-jobs): a
+ *    pure spin ring livelocks when producer and consumer time-share
+ *    one core.
+ *  - *close() ends the stream.* The producer closes after its final
+ *    push; pop() then drains the remaining items and returns false.
+ *    Pushing after close is a panic (an irep bug, not user input).
+ */
+
+#ifndef IREP_SUPPORT_SPSC_HH
+#define IREP_SUPPORT_SPSC_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace irep::parallel
+{
+
+template <typename T>
+class SpscRing
+{
+  public:
+    /** A ring holding at least @p min_capacity items (rounded up to a
+     *  power of two; fatal on 0). */
+    explicit SpscRing(size_t min_capacity)
+    {
+        fatalIf(min_capacity == 0,
+                "SpscRing capacity must be positive");
+        size_t cap = 1;
+        while (cap < min_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    size_t capacity() const { return slots_.size(); }
+
+    /** Producer only: move @p item into the ring if there is space.
+     *  @return false (item untouched) when the ring is full. */
+    bool
+    tryPush(T &item)
+    {
+        const uint64_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - head_.load(std::memory_order_acquire) >
+            mask_) {
+            return false;
+        }
+        slots_[tail & mask_] = std::move(item);
+        tail_.store(tail + 1, std::memory_order_release);
+        wake();
+        return true;
+    }
+
+    /** Producer only: push, parking while the ring is full. */
+    void
+    push(T item)
+    {
+        panicIf(closed_.load(std::memory_order_relaxed),
+                "SpscRing::push() after close()");
+        while (!tryPush(item)) {
+            park([this] {
+                const uint64_t tail =
+                    tail_.load(std::memory_order_relaxed);
+                return tail - head_.load(std::memory_order_acquire) <=
+                    mask_;
+            });
+        }
+    }
+
+    /** Consumer only: move the oldest item into @p out.
+     *  @return false when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        const uint64_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire))
+            return false;
+        out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        wake();
+        return true;
+    }
+
+    /**
+     * Consumer only: pop, parking while the ring is empty.
+     * @return false only once the ring is closed *and* drained — every
+     *         item pushed before close() is still delivered.
+     */
+    bool
+    pop(T &out)
+    {
+        for (;;) {
+            if (tryPop(out))
+                return true;
+            if (closed_.load(std::memory_order_acquire)) {
+                // close() happens after the final push; one re-check
+                // catches an item published between the failed pop and
+                // the closed_ load.
+                return tryPop(out);
+            }
+            park([this] {
+                return head_.load(std::memory_order_relaxed) !=
+                    tail_.load(std::memory_order_acquire) ||
+                    closed_.load(std::memory_order_acquire);
+            });
+        }
+    }
+
+    /** Producer only: no more pushes will come; parked consumers wake
+     *  and drain. */
+    void
+    close()
+    {
+        closed_.store(true, std::memory_order_release);
+        wake();
+    }
+
+    bool
+    closed() const
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+  private:
+    /** Spin briefly on @p ready, then block on the condition variable
+     *  (predicate re-checked under the mutex, so a wake() between the
+     *  last spin and the wait cannot be lost). */
+    template <typename Ready>
+    void
+    park(Ready &&ready)
+    {
+        for (int spin = 0; spin < 64; ++spin) {
+            if (ready())
+                return;
+            std::this_thread::yield();
+        }
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, ready);
+        }
+        sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+
+    /** Notify parked peers; a single relaxed-free load keeps the
+     *  no-waiter fast path syscall-free. Taking the mutex before
+     *  notifying serializes with park()'s wait entry, closing the
+     *  missed-wakeup window. */
+    void
+    wake()
+    {
+        if (sleepers_.load(std::memory_order_seq_cst) == 0)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        wake_.notify_all();
+    }
+
+    std::vector<T> slots_;
+    size_t mask_ = 0;
+
+    alignas(64) std::atomic<uint64_t> head_{0};     //!< consumer index
+    alignas(64) std::atomic<uint64_t> tail_{0};     //!< producer index
+    std::atomic<bool> closed_{false};
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::atomic<uint32_t> sleepers_{0};
+};
+
+} // namespace irep::parallel
+
+#endif // IREP_SUPPORT_SPSC_HH

@@ -11,6 +11,7 @@
 #include "core/pipeline.hh"
 #include "minicc/compiler.hh"
 #include "sim_test_util.hh"
+#include "support/prof.hh"
 
 namespace irep::core
 {
@@ -279,6 +280,81 @@ TEST(Pipeline, ReanalysisWithFreshConfigsObservesOnlyItsOwnRun)
         pipeline.run();
         EXPECT_EQ(pipeline.tracker().stats().dynTotal, before);
     }
+}
+
+TEST(Pipeline, SampledProfilingResetsBetweenRuns)
+{
+    // Regression: a second run() on the same pipeline must start its
+    // ProfSample accumulation from zero, not stack samples (and
+    // nanoseconds) on top of the first run's.
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    PipelineConfig config;
+    config.windowInstructions = 1500;   // ~2 samples per window
+    AnalysisPipeline pipeline(machine, config);
+
+    prof::enable(true);
+    pipeline.run();
+    const uint64_t first = pipeline.profSample().samples;
+    pipeline.run();
+    const uint64_t second = pipeline.profSample().samples;
+    prof::enable(false);
+    prof::reset();
+
+    EXPECT_GT(first, 0u);
+    // Not first + second — the accumulator was reset.
+    EXPECT_LE(second, first);
+    EXPECT_GT(second, 0u);
+}
+
+TEST(Pipeline, TimingResetsBetweenRuns)
+{
+    // Regression: with skip configured to 0, a second run used to
+    // keep the first run's skip timing in timing().skip.
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    PipelineConfig skip_config;
+    skip_config.skipInstructions = 100;
+    skip_config.windowInstructions = 200;
+    AnalysisPipeline pipeline(machine, skip_config);
+    pipeline.run();
+    EXPECT_EQ(pipeline.timing().skip.instructions, 100u);
+
+    // A fresh pipeline without a skip phase must report zero skip
+    // instructions even after the machine has executed plenty.
+    PipelineConfig no_skip;
+    no_skip.windowInstructions = 200;
+    AnalysisPipeline second(machine, no_skip);
+    second.run();
+    second.run();
+    EXPECT_EQ(second.timing().skip.instructions, 0u);
+    EXPECT_EQ(second.timing().skip.seconds, 0.0);
+}
+
+TEST(Pipeline, ShardedSampledProfilingCountsMatchSerial)
+{
+    // The producer marks every 512th counting retire in sharded mode;
+    // the sample *count* must match serial cadence exactly (the
+    // nanosecond payloads are timings and may differ).
+    const auto program = sampleProgram();
+    const uint64_t window = 4096;
+
+    auto samplesAt = [&](unsigned jobs) {
+        sim::Machine machine(program);
+        PipelineConfig config;
+        config.windowInstructions = window;
+        config.windowJobs = jobs;
+        AnalysisPipeline pipeline(machine, config);
+        prof::enable(true);
+        pipeline.run();
+        prof::enable(false);
+        prof::reset();
+        return pipeline.profSample().samples;
+    };
+
+    const uint64_t serial = samplesAt(1);
+    EXPECT_EQ(serial, window / AnalysisPipeline::ProfSample::interval);
+    EXPECT_EQ(samplesAt(4), serial);
 }
 
 } // namespace

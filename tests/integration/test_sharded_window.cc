@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Sharded-window equivalence: an AnalysisPipeline with windowJobs > 1
+ * fans the retire stream out to per-analysis worker threads
+ * (core/shard.hh) and must produce *exactly* the statistics of serial
+ * dispatch — every analysis, every counter, live and replayed from a
+ * trace, profiled or not. These tests (and the "Sharded" name) also
+ * run under the ThreadSanitizer CI job, so a data race in the fan-out
+ * fails the build.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "sim/machine.hh"
+#include "support/json.hh"
+#include "support/prof.hh"
+#include "support/stats.hh"
+#include "trace_io/reader.hh"
+#include "trace_io/writer.hh"
+#include "workloads/workloads.hh"
+
+namespace irep
+{
+namespace
+{
+
+std::unique_ptr<sim::Machine>
+makeMachine(const std::string &name)
+{
+    const auto &w = workloads::workloadByName(name);
+    auto machine =
+        std::make_unique<sim::Machine>(workloads::buildProgram(w));
+    machine->setInput(w.input);
+    return machine;
+}
+
+/** Un-round phase lengths, so batch/phase boundaries land mid-block
+ *  and the final batch is partial. */
+core::PipelineConfig
+testConfig(unsigned window_jobs)
+{
+    core::PipelineConfig config;
+    config.skipInstructions = 12'347;
+    config.windowInstructions = 123'457;
+    config.windowJobs = window_jobs;
+    return config;
+}
+
+/** Structural JSON equality, ignoring wall-clock-derived stats. */
+void
+expectJsonEqual(const json::Value &a, const json::Value &b,
+                const std::string &path)
+{
+    ASSERT_EQ(int(a.kind()), int(b.kind())) << path;
+    switch (a.kind()) {
+      case json::Value::Kind::Object: {
+        ASSERT_EQ(a.size(), b.size()) << path;
+        for (size_t i = 0; i < a.members().size(); ++i) {
+            const auto &[key, value] = a.members()[i];
+            ASSERT_EQ(key, b.members()[i].first) << path;
+            if (key == "skip_seconds" || key == "window_seconds" ||
+                key == "window_mips") {
+                continue;
+            }
+            expectJsonEqual(value, b.members()[i].second,
+                            path + "." + key);
+        }
+        break;
+      }
+      case json::Value::Kind::Array:
+        ASSERT_EQ(a.size(), b.size()) << path;
+        for (size_t i = 0; i < a.elements().size(); ++i) {
+            expectJsonEqual(a.elements()[i], b.elements()[i],
+                            path + "[" + std::to_string(i) + "]");
+        }
+        break;
+      case json::Value::Kind::Number:
+        EXPECT_EQ(a.asNumber(), b.asNumber()) << path;
+        break;
+      case json::Value::Kind::String:
+        EXPECT_EQ(a.asString(), b.asString()) << path;
+        break;
+      case json::Value::Kind::Bool:
+        EXPECT_EQ(a.asBool(), b.asBool()) << path;
+        break;
+      case json::Value::Kind::Null:
+        break;
+    }
+}
+
+json::Value
+statsDocument(const core::AnalysisPipeline &pipeline)
+{
+    stats::Group root;
+    pipeline.registerStats(root);
+    std::ostringstream os;
+    json::Writer writer(os);
+    stats::dumpJson(root, writer);
+    return json::parse(os.str());
+}
+
+/** Live run at the given shard count; returns the stats document. */
+json::Value
+runLive(const std::string &workload, unsigned window_jobs,
+        uint64_t *measured = nullptr)
+{
+    auto machine = makeMachine(workload);
+    core::AnalysisPipeline pipeline(*machine,
+                                    testConfig(window_jobs));
+    const uint64_t executed = pipeline.run();
+    if (measured)
+        *measured = executed;
+    return statsDocument(pipeline);
+}
+
+void
+expectShardedMatchesSerial(const std::string &workload,
+                           unsigned window_jobs)
+{
+    uint64_t serial_measured = 0, sharded_measured = 0;
+    const json::Value serial = runLive(workload, 1, &serial_measured);
+    const json::Value sharded =
+        runLive(workload, window_jobs, &sharded_measured);
+    EXPECT_EQ(serial_measured, sharded_measured);
+    expectJsonEqual(serial, sharded,
+                    workload + ".wj" + std::to_string(window_jobs));
+}
+
+TEST(ShardedWindow, CompressStatsIdenticalAtFourJobs)
+{
+    expectShardedMatchesSerial("compress", 4);
+}
+
+TEST(ShardedWindow, CompressStatsIdenticalAtSevenJobs)
+{
+    // One worker per analysis — the maximum useful fan-out.
+    expectShardedMatchesSerial("compress", 7);
+}
+
+TEST(ShardedWindow, LiStatsIdenticalAtFourJobs)
+{
+    // li is the most call-heavy workload: the strongest check that
+    // the producer-side CallRegs snapshots feed FunctionAnalysis the
+    // exact register values serial dispatch reads live.
+    expectShardedMatchesSerial("li", 4);
+}
+
+TEST(ShardedWindow, TraceReplayStatsIdenticalToSerialReplay)
+{
+    // The flagship path: one decoder thread producing, N shards
+    // consuming, no simulator in the loop.
+    const std::string workload = "compress";
+    const auto &w = workloads::workloadByName(workload);
+    const std::string path =
+        testing::TempDir() + workload + "-sharded.irtrace";
+
+    const core::PipelineConfig config = testConfig(1);
+    auto live_machine = makeMachine(workload);
+    core::AnalysisPipeline live(*live_machine, config);
+    trace_io::TraceWriter writer(path, *live_machine, w.input,
+                                 config.skipInstructions,
+                                 config.windowInstructions);
+    live_machine->addObserver(&writer);
+    live.run();
+    live_machine->removeObserver(&writer);
+    writer.commit();
+
+    auto replayOnce = [&](unsigned window_jobs) {
+        auto machine = makeMachine(workload);
+        core::AnalysisPipeline pipeline(*machine,
+                                        testConfig(window_jobs));
+        trace_io::TraceReader reader(path);
+        reader.bind(*machine, w.input);
+        pipeline.runFromSource(reader);
+        return statsDocument(pipeline);
+    };
+
+    const json::Value serial = replayOnce(1);
+    const json::Value sharded = replayOnce(4);
+    expectJsonEqual(statsDocument(live), serial, "live-vs-replay");
+    expectJsonEqual(serial, sharded, "replay-wj1-vs-wj4");
+    std::filesystem::remove(path);
+}
+
+TEST(ShardedWindow, ProfiledShardedStatsStayBitFaithful)
+{
+    // With the profiler on, every 512th window retire takes the timed
+    // dispatch path on the workers; counted statistics must not move.
+    const json::Value plain = runLive("compress", 1);
+    prof::enable(true);
+    const json::Value profiled_sharded = runLive("compress", 4);
+    prof::enable(false);
+    prof::reset();
+    expectJsonEqual(plain, profiled_sharded, "profiled-sharded");
+}
+
+TEST(ShardedWindow, SecondRunOnSamePipelineMatchesSerial)
+{
+    // Worker lifetime is per-run: a pipeline must shard, join, and
+    // shard again cleanly, and the second run's stats must equal a
+    // serial pipeline's second run.
+    auto run_twice = [](unsigned window_jobs) {
+        auto machine = makeMachine("compress");
+        core::AnalysisPipeline pipeline(*machine,
+                                        testConfig(window_jobs));
+        pipeline.run();
+        pipeline.run();     // continues execution; fresh timing
+        return statsDocument(pipeline);
+    };
+    expectJsonEqual(run_twice(1), run_twice(4), "second-run");
+}
+
+TEST(ShardedWindow, EffectiveJobsClampToEnabledAnalyses)
+{
+    auto machine = makeMachine("compress");
+    core::PipelineConfig config = testConfig(64);
+    core::AnalysisPipeline all(*machine, config);
+    // Tracker + 6 other analyses: at most 7 workers are useful.
+    EXPECT_EQ(all.effectiveWindowJobs(), 7u);
+
+    config.enableGlobal = false;
+    config.enableLocal = false;
+    config.enableFunction = false;
+    config.enableReuse = false;
+    config.enableClass = false;
+    config.enableValuePrediction = false;
+    auto machine2 = makeMachine("compress");
+    core::AnalysisPipeline tracker_only(*machine2, config);
+    // Nothing to shard: the tracker-only pipeline stays serial.
+    EXPECT_EQ(tracker_only.effectiveWindowJobs(), 1u);
+}
+
+TEST(ShardedWindow, TrackerOnlyPipelineRunsSerialEvenWithJobs)
+{
+    core::PipelineConfig config = testConfig(4);
+    config.enableGlobal = false;
+    config.enableLocal = false;
+    config.enableFunction = false;
+    config.enableReuse = false;
+    config.enableClass = false;
+    config.enableValuePrediction = false;
+
+    auto machine = makeMachine("compress");
+    core::AnalysisPipeline pipeline(*machine, config);
+    const uint64_t measured = pipeline.run();
+    EXPECT_EQ(measured, config.windowInstructions);
+    EXPECT_GT(pipeline.tracker().stats().dynRepeated, 0u);
+}
+
+} // namespace
+} // namespace irep

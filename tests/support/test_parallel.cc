@@ -5,6 +5,7 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 #include <thread>
@@ -153,6 +154,53 @@ TEST(ThreadPool, FutureRethrowsJobException)
 TEST(ThreadPool, ZeroWorkersIsFatal)
 {
     EXPECT_THROW(ThreadPool pool(0), FatalError);
+}
+
+TEST(ThreadPool, SubmitAfterStopIsALoudPanic)
+{
+    // Regression: submitting to a stopped pool used to be reachable
+    // only through a destructor race; stop() makes the use-after-stop
+    // state testable, and the panic must fire instead of silently
+    // queueing a job no worker will ever run.
+    ThreadPool pool(2);
+    pool.stop();
+    EXPECT_THROW(pool.submit([] {}), PanicError);
+}
+
+TEST(ThreadPool, StopCompletesEveryOutstandingFuture)
+{
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 50; ++i)
+        futures.push_back(pool.submit([&ran] { ++ran; }));
+    pool.stop();
+    // Join order guarantee: after stop() no future can dangle — all
+    // jobs ran and every future is immediately ready.
+    EXPECT_EQ(ran.load(), 50);
+    for (auto &f : futures) {
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_NO_THROW(f.get());
+    }
+}
+
+TEST(ThreadPool, StopIsIdempotentAndDestructorSafeAfterStop)
+{
+    ThreadPool pool(2);
+    pool.submit([] {}).get();
+    pool.stop();
+    pool.stop();    // second stop must be a harmless no-op
+}
+
+TEST(ThreadPool, FailingJobStillCompletesItsFutureBeforeStop)
+{
+    ThreadPool pool(1);
+    auto bad = pool.submit([] { fatal("job failed"); });
+    auto good = pool.submit([] {});
+    pool.stop();
+    EXPECT_THROW(bad.get(), FatalError);
+    EXPECT_NO_THROW(good.get());
 }
 
 TEST(DefaultJobs, ReadsIrepJobs)

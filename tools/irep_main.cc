@@ -24,6 +24,9 @@
  *   --max N            execution cap for `run` (default 1B)
  *   --jobs N           worker threads for `bench all` (default:
  *                      hardware concurrency; 1 = serial)
+ *   --window-jobs N    threads sharding the analyses inside each
+ *                      window for `analyze`/`bench` (default 1 =
+ *                      serial dispatch; stats stay byte-identical)
  *   --repetitions N    timed repetitions per workload for `bench all`
  *                      (median/CI in the irep-bench-2 report)
  *   --stats-json FILE  write the full stats report as JSON,
@@ -91,6 +94,7 @@ struct Options
     uint64_t window = 5'000'000;
     uint64_t max = 1'000'000'000;
     unsigned jobs = 0;      //!< 0 = parallel::defaultJobs()
+    unsigned windowJobs = 0;    //!< 0 = IREP_WINDOW_JOBS or serial
     bool skipSet = false;   //!< --skip given explicitly
     bool windowSet = false; //!< --window given explicitly
 
@@ -196,6 +200,11 @@ parseArgs(int argc, char **argv)
             opts.jobs = unsigned(parseU64(arg, next()));
             fatalIf(opts.jobs == 0, "--jobs must be positive");
         }
+        else if (arg == "--window-jobs") {
+            opts.windowJobs = unsigned(parseU64(arg, next()));
+            fatalIf(opts.windowJobs == 0,
+                    "--window-jobs must be positive (1 = serial)");
+        }
         else if (arg == "--stats-json")
             opts.statsJsonFile = next();
         else if (arg == "--profile-json")
@@ -257,6 +266,10 @@ parseArgs(int argc, char **argv)
             "` cannot replay a trace");
     fatalIf(!opts.outputFile.empty() && opts.command != "record",
             "--output only applies to `record`");
+    // Window sharding only exists where the analyses run.
+    fatalIf(opts.windowJobs != 0 && opts.command != "analyze" &&
+                opts.command != "bench",
+            "--window-jobs only applies to `analyze` and `bench`");
     fatalIf(opts.repetitions != 0 &&
                 !(opts.command == "bench" && opts.target == "all"),
             "--repetitions only applies to `bench all`");
@@ -488,6 +501,7 @@ analyzeMachine(const Options &opts, sim::Machine &machine,
     core::PipelineConfig config;
     config.skipInstructions = opts.skip ? opts.skip : default_skip;
     config.windowInstructions = opts.window;
+    config.windowJobs = opts.windowJobs;
 
     // Replay adopts the skip/window the trace was recorded under —
     // silently measuring a different window than the stream holds
@@ -555,6 +569,7 @@ cmdBenchAll(const Options &opts)
     config.skip = opts.skip ? opts.skip : 1'000'000;
     config.window = opts.window;
     config.jobs = opts.jobs;
+    config.windowJobs = opts.windowJobs;
     config.repetitions = opts.repetitions
         ? opts.repetitions
         : unsigned(parse::envU64("IREP_BENCH_REPS", 1));
