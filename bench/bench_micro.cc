@@ -7,18 +7,23 @@
  * documenting the throughput cost of each layer.
  */
 
+#include <cstdio>
+#include <unistd.h>
 #include <random>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "asm/assembler.hh"
 #include "core/pipeline.hh"
 #include "core/repetition_tracker.hh"
 #include "minicc/compiler.hh"
 #include "sim/machine.hh"
 #include "support/flat_map.hh"
 #include "support/hash.hh"
+#include "trace_io/writer.hh"
 #include "workloads/workloads.hh"
 
 using namespace irep;
@@ -42,6 +47,86 @@ BM_SimulatorOnly(benchmark::State &state)
         machine.run(uint64_t(state.range(0)));
         benchmark::DoNotOptimize(machine.instret());
     }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+/** The same skip-phase fast path through the block-cache backend:
+ *  pre-decoded superblocks, threaded dispatch, direct chaining. */
+void
+BM_SimulatorOnly_BBCache(benchmark::State &state)
+{
+    const auto &prog = workloads::buildProgram(bm_workload());
+    for (auto _ : state) {
+        sim::Machine machine(prog);
+        machine.setExecBackend(sim::ExecBackend::BBCache);
+        machine.setInput(bm_workload().input);
+        machine.run(uint64_t(state.range(0)));
+        benchmark::DoNotOptimize(machine.instret());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+/**
+ * Translation churn: a store-heavy self-modifying loop keeps every
+ * block's page generation stale, so the cache retranslates on each
+ * re-entry — the worst case for translation overhead, bounding what a
+ * pathological workload could cost relative to the interpreter.
+ */
+void
+BM_BBCacheTranslationChurn(benchmark::State &state)
+{
+    // The loop stores into its own text page every iteration.
+    static const char *const churn =
+        "main:\n"
+        "  lui $t3, 0x0040\n"
+        "  li  $t0, 0\n"
+        "loop:\n"
+        "  sw  $t0, 0($t3)\n"
+        "  addiu $t1, $t1, 3\n"
+        "  xor $t2, $t1, $t0\n"
+        "  addiu $t0, $t0, 1\n"
+        "  bne $t0, $t4, loop\n"
+        "  li $v0, 1\n"
+        "  move $a0, $zero\n"
+        "  syscall\n";
+    const assem::Program prog = assem::assemble(churn);
+    for (auto _ : state) {
+        sim::Machine machine(prog);
+        machine.setExecBackend(sim::ExecBackend::BBCache);
+        machine.run(uint64_t(state.range(0)));
+        benchmark::DoNotOptimize(machine.instret());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+/**
+ * The `irep record` hot loop: the machine runs observed with a
+ * TraceWriter encoding every retire. Recording wall clock is
+ * dominated by this path (observed execution + per-record varint
+ * encoding), not by the simulator backend, so this pins the writer's
+ * records/s alongside the simulator-only numbers above.
+ */
+void
+BM_TraceWrite(benchmark::State &state)
+{
+    const auto &prog = workloads::buildProgram(bm_workload());
+    const std::string path =
+        "/tmp/irep_bm_trace_" + std::to_string(::getpid()) +
+        ".irtrace";
+    for (auto _ : state) {
+        sim::Machine machine(prog);
+        machine.setExecBackend(sim::ExecBackend::BBCache);
+        machine.setInput(bm_workload().input);
+        trace_io::TraceWriter writer(path, machine,
+                                     bm_workload().input, 0,
+                                     uint64_t(state.range(0)));
+        machine.addObserver(&writer);
+        machine.run(uint64_t(state.range(0)));
+        machine.removeObserver(&writer);
+        writer.commit();
+        benchmark::DoNotOptimize(writer.bytesWritten());
+    }
+    std::remove(path.c_str());
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
@@ -183,6 +268,13 @@ BM_UnorderedMapProbe(benchmark::State &state)
 } // namespace
 
 BENCHMARK(BM_SimulatorOnly)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulatorOnly_BBCache)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BBCacheTranslationChurn)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceWrite)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TrackerPipeline)
     ->Arg(1 << 20)
     ->Unit(benchmark::kMillisecond);

@@ -57,13 +57,16 @@ validateFilter(const std::vector<std::string> &filter)
 
 SuiteEntry
 buildEntry(const workloads::Workload &w,
-           const core::PipelineConfig &config)
+           const core::PipelineConfig &config,
+           std::optional<sim::ExecBackend> exec)
 {
     SuiteEntry entry;
     entry.name = w.name;
     entry.input = w.input;
     entry.machine =
         std::make_unique<sim::Machine>(workloads::buildProgram(w));
+    if (exec)
+        entry.machine->setExecBackend(*exec);
     entry.machine->setInput(w.input);
     entry.pipeline = std::make_unique<core::AnalysisPipeline>(
         *entry.machine, config);
@@ -147,7 +150,7 @@ Suite::runAll()
             if (!found)
                 continue;
         }
-        entries_.push_back(buildEntry(w, config));
+        entries_.push_back(buildEntry(w, config, config_.exec));
     }
 
     jobs_ = config_.jobs ? config_.jobs : parallel::defaultJobs();
@@ -204,7 +207,7 @@ Suite::timeEntry(SuiteEntry &entry, const std::string &trace_dir)
     const workloads::Workload &w =
         workloads::workloadByName(entry.name);
     for (unsigned r = 0; r < config_.repetitions; ++r) {
-        SuiteEntry fresh = buildEntry(w, config);
+        SuiteEntry fresh = buildEntry(w, config, config_.exec);
         prof::Span span("timing:" + entry.name, "bench");
         fresh.windowExecuted = runEntry(fresh, trace_dir,
                                         config_.skip, config_.window);
@@ -326,7 +329,7 @@ Suite::runOne(const std::string &name,
               const core::PipelineConfig &config)
 {
     SuiteEntry entry = buildEntry(workloads::workloadByName(name),
-                                  config);
+                                  config, {});
     // The retire stream is independent of the analysis configuration,
     // so ablation reruns share cache entries with the plain suite
     // whenever their skip/window match.

@@ -41,6 +41,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,9 @@ struct SuiteConfig
     unsigned windowJobs = 0;    //!< intra-window shards per pipeline
                                 //!< (0 = IREP_WINDOW_JOBS, 1 = serial)
     unsigned repetitions = 1;           //!< timed runs per workload
+    /** Simulator execution backend for every workload machine
+     *  (unset = the machine's IREP_EXEC-resolved default). */
+    std::optional<sim::ExecBackend> exec;
 };
 
 /** A benchmark suite run: all (filtered) workloads, in paper order. */

@@ -103,7 +103,8 @@ runDifferential(const std::string &source, const std::string &input,
         sim::RunResult sim;
         try {
             sim = sim::runToHalt(program, input,
-                                 limits.maxInstructions);
+                                 limits.maxInstructions,
+                                 limits.exec);
         } catch (const std::exception &e) {
             out.status = DiffStatus::SimError;
             out.detail = e.what();
@@ -125,7 +126,8 @@ runDifferential(const std::string &source, const std::string &input,
     // 3. Compiled pipeline.
     sim::RunResult sim;
     try {
-        sim = sim::runToHalt(program, input, limits.maxInstructions);
+        sim = sim::runToHalt(program, input, limits.maxInstructions,
+                             limits.exec);
     } catch (const std::exception &e) {
         out.status = DiffStatus::SimError;
         out.detail = e.what();

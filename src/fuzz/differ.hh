@@ -12,9 +12,11 @@
 #define IREP_FUZZ_DIFFER_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "fuzz/interp.hh"
+#include "sim/machine.hh"
 
 namespace irep::fuzz
 {
@@ -24,6 +26,8 @@ struct DiffLimits
 {
     uint64_t maxInstructions = 100'000'000;     //!< simulator budget
     InterpLimits interp;
+    /** Simulator execution backend (IREP_EXEC default when unset). */
+    std::optional<sim::ExecBackend> exec;
 };
 
 enum class DiffStatus : uint8_t

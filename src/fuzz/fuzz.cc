@@ -72,6 +72,7 @@ runFuzz(const FuzzOptions &options, std::ostream &log)
     DiffLimits limits;
     limits.maxInstructions = options.maxInstructions;
     limits.interp = options.interp;
+    limits.exec = options.exec;
 
     for (int i = 0; i < options.count; ++i) {
         const uint64_t seed = options.seed + uint64_t(i);

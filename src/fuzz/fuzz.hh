@@ -29,6 +29,8 @@ struct FuzzOptions
     std::string reproDir = "fuzz-repros";   //!< where repros go
     uint64_t maxInstructions = 100'000'000;
     InterpLimits interp;        //!< reference-interpreter bounds
+    /** Simulator execution backend (IREP_EXEC default when unset). */
+    std::optional<sim::ExecBackend> exec;
     bool logEach = false;       //!< one line per program
 };
 

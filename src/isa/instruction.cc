@@ -151,6 +151,16 @@ opInfo(Op op)
     return opTable[size_t(op)].info;
 }
 
+bool
+endsBasicBlock(Op op)
+{
+    if (op >= Op::NUM_OPS)
+        return true;
+    const OpInfo &info = opInfo(op);
+    return info.isBranch || info.isJump || op == Op::SYSCALL ||
+           op == Op::BREAK;
+}
+
 Op
 opFromMnemonic(std::string_view mnemonic)
 {

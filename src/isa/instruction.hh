@@ -86,6 +86,14 @@ const OpInfo &opInfo(Op op);
 Op opFromMnemonic(std::string_view mnemonic);
 
 /**
+ * True when @p op terminates a basic block: any control transfer
+ * (branch or jump), a trap (syscall/break), or an invalid encoding.
+ * The translation cache stops decoding a block after such an
+ * instruction.
+ */
+bool endsBasicBlock(Op op);
+
+/**
  * A decoded instruction. Field validity depends on the format; unused
  * fields are zero.
  */

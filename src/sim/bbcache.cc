@@ -1,0 +1,948 @@
+#include "sim/bbcache.hh"
+
+#include <limits>
+
+#include "asm/program.hh"
+#include "sim/machine.hh"
+#include "support/logging.hh"
+#include "support/prof.hh"
+
+// The threaded dispatch loop uses GNU labels-as-values (computed
+// goto): each micro-op jumps straight to the next op's handler with
+// no central dispatch branch, which is what lets the translated hot
+// path retire an instruction in a handful of machine instructions.
+// Other compilers fall back to a switch in a loop — same semantics,
+// one extra indirect branch per micro-op.
+#if defined(__GNUC__) || defined(__clang__)
+#define IREP_BB_THREADED 1
+#endif
+
+namespace irep::sim
+{
+
+BlockCache::BlockCache(Machine &machine)
+    : m_(machine), blocks_(machine.decoded_.size())
+{
+    // Watch the text segment: any store landing in it bumps the
+    // containing page's generation, which stales every block
+    // translated from that page.
+    m_.mem_.watchStores(assem::Layout::textBase,
+                       uint32_t(machine.decoded_.size()) * 4);
+}
+
+void
+BlockCache::setCapacity(size_t blocks)
+{
+    capacity_ = blocks ? blocks : 1;
+    evictUntilBounded(nullptr);
+}
+
+BlockCache::Block &
+BlockCache::blockFor(uint32_t index)
+{
+    std::unique_ptr<Block> &slot = blocks_[index];
+    if (!slot) {
+        slot = std::make_unique<Block>();
+        slot->start = index;
+    }
+    return *slot;
+}
+
+uint32_t
+BlockCache::genOf(const Block &blk) const
+{
+    // Sum the generations of the first and last instruction's pages
+    // (equal pages sum consistently): generations only grow, so any
+    // store into either page changes the snapshot.
+    const uint32_t first = assem::Layout::textBase + blk.start * 4;
+    const uint32_t count = blk.instrCount ? blk.instrCount : 1;
+    return m_.mem_.storeGeneration(first) +
+           m_.mem_.storeGeneration(first + (count - 1) * 4);
+}
+
+void
+BlockCache::translate(Block &blk)
+{
+    prof::Span span("translate", "bbcache");
+    if (!blk.ops.empty()) {
+        // Stale translation: a store hit the block's pages since the
+        // generation snapshot. Drop the micro-ops and redo them from
+        // the machine's (immutable) pre-decoded text.
+        ++invalidations_;
+        prof::counterAdd("bbcache/invalidations", 1);
+        blk.ops.clear();
+        --liveBlocks_;
+    }
+
+    BlockCode code =
+        translateBlock(m_.decoded_, blk.start, maxBlockInstrs);
+    blk.ops = std::move(code.ops);
+    blk.instrCount = code.instrCount;
+    blk.gen = genOf(blk);
+    blk.referenced = true;
+    ++liveBlocks_;
+    ++blocksTranslated_;
+    prof::counterAdd("bbcache/blocks", 1);
+    span.arg("instructions", double(blk.instrCount));
+
+    evictUntilBounded(&blk);
+}
+
+void
+BlockCache::evictUntilBounded(const Block *keep)
+{
+    // Clock sweep: referenced blocks get a second chance; victims
+    // drop their micro-ops but keep the shell, so chain pointers into
+    // them stay valid and entry revalidation retranslates in place.
+    while (liveBlocks_ > capacity_) {
+        Block *blk = blocks_[clockHand_].get();
+        clockHand_ = clockHand_ + 1 == blocks_.size()
+            ? 0 : clockHand_ + 1;
+        if (!blk || blk->ops.empty() || blk == keep)
+            continue;
+        if (blk->referenced) {
+            blk->referenced = false;
+            continue;
+        }
+        blk->ops.clear();
+        blk->ops.shrink_to_fit();
+        --liveBlocks_;
+        ++evictions_;
+        prof::counterAdd("bbcache/evictions", 1);
+    }
+}
+
+uint64_t
+BlockCache::runFast(uint64_t max)
+{
+    prof::Span span("execute", "bbcache");
+    Machine &m = m_;
+
+    // Alignment checked once: every block exit either checks its
+    // target (jr/jalr) or constructs a 4-aligned one.
+    fatalIf(m.pc_ & 3, "pc out of text segment: 0x", std::hex, m.pc_);
+
+    const uint32_t num_static = uint32_t(m.decoded_.size());
+    uint32_t *const R = m.regs_;
+    Memory &mem = m.mem_;
+    // instret_ is kept as a local delta (`done`) over this base and
+    // only flushed where someone could observe it: syscalls, the
+    // single-stepped tail, faults, and exit. Terminators then touch
+    // no machine state at all.
+    const uint64_t instret_base = m.instret_;
+    uint64_t done = 0;
+    uint32_t pc = m.pc_;
+    Block *blk = nullptr;
+    // Chain slot of the previous block's terminator: filled on first
+    // transition, after which the successor comes straight from the
+    // chain with no lookup.
+    Block **slot = nullptr;
+    // Null between blocks (lookup/translate/tail), pointing at the
+    // live micro-op inside one — the fault handler reads it to
+    // rebuild the exact architectural pc and instret.
+    const MicroOp *op = nullptr;
+    // Dual-memory micro-ops (LW_LW, SW_SW) set this to 1 around their
+    // second access, shifting the fault handler's pc/instret onto the
+    // second instruction — its only consumer.
+    uint32_t fault_bias = 0;
+
+    if (max == 0 || m.halted_)
+        return 0;
+
+// Terminators account every retire in the block at once; the
+// per-micro-op hot path touches no machine state but registers.
+#define BB_END_BLOCK() (done += blk->instrCount)
+
+    try {
+#ifdef IREP_BB_THREADED
+        // One entry per UopKind, in enumerator order.
+        static const void *const kDispatch[] = {
+            &&U_SLL, &&U_SRL, &&U_SRA, &&U_SLLV, &&U_SRLV, &&U_SRAV,
+            &&U_ADDU, &&U_SUBU, &&U_AND, &&U_OR, &&U_XOR, &&U_NOR,
+            &&U_SLT, &&U_SLTU,
+            &&U_ADDIU, &&U_SLTI, &&U_SLTIU, &&U_ANDI, &&U_ORI,
+            &&U_XORI, &&U_LUI,
+            &&U_MFHI, &&U_MTHI, &&U_MFLO, &&U_MTLO,
+            &&U_MULT, &&U_MULTU, &&U_DIV, &&U_DIVU,
+            &&U_LB, &&U_LBU, &&U_LH, &&U_LHU, &&U_LW,
+            &&U_SB, &&U_SH, &&U_SW,
+            &&U_LI32, &&U_LW_ADDIU, &&U_LW_ADDU,
+            &&U_ADDU_ADDU, &&U_SLL_ADDU, &&U_ADDU_SLL,
+            &&U_ADDU_ADDIU, &&U_ADDU_SLTI, &&U_ADDIU_SLT,
+            &&U_SLT_XORI, &&U_SUBU_SLTIU, &&U_SUBU_ADDU,
+            &&U_ADDU_LW, &&U_ADDU_SW, &&U_ADDU_LBU, &&U_SLL_LW,
+            &&U_ADDIU_SW, &&U_LW_LW, &&U_SW_SW,
+            &&U_LI32_LW, &&U_LI32_SW, &&U_SLL_ADDU_LW,
+            &&U_BEQ, &&U_BNE, &&U_BLEZ, &&U_BGTZ, &&U_BLTZ, &&U_BGEZ,
+            &&U_SLT_BEQ, &&U_SLT_BNE, &&U_SLTU_BEQ, &&U_SLTU_BNE,
+            &&U_XORI_BEQ, &&U_XORI_BNE, &&U_ADDU_BEQ, &&U_ADDU_BNE,
+            &&U_SLT_XORI_BEQ, &&U_SLT_XORI_BNE,
+            &&U_SLTI_BEQ, &&U_SLTI_BNE, &&U_SLTIU_BEQ, &&U_SLTIU_BNE,
+            &&U_J, &&U_JAL, &&U_JR, &&U_JALR, &&U_ADDIU_JR,
+            &&U_SYSCALL, &&U_TRAP, &&U_END,
+        };
+        static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                          size_t(UopKind::NUM_KINDS),
+                      "dispatch table out of sync with UopKind");
+#define BB_CASE(k) U_##k:
+#define BB_NEXT()                                                     \
+    do {                                                              \
+        ++op;                                                         \
+        goto *kDispatch[size_t(op->kind)];                            \
+    } while (0)
+#endif
+
+        // Block transitions are gotos inside this one function, so a
+        // chained steady-state transition is: account the block,
+        // follow the chain pointer, revalidate, re-enter the threaded
+        // dispatch — no call, no return, no out-params.
+        // op must be nulled *before* the out-of-text checks below: the
+        // previous block is fully executed and accounted by the time a
+        // transition faults, so the handler's between-blocks state
+        // (pc_ = bad target, instret_ = base + done) is the correct
+        // one — the interpreter retires the terminator and faults on
+        // the next fetch.
+    enter_pc:   // indirect target (jr/jalr/syscall): full lookup
+        op = nullptr;
+        {
+            const uint32_t index =
+                (pc - assem::Layout::textBase) >> 2;
+            fatalIf(index >= num_static,
+                    "pc out of text segment: 0x", std::hex, pc);
+            blk = &blockFor(index);
+        }
+        goto validate;
+
+    enter_chain:    // static edge: slot points at the chain pointer
+        op = nullptr;
+        if (*slot) {
+            blk = *slot;
+        } else {
+            const uint32_t index =
+                (pc - assem::Layout::textBase) >> 2;
+            fatalIf(index >= num_static,
+                    "pc out of text segment: 0x", std::hex, pc);
+            blk = &blockFor(index);
+            *slot = blk;
+        }
+
+    validate:
+        // No store has ever hit the text segment (the common case) ⇒
+        // no generation can have moved, so only the emptiness check
+        // (fresh or evicted shell) remains on the hot path.
+        if (blk->ops.empty() ||
+            (mem.watchedStoreCount() != 0 && blk->gen != genOf(*blk)))
+            translate(*blk);
+        if (max - done < blk->instrCount)
+            goto tail;
+        blk->referenced = true;
+        op = blk->ops.data();
+#ifdef IREP_BB_THREADED
+        goto *kDispatch[size_t(op->kind)];
+#else
+#define BB_CASE(k) case UopKind::k:
+#define BB_NEXT() break
+        for (;;) {
+            switch (op->kind) {
+#endif
+
+        BB_CASE(SLL) R[op->rd] = R[op->rt] << op->shamt; BB_NEXT();
+        BB_CASE(SRL) R[op->rd] = R[op->rt] >> op->shamt; BB_NEXT();
+        BB_CASE(SRA)
+            R[op->rd] = uint32_t(int32_t(R[op->rt]) >> op->shamt);
+            BB_NEXT();
+        BB_CASE(SLLV)
+            R[op->rd] = R[op->rt] << (R[op->rs] & 31);
+            BB_NEXT();
+        BB_CASE(SRLV)
+            R[op->rd] = R[op->rt] >> (R[op->rs] & 31);
+            BB_NEXT();
+        BB_CASE(SRAV)
+            R[op->rd] =
+                uint32_t(int32_t(R[op->rt]) >> (R[op->rs] & 31));
+            BB_NEXT();
+        BB_CASE(ADDU) R[op->rd] = R[op->rs] + R[op->rt]; BB_NEXT();
+        BB_CASE(SUBU) R[op->rd] = R[op->rs] - R[op->rt]; BB_NEXT();
+        BB_CASE(AND) R[op->rd] = R[op->rs] & R[op->rt]; BB_NEXT();
+        BB_CASE(OR) R[op->rd] = R[op->rs] | R[op->rt]; BB_NEXT();
+        BB_CASE(XOR) R[op->rd] = R[op->rs] ^ R[op->rt]; BB_NEXT();
+        BB_CASE(NOR) R[op->rd] = ~(R[op->rs] | R[op->rt]); BB_NEXT();
+        BB_CASE(SLT)
+            R[op->rd] =
+                int32_t(R[op->rs]) < int32_t(R[op->rt]) ? 1 : 0;
+            BB_NEXT();
+        BB_CASE(SLTU)
+            R[op->rd] = R[op->rs] < R[op->rt] ? 1 : 0;
+            BB_NEXT();
+        BB_CASE(ADDIU)
+            R[op->rd] = R[op->rs] + uint32_t(op->imm);
+            BB_NEXT();
+        BB_CASE(SLTI)
+            R[op->rd] = int32_t(R[op->rs]) < op->imm ? 1 : 0;
+            BB_NEXT();
+        BB_CASE(SLTIU)
+            R[op->rd] = R[op->rs] < uint32_t(op->imm) ? 1 : 0;
+            BB_NEXT();
+        BB_CASE(ANDI)
+            R[op->rd] = R[op->rs] & uint32_t(op->imm);
+            BB_NEXT();
+        BB_CASE(ORI)
+            R[op->rd] = R[op->rs] | uint32_t(op->imm);
+            BB_NEXT();
+        BB_CASE(XORI)
+            R[op->rd] = R[op->rs] ^ uint32_t(op->imm);
+            BB_NEXT();
+        BB_CASE(LUI) R[op->rd] = uint32_t(op->imm); BB_NEXT();
+        BB_CASE(MFHI) R[op->rd] = m.hi_; BB_NEXT();
+        BB_CASE(MTHI) m.hi_ = R[op->rs]; BB_NEXT();
+        BB_CASE(MFLO) R[op->rd] = m.lo_; BB_NEXT();
+        BB_CASE(MTLO) m.lo_ = R[op->rs]; BB_NEXT();
+        BB_CASE(MULT) {
+            const int64_t p =
+                int64_t(int32_t(R[op->rs])) * int32_t(R[op->rt]);
+            m.hi_ = uint32_t(uint64_t(p) >> 32);
+            m.lo_ = uint32_t(uint64_t(p));
+        } BB_NEXT();
+        BB_CASE(MULTU) {
+            const uint64_t p = uint64_t(R[op->rs]) * R[op->rt];
+            m.hi_ = uint32_t(p >> 32);
+            m.lo_ = uint32_t(p);
+        } BB_NEXT();
+        BB_CASE(DIV) {
+            const int32_t a = int32_t(R[op->rs]);
+            const int32_t b = int32_t(R[op->rt]);
+            if (b == 0) {
+                m.lo_ = 0;
+                m.hi_ = 0;
+            } else if (a == std::numeric_limits<int32_t>::min() &&
+                       b == -1) {
+                m.lo_ = uint32_t(a);
+                m.hi_ = 0;
+            } else {
+                m.lo_ = uint32_t(a / b);
+                m.hi_ = uint32_t(a % b);
+            }
+        } BB_NEXT();
+        BB_CASE(DIVU) {
+            const uint32_t a = R[op->rs], b = R[op->rt];
+            if (b == 0) {
+                m.lo_ = 0;
+                m.hi_ = 0;
+            } else {
+                m.lo_ = a / b;
+                m.hi_ = a % b;
+            }
+        } BB_NEXT();
+        BB_CASE(LB)
+            R[op->rd] = uint32_t(int32_t(int8_t(
+                mem.read8(R[op->rs] + uint32_t(op->imm)))));
+            BB_NEXT();
+        BB_CASE(LBU)
+            R[op->rd] = mem.read8(R[op->rs] + uint32_t(op->imm));
+            BB_NEXT();
+        BB_CASE(LH)
+            R[op->rd] = uint32_t(int32_t(int16_t(
+                mem.read16(R[op->rs] + uint32_t(op->imm)))));
+            BB_NEXT();
+        BB_CASE(LHU)
+            R[op->rd] = mem.read16(R[op->rs] + uint32_t(op->imm));
+            BB_NEXT();
+        BB_CASE(LW)
+            R[op->rd] = mem.read32(R[op->rs] + uint32_t(op->imm));
+            BB_NEXT();
+        BB_CASE(SB)
+            mem.write8(R[op->rs] + uint32_t(op->imm),
+                       uint8_t(R[op->rt]));
+            BB_NEXT();
+        BB_CASE(SH)
+            mem.write16(R[op->rs] + uint32_t(op->imm),
+                        uint16_t(R[op->rt]));
+            BB_NEXT();
+        BB_CASE(SW)
+            mem.write32(R[op->rs] + uint32_t(op->imm), R[op->rt]);
+            BB_NEXT();
+        BB_CASE(LI32) R[op->rd] = uint32_t(op->imm); BB_NEXT();
+        BB_CASE(LW_ADDIU) {
+            const uint32_t v =
+                mem.read32(R[op->rs] + uint32_t(op->imm));
+            R[op->rd] = v;
+            R[op->rd2] = v + op->aux;
+        } BB_NEXT();
+        BB_CASE(LW_ADDU) {
+            const uint32_t v =
+                mem.read32(R[op->rs] + uint32_t(op->imm));
+            // Write the load first: the second operand may alias the
+            // loaded register, in which case sequential semantics
+            // read the freshly loaded value.
+            R[op->rd] = v;
+            R[op->rd2] = v + R[op->rt];
+        } BB_NEXT();
+        // Fused ALU pairs: first destination written, then the second
+        // op's sources read back from the register file — aliasing
+        // resolves by sequential semantics.
+        BB_CASE(ADDU_ADDU) {
+            R[op->rd] = R[op->rs] + R[op->rt];
+            R[op->rd2] =
+                R[op->aux & 0xff] + R[(op->aux >> 8) & 0xff];
+        } BB_NEXT();
+        BB_CASE(SLL_ADDU) {
+            R[op->rd] = R[op->rt] << op->shamt;
+            R[op->rd2] =
+                R[op->aux & 0xff] + R[(op->aux >> 8) & 0xff];
+        } BB_NEXT();
+        BB_CASE(ADDU_SLL) {
+            R[op->rd] = R[op->rs] + R[op->rt];
+            R[op->rd2] = R[op->aux & 0xff] << ((op->aux >> 8) & 31);
+        } BB_NEXT();
+        BB_CASE(ADDU_ADDIU) {
+            R[op->rd] = R[op->rs] + R[op->rt];
+            R[op->rd2] = R[op->aux & 0xff] + uint32_t(op->imm);
+        } BB_NEXT();
+        BB_CASE(ADDU_SLTI) {
+            R[op->rd] = R[op->rs] + R[op->rt];
+            R[op->rd2] =
+                int32_t(R[op->aux & 0xff]) < op->imm ? 1 : 0;
+        } BB_NEXT();
+        BB_CASE(ADDIU_SLT) {
+            R[op->rd] = R[op->rs] + uint32_t(op->imm);
+            R[op->rd2] = int32_t(R[op->aux & 0xff]) <
+                         int32_t(R[(op->aux >> 8) & 0xff]) ? 1 : 0;
+        } BB_NEXT();
+        BB_CASE(SLT_XORI) {
+            R[op->rd] =
+                int32_t(R[op->rs]) < int32_t(R[op->rt]) ? 1 : 0;
+            R[op->rd2] = R[op->aux & 0xff] ^ uint32_t(op->imm);
+        } BB_NEXT();
+        BB_CASE(SUBU_SLTIU) {
+            R[op->rd] = R[op->rs] - R[op->rt];
+            R[op->rd2] =
+                R[op->aux & 0xff] < uint32_t(op->imm) ? 1 : 0;
+        } BB_NEXT();
+        BB_CASE(SUBU_ADDU) {
+            R[op->rd] = R[op->rs] - R[op->rt];
+            R[op->rd2] =
+                R[op->aux & 0xff] + R[(op->aux >> 8) & 0xff];
+        } BB_NEXT();
+        // Address-compute + memory fusions: every write preceding the
+        // (faultable) access lands first, matching the interpreter's
+        // state at the memory instruction — which op->index names.
+        BB_CASE(ADDU_LW) {
+            R[op->rd] = R[op->rs] + R[op->rt];
+            R[op->rd2] =
+                mem.read32(R[op->aux & 0xff] + uint32_t(op->imm));
+        } BB_NEXT();
+        BB_CASE(ADDU_SW) {
+            R[op->rd] = R[op->rs] + R[op->rt];
+            mem.write32(R[op->aux & 0xff] + uint32_t(op->imm),
+                        R[(op->aux >> 8) & 0xff]);
+        } BB_NEXT();
+        BB_CASE(ADDU_LBU) {
+            R[op->rd] = R[op->rs] + R[op->rt];
+            R[op->rd2] =
+                mem.read8(R[op->aux & 0xff] + uint32_t(op->imm));
+        } BB_NEXT();
+        BB_CASE(SLL_LW) {
+            R[op->rd] = R[op->rt] << op->shamt;
+            R[op->rd2] =
+                mem.read32(R[op->aux & 0xff] + uint32_t(op->imm));
+        } BB_NEXT();
+        BB_CASE(ADDIU_SW) {
+            R[op->rd] = R[op->rs] + uint32_t(op->imm);
+            mem.write32(R[op->aux & 0xff] +
+                            uint32_t(int32_t(int16_t(op->aux >> 16))),
+                        R[(op->aux >> 8) & 0xff]);
+        } BB_NEXT();
+        BB_CASE(LW_LW) {
+            R[op->rd] = mem.read32(R[op->rs] + uint32_t(op->imm));
+            fault_bias = 1;
+            R[op->rd2] = mem.read32(
+                R[op->aux & 0xff] +
+                uint32_t(int32_t(int16_t(op->aux >> 16))));
+            fault_bias = 0;
+        } BB_NEXT();
+        BB_CASE(SW_SW) {
+            mem.write32(R[op->rs] + uint32_t(op->imm), R[op->rt]);
+            fault_bias = 1;
+            mem.write32(R[op->aux & 0xff] +
+                            uint32_t(int32_t(int16_t(op->aux >> 16))),
+                        R[(op->aux >> 8) & 0xff]);
+            fault_bias = 0;
+        } BB_NEXT();
+        BB_CASE(LI32_LW) {
+            R[op->rd] = uint32_t(op->imm);
+            R[op->rd2] = mem.read32(uint32_t(op->imm) + op->aux);
+        } BB_NEXT();
+        BB_CASE(LI32_SW) {
+            R[op->rd] = uint32_t(op->imm);
+            mem.write32(uint32_t(op->imm) + op->aux, R[op->rt]);
+        } BB_NEXT();
+        BB_CASE(SLL_ADDU_LW) {
+            R[op->rd] = R[op->rt] << op->shamt;
+            R[op->rd2] =
+                R[op->aux & 0xff] + R[(op->aux >> 8) & 0xff];
+            R[(op->aux >> 16) & 0xff] =
+                mem.read32(R[op->rs] + uint32_t(op->imm));
+        } BB_NEXT();
+        BB_CASE(BEQ) {
+            BB_END_BLOCK();
+            if (R[op->rs] == R[op->rt]) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(BNE) {
+            BB_END_BLOCK();
+            if (R[op->rs] != R[op->rt]) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(BLEZ) {
+            BB_END_BLOCK();
+            if (int32_t(R[op->rs]) <= 0) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(BGTZ) {
+            BB_END_BLOCK();
+            if (int32_t(R[op->rs]) > 0) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(BLTZ) {
+            BB_END_BLOCK();
+            if (int32_t(R[op->rs]) < 0) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(BGEZ) {
+            BB_END_BLOCK();
+            if (int32_t(R[op->rs]) >= 0) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(SLT_BEQ) {
+            const uint32_t c =
+                int32_t(R[op->rs]) < int32_t(R[op->rt]) ? 1 : 0;
+            R[op->rd] = c;
+            BB_END_BLOCK();
+            if (!c) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(SLT_BNE) {
+            const uint32_t c =
+                int32_t(R[op->rs]) < int32_t(R[op->rt]) ? 1 : 0;
+            R[op->rd] = c;
+            BB_END_BLOCK();
+            if (c) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(SLTU_BEQ) {
+            const uint32_t c = R[op->rs] < R[op->rt] ? 1 : 0;
+            R[op->rd] = c;
+            BB_END_BLOCK();
+            if (!c) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(SLTU_BNE) {
+            const uint32_t c = R[op->rs] < R[op->rt] ? 1 : 0;
+            R[op->rd] = c;
+            BB_END_BLOCK();
+            if (c) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(XORI_BEQ) {
+            R[op->rd] = R[op->rs] ^ op->shamt;
+            BB_END_BLOCK();
+            if (R[op->rt] == R[op->rd2]) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(XORI_BNE) {
+            R[op->rd] = R[op->rs] ^ op->shamt;
+            BB_END_BLOCK();
+            if (R[op->rt] != R[op->rd2]) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(ADDU_BEQ) {
+            R[op->rd] = R[op->rs] + R[op->rt];
+            BB_END_BLOCK();
+            if (R[op->shamt] == R[op->rd2]) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(ADDU_BNE) {
+            R[op->rd] = R[op->rs] + R[op->rt];
+            BB_END_BLOCK();
+            if (R[op->shamt] != R[op->rd2]) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(SLT_XORI_BEQ) {
+            // beq on the xori'd condition: taken exactly when the
+            // original slt was 1.
+            const uint32_t c =
+                int32_t(R[op->rs]) < int32_t(R[op->rt]) ? 1 : 0;
+            R[op->rd] = c ^ 1;
+            BB_END_BLOCK();
+            if (c) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(SLT_XORI_BNE) {
+            const uint32_t c =
+                int32_t(R[op->rs]) < int32_t(R[op->rt]) ? 1 : 0;
+            R[op->rd] = c ^ 1;
+            BB_END_BLOCK();
+            if (!c) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(SLTI_BEQ) {
+            const int32_t k = int32_t(int16_t(
+                uint16_t(op->rt) | uint16_t(op->rd2) << 8));
+            const uint32_t c = int32_t(R[op->rs]) < k ? 1 : 0;
+            R[op->rd] = c;
+            BB_END_BLOCK();
+            if (!c) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(SLTI_BNE) {
+            const int32_t k = int32_t(int16_t(
+                uint16_t(op->rt) | uint16_t(op->rd2) << 8));
+            const uint32_t c = int32_t(R[op->rs]) < k ? 1 : 0;
+            R[op->rd] = c;
+            BB_END_BLOCK();
+            if (c) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(SLTIU_BEQ) {
+            const uint32_t k = uint32_t(int32_t(int16_t(
+                uint16_t(op->rt) | uint16_t(op->rd2) << 8)));
+            const uint32_t c = R[op->rs] < k ? 1 : 0;
+            R[op->rd] = c;
+            BB_END_BLOCK();
+            if (!c) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(SLTIU_BNE) {
+            const uint32_t k = uint32_t(int32_t(int16_t(
+                uint16_t(op->rt) | uint16_t(op->rd2) << 8)));
+            const uint32_t c = R[op->rs] < k ? 1 : 0;
+            R[op->rd] = c;
+            BB_END_BLOCK();
+            if (c) {
+                pc = uint32_t(op->imm);
+                slot = &blk->chainTaken;
+            } else {
+                pc = op->aux;
+                slot = &blk->chainFall;
+            }
+            goto enter_chain;
+        }
+        BB_CASE(J) {
+            BB_END_BLOCK();
+            pc = uint32_t(op->imm);
+            slot = &blk->chainTaken;
+            goto enter_chain;
+        }
+        BB_CASE(JAL) {
+            R[op->rd] = op->aux;
+            BB_END_BLOCK();
+            pc = uint32_t(op->imm);
+            slot = &blk->chainTaken;
+            goto enter_chain;
+        }
+        BB_CASE(JR) {
+            const uint32_t target = R[op->rs];
+            fatalIf(target & 3, "jr to misaligned address 0x",
+                    std::hex, target);
+            BB_END_BLOCK();
+            pc = target;
+            goto enter_pc;
+        }
+        BB_CASE(JALR) {
+            const uint32_t target = R[op->rs];
+            fatalIf(target & 3, "jalr to misaligned address 0x",
+                    std::hex, target);
+            R[op->rd] = op->aux;
+            BB_END_BLOCK();
+            pc = target;
+            goto enter_pc;
+        }
+        BB_CASE(ADDIU_JR) {
+            R[op->rd] = R[op->rs] + uint32_t(op->imm);
+            const uint32_t target = R[op->rt];
+            fatalIf(target & 3, "jr to misaligned address 0x",
+                    std::hex, target);
+            BB_END_BLOCK();
+            pc = target;
+            goto enter_pc;
+        }
+        BB_CASE(SYSCALL) {
+            // Through the interpreter body: syscall handling needs
+            // the architectural pc and updates machine state the
+            // micro-op hot path never touches. Flush instret first so
+            // the syscall observes the exact retire count; exec1 then
+            // accounts its own retire. A syscall always terminates
+            // its block, so instrCount covers it.
+            m.instret_ = instret_base + done + op->retiredBefore;
+            pc = m.exec1<false>(
+                m.decoded_[op->index], op->index,
+                assem::Layout::textBase + op->index * 4);
+            done += blk->instrCount;
+            if (m.halted_)
+                goto out;
+            goto enter_pc;
+        }
+        BB_CASE(TRAP) {
+            // break / invalid encoding: the interpreter body raises
+            // the exact fatal; never returns.
+            m.exec1<false>(m.decoded_[op->index], op->index,
+                           assem::Layout::textBase + op->index * 4);
+            panic("trap micro-op fell through");
+        }
+        BB_CASE(END) {
+            BB_END_BLOCK();
+            pc = op->aux;
+            slot = &blk->chainFall;
+            goto enter_chain;
+        }
+
+#ifndef IREP_BB_THREADED
+              case UopKind::NUM_KINDS:
+                panic("invalid micro-op kind");
+            }
+            ++op;
+        }
+#endif
+#undef BB_CASE
+#undef BB_NEXT
+#undef BB_END_BLOCK
+
+    tail:
+        // The budget ends inside this block: single-step the tail
+        // through the interpreter body so run(n) semantics are exact.
+        // exec1 accounts each retire itself, so flush first to keep
+        // the instret == base + done invariant through the loop.
+        m.instret_ = instret_base + done;
+        while (done < max && !m.halted_) {
+            const uint32_t index =
+                (pc - assem::Layout::textBase) >> 2;
+            fatalIf(index >= num_static,
+                    "pc out of text segment: 0x", std::hex, pc);
+            pc = m.exec1<false>(m.decoded_[index], index, pc);
+            ++done;
+        }
+
+    out:
+        m.pc_ = pc;
+        m.instret_ = instret_base + done;
+        return done;
+    } catch (...) {
+        // Restore the exact architectural fault state the interpreter
+        // would leave: pc at the faulting instruction, instret
+        // counting only the retires before it. Between blocks
+        // (lookup, translation, the single-stepped tail) op is null
+        // and pc already names the faulting instruction. (The syscall
+        // path set pc_ itself and exec1 had not yet retired, so the
+        // same adjustment is correct there too.)
+        if (op) {
+            m_.pc_ = assem::Layout::textBase +
+                     (op->index + fault_bias) * 4;
+            m_.instret_ = instret_base + done + op->retiredBefore +
+                          fault_bias;
+        } else {
+            m_.pc_ = pc;
+            m_.instret_ = instret_base + done;
+        }
+        throw;
+    }
+}
+
+uint32_t
+BlockCache::executeObserved(Block &blk, uint32_t pc)
+{
+    // Observed execution runs the block's instructions through the
+    // interpreter body, so retire records (and their dispatch order,
+    // including onSyscall) are bit-for-bit those of the interpreter
+    // backend; the cache still drives translation, invalidation and
+    // eviction. Interior instructions are straight-line by
+    // construction — only the final micro-op can redirect pc or halt.
+    const uint32_t start = blk.start;
+    try {
+        for (uint32_t i = 0; i < blk.instrCount && !m_.halted_; ++i) {
+            pc = m_.exec1<true>(m_.decoded_[start + i], start + i,
+                                pc);
+        }
+    } catch (...) {
+        m_.pc_ = pc;
+        throw;
+    }
+    return pc;
+}
+
+template <bool Observed>
+uint64_t
+BlockCache::run(uint64_t max_instructions)
+{
+    if constexpr (!Observed)
+        return runFast(max_instructions);
+
+    prof::Span span("execute", "bbcache");
+    Machine &m = m_;
+
+    // Alignment checked once: every block exit either checks its
+    // target (jr/jalr) or constructs a 4-aligned one.
+    fatalIf(m.pc_ & 3, "pc out of text segment: 0x", std::hex, m.pc_);
+
+    const uint32_t num_static = uint32_t(m.decoded_.size());
+    uint64_t done = 0;
+    uint32_t pc = m.pc_;
+
+    while (done < max_instructions && !m.halted_) {
+        const uint32_t index = (pc - assem::Layout::textBase) >> 2;
+        fatalIf(index >= num_static,
+                "pc out of text segment: 0x", std::hex, pc);
+        Block *blk = &blockFor(index);
+
+        if (blk->ops.empty() ||
+            (m.mem_.watchedStoreCount() != 0 &&
+             blk->gen != genOf(*blk)))
+            translate(*blk);
+
+        if (max_instructions - done < blk->instrCount) {
+            // The budget ends inside this block: single-step the tail
+            // through the interpreter body so run(n) semantics are
+            // exact.
+            try {
+                while (done < max_instructions && !m.halted_) {
+                    const uint32_t tix =
+                        (pc - assem::Layout::textBase) >> 2;
+                    fatalIf(tix >= num_static,
+                            "pc out of text segment: 0x", std::hex,
+                            pc);
+                    pc = m.exec1<Observed>(m.decoded_[tix], tix, pc);
+                    ++done;
+                }
+            } catch (...) {
+                m.pc_ = pc;
+                throw;
+            }
+            break;
+        }
+
+        blk->referenced = true;
+        pc = executeObserved(*blk, pc);
+        done += blk->instrCount;
+    }
+
+    m.pc_ = pc;
+    return done;
+}
+
+template uint64_t BlockCache::run<false>(uint64_t);
+template uint64_t BlockCache::run<true>(uint64_t);
+
+} // namespace irep::sim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The basic-block translation cache — the simulator's second
+ * execution backend (`--exec bbcache` / `IREP_EXEC=bbcache`).
+ *
+ * On first execution of a block the cache translates it once into
+ * pre-decoded micro-ops (sim/decode.hh) and thereafter executes it
+ * through a computed-goto threaded dispatch loop: no per-instruction
+ * fetch, no opcode switch, no per-iteration bounds or budget checks —
+ * those hoist to block granularity. Taken/fall-through edges chain
+ * directly to the successor block, so steady-state execution never
+ * touches the lookup table for static control flow.
+ *
+ * Honesty machinery:
+ *  - Blocks are keyed by start pc (dense, one slot per static
+ *    instruction) and snapshot the per-page store generation that
+ *    `sim::Memory` keeps for the text segment; any store into a
+ *    translated page (self-modifying code, a Read syscall landing in
+ *    text) makes the snapshot stale and the block retranslates on
+ *    next entry.
+ *  - Translated blocks are bounded by a clock sweep: blocks evicted
+ *    under pressure drop their micro-ops but keep their shell, so
+ *    chain pointers never dangle — entry revalidates via the
+ *    emptiness + generation check either way.
+ *  - The interpreter stays normative: observer-attached execution
+ *    runs each block's instructions through the interpreter body
+ *    (`Machine::exec1<true>`), so retire records are bit-for-bit
+ *    identical; instruction budgets that end inside a block fall back
+ *    to single-stepping, so `run(n)` semantics match exactly.
+ *
+ * Profiling: `translate`/`execute` spans (category `bbcache`) and the
+ * `bbcache/{blocks,evictions,invalidations}` counters keep the
+ * profiler's skip/window attribution honest about translation cost.
+ */
+
+#ifndef IREP_SIM_BBCACHE_HH
+#define IREP_SIM_BBCACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/decode.hh"
+
+namespace irep::sim
+{
+
+class Machine;
+
+/** Per-machine translation cache and block-threaded executor. */
+class BlockCache
+{
+  public:
+    /** Default bound on simultaneously translated blocks. */
+    static constexpr size_t defaultCapacity = 4096;
+
+    /** Translated blocks never exceed this many instructions. */
+    static constexpr uint32_t maxBlockInstrs = 64;
+
+    /** Attach to @p machine and start watching its text segment for
+     *  stores (the invalidation channel). */
+    explicit BlockCache(Machine &machine);
+
+    /**
+     * Execute up to @p max_instructions through the cache, exactly
+     * like Machine::runLoop — same pc/instret/halt semantics, same
+     * fatal diagnostics. The Observed instantiation dispatches
+     * bit-identical retire records via the interpreter body.
+     * @return the number of instructions executed.
+     */
+    template <bool Observed>
+    uint64_t run(uint64_t max_instructions);
+
+    /** Cap the number of translated blocks (testing eviction). */
+    void setCapacity(size_t blocks);
+
+    // Introspection for tests and assertions.
+    uint64_t blocksTranslated() const { return blocksTranslated_; }
+    uint64_t invalidations() const { return invalidations_; }
+    uint64_t evictions() const { return evictions_; }
+    size_t liveBlocks() const { return liveBlocks_; }
+
+  private:
+    /** One cached block. An empty `ops` means not (or no longer)
+     *  translated; the shell survives eviction so chain pointers
+     *  stay valid. */
+    struct Block
+    {
+        std::vector<MicroOp> ops;
+        uint32_t start = 0;         //!< static index of the first instr
+        uint32_t instrCount = 0;    //!< architectural instrs covered
+        uint32_t gen = 0;           //!< page-generation snapshot
+        Block *chainTaken = nullptr;
+        Block *chainFall = nullptr;
+        bool referenced = false;    //!< clock bit
+    };
+
+    Block &blockFor(uint32_t index);
+    void translate(Block &blk);
+    uint32_t genOf(const Block &blk) const;
+
+    /** Evict translated blocks until the capacity bound holds,
+     *  never touching @p keep (the block about to execute). */
+    void evictUntilBounded(const Block *keep);
+
+    /**
+     * The unobserved run loop: lookup, chaining, revalidation, budget
+     * accounting, and the threaded micro-op dispatch all live in one
+     * function, so a chained block transition never leaves it — no
+     * call/return or out-param handshake per block. Same
+     * pc/instret/halt/fault semantics as Machine::runLoop.
+     */
+    uint64_t runFast(uint64_t max_instructions);
+
+    /** Execute @p blk through the interpreter body with observers. */
+    uint32_t executeObserved(Block &blk, uint32_t pc);
+
+    Machine &m_;
+    std::vector<std::unique_ptr<Block>> blocks_;    //!< by static index
+    size_t capacity_ = defaultCapacity;
+    size_t liveBlocks_ = 0;
+    size_t clockHand_ = 0;
+    uint64_t blocksTranslated_ = 0;
+    uint64_t invalidations_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace irep::sim
+
+#endif // IREP_SIM_BBCACHE_HH

@@ -1,0 +1,639 @@
+#include "sim/decode.hh"
+
+#include "asm/program.hh"
+#include "isa/registers.hh"
+#include "support/logging.hh"
+
+namespace irep::sim
+{
+
+using isa::Instruction;
+using isa::Op;
+
+namespace
+{
+
+/** Destination-slot remap: writes to $zero land in the sink. */
+uint8_t
+sink(uint8_t reg)
+{
+    return reg == 0 ? regZeroSink : reg;
+}
+
+uint32_t
+pcOf(uint32_t index)
+{
+    return assem::Layout::textBase + index * 4;
+}
+
+/** Absolute target of a conditional branch at static @p index. */
+uint32_t
+branchTarget(uint32_t index, const Instruction &inst)
+{
+    return pcOf(index) + 4 + (uint32_t(inst.imm) << 2);
+}
+
+/** Absolute target of a j/jal at static @p index. */
+uint32_t
+jumpTarget(uint32_t index, const Instruction &inst)
+{
+    return ((pcOf(index) + 4) & 0xf0000000u) | (inst.target << 2);
+}
+
+/** Map a branch op to its (unfused) terminator kind. */
+UopKind
+branchKind(Op op)
+{
+    switch (op) {
+      case Op::BEQ: return UopKind::BEQ;
+      case Op::BNE: return UopKind::BNE;
+      case Op::BLEZ: return UopKind::BLEZ;
+      case Op::BGTZ: return UopKind::BGTZ;
+      case Op::BLTZ: return UopKind::BLTZ;
+      case Op::BGEZ: return UopKind::BGEZ;
+      default: panic("branchKind on non-branch");
+    }
+}
+
+/**
+ * Try to fuse the pair (first at @p index, second right after) into
+ * one micro-op. Returns true and fills @p u when the fusion is
+ * architecturally equivalent to executing the pair in sequence.
+ */
+bool
+fusePair(const Instruction &first, const Instruction &second,
+         uint32_t index, MicroOp &u)
+{
+    // lui rd + ori/addiu rd, rd, lo  ->  rd = full 32-bit constant.
+    // Requires the same destination (otherwise the lui value stays
+    // architecturally visible) and a real register (lui $zero keeps
+    // the pair's discard semantics only when executed separately).
+    if (first.op == Op::LUI && first.rt != 0 &&
+        (second.op == Op::ORI || second.op == Op::ADDIU ||
+         second.op == Op::ADDI) &&
+        second.rs == first.rt && second.rt == first.rt) {
+        const uint32_t hi = uint32_t(first.imm) << 16;
+        u.kind = UopKind::LI32;
+        u.rd = first.rt;
+        u.imm = second.op == Op::ORI
+            ? int32_t(hi | uint32_t(second.imm))
+            : int32_t(hi + uint32_t(second.imm));
+        return true;
+    }
+
+    // slti/sltiu rd + beq/bne rd, $zero — the immediate-compare
+    // sibling of the slt fusion below. The branch targets occupy
+    // imm and aux, so the 16-bit compare immediate rides in rt|rd2.
+    if ((first.op == Op::SLTI || first.op == Op::SLTIU) &&
+        first.rt != 0 &&
+        (second.op == Op::BEQ || second.op == Op::BNE) &&
+        second.rs == first.rt && second.rt == 0) {
+        const bool is_slti = first.op == Op::SLTI;
+        const bool is_bne = second.op == Op::BNE;
+        u.kind = is_slti
+            ? (is_bne ? UopKind::SLTI_BNE : UopKind::SLTI_BEQ)
+            : (is_bne ? UopKind::SLTIU_BNE : UopKind::SLTIU_BEQ);
+        u.rd = first.rt;
+        u.rs = first.rs;
+        u.rt = uint8_t(uint16_t(first.imm));
+        u.rd2 = uint8_t(uint16_t(first.imm) >> 8);
+        u.imm = int32_t(branchTarget(index + 1, second));
+        u.aux = pcOf(index + 2);
+        return true;
+    }
+
+    // slt/sltu rd + beq/bne rd, $zero  ->  compare-and-branch that
+    // still writes the condition register. rd must be a real register
+    // (a $zero destination would make the branch read a constant 0,
+    // not the comparison).
+    if ((first.op == Op::SLT || first.op == Op::SLTU) &&
+        first.rd != 0 &&
+        (second.op == Op::BEQ || second.op == Op::BNE) &&
+        second.rs == first.rd && second.rt == 0) {
+        const bool is_slt = first.op == Op::SLT;
+        const bool is_bne = second.op == Op::BNE;
+        u.kind = is_slt
+            ? (is_bne ? UopKind::SLT_BNE : UopKind::SLT_BEQ)
+            : (is_bne ? UopKind::SLTU_BNE : UopKind::SLTU_BEQ);
+        u.rd = first.rd;
+        u.rs = first.rs;
+        u.rt = first.rt;
+        u.imm = int32_t(branchTarget(index + 1, second));
+        u.aux = pcOf(index + 2);
+        return true;
+    }
+
+    // lw rd + alu consuming rd  ->  load-use pair. The loaded
+    // register must be real (lw $zero discards, so the consumer
+    // would read 0, not the loaded value).
+    if (first.op == Op::LW && first.rt != 0) {
+        if ((second.op == Op::ADDIU || second.op == Op::ADDI) &&
+            second.rs == first.rt) {
+            u.kind = UopKind::LW_ADDIU;
+            u.rd = first.rt;
+            u.rs = first.rs;
+            u.imm = first.imm;
+            u.rd2 = sink(second.rt);
+            u.aux = uint32_t(second.imm);
+            return true;
+        }
+        if (second.op == Op::ADDU &&
+            (second.rs == first.rt || second.rt == first.rt)) {
+            u.kind = UopKind::LW_ADDU;
+            u.rd = first.rt;
+            u.rs = first.rs;
+            u.imm = first.imm;
+            u.rd2 = sink(second.rd);
+            // The other addu operand, read *after* the load writes
+            // its register, so aliasing the loaded register is
+            // handled by plain sequential semantics.
+            u.rt = second.rs == first.rt ? second.rt : second.rs;
+            return true;
+        }
+    }
+
+    // Back-to-back word accesses. Either access can fault, so the
+    // executor raises the second access's faults with a +1 bias on
+    // index/retiredBefore; the second base/offset ride in aux.
+    if (first.op == Op::LW && second.op == Op::LW) {
+        u.kind = UopKind::LW_LW;
+        u.rd = sink(first.rt);
+        u.rs = first.rs;
+        u.imm = first.imm;
+        u.rd2 = sink(second.rt);
+        u.aux = uint32_t(second.rs) |
+                uint32_t(uint16_t(second.imm)) << 16;
+        return true;
+    }
+    if (first.op == Op::SW && second.op == Op::SW) {
+        u.kind = UopKind::SW_SW;
+        u.rs = first.rs;
+        u.rt = first.rt;
+        u.imm = first.imm;
+        u.aux = uint32_t(second.rs) | uint32_t(second.rt) << 8 |
+                uint32_t(uint16_t(second.imm)) << 16;
+        return true;
+    }
+
+    // Generic ALU pairs: the first op's destination is written, then
+    // the second op's sources are read back from the register file
+    // (packed into aux bytes), so any aliasing — including a $zero
+    // first destination — resolves by sequential semantics with no
+    // operand constraints at all.
+    const bool first_addu = first.op == Op::ADD || first.op == Op::ADDU;
+    if (first_addu) {
+        u.rd = sink(first.rd);
+        u.rs = first.rs;
+        u.rt = first.rt;
+        if (second.op == Op::ADD || second.op == Op::ADDU) {
+            u.kind = UopKind::ADDU_ADDU;
+            u.rd2 = sink(second.rd);
+            u.aux = uint32_t(second.rs) | uint32_t(second.rt) << 8;
+            return true;
+        }
+        if (second.op == Op::SLL) {
+            u.kind = UopKind::ADDU_SLL;
+            u.rd2 = sink(second.rd);
+            u.aux = uint32_t(second.rt) | uint32_t(second.shamt) << 8;
+            return true;
+        }
+        if (second.op == Op::ADDIU || second.op == Op::ADDI) {
+            u.kind = UopKind::ADDU_ADDIU;
+            u.rd2 = sink(second.rt);
+            u.aux = second.rs;
+            u.imm = second.imm;
+            return true;
+        }
+        if (second.op == Op::SLTI) {
+            u.kind = UopKind::ADDU_SLTI;
+            u.rd2 = sink(second.rt);
+            u.aux = second.rs;
+            u.imm = second.imm;
+            return true;
+        }
+        if (second.op == Op::LW) {
+            u.kind = UopKind::ADDU_LW;
+            u.rd2 = sink(second.rt);
+            u.aux = second.rs;
+            u.imm = second.imm;
+            return true;
+        }
+        if (second.op == Op::SW) {
+            u.kind = UopKind::ADDU_SW;
+            u.aux = uint32_t(second.rs) | uint32_t(second.rt) << 8;
+            u.imm = second.imm;
+            return true;
+        }
+        if (second.op == Op::LBU) {
+            u.kind = UopKind::ADDU_LBU;
+            u.rd2 = sink(second.rt);
+            u.aux = second.rs;
+            u.imm = second.imm;
+            return true;
+        }
+        if (second.op == Op::BEQ || second.op == Op::BNE) {
+            u.kind = second.op == Op::BEQ ? UopKind::ADDU_BEQ
+                                          : UopKind::ADDU_BNE;
+            u.shamt = second.rs;
+            u.rd2 = second.rt;  // branch source, raw index
+            u.imm = int32_t(branchTarget(index + 1, second));
+            u.aux = pcOf(index + 2);
+            return true;
+        }
+    }
+    if (first.op == Op::SLL) {
+        if (second.op == Op::ADD || second.op == Op::ADDU) {
+            u.kind = UopKind::SLL_ADDU;
+            u.rd = sink(first.rd);
+            u.rt = first.rt;
+            u.shamt = first.shamt;
+            u.rd2 = sink(second.rd);
+            u.aux = uint32_t(second.rs) | uint32_t(second.rt) << 8;
+            return true;
+        }
+        if (second.op == Op::LW) {
+            u.kind = UopKind::SLL_LW;
+            u.rd = sink(first.rd);
+            u.rt = first.rt;
+            u.shamt = first.shamt;
+            u.rd2 = sink(second.rt);
+            u.aux = second.rs;
+            u.imm = second.imm;
+            return true;
+        }
+    }
+    if (first.op == Op::SUB || first.op == Op::SUBU) {
+        u.rd = sink(first.rd);
+        u.rs = first.rs;
+        u.rt = first.rt;
+        if (second.op == Op::ADD || second.op == Op::ADDU) {
+            u.kind = UopKind::SUBU_ADDU;
+            u.rd2 = sink(second.rd);
+            u.aux = uint32_t(second.rs) | uint32_t(second.rt) << 8;
+            return true;
+        }
+        if (second.op == Op::SLTIU) {
+            u.kind = UopKind::SUBU_SLTIU;
+            u.rd2 = sink(second.rt);
+            u.aux = second.rs;
+            u.imm = second.imm;
+            return true;
+        }
+    }
+    if (first.op == Op::ADDIU || first.op == Op::ADDI) {
+        if (second.op == Op::SLT) {
+            u.kind = UopKind::ADDIU_SLT;
+            u.rd = sink(first.rt);
+            u.rs = first.rs;
+            u.imm = first.imm;
+            u.rd2 = sink(second.rd);
+            u.aux = uint32_t(second.rs) | uint32_t(second.rt) << 8;
+            return true;
+        }
+        if (second.op == Op::SW) {
+            u.kind = UopKind::ADDIU_SW;
+            u.rd = sink(first.rt);
+            u.rs = first.rs;
+            u.imm = first.imm;
+            u.aux = uint32_t(second.rs) | uint32_t(second.rt) << 8 |
+                    uint32_t(uint16_t(second.imm)) << 16;
+            return true;
+        }
+        if (second.op == Op::JR) {
+            u.kind = UopKind::ADDIU_JR;
+            u.rd = sink(first.rt);
+            u.rs = first.rs;
+            u.imm = first.imm;
+            u.rt = second.rs;
+            return true;
+        }
+    }
+    if (first.op == Op::SLT && second.op == Op::XORI) {
+        u.kind = UopKind::SLT_XORI;
+        u.rd = sink(first.rd);
+        u.rs = first.rs;
+        u.rt = first.rt;
+        u.rd2 = sink(second.rt);
+        u.aux = second.rs;
+        u.imm = second.imm;    // already zero-extended by the decoder
+        return true;
+    }
+    // xori rd, rs, k + beq/bne: branch sources read after the write.
+    // k must fit the shamt byte (imm and aux carry branch targets).
+    if (first.op == Op::XORI && uint32_t(first.imm) <= 0xff &&
+        (second.op == Op::BEQ || second.op == Op::BNE)) {
+        u.kind = second.op == Op::BEQ ? UopKind::XORI_BEQ
+                                      : UopKind::XORI_BNE;
+        u.rd = sink(first.rt);
+        u.rs = first.rs;
+        u.shamt = uint8_t(first.imm);
+        u.rt = second.rs;
+        u.rd2 = second.rt;  // branch source, raw index
+        u.imm = int32_t(branchTarget(index + 1, second));
+        u.aux = pcOf(index + 2);
+        return true;
+    }
+
+    return false;
+}
+
+/**
+ * Try to absorb a third instruction into an already-fused pair
+ * micro-op @p u (whose first instruction sits at @p index). Fusions
+ * containing a faultable memory access move index/retiredBefore onto
+ * the memory instruction — every architectural effect preceding it is
+ * complete before the access executes, so fault state stays exact.
+ */
+bool
+fuseTriple(MicroOp &u, const Instruction &third, uint32_t index)
+{
+    // li rd, imm32 + lw/sw through the constant address.
+    if (u.kind == UopKind::LI32 && third.op == Op::LW &&
+        third.rs == u.rd) {
+        u.kind = UopKind::LI32_LW;
+        u.rd2 = sink(third.rt);
+        u.aux = uint32_t(third.imm);
+        u.index = index + 2;
+        u.retiredBefore += 2;
+        return true;
+    }
+    if (u.kind == UopKind::LI32 && third.op == Op::SW &&
+        third.rs == u.rd) {
+        u.kind = UopKind::LI32_SW;
+        u.rt = third.rt;
+        u.aux = uint32_t(third.imm);
+        u.index = index + 2;
+        u.retiredBefore += 2;
+        return true;
+    }
+    // sll + addu + lw: the array-read idiom. The lw destination slot
+    // rides in aux byte 2; its base register (usually the addu sum)
+    // is read after both writes, so aliasing is sequential.
+    if (u.kind == UopKind::SLL_ADDU && third.op == Op::LW) {
+        u.kind = UopKind::SLL_ADDU_LW;
+        u.rs = third.rs;
+        u.imm = third.imm;
+        u.aux |= uint32_t(sink(third.rt)) << 16;
+        u.index = index + 2;
+        u.retiredBefore += 2;
+        return true;
+    }
+    // slt c,a,b; xori c,c,1; beq/bne c,$zero — the compiler's
+    // "branch if a >= b" idiom: branch directly on the comparison,
+    // still writing the inverted condition register.
+    if (u.kind == UopKind::SLT_XORI &&
+        (third.op == Op::BEQ || third.op == Op::BNE) &&
+        u.rd != regZeroSink && u.rd2 == u.rd &&
+        (u.aux & 0xff) == u.rd && u.imm == 1 &&
+        third.rs == u.rd && third.rt == 0) {
+        u.kind = third.op == Op::BEQ ? UopKind::SLT_XORI_BEQ
+                                     : UopKind::SLT_XORI_BNE;
+        u.imm = int32_t(branchTarget(index + 2, third));
+        u.aux = pcOf(index + 3);
+        return true;
+    }
+    return false;
+}
+
+/** Translate one instruction into an (unfused) micro-op. */
+MicroOp
+translateOne(const Instruction &inst, uint32_t index)
+{
+    MicroOp u;
+    u.index = index;
+    switch (inst.op) {
+      case Op::SLL:
+      case Op::SRL:
+      case Op::SRA:
+        u.kind = inst.op == Op::SLL ? UopKind::SLL
+            : inst.op == Op::SRL ? UopKind::SRL : UopKind::SRA;
+        u.rd = sink(inst.rd);
+        u.rt = inst.rt;
+        u.shamt = inst.shamt;
+        break;
+      case Op::SLLV:
+      case Op::SRLV:
+      case Op::SRAV:
+        u.kind = inst.op == Op::SLLV ? UopKind::SLLV
+            : inst.op == Op::SRLV ? UopKind::SRLV : UopKind::SRAV;
+        u.rd = sink(inst.rd);
+        u.rs = inst.rs;
+        u.rt = inst.rt;
+        break;
+      case Op::ADD:
+      case Op::ADDU:
+      case Op::SUB:
+      case Op::SUBU:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::NOR:
+      case Op::SLT:
+      case Op::SLTU: {
+        switch (inst.op) {
+          case Op::ADD:
+          case Op::ADDU: u.kind = UopKind::ADDU; break;
+          case Op::SUB:
+          case Op::SUBU: u.kind = UopKind::SUBU; break;
+          case Op::AND: u.kind = UopKind::AND; break;
+          case Op::OR: u.kind = UopKind::OR; break;
+          case Op::XOR: u.kind = UopKind::XOR; break;
+          case Op::NOR: u.kind = UopKind::NOR; break;
+          case Op::SLT: u.kind = UopKind::SLT; break;
+          default: u.kind = UopKind::SLTU; break;
+        }
+        u.rd = sink(inst.rd);
+        u.rs = inst.rs;
+        u.rt = inst.rt;
+        break;
+      }
+      case Op::ADDI:
+      case Op::ADDIU:
+      case Op::SLTI:
+      case Op::SLTIU:
+      case Op::ANDI:
+      case Op::ORI:
+      case Op::XORI: {
+        switch (inst.op) {
+          case Op::ADDI:
+          case Op::ADDIU: u.kind = UopKind::ADDIU; break;
+          case Op::SLTI: u.kind = UopKind::SLTI; break;
+          case Op::SLTIU: u.kind = UopKind::SLTIU; break;
+          case Op::ANDI: u.kind = UopKind::ANDI; break;
+          case Op::ORI: u.kind = UopKind::ORI; break;
+          default: u.kind = UopKind::XORI; break;
+        }
+        u.rd = sink(inst.rt);
+        u.rs = inst.rs;
+        u.imm = inst.imm;
+        break;
+      }
+      case Op::LUI:
+        u.kind = UopKind::LUI;
+        u.rd = sink(inst.rt);
+        u.imm = int32_t(uint32_t(inst.imm) << 16);
+        break;
+      case Op::MFHI:
+      case Op::MFLO:
+        u.kind = inst.op == Op::MFHI ? UopKind::MFHI : UopKind::MFLO;
+        u.rd = sink(inst.rd);
+        break;
+      case Op::MTHI:
+      case Op::MTLO:
+        u.kind = inst.op == Op::MTHI ? UopKind::MTHI : UopKind::MTLO;
+        u.rs = inst.rs;
+        break;
+      case Op::MULT:
+      case Op::MULTU:
+      case Op::DIV:
+      case Op::DIVU:
+        u.kind = inst.op == Op::MULT ? UopKind::MULT
+            : inst.op == Op::MULTU ? UopKind::MULTU
+            : inst.op == Op::DIV ? UopKind::DIV : UopKind::DIVU;
+        u.rs = inst.rs;
+        u.rt = inst.rt;
+        break;
+      case Op::LB:
+      case Op::LBU:
+      case Op::LH:
+      case Op::LHU:
+      case Op::LW:
+        u.kind = inst.op == Op::LB ? UopKind::LB
+            : inst.op == Op::LBU ? UopKind::LBU
+            : inst.op == Op::LH ? UopKind::LH
+            : inst.op == Op::LHU ? UopKind::LHU : UopKind::LW;
+        u.rd = sink(inst.rt);
+        u.rs = inst.rs;
+        u.imm = inst.imm;
+        break;
+      case Op::SB:
+      case Op::SH:
+      case Op::SW:
+        u.kind = inst.op == Op::SB ? UopKind::SB
+            : inst.op == Op::SH ? UopKind::SH : UopKind::SW;
+        u.rs = inst.rs;
+        u.rt = inst.rt;
+        u.imm = inst.imm;
+        break;
+      case Op::BEQ:
+      case Op::BNE:
+        u.kind = branchKind(inst.op);
+        u.rs = inst.rs;
+        u.rt = inst.rt;
+        u.imm = int32_t(branchTarget(index, inst));
+        u.aux = pcOf(index + 1);
+        break;
+      case Op::BLEZ:
+      case Op::BGTZ:
+      case Op::BLTZ:
+      case Op::BGEZ:
+        u.kind = branchKind(inst.op);
+        u.rs = inst.rs;
+        u.imm = int32_t(branchTarget(index, inst));
+        u.aux = pcOf(index + 1);
+        break;
+      case Op::J:
+        u.kind = UopKind::J;
+        u.imm = int32_t(jumpTarget(index, inst));
+        break;
+      case Op::JAL:
+        u.kind = UopKind::JAL;
+        u.rd = isa::regRA;
+        u.imm = int32_t(jumpTarget(index, inst));
+        u.aux = pcOf(index + 1);
+        break;
+      case Op::JR:
+        u.kind = UopKind::JR;
+        u.rs = inst.rs;
+        break;
+      case Op::JALR:
+        u.kind = UopKind::JALR;
+        u.rd = sink(inst.rd);
+        u.rs = inst.rs;
+        u.aux = pcOf(index + 1);
+        break;
+      case Op::SYSCALL:
+        u.kind = UopKind::SYSCALL;
+        break;
+      default:
+        // BREAK and invalid encodings: route through the interpreter
+        // body at execution time for its exact fatal diagnostics.
+        u.kind = UopKind::TRAP;
+        break;
+    }
+    return u;
+}
+
+} // namespace
+
+BlockCode
+translateBlock(const std::vector<isa::Instruction> &code,
+               uint32_t start, uint32_t max_instrs)
+{
+    panicIf(start >= code.size(), "translateBlock out of text");
+
+    BlockCode out;
+    const uint32_t n = uint32_t(code.size());
+    uint32_t i = start;
+    uint32_t retired = 0;
+    while (i < n && retired < max_instrs) {
+        const Instruction &inst = code[i];
+
+        MicroOp u;
+        const bool pair_fits = i + 1 < n && retired + 2 <= max_instrs;
+        if (pair_fits && fusePair(inst, code[i + 1], i, u)) {
+            u.index = i;
+            u.retiredBefore = uint16_t(retired);
+            // Pairs whose faultable memory access is the second
+            // instruction report faults from there — the first op's
+            // write completes before the access executes.
+            if (u.kind == UopKind::ADDU_LW ||
+                u.kind == UopKind::ADDU_SW ||
+                u.kind == UopKind::SLL_LW ||
+                u.kind == UopKind::ADDIU_SW ||
+                u.kind == UopKind::ADDIU_JR) {
+                u.index = i + 1;
+                u.retiredBefore = uint16_t(retired + 1);
+            }
+            // Second-level fusion: some pairs absorb the instruction
+            // after them (li + memory access, slt + xori + branch).
+            const uint32_t width =
+                i + 2 < n && retired + 3 <= max_instrs &&
+                u.kind < firstTerminator &&
+                fuseTriple(u, code[i + 2], i) ? 3 : 2;
+            const bool ends = u.kind >= firstTerminator;
+            out.ops.push_back(u);
+            retired += width;
+            i += width;
+            if (ends) {
+                out.instrCount = retired;
+                return out;
+            }
+            continue;
+        }
+
+        u = translateOne(inst, i);
+        u.retiredBefore = uint16_t(retired);
+        out.ops.push_back(u);
+        retired += 1;
+        i += 1;
+        if (u.kind >= firstTerminator) {
+            out.instrCount = retired;
+            return out;
+        }
+    }
+
+    // Block capped or text exhausted mid-straight-line: a synthetic
+    // END hands the fall-through pc back to the dispatch loop (which
+    // bounds-checks it, exactly like the interpreter would).
+    MicroOp end;
+    end.kind = UopKind::END;
+    end.index = i;
+    end.retiredBefore = uint16_t(retired);
+    end.aux = pcOf(i);
+    out.ops.push_back(end);
+    out.instrCount = retired;
+    return out;
+}
+
+} // namespace irep::sim

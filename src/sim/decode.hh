@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Basic-block translation: turn a straight-line run of pre-decoded
+ * MIPS-I instructions into a dense array of micro-ops the block cache
+ * executes without per-instruction fetch/decode dispatch.
+ *
+ * A micro-op resolves everything the interpreter recomputes on every
+ * dynamic execution: the semantic opcode collapses to one enumerator
+ * (ADD/ADDU share a kind, LUI's shift is folded into the immediate),
+ * register operands become direct indices into the machine's register
+ * file (with $zero destinations remapped to a write sink), and
+ * branch/jump targets are absolute next-pc values computed at
+ * translate time. The hottest two-instruction idioms fuse into
+ * superinstructions (see UopKind) — the dominant repetition the paper
+ * measures is exactly what makes this amortization pay.
+ *
+ * Translation reads only the machine's immutable pre-decoded text, so
+ * retranslating an invalidated block always reproduces the same
+ * micro-ops; invalidation exists to keep the cache honest about
+ * stores into translated pages, not to change semantics.
+ */
+
+#ifndef IREP_SIM_DECODE_HH
+#define IREP_SIM_DECODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace irep::sim
+{
+
+/** Register-file slot that swallows writes to $zero. Reads always use
+ *  the architectural index, so slot 0 stays zero. */
+constexpr uint8_t regZeroSink = 32;
+
+/**
+ * Micro-op kinds. Non-terminators fall through to the next micro-op;
+ * terminators (everything from BEQ on) end the block and produce the
+ * next pc. The enumerator order defines the threaded-dispatch jump
+ * table in the block cache — keep them in sync.
+ */
+enum class UopKind : uint8_t
+{
+    // Shifts.
+    SLL, SRL, SRA, SLLV, SRLV, SRAV,
+    // Three-register ALU (ADD folds into ADDU, SUB into SUBU — the
+    // simulator does not trap on overflow).
+    ADDU, SUBU, AND, OR, XOR, NOR, SLT, SLTU,
+    // Immediate ALU (ADDI folds into ADDIU; LUI's immediate is
+    // pre-shifted).
+    ADDIU, SLTI, SLTIU, ANDI, ORI, XORI, LUI,
+    // HI/LO.
+    MFHI, MTHI, MFLO, MTLO, MULT, MULTU, DIV, DIVU,
+    // Memory.
+    LB, LBU, LH, LHU, LW, SB, SH, SW,
+    // Fused straight-line superinstructions.
+    LI32,       //!< lui rd + ori/addiu rd: rd = imm (full constant)
+    LW_ADDIU,   //!< lw rd + addiu rd2, rd, aux
+    LW_ADDU,    //!< lw rd + addu rd2, rd, rt (rt read after the load)
+    // Fused ALU pairs: the first op writes rd, then the second op
+    // reads its sources from the register file (packed into aux /
+    // imm), so aliasing the first destination follows sequential
+    // semantics by construction. rd2 is the second destination.
+    ADDU_ADDU,  //!< rd = rs+rt; rd2 = R[aux.b0] + R[aux.b1]
+    SLL_ADDU,   //!< rd = rt<<shamt; rd2 = R[aux.b0] + R[aux.b1]
+    ADDU_SLL,   //!< rd = rs+rt; rd2 = R[aux.b0] << aux.b1
+    ADDU_ADDIU, //!< rd = rs+rt; rd2 = R[aux.b0] + imm
+    ADDU_SLTI,  //!< rd = rs+rt; rd2 = (R[aux.b0] < imm) signed
+    ADDIU_SLT,  //!< rd = rs+imm; rd2 = (R[aux.b0] < R[aux.b1]) signed
+    SLT_XORI,   //!< rd = (rs<rt) signed; rd2 = R[aux.b0] ^ imm
+    SUBU_SLTIU, //!< rd = rs-rt; rd2 = (R[aux.b0] < imm) unsigned
+    SUBU_ADDU,  //!< rd = rs-rt; rd2 = R[aux.b0] + R[aux.b1]
+    // Address-compute + memory access. The access can fault, so
+    // index/retiredBefore point at the memory instruction and every
+    // preceding write lands before the access executes — fault state
+    // stays exact.
+    ADDU_LW,    //!< rd = rs+rt; rd2 = mem32[R[aux.b0] + imm]
+    ADDU_SW,    //!< rd = rs+rt; mem32[R[aux.b0] + imm] = R[aux.b1]
+    ADDU_LBU,   //!< rd = rs+rt; rd2 = mem8[R[aux.b0] + imm]
+    SLL_LW,     //!< rd = rt<<shamt; rd2 = mem32[R[aux.b0] + imm]
+    ADDIU_SW,   //!< rd = rs+imm; mem32[R[aux.b0]+aux.h1] = R[aux.b1]
+    // Back-to-back memory pairs. Either access can fault; the
+    // executor tracks which one it is in (fault bias), so index can
+    // stay on the first instruction.
+    LW_LW,      //!< rd = mem32[rs+imm]; rd2 = mem32[R[aux.b0]+aux.h1]
+    SW_SW,      //!< mem32[rs+imm] = rt; mem32[R[aux.b0]+aux.h1] = R[aux.b1]
+    // Fused triples around a 32-bit constant (lui+ori/addiu + memory
+    // access through the constant).
+    LI32_LW,    //!< rd = imm; rd2 = mem32[imm + aux]
+    LI32_SW,    //!< rd = imm; mem32[imm + aux] = rt
+    // The array-read idiom sll t,i,s; addu t,b,t; lw x,off(t):
+    // shift into rd, sum into rd2, load into the aux.b2 slot.
+    SLL_ADDU_LW,
+    // Terminators.
+    BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ,
+    // Fused compare-and-branch: rd = (rs < rt), branch on the result.
+    SLT_BEQ, SLT_BNE, SLTU_BEQ, SLTU_BNE,
+    // Fused ALU-and-branch. XORI_*: rd = rs^shamt, branch compares
+    // R[rt] with R[rd2] (both read after the write). ADDU_*:
+    // rd = rs+rt, branch compares R[shamt] with R[rd2].
+    XORI_BEQ, XORI_BNE, ADDU_BEQ, ADDU_BNE,
+    // slt c,a,b; xori c,c,1; beq/bne c,$zero — branch on the signed
+    // comparison while writing the inverted condition register.
+    SLT_XORI_BEQ, SLT_XORI_BNE,
+    // slti/sltiu rd + beq/bne rd, $zero: the 16-bit compare immediate
+    // rides in rt|rd2 (imm and aux carry the branch targets).
+    SLTI_BEQ, SLTI_BNE, SLTIU_BEQ, SLTIU_BNE,
+    J, JAL, JR, JALR,
+    ADDIU_JR,   //!< rd = rs+imm; jump to R[rt] (read after the write)
+    SYSCALL,    //!< executed through the interpreter body
+    TRAP,       //!< break / invalid encoding: interpreter fatal
+    END,        //!< synthetic fall-through (block cap or text end)
+
+    NUM_KINDS,
+};
+
+/** First terminator kind (every kind >= this ends the block). */
+constexpr UopKind firstTerminator = UopKind::BEQ;
+
+/**
+ * One pre-decoded micro-op (20 bytes, three per cache line pair).
+ * Field use by kind:
+ *  - rd / rd2: destination register slots, $zero remapped to
+ *    regZeroSink; rd2 is the second destination of load-use pairs.
+ *  - rs / rt: source register indices (architectural, never
+ *    remapped). For LW_ADDU, rt is the addu operand that is not the
+ *    loaded register.
+ *  - imm: immediate, pre-shifted LUI constant, fused LI32 constant,
+ *    memory offset, or the absolute taken-branch / jump target.
+ *  - aux: fall-through pc for terminators (doubles as the jal/jalr
+ *    link value), or the fused pair's second immediate.
+ *  - index: static index of the micro-op's first instruction — with
+ *    retiredBefore this reconstructs the exact architectural pc and
+ *    instret at any fault.
+ */
+struct MicroOp
+{
+    UopKind kind = UopKind::TRAP;
+    uint8_t rd = regZeroSink;
+    uint8_t rs = 0;
+    uint8_t rt = 0;
+    uint8_t shamt = 0;
+    uint8_t rd2 = regZeroSink;
+    uint16_t retiredBefore = 0;
+    int32_t imm = 0;
+    uint32_t aux = 0;
+    uint32_t index = 0;
+};
+
+static_assert(sizeof(MicroOp) == 20, "keep micro-ops dense");
+
+/** Result of translating one basic block. */
+struct BlockCode
+{
+    std::vector<MicroOp> ops;
+    uint32_t instrCount = 0;    //!< architectural instructions covered
+};
+
+/**
+ * Translate the block starting at static index @p start: consume
+ * instructions until a terminator or @p max_instrs, fusing adjacent
+ * pairs where the superinstruction is architecturally equivalent.
+ * @p code is the machine's full pre-decoded text.
+ */
+BlockCode translateBlock(const std::vector<isa::Instruction> &code,
+                         uint32_t start, uint32_t max_instrs);
+
+} // namespace irep::sim
+
+#endif // IREP_SIM_DECODE_HH

@@ -1,9 +1,11 @@
 #include "sim/machine.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 
 #include "isa/registers.hh"
+#include "sim/bbcache.hh"
 #include "support/logging.hh"
 
 namespace irep::sim
@@ -12,9 +14,29 @@ namespace irep::sim
 using isa::Instruction;
 using isa::Op;
 
+ExecBackend
+parseExecBackend(const std::string &what, const std::string &text)
+{
+    if (text == "interp")
+        return ExecBackend::Interp;
+    if (text == "bbcache")
+        return ExecBackend::BBCache;
+    fatal(what, " must be `interp` or `bbcache`, not '", text, "'");
+}
+
+ExecBackend
+envExecBackend()
+{
+    const char *value = std::getenv("IREP_EXEC");
+    if (!value || !*value)
+        return ExecBackend::Interp;
+    return parseExecBackend("IREP_EXEC", value);
+}
+
 Machine::Machine(const assem::Program &program)
     : program_(program), pc_(program.entry),
-      brk_(program.heapStart()), heapStart_(program.heapStart())
+      brk_(program.heapStart()), heapStart_(program.heapStart()),
+      backend_(envExecBackend())
 {
     decoded_.reserve(program.text.size());
     destRegs_.reserve(program.text.size());
@@ -37,6 +59,17 @@ Machine::Machine(const assem::Program &program)
     mem_.pin(assem::Layout::dataBase, uint32_t(program.data.size()));
     mem_.pin(assem::Layout::stackTop - Memory::pageSize,
              Memory::pageSize);
+}
+
+// Out of line: BlockCache is incomplete in the header.
+Machine::~Machine() = default;
+
+BlockCache &
+Machine::blockCache()
+{
+    if (!bbcache_)
+        bbcache_ = std::make_unique<BlockCache>(*this);
+    return *bbcache_;
 }
 
 void
@@ -538,15 +571,31 @@ Machine::run(uint64_t max_instructions)
 {
     if (halted_ || max_instructions == 0)
         return 0;
+    if (backend_ == ExecBackend::BBCache) {
+        BlockCache &cache = blockCache();
+        return observers_.empty()
+            ? cache.run<false>(max_instructions)
+            : cache.run<true>(max_instructions);
+    }
     return observers_.empty() ? runLoop<false>(max_instructions)
                               : runLoop<true>(max_instructions);
 }
 
+// The block cache executes syscalls, traps, and budget tails through
+// the interpreter body; give it linkable instantiations.
+template uint32_t Machine::exec1<false>(const isa::Instruction &,
+                                        uint32_t, uint32_t);
+template uint32_t Machine::exec1<true>(const isa::Instruction &,
+                                       uint32_t, uint32_t);
+
 RunResult
 runToHalt(const assem::Program &program, const std::string &input,
-          uint64_t max_instructions)
+          uint64_t max_instructions,
+          std::optional<ExecBackend> backend)
 {
     Machine machine(program);
+    if (backend)
+        machine.setExecBackend(*backend);
     machine.setInput(input);
     machine.run(max_instructions);
 

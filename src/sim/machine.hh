@@ -16,6 +16,8 @@
 #define IREP_SIM_MACHINE_HH
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,32 @@
 
 namespace irep::sim
 {
+
+class BlockCache;
+
+/**
+ * How Machine::run() executes instructions. The interpreter is the
+ * normative reference; the basic-block translation cache
+ * (sim/bbcache.hh) is the fast backend and must be observationally
+ * identical — registers, memory, retire records, diagnostics.
+ */
+enum class ExecBackend : uint8_t
+{
+    Interp,     //!< fused interpreter loop (reference semantics)
+    BBCache,    //!< pre-decoded superblock execution
+};
+
+/**
+ * Parse an execution-backend name (`interp` / `bbcache`). @p what
+ * names the flag or variable for the error message; anything else is
+ * fatal, never silently defaulted.
+ */
+ExecBackend parseExecBackend(const std::string &what,
+                             const std::string &text);
+
+/** The IREP_EXEC default: Interp when unset or empty, otherwise
+ *  strictly parsed. */
+ExecBackend envExecBackend();
 
 /** One simulated machine executing one program. */
 class Machine
@@ -38,6 +66,18 @@ class Machine
      * are pre-pinned so steady-state accesses never allocate.
      */
     explicit Machine(const assem::Program &program);
+
+    ~Machine();
+
+    /** Select the execution backend for subsequent run() calls. The
+     *  default comes from IREP_EXEC (Interp when unset). */
+    void setExecBackend(ExecBackend backend) { backend_ = backend; }
+
+    ExecBackend execBackend() const { return backend_; }
+
+    /** The machine's block cache, created on first use — exposed so
+     *  tests can bound its capacity and read its counters. */
+    BlockCache &blockCache();
 
     /** Provide the byte stream returned by the Read syscall. */
     void setInput(std::string bytes);
@@ -109,6 +149,10 @@ class Machine
      *  execution) and ignored when null (fast path). */
     void doSyscall(InstrRecord *record);
 
+    /** The block cache reads machine state directly and writes it
+     *  through the same invariants as the interpreter body. */
+    friend class BlockCache;
+
     const assem::Program &program_;
     std::vector<isa::Instruction> decoded_;
     /** Destination register per static instruction (-1 = none),
@@ -117,7 +161,10 @@ class Machine
     std::vector<int8_t> destRegs_;
     Memory mem_;
 
-    uint32_t regs_[32] = {};
+    /** Slot 32 is the $zero write sink: the block cache remaps $zero
+     *  destinations there at translate time, so its hot path writes
+     *  unconditionally while reads of slot 0 always see zero. */
+    uint32_t regs_[33] = {};
     uint32_t hi_ = 0;
     uint32_t lo_ = 0;
     uint32_t pc_;
@@ -133,6 +180,9 @@ class Machine
     std::string output_;
 
     std::vector<Observer *> observers_;
+
+    ExecBackend backend_;
+    std::unique_ptr<BlockCache> bbcache_;   //!< lazily created
 };
 
 /** Outcome of one run-to-completion execution (runToHalt). */
@@ -148,10 +198,13 @@ struct RunResult
  * Load @p program into a fresh machine, feed it @p input, and run it
  * until it exits or @p max_instructions retire. Convenience wrapper
  * for programmatic batch execution (e.g. the differential fuzzer).
+ * @p backend overrides the machine's IREP_EXEC-resolved default when
+ * set.
  */
 RunResult runToHalt(const assem::Program &program,
                     const std::string &input,
-                    uint64_t max_instructions = 100'000'000);
+                    uint64_t max_instructions = 100'000'000,
+                    std::optional<ExecBackend> backend = {});
 
 } // namespace irep::sim
 

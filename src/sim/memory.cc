@@ -14,8 +14,38 @@ Memory::allocatePage(uint32_t key) const
 }
 
 void
+Memory::watchStores(uint32_t base, uint32_t len)
+{
+    watchBase_ = base;
+    watchLen_ = len;
+    storeGen_.assign(
+        len ? size_t(((uint64_t(len) - 1) >> pageBits) + 1) : 0, 0);
+}
+
+void
+Memory::noteStoreRange(uint32_t addr, uint32_t len)
+{
+    if (len == 0 || watchLen_ == 0)
+        return;
+    // Clip [addr, addr + len) against the watched range, then bump
+    // every page the intersection touches.
+    const uint64_t lo =
+        std::max(uint64_t(addr), uint64_t(watchBase_));
+    const uint64_t hi = std::min(uint64_t(addr) + len,
+                                 uint64_t(watchBase_) + watchLen_);
+    if (lo >= hi)
+        return;
+    const uint32_t first = uint32_t(lo - watchBase_) >> pageBits;
+    const uint32_t last = uint32_t(hi - 1 - watchBase_) >> pageBits;
+    for (uint32_t page = first; page <= last; ++page)
+        ++storeGen_[page];
+    ++watchedStores_;
+}
+
+void
 Memory::writeBlock(uint32_t addr, const void *src, uint32_t len)
 {
+    noteStoreRange(addr, len);
     const auto *p = static_cast<const uint8_t *>(src);
     uint32_t done = 0;
     while (done < len) {

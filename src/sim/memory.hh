@@ -67,6 +67,7 @@ class Memory
     void
     write8(uint32_t addr, uint8_t value)
     {
+        noteStore(addr);
         *bytePtr(addr) = value;
     }
 
@@ -75,6 +76,7 @@ class Memory
     {
         fatalIf(addr & 1, "misaligned 16-bit write at 0x",
                 std::hex, addr);
+        noteStore(addr);
         std::memcpy(bytePtr(addr), &value, 2);
     }
 
@@ -83,6 +85,7 @@ class Memory
     {
         fatalIf(addr & 3, "misaligned 32-bit write at 0x",
                 std::hex, addr);
+        noteStore(addr);
         std::memcpy(bytePtr(addr), &value, 4);
     }
 
@@ -95,6 +98,30 @@ class Memory
     /** Pre-allocate every page overlapping [addr, addr + len), so
      *  later accesses to the segment skip the allocation branch. */
     void pin(uint32_t addr, uint32_t len);
+
+    /**
+     * Watch [base, base + len) for stores: every write landing inside
+     * the range bumps the containing page's generation counter. The
+     * translation cache watches the text segment this way, so a store
+     * into translated code (self-modifying code, or a Read syscall
+     * landing in text) invalidates the affected blocks. One range;
+     * len 0 disables. Unwatched stores cost a single compare.
+     */
+    void watchStores(uint32_t base, uint32_t len);
+
+    /** Store generation of the watched page containing @p addr.
+     *  @p addr must lie inside the watched range. */
+    uint32_t
+    storeGeneration(uint32_t addr) const
+    {
+        return storeGen_[(addr - watchBase_) >> pageBits];
+    }
+
+    /** Total stores that ever landed in the watched range. Zero means
+     *  no generation can have moved, so consumers may skip per-page
+     *  generation checks entirely — the common case for programs that
+     *  never write their own text. */
+    uint64_t watchedStoreCount() const { return watchedStores_; }
 
     /** Number of currently allocated pages (for tests/stats). */
     size_t numPages() const { return allocated_; }
@@ -125,8 +152,29 @@ class Memory
 
     Page *allocatePage(uint32_t key) const;
 
+    /** Bump the generation of @p addr's page when it is watched.
+     *  The unsigned wrap makes one compare cover both range ends
+     *  (watchLen_ == 0 never matches). */
+    void
+    noteStore(uint32_t addr)
+    {
+        if (addr - watchBase_ < watchLen_) [[unlikely]] {
+            ++storeGen_[(addr - watchBase_) >> pageBits];
+            ++watchedStores_;
+        }
+    }
+
+    /** Range form for writeBlock(): bump every watched page that
+     *  [addr, addr + len) overlaps. */
+    void noteStoreRange(uint32_t addr, uint32_t len);
+
     mutable std::vector<std::unique_ptr<Page>> table_;
     mutable size_t allocated_ = 0;
+
+    uint32_t watchBase_ = 0;
+    uint32_t watchLen_ = 0;
+    uint64_t watchedStores_ = 0;
+    std::vector<uint32_t> storeGen_;
 };
 
 } // namespace irep::sim

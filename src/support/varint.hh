@@ -10,7 +10,9 @@
 #ifndef IREP_SUPPORT_VARINT_HH
 #define IREP_SUPPORT_VARINT_HH
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "support/logging.hh"
@@ -27,6 +29,22 @@ put(std::string &out, uint64_t value)
         value >>= 7;
     }
     out.push_back(char(uint8_t(value)));
+}
+
+/**
+ * Append @p value as LEB128 through a raw cursor. The caller
+ * guarantees space for the worst case (10 bytes for a uint64_t);
+ * the trace writer's per-record encoder uses this to skip the
+ * byte-at-a-time capacity checks of the std::string overload.
+ */
+inline void
+put(uint8_t *&p, uint64_t value)
+{
+    while (value >= 0x80) {
+        *p++ = uint8_t(value) | 0x80;
+        value >>= 7;
+    }
+    *p++ = uint8_t(value);
 }
 
 /**
@@ -73,6 +91,50 @@ inline void
 putSigned(std::string &out, int64_t value)
 {
     put(out, zigzag(value));
+}
+
+/** put(zigzag(value)) through a raw cursor. */
+inline void
+putSigned(uint8_t *&p, int64_t value)
+{
+    put(p, zigzag(value));
+}
+
+/**
+ * Branchless LEB128 append for values below 2^35 (at most five
+ * encoded bytes): spreads the 7-bit groups into one 64-bit word, ORs
+ * in the continuation bits, and issues a single eight-byte store —
+ * the cursor only advances by the encoded length, so up to seven
+ * bytes past it are scribbled and the caller's buffer must absorb
+ * that. The byte-at-a-time loop's data-dependent trip count costs a
+ * branch mispredict per value on mixed-magnitude streams (register
+ * values in the trace writer's case); this is the same bytes without
+ * the loop. Values 2^35 and above take the plain loop.
+ */
+inline void
+putShort(uint8_t *&p, uint64_t value)
+{
+    if (value >> 35) [[unlikely]] {
+        put(p, value);
+        return;
+    }
+    const unsigned len =
+        (unsigned(std::bit_width(value | 1)) + 6) / 7;
+    uint64_t spread = (value & 0x7f) | ((value & 0x3f80) << 1) |
+                      ((value & 0x1fc000) << 2) |
+                      ((value & 0xfe00000) << 3) |
+                      ((value & 0x7f0000000) << 4);
+    spread |= ((1ull << (8 * (len - 1))) - 1) & 0x8080808080808080ull;
+    std::memcpy(p, &spread, 8);
+    p += len;
+}
+
+/** putShort(zigzag(value)); the same sub-2^35 bound applies to the
+ *  zigzag-mapped magnitude (any 32-bit delta fits). */
+inline void
+putShortSigned(uint8_t *&p, int64_t value)
+{
+    putShort(p, zigzag(value));
 }
 
 /** unzigzag(get(...)) */

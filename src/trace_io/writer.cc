@@ -12,11 +12,28 @@
 namespace irep::trace_io
 {
 
+namespace
+{
+
+/**
+ * Worst-case encoded record size the block buffer must absorb past
+ * the seal threshold: an instruction record is at most 57 bytes
+ * (flags, five 5-byte varints, two single bytes, 25 bytes of call
+ * registers) and a syscall record at most 31, and the seal check only
+ * runs on retires — so one unsealed retire plus one syscall plus one
+ * sealing retire can overshoot blockTarget by 57 + 31 - 1 bytes, and
+ * varint::putShort() scribbles up to seven bytes past the cursor.
+ */
+constexpr size_t recordSlack = 128;
+
+} // namespace
+
 TraceWriter::TraceWriter(std::string path, const sim::Machine &machine,
                          const std::string &input, uint64_t skip,
                          uint64_t window)
     : path_(std::move(path)), machine_(machine)
 {
+    block_.resize(blockTarget + recordSlack);
     tmpPath_ = path_ + ".tmp." + std::to_string(::getpid());
     file_ = std::fopen(tmpPath_.c_str(), "wb");
     fatalIf(!file_, "cannot open '", tmpPath_, "' for trace recording");
@@ -62,16 +79,20 @@ TraceWriter::onRetire(const sim::InstrRecord &rec)
     const bool control = rec.nextPc != rec.pc + 4;
     if (control)
         flags |= flagControl;
-    block_.push_back(char(flags));
 
-    varint::putSigned(block_, int64_t(rec.staticIndex) -
+    uint8_t *const base =
+        reinterpret_cast<uint8_t *>(block_.data()) + blockUsed_;
+    uint8_t *p = base;
+    *p++ = flags;
+
+    varint::putShortSigned(p, int64_t(rec.staticIndex) -
                                   int64_t(prevStaticIndex_));
     prevStaticIndex_ = rec.staticIndex;
 
     for (int i = 0; i < rec.numSrcRegs; ++i)
-        varint::put(block_, rec.srcVal[i]);
+        varint::putShort(p, rec.srcVal[i]);
     if (rec.isMemAccess) {
-        varint::putSigned(block_, int64_t(rec.memAddr) -
+        varint::putShortSigned(p, int64_t(rec.memAddr) -
                                       int64_t(prevMemAddr_));
         prevMemAddr_ = rec.memAddr;
     }
@@ -80,49 +101,54 @@ TraceWriter::onRetire(const sim::InstrRecord &rec)
     // derives it from its own decode, so only the dynamic case is
     // stored.
     if (rec.writesReg && rec.inst->destReg() < 0)
-        block_.push_back(char(rec.destReg));
-    varint::put(block_, rec.result);
+        *p++ = uint8_t(rec.destReg);
+    varint::putShort(p, rec.result);
     if (control) {
-        varint::putSigned(block_, int64_t(rec.nextPc) -
+        varint::putShortSigned(p, int64_t(rec.nextPc) -
                                       int64_t(rec.pc + 4));
     }
     if (call) {
-        varint::put(block_, machine_.reg(isa::regSP));
+        varint::put(p, machine_.reg(isa::regSP));
         for (unsigned i = 0; i < 4; ++i)
-            varint::put(block_, machine_.reg(isa::regA0 + i));
+            varint::put(p, machine_.reg(isa::regA0 + i));
     }
+    blockUsed_ += size_t(p - base);
 
     ++instrRecords_;
     ++blockInstrRecords_;
-    if (block_.size() >= blockTarget)
+    if (blockUsed_ >= blockTarget)
         sealBlock();
 }
 
 void
 TraceWriter::onSyscall(const sim::SyscallRecord &rec)
 {
-    block_.push_back(char(syscallRecordTag));
-    varint::put(block_, uint32_t(rec.num));
-    varint::put(block_, rec.arg0);
-    varint::put(block_, rec.arg1);
-    varint::put(block_, rec.result);
-    varint::put(block_, rec.writtenAddr);
-    varint::put(block_, rec.writtenLen);
+    uint8_t *const base =
+        reinterpret_cast<uint8_t *>(block_.data()) + blockUsed_;
+    uint8_t *p = base;
+    *p++ = syscallRecordTag;
+    varint::put(p, uint32_t(rec.num));
+    varint::put(p, rec.arg0);
+    varint::put(p, rec.arg1);
+    varint::putShort(p, rec.result);
+    varint::put(p, rec.writtenAddr);
+    varint::put(p, rec.writtenLen);
+    blockUsed_ += size_t(p - base);
     ++syscallRecords_;
 }
 
 void
 TraceWriter::sealBlock()
 {
-    if (block_.empty())
+    if (blockUsed_ == 0)
         return;
     BlockFrame frame;
-    frame.payloadBytes = uint32_t(block_.size());
+    frame.payloadBytes = uint32_t(blockUsed_);
     frame.instrRecords = blockInstrRecords_;
-    frame.payloadCrc = crc32(block_.data(), block_.size());
+    frame.payloadCrc = crc32(block_.data(), blockUsed_);
     writeRaw(&frame, sizeof(frame));
-    writeRaw(block_.data(), block_.size());
-    block_.clear();
+    writeRaw(block_.data(), blockUsed_);
+    blockUsed_ = 0;
     blockInstrRecords_ = 0;
     ++blockCount_;
 }

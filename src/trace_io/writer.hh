@@ -76,7 +76,13 @@ class TraceWriter : public sim::Observer
     std::FILE *file_ = nullptr;
     bool committed_ = false;
 
-    std::string block_;             //!< encoded payload being filled
+    // The payload buffer is sized once (blockTarget plus worst-case
+    // record slack) and filled through a raw cursor: the per-record
+    // encoder is the hot loop of `irep record`, and appending varints
+    // byte-by-byte through std::string's capacity checks dominated
+    // recording wall clock. blockUsed_ is the live payload length.
+    std::string block_;             //!< encoded payload storage
+    size_t blockUsed_ = 0;          //!< payload bytes filled so far
     uint32_t blockInstrRecords_ = 0;
     uint32_t blockCount_ = 0;
     uint64_t instrRecords_ = 0;

@@ -143,5 +143,23 @@ TEST(DifferentialSmoke, TwoHundredSeedsMatch)
     EXPECT_TRUE(report.ok()) << log.str();
 }
 
+// The same campaign through the block-cache backend: the fuzzer's
+// random programs hammer translation, fusion, chaining and budget
+// tails far from the workloads' idioms.
+TEST(DifferentialSmoke, TwoHundredSeedsMatchBBCache)
+{
+    fuzz::FuzzOptions options;
+    options.seed = 1;
+    options.count = 200;
+    options.reproDir = (std::filesystem::path(::testing::TempDir()) /
+                        "irep_fuzz_smoke_bbcache")
+                           .string();
+    options.exec = sim::ExecBackend::BBCache;
+    std::ostringstream log;
+    const auto report = fuzz::runFuzz(options, log);
+    EXPECT_EQ(report.matches, report.total) << log.str();
+    EXPECT_TRUE(report.ok()) << log.str();
+}
+
 } // namespace
 } // namespace irep

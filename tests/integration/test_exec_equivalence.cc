@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Backend equivalence: the block-cache backend must be observationally
+ * identical to the interpreter on every workload — final registers,
+ * memory image, output, the retire-record stream seen by observers,
+ * and the full analysis stats document (live and window-sharded). The
+ * interpreter is normative; any disagreement convicts the cache.
+ */
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "sim/machine.hh"
+#include "sim/memory.hh"
+#include "sim/observer.hh"
+#include "support/json.hh"
+#include "support/stats.hh"
+#include "workloads/workloads.hh"
+
+namespace irep
+{
+namespace
+{
+
+using sim::ExecBackend;
+using sim::Machine;
+
+std::unique_ptr<Machine>
+makeMachine(const std::string &name, ExecBackend backend)
+{
+    const auto &w = workloads::workloadByName(name);
+    auto machine =
+        std::make_unique<Machine>(workloads::buildProgram(w));
+    machine->setExecBackend(backend);
+    machine->setInput(w.input);
+    return machine;
+}
+
+const char *const allWorkloads[] = {"compress", "go",     "m88ksim",
+                                    "ijpeg",    "perl",   "vortex",
+                                    "li",       "gcc"};
+
+void
+expectSameState(const Machine &a, const Machine &b)
+{
+    for (unsigned r = 0; r < 32; ++r)
+        EXPECT_EQ(a.reg(r), b.reg(r)) << "register " << r;
+    EXPECT_EQ(a.hi(), b.hi());
+    EXPECT_EQ(a.lo(), b.lo());
+    EXPECT_EQ(a.pc(), b.pc());
+    EXPECT_EQ(a.instret(), b.instret());
+    EXPECT_EQ(a.halted(), b.halted());
+    EXPECT_EQ(a.exitCode(), b.exitCode());
+    EXPECT_EQ(a.output(), b.output());
+
+    const std::vector<uint32_t> pages_a = a.memory().touchedPages();
+    const std::vector<uint32_t> pages_b = b.memory().touchedPages();
+    ASSERT_EQ(pages_a, pages_b);
+    std::vector<uint8_t> buf_a(sim::Memory::pageSize);
+    std::vector<uint8_t> buf_b(sim::Memory::pageSize);
+    for (uint32_t page : pages_a) {
+        const uint32_t addr = page << sim::Memory::pageBits;
+        a.memory().readBlock(addr, buf_a.data(), sim::Memory::pageSize);
+        b.memory().readBlock(addr, buf_b.data(), sim::Memory::pageSize);
+        EXPECT_EQ(buf_a, buf_b) << "page at 0x" << std::hex << addr;
+    }
+}
+
+/** Every InstrRecord field except the decoded-instruction pointer,
+ *  which legitimately differs between machines; staticIndex pins the
+ *  instruction identity instead. */
+struct PackedRecord
+{
+    uint64_t seq;
+    uint32_t pc;
+    uint32_t staticIndex;
+    uint8_t numSrcRegs;
+    uint32_t srcVal[2];
+    bool isMemAccess;
+    uint32_t memAddr;
+    bool writesReg;
+    uint8_t destReg;
+    uint64_t result;
+    uint32_t nextPc;
+
+    bool operator==(const PackedRecord &o) const
+    {
+        return seq == o.seq && pc == o.pc &&
+               staticIndex == o.staticIndex &&
+               numSrcRegs == o.numSrcRegs && srcVal[0] == o.srcVal[0] &&
+               srcVal[1] == o.srcVal[1] &&
+               isMemAccess == o.isMemAccess && memAddr == o.memAddr &&
+               writesReg == o.writesReg && destReg == o.destReg &&
+               result == o.result && nextPc == o.nextPc;
+    }
+};
+
+struct RecordCollector : sim::Observer
+{
+    std::vector<PackedRecord> records;
+
+    void
+    onRetire(const sim::InstrRecord &r) override
+    {
+        records.push_back({r.seq, r.pc, r.staticIndex, r.numSrcRegs,
+                           {r.srcVal[0], r.srcVal[1]}, r.isMemAccess,
+                           r.memAddr, r.writesReg, r.destReg, r.result,
+                           r.nextPc});
+    }
+};
+
+TEST(ExecEquivalence, AllWorkloadsSameStateAndRetireStream)
+{
+    constexpr uint64_t n = 250'000;
+    for (const char *name : allWorkloads) {
+        SCOPED_TRACE(name);
+        auto interp = makeMachine(name, ExecBackend::Interp);
+        auto bbcache = makeMachine(name, ExecBackend::BBCache);
+        RecordCollector interpStream, bbcacheStream;
+        interp->addObserver(&interpStream);
+        bbcache->addObserver(&bbcacheStream);
+
+        EXPECT_EQ(interp->run(n), bbcache->run(n));
+        expectSameState(*interp, *bbcache);
+
+        ASSERT_EQ(interpStream.records.size(),
+                  bbcacheStream.records.size());
+        for (size_t i = 0; i < interpStream.records.size(); ++i) {
+            ASSERT_TRUE(interpStream.records[i] ==
+                        bbcacheStream.records[i])
+                << name << " diverges at retire " << i << " (pc 0x"
+                << std::hex << interpStream.records[i].pc << " vs 0x"
+                << bbcacheStream.records[i].pc << ")";
+        }
+    }
+}
+
+// The unobserved fast path (threaded dispatch, fusion, chaining) must
+// land on exactly the state the observed path produces.
+TEST(ExecEquivalence, FastPathMatchesObservedPath)
+{
+    struct Counter : sim::Observer
+    {
+        uint64_t retired = 0;
+        void onRetire(const sim::InstrRecord &) override { ++retired; }
+    };
+    constexpr uint64_t n = 250'000;
+    for (const char *name : {"compress", "go", "vortex"}) {
+        SCOPED_TRACE(name);
+        auto fast = makeMachine(name, ExecBackend::BBCache);
+        auto observed = makeMachine(name, ExecBackend::BBCache);
+        Counter counter;
+        observed->addObserver(&counter);
+        EXPECT_EQ(fast->run(n), observed->run(n));
+        EXPECT_EQ(counter.retired, observed->instret());
+        expectSameState(*fast, *observed);
+    }
+}
+
+/** Structural JSON equality, ignoring wall-clock-derived stats. */
+void
+expectJsonEqual(const json::Value &a, const json::Value &b,
+                const std::string &path)
+{
+    ASSERT_EQ(int(a.kind()), int(b.kind())) << path;
+    switch (a.kind()) {
+      case json::Value::Kind::Object: {
+        ASSERT_EQ(a.size(), b.size()) << path;
+        for (size_t i = 0; i < a.members().size(); ++i) {
+            const auto &[key, value] = a.members()[i];
+            ASSERT_EQ(key, b.members()[i].first) << path;
+            if (key == "skip_seconds" || key == "window_seconds" ||
+                key == "window_mips") {
+                continue;
+            }
+            expectJsonEqual(value, b.members()[i].second,
+                            path + "." + key);
+        }
+        break;
+      }
+      case json::Value::Kind::Array:
+        ASSERT_EQ(a.size(), b.size()) << path;
+        for (size_t i = 0; i < a.elements().size(); ++i) {
+            expectJsonEqual(a.elements()[i], b.elements()[i],
+                            path + "[" + std::to_string(i) + "]");
+        }
+        break;
+      case json::Value::Kind::Number:
+        EXPECT_EQ(a.asNumber(), b.asNumber()) << path;
+        break;
+      case json::Value::Kind::String:
+        EXPECT_EQ(a.asString(), b.asString()) << path;
+        break;
+      case json::Value::Kind::Bool:
+        EXPECT_EQ(a.asBool(), b.asBool()) << path;
+        break;
+      case json::Value::Kind::Null:
+        break;
+    }
+}
+
+json::Value
+statsDocument(Machine &machine, unsigned window_jobs)
+{
+    // Un-round phase lengths so both the skip/window boundary and the
+    // window end land mid-basic-block.
+    core::PipelineConfig config;
+    config.skipInstructions = 12'347;
+    config.windowInstructions = 123'457;
+    config.windowJobs = window_jobs;
+    core::AnalysisPipeline pipeline(machine, config);
+    pipeline.run();
+
+    stats::Group root;
+    pipeline.registerStats(root);
+    std::ostringstream os;
+    json::Writer writer(os);
+    stats::dumpJson(root, writer);
+    return json::parse(os.str());
+}
+
+// The backend must never change analysis output: the stats document
+// is identical between interp and bbcache, serial and window-sharded.
+TEST(ExecEquivalence, AnalysisStatsIdenticalAcrossBackends)
+{
+    for (const char *name : {"compress", "li", "gcc"}) {
+        SCOPED_TRACE(name);
+        auto interp = makeMachine(name, ExecBackend::Interp);
+        auto bbcache = makeMachine(name, ExecBackend::BBCache);
+        auto sharded = makeMachine(name, ExecBackend::BBCache);
+        const json::Value reference = statsDocument(*interp, 1);
+        expectJsonEqual(reference, statsDocument(*bbcache, 1),
+                        "stats");
+        expectJsonEqual(reference, statsDocument(*sharded, 3),
+                        "stats(window-jobs=3)");
+    }
+}
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Block-cache backend tests: backend selection is strict, fused
+ * superinstructions are architecturally equivalent (including the
+ * $zero-destination edge cases), instruction budgets that end inside a
+ * block retire exactly, stores into translated pages invalidate and
+ * retranslate, and the capacity bound evicts without changing results.
+ */
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "asm/program.hh"
+#include "sim/bbcache.hh"
+#include "sim/machine.hh"
+#include "sim_test_util.hh"
+#include "support/logging.hh"
+
+namespace irep
+{
+namespace
+{
+
+using sim::ExecBackend;
+using test::TestRun;
+
+/** Run @p source to completion under @p backend. */
+TestRun
+runWith(const std::string &source, ExecBackend backend,
+        uint64_t max_instructions = 1'000'000)
+{
+    TestRun run(source);
+    run.machine().setExecBackend(backend);
+    run.run(max_instructions);
+    return run;
+}
+
+/** The architectural state two backends must agree on. */
+void
+expectSameState(sim::Machine &a, sim::Machine &b)
+{
+    for (unsigned r = 0; r < 32; ++r)
+        EXPECT_EQ(a.reg(r), b.reg(r)) << "register " << r;
+    EXPECT_EQ(a.hi(), b.hi());
+    EXPECT_EQ(a.lo(), b.lo());
+    EXPECT_EQ(a.pc(), b.pc());
+    EXPECT_EQ(a.instret(), b.instret());
+    EXPECT_EQ(a.halted(), b.halted());
+    EXPECT_EQ(a.exitCode(), b.exitCode());
+    EXPECT_EQ(a.output(), b.output());
+}
+
+/** Both backends run @p source; the states must be identical. */
+void
+expectBackendsAgree(const std::string &source)
+{
+    TestRun interp = runWith(source, ExecBackend::Interp);
+    TestRun bbcache = runWith(source, ExecBackend::BBCache);
+    expectSameState(interp.machine(), bbcache.machine());
+}
+
+TEST(ExecBackend, ParseIsStrict)
+{
+    EXPECT_EQ(sim::parseExecBackend("--exec", "interp"),
+              ExecBackend::Interp);
+    EXPECT_EQ(sim::parseExecBackend("--exec", "bbcache"),
+              ExecBackend::BBCache);
+    EXPECT_THROW(sim::parseExecBackend("--exec", "fast"), FatalError);
+    EXPECT_THROW(sim::parseExecBackend("--exec", ""), FatalError);
+    EXPECT_THROW(sim::parseExecBackend("--exec", "BBCACHE"),
+                 FatalError);
+}
+
+TEST(ExecBackend, EnvironmentDefault)
+{
+    ::unsetenv("IREP_EXEC");
+    EXPECT_EQ(sim::envExecBackend(), ExecBackend::Interp);
+    ::setenv("IREP_EXEC", "", 1);
+    EXPECT_EQ(sim::envExecBackend(), ExecBackend::Interp);
+    ::setenv("IREP_EXEC", "bbcache", 1);
+    EXPECT_EQ(sim::envExecBackend(), ExecBackend::BBCache);
+    {
+        TestRun run("li $t0, 7");
+        EXPECT_EQ(run.machine().execBackend(), ExecBackend::BBCache);
+    }
+    ::setenv("IREP_EXEC", "turbo", 1);
+    EXPECT_THROW(sim::envExecBackend(), FatalError);
+    ::unsetenv("IREP_EXEC");
+}
+
+TEST(BBCache, LuiOriFusesToFullConstant)
+{
+    const std::string src =
+        "lui $t0, 0x1234\n"
+        "ori $t0, $t0, 0x5678\n";
+    TestRun run = runWith(src, ExecBackend::BBCache);
+    EXPECT_EQ(run.machine().reg(8), 0x12345678u);
+    expectBackendsAgree(src);
+}
+
+TEST(BBCache, LuiAddiuFusesWithSignExtension)
+{
+    const std::string src =
+        "lui $t0, 0x1234\n"
+        "addiu $t0, $t0, -4\n";
+    TestRun run = runWith(src, ExecBackend::BBCache);
+    EXPECT_EQ(run.machine().reg(8), 0x1233fffcu);
+    expectBackendsAgree(src);
+}
+
+// lui feeding a *different* destination must not collapse into one
+// constant: the intermediate high half is architecturally visible.
+TEST(BBCache, LuiOriDifferentDestKeepsIntermediate)
+{
+    const std::string src =
+        "lui $t0, 0x00ff\n"
+        "ori $t1, $t0, 0x0001\n";
+    TestRun run = runWith(src, ExecBackend::BBCache);
+    EXPECT_EQ(run.machine().reg(8), 0x00ff0000u);
+    EXPECT_EQ(run.machine().reg(9), 0x00ff0001u);
+    expectBackendsAgree(src);
+}
+
+// Writes to $zero land in the sink slot; reads must still see zero.
+TEST(BBCache, ZeroRegisterWritesAreDiscarded)
+{
+    const std::string src =
+        "li $t1, 41\n"
+        "lui $zero, 0x1234\n"
+        "ori $zero, $zero, 0x5678\n"
+        "addiu $zero, $zero, 99\n"
+        "addu $t0, $t1, $zero\n";
+    TestRun run = runWith(src, ExecBackend::BBCache);
+    EXPECT_EQ(run.machine().reg(0), 0u);
+    EXPECT_EQ(run.machine().reg(8), 41u);
+    expectBackendsAgree(src);
+}
+
+// slt/sltu + branch fuse, but the comparison register stays written —
+// it is architecturally live after the branch.
+TEST(BBCache, CompareBranchFusionKeepsCondRegister)
+{
+    const std::string src =
+        "li $t1, 3\n"
+        "li $t2, 0\n"
+        "loop:\n"
+        "addiu $t2, $t2, 10\n"
+        "addiu $t1, $t1, -1\n"
+        "slt $t0, $zero, $t1\n"
+        "bne $t0, $zero, loop\n"
+        "sltu $t3, $t1, $t2\n"
+        "beq $t3, $zero, skip\n"
+        "addiu $t2, $t2, 1\n"
+        "skip:\n";
+    TestRun run = runWith(src, ExecBackend::BBCache);
+    EXPECT_EQ(run.machine().reg(8), 0u);    // final slt result
+    EXPECT_EQ(run.machine().reg(10), 31u);  // 3*10 + 1
+    EXPECT_EQ(run.machine().reg(11), 1u);   // sltu survives the fuse
+    expectBackendsAgree(src);
+}
+
+TEST(BBCache, LoadUseFusionHandlesAliasing)
+{
+    const std::string src =
+        ".data\n"
+        "word: .word 100\n"
+        ".text\n"
+        "la $t1, word\n"
+        "lw $t0, 0($t1)\n"
+        "addiu $t0, $t0, 5\n"       // lw+addiu, same register
+        "lw $t2, 0($t1)\n"
+        "addu $t3, $t2, $t2\n"      // lw+addu, both operands aliased
+        "lw $t4, 0($t1)\n"
+        "addu $t4, $t4, $t0\n";     // lw+addu into the loaded register
+    TestRun run = runWith(src, ExecBackend::BBCache);
+    EXPECT_EQ(run.machine().reg(8), 105u);
+    EXPECT_EQ(run.machine().reg(11), 200u);
+    EXPECT_EQ(run.machine().reg(12), 205u);
+    expectBackendsAgree(src);
+}
+
+// A budget boundary inside a block must retire exactly the budget —
+// the cache single-steps the tail through the interpreter body.
+TEST(BBCache, InstructionBudgetIsExact)
+{
+    const std::string loop =
+        "li $t0, 1000\n"
+        "loop:\n"
+        "addiu $t1, $t1, 3\n"
+        "xor $t2, $t1, $t0\n"
+        "addiu $t0, $t0, -1\n"
+        "bne $t0, $zero, loop\n";
+    TestRun bbcache(loop);
+    bbcache.machine().setExecBackend(ExecBackend::BBCache);
+    TestRun interp(loop);
+
+    // Prime-sized chunks land nearly every boundary mid-block.
+    for (int i = 0; i < 40; ++i) {
+        const uint64_t a = bbcache.machine().run(97);
+        const uint64_t b = interp.machine().run(97);
+        ASSERT_EQ(a, b) << "chunk " << i;
+        ASSERT_EQ(bbcache.machine().instret(),
+                  interp.machine().instret());
+        ASSERT_EQ(bbcache.machine().pc(), interp.machine().pc());
+    }
+    bbcache.run();
+    interp.run();
+    expectSameState(interp.machine(), bbcache.machine());
+}
+
+TEST(BBCache, ObservedExecutionMatchesFastPath)
+{
+    struct Counter : sim::Observer
+    {
+        uint64_t retired = 0;
+        void onRetire(const sim::InstrRecord &) override { ++retired; }
+    };
+    const std::string src =
+        "li $t0, 50\n"
+        "loop:\n"
+        "addiu $t1, $t1, 7\n"
+        "addiu $t0, $t0, -1\n"
+        "bne $t0, $zero, loop\n";
+    TestRun fast = runWith(src, ExecBackend::BBCache);
+    TestRun observed(src);
+    observed.machine().setExecBackend(ExecBackend::BBCache);
+    Counter counter;
+    observed.machine().addObserver(&counter);
+    observed.run();
+    EXPECT_EQ(counter.retired, observed.machine().instret());
+    expectSameState(fast.machine(), observed.machine());
+}
+
+// Self-modifying-code regression: a store into a translated page must
+// invalidate the page's blocks, and the retranslated block must
+// execute identically (translation reads the immutable pre-decode, so
+// only the cache bookkeeping may change).
+TEST(BBCache, StoreIntoTextInvalidatesAndRetranslates)
+{
+    const std::string src =
+        "lui $t3, 0x0040\n"     // textBase = 0x00400000
+        "li $t0, 10\n"
+        "loop:\n"
+        "sw $t0, 0($t3)\n"      // store into the executing page
+        "addiu $t1, $t1, 2\n"
+        "addiu $t0, $t0, -1\n"
+        "bne $t0, $zero, loop\n";
+    TestRun run(src);
+    sim::Machine &machine = run.machine();
+    machine.setExecBackend(ExecBackend::BBCache);
+    run.run();
+    EXPECT_EQ(machine.reg(9), 20u);
+    // Every re-entry of the loop block sees a stale generation.
+    EXPECT_GE(machine.blockCache().invalidations(), 5u);
+    expectBackendsAgree(src);
+}
+
+// A read syscall landing its bytes in the text segment must count as
+// stores for invalidation (writeBlock, not write8/16/32).
+TEST(BBCache, ReadSyscallIntoTextInvalidates)
+{
+    // Loop so the block holding the syscall is *re-entered* after its
+    // page was written — only re-entry can observe the stale snapshot.
+    const std::string src =
+        "li $t0, 2\n"
+        "loop:\n"
+        "lui $a0, 0x0040\n"     // read buffer = textBase
+        "li $a1, 4\n"
+        "li $v0, 2\n"
+        "syscall\n"
+        "addiu $t1, $t1, 1\n"
+        "addiu $t0, $t0, -1\n"
+        "bne $t0, $zero, loop\n";
+    TestRun run(src);
+    sim::Machine &machine = run.machine();
+    machine.setExecBackend(ExecBackend::BBCache);
+    machine.setInput("ABCDEFGH");
+    run.run();
+    EXPECT_EQ(machine.reg(9), 2u);
+    EXPECT_GE(machine.blockCache().invalidations(), 1u);
+}
+
+TEST(BBCache, CapacityBoundEvictsWithoutChangingResults)
+{
+    // Four alternating blocks: a bound of one block forces constant
+    // eviction while results must stay exact.
+    const std::string src =
+        "li $t0, 100\n"
+        "loop:\n"
+        "andi $t2, $t0, 1\n"
+        "beq $t2, $zero, even\n"
+        "addiu $t1, $t1, 3\n"
+        "j join\n"
+        "even:\n"
+        "addiu $t1, $t1, 5\n"
+        "join:\n"
+        "addiu $t0, $t0, -1\n"
+        "bne $t0, $zero, loop\n";
+    TestRun run(src);
+    sim::Machine &machine = run.machine();
+    machine.setExecBackend(ExecBackend::BBCache);
+    machine.blockCache().setCapacity(1);
+    run.run();
+    EXPECT_EQ(machine.reg(9), 400u);    // 50*3 + 50*5
+    EXPECT_GT(machine.blockCache().evictions(), 0u);
+    EXPECT_LE(machine.blockCache().liveBlocks(), 1u);
+
+    TestRun interp = runWith(src, ExecBackend::Interp);
+    expectSameState(interp.machine(), machine);
+}
+
+TEST(BBCache, CountersTrackTranslation)
+{
+    const std::string src =
+        "li $t0, 3\n"
+        "loop:\n"
+        "addiu $t0, $t0, -1\n"
+        "bne $t0, $zero, loop\n";
+    TestRun run(src);
+    sim::Machine &machine = run.machine();
+    machine.setExecBackend(ExecBackend::BBCache);
+    run.run();
+    EXPECT_GT(machine.blockCache().blocksTranslated(), 0u);
+    EXPECT_EQ(machine.blockCache().blocksTranslated(),
+              machine.blockCache().liveBlocks());
+    EXPECT_EQ(machine.blockCache().invalidations(), 0u);
+    EXPECT_EQ(machine.blockCache().evictions(), 0u);
+}
+
+// Faults must surface with the interpreter's exact pc/instret/message.
+TEST(BBCache, FaultsMatchInterpreterDiagnostics)
+{
+    const std::string src =
+        "li $t0, 2\n"
+        "lw $t1, 1($t0)\n";     // misaligned load, mid-block
+    std::string interpWhat, bbcacheWhat;
+    uint64_t interpRetired = 0, bbcacheRetired = 0;
+    uint32_t interpPc = 0, bbcachePc = 0;
+    {
+        TestRun run(src);
+        try {
+            run.run();
+            FAIL() << "expected a fault";
+        } catch (const FatalError &e) {
+            interpWhat = e.what();
+            interpRetired = run.machine().instret();
+            interpPc = run.machine().pc();
+        }
+    }
+    {
+        TestRun run(src);
+        run.machine().setExecBackend(ExecBackend::BBCache);
+        try {
+            run.run();
+            FAIL() << "expected a fault";
+        } catch (const FatalError &e) {
+            bbcacheWhat = e.what();
+            bbcacheRetired = run.machine().instret();
+            bbcachePc = run.machine().pc();
+        }
+    }
+    EXPECT_EQ(interpWhat, bbcacheWhat);
+    EXPECT_EQ(interpRetired, bbcacheRetired);
+    EXPECT_EQ(interpPc, bbcachePc);
+}
+
+// A jump leaving the text segment faults on the *next* fetch: the
+// jump itself has retired and pc names the bad target — the block
+// cache must report exactly the interpreter's state, not the
+// terminator's.
+TEST(BBCache, BlockExitFaultsMatchInterpreterDiagnostics)
+{
+    const std::string src =
+        "li $t0, 0x10000000\n"
+        "jr $t0\n";     // aligned target far outside text
+    std::string interpWhat, bbcacheWhat;
+    uint64_t interpRetired = 0, bbcacheRetired = 0;
+    uint32_t interpPc = 0, bbcachePc = 0;
+    {
+        TestRun run(src);
+        try {
+            run.run();
+            FAIL() << "expected a fault";
+        } catch (const FatalError &e) {
+            interpWhat = e.what();
+            interpRetired = run.machine().instret();
+            interpPc = run.machine().pc();
+        }
+    }
+    {
+        TestRun run(src);
+        run.machine().setExecBackend(ExecBackend::BBCache);
+        try {
+            run.run();
+            FAIL() << "expected a fault";
+        } catch (const FatalError &e) {
+            bbcacheWhat = e.what();
+            bbcacheRetired = run.machine().instret();
+            bbcachePc = run.machine().pc();
+        }
+    }
+    EXPECT_EQ(interpWhat, bbcacheWhat);
+    EXPECT_EQ(interpRetired, bbcacheRetired);
+    EXPECT_EQ(interpPc, bbcachePc);
+}
+
+} // namespace
+} // namespace irep

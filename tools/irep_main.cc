@@ -22,6 +22,9 @@
  *   --skip N           instructions to skip before measuring
  *   --window N         measurement window (default 5,000,000)
  *   --max N            execution cap for `run` (default 1B)
+ *   --exec MODE        simulator backend: `interp` (default) or
+ *                      `bbcache` (basic-block translation cache);
+ *                      IREP_EXEC sets the default
  *   --jobs N           worker threads for `bench all` (default:
  *                      hardware concurrency; 1 = serial)
  *   --window-jobs N    threads sharding the analyses inside each
@@ -53,6 +56,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -97,6 +101,8 @@ struct Options
     unsigned windowJobs = 0;    //!< 0 = IREP_WINDOW_JOBS or serial
     bool skipSet = false;   //!< --skip given explicitly
     bool windowSet = false; //!< --window given explicitly
+    /** --exec backend (unset = the machine's IREP_EXEC default). */
+    std::optional<sim::ExecBackend> exec;
 
     std::string statsJsonFile;
     std::string profileJsonFile;
@@ -196,6 +202,8 @@ parseArgs(int argc, char **argv)
         }
         else if (arg == "--max")
             opts.max = parseU64(arg, next());
+        else if (arg == "--exec")
+            opts.exec = sim::parseExecBackend(arg, next());
         else if (arg == "--jobs") {
             opts.jobs = unsigned(parseU64(arg, next()));
             fatalIf(opts.jobs == 0, "--jobs must be positive");
@@ -276,6 +284,11 @@ parseArgs(int argc, char **argv)
     fatalIf(opts.statsJsonFile == "-" && opts.profileJsonFile == "-",
             "--stats-json and --profile-json cannot both write to "
             "stdout");
+    // The backend only matters where a simulator actually runs.
+    fatalIf(opts.exec.has_value() &&
+                (opts.command == "compile" || opts.command == "disasm"),
+            "--exec only applies to commands that execute "
+            "(run/analyze/bench/record/fuzz)");
     return opts;
 }
 
@@ -353,6 +366,8 @@ cmdRun(const Options &opts)
 {
     const assem::Program program = buildTarget(opts.target);
     sim::Machine machine(program);
+    if (opts.exec)
+        machine.setExecBackend(*opts.exec);
     if (!opts.inputFile.empty())
         machine.setInput(readFile(opts.inputFile));
     Instrumentation instr(opts, machine);
@@ -547,6 +562,8 @@ cmdAnalyze(const Options &opts)
 {
     const assem::Program program = buildTarget(opts.target);
     sim::Machine machine(program);
+    if (opts.exec)
+        machine.setExecBackend(*opts.exec);
     std::string input;
     if (!opts.inputFile.empty()) {
         input = readFile(opts.inputFile);
@@ -573,6 +590,7 @@ cmdBenchAll(const Options &opts)
     config.repetitions = opts.repetitions
         ? opts.repetitions
         : unsigned(parse::envU64("IREP_BENCH_REPS", 1));
+    config.exec = opts.exec;
     bench::Suite suite(config);
 
     const auto &entries = suite.entries();
@@ -631,6 +649,8 @@ cmdBench(const Options &opts)
         return cmdBenchAll(opts);
     const auto &workload = workloads::workloadByName(opts.target);
     sim::Machine machine(workloads::buildProgram(workload));
+    if (opts.exec)
+        machine.setExecBackend(*opts.exec);
     machine.setInput(workload.input);
     std::fprintf(reportStream(opts), "=== irep workload: %s (%s) ===\n",
                  workload.name.c_str(),
@@ -680,6 +700,8 @@ cmdRecord(const Options &opts)
             name = name.substr(0, dot);
     }
     sim::Machine machine(program);
+    if (opts.exec)
+        machine.setExecBackend(*opts.exec);
     machine.setInput(input);
 
     const uint64_t skip = opts.skipSet ? opts.skip : default_skip;
@@ -735,6 +757,7 @@ cmdFuzz(const Options &opts)
     config.reproDir = opts.reproDir;
     config.maxInstructions = opts.max == 1'000'000'000
         ? 100'000'000 : opts.max;   // fuzz default is 100M
+    config.exec = opts.exec;
     config.logEach = opts.verbose;
 
     const fuzz::FuzzReport report = fuzz::runFuzz(config, std::cout);
