@@ -75,10 +75,14 @@ buildEntry(const workloads::Workload &w,
 
 /**
  * Run one entry's pipeline, through the trace cache when enabled: a
- * valid cached trace for this exact (workload, skip, window) key is
- * replayed; otherwise the workload runs live with a TraceWriter
- * attached and publishes its trace for the next run. Entries touch
- * disjoint cache files, so parallel workers need no coordination.
+ * valid cached trace for this exact (workload, skip, window) key —
+ * any readable format version — is replayed; otherwise the workload
+ * runs live with a TraceWriter attached and publishes its trace for
+ * the next run. Suite workers touch disjoint cache files, but the
+ * cache directory may be shared with a serving daemon, so a miss is
+ * recorded under a RecordClaim: exactly one thread simulates, and
+ * every other requester of the same key blocks briefly and then
+ * replays the published file.
  */
 uint64_t
 runEntry(SuiteEntry &entry, const std::string &trace_dir,
@@ -89,15 +93,29 @@ runEntry(SuiteEntry &entry, const std::string &trace_dir,
 
     const uint64_t identity = trace_io::identityHash(
         entry.machine->program(), entry.input);
+
+    const auto replayFrom = [&](trace_io::TraceReader &reader) {
+        entry.traceRawBytes = reader.rawPayloadBytes();
+        entry.traceStoredBytes = reader.storedPayloadBytes();
+        entry.traceInstrRecords = reader.totalInstrRecords();
+        entry.traceFormatVersion = reader.header().version;
+        reader.bind(*entry.machine, entry.input);
+        entry.replayed = true;
+        return entry.pipeline->runFromSource(reader);
+    };
+
+    if (auto reader = trace_io::findCached(trace_dir, entry.name,
+                                           identity, skip, window))
+        return replayFrom(*reader);
+
     const std::string path = trace_io::cachePath(
         trace_dir, entry.name, identity, skip, window);
-
-    if (auto reader =
-            trace_io::openCached(path, identity, skip, window)) {
-        reader->bind(*entry.machine, entry.input);
-        entry.replayed = true;
-        return entry.pipeline->runFromSource(*reader);
-    }
+    trace_io::RecordClaim claim(path);
+    // Whoever held the claim before us may have published the trace
+    // while we blocked; replaying it keeps one simulation per key.
+    if (auto reader = trace_io::findCached(trace_dir, entry.name,
+                                           identity, skip, window))
+        return replayFrom(*reader);
 
     trace_io::TraceWriter writer(path, *entry.machine, entry.input,
                                  skip, window);
@@ -105,6 +123,10 @@ runEntry(SuiteEntry &entry, const std::string &trace_dir,
     const uint64_t executed = entry.pipeline->run();
     entry.machine->removeObserver(&writer);
     writer.commit();
+    entry.traceRawBytes = writer.rawPayloadBytes();
+    entry.traceStoredBytes = writer.storedPayloadBytes();
+    entry.traceInstrRecords = writer.instrRecords();
+    entry.traceFormatVersion = writer.version();
     return executed;
 }
 
@@ -263,6 +285,25 @@ writePerf(json::Writer &w, const SuiteEntry &entry)
     w.field("noise_rel_iqr", stat::relativeIQR(runs));
     w.field("timing_mode",
             entry.timingReplayed ? "replay" : "live");
+    // Trace-store economics whenever the run went through the cache:
+    // raw vs stored payload bytes and bytes-per-instruction, the
+    // numbers BENCH_serve.json and docs/serving.md quote.
+    if (entry.traceInstrRecords != 0) {
+        w.key("trace");
+        w.beginObject();
+        w.field("format_version",
+                uint64_t(entry.traceFormatVersion));
+        w.field("raw_bytes", entry.traceRawBytes);
+        w.field("stored_bytes", entry.traceStoredBytes);
+        w.field("raw_bytes_per_instr",
+                double(entry.traceRawBytes) /
+                    double(entry.traceInstrRecords));
+        w.field("stored_bytes_per_instr",
+                double(entry.traceStoredBytes) /
+                    double(entry.traceInstrRecords));
+        w.field("source", entry.replayed ? "cache" : "recorded");
+        w.endObject();
+    }
     w.endObject();
 }
 

@@ -62,6 +62,14 @@ struct SuiteEntry
     uint64_t windowExecuted = 0;
     bool replayed = false;  //!< served from the trace cache
 
+    // Trace-store economics for the perf block, filled whenever the
+    // run went through the cache (recorded or replayed): payload
+    // bytes before/after compression and the record count they cover.
+    uint64_t traceRawBytes = 0;
+    uint64_t traceStoredBytes = 0;
+    uint64_t traceInstrRecords = 0;
+    uint32_t traceFormatVersion = 0;
+
     /** Wall-clock skip+window seconds of every timed run. One entry
      *  (the stats pass itself) at repetitions=1; otherwise one per
      *  dedicated timing pass. */

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Measure the trace store's compression across the workload suite.
+
+Runs a cold `irep bench all` pass with the trace cache enabled so
+every workload records a format-v2 trace, then distills the per-
+workload `perf.trace` blocks (raw vs stored payload bytes) into a
+compact report:
+
+    bench_serve.py [--irep build/tools/irep] [--skip N] [--window N]
+        [--codec lz|zstd|store] [--out BENCH_serve.json]
+
+The report is the committed BENCH_serve.json: per-workload bytes per
+instruction raw and stored, plus the suite median. Exits 1 when the
+median stored size reaches 2 bytes per instruction — the trace
+store's economy claim (docs/trace-format.md), enforced rather than
+asserted in prose.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--irep", default="build/tools/irep")
+    parser.add_argument("--skip", type=int, default=100000)
+    parser.add_argument("--window", type=int, default=400000)
+    parser.add_argument("--codec", default=None,
+                        help="IREP_TRACE_CODEC for the recording "
+                             "pass (default: the build's default)")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--max-median", type=float, default=2.0,
+                        help="fail when the median stored "
+                             "bytes/instr reaches this (default 2.0)")
+    args = parser.parse_args(argv[1:])
+
+    with tempfile.TemporaryDirectory(prefix="irep_bench_serve.") as cache:
+        env = dict(os.environ, IREP_TRACE_DIR=cache)
+        if args.codec:
+            env["IREP_TRACE_CODEC"] = args.codec
+        suite_path = os.path.join(cache, "suite.json")
+        subprocess.run(
+            [args.irep, "bench", "all",
+             "--skip", str(args.skip), "--window", str(args.window),
+             "--stats-json", suite_path],
+            env=env, check=True, stdout=subprocess.DEVNULL)
+        with open(suite_path) as f:
+            suite = json.load(f)
+
+    workloads = {}
+    for name, doc in sorted(suite["workloads"].items()):
+        trace = doc.get("perf", {}).get("trace")
+        if trace is None:
+            sys.exit(f"workload {name!r} has no perf.trace block — "
+                     f"was the cache really cold?")
+        if trace["source"] != "recorded":
+            sys.exit(f"workload {name!r} replayed instead of "
+                     f"recording; ratios would not be this build's")
+        workloads[name] = {
+            "format_version": trace["format_version"],
+            "raw_bytes": trace["raw_bytes"],
+            "stored_bytes": trace["stored_bytes"],
+            "raw_bytes_per_instr":
+                round(trace["raw_bytes_per_instr"], 4),
+            "stored_bytes_per_instr":
+                round(trace["stored_bytes_per_instr"], 4),
+            "compression_ratio":
+                round(trace["raw_bytes"] / trace["stored_bytes"], 2)
+                if trace["stored_bytes"] else 0.0,
+        }
+
+    stored = [w["stored_bytes_per_instr"] for w in workloads.values()]
+    raw = [w["raw_bytes_per_instr"] for w in workloads.values()]
+    report = {
+        "schema": "irep-serve-bench-1",
+        "config": {"skip": args.skip, "window": args.window,
+                   "codec": args.codec or "default"},
+        "workloads": workloads,
+        "median_raw_bytes_per_instr":
+            round(statistics.median(raw), 4),
+        "median_stored_bytes_per_instr":
+            round(statistics.median(stored), 4),
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    for name, w in workloads.items():
+        print(f"  {name:10s} {w['raw_bytes_per_instr']:6.2f} B/instr "
+              f"raw -> {w['stored_bytes_per_instr']:6.2f} stored "
+              f"({w['compression_ratio']:.1f}x, "
+              f"v{w['format_version']})")
+    median = report["median_stored_bytes_per_instr"]
+    print(f"\nmedian stored: {median:.2f} B/instr "
+          f"(limit {args.max_median}) -> {args.out}")
+    if median >= args.max_median:
+        print(f"FAIL: median stored bytes/instr {median:.2f} is not "
+              f"under {args.max_median}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the `irep serve` daemon.
+
+    serve_smoke.py [--irep build/tools/irep] [--jobs N]
+
+Starts a daemon against a cold trace cache and drives the full
+client surface from outside the process — the things the in-process
+tests (tests/serve/) cannot pin:
+
+  * /health, /version, /metrics answer over real sockets;
+  * a stampede of identical cold /analyze requests all succeed, agree
+    byte-for-byte modulo wall-clock fields, and cost exactly ONE
+    simulation (the /metrics counter is the proof);
+  * a daemon answer equals `irep bench --stats-json` for the same
+    config (compare_stats.py exact mode);
+  * /batch answers every request in order;
+  * a malformed request is a 400, and the daemon keeps serving;
+  * SIGTERM drains: the daemon exits 0 by itself.
+
+Exits nonzero on the first violated expectation.
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+from compare_stats import strip_timing, diff
+
+SKIP, WINDOW = 50000, 200000
+BODY = json.dumps(
+    {"workload": "compress", "skip": SKIP, "window": WINDOW})
+
+
+def request(port, method, path, body=None):
+    """One HTTP exchange; returns (status, parsed JSON body)."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body.encode() if body is not None else None,
+        method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=120) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as e:
+        return e.code, json.load(e)
+
+
+def expect(condition, message):
+    if not condition:
+        sys.exit(f"serve_smoke: FAIL: {message}")
+    print(f"  ok: {message}")
+
+
+def expect_same_stats(a, b, message):
+    differences = []
+    diff(strip_timing(a), strip_timing(b), "$", differences)
+    expect(not differences,
+           f"{message} ({len(differences)} differing paths)"
+           if differences else message)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--irep", default="build/tools/irep")
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args(argv[1:])
+
+    with tempfile.TemporaryDirectory(prefix="irep_serve_smoke.") as tmp:
+        daemon = subprocess.Popen(
+            [args.irep, "serve", "--port", "0",
+             "--jobs", str(args.jobs)],
+            env=dict(os.environ,
+                     IREP_TRACE_DIR=os.path.join(tmp, "cache")),
+            stderr=subprocess.PIPE, text=True)
+        try:
+            # The daemon announces its kernel-picked port on stderr.
+            line = daemon.stderr.readline()
+            match = re.search(r"127\.0\.0\.1:(\d+)", line)
+            if not match:
+                sys.exit(f"serve_smoke: no port in banner: {line!r}")
+            port = int(match.group(1))
+            print(f"  daemon on port {port}")
+
+            status, health = request(port, "GET", "/health")
+            expect(status == 200 and health["status"] == "ok",
+                   "/health answers ok")
+
+            status, version = request(port, "GET", "/version")
+            expect(status == 200 and
+                   version["schema"] == "irep-version-1" and
+                   version["schemas"]["stats"] == "irep-stats-1",
+                   "/version reports build identity")
+
+            # The stampede: identical cold requests, all at once.
+            clients = 8
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                results = list(pool.map(
+                    lambda _: request(port, "POST", "/analyze", BODY),
+                    range(clients)))
+            expect(all(status == 200 for status, _ in results),
+                   f"{clients} concurrent cold requests all succeed")
+            for status, doc in results[1:]:
+                expect_same_stats(
+                    results[0][1], doc,
+                    "concurrent answers agree byte-for-byte "
+                    "(timing excluded)")
+
+            status, metrics = request(port, "GET", "/metrics")
+            expect(metrics["simulations"] == 1,
+                   f"stampede cost one simulation "
+                   f"(got {metrics['simulations']})")
+            expect(metrics["cache_hits"] == clients - 1,
+                   "every other request replayed from the cache")
+            expect(metrics["errors"] == 0, "no errors so far")
+
+            # A warm repeat must not simulate either.
+            status, warm = request(port, "POST", "/analyze", BODY)
+            expect(status == 200, "warm repeat succeeds")
+            _, metrics = request(port, "GET", "/metrics")
+            expect(metrics["simulations"] == 1,
+                   "warm repeat did not re-simulate")
+
+            # The contract: a daemon answer is a CLI answer.
+            cli_path = os.path.join(tmp, "cli.json")
+            subprocess.run(
+                [args.irep, "bench", "compress",
+                 "--skip", str(SKIP), "--window", str(WINDOW),
+                 "--stats-json", cli_path],
+                check=True, stdout=subprocess.DEVNULL)
+            with open(cli_path) as f:
+                cli_doc = json.load(f)
+            expect_same_stats(cli_doc, warm,
+                             "daemon answer equals the CLI's "
+                             "--stats-json document")
+
+            # Batch: in-order answers, second entry warm.
+            batch = json.dumps({"requests": [
+                json.loads(BODY),
+                {"workload": "compress", "skip": SKIP,
+                 "window": WINDOW // 2},
+            ]})
+            status, doc = request(port, "POST", "/batch", batch)
+            expect(status == 200 and
+                   doc["schema"] == "irep-serve-batch-1" and
+                   len(doc["results"]) == 2 and
+                   doc["results"][0]["config"]["window"] == WINDOW and
+                   doc["results"][1]["config"]["window"] == WINDOW // 2,
+                   "/batch answers both requests in order")
+
+            # Client mistakes are 400s, and the daemon survives them.
+            status, error = request(port, "POST", "/analyze",
+                                    '{"workload": "no-such"}')
+            expect(status == 400 and "error" in error,
+                   "unknown workload is a 400")
+            status, _ = request(port, "GET", "/health")
+            expect(status == 200, "daemon still serves after a 400")
+
+            # Graceful drain: SIGTERM, then the process exits 0 on
+            # its own.
+            daemon.send_signal(signal.SIGTERM)
+            expect(daemon.wait(timeout=60) == 0,
+                   "SIGTERM drains and exits 0")
+            banner = daemon.stderr.read()
+            expect("served" in banner,
+                   f"exit banner summarizes the run: "
+                   f"{banner.strip().splitlines()[-1]!r}")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+    print("serve_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

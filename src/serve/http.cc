@@ -1,0 +1,374 @@
+#include "serve/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+#include "support/parse.hh"
+
+namespace irep::serve
+{
+namespace
+{
+
+// Anyone can connect to the loopback port, so the parser treats every
+// byte as hostile: hard caps on header and body size, strict framing,
+// and errors that close the connection instead of trusting a retry.
+constexpr size_t maxHeaderBytes = 64 * 1024;
+constexpr size_t maxBodyBytes = 256 * 1024 * 1024;
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 202: return "Accepted";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 413: return "Payload Too Large";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+      default: return "Unknown";
+    }
+}
+
+bool
+sendAll(int fd, const char *data, size_t size)
+{
+    while (size > 0) {
+        // MSG_NOSIGNAL: a peer that closed early must surface as an
+        // EPIPE return, never as a process-killing SIGPIPE.
+        const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += sent;
+        size -= size_t(sent);
+    }
+    return true;
+}
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return char(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t begin = 0, end = s.size();
+    while (begin < end && std::isspace((unsigned char)s[begin]))
+        ++begin;
+    while (end > begin && std::isspace((unsigned char)s[end - 1]))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+/** Parse the head (request line + headers) already split off the
+ *  stream. @return false with @p error on malformed syntax. */
+bool
+parseHead(const std::string &head, HttpRequest &request,
+          std::string &error)
+{
+    size_t lineEnd = head.find("\r\n");
+    if (lineEnd == std::string::npos) {
+        error = "malformed request line";
+        return false;
+    }
+    const std::string requestLine = head.substr(0, lineEnd);
+    const size_t sp1 = requestLine.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? sp1 : requestLine.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        error = "malformed request line";
+        return false;
+    }
+    request.method = requestLine.substr(0, sp1);
+    std::string target = requestLine.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string protocol = requestLine.substr(sp2 + 1);
+    if (protocol.rfind("HTTP/1.", 0) != 0) {
+        error = "unsupported protocol '" + protocol + "'";
+        return false;
+    }
+    if (request.method.empty() || target.empty() || target[0] != '/') {
+        error = "malformed request target";
+        return false;
+    }
+    const size_t qmark = target.find('?');
+    if (qmark != std::string::npos) {
+        request.query = target.substr(qmark + 1);
+        target.resize(qmark);
+    }
+    request.path = target;
+
+    size_t pos = lineEnd + 2;
+    while (pos < head.size()) {
+        lineEnd = head.find("\r\n", pos);
+        if (lineEnd == std::string::npos)
+            lineEnd = head.size();
+        const std::string line = head.substr(pos, lineEnd - pos);
+        pos = lineEnd + 2;
+        if (line.empty())
+            continue;
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+            error = "malformed header line";
+            return false;
+        }
+        request.headers[toLower(trim(line.substr(0, colon)))] =
+            trim(line.substr(colon + 1));
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+HttpRequest::queryParam(const std::string &name) const
+{
+    size_t pos = 0;
+    while (pos < query.size()) {
+        size_t end = query.find('&', pos);
+        if (end == std::string::npos)
+            end = query.size();
+        const std::string pair = query.substr(pos, end - pos);
+        pos = end + 1;
+        const size_t eq = pair.find('=');
+        if (eq != std::string::npos && pair.substr(0, eq) == name)
+            return pair.substr(eq + 1);
+    }
+    return "";
+}
+
+Listener::Listener(uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(fd < 0, "serve: cannot create socket: ",
+            std::strerror(errno));
+
+    // The daemon restarts often during development; without
+    // SO_REUSEADDR every restart would trip over its predecessor's
+    // TIME_WAIT sockets.
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, (const sockaddr *)&addr, sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("serve: cannot bind 127.0.0.1:", port, ": ",
+              std::strerror(err));
+    }
+    if (::listen(fd, 64) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("serve: cannot listen on port ", port, ": ",
+              std::strerror(err));
+    }
+
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, (sockaddr *)&bound, &len) == 0)
+        port_ = ntohs(bound.sin_port);
+    else
+        port_ = port;
+    fd_.store(fd);
+}
+
+Listener::~Listener()
+{
+    close();
+}
+
+int
+Listener::accept()
+{
+    for (;;) {
+        const int fd = fd_.load();
+        if (fd < 0)
+            return -1;
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn >= 0)
+            return conn;
+        if (errno == EINTR)
+            continue;
+        // close() shut the socket down under us: clean stop.
+        return -1;
+    }
+}
+
+void
+Listener::close()
+{
+    const int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+        // shutdown() first so a concurrently blocked accept() wakes
+        // immediately instead of waiting for the next connection.
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+}
+
+bool
+readRequest(int fd, HttpRequest &request, std::string &error)
+{
+    std::string buffer;
+    size_t headEnd;
+    char chunk[8192];
+    for (;;) {
+        headEnd = buffer.find("\r\n\r\n");
+        if (headEnd != std::string::npos)
+            break;
+        if (buffer.size() > maxHeaderBytes) {
+            error = "request head exceeds " +
+                    std::to_string(maxHeaderBytes) + " bytes";
+            return false;
+        }
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0) {
+            error = "peer closed before a full request arrived";
+            return false;
+        }
+        buffer.append(chunk, size_t(got));
+    }
+
+    if (!parseHead(buffer.substr(0, headEnd + 2), request, error))
+        return false;
+
+    uint64_t contentLength = 0;
+    const auto it = request.headers.find("content-length");
+    if (it != request.headers.end()) {
+        try {
+            contentLength = parse::parseU64("Content-Length",
+                                            it->second);
+        } catch (const FatalError &e) {
+            error = e.what();
+            return false;
+        }
+    }
+    if (contentLength > maxBodyBytes) {
+        error = "request body exceeds " +
+                std::to_string(maxBodyBytes) + " bytes";
+        return false;
+    }
+
+    request.body = buffer.substr(headEnd + 4);
+    while (request.body.size() < contentLength) {
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0) {
+            error = "peer closed mid-body";
+            return false;
+        }
+        request.body.append(chunk, size_t(got));
+    }
+    if (request.body.size() > contentLength) {
+        // Pipelined second request: unsupported, and silently reading
+        // it as body bytes would corrupt both requests.
+        error = "request body exceeds its Content-Length";
+        return false;
+    }
+    return true;
+}
+
+void
+writeResponse(int fd, const HttpResponse &response)
+{
+    std::string head = "HTTP/1.1 " + std::to_string(response.status) +
+                       " " + statusText(response.status) + "\r\n" +
+                       "Content-Type: " + response.contentType +
+                       "\r\n" + "Content-Length: " +
+                       std::to_string(response.body.size()) + "\r\n" +
+                       "Connection: close\r\n\r\n";
+    if (sendAll(fd, head.data(), head.size()))
+        sendAll(fd, response.body.data(), response.body.size());
+}
+
+HttpResponse
+httpRequest(uint16_t port, const std::string &method,
+            const std::string &target, const std::string &body)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(fd < 0, "client: cannot create socket: ",
+            std::strerror(errno));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, (const sockaddr *)&addr, sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("client: cannot connect to 127.0.0.1:", port, ": ",
+              std::strerror(err));
+    }
+
+    const std::string head = method + " " + target + " HTTP/1.1\r\n" +
+                             "Host: 127.0.0.1\r\n" +
+                             "Content-Length: " +
+                             std::to_string(body.size()) +
+                             "\r\n\r\n";
+    if (!sendAll(fd, head.data(), head.size()) ||
+        !sendAll(fd, body.data(), body.size())) {
+        const int err = errno;
+        ::close(fd);
+        fatal("client: send failed: ", std::strerror(err));
+    }
+
+    // Connection: close framing — read until EOF, then parse.
+    std::string raw;
+    char chunk[8192];
+    for (;;) {
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0)
+            break;
+        raw.append(chunk, size_t(got));
+    }
+    ::close(fd);
+
+    const size_t headEnd = raw.find("\r\n\r\n");
+    fatalIf(headEnd == std::string::npos,
+            "client: malformed response from port ", port);
+    const size_t statusAt = raw.find(' ');
+    fatalIf(statusAt == std::string::npos || statusAt > headEnd,
+            "client: malformed status line from port ", port);
+
+    HttpResponse response;
+    response.status =
+        int(parse::parseU64("status", raw.substr(statusAt + 1, 3)));
+    response.body = raw.substr(headEnd + 4);
+    const std::string headLower = toLower(raw.substr(0, headEnd));
+    const size_t ct = headLower.find("content-type:");
+    if (ct != std::string::npos) {
+        const size_t eol = raw.find("\r\n", ct);
+        response.contentType =
+            trim(raw.substr(ct + 13, eol - ct - 13));
+    }
+    return response;
+}
+
+} // namespace irep::serve

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The daemon's wire layer: a deliberately minimal HTTP/1.1 subset
+ * over POSIX sockets — enough for `irep serve` and its clients, with
+ * no external dependency.
+ *
+ * Supported: one request per connection (`Connection: close` on every
+ * response), request bodies sized by Content-Length, and
+ * percent-free query strings. Not supported, by design: keep-alive,
+ * chunked transfer, TLS, and multi-line headers — a curl/python
+ * client speaks this subset without noticing, and the parser stays
+ * small enough to audit.
+ *
+ * The listener binds the loopback interface only: the daemon serves
+ * analysis results, not authentication, so it must never be reachable
+ * off-host by default.
+ */
+
+#ifndef IREP_SERVE_HTTP_HH
+#define IREP_SERVE_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace irep::serve
+{
+
+/** One parsed request. Header names are lower-cased on parse. */
+struct HttpRequest
+{
+    std::string method;     //!< "GET", "POST", ...
+    std::string path;       //!< target up to '?', e.g. "/analyze"
+    std::string query;      //!< raw text after '?', "" when absent
+    std::string body;
+    std::map<std::string, std::string> headers;
+
+    /** The value of `name` in the query string ("" when absent);
+     *  query syntax is `k=v&k=v` with no percent-decoding. */
+    std::string queryParam(const std::string &name) const;
+};
+
+/** One response; writeResponse() adds the framing headers. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+};
+
+/** TCP listening socket bound to 127.0.0.1. */
+class Listener
+{
+  public:
+    /** Bind and listen; @p port 0 picks an ephemeral port. fatal()
+     *  when the port is taken or the socket cannot be created. */
+    explicit Listener(uint16_t port);
+    ~Listener();
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /** The bound port (the kernel's choice when 0 was requested). */
+    uint16_t port() const { return port_; }
+
+    /** Block for the next connection. @return a connected fd the
+     *  caller owns, or -1 once close() has been called. */
+    int accept();
+
+    /** Stop accepting: wakes any blocked accept() with -1. Safe to
+     *  call from another thread; idempotent. */
+    void close();
+
+  private:
+    std::atomic<int> fd_{-1};
+    uint16_t port_ = 0;
+};
+
+/**
+ * Read and parse one request from @p fd.
+ * @return false (with @p error set) on malformed input, oversized
+ *         header/body, or a peer that hung up mid-request — never
+ *         fatal: one bad client must not take the daemon down.
+ */
+bool readRequest(int fd, HttpRequest &request, std::string &error);
+
+/** Serialize and send @p response (Content-Length framing,
+ *  `Connection: close`). Send errors are swallowed: the peer may
+ *  legitimately have gone away, and SIGPIPE is suppressed per-send
+ *  with MSG_NOSIGNAL. */
+void writeResponse(int fd, const HttpResponse &response);
+
+/**
+ * Minimal blocking client for tests and smoke scripts: one request
+ * to 127.0.0.1:@p port, the parsed response back. fatal() when the
+ * server cannot be reached or answers gibberish.
+ */
+HttpResponse httpRequest(uint16_t port, const std::string &method,
+                         const std::string &target,
+                         const std::string &body = "");
+
+} // namespace irep::serve
+
+#endif // IREP_SERVE_HTTP_HH

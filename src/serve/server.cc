@@ -1,0 +1,313 @@
+#include "serve/server.hh"
+
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "serve/service.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/prof.hh"
+
+namespace irep::serve
+{
+namespace
+{
+
+std::string
+jsonError(const std::string &message)
+{
+    std::ostringstream out;
+    json::Writer w(out);
+    w.beginObject();
+    w.field("error", message);
+    w.endObject();
+    out << '\n';
+    return out.str();
+}
+
+std::string
+jsonStatus(const char *status)
+{
+    std::ostringstream out;
+    json::Writer w(out);
+    w.beginObject();
+    w.field("status", status);
+    w.endObject();
+    out << '\n';
+    return out.str();
+}
+
+} // namespace
+
+Server::Server(const ServerConfig &config)
+    : config_(config), listener_(config.port)
+{
+    if (config_.threads == 0)
+        config_.threads = parallel::defaultJobs();
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    panicIf(started_, "Server::start() called twice");
+    started_ = true;
+    pool_ = std::make_unique<parallel::ThreadPool>(config_.threads);
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::requestStop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stopMutex_);
+        stopRequested_.store(true);
+    }
+    stopCv_.notify_all();
+}
+
+void
+Server::waitForStop()
+{
+    std::unique_lock<std::mutex> lock(stopMutex_);
+    stopCv_.wait(lock, [this] { return stopRequested_.load(); });
+}
+
+void
+Server::stop()
+{
+    if (stopped_)
+        return;
+    stopped_ = true;
+    requestStop();
+    // Order matters for a graceful drain: close the listener (no new
+    // connections, acceptor unblocks), join the acceptor (no more
+    // submissions), then stop the pool — which finishes every queued
+    // and in-flight request before joining its workers.
+    listener_.close();
+    if (acceptor_.joinable())
+        acceptor_.join();
+    if (pool_)
+        pool_->stop();
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        const int conn = listener_.accept();
+        if (conn < 0)
+            return;
+        pool_->submit([this, conn] { handleConnection(conn); });
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    counters_.inFlight.fetch_add(1);
+    HttpRequest request;
+    std::string error;
+    HttpResponse response;
+    if (!readRequest(fd, request, error)) {
+        counters_.errors.fetch_add(1);
+        response.status = 400;
+        response.body = jsonError(error);
+    } else {
+        counters_.requests.fetch_add(1);
+        response = route(request);
+    }
+    writeResponse(fd, response);
+    ::close(fd);
+    counters_.inFlight.fetch_sub(1);
+}
+
+HttpResponse
+Server::route(const HttpRequest &request)
+{
+    HttpResponse response;
+    try {
+        if (request.path == "/health" && request.method == "GET") {
+            response.body = jsonStatus("ok");
+        } else if (request.path == "/version" &&
+                   request.method == "GET") {
+            std::ostringstream out;
+            json::Writer w(out);
+            writeVersionDoc(w);
+            out << '\n';
+            response.body = out.str();
+        } else if (request.path == "/metrics" &&
+                   request.method == "GET") {
+            response = metricsResponse();
+        } else if (request.path == "/analyze" &&
+                   request.method == "POST") {
+            response = handleAnalyze(request);
+        } else if (request.path == "/analyze/trace" &&
+                   request.method == "POST") {
+            response = handleAnalyzeTrace(request);
+        } else if (request.path == "/batch" &&
+                   request.method == "POST") {
+            response = handleBatch(request);
+        } else if (request.path == "/shutdown" &&
+                   request.method == "POST") {
+            requestStop();
+            response.status = 202;
+            response.body = jsonStatus("stopping");
+        } else {
+            response.status = 404;
+            response.body = jsonError("no such endpoint: " +
+                                      request.method + " " +
+                                      request.path);
+        }
+    } catch (const FatalError &e) {
+        // The request was wrong (unknown workload, bad JSON, key
+        // conflict): the client's fault, the daemon keeps serving.
+        response = HttpResponse();
+        response.status = 400;
+        response.body = jsonError(e.what());
+    } catch (const std::exception &e) {
+        response = HttpResponse();
+        response.status = 500;
+        response.body = jsonError(e.what());
+    }
+    if (response.status >= 400)
+        counters_.errors.fetch_add(1);
+    return response;
+}
+
+HttpResponse
+Server::handleAnalyze(const HttpRequest &request)
+{
+    const AnalysisRequest parsed =
+        parseAnalysisRequest(json::parse(request.body));
+    const AnalysisOutcome outcome = runAnalysis(parsed);
+    counters_.analyses.fetch_add(1);
+    if (outcome.simulated)
+        counters_.simulations.fetch_add(1);
+    if (outcome.cacheHit)
+        counters_.cacheHits.fetch_add(1);
+    if (outcome.recorded)
+        counters_.recorded.fetch_add(1);
+    HttpResponse response;
+    response.body = outcome.statsJson;
+    return response;
+}
+
+HttpResponse
+Server::handleAnalyzeTrace(const HttpRequest &request)
+{
+    const std::string workload = request.queryParam("workload");
+    fatalIf(workload.empty(),
+            "POST /analyze/trace needs ?workload=<name>");
+    fatalIf(request.body.empty(), "trace upload body is empty");
+
+    // Land the upload in a private temporary; the reader wants a
+    // file, and the upload must never collide with the cache.
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::temp_directory_path() /
+         ("irep_upload." + std::to_string(::getpid()) + "." +
+          std::to_string(uploadSeq_.fetch_add(1)) + ".irtrace"))
+            .string();
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        fatalIf(!out, "cannot stage trace upload at '", path, "'");
+        out.write(request.body.data(),
+                  std::streamsize(request.body.size()));
+        fatalIf(!out, "cannot write trace upload to '", path, "'");
+    }
+
+    AnalysisRequest parsed;
+    parsed.workload = workload;
+    parsed.fromTracePath = path;
+    HttpResponse response;
+    try {
+        const AnalysisOutcome outcome = runAnalysis(parsed);
+        counters_.analyses.fetch_add(1);
+        response.body = outcome.statsJson;
+    } catch (...) {
+        std::error_code ec;
+        fs::remove(path, ec);
+        throw;
+    }
+    std::error_code ec;
+    fs::remove(path, ec);
+    return response;
+}
+
+HttpResponse
+Server::handleBatch(const HttpRequest &request)
+{
+    const json::Value doc = json::parse(request.body);
+    fatalIf(!doc.isObject() || !doc.contains("requests"),
+            "batch body must be {\"requests\": [...]}");
+    const json::Value &list = doc.at("requests");
+    fatalIf(!list.isArray(), "\"requests\" must be an array");
+
+    // Parse everything first so a malformed entry rejects the whole
+    // batch before any simulation starts.
+    std::vector<AnalysisRequest> parsed;
+    parsed.reserve(list.size());
+    for (const json::Value &entry : list.elements())
+        parsed.push_back(parseAnalysisRequest(entry));
+
+    // Entries run in order on this worker; concurrency comes from
+    // the connection level (and repeats within the batch hit the
+    // cache the first entry just recorded).
+    std::string body = "{\"schema\": \"irep-serve-batch-1\",\n"
+                       "\"results\": [\n";
+    for (size_t i = 0; i < parsed.size(); ++i) {
+        const AnalysisOutcome outcome = runAnalysis(parsed[i]);
+        counters_.analyses.fetch_add(1);
+        if (outcome.simulated)
+            counters_.simulations.fetch_add(1);
+        if (outcome.cacheHit)
+            counters_.cacheHits.fetch_add(1);
+        if (outcome.recorded)
+            counters_.recorded.fetch_add(1);
+        if (i > 0)
+            body += ",\n";
+        body += outcome.statsJson;
+    }
+    body += "]}\n";
+    HttpResponse response;
+    response.body = body;
+    return response;
+}
+
+HttpResponse
+Server::metricsResponse()
+{
+    std::ostringstream out;
+    json::Writer w(out);
+    w.beginObject();
+    w.field("schema", "irep-serve-metrics-1");
+    w.field("port", unsigned(port()));
+    w.field("threads", config_.threads);
+    w.field("requests", counters_.requests.load());
+    w.field("analyses", counters_.analyses.load());
+    w.field("simulations", counters_.simulations.load());
+    w.field("cache_hits", counters_.cacheHits.load());
+    w.field("recorded", counters_.recorded.load());
+    w.field("errors", counters_.errors.load());
+    w.field("in_flight", counters_.inFlight.load());
+    if (prof::enabled()) {
+        w.key("profile");
+        prof::writeSummary(w);
+    }
+    w.endObject();
+    out << '\n';
+    HttpResponse response;
+    response.body = out.str();
+    return response;
+}
+
+} // namespace irep::serve

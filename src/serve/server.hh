@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The `irep serve` daemon: an acceptor thread feeding a worker pool
+ * (support/parallel.hh), every worker answering one connection at a
+ * time through the wire layer (http.hh) and the analysis service
+ * (service.hh).
+ *
+ * Endpoints:
+ *   GET  /health          liveness: `{"status": "ok"}`
+ *   GET  /version         the writeVersionDoc() document
+ *   GET  /metrics         request/simulation/cache counters, plus the
+ *                         `irep-prof-1` summary when the profiler is on
+ *   POST /analyze         body `{"workload": ..., "skip"?, "window"?,
+ *                         "window_jobs"?, "from_trace"?}` -> the
+ *                         irep-stats-1 document, byte-identical to the
+ *                         equivalent `irep bench ... --stats-json -`
+ *   POST /analyze/trace?workload=N   body = raw trace bytes -> same
+ *   POST /batch           body `{"requests": [...]}` -> every result,
+ *                         in request order
+ *   POST /shutdown        graceful stop: in-flight requests drain
+ *
+ * Lifecycle: start() spawns the threads and returns; stop() drains
+ * and joins (idempotent). A client's /shutdown and the CLI's signal
+ * handler both just call requestStop(); whoever owns the server
+ * notices via stopRequested() and calls stop(). The listener binds
+ * loopback only.
+ */
+
+#ifndef IREP_SERVE_SERVER_HH
+#define IREP_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/http.hh"
+#include "support/parallel.hh"
+
+namespace irep::serve
+{
+
+struct ServerConfig
+{
+    uint16_t port = 0;      //!< 0 = ephemeral (tests); port() tells
+    unsigned threads = 0;   //!< request workers; 0 = defaultJobs()
+};
+
+/** Monotonic request-handling counters, exposed at /metrics. */
+struct ServerCounters
+{
+    std::atomic<uint64_t> requests{0};      //!< HTTP requests parsed
+    std::atomic<uint64_t> analyses{0};      //!< analysis runs served
+    std::atomic<uint64_t> simulations{0};   //!< ran the simulator
+    std::atomic<uint64_t> cacheHits{0};     //!< replayed a cache entry
+    std::atomic<uint64_t> recorded{0};      //!< published a new entry
+    std::atomic<uint64_t> errors{0};        //!< 4xx/5xx responses
+    std::atomic<uint64_t> inFlight{0};      //!< being handled now
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerConfig &config);
+
+    /** Calls stop(). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** The bound port — available immediately after construction. */
+    uint16_t port() const { return listener_.port(); }
+
+    /** Spawn the acceptor and worker pool. */
+    void start();
+
+    /** Ask the server to stop; returns immediately. Thread- and
+     *  signal-context-safe for the flag itself (the cv notify happens
+     *  on the caller's thread, so call it from normal context or via
+     *  the CLI's sigtimedwait loop, not from a raw handler). */
+    void requestStop();
+
+    /** Has /shutdown or requestStop() been seen? */
+    bool stopRequested() const { return stopRequested_.load(); }
+
+    /** Block until stopRequested() (the CLI's foreground wait). */
+    void waitForStop();
+
+    /** Stop accepting, drain in-flight requests, join every thread.
+     *  Idempotent. */
+    void stop();
+
+    const ServerCounters &counters() const { return counters_; }
+
+    /** Serve one already-parsed request (tests exercise routing
+     *  without sockets). */
+    HttpResponse route(const HttpRequest &request);
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+    HttpResponse handleAnalyze(const HttpRequest &request);
+    HttpResponse handleAnalyzeTrace(const HttpRequest &request);
+    HttpResponse handleBatch(const HttpRequest &request);
+    HttpResponse metricsResponse();
+
+    ServerConfig config_;
+    Listener listener_;
+    std::unique_ptr<parallel::ThreadPool> pool_;
+    std::thread acceptor_;
+    bool started_ = false;
+    bool stopped_ = false;
+
+    std::atomic<bool> stopRequested_{false};
+    std::mutex stopMutex_;
+    std::condition_variable stopCv_;
+
+    ServerCounters counters_;
+    std::atomic<uint64_t> uploadSeq_{0};    //!< tmp-file uniquifier
+};
+
+} // namespace irep::serve
+
+#endif // IREP_SERVE_SERVER_HH

@@ -1,0 +1,226 @@
+#include "serve/service.hh"
+
+#include <memory>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/prof.hh"
+#include "support/stats.hh"
+#include "support/version.hh"
+#include "trace_io/cache.hh"
+#include "trace_io/reader.hh"
+#include "trace_io/writer.hh"
+#include "workloads/workloads.hh"
+
+namespace irep::serve
+{
+
+AnalysisRequest
+parseAnalysisRequest(const json::Value &doc)
+{
+    fatalIf(!doc.isObject(), "request body must be a JSON object");
+    AnalysisRequest request;
+    for (const auto &[key, value] : doc.members()) {
+        if (key == "workload") {
+            request.workload = value.asString();
+        } else if (key == "skip") {
+            request.skip = value.asU64();
+            request.skipSet = true;
+        } else if (key == "window") {
+            request.window = value.asU64();
+            request.windowSet = true;
+        } else if (key == "window_jobs") {
+            request.windowJobs = unsigned(value.asU64());
+        } else if (key == "from_trace") {
+            request.fromTracePath = value.asString();
+        } else {
+            fatal("unknown request member '", key,
+                  "' (expected workload/skip/window/window_jobs/"
+                  "from_trace)");
+        }
+    }
+    fatalIf(request.workload.empty(),
+            "request must name a workload");
+    fatalIf(request.windowSet && request.window == 0,
+            "window must be positive");
+    return request;
+}
+
+AnalysisOutcome
+runAnalysis(const AnalysisRequest &request)
+{
+    prof::Span span("serve:analyze", "serve");
+    const auto &w = workloads::workloadByName(request.workload);
+    sim::Machine machine(workloads::buildProgram(w));
+    machine.setInput(w.input);
+
+    core::PipelineConfig config;
+    config.skipInstructions = request.skip;
+    config.windowInstructions = request.window;
+    config.windowJobs = request.windowJobs;
+
+    AnalysisOutcome outcome;
+
+    // An explicit trace bypasses the cache: the client already knows
+    // the exact stream it wants analyzed. The trace's skip/window are
+    // adopted, and a conflicting explicit value is an error — same
+    // contract as `irep bench --from-trace` (tools/irep_main.cc).
+    std::unique_ptr<trace_io::TraceReader> reader;
+    if (!request.fromTracePath.empty()) {
+        reader = std::make_unique<trace_io::TraceReader>(
+            request.fromTracePath);
+        const trace_io::TraceHeader &h = reader->header();
+        fatalIf(request.skipSet && request.skip != h.skip,
+                "skip ", request.skip, " conflicts with '",
+                request.fromTracePath, "' (recorded with skip ",
+                h.skip, "); drop it to adopt the trace's value");
+        fatalIf(request.windowSet && request.window != h.window,
+                "window ", request.window, " conflicts with '",
+                request.fromTracePath, "' (recorded with window ",
+                h.window, "); drop it to adopt the trace's value");
+        config.skipInstructions = h.skip;
+        config.windowInstructions = h.window;
+        reader->bind(machine, w.input);
+    }
+
+    core::AnalysisPipeline pipeline(machine, config);
+
+    if (reader) {
+        pipeline.runFromSource(*reader);
+    } else {
+        const std::string dir = trace_io::cacheDir();
+        if (dir.empty()) {
+            pipeline.run();
+            outcome.simulated = true;
+        } else {
+            // Same probe -> claim -> re-probe protocol as
+            // bench::Suite::runEntry: one simulation per key, no
+            // matter how many requests race on it.
+            const uint64_t identity = trace_io::identityHash(
+                machine.program(), w.input);
+            const auto replayFrom =
+                [&](trace_io::TraceReader &cached) {
+                    cached.bind(machine, w.input);
+                    pipeline.runFromSource(cached);
+                    outcome.cacheHit = true;
+                };
+            if (auto cached = trace_io::findCached(
+                    dir, w.name, identity, request.skip,
+                    request.window)) {
+                replayFrom(*cached);
+            } else {
+                const std::string path = trace_io::cachePath(
+                    dir, w.name, identity, request.skip,
+                    request.window);
+                trace_io::RecordClaim claim(path);
+                if (auto cached = trace_io::findCached(
+                        dir, w.name, identity, request.skip,
+                        request.window)) {
+                    replayFrom(*cached);
+                } else {
+                    trace_io::TraceWriter writer(path, machine,
+                                                 w.input,
+                                                 request.skip,
+                                                 request.window);
+                    machine.addObserver(&writer);
+                    pipeline.run();
+                    machine.removeObserver(&writer);
+                    writer.commit();
+                    outcome.simulated = true;
+                    outcome.recorded = true;
+                }
+            }
+        }
+    }
+
+    // The response is the document `irep bench <workload>
+    // --stats-json -` would write for the same config.
+    std::ostringstream out;
+    StatsDocSpec spec;
+    spec.command = "bench";
+    spec.target = request.workload;
+    spec.workload = request.workload;
+    writeStatsDoc(out, pipeline, spec);
+    outcome.statsJson = out.str();
+    return outcome;
+}
+
+void
+writeStatsDoc(std::ostream &out,
+              const core::AnalysisPipeline &pipeline,
+              const StatsDocSpec &spec)
+{
+    json::Writer w(out);
+    w.beginObject();
+    w.field("schema", version::statsSchema);
+    w.field("command", spec.command);
+    w.field("target", spec.target);
+
+    w.key("config");
+    w.beginObject();
+    w.field("skip", pipeline.config().skipInstructions);
+    w.field("window", pipeline.config().windowInstructions);
+    w.field("instance_cap",
+            uint64_t(pipeline.config().instanceCap));
+    if (!spec.workload.empty())
+        w.field("workload", spec.workload);
+    if (!spec.input.empty())
+        w.field("input", spec.input);
+    w.endObject();
+
+    stats::Group root;
+    pipeline.registerStats(root);
+    w.key("stats");
+    stats::dumpJson(root, w);
+
+    if (spec.withProfile) {
+        w.key("profile");
+        prof::writeSummary(w);
+    }
+
+    w.endObject();
+    out << '\n';
+}
+
+void
+writeVersionDoc(json::Writer &w)
+{
+    w.beginObject();
+    w.field("schema", "irep-version-1");
+    w.field("build", version::buildId());
+
+    w.key("schemas");
+    w.beginObject();
+    w.field("stats", version::statsSchema);
+    w.field("bench", version::benchSchema);
+    w.field("prof", version::profSchema);
+    w.endObject();
+
+    w.key("trace");
+    w.beginObject();
+    w.field("format", trace_io::formatVersion);
+    w.field("min_read", trace_io::minReadVersion);
+    w.key("codecs");
+    w.beginArray();
+    for (trace_io::Codec codec :
+         {trace_io::Codec::Store, trace_io::Codec::IrepLz,
+          trace_io::Codec::Zstd}) {
+        if (trace_io::codecAvailable(codec))
+            w.value(trace_io::codecName(codec));
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("features");
+    w.beginArray();
+    w.value("serve");
+    w.value("trace-cache");
+    w.value("window-sharding");
+    w.value("bbcache");
+    w.value("profiler");
+    w.endArray();
+
+    w.endObject();
+}
+
+} // namespace irep::serve

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The daemon's analysis service, factored apart from the wire layer
+ * so tests (and the CLI) can call it in-process:
+ *
+ *  - writeStatsDoc() — the one `irep-stats-1` document builder. The
+ *    CLI's --stats-json and every daemon response go through it, which
+ *    is what makes "a daemon answer is byte-identical to the
+ *    equivalent CLI invocation" a structural guarantee instead of a
+ *    test hope.
+ *  - runAnalysis() — one request end to end: build the workload
+ *    machine, consult the IREP_TRACE_DIR cache (replay on hit,
+ *    record-under-claim on miss, exactly like bench::Suite), run the
+ *    pipeline, emit the document.
+ *  - writeVersionDoc() — the `irep version` / GET /version document.
+ *
+ * Every function is thread-safe: requests share nothing but the
+ * trace cache, whose single-flight claim protocol (trace_io/cache.hh)
+ * already serializes recording per key.
+ */
+
+#ifndef IREP_SERVE_SERVICE_HH
+#define IREP_SERVE_SERVICE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "support/json.hh"
+
+namespace irep::serve
+{
+
+/** One analysis request, as parsed from a daemon request body. */
+struct AnalysisRequest
+{
+    std::string workload;   //!< built-in workload name (required)
+    uint64_t skip = 1'000'000;      //!< the `irep bench` default
+    uint64_t window = 5'000'000;
+    bool skipSet = false;   //!< `skip` given explicitly
+    bool windowSet = false; //!< `window` given explicitly
+    unsigned windowJobs = 0;    //!< intra-window shards (0 = env)
+    /** Replay this trace instead of simulating (the trace's identity
+     *  must match `workload`; its skip/window are adopted). */
+    std::string fromTracePath;
+};
+
+/**
+ * Parse the POST /analyze JSON body: `{"workload": "compress",
+ * "skip": N?, "window": N?, "window_jobs": N?}`. Unknown members are
+ * fatal — a typoed "windw" must be a 400, not a silently defaulted
+ * five-million-instruction run.
+ */
+AnalysisRequest parseAnalysisRequest(const json::Value &doc);
+
+/** What one request did, for the metrics counters. */
+struct AnalysisOutcome
+{
+    std::string statsJson;  //!< the full irep-stats-1 document
+    bool simulated = false; //!< ran the simulator
+    bool cacheHit = false;  //!< replayed an existing cache entry
+    bool recorded = false;  //!< cold miss published a new entry
+};
+
+/**
+ * Run one request. With IREP_TRACE_DIR set, the config-keyed cache
+ * answers repeats without re-simulation; with `fromTracePath`, the
+ * given trace is replayed directly. fatal() on unknown workloads,
+ * unreadable traces and conflicting skip/window — the server maps
+ * that to a 400.
+ */
+AnalysisOutcome runAnalysis(const AnalysisRequest &request);
+
+/** Everything writeStatsDoc() needs beyond the pipeline. */
+struct StatsDocSpec
+{
+    std::string command;    //!< "analyze" / "bench"
+    std::string target;
+    std::string workload;   //!< omitted from config when empty
+    std::string input;      //!< --input path; omitted when empty
+    /** Embed the `irep-prof-1` block. The daemon always passes false:
+     *  the profiler registry is process-wide, so per-request documents
+     *  would see each other's spans. */
+    bool withProfile = false;
+};
+
+/**
+ * Write the `irep-stats-1` document (plus trailing newline) for a
+ * finished pipeline run: schema, command/target, config, every
+ * registered statistic, and optionally the profiler summary.
+ */
+void writeStatsDoc(std::ostream &out,
+                   const core::AnalysisPipeline &pipeline,
+                   const StatsDocSpec &spec);
+
+/**
+ * Write the version document at the writer's current position:
+ * `{schema, build, schemas: {stats, bench, prof}, trace: {format,
+ * min_read, codecs: [...]}, features: [...]}`.
+ */
+void writeVersionDoc(json::Writer &w);
+
+} // namespace irep::serve
+
+#endif // IREP_SERVE_SERVICE_HH

@@ -1,0 +1,565 @@
+#include "support/lz.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace irep::lz
+{
+namespace
+{
+
+/*
+ * Adaptive binary range coder, the LZMA construction: 11-bit
+ * probabilities, shift-5 adaptation, 32-bit range with a 64-bit low
+ * accumulator whose carry is resolved through a cache byte. The
+ * first output byte is always the initial zero cache; the decoder
+ * reads it back as part of its 5-byte priming sequence.
+ */
+using Prob = uint16_t;
+
+constexpr unsigned probBits = 11;
+constexpr Prob probInit = 1u << (probBits - 1);
+constexpr unsigned moveBits = 5;
+constexpr uint32_t topValue = 1u << 24;
+
+class RangeEncoder
+{
+  public:
+    RangeEncoder(uint8_t *out, size_t cap)
+        : out_(out), end_(out + cap), begin_(out)
+    {
+    }
+
+    void
+    encodeBit(Prob &p, unsigned bit)
+    {
+        const uint32_t bound = (range_ >> probBits) * p;
+        if (bit == 0) {
+            range_ = bound;
+            p = Prob(p + (((1u << probBits) - p) >> moveBits));
+        } else {
+            low_ += bound;
+            range_ -= bound;
+            p = Prob(p - (p >> moveBits));
+        }
+        if (range_ < topValue) {
+            range_ <<= 8;
+            shiftLow();
+        }
+    }
+
+    void
+    encodeDirect(uint32_t value, unsigned numBits)
+    {
+        for (unsigned i = numBits; i-- > 0;) {
+            range_ >>= 1;
+            if ((value >> i) & 1)
+                low_ += range_;
+            if (range_ < topValue) {
+                range_ <<= 8;
+                shiftLow();
+            }
+        }
+    }
+
+    void
+    flush()
+    {
+        for (int i = 0; i < 5; ++i)
+            shiftLow();
+    }
+
+    bool
+    overflowed() const
+    {
+        return overflow_;
+    }
+
+    size_t
+    bytesWritten() const
+    {
+        return size_t(out_ - begin_);
+    }
+
+  private:
+    void
+    shiftLow()
+    {
+        if (uint32_t(low_) < 0xff000000u || (low_ >> 32) != 0) {
+            uint8_t carry = uint8_t(low_ >> 32);
+            do {
+                putByte(uint8_t(cache_ + carry));
+                cache_ = 0xff;
+            } while (--cacheSize_ != 0);
+            cache_ = uint8_t(low_ >> 24);
+        }
+        ++cacheSize_;
+        // Bits 24-31 have been handed to the cache byte (or counted
+        // in cacheSize as pending 0xff); only bits 0-23 carry over.
+        low_ = (low_ & 0x00ffffffu) << 8;
+    }
+
+    void
+    putByte(uint8_t b)
+    {
+        if (out_ == end_) {
+            overflow_ = true;
+            return;
+        }
+        *out_++ = b;
+    }
+
+    uint64_t low_ = 0;
+    uint32_t range_ = 0xffffffffu;
+    uint8_t cache_ = 0;
+    uint64_t cacheSize_ = 1;
+    uint8_t *out_;
+    uint8_t *end_;
+    uint8_t *begin_;
+    bool overflow_ = false;
+};
+
+class RangeDecoder
+{
+  public:
+    RangeDecoder(const uint8_t *in, size_t n) : in_(in), end_(in + n)
+    {
+        // Priming: skip the encoder's initial cache byte, then load
+        // four code bytes. Truncated input pads with zeros; the
+        // caller's CRC rejects whatever that decodes to.
+        readByte();
+        for (int i = 0; i < 4; ++i)
+            code_ = (code_ << 8) | readByte();
+    }
+
+    unsigned
+    decodeBit(Prob &p)
+    {
+        const uint32_t bound = (range_ >> probBits) * p;
+        unsigned bit;
+        if (code_ < bound) {
+            range_ = bound;
+            p = Prob(p + (((1u << probBits) - p) >> moveBits));
+            bit = 0;
+        } else {
+            code_ -= bound;
+            range_ -= bound;
+            p = Prob(p - (p >> moveBits));
+            bit = 1;
+        }
+        if (range_ < topValue) {
+            range_ <<= 8;
+            code_ = (code_ << 8) | readByte();
+        }
+        return bit;
+    }
+
+    uint32_t
+    decodeDirect(unsigned numBits)
+    {
+        uint32_t value = 0;
+        for (unsigned i = 0; i < numBits; ++i) {
+            range_ >>= 1;
+            unsigned bit = 0;
+            if (code_ >= range_) {
+                code_ -= range_;
+                bit = 1;
+            }
+            value = (value << 1) | bit;
+            if (range_ < topValue) {
+                range_ <<= 8;
+                code_ = (code_ << 8) | readByte();
+            }
+        }
+        return value;
+    }
+
+  private:
+    uint8_t
+    readByte()
+    {
+        return in_ < end_ ? *in_++ : 0;
+    }
+
+    uint32_t range_ = 0xffffffffu;
+    uint32_t code_ = 0;
+    const uint8_t *in_;
+    const uint8_t *end_;
+};
+
+/* ------------------------------------------------------------------ */
+/* Bit-model layout                                                    */
+
+constexpr unsigned minMatch = 2;
+constexpr unsigned minFind = 4;
+// Length coding covers [minMatch, minMatch + 8 + 8 + 256).
+constexpr unsigned maxMatch = minMatch + 8 + 8 + 256 - 1;
+constexpr unsigned numSlotBits = 6;
+constexpr unsigned startPosModelSlot = 4;
+constexpr unsigned endPosModelSlot = 14;
+constexpr unsigned numAlignBits = 4;
+// Distances below 1 << (endPosModelSlot / 2) use fully adaptive low
+// bits out of one shared region, LZMA's SpecPos layout.
+constexpr unsigned numSpecPos =
+    (1u << (endPosModelSlot / 2)) - endPosModelSlot;
+
+struct LenModel {
+    Prob choice;
+    Prob choice2;
+    Prob low[8];
+    Prob mid[8];
+    Prob high[256];
+};
+
+struct Models {
+    Prob isMatch[2]; // context: last symbol was a match
+    Prob isRep[2];
+    Prob lit[256][256]; // order-1 context -> 8-bit tree
+    LenModel len;
+    LenModel repLen;
+    Prob slot[1u << numSlotBits];
+    Prob specPos[numSpecPos];
+    Prob align[1u << numAlignBits];
+
+    void
+    reset()
+    {
+        auto fill = [](Prob *p, size_t count) {
+            std::fill(p, p + count, probInit);
+        };
+        fill(isMatch, 2);
+        fill(isRep, 2);
+        fill(&lit[0][0], 256 * 256);
+        for (LenModel *lm : {&len, &repLen}) {
+            lm->choice = lm->choice2 = probInit;
+            fill(lm->low, 8);
+            fill(lm->mid, 8);
+            fill(lm->high, 256);
+        }
+        fill(slot, 1u << numSlotBits);
+        fill(specPos, numSpecPos);
+        fill(align, 1u << numAlignBits);
+    }
+};
+
+void
+encodeTree(RangeEncoder &rc, Prob *probs, unsigned numBits,
+           unsigned symbol)
+{
+    unsigned m = 1;
+    for (unsigned i = numBits; i-- > 0;) {
+        const unsigned bit = (symbol >> i) & 1;
+        rc.encodeBit(probs[m], bit);
+        m = (m << 1) | bit;
+    }
+}
+
+unsigned
+decodeTree(RangeDecoder &rc, Prob *probs, unsigned numBits)
+{
+    unsigned m = 1;
+    for (unsigned i = 0; i < numBits; ++i)
+        m = (m << 1) | rc.decodeBit(probs[m]);
+    return m - (1u << numBits);
+}
+
+void
+encodeTreeReverse(RangeEncoder &rc, Prob *probs, unsigned numBits,
+                  unsigned symbol)
+{
+    unsigned m = 1;
+    for (unsigned i = 0; i < numBits; ++i) {
+        const unsigned bit = (symbol >> i) & 1;
+        rc.encodeBit(probs[m], bit);
+        m = (m << 1) | bit;
+    }
+}
+
+unsigned
+decodeTreeReverse(RangeDecoder &rc, Prob *probs, unsigned numBits)
+{
+    unsigned m = 1;
+    unsigned value = 0;
+    for (unsigned i = 0; i < numBits; ++i) {
+        const unsigned bit = rc.decodeBit(probs[m]);
+        m = (m << 1) | bit;
+        value |= bit << i;
+    }
+    return value;
+}
+
+void
+encodeLen(RangeEncoder &rc, LenModel &lm, unsigned len)
+{
+    // len is zero-based (actual length - minMatch).
+    if (len < 8) {
+        rc.encodeBit(lm.choice, 0);
+        encodeTree(rc, lm.low, 3, len);
+    } else if (len < 16) {
+        rc.encodeBit(lm.choice, 1);
+        rc.encodeBit(lm.choice2, 0);
+        encodeTree(rc, lm.mid, 3, len - 8);
+    } else {
+        rc.encodeBit(lm.choice, 1);
+        rc.encodeBit(lm.choice2, 1);
+        encodeTree(rc, lm.high, 8, len - 16);
+    }
+}
+
+unsigned
+decodeLen(RangeDecoder &rc, LenModel &lm)
+{
+    if (rc.decodeBit(lm.choice) == 0)
+        return decodeTree(rc, lm.low, 3);
+    if (rc.decodeBit(lm.choice2) == 0)
+        return 8 + decodeTree(rc, lm.mid, 3);
+    return 16 + decodeTree(rc, lm.high, 8);
+}
+
+unsigned
+slotOf(uint32_t distVal)
+{
+    if (distVal < startPosModelSlot)
+        return distVal;
+    const unsigned lg = 31 - unsigned(__builtin_clz(distVal));
+    return (lg << 1) + ((distVal >> (lg - 1)) & 1);
+}
+
+void
+encodeDist(RangeEncoder &rc, Models &m, uint32_t distVal)
+{
+    const unsigned slot = slotOf(distVal);
+    encodeTree(rc, m.slot, numSlotBits, slot);
+    if (slot < startPosModelSlot)
+        return;
+    const unsigned footerBits = (slot >> 1) - 1;
+    const uint32_t base = (2u | (slot & 1)) << footerBits;
+    const uint32_t rest = distVal - base;
+    if (slot < endPosModelSlot) {
+        encodeTreeReverse(rc, m.specPos + base - slot - 1,
+                          footerBits, rest);
+    } else {
+        rc.encodeDirect(rest >> numAlignBits,
+                        footerBits - numAlignBits);
+        encodeTreeReverse(rc, m.align, numAlignBits,
+                          rest & ((1u << numAlignBits) - 1));
+    }
+}
+
+uint32_t
+decodeDist(RangeDecoder &rc, Models &m)
+{
+    const unsigned slot = decodeTree(rc, m.slot, numSlotBits);
+    if (slot < startPosModelSlot)
+        return slot;
+    const unsigned footerBits = (slot >> 1) - 1;
+    uint32_t distVal = (2u | (slot & 1)) << footerBits;
+    if (slot < endPosModelSlot) {
+        distVal += decodeTreeReverse(rc, m.specPos + distVal - slot - 1,
+                                     footerBits);
+    } else {
+        distVal += rc.decodeDirect(footerBits - numAlignBits)
+                   << numAlignBits;
+        distVal += decodeTreeReverse(rc, m.align, numAlignBits);
+    }
+    return distVal;
+}
+
+/* ------------------------------------------------------------------ */
+/* Match finder: hash chains over 4-byte prefixes, full-block window. */
+
+constexpr unsigned hashBits = 16;
+constexpr int maxChainDepth = 48;
+
+class MatchFinder
+{
+  public:
+    MatchFinder(const uint8_t *src, size_t n)
+        : src_(src), n_(n), head_(size_t(1) << hashBits, -1),
+          prev_(n, -1)
+    {
+    }
+
+    void
+    insert(size_t pos)
+    {
+        if (pos + 4 > n_)
+            return;
+        const uint32_t h = hash4(pos);
+        prev_[pos] = head_[h];
+        head_[h] = int32_t(pos);
+    }
+
+    /** Longest match at @p pos among inserted positions; returns the
+     *  length (0 when below the find threshold) and sets @p off. */
+    unsigned
+    find(size_t pos, uint32_t &off) const
+    {
+        off = 0;
+        if (pos + 4 > n_)
+            return 0;
+        const size_t limit = std::min(size_t(maxMatch), n_ - pos);
+        unsigned best = 0;
+        int32_t cand = head_[hash4(pos)];
+        int depth = maxChainDepth;
+        while (cand >= 0 && depth-- > 0) {
+            const size_t c = size_t(cand);
+            // Cheap reject: a longer match must extend past best.
+            if (best == 0 || src_[c + best] == src_[pos + best]) {
+                size_t len = 0;
+                while (len < limit && src_[c + len] == src_[pos + len])
+                    ++len;
+                if (len > best) {
+                    best = unsigned(len);
+                    off = uint32_t(pos - c);
+                    if (len >= limit)
+                        break;
+                }
+            }
+            cand = prev_[c];
+        }
+        return best >= minFind ? best : 0;
+    }
+
+  private:
+    uint32_t
+    hash4(size_t pos) const
+    {
+        uint32_t v;
+        std::memcpy(&v, src_ + pos, 4);
+        return (v * 2654435761u) >> (32 - hashBits);
+    }
+
+    const uint8_t *src_;
+    size_t n_;
+    std::vector<int32_t> head_;
+    std::vector<int32_t> prev_;
+};
+
+unsigned
+matchLenAt(const uint8_t *src, size_t n, size_t pos, uint32_t off)
+{
+    if (off == 0 || off > pos)
+        return 0;
+    const size_t limit = std::min(size_t(maxMatch), n - pos);
+    size_t len = 0;
+    while (len < limit && src[pos - off + len] == src[pos + len])
+        ++len;
+    return unsigned(len);
+}
+
+} // namespace
+
+size_t
+maxCompressedSize(size_t rawSize)
+{
+    // The range coder expands incompressible data by well under 1/8;
+    // the constant covers the 5-byte flush and tiny inputs.
+    return rawSize + rawSize / 8 + 64;
+}
+
+size_t
+compress(const uint8_t *src, size_t n, uint8_t *dst, size_t cap)
+{
+    RangeEncoder rc(dst, cap);
+    auto models = std::make_unique<Models>();
+    Models &m = *models;
+    m.reset();
+    MatchFinder finder(src, n);
+
+    size_t pos = 0;
+    uint32_t rep0 = 0;
+    unsigned state = 0; // 0 after literal, 1 after match
+    while (pos < n && !rc.overflowed()) {
+        const unsigned repLen = matchLenAt(src, n, pos, rep0);
+        uint32_t off = 0;
+        unsigned len = finder.find(pos, off);
+        finder.insert(pos);
+        // Lazy step: prefer a literal when the next position holds a
+        // strictly longer match.
+        if (len >= minFind && len < 64 && pos + 1 < n) {
+            uint32_t off2 = 0;
+            const unsigned len2 = finder.find(pos + 1, off2);
+            if (len2 > len)
+                len = 0;
+        }
+        size_t advance;
+        if (repLen >= minMatch && repLen + 2 >= len) {
+            rc.encodeBit(m.isMatch[state], 1);
+            rc.encodeBit(m.isRep[state], 1);
+            encodeLen(rc, m.repLen, repLen - minMatch);
+            state = 1;
+            advance = repLen;
+        } else if (len >= minFind) {
+            rc.encodeBit(m.isMatch[state], 1);
+            rc.encodeBit(m.isRep[state], 0);
+            encodeLen(rc, m.len, len - minMatch);
+            encodeDist(rc, m, off - 1);
+            rep0 = off;
+            state = 1;
+            advance = len;
+        } else {
+            rc.encodeBit(m.isMatch[state], 0);
+            const uint8_t prev = pos > 0 ? src[pos - 1] : 0;
+            encodeTree(rc, m.lit[prev], 8, src[pos]);
+            state = 0;
+            advance = 1;
+        }
+        for (size_t i = 1; i < advance; ++i)
+            finder.insert(pos + i);
+        pos += advance;
+    }
+    rc.flush();
+    if (rc.overflowed())
+        return 0;
+    return rc.bytesWritten();
+}
+
+bool
+decompress(const uint8_t *src, size_t n, uint8_t *dst,
+           size_t rawSize)
+{
+    if (rawSize == 0)
+        return true;
+    RangeDecoder rc(src, n);
+    auto models = std::make_unique<Models>();
+    Models &m = *models;
+    m.reset();
+
+    size_t outPos = 0;
+    uint32_t rep0 = 0;
+    unsigned state = 0;
+    while (outPos < rawSize) {
+        if (rc.decodeBit(m.isMatch[state]) == 0) {
+            const uint8_t prev = outPos > 0 ? dst[outPos - 1] : 0;
+            dst[outPos++] =
+                uint8_t(decodeTree(rc, m.lit[prev], 8));
+            state = 0;
+            continue;
+        }
+        unsigned len;
+        uint32_t off;
+        if (rc.decodeBit(m.isRep[state]) != 0) {
+            if (rep0 == 0)
+                return false;
+            len = decodeLen(rc, m.repLen) + minMatch;
+            off = rep0;
+        } else {
+            len = decodeLen(rc, m.len) + minMatch;
+            off = decodeDist(rc, m) + 1;
+            rep0 = off;
+        }
+        if (off > outPos || outPos + len > rawSize)
+            return false;
+        const uint8_t *from = dst + (outPos - off);
+        for (unsigned i = 0; i < len; ++i)
+            dst[outPos + i] = from[i];
+        outPos += len;
+        state = 1;
+    }
+    return true;
+}
+
+} // namespace irep::lz

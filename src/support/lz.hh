@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Self-contained block compressor for the trace store ("irep-lz"):
+ * LZ77 with a hash-chain match finder feeding an adaptive binary
+ * range coder (LZMA-style bit models: order-1 literals, slot-coded
+ * distances, a last-offset repeat). Retire traces are overwhelmingly
+ * repetitive — the paper's thesis — so the delta/varint record
+ * stream compresses well past the gzip class with no external
+ * dependency. Blocks are independent: every call starts from freshly
+ * reset models, so any block of a trace can be decoded alone.
+ *
+ * Corruption policy: decompress() never reads or writes out of
+ * bounds and always terminates, but a corrupt input can silently
+ * yield wrong bytes — callers must checksum the decompressed output
+ * (trace format v2 stores a raw CRC per block for exactly this).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace irep::lz
+{
+
+/** Upper bound on compress() output for @p rawSize input bytes. */
+size_t maxCompressedSize(size_t rawSize);
+
+/**
+ * Compress @p src[0..n) into @p dst[0..cap). Returns the compressed
+ * size, or 0 when the result would not fit in @p cap — callers store
+ * the block raw in that case (pass cap < n to demand net shrink).
+ * Deterministic: identical input yields identical output.
+ */
+size_t compress(const uint8_t *src, size_t n, uint8_t *dst,
+                size_t cap);
+
+/**
+ * Decompress @p src[0..n) into exactly @p rawSize bytes at @p dst.
+ * Returns false on structurally malformed input; a true return still
+ * requires the caller's checksum to vouch for the bytes.
+ */
+bool decompress(const uint8_t *src, size_t n, uint8_t *dst,
+                size_t rawSize);
+
+} // namespace irep::lz

@@ -1,0 +1,74 @@
+#include "support/signals.hh"
+
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace irep::signals
+{
+namespace
+{
+
+// The handler may fire on any thread at any instruction, so the path
+// lives in a fixed buffer guarded by an "armed" flag: the flag is
+// cleared before the buffer is rewritten and set only once the buffer
+// holds a complete path. sig_atomic_t is the only type the standard
+// guarantees for handler communication.
+constexpr size_t pathCap = 4096;
+char pendingPath[pathCap];
+volatile std::sig_atomic_t armed = 0;
+bool handlersInstalled = false;
+
+const int fatalSignals[] = {SIGINT, SIGTERM, SIGHUP};
+
+extern "C" void
+onFatalSignal(int sig)
+{
+    if (armed) {
+        armed = 0;
+        ::unlink(pendingPath);
+    }
+    // Re-deliver with the default disposition so the exit status (and
+    // any core dump) is what the signal would have produced anyway.
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+void
+installHandlers()
+{
+    if (handlersInstalled)
+        return;
+    for (int sig : fatalSignals) {
+        struct sigaction action;
+        std::memset(&action, 0, sizeof(action));
+        action.sa_handler = onFatalSignal;
+        sigemptyset(&action.sa_mask);
+        ::sigaction(sig, &action, nullptr);
+    }
+    handlersInstalled = true;
+}
+
+} // namespace
+
+void
+removeOnFatalSignal(const std::string &path)
+{
+    fatalIf(path.size() + 1 > pathCap, "cannot track '", path,
+            "' for signal cleanup: path exceeds ", pathCap - 1,
+            " bytes");
+    armed = 0;
+    std::memcpy(pendingPath, path.c_str(), path.size() + 1);
+    installHandlers();
+    armed = 1;
+}
+
+void
+clearRemoveOnFatalSignal()
+{
+    armed = 0;
+}
+
+} // namespace irep::signals

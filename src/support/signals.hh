@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fatal-signal cleanup: arrange for a partially written file to be
+ * unlink()ed when SIGINT/SIGTERM/SIGHUP kills the process mid-write.
+ *
+ * The writer protocol (support/outfile.hh, trace_io/writer.hh) is
+ * tmp + rename, so a crash can never publish a torn file — but it
+ * *can* leave the temporary behind, and a cache directory slowly
+ * filling with orphaned `.tmp.<pid>` files is how "my disk is full"
+ * bug reports start. `irep record` registers its temporary here for
+ * the duration of the recording.
+ *
+ * The handler does only async-signal-safe work (unlink, sigaction,
+ * raise) and then re-raises the signal with its default disposition,
+ * so exit status and core behaviour stay exactly what the signal
+ * would have produced anyway.
+ */
+
+#ifndef IREP_SUPPORT_SIGNALS_HH
+#define IREP_SUPPORT_SIGNALS_HH
+
+#include <string>
+
+namespace irep::signals
+{
+
+/**
+ * Unlink @p path if a fatal signal arrives before
+ * clearRemoveOnFatalSignal(). One path is tracked at a time (a new
+ * registration replaces the old); paths longer than the internal
+ * fixed buffer are fatal — silently truncating would unlink the
+ * wrong file.
+ */
+void removeOnFatalSignal(const std::string &path);
+
+/** Stop tracking; call once the file is committed (or removed). */
+void clearRemoveOnFatalSignal();
+
+} // namespace irep::signals
+
+#endif // IREP_SUPPORT_SIGNALS_HH

@@ -1,0 +1,16 @@
+#include "support/version.hh"
+
+#ifndef IREP_BUILD_ID
+#define IREP_BUILD_ID "unknown"
+#endif
+
+namespace irep::version
+{
+
+const char *
+buildId()
+{
+    return IREP_BUILD_ID;
+}
+
+} // namespace irep::version

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Build identity: the commit the build was configured from and the
+ * schema identifiers of every machine-readable document this build
+ * emits. `irep version` and the daemon's /version endpoint report
+ * these so a consumer can tell which producer wrote a document and
+ * whether the formats it needs are spoken.
+ */
+
+#ifndef IREP_SUPPORT_VERSION_HH
+#define IREP_SUPPORT_VERSION_HH
+
+namespace irep::version
+{
+
+/** The git commit the build was configured from, or "unknown" when
+ *  configured outside a checkout. */
+const char *buildId();
+
+/** The per-run stats report (`--stats-json`, POST /analyze). */
+constexpr const char *statsSchema = "irep-stats-1";
+/** The bench-suite report (`irep bench all --stats-json`). */
+constexpr const char *benchSchema = "irep-bench-2";
+/** The profiler summary block embedded in stats documents. */
+constexpr const char *profSchema = "irep-prof-1";
+
+} // namespace irep::version
+
+#endif // IREP_SUPPORT_VERSION_HH

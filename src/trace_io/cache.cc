@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
+#include <mutex>
 
 #include "support/logging.hh"
 
@@ -39,14 +41,15 @@ sanitizeName(const std::string &name)
 
 std::string
 cachePath(const std::string &dir, const std::string &name,
-          uint64_t identity, uint64_t skip, uint64_t window)
+          uint64_t identity, uint64_t skip, uint64_t window,
+          uint32_t version)
 {
     char key[96];
     std::snprintf(key, sizeof(key),
                   ".%016llx.s%llu.w%llu.v%u.irtrace",
                   (unsigned long long)identity,
                   (unsigned long long)skip,
-                  (unsigned long long)window, formatVersion);
+                  (unsigned long long)window, version);
     return dir + "/" + sanitizeName(name) + key;
 }
 
@@ -72,6 +75,58 @@ openCached(const std::string &path, uint64_t identity, uint64_t skip,
         h.window != window)
         return nullptr;
     return reader;
+}
+
+std::unique_ptr<TraceReader>
+findCached(const std::string &dir, const std::string &name,
+           uint64_t identity, uint64_t skip, uint64_t window)
+{
+    for (uint32_t version = formatVersion;; --version) {
+        auto reader = openCached(
+            cachePath(dir, name, identity, skip, window, version),
+            identity, skip, window);
+        if (reader || version == minReadVersion)
+            return reader;
+    }
+}
+
+namespace
+{
+
+struct ClaimEntry {
+    std::mutex mutex;
+    int refs = 0;
+};
+
+std::mutex claimsMutex;
+std::map<std::string, std::unique_ptr<ClaimEntry>> claims;
+
+} // namespace
+
+RecordClaim::RecordClaim(const std::string &path) : path_(path)
+{
+    ClaimEntry *entry;
+    {
+        std::lock_guard<std::mutex> lock(claimsMutex);
+        auto &slot = claims[path_];
+        if (!slot)
+            slot = std::make_unique<ClaimEntry>();
+        slot->refs++;
+        entry = slot.get();
+    }
+    // Block outside the registry lock: the current holder needs the
+    // registry to release.
+    entry->mutex.lock();
+    entry_ = entry;
+}
+
+RecordClaim::~RecordClaim()
+{
+    auto *entry = static_cast<ClaimEntry *>(entry_);
+    entry->mutex.unlock();
+    std::lock_guard<std::mutex> lock(claimsMutex);
+    if (--entry->refs == 0)
+        claims.erase(path_);
 }
 
 } // namespace irep::trace_io

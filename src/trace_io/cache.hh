@@ -35,10 +35,13 @@ std::string cacheDir();
 /** @p name reduced to filename-safe characters ([A-Za-z0-9._-]). */
 std::string sanitizeName(const std::string &name);
 
-/** Canonical cache path for one (workload, skip, window) key. */
+/** Canonical cache path for one (workload, skip, window) key under
+ *  format @p version (new recordings land at the current
+ *  formatVersion path). */
 std::string cachePath(const std::string &dir, const std::string &name,
                       uint64_t identity, uint64_t skip,
-                      uint64_t window);
+                      uint64_t window,
+                      uint32_t version = formatVersion);
 
 /**
  * Open a cached trace and verify its header against the expected key.
@@ -50,6 +53,43 @@ std::unique_ptr<TraceReader> openCached(const std::string &path,
                                         uint64_t identity,
                                         uint64_t skip,
                                         uint64_t window);
+
+/**
+ * Probe the cache for one key across every readable format version,
+ * newest first — so a directory recorded by an older build keeps
+ * serving hits after an upgrade. @return an open, key-verified reader
+ * or nullptr on a full miss.
+ */
+std::unique_ptr<TraceReader> findCached(const std::string &dir,
+                                        const std::string &name,
+                                        uint64_t identity,
+                                        uint64_t skip,
+                                        uint64_t window);
+
+/**
+ * Process-wide single-flight guard for recording one cache path:
+ * constructing a claim blocks while another thread holds a claim on
+ * the same path, so exactly one requester records a missing entry
+ * while the rest wait and then replay the published file. The flow
+ * is probe -> claim -> re-probe (the prior holder may have published
+ * it) -> record -> release. Claims are per-path and per-process;
+ * cross-process races stay benign because commits are atomic renames
+ * of unique temporaries — the last writer wins with identical bytes.
+ */
+class RecordClaim
+{
+  public:
+    /** Blocks until this thread is the path's sole claim holder. */
+    explicit RecordClaim(const std::string &path);
+    ~RecordClaim();
+
+    RecordClaim(const RecordClaim &) = delete;
+    RecordClaim &operator=(const RecordClaim &) = delete;
+
+  private:
+    std::string path_;
+    void *entry_ = nullptr;
+};
 
 } // namespace irep::trace_io
 

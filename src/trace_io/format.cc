@@ -1,9 +1,100 @@
 #include "trace_io/format.hh"
 
+#ifdef IREP_HAVE_ZSTD
+#include <zstd.h>
+#endif
+
 #include "support/hash.hh"
+#include "support/logging.hh"
+#include "support/lz.hh"
 
 namespace irep::trace_io
 {
+
+const char *
+codecName(Codec codec)
+{
+    switch (codec) {
+    case Codec::Store:
+        return "store";
+    case Codec::IrepLz:
+        return "lz";
+    case Codec::Zstd:
+        return "zstd";
+    }
+    return "unknown";
+}
+
+bool
+codecAvailable(Codec codec)
+{
+    switch (codec) {
+    case Codec::Store:
+    case Codec::IrepLz:
+        return true;
+    case Codec::Zstd:
+#ifdef IREP_HAVE_ZSTD
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Codec
+defaultCodec()
+{
+#ifdef IREP_HAVE_ZSTD
+    return Codec::Zstd;
+#else
+    return Codec::IrepLz;
+#endif
+}
+
+size_t
+codecCompress(Codec codec, const uint8_t *src, size_t n,
+              uint8_t *dst, size_t cap)
+{
+    switch (codec) {
+    case Codec::IrepLz:
+        return lz::compress(src, n, dst, cap);
+    case Codec::Zstd: {
+#ifdef IREP_HAVE_ZSTD
+        const size_t r = ZSTD_compress(dst, cap, src, n, 3);
+        return ZSTD_isError(r) ? 0 : r;
+#else
+        break;
+#endif
+    }
+    case Codec::Store:
+        break;
+    }
+    panic("codecCompress: codec ", codecName(codec),
+          " is not an encoder in this build");
+}
+
+bool
+codecDecompress(Codec codec, const uint8_t *src, size_t n,
+                uint8_t *dst, size_t rawSize)
+{
+    switch (codec) {
+    case Codec::IrepLz:
+        return lz::decompress(src, n, dst, rawSize);
+    case Codec::Zstd: {
+#ifdef IREP_HAVE_ZSTD
+        const size_t r = ZSTD_decompress(dst, rawSize, src, n);
+        return !ZSTD_isError(r) && r == rawSize;
+#else
+        break;
+#endif
+    }
+    case Codec::Store:
+        break;
+    }
+    panic("codecDecompress: codec ", codecName(codec),
+          " is not a decoder in this build");
+}
 
 uint64_t
 identityHash(const assem::Program &program, const std::string &input)

@@ -27,18 +27,68 @@ static_assert(std::endian::native == std::endian::little,
 
 /** "IRTC" little-endian: the first four bytes of every trace file. */
 constexpr uint32_t fileMagic = 0x43545249;
-/** Bumped on any incompatible layout change; readers reject other
- *  versions, and the cache treats them as misses. */
-constexpr uint32_t formatVersion = 1;
+/** The version new traces are written as. Bumped on any incompatible
+ *  layout change; the cache keys file names on it, so a bump simply
+ *  misses and re-records. Readers accept every version in
+ *  [minReadVersion, formatVersion]. */
+constexpr uint32_t formatVersion = 2;
+/** Oldest version this build still replays (v1: uncompressed block
+ *  payloads behind a BlockFrame). */
+constexpr uint32_t minReadVersion = 1;
 
-/** "BLK1": starts every record block frame. */
+/** "BLK1": starts every record block frame in a version-1 trace. */
 constexpr uint32_t blockMagic = 0x314b4c42;
+/** "BLK2": starts every compressed block frame in a version-2 trace. */
+constexpr uint32_t blockMagic2 = 0x324b4c42;
 /** "EOF1": starts the footer; a file that ends without one was
  *  truncated mid-write and must not be replayed. */
 constexpr uint32_t footerMagic = 0x31464f45;
 
 /** Target encoded-payload size at which the writer seals a block. */
 constexpr size_t blockTarget = 1u << 18;
+/** Hard cap on a block's decoded payload: blockTarget plus the
+ *  writer's worst-case record overshoot. Readers reject any frame
+ *  declaring more — it cannot have been written by us. */
+constexpr size_t blockRawCap = blockTarget + 128;
+
+/**
+ * Block payload codec, recorded per frame in version-2 traces. The
+ * writer falls back to Store whenever compression fails to shrink a
+ * block, so every codec id can appear within one file.
+ */
+enum class Codec : uint32_t
+{
+    Store = 0,  //!< payload stored verbatim
+    IrepLz = 1, //!< built-in LZ + range coder (support/lz)
+    Zstd = 2,   //!< zstd frame (only when built with zstd)
+};
+
+/** Human-readable codec name ("store", "lz", "zstd"). */
+const char *codecName(Codec codec);
+
+/** Whether this build can decode/encode @p codec. */
+bool codecAvailable(Codec codec);
+
+/** The codec new traces compress with: Zstd when built in, else the
+ *  self-contained IrepLz. */
+Codec defaultCodec();
+
+/**
+ * Compress @p n bytes at @p src into @p dst (capacity @p cap) with
+ * @p codec. @return the stored size, or 0 when the output would not
+ * fit @p cap — pass cap < n to demand net shrink. Store is not a
+ * valid argument (the caller handles that fallback itself).
+ */
+size_t codecCompress(Codec codec, const uint8_t *src, size_t n,
+                     uint8_t *dst, size_t cap);
+
+/**
+ * Decompress @p n stored bytes into exactly @p rawSize bytes at
+ * @p dst. @return false on malformed input; the caller must still
+ * verify the frame's raw CRC afterwards.
+ */
+bool codecDecompress(Codec codec, const uint8_t *src, size_t n,
+                     uint8_t *dst, size_t rawSize);
 
 /**
  * Fixed-size (64-byte) file header. All fields little-endian; the
@@ -62,7 +112,7 @@ struct TraceHeader
 static_assert(sizeof(TraceHeader) == 64,
               "trace header layout is part of the on-disk format");
 
-/** Per-block frame preceding the payload bytes. */
+/** Per-block frame preceding the payload bytes (version 1). */
 struct BlockFrame
 {
     uint32_t magic = blockMagic;
@@ -71,6 +121,28 @@ struct BlockFrame
     uint32_t payloadCrc = 0;    //!< crc32 of the payload bytes
 };
 static_assert(sizeof(BlockFrame) == 16,
+              "block frame layout is part of the on-disk format");
+
+/**
+ * Per-block frame preceding the stored payload bytes (version 2).
+ * Two checksums so every single-bit corruption is caught: storedCrc
+ * covers the bytes on disk (file damage fails before decoding), and
+ * rawCrc covers the decompressed payload (a flipped codec or length
+ * field fails after it). instrRecords feeds the footer cross-check
+ * and reserved0 must be zero.
+ */
+struct BlockFrame2
+{
+    uint32_t magic = blockMagic2;
+    uint32_t storedBytes = 0;   //!< payload bytes on disk
+    uint32_t rawBytes = 0;      //!< payload bytes after decoding
+    uint32_t instrRecords = 0;  //!< instruction records in the payload
+    uint32_t codec = 0;         //!< Codec the payload is stored under
+    uint32_t storedCrc = 0;     //!< crc32 of the stored bytes
+    uint32_t rawCrc = 0;        //!< crc32 of the decoded payload
+    uint32_t reserved0 = 0;
+};
+static_assert(sizeof(BlockFrame2) == 32,
               "block frame layout is part of the on-disk format");
 
 /** Fixed-size (32-byte) footer; crc covers the preceding 28 bytes. */

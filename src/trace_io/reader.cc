@@ -17,10 +17,11 @@ TraceReader::TraceReader(std::string path) : path_(std::move(path))
     readRaw(&header_, sizeof(header_), "header");
     fatalIf(header_.magic != fileMagic,
             "'", path_, "' is not an irep trace file");
-    fatalIf(header_.version != formatVersion,
+    fatalIf(header_.version < minReadVersion ||
+                header_.version > formatVersion,
             "trace '", path_, "' has format version ", header_.version,
-            ", this build reads version ", formatVersion,
-            " — re-record it");
+            ", this build reads versions ", minReadVersion, "-",
+            formatVersion, " — re-record it");
     fatalIf(crc32(&header_, sizeof(header_) - sizeof(header_.crc)) !=
                 header_.crc,
             "trace '", path_, "' header checksum mismatch");
@@ -60,12 +61,14 @@ TraceReader::readRaw(void *data, size_t size, const char *what)
 void
 TraceReader::validateShape()
 {
+    const uint32_t frame_magic =
+        header_.version == 1 ? blockMagic : blockMagic2;
     uint32_t blocks = 0;
     uint64_t instr_records = 0;
     for (;;) {
         uint32_t magic;
         readRaw(&magic, sizeof(magic), "frame header");
-        if (magic == blockMagic) {
+        if (magic == frame_magic && header_.version == 1) {
             BlockFrame frame;
             frame.magic = magic;
             readRaw(reinterpret_cast<char *>(&frame) + sizeof(magic),
@@ -76,6 +79,38 @@ TraceReader::validateShape()
             // A seek past EOF succeeds; the next frame read catches it.
             ++blocks;
             instr_records += frame.instrRecords;
+            totalRawBytes_ += frame.payloadBytes;
+            totalStoredBytes_ += frame.payloadBytes;
+            continue;
+        }
+        if (magic == frame_magic) {
+            BlockFrame2 frame;
+            frame.magic = magic;
+            readRaw(reinterpret_cast<char *>(&frame) + sizeof(magic),
+                    sizeof(frame) - sizeof(magic), "block frame");
+            if (frame.reserved0 != 0)
+                corrupt("has a block frame with reserved bits set");
+            if (frame.rawBytes == 0 || frame.storedBytes == 0 ||
+                frame.rawBytes > blockRawCap ||
+                frame.storedBytes > frame.rawBytes)
+                corrupt("declares an impossible block size");
+            if (frame.codec > uint32_t(Codec::Zstd))
+                corrupt("names an unknown block codec");
+            if (frame.codec == uint32_t(Codec::Store) &&
+                frame.storedBytes != frame.rawBytes)
+                corrupt("declares an impossible block size");
+            fatalIf(!codecAvailable(Codec(frame.codec)),
+                    "trace '", path_, "' uses the ",
+                    codecName(Codec(frame.codec)),
+                    " codec, which this build lacks — re-record it "
+                    "or rebuild with that codec enabled");
+            fatalIf(std::fseek(file_, long(frame.storedBytes),
+                               SEEK_CUR) != 0,
+                    "seek in trace '", path_, "' failed");
+            ++blocks;
+            instr_records += frame.instrRecords;
+            totalRawBytes_ += frame.rawBytes;
+            totalStoredBytes_ += frame.storedBytes;
             continue;
         }
         if (magic != footerMagic)
@@ -134,19 +169,59 @@ TraceReader::loadNextBlock()
         sawFooter_ = true;
         return false;
     }
-    if (magic != blockMagic)
-        corrupt("contains an unrecognized frame");
-    BlockFrame frame;
-    frame.magic = magic;
-    readRaw(reinterpret_cast<char *>(&frame) + sizeof(magic),
-            sizeof(frame) - sizeof(magic), "block frame");
-    block_.resize(frame.payloadBytes);
-    readRaw(block_.data(), block_.size(), "block payload");
-    if (crc32(block_.data(), block_.size()) != frame.payloadCrc)
-        corrupt("block payload checksum mismatch");
+    if (header_.version == 1) {
+        if (magic != blockMagic)
+            corrupt("contains an unrecognized frame");
+        BlockFrame frame;
+        frame.magic = magic;
+        readRaw(reinterpret_cast<char *>(&frame) + sizeof(magic),
+                sizeof(frame) - sizeof(magic), "block frame");
+        block_.resize(frame.payloadBytes);
+        readRaw(block_.data(), block_.size(), "block payload");
+        if (crc32(block_.data(), block_.size()) != frame.payloadCrc)
+            corrupt("block payload checksum mismatch");
+        blockInstrLeft_ = frame.instrRecords;
+    } else {
+        if (magic != blockMagic2)
+            corrupt("contains an unrecognized frame");
+        BlockFrame2 frame;
+        frame.magic = magic;
+        readRaw(reinterpret_cast<char *>(&frame) + sizeof(magic),
+                sizeof(frame) - sizeof(magic), "block frame");
+        // validateShape() vetted the declared sizes and codec at
+        // open; re-bound them anyway so a file swapped underneath us
+        // cannot balloon the buffers.
+        if (frame.rawBytes > blockRawCap ||
+            frame.storedBytes > frame.rawBytes ||
+            frame.codec > uint32_t(Codec::Zstd))
+            corrupt("declares an impossible block size");
+        if (Codec(frame.codec) == Codec::Store) {
+            block_.resize(frame.rawBytes);
+            readRaw(block_.data(), block_.size(), "block payload");
+            if (crc32(block_.data(), block_.size()) !=
+                frame.storedCrc)
+                corrupt("block payload checksum mismatch");
+        } else {
+            stored_.resize(frame.storedBytes);
+            readRaw(stored_.data(), stored_.size(), "block payload");
+            if (crc32(stored_.data(), stored_.size()) !=
+                frame.storedCrc)
+                corrupt("block payload checksum mismatch");
+            block_.resize(frame.rawBytes);
+            if (!codecDecompress(
+                    Codec(frame.codec),
+                    reinterpret_cast<const uint8_t *>(stored_.data()),
+                    stored_.size(),
+                    reinterpret_cast<uint8_t *>(block_.data()),
+                    block_.size()))
+                corrupt("block payload does not decompress");
+        }
+        if (crc32(block_.data(), block_.size()) != frame.rawCrc)
+            corrupt("block payload checksum mismatch after decoding");
+        blockInstrLeft_ = frame.instrRecords;
+    }
     cursor_ = reinterpret_cast<const uint8_t *>(block_.data());
     blockEnd_ = cursor_ + block_.size();
-    blockInstrLeft_ = frame.instrRecords;
     ++blocksLoaded_;
     payloadBytes_ += block_.size();
     return true;

@@ -62,6 +62,16 @@ class TraceReader : public sim::ReplaySource
     /** Instruction records dispatched so far. */
     uint64_t dispatched() const { return seq_; }
 
+    /** Total payload bytes after decoding, summed over all blocks at
+     *  open — the uncompressed stream size. */
+    uint64_t rawPayloadBytes() const { return totalRawBytes_; }
+    /** Total payload bytes as stored on disk; equals
+     *  rawPayloadBytes() for version-1 traces. */
+    uint64_t storedPayloadBytes() const { return totalStoredBytes_; }
+
+    /** Instruction records in the whole trace (from the footer). */
+    uint64_t totalInstrRecords() const { return footer_.instrRecords; }
+
     const std::string &path() const { return path_; }
 
   private:
@@ -82,11 +92,14 @@ class TraceReader : public sim::ReplaySource
     std::vector<int8_t> destRegs_;
 
     std::string block_;
+    std::string stored_;            //!< compressed-payload scratch
     const uint8_t *cursor_ = nullptr;
     const uint8_t *blockEnd_ = nullptr;
     uint32_t blockInstrLeft_ = 0;   //!< declared instr records left
     uint32_t blocksLoaded_ = 0;
-    uint64_t payloadBytes_ = 0;     //!< compressed payload decoded
+    uint64_t payloadBytes_ = 0;     //!< decoded payload bytes replayed
+    uint64_t totalRawBytes_ = 0;    //!< decoded payload, whole file
+    uint64_t totalStoredBytes_ = 0; //!< on-disk payload, whole file
     bool sawFooter_ = false;
 
     uint64_t seq_ = 0;

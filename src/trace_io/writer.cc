@@ -4,9 +4,12 @@
 
 #include <cstdio>
 
+#include <cstdlib>
+
 #include "isa/registers.hh"
 #include "support/checksum.hh"
 #include "support/logging.hh"
+#include "support/parse.hh"
 #include "support/varint.hh"
 
 namespace irep::trace_io
@@ -25,20 +28,59 @@ namespace
  * varint::putShort() scribbles up to seven bytes past the cursor.
  */
 constexpr size_t recordSlack = 128;
+static_assert(blockTarget + recordSlack == blockRawCap,
+              "readers size their decode buffers from blockRawCap");
 
 } // namespace
 
+TraceWriterOptions
+TraceWriterOptions::fromEnv()
+{
+    TraceWriterOptions options;
+    options.version =
+        uint32_t(parse::envU64("IREP_TRACE_FORMAT", formatVersion));
+    fatalIf(options.version < minReadVersion ||
+                options.version > formatVersion,
+            "IREP_TRACE_FORMAT: version ", options.version,
+            " is not writable; this build writes ", minReadVersion,
+            "-", formatVersion);
+    options.codec = defaultCodec();
+    if (const char *name = std::getenv("IREP_TRACE_CODEC")) {
+        if (std::string(name) == "store")
+            options.codec = Codec::Store;
+        else if (std::string(name) == "lz")
+            options.codec = Codec::IrepLz;
+        else if (std::string(name) == "zstd")
+            options.codec = Codec::Zstd;
+        else
+            fatal("IREP_TRACE_CODEC: unknown codec '", name,
+                  "' (expected store, lz or zstd)");
+        fatalIf(!codecAvailable(options.codec),
+                "IREP_TRACE_CODEC: this build has no ", name,
+                " support");
+    }
+    return options;
+}
+
 TraceWriter::TraceWriter(std::string path, const sim::Machine &machine,
                          const std::string &input, uint64_t skip,
-                         uint64_t window)
-    : path_(std::move(path)), machine_(machine)
+                         uint64_t window, TraceWriterOptions options)
+    : path_(std::move(path)), machine_(machine), options_(options)
 {
-    block_.resize(blockTarget + recordSlack);
+    fatalIf(options_.version < minReadVersion ||
+                options_.version > formatVersion,
+            "trace format version ", options_.version,
+            " is not writable");
+    fatalIf(!codecAvailable(options_.codec),
+            "trace codec ", codecName(options_.codec),
+            " is not available in this build");
+    block_.resize(blockRawCap);
     tmpPath_ = path_ + ".tmp." + std::to_string(::getpid());
     file_ = std::fopen(tmpPath_.c_str(), "wb");
     fatalIf(!file_, "cannot open '", tmpPath_, "' for trace recording");
 
     TraceHeader header;
+    header.version = options_.version;
     header.textBase = assem::Layout::textBase;
     header.textWords = machine.numStaticInstructions();
     header.entry = machine.program().entry;
@@ -142,12 +184,48 @@ TraceWriter::sealBlock()
 {
     if (blockUsed_ == 0)
         return;
-    BlockFrame frame;
-    frame.payloadBytes = uint32_t(blockUsed_);
-    frame.instrRecords = blockInstrRecords_;
-    frame.payloadCrc = crc32(block_.data(), blockUsed_);
-    writeRaw(&frame, sizeof(frame));
-    writeRaw(block_.data(), blockUsed_);
+    rawPayloadBytes_ += blockUsed_;
+    if (options_.version == 1) {
+        BlockFrame frame;
+        frame.payloadBytes = uint32_t(blockUsed_);
+        frame.instrRecords = blockInstrRecords_;
+        frame.payloadCrc = crc32(block_.data(), blockUsed_);
+        writeRaw(&frame, sizeof(frame));
+        writeRaw(block_.data(), blockUsed_);
+        storedPayloadBytes_ += blockUsed_;
+    } else {
+        BlockFrame2 frame;
+        frame.rawBytes = uint32_t(blockUsed_);
+        frame.instrRecords = blockInstrRecords_;
+        frame.rawCrc = crc32(block_.data(), blockUsed_);
+        // Demand a net shrink (cap = raw - 1); anything else is
+        // stored verbatim so no block can grow the file.
+        size_t stored = 0;
+        if (options_.codec != Codec::Store && blockUsed_ > 1) {
+            if (compressed_.empty())
+                compressed_.resize(blockRawCap);
+            stored = codecCompress(
+                options_.codec,
+                reinterpret_cast<const uint8_t *>(block_.data()),
+                blockUsed_,
+                reinterpret_cast<uint8_t *>(compressed_.data()),
+                blockUsed_ - 1);
+        }
+        if (stored != 0) {
+            frame.codec = uint32_t(options_.codec);
+            frame.storedBytes = uint32_t(stored);
+            frame.storedCrc = crc32(compressed_.data(), stored);
+            writeRaw(&frame, sizeof(frame));
+            writeRaw(compressed_.data(), stored);
+        } else {
+            frame.codec = uint32_t(Codec::Store);
+            frame.storedBytes = frame.rawBytes;
+            frame.storedCrc = frame.rawCrc;
+            writeRaw(&frame, sizeof(frame));
+            writeRaw(block_.data(), blockUsed_);
+        }
+        storedPayloadBytes_ += frame.storedBytes;
+    }
     blockUsed_ = 0;
     blockInstrRecords_ = 0;
     ++blockCount_;

@@ -24,6 +24,24 @@
 namespace irep::trace_io
 {
 
+/**
+ * Writer knobs, normally resolved from the environment: the format
+ * version to emit (IREP_TRACE_FORMAT, default the current
+ * formatVersion — 1 is kept writable for compatibility tests and
+ * golden checks) and the block codec for version-2 traces
+ * (IREP_TRACE_CODEC in {store, lz, zstd}, default defaultCodec();
+ * ignored when writing version 1, which has no codec framing).
+ */
+struct TraceWriterOptions
+{
+    uint32_t version = formatVersion;
+    Codec codec = Codec::IrepLz;
+
+    /** Strictly parse IREP_TRACE_FORMAT / IREP_TRACE_CODEC; fatal on
+     *  unusable values, defaults when unset. */
+    static TraceWriterOptions fromEnv();
+};
+
 /** Records one machine's retire stream to @p path. */
 class TraceWriter : public sim::Observer
 {
@@ -39,10 +57,14 @@ class TraceWriter : public sim::Observer
      * @param input   The input byte stream the run consumes.
      * @param skip    Skip-phase length this recording covers.
      * @param window  Window length this recording covers.
+     * @param options Format version and codec; defaults to the
+     *                environment-resolved knobs.
      */
     TraceWriter(std::string path, const sim::Machine &machine,
                 const std::string &input, uint64_t skip,
-                uint64_t window);
+                uint64_t window,
+                TraceWriterOptions options =
+                    TraceWriterOptions::fromEnv());
 
     /** Removes the temporary when commit() was never reached. */
     ~TraceWriter() override;
@@ -64,7 +86,21 @@ class TraceWriter : public sim::Observer
     /** Bytes written so far (header + sealed blocks). */
     uint64_t bytesWritten() const { return bytesWritten_; }
 
+    /** Payload bytes before compression, over sealed blocks. */
+    uint64_t rawPayloadBytes() const { return rawPayloadBytes_; }
+    /** Payload bytes as stored on disk, over sealed blocks. Equal to
+     *  rawPayloadBytes() for version-1 traces. */
+    uint64_t storedPayloadBytes() const { return storedPayloadBytes_; }
+
+    /** The format version being written. */
+    uint32_t version() const { return options_.version; }
+    /** The codec version-2 blocks compress with. */
+    Codec codec() const { return options_.codec; }
+
     const std::string &path() const { return path_; }
+    /** The temporary the writer streams into until commit(); exposed
+     *  so fatal-signal cleanup can unlink it. */
+    const std::string &tmpPath() const { return tmpPath_; }
 
   private:
     void sealBlock();
@@ -73,6 +109,7 @@ class TraceWriter : public sim::Observer
     std::string path_;
     std::string tmpPath_;
     const sim::Machine &machine_;
+    TraceWriterOptions options_;
     std::FILE *file_ = nullptr;
     bool committed_ = false;
 
@@ -82,12 +119,15 @@ class TraceWriter : public sim::Observer
     // byte-by-byte through std::string's capacity checks dominated
     // recording wall clock. blockUsed_ is the live payload length.
     std::string block_;             //!< encoded payload storage
+    std::string compressed_;        //!< per-block compression scratch
     size_t blockUsed_ = 0;          //!< payload bytes filled so far
     uint32_t blockInstrRecords_ = 0;
     uint32_t blockCount_ = 0;
     uint64_t instrRecords_ = 0;
     uint64_t syscallRecords_ = 0;
     uint64_t bytesWritten_ = 0;
+    uint64_t rawPayloadBytes_ = 0;
+    uint64_t storedPayloadBytes_ = 0;
 
     // Delta-encoding state (reset never; the reader decodes the
     // stream strictly in order).

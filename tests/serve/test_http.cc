@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Wire-layer tests: listener lifecycle (ephemeral port, close wakes
+ * accept), request parsing through real loopback sockets, framing
+ * limits, and that malformed input is an error return — never a
+ * crash, never a fatal.
+ */
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "serve/http.hh"
+
+namespace irep
+{
+namespace
+{
+
+using serve::HttpRequest;
+using serve::HttpResponse;
+using serve::Listener;
+
+/** One raw exchange: send @p raw to the listener, parse server-side,
+ *  fill @p request / @p error. @return readRequest's verdict. */
+bool
+exchange(Listener &listener, const std::string &raw,
+         HttpRequest &request, std::string &error)
+{
+    bool ok = false;
+    std::thread client([&] {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(listener.port());
+        ASSERT_EQ(::connect(fd, (const sockaddr *)&addr,
+                            sizeof(addr)),
+                  0);
+        ASSERT_EQ(::send(fd, raw.data(), raw.size(), MSG_NOSIGNAL),
+                  ssize_t(raw.size()));
+        ::shutdown(fd, SHUT_WR);
+        char sink[256];
+        while (::recv(fd, sink, sizeof(sink), 0) > 0) {
+        }
+        ::close(fd);
+    });
+    const int conn = listener.accept();
+    EXPECT_GE(conn, 0);
+    ok = serve::readRequest(conn, request, error);
+    serve::writeResponse(conn, HttpResponse());
+    ::close(conn);
+    client.join();
+    return ok;
+}
+
+TEST(ServeHttp, EphemeralPortIsBoundAndReported)
+{
+    Listener listener(0);
+    EXPECT_GT(listener.port(), 0);
+
+    // A second listener must get a different port, proving the first
+    // is really bound.
+    Listener other(0);
+    EXPECT_NE(listener.port(), other.port());
+}
+
+TEST(ServeHttp, CloseWakesBlockedAccept)
+{
+    Listener listener(0);
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        listener.close();
+    });
+    EXPECT_EQ(listener.accept(), -1);
+    closer.join();
+}
+
+TEST(ServeHttp, ParsesRequestLineHeadersAndBody)
+{
+    Listener listener(0);
+    HttpRequest request;
+    std::string error;
+    ASSERT_TRUE(exchange(listener,
+                         "POST /analyze?workload=li HTTP/1.1\r\n"
+                         "Host: 127.0.0.1\r\n"
+                         "Content-Length: 11\r\n"
+                         "X-Custom: HeLLo\r\n"
+                         "\r\n"
+                         "hello world",
+                         request, error))
+        << error;
+    EXPECT_EQ(request.method, "POST");
+    EXPECT_EQ(request.path, "/analyze");
+    EXPECT_EQ(request.query, "workload=li");
+    EXPECT_EQ(request.queryParam("workload"), "li");
+    EXPECT_EQ(request.queryParam("absent"), "");
+    EXPECT_EQ(request.body, "hello world");
+    // Header names are case-insensitive per RFC; values keep case.
+    EXPECT_EQ(request.headers.at("x-custom"), "HeLLo");
+}
+
+TEST(ServeHttp, RejectsMalformedAndOversized)
+{
+    Listener listener(0);
+    HttpRequest request;
+    std::string error;
+
+    EXPECT_FALSE(
+        exchange(listener, "NONSENSE\r\n\r\n", request, error));
+    EXPECT_FALSE(error.empty());
+
+    request = HttpRequest();
+    EXPECT_FALSE(exchange(listener,
+                          "GET /health SMTP/1.0\r\n\r\n", request,
+                          error));
+
+    request = HttpRequest();
+    EXPECT_FALSE(exchange(listener,
+                          "POST / HTTP/1.1\r\n"
+                          "Content-Length: 999999999999\r\n\r\nx",
+                          request, error));
+    EXPECT_NE(error.find("exceeds"), std::string::npos);
+
+    // A peer that hangs up before finishing its declared body.
+    request = HttpRequest();
+    EXPECT_FALSE(exchange(listener,
+                          "POST / HTTP/1.1\r\n"
+                          "Content-Length: 50\r\n\r\nshort",
+                          request, error));
+}
+
+TEST(ServeHttp, ClientRoundTripsAgainstEchoServer)
+{
+    Listener listener(0);
+    std::thread server([&] {
+        const int conn = listener.accept();
+        ASSERT_GE(conn, 0);
+        HttpRequest request;
+        std::string error;
+        ASSERT_TRUE(serve::readRequest(conn, request, error))
+            << error;
+        HttpResponse response;
+        response.status = 200;
+        response.body = request.method + " " + request.path + " " +
+                        request.body;
+        serve::writeResponse(conn, response);
+        ::close(conn);
+    });
+    const HttpResponse response = serve::httpRequest(
+        listener.port(), "POST", "/echo", "payload");
+    server.join();
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "POST /echo payload");
+    EXPECT_EQ(response.contentType, "application/json");
+}
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Daemon tests. Routing, error mapping and document contents go
+ * through Server::route() in-process; the acceptance-criteria tests
+ * (concurrent requests byte-identical, repeats served from the trace
+ * cache without re-simulation, graceful shutdown) go through real
+ * loopback sockets via httpRequest().
+ */
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <unistd.h>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/http.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace irep
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+using serve::HttpRequest;
+using serve::HttpResponse;
+using serve::Server;
+using serve::ServerConfig;
+
+/** Drop the wall-clock-derived stat lines so two runs of the same
+ *  config compare equal — the same exclusion set as
+ *  ci/compare_stats.py. Everything else in an irep-stats-1 document
+ *  is deterministic and must match byte for byte. */
+std::string
+stripTiming(const std::string &doc)
+{
+    std::istringstream in(doc);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"skip_seconds\"") != std::string::npos ||
+            line.find("\"window_seconds\"") != std::string::npos ||
+            line.find("\"window_mips\"") != std::string::npos ||
+            line.find("\"wall_seconds\"") != std::string::npos)
+            continue;
+        out << line << '\n';
+    }
+    return out.str();
+}
+
+HttpRequest
+post(const std::string &path, const std::string &body)
+{
+    HttpRequest request;
+    request.method = "POST";
+    request.path = path;
+    request.body = body;
+    return request;
+}
+
+HttpRequest
+get(const std::string &path)
+{
+    HttpRequest request;
+    request.method = "GET";
+    request.path = path;
+    return request;
+}
+
+class ServeServer : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::unsetenv("IREP_TRACE_DIR");
+        ::unsetenv("IREP_TRACE_FORMAT");
+        ::unsetenv("IREP_TRACE_CODEC");
+        const auto *info =
+            testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = testing::TempDir() + "irep_serve_" + info->name();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("IREP_TRACE_DIR");
+        fs::remove_all(dir_);
+    }
+
+    void
+    useTraceCache()
+    {
+        ::setenv("IREP_TRACE_DIR", dir_.c_str(), 1);
+    }
+
+    std::string dir_;
+};
+
+TEST_F(ServeServer, HealthVersionAndMetricsRoutes)
+{
+    Server server(ServerConfig{0, 1});
+
+    const HttpResponse health = server.route(get("/health"));
+    EXPECT_EQ(health.status, 200);
+    EXPECT_EQ(json::parse(health.body).at("status").asString(),
+              "ok");
+
+    const HttpResponse version = server.route(get("/version"));
+    EXPECT_EQ(version.status, 200);
+    const json::Value vdoc = json::parse(version.body);
+    EXPECT_EQ(vdoc.at("schema").asString(), "irep-version-1");
+    EXPECT_FALSE(vdoc.at("build").asString().empty());
+    EXPECT_EQ(vdoc.at("schemas").at("stats").asString(),
+              "irep-stats-1");
+    EXPECT_GE(vdoc.at("trace").at("format").asU64(), 2u);
+    EXPECT_EQ(vdoc.at("trace").at("min_read").asU64(), 1u);
+    bool hasStore = false, hasLz = false;
+    for (const json::Value &codec :
+         vdoc.at("trace").at("codecs").elements()) {
+        hasStore |= codec.asString() == "store";
+        hasLz |= codec.asString() == "lz";
+    }
+    EXPECT_TRUE(hasStore);
+    EXPECT_TRUE(hasLz);
+    bool hasServe = false;
+    for (const json::Value &feature :
+         vdoc.at("features").elements())
+        hasServe |= feature.asString() == "serve";
+    EXPECT_TRUE(hasServe);
+
+    const HttpResponse metrics = server.route(get("/metrics"));
+    EXPECT_EQ(metrics.status, 200);
+    const json::Value mdoc = json::parse(metrics.body);
+    EXPECT_EQ(mdoc.at("schema").asString(), "irep-serve-metrics-1");
+    EXPECT_EQ(mdoc.at("analyses").asU64(), 0u);
+    EXPECT_EQ(mdoc.at("in_flight").asU64(), 0u);
+
+    const HttpResponse missing = server.route(get("/nope"));
+    EXPECT_EQ(missing.status, 404);
+    EXPECT_EQ(server.counters().errors.load(), 1u);
+}
+
+TEST_F(ServeServer, AnalyzeRouteMatchesTheServiceDocument)
+{
+    Server server(ServerConfig{0, 1});
+    const HttpResponse response = server.route(post(
+        "/analyze",
+        "{\"workload\": \"compress\", \"skip\": 20000, "
+        "\"window\": 60000}"));
+    ASSERT_EQ(response.status, 200) << response.body;
+
+    const json::Value doc = json::parse(response.body);
+    EXPECT_EQ(doc.at("schema").asString(), "irep-stats-1");
+    EXPECT_EQ(doc.at("command").asString(), "bench");
+    EXPECT_EQ(doc.at("target").asString(), "compress");
+    EXPECT_EQ(doc.at("config").at("skip").asU64(), 20000u);
+    EXPECT_EQ(doc.at("config").at("window").asU64(), 60000u);
+    EXPECT_EQ(doc.at("config").at("workload").asString(),
+              "compress");
+
+    // The same request through the service layer directly — the
+    // route must add nothing and drop nothing.
+    serve::AnalysisRequest request;
+    request.workload = "compress";
+    request.skip = 20000;
+    request.window = 60000;
+    const serve::AnalysisOutcome outcome =
+        serve::runAnalysis(request);
+    EXPECT_TRUE(outcome.simulated);
+    EXPECT_EQ(stripTiming(response.body),
+              stripTiming(outcome.statsJson));
+
+    EXPECT_EQ(server.counters().analyses.load(), 1u);
+    EXPECT_EQ(server.counters().simulations.load(), 1u);
+    EXPECT_EQ(server.counters().cacheHits.load(), 0u);
+    EXPECT_EQ(server.counters().errors.load(), 0u);
+}
+
+TEST_F(ServeServer, BadRequestsAre400AndCounted)
+{
+    Server server(ServerConfig{0, 1});
+    const char *bad[] = {
+        "not json at all",
+        "{\"workload\": \"no-such-workload\"}",
+        "{\"workload\": \"\"}",
+        "{\"workload\": \"compress\", \"windw\": 1000}",
+        "{\"workload\": \"compress\", \"window\": 0}",
+        "[\"compress\"]",
+    };
+    for (const char *body : bad) {
+        const HttpResponse response =
+            server.route(post("/analyze", body));
+        EXPECT_EQ(response.status, 400) << body;
+        EXPECT_FALSE(
+            json::parse(response.body).at("error").asString().empty())
+            << body;
+    }
+    EXPECT_EQ(server.counters().errors.load(), std::size(bad));
+    EXPECT_EQ(server.counters().analyses.load(), 0u);
+
+    const HttpResponse batch = server.route(
+        post("/batch", "{\"requests\": \"compress\"}"));
+    EXPECT_EQ(batch.status, 400);
+    const HttpResponse upload =
+        server.route(post("/analyze/trace", "bytes"));
+    EXPECT_EQ(upload.status, 400);    // missing ?workload=
+}
+
+TEST_F(ServeServer, BatchAnswersEveryRequestInOrder)
+{
+    Server server(ServerConfig{0, 1});
+    const HttpResponse response = server.route(post(
+        "/batch",
+        "{\"requests\": ["
+        "{\"workload\": \"compress\", \"skip\": 20000, "
+        "\"window\": 60000},"
+        "{\"workload\": \"compress\", \"skip\": 20000, "
+        "\"window\": 80000}]}"));
+    ASSERT_EQ(response.status, 200) << response.body;
+
+    const json::Value doc = json::parse(response.body);
+    EXPECT_EQ(doc.at("schema").asString(), "irep-serve-batch-1");
+    ASSERT_EQ(doc.at("results").size(), 2u);
+    EXPECT_EQ(doc.at("results").at(size_t(0)).at("config")
+                  .at("window").asU64(),
+              60000u);
+    EXPECT_EQ(doc.at("results").at(size_t(1)).at("config")
+                  .at("window").asU64(),
+              80000u);
+    EXPECT_EQ(server.counters().analyses.load(), 2u);
+}
+
+TEST_F(ServeServer, RepeatedConfigIsServedFromTheTraceCache)
+{
+    useTraceCache();
+    Server server(ServerConfig{0, 1});
+    const std::string body =
+        "{\"workload\": \"compress\", \"skip\": 20000, "
+        "\"window\": 60000}";
+
+    const HttpResponse first = server.route(post("/analyze", body));
+    ASSERT_EQ(first.status, 200) << first.body;
+    EXPECT_EQ(server.counters().simulations.load(), 1u);
+    EXPECT_EQ(server.counters().recorded.load(), 1u);
+    EXPECT_EQ(server.counters().cacheHits.load(), 0u);
+
+    const HttpResponse second = server.route(post("/analyze", body));
+    ASSERT_EQ(second.status, 200) << second.body;
+    EXPECT_EQ(server.counters().simulations.load(), 1u)
+        << "the repeat must replay, not re-simulate";
+    EXPECT_EQ(server.counters().cacheHits.load(), 1u);
+    EXPECT_EQ(server.counters().analyses.load(), 2u);
+
+    EXPECT_EQ(stripTiming(first.body), stripTiming(second.body));
+}
+
+TEST_F(ServeServer, UploadedTraceAnswersLikeTheCachedConfig)
+{
+    useTraceCache();
+    Server server(ServerConfig{0, 1});
+    const HttpResponse reference = server.route(post(
+        "/analyze",
+        "{\"workload\": \"compress\", \"skip\": 20000, "
+        "\"window\": 60000}"));
+    ASSERT_EQ(reference.status, 200) << reference.body;
+
+    // The first request published exactly one cache entry; upload
+    // those bytes back as the request body.
+    std::string tracePath;
+    for (const auto &entry : fs::directory_iterator(dir_))
+        tracePath = entry.path().string();
+    ASSERT_FALSE(tracePath.empty());
+    std::ifstream in(tracePath, std::ios::binary);
+    std::ostringstream raw;
+    raw << in.rdbuf();
+
+    HttpRequest upload = post("/analyze/trace", raw.str());
+    upload.query = "workload=compress";
+    const HttpResponse response = server.route(upload);
+    ASSERT_EQ(response.status, 200) << response.body;
+    EXPECT_EQ(stripTiming(response.body),
+              stripTiming(reference.body));
+
+    // The staged upload file must be gone again (match this
+    // process's pid so concurrently running test processes don't
+    // interfere).
+    const std::string prefix =
+        "irep_upload." + std::to_string(::getpid()) + ".";
+    unsigned leftovers = 0;
+    for (const auto &entry :
+         fs::directory_iterator(fs::temp_directory_path())) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind(prefix, 0) == 0)
+            ++leftovers;
+    }
+    EXPECT_EQ(leftovers, 0u);
+}
+
+TEST_F(ServeServer, ConcurrentRequestsAgreeAndSimulateOnce)
+{
+    useTraceCache();
+    Server server(ServerConfig{0, 4});
+    server.start();
+    const std::string body =
+        "{\"workload\": \"compress\", \"skip\": 20000, "
+        "\"window\": 60000}";
+
+    constexpr unsigned kClients = 8;
+    std::vector<HttpResponse> responses(kClients);
+    std::vector<std::thread> clients;
+    for (unsigned i = 0; i < kClients; ++i)
+        clients.emplace_back([&, i] {
+            responses[i] = serve::httpRequest(
+                server.port(), "POST", "/analyze", body);
+        });
+    for (std::thread &client : clients)
+        client.join();
+
+    for (unsigned i = 0; i < kClients; ++i) {
+        ASSERT_EQ(responses[i].status, 200) << responses[i].body;
+        EXPECT_EQ(stripTiming(responses[i].body),
+                  stripTiming(responses[0].body))
+            << "client " << i << " got a different answer";
+    }
+
+    EXPECT_EQ(server.counters().requests.load(), kClients);
+    EXPECT_EQ(server.counters().analyses.load(), kClients);
+    EXPECT_EQ(server.counters().simulations.load(), 1u)
+        << "the claim protocol must collapse the stampede to one "
+           "simulation";
+    EXPECT_EQ(server.counters().recorded.load(), 1u);
+    EXPECT_EQ(server.counters().cacheHits.load(), kClients - 1);
+    EXPECT_EQ(server.counters().errors.load(), 0u);
+
+    server.stop();
+    EXPECT_EQ(server.counters().inFlight.load(), 0u);
+}
+
+TEST_F(ServeServer, ShutdownEndpointRequestsAGracefulStop)
+{
+    Server server(ServerConfig{0, 2});
+    server.start();
+    EXPECT_FALSE(server.stopRequested());
+
+    const HttpResponse health =
+        serve::httpRequest(server.port(), "GET", "/health");
+    EXPECT_EQ(health.status, 200);
+
+    const HttpResponse response =
+        serve::httpRequest(server.port(), "POST", "/shutdown");
+    EXPECT_EQ(response.status, 202);
+    EXPECT_EQ(json::parse(response.body).at("status").asString(),
+              "stopping");
+    EXPECT_TRUE(server.stopRequested());
+
+    server.waitForStop();   // must not block: the flag is already set
+    server.stop();          // drains and joins; double stop is a noop
+    server.stop();
+}
+
+} // namespace
+} // namespace irep

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the built-in trace block compressor (support/lz):
+ * lossless round-trip over adversarial inputs, determinism, the
+ * store-fallback contract on incompressible data, and structural
+ * robustness of the decoder against corrupt and truncated streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "support/lz.hh"
+
+using namespace irep;
+
+namespace
+{
+
+std::vector<uint8_t>
+bytes(const std::string &s)
+{
+    return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+/** Compress with full headroom; expects success. */
+std::vector<uint8_t>
+compressed(const std::vector<uint8_t> &raw)
+{
+    std::vector<uint8_t> out(lz::maxCompressedSize(raw.size()));
+    const size_t n =
+        lz::compress(raw.data(), raw.size(), out.data(), out.size());
+    EXPECT_GT(n, 0u) << "compress did not fit its own upper bound";
+    out.resize(n);
+    return out;
+}
+
+void
+expectRoundTrip(const std::vector<uint8_t> &raw)
+{
+    const std::vector<uint8_t> comp = compressed(raw);
+    std::vector<uint8_t> back(raw.size());
+    ASSERT_TRUE(lz::decompress(comp.data(), comp.size(), back.data(),
+                               back.size()));
+    EXPECT_EQ(back, raw);
+}
+
+TEST(Lz, EmptyInput)
+{
+    expectRoundTrip({});
+}
+
+TEST(Lz, SingleByte)
+{
+    expectRoundTrip(bytes("x"));
+}
+
+TEST(Lz, ShortLiteralRun)
+{
+    expectRoundTrip(bytes("abcdefg"));
+}
+
+TEST(Lz, RepetitiveInputShrinks)
+{
+    std::vector<uint8_t> raw;
+    for (int i = 0; i < 4000; ++i) {
+        raw.push_back(uint8_t(i & 7));
+        raw.push_back(0x40);
+        raw.push_back(uint8_t(i >> 8));
+    }
+    const std::vector<uint8_t> comp = compressed(raw);
+    EXPECT_LT(comp.size(), raw.size() / 4)
+        << "repetitive stream should compress hard";
+    std::vector<uint8_t> back(raw.size());
+    ASSERT_TRUE(lz::decompress(comp.data(), comp.size(), back.data(),
+                               back.size()));
+    EXPECT_EQ(back, raw);
+}
+
+TEST(Lz, AllByteValues)
+{
+    std::vector<uint8_t> raw;
+    for (int rep = 0; rep < 3; ++rep)
+        for (int b = 0; b < 256; ++b)
+            raw.push_back(uint8_t(b));
+    expectRoundTrip(raw);
+}
+
+TEST(Lz, LongSelfOverlappingMatch)
+{
+    // RLE-style: matches whose source overlaps their destination.
+    std::vector<uint8_t> raw(100000, 0xaa);
+    const std::vector<uint8_t> comp = compressed(raw);
+    EXPECT_LT(comp.size(), 200u);
+    std::vector<uint8_t> back(raw.size());
+    ASSERT_TRUE(lz::decompress(comp.data(), comp.size(), back.data(),
+                               back.size()));
+    EXPECT_EQ(back, raw);
+}
+
+TEST(Lz, RandomDataRoundTrips)
+{
+    std::mt19937_64 rng(7);
+    std::vector<uint8_t> raw(65536);
+    for (auto &b : raw)
+        b = uint8_t(rng());
+    expectRoundTrip(raw);
+}
+
+TEST(Lz, MixedStructuredAndRandom)
+{
+    std::mt19937_64 rng(11);
+    std::vector<uint8_t> raw;
+    for (int i = 0; i < 200; ++i) {
+        for (int j = 0; j < 64; ++j)
+            raw.push_back(uint8_t(j));
+        for (int j = 0; j < 16; ++j)
+            raw.push_back(uint8_t(rng()));
+    }
+    expectRoundTrip(raw);
+}
+
+TEST(Lz, VaryingSizesAroundBoundaries)
+{
+    std::mt19937_64 rng(13);
+    for (size_t size : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 16u, 17u,
+                        255u, 256u, 257u, 4095u, 4096u, 4097u}) {
+        std::vector<uint8_t> raw(size);
+        for (auto &b : raw)
+            b = uint8_t(rng() & 0x3f); // mildly compressible
+        expectRoundTrip(raw);
+    }
+}
+
+TEST(Lz, Deterministic)
+{
+    std::vector<uint8_t> raw;
+    for (int i = 0; i < 10000; ++i)
+        raw.push_back(uint8_t((i * 2654435761u) >> 13));
+    const std::vector<uint8_t> a = compressed(raw);
+    const std::vector<uint8_t> b = compressed(raw);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Lz, ReturnsZeroWhenCapTooSmall)
+{
+    // Random data cannot shrink: with cap < n the encoder must bail
+    // out with 0 (the caller's cue to store the block raw) instead
+    // of writing a truncated stream.
+    std::mt19937_64 rng(17);
+    std::vector<uint8_t> raw(4096);
+    for (auto &b : raw)
+        b = uint8_t(rng());
+    std::vector<uint8_t> out(raw.size() - 1);
+    EXPECT_EQ(lz::compress(raw.data(), raw.size(), out.data(),
+                           out.size()),
+              0u);
+}
+
+TEST(Lz, DecompressRejectsOrMisdecodesCorruptInputSafely)
+{
+    // Flipping any byte must never crash or hang; it either fails
+    // structurally or produces wrong bytes for the caller's CRC.
+    std::vector<uint8_t> raw;
+    for (int i = 0; i < 3000; ++i)
+        raw.push_back(uint8_t(i % 53));
+    const std::vector<uint8_t> comp = compressed(raw);
+    for (size_t at = 0; at < comp.size(); ++at) {
+        std::vector<uint8_t> evil = comp;
+        evil[at] ^= 0x41;
+        std::vector<uint8_t> back(raw.size(), 0);
+        const bool ok = lz::decompress(evil.data(), evil.size(),
+                                       back.data(), back.size());
+        if (ok && back == raw) {
+            // A flip in the encoder's slack bytes can be harmless —
+            // but the stream must then still be a faithful decode.
+            continue;
+        }
+        // Otherwise: structurally rejected or wrong bytes; both are
+        // fine — v2 frames carry a raw CRC for exactly this case.
+    }
+}
+
+TEST(Lz, DecompressHandlesTruncatedInput)
+{
+    std::vector<uint8_t> raw;
+    for (int i = 0; i < 3000; ++i)
+        raw.push_back(uint8_t(i % 53));
+    const std::vector<uint8_t> comp = compressed(raw);
+    for (size_t keep = 0; keep < comp.size(); keep += 7) {
+        std::vector<uint8_t> back(raw.size(), 0);
+        // Must terminate without reading past the truncated buffer;
+        // result correctness is the caller's CRC's problem.
+        lz::decompress(comp.data(), keep, back.data(), back.size());
+    }
+}
+
+TEST(Lz, DecompressRejectsEmptyInputForNonEmptyOutput)
+{
+    std::vector<uint8_t> back(16, 0xcc);
+    // All-zero padding decodes *something*; it must just stay in
+    // bounds and terminate.
+    lz::decompress(nullptr, 0, back.data(), back.size());
+}
+
+TEST(Lz, MaxCompressedSizeIsMonotonic)
+{
+    EXPECT_GE(lz::maxCompressedSize(0), 5u);
+    EXPECT_GE(lz::maxCompressedSize(100), 100u);
+    EXPECT_GE(lz::maxCompressedSize(1u << 20), (1u << 20) + 5u);
+}
+
+} // namespace

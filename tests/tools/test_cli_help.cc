@@ -68,7 +68,7 @@ TEST(CliHelp, EverySubcommandIsInTheCliReference)
     const std::string reference = readFile(IREP_CLI_DOC);
     for (const char *command :
          {"compile", "disasm", "run", "analyze", "bench", "record",
-          "fuzz"}) {
+          "fuzz", "serve", "version"}) {
         EXPECT_NE(reference.find(std::string("irep ") + command),
                   std::string::npos)
             << "docs/cli.md does not document `irep " << command

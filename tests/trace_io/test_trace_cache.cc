@@ -6,10 +6,13 @@
  * crash and never a silent replay.
  */
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -125,6 +128,92 @@ TEST_F(TraceCache, MissThenHitThenKeyInvalidation)
               nullptr);
     EXPECT_EQ(trace_io::openCached(path, identity, 0, 39'999),
               nullptr);
+}
+
+TEST_F(TraceCache, FindCachedPrefersNewestReadableVersion)
+{
+    const auto &w = workloads::workloadByName("li");
+    const uint64_t identity =
+        trace_io::identityHash(workloads::buildProgram(w), w.input);
+
+    // Only a version-1 entry exists (an older build's recording):
+    // findCached must fall back to it rather than re-record.
+    trace_io::TraceWriterOptions v1;
+    v1.version = 1;
+    test::recordWorkload(
+        "li", trace_io::cachePath(dir_, "li", identity, 0, 40'000, 1),
+        40'000, 0, v1);
+    auto reader = trace_io::findCached(dir_, "li", identity, 0,
+                                       40'000);
+    ASSERT_NE(reader, nullptr);
+    EXPECT_EQ(reader->header().version, 1u);
+
+    // Once a current-version entry exists too, it wins.
+    test::recordWorkload(
+        "li", trace_io::cachePath(dir_, "li", identity, 0, 40'000),
+        40'000);
+    reader = trace_io::findCached(dir_, "li", identity, 0, 40'000);
+    ASSERT_NE(reader, nullptr);
+    EXPECT_EQ(reader->header().version, trace_io::formatVersion);
+}
+
+TEST_F(TraceCache, ConcurrentSameKeyRequestsRecordOnceAndAgree)
+{
+    // Several threads ask for the same uncached config through the
+    // probe -> claim -> re-probe flow the harness and daemon use:
+    // exactly one may simulate and record; the rest must wait and
+    // replay the published file, and every thread's dispatch stream
+    // must be identical.
+    const auto &w = workloads::workloadByName("li");
+    const uint64_t identity =
+        trace_io::identityHash(workloads::buildProgram(w), w.input);
+    constexpr uint64_t window = 40'000;
+    constexpr int threads = 4;
+
+    std::atomic<int> recorders{0};
+    std::vector<std::vector<test::Event>> streams(threads);
+
+    auto runOnce = [&](int slot) {
+        auto replayFrom = [&](trace_io::TraceReader &reader) {
+            auto machine = test::makeWorkloadMachine("li");
+            reader.bind(*machine, w.input);
+            test::CaptureObserver sink;
+            reader.replay(sink, UINT64_MAX);
+            streams[slot] = std::move(sink.events);
+        };
+        if (auto hit = trace_io::findCached(dir_, "li", identity, 0,
+                                            window)) {
+            replayFrom(*hit);
+            return;
+        }
+        const std::string path =
+            trace_io::cachePath(dir_, "li", identity, 0, window);
+        trace_io::RecordClaim claim(path);
+        if (auto hit = trace_io::findCached(dir_, "li", identity, 0,
+                                            window)) {
+            replayFrom(*hit);
+            return;
+        }
+        recorders.fetch_add(1);
+        streams[slot] = test::recordWorkload("li", path, window);
+    };
+
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back(runOnce, t);
+    for (auto &th : pool)
+        th.join();
+
+    EXPECT_EQ(recorders.load(), 1);
+    // One committed trace, no temporaries left behind.
+    size_t files = 0;
+    for ([[maybe_unused]] const auto &e :
+         fs::directory_iterator(dir_))
+        ++files;
+    EXPECT_EQ(files, 1u);
+    ASSERT_FALSE(streams[0].empty());
+    for (int t = 1; t < threads; ++t)
+        test::expectSameStream(streams[0], streams[t]);
 }
 
 TEST_F(TraceCache, CorruptCachedFileIsAMissNotACrash)

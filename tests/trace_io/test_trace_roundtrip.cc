@@ -27,6 +27,7 @@ namespace
 
 using test::CaptureObserver;
 using test::Event;
+using test::expectSameStream;
 using test::makeWorkloadMachine;
 using test::recordWorkload;
 
@@ -34,45 +35,6 @@ std::string
 tempPath(const std::string &name)
 {
     return testing::TempDir() + name;
-}
-
-void
-expectSameStream(const std::vector<Event> &live,
-                 const std::vector<Event> &replayed)
-{
-    ASSERT_EQ(live.size(), replayed.size());
-    for (size_t i = 0; i < live.size(); ++i) {
-        const Event &a = live[i];
-        const Event &b = replayed[i];
-        ASSERT_EQ(a.isSyscall, b.isSyscall) << "event " << i;
-        if (a.isSyscall) {
-            EXPECT_EQ(int(a.syscall.num), int(b.syscall.num));
-            EXPECT_EQ(a.syscall.arg0, b.syscall.arg0);
-            EXPECT_EQ(a.syscall.arg1, b.syscall.arg1);
-            EXPECT_EQ(a.syscall.result, b.syscall.result);
-            EXPECT_EQ(a.syscall.writtenAddr, b.syscall.writtenAddr);
-            EXPECT_EQ(a.syscall.writtenLen, b.syscall.writtenLen);
-            continue;
-        }
-        ASSERT_EQ(a.instr.seq, b.instr.seq) << "event " << i;
-        EXPECT_EQ(a.instr.pc, b.instr.pc);
-        EXPECT_EQ(a.instr.staticIndex, b.instr.staticIndex);
-        ASSERT_NE(b.instr.inst, nullptr);
-        EXPECT_EQ(int(a.instr.inst->op), int(b.instr.inst->op));
-        ASSERT_EQ(a.instr.numSrcRegs, b.instr.numSrcRegs);
-        for (int s = 0; s < a.instr.numSrcRegs; ++s)
-            EXPECT_EQ(a.instr.srcVal[s], b.instr.srcVal[s]);
-        EXPECT_EQ(a.instr.isMemAccess, b.instr.isMemAccess);
-        if (a.instr.isMemAccess) {
-            EXPECT_EQ(a.instr.memAddr, b.instr.memAddr);
-        }
-        EXPECT_EQ(a.instr.writesReg, b.instr.writesReg);
-        if (a.instr.writesReg) {
-            EXPECT_EQ(int(a.instr.destReg), int(b.instr.destReg));
-        }
-        EXPECT_EQ(a.instr.result, b.instr.result);
-        EXPECT_EQ(a.instr.nextPc, b.instr.nextPc);
-    }
 }
 
 TEST(TraceRoundTrip, ReplayDispatchesIdenticalStream)

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Format-version-2 tests: compressed traces are the default, replay
+ * losslessly with every codec, stay materially smaller than the same
+ * stream in version 1, keep version-1 files writable and readable,
+ * expose the raw/stored payload accounting the compression-ratio
+ * reporting is built on, and parse the IREP_TRACE_FORMAT /
+ * IREP_TRACE_CODEC knobs strictly.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace_io/format.hh"
+#include "trace_io/reader.hh"
+#include "trace_io/writer.hh"
+#include "trace_test_util.hh"
+#include "workloads/workloads.hh"
+
+namespace irep
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+using test::CaptureObserver;
+using test::Event;
+using test::expectSameStream;
+using test::makeWorkloadMachine;
+using test::recordWorkload;
+
+class TraceV2 : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = testing::TempDir() + "trace_v2_" +
+               testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        unsetenv("IREP_TRACE_FORMAT");
+        unsetenv("IREP_TRACE_CODEC");
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(dir_);
+        unsetenv("IREP_TRACE_FORMAT");
+        unsetenv("IREP_TRACE_CODEC");
+    }
+
+    std::vector<Event>
+    replay(const std::string &name, trace_io::TraceReader &reader)
+    {
+        auto machine = makeWorkloadMachine(name);
+        reader.bind(*machine,
+                    workloads::workloadByName(name).input);
+        CaptureObserver replayed;
+        reader.replay(replayed, UINT64_MAX);
+        EXPECT_TRUE(reader.atEnd());
+        return std::move(replayed.events);
+    }
+
+    std::string dir_;
+};
+
+TEST_F(TraceV2, CompressedIsTheDefaultAndReplaysLosslessly)
+{
+    const std::string path = dir_ + "/default.irtrace";
+    const std::vector<Event> live =
+        recordWorkload("compress", path, 120'000);
+
+    trace_io::TraceReader reader(path);
+    EXPECT_EQ(reader.header().version, 2u);
+    EXPECT_EQ(trace_io::formatVersion, 2u);
+    expectSameStream(live, replay("compress", reader));
+
+    // The whole point of the format bump: the stored payload must be
+    // materially smaller than the decoded stream.
+    EXPECT_GT(reader.rawPayloadBytes(), 0u);
+    EXPECT_LT(reader.storedPayloadBytes(),
+              reader.rawPayloadBytes() / 2);
+}
+
+TEST_F(TraceV2, StoreCodecRoundTrips)
+{
+    const std::string path = dir_ + "/store.irtrace";
+    trace_io::TraceWriterOptions options;
+    options.codec = trace_io::Codec::Store;
+    const std::vector<Event> live =
+        recordWorkload("li", path, 60'000, 0, options);
+
+    trace_io::TraceReader reader(path);
+    EXPECT_EQ(reader.header().version, 2u);
+    expectSameStream(live, replay("li", reader));
+    EXPECT_EQ(reader.storedPayloadBytes(), reader.rawPayloadBytes());
+}
+
+TEST_F(TraceV2, Version1StillWritesAndReplays)
+{
+    const std::string path = dir_ + "/v1.irtrace";
+    trace_io::TraceWriterOptions options;
+    options.version = 1;
+    const std::vector<Event> live =
+        recordWorkload("li", path, 60'000, 0, options);
+
+    trace_io::TraceReader reader(path);
+    EXPECT_EQ(reader.header().version, 1u);
+    expectSameStream(live, replay("li", reader));
+    // Version 1 has no compression framing: stored == raw.
+    EXPECT_EQ(reader.storedPayloadBytes(), reader.rawPayloadBytes());
+}
+
+TEST_F(TraceV2, Version2FileIsSmallerThanVersion1)
+{
+    const std::string v1 = dir_ + "/size.v1.irtrace";
+    const std::string v2 = dir_ + "/size.v2.irtrace";
+    trace_io::TraceWriterOptions options;
+    options.version = 1;
+    recordWorkload("compress", v1, 120'000, 0, options);
+    recordWorkload("compress", v2, 120'000);
+
+    ASSERT_GT(fs::file_size(v1), 0u);
+    EXPECT_LT(fs::file_size(v2), fs::file_size(v1) / 2);
+}
+
+TEST_F(TraceV2, WriterAndReaderAgreeOnPayloadAccounting)
+{
+    const std::string path = dir_ + "/counters.irtrace";
+    const auto &w = workloads::workloadByName("compress");
+    auto machine = makeWorkloadMachine("compress");
+    trace_io::TraceWriter writer(path, *machine, w.input, 0,
+                                 120'000);
+    machine->addObserver(&writer);
+    machine->run(120'000);
+    machine->removeObserver(&writer);
+    writer.commit();
+
+    EXPECT_EQ(writer.version(), 2u);
+    EXPECT_GT(writer.rawPayloadBytes(), 0u);
+    EXPECT_LT(writer.storedPayloadBytes(), writer.rawPayloadBytes());
+
+    trace_io::TraceReader reader(path);
+    EXPECT_EQ(reader.rawPayloadBytes(), writer.rawPayloadBytes());
+    EXPECT_EQ(reader.storedPayloadBytes(),
+              writer.storedPayloadBytes());
+    EXPECT_EQ(reader.totalInstrRecords(), writer.instrRecords());
+}
+
+TEST_F(TraceV2, FormatKnobSelectsVersionAndParsesStrictly)
+{
+    setenv("IREP_TRACE_FORMAT", "1", 1);
+    EXPECT_EQ(trace_io::TraceWriterOptions::fromEnv().version, 1u);
+    setenv("IREP_TRACE_FORMAT", "2", 1);
+    EXPECT_EQ(trace_io::TraceWriterOptions::fromEnv().version, 2u);
+
+    setenv("IREP_TRACE_FORMAT", "3", 1);
+    EXPECT_THROW(trace_io::TraceWriterOptions::fromEnv(), FatalError);
+    setenv("IREP_TRACE_FORMAT", "0", 1);
+    EXPECT_THROW(trace_io::TraceWriterOptions::fromEnv(), FatalError);
+    setenv("IREP_TRACE_FORMAT", "junk", 1);
+    EXPECT_THROW(trace_io::TraceWriterOptions::fromEnv(), FatalError);
+}
+
+TEST_F(TraceV2, CodecKnobSelectsCodecAndParsesStrictly)
+{
+    setenv("IREP_TRACE_CODEC", "store", 1);
+    EXPECT_EQ(trace_io::TraceWriterOptions::fromEnv().codec,
+              trace_io::Codec::Store);
+    setenv("IREP_TRACE_CODEC", "lz", 1);
+    EXPECT_EQ(trace_io::TraceWriterOptions::fromEnv().codec,
+              trace_io::Codec::IrepLz);
+
+    if (trace_io::codecAvailable(trace_io::Codec::Zstd)) {
+        setenv("IREP_TRACE_CODEC", "zstd", 1);
+        EXPECT_EQ(trace_io::TraceWriterOptions::fromEnv().codec,
+                  trace_io::Codec::Zstd);
+    } else {
+        // Naming a codec this build lacks is the user's error.
+        setenv("IREP_TRACE_CODEC", "zstd", 1);
+        EXPECT_THROW(trace_io::TraceWriterOptions::fromEnv(),
+                     FatalError);
+    }
+
+    setenv("IREP_TRACE_CODEC", "gzip", 1);
+    EXPECT_THROW(trace_io::TraceWriterOptions::fromEnv(), FatalError);
+}
+
+TEST_F(TraceV2, EnvKnobsReachTheWriter)
+{
+    setenv("IREP_TRACE_FORMAT", "1", 1);
+    const std::string v1 = dir_ + "/env.v1.irtrace";
+    recordWorkload("li", v1, 30'000);
+    EXPECT_EQ(trace_io::TraceReader(v1).header().version, 1u);
+
+    unsetenv("IREP_TRACE_FORMAT");
+    setenv("IREP_TRACE_CODEC", "store", 1);
+    const std::string stored = dir_ + "/env.store.irtrace";
+    recordWorkload("li", stored, 30'000);
+    trace_io::TraceReader reader(stored);
+    EXPECT_EQ(reader.header().version, 2u);
+    EXPECT_EQ(reader.storedPayloadBytes(), reader.rawPayloadBytes());
+}
+
+} // namespace
+} // namespace irep

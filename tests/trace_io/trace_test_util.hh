@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include <gtest/gtest.h>
+
 #include "sim/machine.hh"
 #include "sim/observer.hh"
 #include "trace_io/writer.hh"
@@ -36,6 +38,10 @@ struct Event
     bool isSyscall = false;
     sim::InstrRecord instr;     //!< valid when !isSyscall
     sim::SyscallRecord syscall; //!< valid when isSyscall
+    int op = -1;    //!< instr.inst->op, copied at dispatch time: the
+                    //!< Instruction lives in the machine (live run) or
+                    //!< reader (replay), either of which may be gone
+                    //!< by the time streams are compared
 };
 
 /** Records every dispatch, in order. */
@@ -48,6 +54,7 @@ struct CaptureObserver : sim::Observer
     {
         Event e;
         e.instr = rec;
+        e.op = rec.inst ? int(rec.inst->op) : -1;
         events.push_back(e);
     }
 
@@ -67,18 +74,60 @@ struct CaptureObserver : sim::Observer
  */
 inline std::vector<Event>
 recordWorkload(const std::string &name, const std::string &path,
-               uint64_t instructions, uint64_t skip = 0)
+               uint64_t instructions, uint64_t skip = 0,
+               trace_io::TraceWriterOptions options =
+                   trace_io::TraceWriterOptions::fromEnv())
 {
     const auto &w = workloads::workloadByName(name);
     auto machine = makeWorkloadMachine(name);
     CaptureObserver capture;
     trace_io::TraceWriter writer(path, *machine, w.input, skip,
-                                 instructions - skip);
+                                 instructions - skip, options);
     machine->addObserver(&capture);
     machine->addObserver(&writer);
     machine->run(instructions);
     writer.commit();
     return std::move(capture.events);
+}
+
+/** Assert two dispatch streams are field-for-field identical. */
+inline void
+expectSameStream(const std::vector<Event> &live,
+                 const std::vector<Event> &replayed)
+{
+    ASSERT_EQ(live.size(), replayed.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+        const Event &a = live[i];
+        const Event &b = replayed[i];
+        ASSERT_EQ(a.isSyscall, b.isSyscall) << "event " << i;
+        if (a.isSyscall) {
+            EXPECT_EQ(int(a.syscall.num), int(b.syscall.num));
+            EXPECT_EQ(a.syscall.arg0, b.syscall.arg0);
+            EXPECT_EQ(a.syscall.arg1, b.syscall.arg1);
+            EXPECT_EQ(a.syscall.result, b.syscall.result);
+            EXPECT_EQ(a.syscall.writtenAddr, b.syscall.writtenAddr);
+            EXPECT_EQ(a.syscall.writtenLen, b.syscall.writtenLen);
+            continue;
+        }
+        ASSERT_EQ(a.instr.seq, b.instr.seq) << "event " << i;
+        EXPECT_EQ(a.instr.pc, b.instr.pc);
+        EXPECT_EQ(a.instr.staticIndex, b.instr.staticIndex);
+        ASSERT_NE(b.instr.inst, nullptr);
+        EXPECT_EQ(a.op, b.op);
+        ASSERT_EQ(a.instr.numSrcRegs, b.instr.numSrcRegs);
+        for (int s = 0; s < a.instr.numSrcRegs; ++s)
+            EXPECT_EQ(a.instr.srcVal[s], b.instr.srcVal[s]);
+        EXPECT_EQ(a.instr.isMemAccess, b.instr.isMemAccess);
+        if (a.instr.isMemAccess) {
+            EXPECT_EQ(a.instr.memAddr, b.instr.memAddr);
+        }
+        EXPECT_EQ(a.instr.writesReg, b.instr.writesReg);
+        if (a.instr.writesReg) {
+            EXPECT_EQ(int(a.instr.destReg), int(b.instr.destReg));
+        }
+        EXPECT_EQ(a.instr.result, b.instr.result);
+        EXPECT_EQ(a.instr.nextPc, b.instr.nextPc);
+    }
 }
 
 } // namespace irep::test

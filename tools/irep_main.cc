@@ -16,6 +16,14 @@
  *                                          the minicc->asm->sim
  *                                          pipeline against the
  *                                          reference interpreter
+ *   irep serve [opts]                      loopback analysis daemon
+ *                                          (src/serve): POST /analyze
+ *                                          returns the irep-stats-1
+ *                                          document; repeats replay
+ *                                          from the IREP_TRACE_DIR
+ *                                          cache
+ *   irep version                           build id + schema versions
+ *                                          as JSON
  *
  * Options:
  *   --input <file>     bytes served by the read syscall
@@ -50,9 +58,11 @@
  * else is treated as MiniC (with the runtime library linked in).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -66,6 +76,8 @@
 #include "harness/suite.hh"
 #include "isa/instruction.hh"
 #include "minicc/compiler.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
 #include "sim/machine.hh"
 #include "sim/trace.hh"
 #include "support/json.hh"
@@ -74,6 +86,7 @@
 #include "support/parallel.hh"
 #include "support/parse.hh"
 #include "support/prof.hh"
+#include "support/signals.hh"
 #include "support/stat_math.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
@@ -112,6 +125,7 @@ struct Options
     uint64_t progress = 0;
     std::string fromTrace;  //!< replay source for analyze/bench
     std::string outputFile; //!< trace destination for record
+    uint16_t port = 0;      //!< serve: 0 = ephemeral
 
     // fuzz only:
     uint64_t seed = 1;
@@ -175,9 +189,12 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         usage();
     opts.command = argv[1];
-    // `fuzz` takes no target; every other command requires one.
+    // `fuzz`, `serve` and `version` take no target; every other
+    // command requires one.
     int first_flag = 2;
-    if (opts.command != "fuzz") {
+    const bool targetless = opts.command == "fuzz" ||
+        opts.command == "serve" || opts.command == "version";
+    if (!targetless) {
         if (argc < 3)
             usage();
         opts.target = argv[2];
@@ -232,6 +249,11 @@ parseArgs(int argc, char **argv)
             opts.fromTrace = next();
         else if (arg == "--output")
             opts.outputFile = next();
+        else if (arg == "--port") {
+            const uint64_t port = parseU64(arg, next());
+            fatalIf(port > 65535, "--port must be <= 65535");
+            opts.port = uint16_t(port);
+        }
         else if (arg == "--seed") {
             opts.seed = parseU64(arg, next());
             opts.fuzzFlagSeen = true;
@@ -274,6 +296,8 @@ parseArgs(int argc, char **argv)
             "` cannot replay a trace");
     fatalIf(!opts.outputFile.empty() && opts.command != "record",
             "--output only applies to `record`");
+    fatalIf(opts.port != 0 && opts.command != "serve",
+            "--port only applies to `serve`");
     // Window sharding only exists where the analyses run.
     fatalIf(opts.windowJobs != 0 && opts.command != "analyze" &&
                 opts.command != "bench",
@@ -459,12 +483,12 @@ report(core::AnalysisPipeline &pipeline, uint64_t measured, FILE *out)
 }
 
 /**
- * Write the schema-stable JSON report: run config, per-phase timing
- * and throughput, and every statistic each analysis registers. The
- * document is built in memory and published atomically (tmp + rename;
- * `-` = stdout); with the profiler enabled an `irep-prof-1` `profile`
- * block rides along — without it the document is byte-identical to
- * what pre-profiler builds wrote.
+ * Write the schema-stable JSON report through the shared document
+ * builder (serve::writeStatsDoc — the daemon's /analyze responses use
+ * the same code, so CLI file and daemon answer can never drift). The
+ * document is published atomically (tmp + rename; `-` = stdout);
+ * with the profiler enabled an `irep-prof-1` `profile` block rides
+ * along.
  */
 void
 writeStatsJson(const Options &opts,
@@ -472,38 +496,13 @@ writeStatsJson(const Options &opts,
                const std::string &workload)
 {
     AtomicOutFile file(opts.statsJsonFile);
-    std::ostream &out = file.stream();
-
-    json::Writer w(out);
-    w.beginObject();
-    w.field("schema", "irep-stats-1");
-    w.field("command", opts.command);
-    w.field("target", opts.target);
-
-    w.key("config");
-    w.beginObject();
-    w.field("skip", pipeline.config().skipInstructions);
-    w.field("window", pipeline.config().windowInstructions);
-    w.field("instance_cap",
-            uint64_t(pipeline.config().instanceCap));
-    if (!workload.empty())
-        w.field("workload", workload);
-    if (!opts.inputFile.empty())
-        w.field("input", opts.inputFile);
-    w.endObject();
-
-    stats::Group root;
-    pipeline.registerStats(root);
-    w.key("stats");
-    stats::dumpJson(root, w);
-
-    if (prof::enabled()) {
-        w.key("profile");
-        prof::writeSummary(w);
-    }
-
-    w.endObject();
-    out << '\n';
+    serve::StatsDocSpec spec;
+    spec.command = opts.command;
+    spec.target = opts.target;
+    spec.workload = workload;
+    spec.input = opts.inputFile;
+    spec.withProfile = prof::enabled();
+    serve::writeStatsDoc(file.stream(), pipeline, spec);
     file.commit();
 }
 
@@ -720,10 +719,15 @@ cmdRecord(const Options &opts)
 
     Instrumentation instr(opts, machine);
     trace_io::TraceWriter writer(path, machine, input, skip, window);
+    // A ^C mid-recording must not orphan the temporary: the file is
+    // unpublished either way (commit() is the rename), this only
+    // keeps the cache directory clean.
+    signals::removeOnFatalSignal(writer.tmpPath());
     machine.addObserver(&writer);
     const uint64_t executed = machine.run(skip + window);
     machine.removeObserver(&writer);
     writer.commit();
+    signals::clearRemoveOnFatalSignal();
 
     std::fprintf(stderr,
                  "irep: recorded %llu instructions + %llu syscall "
@@ -733,12 +737,104 @@ cmdRecord(const Options &opts)
                  double(writer.bytesWritten()) / (1024.0 * 1024.0),
                  (unsigned long long)skip,
                  (unsigned long long)window, path.c_str());
+    if (writer.instrRecords() > 0) {
+        const double instrs = double(writer.instrRecords());
+        std::fprintf(
+            stderr,
+            "irep: payload %.2f B/instr raw -> %.2f B/instr stored "
+            "(%.2fx, format v%u, %s)\n",
+            double(writer.rawPayloadBytes()) / instrs,
+            double(writer.storedPayloadBytes()) / instrs,
+            writer.storedPayloadBytes() > 0
+                ? double(writer.rawPayloadBytes()) /
+                    double(writer.storedPayloadBytes())
+                : 1.0,
+            writer.version(),
+            writer.version() >= 2
+                ? trace_io::codecName(writer.codec())
+                : "uncompressed");
+    }
     if (executed < skip + window) {
         std::fprintf(stderr,
                      "irep: note: program halted after %llu "
                      "instructions, before skip+window\n",
                      (unsigned long long)executed);
     }
+    return 0;
+}
+
+/** `irep version`: the build/schema document, on stdout. */
+int
+cmdVersion(const Options &)
+{
+    json::Writer w(std::cout);
+    serve::writeVersionDoc(w);
+    std::cout << '\n';
+    return 0;
+}
+
+/**
+ * `irep serve`: the analysis daemon. Blocks until SIGINT/SIGTERM or
+ * POST /shutdown, then drains in-flight requests before returning.
+ */
+int
+cmdServe(const Options &opts)
+{
+    // A client that hangs up mid-response must surface as a send
+    // error, never kill the daemon. (Sends also pass MSG_NOSIGNAL;
+    // this covers any path that doesn't.)
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Block the shutdown signals *before* spawning threads so every
+    // worker inherits the mask and delivery funnels into the
+    // sigtimedwait() below instead of a random thread.
+    sigset_t stopSignals;
+    sigemptyset(&stopSignals);
+    sigaddset(&stopSignals, SIGINT);
+    sigaddset(&stopSignals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &stopSignals, nullptr);
+
+    serve::ServerConfig config;
+    config.port = opts.port;
+    config.threads = opts.jobs;
+    serve::Server server(config);
+    server.start();
+
+    const std::string traceDir = trace_io::cacheDir();
+    std::fprintf(stderr,
+                 "irep: serving on 127.0.0.1:%u (%u workers, cache %s)\n",
+                 unsigned(server.port()),
+                 opts.jobs ? opts.jobs : parallel::defaultJobs(),
+                 traceDir.empty() ? "off" : traceDir.c_str());
+
+    // Wait for either a shutdown signal or a /shutdown request (the
+    // 200ms tick is what notices the latter).
+    timespec tick;
+    tick.tv_sec = 0;
+    tick.tv_nsec = 200'000'000;
+    while (!server.stopRequested()) {
+        const int sig = sigtimedwait(&stopSignals, nullptr, &tick);
+        if (sig == SIGINT || sig == SIGTERM) {
+            std::fprintf(stderr,
+                         "irep: signal %d: draining %llu in-flight "
+                         "request(s)\n",
+                         sig,
+                         (unsigned long long)
+                             server.counters().inFlight.load());
+            server.requestStop();
+        }
+    }
+    server.stop();
+
+    const serve::ServerCounters &c = server.counters();
+    std::fprintf(stderr,
+                 "irep: served %llu requests (%llu analyses: %llu "
+                 "simulated, %llu cache hits), %llu errors\n",
+                 (unsigned long long)c.requests.load(),
+                 (unsigned long long)c.analyses.load(),
+                 (unsigned long long)c.simulations.load(),
+                 (unsigned long long)c.cacheHits.load(),
+                 (unsigned long long)c.errors.load());
     return 0;
 }
 
@@ -784,6 +880,10 @@ dispatch(const Options &opts)
         return cmdRecord(opts);
     if (opts.command == "fuzz")
         return cmdFuzz(opts);
+    if (opts.command == "serve")
+        return cmdServe(opts);
+    if (opts.command == "version")
+        return cmdVersion(opts);
     usage();
 }
 
