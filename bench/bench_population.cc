@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Extension (beyond the paper's 8 hand-picked SPEC'95 binaries): the
+ * same headline repetition metrics measured across a *population* of
+ * generated MiniC programs, reported as distributions — median,
+ * distribution-free 95% CI, quartiles, extremes — plus where each
+ * paper workload lands inside that population. This is the
+ * `irep bench --generated N` study in bench-binary form so the
+ * EXPERIMENTS.md regeneration loop (`for b in build/bench/bench_*`)
+ * emits it alongside the per-table experiments.
+ *
+ * Knobs: IREP_POP (population size, default 1000), IREP_POP_SEED
+ * (seed of program 0, default 1), IREP_WINDOW (per-program window,
+ * default 4M — generated programs usually halt far earlier), and the
+ * usual IREP_TRACE_DIR cache (each program is simulated once, ever).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness/population.hh"
+#include "harness/suite.hh"
+#include "support/parse.hh"
+#include "support/table.hh"
+
+using namespace irep;
+
+int
+main()
+{
+    bench::printHeader(
+        "Extension: population-scale repetition (generated programs)",
+        "Sodani & Sohi ASPLOS'98 measured 8 binaries; this is the "
+        "same study over a generated population");
+
+    bench::PopulationConfig config;
+    config.count =
+        uint32_t(parse::envU64("IREP_POP", 1000));
+    config.popSeed = parse::envU64("IREP_POP_SEED", 1);
+    config.pipeline.skipInstructions = 0;
+    config.pipeline.windowInstructions =
+        parse::envU64("IREP_WINDOW", 4'000'000);
+    bench::PopulationSuite suite(config);
+
+    std::printf("-- %u generated programs (seeds %llu..%llu), "
+                "per-metric distribution --\n",
+                unsigned(config.count),
+                (unsigned long long)config.popSeed,
+                (unsigned long long)(config.popSeed + config.count - 1));
+    std::fputs(suite.renderTable().c_str(), stdout);
+
+    // Where do the paper's workloads sit inside the population?
+    // Percentile rank of each workload's repetition rate against the
+    // generated corpus — "are the hand-picked benchmarks typical?"
+    size_t slot = 0;
+    const auto &names = suite.metricNames();
+    for (size_t j = 0; j < names.size(); ++j) {
+        if (names[j] == "repetition/pct_dyn_repeated")
+            slot = j;
+    }
+    std::vector<double> population;
+    for (const auto &r : suite.results())
+        population.push_back(r.metrics[slot]);
+    std::sort(population.begin(), population.end());
+
+    std::printf("\n-- paper workloads vs the population "
+                "(dynamic repetition) --\n");
+    TextTable table;
+    table.header({"bench", "repeat%", "population percentile"});
+    for (auto &entry : bench::Suite::instance().entries()) {
+        const double v =
+            entry.pipeline->tracker().stats().pctDynRepeated();
+        const auto below = std::lower_bound(population.begin(),
+                                            population.end(), v);
+        const double pct = 100.0 *
+            double(below - population.begin()) /
+            double(population.size());
+        table.row({entry.name, TextTable::num(v),
+                   TextTable::num(pct, 1)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts("");
+    std::puts("Reading guide: the workload suite sits in the upper "
+              "half of the population — hand-written kernels loop "
+              "harder than arbitrary programs — while the population "
+              "floor shows repetition survives even in branchy, "
+              "straight-line-heavy code.");
+    return 0;
+}

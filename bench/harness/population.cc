@@ -1,0 +1,374 @@
+#include "harness/population.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "asm/assembler.hh"
+#include "core/attribution.hh"
+#include "core/class_analysis.hh"
+#include "fuzz/generator.hh"
+#include "harness/suite.hh"
+#include "minicc/compiler.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/outfile.hh"
+#include "support/parallel.hh"
+#include "support/prof.hh"
+#include "support/stat_math.hh"
+#include "support/table.hh"
+#include "trace_io/cache.hh"
+
+namespace irep::bench
+{
+
+namespace
+{
+
+/** Index of pct_dyn_repeated in every metrics vector (after
+ *  window_instructions) — the per_program block reads it by slot. */
+constexpr size_t pctDynRepeatedSlot = 1;
+
+std::vector<std::string>
+buildMetricNames(const core::PipelineConfig &config)
+{
+    std::vector<std::string> names = {
+        "run/window_instructions",
+        "repetition/pct_dyn_repeated",
+        "repetition/pct_static_executed",
+        "repetition/pct_static_repeated",
+        "repetition/avg_repeats_per_instance",
+    };
+    if (config.enableClass) {
+        for (const char *what : {"propensity", "pct_of_repetition"}) {
+            for (unsigned c = 0; c < core::numInstrClasses; ++c) {
+                names.push_back(
+                    std::string("classes/") + what + "/" +
+                    std::string(core::instrClassName(
+                        core::InstrClass(c))));
+            }
+        }
+    }
+    if (config.enableAttribution) {
+        for (const char *what :
+             {"pct_of_all", "propensity", "pct_of_repetition"}) {
+            for (unsigned s = 0; s < core::numLoopStructures; ++s) {
+                names.push_back(
+                    std::string("attribution/") + what + "/" +
+                    std::string(core::loopStructureName(
+                        core::LoopStructure(s))));
+            }
+        }
+    }
+    return names;
+}
+
+/** The per-program metric vector, parallel to buildMetricNames(). */
+std::vector<double>
+extractMetrics(const core::AnalysisPipeline &pipe, uint64_t executed)
+{
+    std::vector<double> m;
+    m.push_back(double(executed));
+    const core::RepetitionStats rep = pipe.tracker().stats();
+    m.push_back(rep.pctDynRepeated());
+    m.push_back(rep.pctStaticExecuted());
+    m.push_back(rep.pctStaticRepeatedOfExecuted());
+    m.push_back(rep.avgRepeatsPerInstance);
+    if (pipe.config().enableClass) {
+        const core::ClassStats &cls = pipe.classes().stats();
+        for (unsigned c = 0; c < core::numInstrClasses; ++c)
+            m.push_back(cls.propensity(core::InstrClass(c)));
+        for (unsigned c = 0; c < core::numInstrClasses; ++c)
+            m.push_back(cls.pctOfRepetition(core::InstrClass(c)));
+    }
+    if (pipe.config().enableAttribution) {
+        const core::AttributionStats &attr =
+            pipe.attribution().stats();
+        for (unsigned s = 0; s < core::numLoopStructures; ++s)
+            m.push_back(attr.pctOfAll(core::LoopStructure(s)));
+        for (unsigned s = 0; s < core::numLoopStructures; ++s)
+            m.push_back(attr.propensity(core::LoopStructure(s)));
+        for (unsigned s = 0; s < core::numLoopStructures; ++s)
+            m.push_back(attr.pctOfRepetition(core::LoopStructure(s)));
+    }
+    return m;
+}
+
+/** One generated, compiled population member. */
+struct BuiltProgram
+{
+    uint64_t seed = 0;
+    assem::Program program;
+    std::string input;
+};
+
+BuiltProgram
+buildProgram(uint64_t seed, int max_stmts)
+{
+    fuzz::GenOptions options;
+    options.seed = seed;
+    options.maxStmts = max_stmts;
+    const fuzz::GenProgram gen = fuzz::generateProgram(options);
+    BuiltProgram built;
+    built.seed = seed;
+    built.input = gen.input;
+    try {
+        const auto unit = minicc::compileToUnit(gen.render());
+        built.program = assem::assemble(minicc::generateAsm(*unit));
+    } catch (const std::exception &e) {
+        // The generator's discipline guarantees compilable programs
+        // (the differential fuzz gate proves it across seeds); a
+        // failure here is a build bug worth a loud stop.
+        fatal("generated program (seed ", seed,
+              ") failed to compile: ", e.what());
+    }
+    return built;
+}
+
+void
+writeSummary(json::Writer &w, const stat::Summary &s)
+{
+    w.beginObject();
+    w.field("n", uint64_t(s.n));
+    w.field("median", s.median);
+    w.key("ci95");
+    w.beginObject();
+    w.field("lo", s.ci.lo);
+    w.field("hi", s.ci.hi);
+    w.endObject();
+    w.field("q1", s.q1);
+    w.field("q3", s.q3);
+    w.field("min", s.min);
+    w.field("max", s.max);
+    w.endObject();
+}
+
+} // namespace
+
+PopulationSuite::PopulationSuite(const PopulationConfig &config)
+    : config_(config),
+      metricNames_(buildMetricNames(config.pipeline))
+{
+    fatalIf(config_.count == 0,
+            "--generated must be a positive program count");
+}
+
+void
+PopulationSuite::runAll()
+{
+    // Generate + compile the whole population up front, serially, in
+    // seed order: generation is deterministic per seed and minicc
+    // compiles behind a lock anyway (workloads::buildProgram), so
+    // there is nothing to win by racing it — and the analysis loop
+    // below then fans out over identical, immutable programs.
+    std::vector<BuiltProgram> built;
+    built.reserve(config_.count);
+    {
+        prof::Span span("population:generate", "bench");
+        for (uint32_t i = 0; i < config_.count; ++i)
+            built.push_back(buildProgram(config_.popSeed + i,
+                                         config_.maxStmts));
+        span.arg("programs", double(config_.count));
+    }
+
+    results_.resize(config_.count);
+    const std::string trace_dir = trace_io::cacheDir();
+    const unsigned jobs =
+        config_.jobs ? config_.jobs : parallel::defaultJobs();
+    const auto start = std::chrono::steady_clock::now();
+    parallel::parallelFor(
+        config_.count,
+        [this, &built, &trace_dir](size_t i) {
+            const BuiltProgram &b = built[i];
+            SuiteEntry entry;
+            entry.name = "gen" + std::to_string(b.seed);
+            entry.input = b.input;
+            entry.machine = std::make_unique<sim::Machine>(b.program);
+            if (config_.exec)
+                entry.machine->setExecBackend(*config_.exec);
+            entry.machine->setInput(entry.input);
+            entry.pipeline =
+                std::make_unique<core::AnalysisPipeline>(
+                    *entry.machine, config_.pipeline);
+
+            prof::Span span("population:" + entry.name, "bench");
+            const uint64_t executed = runCachedEntry(
+                entry, trace_dir,
+                config_.pipeline.skipInstructions,
+                config_.pipeline.windowInstructions);
+            span.arg("window_executed", double(executed));
+            span.arg("replayed", entry.replayed ? 1.0 : 0.0);
+
+            // Everything the reports need is extracted here, then the
+            // machine and pipeline die with this iteration — the
+            // population never holds more than `jobs` machines alive.
+            PopulationResult &r = results_[i];
+            r.seed = b.seed;
+            r.instructions = executed;
+            r.replayed = entry.replayed;
+            const core::RunTiming &t = entry.pipeline->timing();
+            r.seconds = t.skip.seconds + t.window.seconds;
+            r.traceRawBytes = entry.traceRawBytes;
+            r.traceStoredBytes = entry.traceStoredBytes;
+            r.traceInstrRecords = entry.traceInstrRecords;
+            r.metrics = extractMetrics(*entry.pipeline, executed);
+        },
+        jobs);
+    suiteSeconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    ran_ = true;
+}
+
+const std::vector<PopulationResult> &
+PopulationSuite::results()
+{
+    if (!ran_)
+        runAll();
+    return results_;
+}
+
+unsigned
+PopulationSuite::tracesReplayed() const
+{
+    unsigned count = 0;
+    for (const PopulationResult &r : results_)
+        count += r.replayed ? 1 : 0;
+    return count;
+}
+
+unsigned
+PopulationSuite::tracesRecorded() const
+{
+    unsigned count = 0;
+    for (const PopulationResult &r : results_)
+        count += (!r.replayed && r.traceInstrRecords != 0) ? 1 : 0;
+    return count;
+}
+
+std::string
+PopulationSuite::renderTable()
+{
+    results();
+    TextTable table;
+    table.header({"metric", "median", "ci95_lo", "ci95_hi", "q1",
+                  "q3", "min", "max"});
+    std::vector<double> column(results_.size());
+    for (size_t j = 0; j < metricNames_.size(); ++j) {
+        for (size_t i = 0; i < results_.size(); ++i)
+            column[i] = results_[i].metrics[j];
+        const stat::Summary s = stat::summarize(column);
+        table.row({metricNames_[j], TextTable::num(s.median, 2),
+                   TextTable::num(s.ci.lo, 2),
+                   TextTable::num(s.ci.hi, 2),
+                   TextTable::num(s.q1, 2), TextTable::num(s.q3, 2),
+                   TextTable::num(s.min, 2),
+                   TextTable::num(s.max, 2)});
+    }
+    return table.render();
+}
+
+void
+PopulationSuite::writeJson(std::ostream &out)
+{
+    results();
+    json::Writer w(out);
+    w.beginObject();
+    w.field("schema", "irep-pop-1");
+    w.key("config");
+    w.beginObject();
+    w.field("generated", uint64_t(config_.count));
+    w.field("pop_seed", config_.popSeed);
+    w.field("max_stmts", int64_t(config_.maxStmts));
+    w.field("skip", config_.pipeline.skipInstructions);
+    w.field("window", config_.pipeline.windowInstructions);
+    // Deliberately no jobs / window-jobs fields: the document is
+    // byte-identical at any parallelism, and serializing them would
+    // break that contract for no information.
+    w.key("analyses");
+    w.beginObject();
+    w.field("global", config_.pipeline.enableGlobal);
+    w.field("local", config_.pipeline.enableLocal);
+    w.field("functions", config_.pipeline.enableFunction);
+    w.field("reuse", config_.pipeline.enableReuse);
+    w.field("classes", config_.pipeline.enableClass);
+    w.field("prediction", config_.pipeline.enableValuePrediction);
+    w.field("attribution", config_.pipeline.enableAttribution);
+    w.endObject();
+    w.endObject();
+
+    w.key("population");
+    w.beginObject();
+    w.field("programs", uint64_t(results_.size()));
+    w.key("metrics");
+    w.beginObject();
+    std::vector<double> column(results_.size());
+    for (size_t j = 0; j < metricNames_.size(); ++j) {
+        for (size_t i = 0; i < results_.size(); ++i)
+            column[i] = results_[i].metrics[j];
+        w.key(metricNames_[j]);
+        writeSummary(w, stat::summarize(column));
+    }
+    w.endObject();
+    w.endObject();
+
+    // Raw per-program values (seed order) for plotting and drill-down;
+    // deterministic, so they participate in the byte-identity checks.
+    w.key("per_program");
+    w.beginObject();
+    w.key("seed");
+    w.beginArray();
+    for (const PopulationResult &r : results_)
+        w.value(r.seed);
+    w.endArray();
+    w.key("window_instructions");
+    w.beginArray();
+    for (const PopulationResult &r : results_)
+        w.value(r.instructions);
+    w.endArray();
+    w.key("pct_dyn_repeated");
+    w.beginArray();
+    for (const PopulationResult &r : results_)
+        w.value(r.metrics[pctDynRepeatedSlot]);
+    w.endArray();
+    w.endObject();
+
+    // Timing and cache provenance: the only nondeterministic block,
+    // named `perf` so ci/compare_stats.py strips it like the bench
+    // suite's timing. recorded vs replayed is the simulate-once
+    // evidence (second run: recorded == 0).
+    w.key("perf");
+    w.beginObject();
+    w.field("wall_seconds", suiteSeconds_);
+    double programSeconds = 0.0;
+    uint64_t raw = 0, stored = 0, records = 0;
+    for (const PopulationResult &r : results_) {
+        programSeconds += r.seconds;
+        raw += r.traceRawBytes;
+        stored += r.traceStoredBytes;
+        records += r.traceInstrRecords;
+    }
+    w.field("program_seconds", programSeconds);
+    w.field("replayed", uint64_t(tracesReplayed()));
+    w.field("recorded", uint64_t(tracesRecorded()));
+    if (records != 0) {
+        w.key("trace");
+        w.beginObject();
+        w.field("raw_bytes", raw);
+        w.field("stored_bytes", stored);
+        w.field("instr_records", records);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    out << '\n';
+}
+
+void
+PopulationSuite::writeJson(const std::string &path)
+{
+    AtomicOutFile file(path);
+    writeJson(file.stream());
+    file.commit();
+}
+
+} // namespace irep::bench

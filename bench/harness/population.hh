@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The generated-population study (`irep bench --generated N`): mint N
+ * deterministic, terminating MiniC programs from the fuzz generator,
+ * compile them through minicc, run the full analysis pipeline over
+ * every one, and report how the paper's headline metrics *distribute*
+ * across the population — median, distribution-free 95% CI, quartiles
+ * and extremes per metric (support/stat_math.hh) instead of one number
+ * per hand-picked workload.
+ *
+ * Determinism and caching discipline:
+ *  - program i is generated from seed popSeed + i with a fixed
+ *    statement budget; same (seed, budget) -> byte-identical source,
+ *    so the population is a stable, citable corpus;
+ *  - generation + compilation happen up front, serially, in seed
+ *    order (minicc compiles behind a lock anyway — see
+ *    workloads::buildProgram); only the analysis runs fan out to the
+ *    thread pool, and results are kept in seed order, so every report
+ *    is byte-identical serial vs parallel vs sharded (`--window-jobs`)
+ *    outside the `perf` block;
+ *  - each run goes through the IREP_TRACE_DIR cache under the bench
+ *    suite's probe -> claim -> re-probe -> record protocol
+ *    (runCachedEntry), so a population is simulated exactly once and
+ *    replayed on every later run — the `perf` block reports how many
+ *    entries recorded vs replayed;
+ *  - a program halts on its own (the generator's termination
+ *    discipline: literal loop bounds, decreasing recursion guards) or
+ *    is clipped by the skip+window budget, whichever comes first.
+ */
+
+#ifndef IREP_BENCH_POPULATION_HH
+#define IREP_BENCH_POPULATION_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "sim/machine.hh"
+
+namespace irep::bench
+{
+
+/** Configuration of one population study. */
+struct PopulationConfig
+{
+    uint32_t count = 0;         //!< programs to generate (N)
+    uint64_t popSeed = 1;       //!< seed of program 0; program i uses
+                                //!< popSeed + i
+    int maxStmts = 24;          //!< generator statement budget
+    unsigned jobs = 0;          //!< pool workers (0 = defaultJobs())
+    /** Analysis toggles, skip/window and window-jobs for every
+     *  program's pipeline. Population default: skip 0 (whole-program
+     *  measurement — generated programs are small). */
+    core::PipelineConfig pipeline;
+    /** Simulator backend (unset = IREP_EXEC-resolved default). */
+    std::optional<sim::ExecBackend> exec;
+};
+
+/** What one generated program's run contributed. */
+struct PopulationResult
+{
+    uint64_t seed = 0;
+    uint64_t instructions = 0;      //!< retired in the window
+    bool replayed = false;          //!< served from the trace cache
+    double seconds = 0.0;           //!< skip+window wall clock
+    uint64_t traceRawBytes = 0;
+    uint64_t traceStoredBytes = 0;
+    uint64_t traceInstrRecords = 0;
+    std::vector<double> metrics;    //!< parallel to metricNames()
+};
+
+/** A population study run (lazy, like bench::Suite). */
+class PopulationSuite
+{
+  public:
+    explicit PopulationSuite(const PopulationConfig &config);
+
+    /** Per-program results in seed order (runs on first use). */
+    const std::vector<PopulationResult> &results();
+
+    /** Names of the per-program metrics (config-dependent: class and
+     *  attribution metrics appear when those analyses are enabled). */
+    const std::vector<std::string> &metricNames() const
+    {
+        return metricNames_;
+    }
+
+    const PopulationConfig &config() const { return config_; }
+
+    /** Entries served from / recorded into the trace cache. */
+    unsigned tracesReplayed() const;
+    unsigned tracesRecorded() const;
+
+    /** Wall-clock seconds of the whole population run. */
+    double suiteSeconds() const { return suiteSeconds_; }
+
+    /**
+     * The deterministic population table: one row per metric with
+     * median, 95% CI bounds, quartiles, min and max across programs.
+     * Identical bytes for identical (config, build) regardless of
+     * jobs, window-jobs, or cache state — this is the table
+     * docs/population-study.md reproduces verbatim.
+     */
+    std::string renderTable();
+
+    /**
+     * Write the `irep-pop-1` document: `{schema, config, population:
+     * {programs, metrics: {name: {n, median, ci95, q1, q3, min,
+     * max}}}, per_program, perf}`. Everything outside `perf` is
+     * deterministic; `perf` carries timing and cache provenance
+     * (recorded vs replayed) and is stripped by ci/compare_stats.py
+     * like every other timing block. The @p path variant publishes
+     * atomically (`-` = stdout).
+     */
+    void writeJson(std::ostream &out);
+    void writeJson(const std::string &path);
+
+  private:
+    void runAll();
+
+    PopulationConfig config_;
+    std::vector<std::string> metricNames_;
+    std::vector<PopulationResult> results_;
+    double suiteSeconds_ = 0.0;
+    bool ran_ = false;
+};
+
+} // namespace irep::bench
+
+#endif // IREP_BENCH_POPULATION_HH

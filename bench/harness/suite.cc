@@ -73,20 +73,18 @@ buildEntry(const workloads::Workload &w,
     return entry;
 }
 
+} // namespace
+
 /**
- * Run one entry's pipeline, through the trace cache when enabled: a
- * valid cached trace for this exact (workload, skip, window) key —
- * any readable format version — is replayed; otherwise the workload
- * runs live with a TraceWriter attached and publishes its trace for
- * the next run. Suite workers touch disjoint cache files, but the
- * cache directory may be shared with a serving daemon, so a miss is
+ * Suite workers touch disjoint cache files, but the cache directory
+ * may be shared with a serving daemon or a second suite, so a miss is
  * recorded under a RecordClaim: exactly one thread simulates, and
  * every other requester of the same key blocks briefly and then
- * replays the published file.
+ * replays the published file (probe -> claim -> re-probe -> record).
  */
 uint64_t
-runEntry(SuiteEntry &entry, const std::string &trace_dir,
-         uint64_t skip, uint64_t window)
+runCachedEntry(SuiteEntry &entry, const std::string &trace_dir,
+               uint64_t skip, uint64_t window)
 {
     if (trace_dir.empty())
         return entry.pipeline->run();
@@ -129,8 +127,6 @@ runEntry(SuiteEntry &entry, const std::string &trace_dir,
     entry.traceFormatVersion = writer.version();
     return executed;
 }
-
-} // namespace
 
 Suite::Suite()
 {
@@ -184,7 +180,7 @@ Suite::runAll()
             SuiteEntry &entry = entries_[i];
             {
                 prof::Span span("workload:" + entry.name, "bench");
-                entry.windowExecuted = runEntry(
+                entry.windowExecuted = runCachedEntry(
                     entry, trace_dir, config_.skip, config_.window);
                 span.arg("window_executed",
                          double(entry.windowExecuted));
@@ -231,8 +227,8 @@ Suite::timeEntry(SuiteEntry &entry, const std::string &trace_dir)
     for (unsigned r = 0; r < config_.repetitions; ++r) {
         SuiteEntry fresh = buildEntry(w, config, config_.exec);
         prof::Span span("timing:" + entry.name, "bench");
-        fresh.windowExecuted = runEntry(fresh, trace_dir,
-                                        config_.skip, config_.window);
+        fresh.windowExecuted = runCachedEntry(
+            fresh, trace_dir, config_.skip, config_.window);
         span.arg("repetition", double(r));
         const core::RunTiming &t = fresh.pipeline->timing();
         entry.runSeconds.push_back(t.skip.seconds +
@@ -374,9 +370,9 @@ Suite::runOne(const std::string &name,
     // The retire stream is independent of the analysis configuration,
     // so ablation reruns share cache entries with the plain suite
     // whenever their skip/window match.
-    entry.windowExecuted = runEntry(entry, trace_io::cacheDir(),
-                                    config.skipInstructions,
-                                    config.windowInstructions);
+    entry.windowExecuted = runCachedEntry(
+        entry, trace_io::cacheDir(), config.skipInstructions,
+        config.windowInstructions);
     return entry;
 }
 

@@ -157,6 +157,19 @@ class Suite
     bool ran_ = false;
 };
 
+/**
+ * Run one entry's pipeline through the trace cache: a valid cached
+ * trace for this exact (name, program identity, skip, window) key is
+ * replayed; otherwise the entry runs live under a single-flight
+ * RecordClaim with a TraceWriter attached and publishes its trace for
+ * the next run. Fills the entry's replay/trace-economics fields.
+ * An empty @p trace_dir means no caching: a plain live run. Shared by
+ * the workload suite and the generated-population suite.
+ */
+uint64_t runCachedEntry(SuiteEntry &entry,
+                        const std::string &trace_dir, uint64_t skip,
+                        uint64_t window);
+
 /** Print the standard header naming the experiment and the scale. */
 void printHeader(const std::string &experiment,
                  const std::string &paperRef);

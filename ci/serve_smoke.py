@@ -155,11 +155,35 @@ def main(argv):
                    doc["results"][1]["config"]["window"] == WINDOW // 2,
                    "/batch answers both requests in order")
 
+            # A restricted analysis set: still a cache hit (the trace
+            # is analysis-agnostic), and the disabled analyses'
+            # stats blocks disappear from the answer.
+            _, before = request(port, "GET", "/metrics")
+            subset = json.dumps(
+                {"workload": "compress", "skip": SKIP,
+                 "window": WINDOW, "analyses": "classes,attribution"})
+            status, doc = request(port, "POST", "/analyze", subset)
+            expect(status == 200 and
+                   "classes" in doc["stats"] and
+                   "attribution" in doc["stats"] and
+                   "reuse" not in doc["stats"] and
+                   "functions" not in doc["stats"],
+                   "analyses subset runs exactly the named analyses")
+            _, metrics = request(port, "GET", "/metrics")
+            expect(metrics["simulations"] == before["simulations"] and
+                   metrics["cache_hits"] == before["cache_hits"] + 1,
+                   "analyses subset replayed the cached trace")
+
             # Client mistakes are 400s, and the daemon survives them.
             status, error = request(port, "POST", "/analyze",
                                     '{"workload": "no-such"}')
             expect(status == 400 and "error" in error,
                    "unknown workload is a 400")
+            status, error = request(
+                port, "POST", "/analyze",
+                '{"workload": "compress", "analyses": "bogus"}')
+            expect(status == 400 and "error" in error,
+                   "unknown analysis name is a 400")
             status, _ = request(port, "GET", "/health")
             expect(status == 200, "daemon still serves after a 400")
 

@@ -1,0 +1,218 @@
+#include "core/attribution.hh"
+
+#include <algorithm>
+
+#include "asm/program.hh"
+#include "isa/registers.hh"
+#include "support/stats.hh"
+
+namespace irep::core
+{
+
+namespace
+{
+
+/** One static natural-loop candidate: the span of a backward edge. */
+struct LoopRange
+{
+    uint32_t lo;    //!< branch target (loop head), static index
+    uint32_t hi;    //!< the backward branch itself, static index
+};
+
+/**
+ * Detect backward edges in the text. A conditional branch whose target
+ * does not lie past it, or an unconditional `j` staying within the
+ * same function, closes the candidate loop [target, branch]. Irreducible
+ * edges (jumps into the middle of another range) simply contribute
+ * overlapping ranges — attribution only needs containment, not a
+ * reducible loop forest. A self-loop (`beq $r, $r, .` with target ==
+ * pc) yields the one-instruction range [pc, pc].
+ */
+std::vector<LoopRange>
+detectLoops(const assem::Program &program)
+{
+    std::vector<LoopRange> loops;
+    const uint32_t base = assem::Layout::textBase;
+    for (uint32_t i = 0; i < program.text.size(); ++i) {
+        const isa::Instruction inst = isa::decode(program.text[i]);
+        if (!inst.valid())
+            continue;
+        const isa::OpInfo &info = isa::opInfo(inst.op);
+        const uint32_t pc = base + i * 4;
+        uint32_t target = 0;
+        if (info.isBranch) {
+            target = pc + 4 + (uint32_t(inst.imm) << 2);
+        } else if (inst.op == isa::Op::J) {
+            target = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
+            // A cross-function `j` is a tail transfer, not a loop.
+            const assem::FunctionInfo *f = program.functionAt(pc);
+            if (!f || !f->contains(target))
+                continue;
+        } else {
+            continue;
+        }
+        if (target > pc || target < base)
+            continue;
+        loops.push_back({(target - base) / 4, i});
+    }
+    return loops;
+}
+
+} // namespace
+
+std::string_view
+loopStructureName(LoopStructure s)
+{
+    switch (s) {
+      case LoopStructure::InnermostLoop: return "innermost-loop";
+      case LoopStructure::StraightLine: return "straight-line";
+      case LoopStructure::CallBoundary: return "call-boundary";
+      case LoopStructure::NUM: break;
+    }
+    return "?";
+}
+
+double
+AttributionStats::pctOfAll(LoopStructure s) const
+{
+    return totalOverall ? 100.0 * double(overall[unsigned(s)]) /
+                              double(totalOverall)
+                        : 0.0;
+}
+
+double
+AttributionStats::propensity(LoopStructure s) const
+{
+    const uint64_t all = overall[unsigned(s)];
+    return all ? 100.0 * double(repeated[unsigned(s)]) / double(all)
+               : 0.0;
+}
+
+double
+AttributionStats::pctOfRepetition(LoopStructure s) const
+{
+    return totalRepeated ? 100.0 * double(repeated[unsigned(s)]) /
+                               double(totalRepeated)
+                         : 0.0;
+}
+
+RepetitionAttributionAnalysis::RepetitionAttributionAnalysis(
+    const assem::Program &program)
+    : stack_(program), depth_(program.text.size(), 0)
+{
+    const std::vector<LoopRange> loops = detectLoops(program);
+    numLoops_ = loops.size();
+    for (const LoopRange &loop : loops) {
+        for (uint32_t i = loop.lo;
+             i <= loop.hi && i < depth_.size(); ++i) {
+            if (depth_[i] < 255)
+                ++depth_[i];
+        }
+    }
+}
+
+LoopStructure
+RepetitionAttributionAnalysis::onInstr(const sim::InstrRecord &rec,
+                                       bool repeated)
+{
+    // The call stack stays warm through the skip phase so window
+    // attribution starts from the true dynamic nesting. A jr-to-$ra
+    // whose return address matches no live frame (the stack machinery
+    // reports 0 — e.g. the window opened mid-call) is still a return,
+    // so the op test, not the pop result, decides the attribution.
+    const isa::Instruction &inst = *rec.inst;
+    const int moved = stack_.onInstr(rec);
+    LoopStructure s;
+    if (moved != 0 || isa::opInfo(inst.op).isCall ||
+        (inst.op == isa::Op::JR && inst.rs == isa::regRA)) {
+        s = LoopStructure::CallBoundary;
+    } else {
+        s = staticStructure(rec.staticIndex);
+    }
+
+    if (counting_) {
+        const InstrClass c = classify(inst);
+        ++stats_.overall[unsigned(s)];
+        ++stats_.crossOverall[unsigned(c)][unsigned(s)];
+        ++stats_.totalOverall;
+        if (repeated) {
+            ++stats_.repeated[unsigned(s)];
+            ++stats_.crossRepeated[unsigned(c)][unsigned(s)];
+            ++stats_.totalRepeated;
+        }
+    }
+    return s;
+}
+
+void
+RepetitionAttributionAnalysis::registerStats(stats::Group &group) const
+{
+    std::vector<std::string> structures;
+    for (unsigned s = 0; s < numLoopStructures; ++s)
+        structures.emplace_back(loopStructureName(LoopStructure(s)));
+    // Flattened [class][structure] names: "load@innermost-loop", ...
+    std::vector<std::string> cross;
+    for (unsigned c = 0; c < numInstrClasses; ++c) {
+        for (unsigned s = 0; s < numLoopStructures; ++s) {
+            cross.emplace_back(
+                std::string(instrClassName(InstrClass(c))) + "@" +
+                std::string(loopStructureName(LoopStructure(s))));
+        }
+    }
+    const auto crossAt =
+        [](const std::array<std::array<uint64_t, numLoopStructures>,
+                            numInstrClasses> &m,
+           size_t i) {
+            return double(m[i / numLoopStructures]
+                           [i % numLoopStructures]);
+        };
+
+    group.scalar("static_loops",
+                 "backward-edge loop ranges detected in the text",
+                 [this] { return double(numLoops_); });
+    group.scalar("static_in_loop",
+                 "static instructions inside >=1 loop range", [this] {
+                     return double(std::count_if(
+                         depth_.begin(), depth_.end(),
+                         [](uint8_t d) { return d > 0; }));
+                 });
+    group.scalar("total_overall", "instructions attributed",
+                 [this] { return double(stats_.totalOverall); });
+    group.scalar("total_repeated", "repeated instructions attributed",
+                 [this] { return double(stats_.totalRepeated); });
+    group.vector("overall", "dynamic instructions per structure",
+                 structures, [this](size_t i) {
+                     return double(stats_.overall[i]);
+                 });
+    group.vector("repeated", "repeated instructions per structure",
+                 structures, [this](size_t i) {
+                     return double(stats_.repeated[i]);
+                 });
+    group.vector("pct_of_all",
+                 "% of the dynamic stream per structure", structures,
+                 [this](size_t i) {
+                     return stats_.pctOfAll(LoopStructure(i));
+                 });
+    group.vector("propensity",
+                 "% of each structure's instructions that repeat",
+                 structures, [this](size_t i) {
+                     return stats_.propensity(LoopStructure(i));
+                 });
+    group.vector("pct_of_repetition",
+                 "% of all repetition contributed by each structure",
+                 structures, [this](size_t i) {
+                     return stats_.pctOfRepetition(LoopStructure(i));
+                 });
+    group.vector("cross_overall",
+                 "dynamic instructions per class@structure cell",
+                 cross, [this, crossAt](size_t i) {
+                     return crossAt(stats_.crossOverall, i);
+                 });
+    group.vector("cross_repeated",
+                 "repeated instructions per class@structure cell",
+                 cross, [this, crossAt](size_t i) {
+                     return crossAt(stats_.crossRepeated, i);
+                 });
+}
+
+} // namespace irep::core

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Repetition attribution analysis: breaks the tracker's repetition
+ * verdicts down by instruction class *and* program structure, after
+ * Coppieters et al. ("Decanting the Contribution of Instruction Types
+ * and Loop Structures in the Reuse of Traces"). Every retired
+ * instruction is attributed to exactly one structure:
+ *
+ *  - *call-boundary*: the instruction moves the call stack (jal/jalr
+ *    pushes, jr-to-$ra returns) — detected with the same shadow
+ *    CallStack the local/function analyses use;
+ *  - *innermost-loop*: the static instruction lies inside at least one
+ *    natural-loop range, where loop ranges are the [target, branch]
+ *    spans of backward conditional branches and backward
+ *    intra-function jumps;
+ *  - *straight-line*: everything else.
+ *
+ * The loop map is purely static (built once from the program text), so
+ * the analysis reads no machine registers and shards cleanly
+ * (core/shard.hh) without producer-side snapshots.
+ */
+
+#ifndef IREP_CORE_ATTRIBUTION_HH
+#define IREP_CORE_ATTRIBUTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/callstack.hh"
+#include "core/class_analysis.hh"
+#include "sim/observer.hh"
+
+namespace irep::assem
+{
+class Program;
+}
+
+namespace irep::stats
+{
+class Group;
+}
+
+namespace irep::core
+{
+
+/** The structure a dynamic instruction is attributed to. */
+enum class LoopStructure : uint8_t
+{
+    InnermostLoop,  //!< inside >=1 static backward-branch loop range
+    StraightLine,   //!< loop-free code between control points
+    CallBoundary,   //!< moves the call stack (call or return)
+    NUM,
+};
+
+constexpr unsigned numLoopStructures = unsigned(LoopStructure::NUM);
+
+/** Display name for a structure. */
+std::string_view loopStructureName(LoopStructure s);
+
+/** Per-structure and class-by-structure attribution counts. */
+struct AttributionStats
+{
+    std::array<uint64_t, numLoopStructures> overall = {};
+    std::array<uint64_t, numLoopStructures> repeated = {};
+    /** [class][structure] cross counts. */
+    std::array<std::array<uint64_t, numLoopStructures>, numInstrClasses>
+        crossOverall = {};
+    std::array<std::array<uint64_t, numLoopStructures>, numInstrClasses>
+        crossRepeated = {};
+    uint64_t totalOverall = 0;
+    uint64_t totalRepeated = 0;
+
+    /** Share of all dynamic instructions in this structure. */
+    double pctOfAll(LoopStructure s) const;
+    /** Share of this structure's instructions that repeated. */
+    double propensity(LoopStructure s) const;
+    /** Share of all repetition contributed by this structure. */
+    double pctOfRepetition(LoopStructure s) const;
+};
+
+/**
+ * The analysis: feed every retired record plus the tracker's
+ * repetition verdict. Like the other data-flow analyses, the call
+ * stack stays warm during the skip phase; only the counters are gated
+ * by setCounting().
+ */
+class RepetitionAttributionAnalysis
+{
+  public:
+    explicit RepetitionAttributionAnalysis(
+        const assem::Program &program);
+
+    void setCounting(bool enabled) { counting_ = enabled; }
+
+    /** Process one retired instruction; returns its attribution. */
+    LoopStructure onInstr(const sim::InstrRecord &rec, bool repeated);
+
+    const AttributionStats &stats() const { return stats_; }
+
+    /** Register attribution counts and shares into @p group; the
+     *  analysis must outlive it. */
+    void registerStats(stats::Group &group) const;
+
+    // Static loop map, exposed for tests and tools. -----------------
+
+    /** Natural-loop ranges detected in the text (sorted by span). */
+    size_t numLoops() const { return numLoops_; }
+
+    /** Nesting depth of a static instruction: the number of loop
+     *  ranges containing it (0 = straight-line). */
+    unsigned loopDepth(uint32_t static_index) const
+    {
+        return static_index < depth_.size() ? depth_[static_index] : 0;
+    }
+
+    /** The static-only attribution of an instruction — InnermostLoop
+     *  or StraightLine; the dynamic call-boundary override is applied
+     *  in onInstr(). */
+    LoopStructure
+    staticStructure(uint32_t static_index) const
+    {
+        return loopDepth(static_index) ? LoopStructure::InnermostLoop
+                                       : LoopStructure::StraightLine;
+    }
+
+  private:
+    struct FrameData
+    {};
+
+    CallStack<FrameData> stack_;
+    std::vector<uint8_t> depth_;    //!< per-static loop nesting depth
+    size_t numLoops_ = 0;
+    AttributionStats stats_;
+    bool counting_ = false;
+};
+
+} // namespace irep::core
+
+#endif // IREP_CORE_ATTRIBUTION_HH

@@ -10,6 +10,62 @@
 namespace irep::core
 {
 
+bool
+applyAnalysisSet(std::string_view set, PipelineConfig &config,
+                 std::string *error)
+{
+    PipelineConfig next = config;
+    next.enableGlobal = false;
+    next.enableLocal = false;
+    next.enableFunction = false;
+    next.enableReuse = false;
+    next.enableClass = false;
+    next.enableValuePrediction = false;
+    next.enableAttribution = false;
+
+    size_t pos = 0;
+    while (pos <= set.size()) {
+        const size_t comma = std::min(set.find(',', pos), set.size());
+        const std::string_view name = set.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name == "tracker") {
+            // Always on: the repetition tracker is the measurement.
+        } else if (name == "all") {
+            next.enableGlobal = true;
+            next.enableLocal = true;
+            next.enableFunction = true;
+            next.enableReuse = true;
+            next.enableClass = true;
+            next.enableValuePrediction = true;
+            next.enableAttribution = true;
+        } else if (name == "global") {
+            next.enableGlobal = true;
+        } else if (name == "local") {
+            next.enableLocal = true;
+        } else if (name == "functions") {
+            next.enableFunction = true;
+        } else if (name == "reuse") {
+            next.enableReuse = true;
+        } else if (name == "classes") {
+            next.enableClass = true;
+        } else if (name == "prediction") {
+            next.enableValuePrediction = true;
+        } else if (name == "attribution") {
+            next.enableAttribution = true;
+        } else {
+            if (error) {
+                *error = "unknown analysis '" + std::string(name) +
+                         "' (valid: tracker, global, local, "
+                         "functions, reuse, classes, prediction, "
+                         "attribution, all)";
+            }
+            return false;
+        }
+    }
+    config = next;
+    return true;
+}
+
 AnalysisPipeline::AnalysisPipeline(sim::Machine &machine,
                                    const PipelineConfig &config)
     : machine_(machine), config_(config)
@@ -31,6 +87,10 @@ AnalysisPipeline::AnalysisPipeline(sim::Machine &machine,
     if (config.enableValuePrediction) {
         prediction_ =
             std::make_unique<ValuePrediction>(config.predictor);
+    }
+    if (config.enableAttribution) {
+        attribution_ = std::make_unique<RepetitionAttributionAnalysis>(
+            machine.program());
     }
     machine.addObserver(this);
 }
@@ -56,6 +116,8 @@ AnalysisPipeline::setCounting(bool enabled)
         classes_->setCounting(enabled);
     if (prediction_)
         prediction_->setCounting(enabled);
+    if (attribution_)
+        attribution_->setCounting(enabled);
 }
 
 void
@@ -98,6 +160,8 @@ AnalysisPipeline::onRetire(const sim::InstrRecord &rec)
         classes_->onInstr(rec, repeated);
     if (prediction_)
         prediction_->onInstr(rec, repeated);
+    if (attribution_)
+        attribution_->onInstr(rec, repeated);
 }
 
 /**
@@ -143,6 +207,10 @@ AnalysisPipeline::onRetireSampled(const sim::InstrRecord &rec)
         prediction_->onInstr(rec, repeated);
         lap(profSample_.ns[6]);
     }
+    if (attribution_) {
+        attribution_->onInstr(rec, repeated);
+        lap(profSample_.ns[7]);
+    }
     ++profSample_.samples;
 }
 
@@ -151,7 +219,7 @@ AnalysisPipeline::profAnalysisName(unsigned i)
 {
     static const char *const names[ProfSample::numAnalyses] = {
         "tracker", "taint", "local", "functions", "reuse", "classes",
-        "prediction"};
+        "prediction", "attribution"};
     return names[i];
 }
 
@@ -174,7 +242,8 @@ AnalysisPipeline::effectiveWindowJobs() const
     const unsigned others =
         (taint_ ? 1u : 0u) + (local_ ? 1u : 0u) +
         (functions_ ? 1u : 0u) + (reuse_ ? 1u : 0u) +
-        (classes_ ? 1u : 0u) + (prediction_ ? 1u : 0u);
+        (classes_ ? 1u : 0u) + (prediction_ ? 1u : 0u) +
+        (attribution_ ? 1u : 0u);
     return std::min(ShardedWindow::resolveJobs(config_.windowJobs),
                     1 + others);
 }
@@ -368,6 +437,8 @@ AnalysisPipeline::registerStats(stats::Group &root) const
         classes_->registerStats(root.group("classes"));
     if (prediction_)
         prediction_->registerStats(root.group("prediction"));
+    if (attribution_)
+        attribution_->registerStats(root.group("attribution"));
 }
 
 } // namespace irep::core

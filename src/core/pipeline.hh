@@ -12,7 +12,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
 
+#include "core/attribution.hh"
 #include "core/class_analysis.hh"
 #include "core/function_analysis.hh"
 #include "core/global_taint.hh"
@@ -79,10 +82,25 @@ struct PipelineConfig
     bool enableReuse = true;
     bool enableClass = true;
     bool enableValuePrediction = true;
+    bool enableAttribution = true;
 
     ReuseConfig reuse;
     ValuePredictorConfig predictor;
 };
+
+/**
+ * Apply a comma-separated analysis set to @p config: exactly the named
+ * analyses are enabled, everything else off. Valid names are `global`,
+ * `local`, `functions`, `reuse`, `classes`, `prediction`,
+ * `attribution`, plus `tracker` (accepted but always on — repetition
+ * tracking is the measurement itself) and `all`. Shared by the CLI
+ * `--analyses` flag and the daemon's "analyses" request field.
+ *
+ * @return false (with @p error set, when non-null) on an unknown or
+ *         empty name; @p config is untouched on failure.
+ */
+bool applyAnalysisSet(std::string_view set, PipelineConfig &config,
+                      std::string *error = nullptr);
 
 /**
  * Runs a machine under full instrumentation. Construct, call run(),
@@ -130,6 +148,10 @@ class AnalysisPipeline : public sim::Observer
     const ReuseBuffer &reuse() const { return *reuse_; }
     const ClassAnalysis &classes() const { return *classes_; }
     const ValuePrediction &prediction() const { return *prediction_; }
+    const RepetitionAttributionAnalysis &attribution() const
+    {
+        return *attribution_;
+    }
 
     const sim::Machine &machine() const { return machine_; }
     const PipelineConfig &config() const { return config_; }
@@ -161,7 +183,7 @@ class AnalysisPipeline : public sim::Observer
      */
     struct ProfSample
     {
-        static constexpr unsigned numAnalyses = 7;
+        static constexpr unsigned numAnalyses = 8;
         static constexpr uint32_t interval = 512;
         uint64_t ns[numAnalyses] = {};
         uint64_t samples = 0;
@@ -220,6 +242,7 @@ class AnalysisPipeline : public sim::Observer
     std::unique_ptr<ReuseBuffer> reuse_;
     std::unique_ptr<ClassAnalysis> classes_;
     std::unique_ptr<ValuePrediction> prediction_;
+    std::unique_ptr<RepetitionAttributionAnalysis> attribution_;
 };
 
 } // namespace irep::core

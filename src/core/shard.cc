@@ -60,6 +60,8 @@ ShardedWindow::ShardedWindow(AnalysisPipeline &pipe, unsigned jobs,
         enabled.push_back(Which::Classes);
     if (pipe.prediction_)
         enabled.push_back(Which::Prediction);
+    if (pipe.attribution_)
+        enabled.push_back(Which::Attribution);
     panicIf(enabled.empty(), "ShardedWindow with no analyses to shard");
 
     const size_t numConsumers = std::min<size_t>(jobs - 1,
@@ -410,6 +412,9 @@ ShardedWindow::dispatch(Which which, const Entry &entry, bool counting)
         break;
       case Which::Prediction:
         pipe_.prediction_->onInstr(entry.rec, entry.repeated);
+        break;
+      case Which::Attribution:
+        pipe_.attribution_->onInstr(entry.rec, entry.repeated);
         break;
     }
 }

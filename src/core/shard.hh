@@ -20,8 +20,9 @@
  * to every consumer ring — each ring still has exactly one producer
  * (the tracker worker) and one consumer, so the SPSC contract holds.
  * Consumer workers own disjoint subsets of the remaining analyses
- * (taint / local / functions / reuse / classes / prediction,
- * round-robin), so all analysis state stays thread-confined.
+ * (taint / local / functions / reuse / classes / prediction /
+ * attribution, round-robin), so all analysis state stays
+ * thread-confined.
  *
  * Determinism: every analysis sees exactly the record sequence serial
  * dispatch would have shown it, in order. Batches never straddle a
@@ -143,7 +144,8 @@ class ShardedWindow
      *  ProfSample slot (0 is the tracker's). */
     enum class Which : uint8_t
     {
-        Taint, Local, Functions, Reuse, Classes, Prediction
+        Taint, Local, Functions, Reuse, Classes, Prediction,
+        Attribution
     };
 
     struct Worker

@@ -31,18 +31,31 @@ parseAnalysisRequest(const json::Value &doc)
             request.windowSet = true;
         } else if (key == "window_jobs") {
             request.windowJobs = unsigned(value.asU64());
+        } else if (key == "analyses") {
+            request.analyses = value.asString();
+            fatalIf(request.analyses.empty(),
+                    "analyses must be a non-empty analysis set");
         } else if (key == "from_trace") {
             request.fromTracePath = value.asString();
         } else {
             fatal("unknown request member '", key,
                   "' (expected workload/skip/window/window_jobs/"
-                  "from_trace)");
+                  "analyses/from_trace)");
         }
     }
     fatalIf(request.workload.empty(),
             "request must name a workload");
     fatalIf(request.windowSet && request.window == 0,
             "window must be positive");
+    if (!request.analyses.empty()) {
+        // Validate at parse time so a bad set is a 400 before any
+        // machine is built; runAnalysis applies the same call again.
+        core::PipelineConfig probe;
+        std::string error;
+        fatalIf(!core::applyAnalysisSet(request.analyses, probe,
+                                        &error),
+                error);
+    }
     return request;
 }
 
@@ -58,6 +71,12 @@ runAnalysis(const AnalysisRequest &request)
     config.skipInstructions = request.skip;
     config.windowInstructions = request.window;
     config.windowJobs = request.windowJobs;
+    if (!request.analyses.empty()) {
+        std::string error;
+        fatalIf(!core::applyAnalysisSet(request.analyses, config,
+                                        &error),
+                error);
+    }
 
     AnalysisOutcome outcome;
 
@@ -94,7 +113,7 @@ runAnalysis(const AnalysisRequest &request)
             outcome.simulated = true;
         } else {
             // Same probe -> claim -> re-probe protocol as
-            // bench::Suite::runEntry: one simulation per key, no
+            // bench::runCachedEntry: one simulation per key, no
             // matter how many requests race on it.
             const uint64_t identity = trace_io::identityHash(
                 machine.program(), w.input);

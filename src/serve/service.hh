@@ -41,6 +41,10 @@ struct AnalysisRequest
     bool skipSet = false;   //!< `skip` given explicitly
     bool windowSet = false; //!< `window` given explicitly
     unsigned windowJobs = 0;    //!< intra-window shards (0 = env)
+    /** Comma-separated analysis set (core::applyAnalysisSet names);
+     *  empty = every analysis. The retire trace is analysis-agnostic,
+     *  so cached streams replay under any set. */
+    std::string analyses;
     /** Replay this trace instead of simulating (the trace's identity
      *  must match `workload`; its skip/window are adopted). */
     std::string fromTracePath;
@@ -48,8 +52,9 @@ struct AnalysisRequest
 
 /**
  * Parse the POST /analyze JSON body: `{"workload": "compress",
- * "skip": N?, "window": N?, "window_jobs": N?}`. Unknown members are
- * fatal — a typoed "windw" must be a 400, not a silently defaulted
+ * "skip": N?, "window": N?, "window_jobs": N?, "analyses": "..."?}`.
+ * Unknown members — and unknown analysis names — are fatal: a typoed
+ * "windw" must be a 400, not a silently defaulted
  * five-million-instruction run.
  */
 AnalysisRequest parseAnalysisRequest(const json::Value &doc);

@@ -76,6 +76,22 @@ relativeIQR(std::vector<double> values)
         med;
 }
 
+Summary
+summarize(std::vector<double> values)
+{
+    fatalIf(values.empty(), "summary of an empty sample");
+    Summary s;
+    s.n = values.size();
+    s.ci = medianCI(values);    // sorts a copy
+    std::sort(values.begin(), values.end());
+    s.median = quantileSorted(values, 0.5);
+    s.q1 = quantileSorted(values, 0.25);
+    s.q3 = quantileSorted(values, 0.75);
+    s.min = values.front();
+    s.max = values.back();
+    return s;
+}
+
 double
 mannWhitneyP(const std::vector<double> &a, const std::vector<double> &b)
 {

@@ -16,6 +16,7 @@
 #ifndef IREP_SUPPORT_STAT_MATH_HH
 #define IREP_SUPPORT_STAT_MATH_HH
 
+#include <cstddef>
 #include <vector>
 
 namespace irep::stat
@@ -51,6 +52,27 @@ Interval medianCI(std::vector<double> values,
  * than two values or a zero median.
  */
 double relativeIQR(std::vector<double> values);
+
+/**
+ * Distribution-free summary of one metric across a population: the
+ * five-number spread plus a median confidence interval — what the
+ * `irep-pop-1` population report emits per metric. All order
+ * statistics, so skew and outliers (some generated programs are
+ * pathological on purpose) cannot poison the headline numbers.
+ */
+struct Summary
+{
+    size_t n = 0;
+    double median = 0.0;
+    Interval ci;        //!< distribution-free 95% CI of the median
+    double q1 = 0.0;    //!< first quartile
+    double q3 = 0.0;    //!< third quartile
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Summarize a sample. Empty input is fatal. */
+Summary summarize(std::vector<double> values);
 
 /**
  * Two-sided Mann-Whitney U p-value for samples @p a vs @p b (normal

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Population-suite tests: the generated-program study must be a
+ * stable, citable corpus — same seed means byte-identical output, at
+ * any parallelism, live or replayed from the trace cache — and its
+ * `irep-pop-1` document must keep all nondeterminism inside `perf`.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/population.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace irep::bench
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+PopulationConfig
+smallConfig()
+{
+    PopulationConfig config;
+    config.count = 12;
+    config.popSeed = 7;
+    config.pipeline.skipInstructions = 0;
+    config.pipeline.windowInstructions = 200'000;
+    return config;
+}
+
+/** Re-serialize with the `perf` subtree (the only nondeterministic
+ *  block of irep-pop-1) removed. */
+void
+writeStripped(const json::Value &value, json::Writer &w)
+{
+    switch (value.kind()) {
+      case json::Value::Kind::Object:
+        w.beginObject();
+        for (const auto &[key, sub] : value.members()) {
+            if (key == "perf")
+                continue;
+            w.key(key);
+            writeStripped(sub, w);
+        }
+        w.endObject();
+        break;
+      case json::Value::Kind::Array:
+        w.beginArray();
+        for (const json::Value &sub : value.elements())
+            writeStripped(sub, w);
+        w.endArray();
+        break;
+      case json::Value::Kind::String:
+        w.value(value.asString());
+        break;
+      case json::Value::Kind::Number:
+        w.value(value.asNumber());
+        break;
+      case json::Value::Kind::Bool:
+        w.value(value.asBool());
+        break;
+      case json::Value::Kind::Null:
+        w.null();
+        break;
+    }
+}
+
+std::string
+stripPerf(const std::string &json)
+{
+    std::ostringstream out;
+    json::Writer w(out);
+    writeStripped(json::parse(json), w);
+    return out.str();
+}
+
+std::string
+jsonOf(PopulationSuite &suite)
+{
+    std::ostringstream out;
+    suite.writeJson(out);
+    return out.str();
+}
+
+TEST(Population, SameSeedIsByteIdentical)
+{
+    PopulationSuite a(smallConfig());
+    PopulationSuite b(smallConfig());
+    EXPECT_EQ(a.renderTable(), b.renderTable());
+    EXPECT_EQ(stripPerf(jsonOf(a)), stripPerf(jsonOf(b)));
+    // The stripped document still carries the real content.
+    EXPECT_NE(stripPerf(jsonOf(a)).find("\"pct_dyn_repeated\""),
+              std::string::npos);
+    EXPECT_NE(stripPerf(jsonOf(a)).find("\"attribution/"),
+              std::string::npos);
+}
+
+TEST(Population, ParallelAndShardedMatchSerial)
+{
+    PopulationConfig serial = smallConfig();
+    serial.jobs = 1;
+    PopulationConfig wide = smallConfig();
+    wide.jobs = 4;
+    wide.pipeline.windowJobs = 4;
+    PopulationSuite a(serial);
+    PopulationSuite b(wide);
+    EXPECT_EQ(a.renderTable(), b.renderTable());
+    EXPECT_EQ(stripPerf(jsonOf(a)), stripPerf(jsonOf(b)));
+}
+
+TEST(Population, ReplayedPopulationMatchesLive)
+{
+    const std::string dir =
+        testing::TempDir() + "population_cache_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    setenv("IREP_TRACE_DIR", dir.c_str(), 1);
+
+    PopulationSuite live(smallConfig());
+    const std::string liveTable = live.renderTable();
+    EXPECT_EQ(live.tracesRecorded(), smallConfig().count);
+    EXPECT_EQ(live.tracesReplayed(), 0u);
+
+    PopulationSuite replayed(smallConfig());
+    const std::string replayedTable = replayed.renderTable();
+    EXPECT_EQ(replayed.tracesReplayed(), smallConfig().count);
+    EXPECT_EQ(replayed.tracesRecorded(), 0u);
+
+    EXPECT_EQ(liveTable, replayedTable);
+    EXPECT_EQ(stripPerf(jsonOf(live)), stripPerf(jsonOf(replayed)));
+
+    unsetenv("IREP_TRACE_DIR");
+    fs::remove_all(dir);
+}
+
+TEST(Population, ResultsAlignWithMetricNames)
+{
+    PopulationSuite suite(smallConfig());
+    const auto &results = suite.results();
+    ASSERT_EQ(results.size(), smallConfig().count);
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].seed, smallConfig().popSeed + i);
+        EXPECT_EQ(results[i].metrics.size(),
+                  suite.metricNames().size());
+        EXPECT_GT(results[i].instructions, 0u);
+    }
+}
+
+TEST(Population, DisabledAnalysesShrinkTheMetricSet)
+{
+    PopulationConfig config = smallConfig();
+    std::string error;
+    ASSERT_TRUE(core::applyAnalysisSet("tracker", config.pipeline,
+                                       &error));
+    PopulationSuite suite(config);
+    // Only the run + repetition headline metrics remain.
+    EXPECT_EQ(suite.metricNames().size(), 5u);
+    EXPECT_EQ(jsonOf(suite).find("\"attribution/"),
+              std::string::npos);
+}
+
+TEST(Population, ZeroCountIsFatal)
+{
+    PopulationConfig config = smallConfig();
+    config.count = 0;
+    EXPECT_THROW(PopulationSuite suite(config), FatalError);
+}
+
+} // namespace
+} // namespace irep::bench

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * RepetitionAttributionAnalysis tests: the static loop map on the
+ * edge cases that break naive detectors (self-loop branches,
+ * overlapping/irreducible backward edges, backward calls that are not
+ * loops), and the dynamic attribution of call boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/attribution.hh"
+#include "core/pipeline.hh"
+#include "sim_test_util.hh"
+
+namespace irep::core
+{
+namespace
+{
+
+uint64_t
+overall(const AttributionStats &stats, LoopStructure s)
+{
+    return stats.overall[unsigned(s)];
+}
+
+TEST(Attribution, SelfLoopBranchIsAOneInstructionRange)
+{
+    // `bne self` targets its own pc: the degenerate range [self, self]
+    // must cover exactly the branch, nothing around it.
+    test::TestRun run(
+        "addiu $t0, $zero, 0\n"
+        "self: bne $t0, $zero, self\n");
+    RepetitionAttributionAnalysis attr(run.program());
+    EXPECT_EQ(attr.numLoops(), 1u);
+    EXPECT_EQ(attr.loopDepth(0), 0u);
+    EXPECT_EQ(attr.loopDepth(1), 1u);
+    EXPECT_EQ(attr.loopDepth(2), 0u);
+    EXPECT_EQ(attr.staticStructure(1), LoopStructure::InnermostLoop);
+    EXPECT_EQ(attr.staticStructure(0), LoopStructure::StraightLine);
+
+    // Dynamically the untaken branch retires once, as loop code.
+    PipelineConfig config;
+    config.windowInstructions = 1'000'000;
+    AnalysisPipeline pipeline(run.machine(), config);
+    pipeline.run();
+    const AttributionStats &stats = pipeline.attribution().stats();
+    EXPECT_EQ(overall(stats, LoopStructure::InnermostLoop), 1u);
+    EXPECT_EQ(overall(stats, LoopStructure::CallBoundary), 0u);
+}
+
+TEST(Attribution, IrreducibleOverlappingRangesStack)
+{
+    // Two backward branches whose ranges overlap without nesting —
+    // the irreducible case. Containment is all attribution needs:
+    // depth is the number of covering ranges, and anything covered at
+    // all is loop code.
+    test::TestRun run(
+        "addiu $t0, $zero, 3\n"       // 0
+        "head: addiu $t0, $t0, -1\n"  // 1
+        "mid: addiu $t1, $t1, 1\n"    // 2
+        "addiu $t2, $t2, 1\n"         // 3
+        "bne $t0, $zero, head\n"      // 4 -> [1, 4]
+        "bne $t1, $zero, mid\n");     // 5 -> [2, 5]
+    RepetitionAttributionAnalysis attr(run.program());
+    EXPECT_EQ(attr.numLoops(), 2u);
+    EXPECT_EQ(attr.loopDepth(0), 0u);
+    EXPECT_EQ(attr.loopDepth(1), 1u);
+    EXPECT_EQ(attr.loopDepth(2), 2u);
+    EXPECT_EQ(attr.loopDepth(3), 2u);
+    EXPECT_EQ(attr.loopDepth(4), 2u);
+    EXPECT_EQ(attr.loopDepth(5), 1u);
+    EXPECT_EQ(attr.loopDepth(6), 0u);
+    for (uint32_t i = 1; i <= 5; ++i)
+        EXPECT_EQ(attr.staticStructure(i),
+                  LoopStructure::InnermostLoop)
+            << "static index " << i;
+}
+
+TEST(Attribution, RecursiveCallsAreCallBoundariesNotLoops)
+{
+    // A self-recursive function: the backward `jal` is a call, never
+    // a loop edge, and every jal/jr retire is attributed to the
+    // call boundary.
+    test::TestRun run(
+        "addiu $a0, $zero, 3\n"
+        "jal rec\n"
+        "j end\n"
+        "rec: addiu $sp, $sp, -8\n"
+        "sw $ra, 0($sp)\n"
+        "beq $a0, $zero, base\n"
+        "addiu $a0, $a0, -1\n"
+        "jal rec\n"                   // backward jal: NOT a loop
+        "base: lw $ra, 0($sp)\n"
+        "addiu $sp, $sp, 8\n"
+        "jr $ra\n"
+        "end:\n");
+    RepetitionAttributionAnalysis attr(run.program());
+    EXPECT_EQ(attr.numLoops(), 0u);
+
+    PipelineConfig config;
+    config.windowInstructions = 1'000'000;
+    AnalysisPipeline pipeline(run.machine(), config);
+    pipeline.run();
+    EXPECT_TRUE(run.machine().halted());
+    // 4 calls (1 from main + 3 recursive) and 4 returns.
+    const AttributionStats &stats = pipeline.attribution().stats();
+    EXPECT_EQ(overall(stats, LoopStructure::CallBoundary), 8u);
+    EXPECT_EQ(overall(stats, LoopStructure::InnermostLoop), 0u);
+}
+
+TEST(Attribution, LoopBodyDynamicCountsMatchTripCount)
+{
+    test::TestRun run(
+        "addiu $t0, $zero, 4\n"       // 0: straight-line
+        "loop: addiu $t0, $t0, -1\n"  // 1
+        "addiu $t1, $t1, 1\n"         // 2
+        "bne $t0, $zero, loop\n");    // 3 -> [1, 3]
+    PipelineConfig config;
+    config.windowInstructions = 1'000'000;
+    AnalysisPipeline pipeline(run.machine(), config);
+    const uint64_t executed = pipeline.run();
+    EXPECT_TRUE(run.machine().halted());
+
+    // 4 trips x 3 in-loop instructions; everything else (the init and
+    // the exit sequence) is straight-line.
+    const AttributionStats &stats = pipeline.attribution().stats();
+    EXPECT_EQ(overall(stats, LoopStructure::InnermostLoop), 12u);
+    EXPECT_EQ(overall(stats, LoopStructure::CallBoundary), 0u);
+    EXPECT_EQ(stats.totalOverall, executed);
+    EXPECT_EQ(overall(stats, LoopStructure::StraightLine),
+              executed - 12u);
+
+    // Shares are consistent with the raw counts.
+    EXPECT_NEAR(stats.pctOfAll(LoopStructure::InnermostLoop),
+                100.0 * 12.0 / double(executed), 1e-9);
+}
+
+TEST(Attribution, SkipPhaseIsNotCounted)
+{
+    test::TestRun run(
+        "addiu $t0, $zero, 50\n"
+        "loop: addiu $t0, $t0, -1\n"
+        "addiu $t1, $t1, 1\n"
+        "bne $t0, $zero, loop\n");
+    PipelineConfig config;
+    config.skipInstructions = 100;
+    config.windowInstructions = 1'000'000;
+    AnalysisPipeline pipeline(run.machine(), config);
+    const uint64_t window = pipeline.run();
+    EXPECT_EQ(pipeline.attribution().stats().totalOverall, window);
+}
+
+} // namespace
+} // namespace irep::core

@@ -357,5 +357,72 @@ TEST(Pipeline, ShardedSampledProfilingCountsMatchSerial)
     EXPECT_EQ(samplesAt(4), serial);
 }
 
+TEST(Pipeline, ApplyAnalysisSetSelectsExactlyTheNamed)
+{
+    PipelineConfig config;
+    std::string error;
+    ASSERT_TRUE(
+        applyAnalysisSet("classes,attribution", config, &error))
+        << error;
+    EXPECT_TRUE(config.enableClass);
+    EXPECT_TRUE(config.enableAttribution);
+    EXPECT_FALSE(config.enableGlobal);
+    EXPECT_FALSE(config.enableLocal);
+    EXPECT_FALSE(config.enableFunction);
+    EXPECT_FALSE(config.enableReuse);
+    EXPECT_FALSE(config.enableValuePrediction);
+}
+
+TEST(Pipeline, ApplyAnalysisSetAllAndTrackerSpellings)
+{
+    PipelineConfig all;
+    ASSERT_TRUE(applyAnalysisSet("all", all));
+    EXPECT_TRUE(all.enableGlobal && all.enableLocal &&
+                all.enableFunction && all.enableReuse &&
+                all.enableClass && all.enableValuePrediction &&
+                all.enableAttribution);
+
+    // "tracker" is a valid no-op name: the tracker always runs, so
+    // naming only it means "nothing but the tracker".
+    PipelineConfig tracker;
+    ASSERT_TRUE(applyAnalysisSet("tracker", tracker));
+    EXPECT_FALSE(tracker.enableGlobal || tracker.enableLocal ||
+                 tracker.enableFunction || tracker.enableReuse ||
+                 tracker.enableClass ||
+                 tracker.enableValuePrediction ||
+                 tracker.enableAttribution);
+}
+
+TEST(Pipeline, ApplyAnalysisSetRejectsBadSetsUntouched)
+{
+    PipelineConfig config;
+    config.enableReuse = false;     // a non-default marker
+    std::string error;
+    EXPECT_FALSE(applyAnalysisSet("classes,bogus", config, &error));
+    EXPECT_NE(error.find("bogus"), std::string::npos);
+    // A failed apply must not half-commit.
+    EXPECT_TRUE(config.enableGlobal);
+    EXPECT_FALSE(config.enableReuse);
+
+    EXPECT_FALSE(applyAnalysisSet("", config, &error));
+    EXPECT_FALSE(applyAnalysisSet("classes,,local", config, &error));
+}
+
+TEST(Pipeline, DisabledAnalysesAreNotConstructed)
+{
+    const auto program = sampleProgram();
+    sim::Machine machine(program);
+    PipelineConfig config;
+    config.windowInstructions = 100'000'000;
+    ASSERT_TRUE(applyAnalysisSet("attribution", config));
+    AnalysisPipeline pipeline(machine, config);
+    const uint64_t executed = pipeline.run();
+    EXPECT_TRUE(machine.halted());
+    // The enabled analysis saw every window instruction; the tracker
+    // always runs regardless of the set.
+    EXPECT_EQ(pipeline.attribution().stats().totalOverall, executed);
+    EXPECT_EQ(pipeline.tracker().stats().dynTotal, executed);
+}
+
 } // namespace
 } // namespace irep::core

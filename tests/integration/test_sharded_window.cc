@@ -222,8 +222,8 @@ TEST(ShardedWindow, EffectiveJobsClampToEnabledAnalyses)
     auto machine = makeMachine("compress");
     core::PipelineConfig config = testConfig(64);
     core::AnalysisPipeline all(*machine, config);
-    // Tracker + 6 other analyses: at most 7 workers are useful.
-    EXPECT_EQ(all.effectiveWindowJobs(), 7u);
+    // Tracker + 7 other analyses: at most 8 workers are useful.
+    EXPECT_EQ(all.effectiveWindowJobs(), 8u);
 
     config.enableGlobal = false;
     config.enableLocal = false;
@@ -231,6 +231,7 @@ TEST(ShardedWindow, EffectiveJobsClampToEnabledAnalyses)
     config.enableReuse = false;
     config.enableClass = false;
     config.enableValuePrediction = false;
+    config.enableAttribution = false;
     auto machine2 = makeMachine("compress");
     core::AnalysisPipeline tracker_only(*machine2, config);
     // Nothing to shard: the tracker-only pipeline stays serial.
@@ -246,6 +247,7 @@ TEST(ShardedWindow, TrackerOnlyPipelineRunsSerialEvenWithJobs)
     config.enableReuse = false;
     config.enableClass = false;
     config.enableValuePrediction = false;
+    config.enableAttribution = false;
 
     auto machine = makeMachine("compress");
     core::AnalysisPipeline pipeline(*machine, config);

@@ -9,6 +9,11 @@
  *   irep bench <workload> [opts]           analyze a built-in workload
  *   irep bench all [opts]                  the whole suite, workloads
  *                                          run in parallel (--jobs)
+ *   irep bench --generated N [opts]        population study: N
+ *                                          generated MiniC programs,
+ *                                          per-metric distributions
+ *                                          (irep-pop-1 with
+ *                                          --stats-json)
  *   irep record <workload|file> [opts]     record a binary retire
  *                                          trace (src/trace_io) for
  *                                          later --from-trace replay
@@ -51,6 +56,14 @@
  *   --from-trace FILE  analyze/bench off a recorded trace instead of
  *                      simulating (adopts the trace's skip/window)
  *   --output FILE      where `record` writes the trace
+ *   --analyses LIST    comma-separated analysis set for
+ *                      `analyze`/`bench <workload>`/`bench
+ *                      --generated` (e.g. `tracker,classes`); the
+ *                      tracker always runs
+ *   --generated N      `bench` population mode: analyze N generated
+ *                      programs instead of a named workload
+ *   --pop-seed S       seed of generated program 0 (program i uses
+ *                      S+i; default 1)
  *
  * `irep bench all` also consults the IREP_TRACE_DIR trace cache (see
  * bench/harness/suite.hh): workloads record on first run and replay
@@ -73,6 +86,7 @@
 #include "asm/assembler.hh"
 #include "core/pipeline.hh"
 #include "fuzz/fuzz.hh"
+#include "harness/population.hh"
 #include "harness/suite.hh"
 #include "isa/instruction.hh"
 #include "minicc/compiler.hh"
@@ -126,6 +140,12 @@ struct Options
     std::string fromTrace;  //!< replay source for analyze/bench
     std::string outputFile; //!< trace destination for record
     uint16_t port = 0;      //!< serve: 0 = ephemeral
+    std::string analyses;   //!< --analyses set (empty = all enabled)
+
+    // bench --generated (population study) only:
+    uint32_t generated = 0;     //!< programs to generate (0 = off)
+    uint64_t popSeed = 1;       //!< seed of generated program 0
+    bool popSeedSet = false;    //!< --pop-seed given explicitly
 
     // fuzz only:
     uint64_t seed = 1;
@@ -134,6 +154,7 @@ struct Options
     std::string reproDir = "fuzz-repros";
     bool verbose = false;
     bool fuzzFlagSeen = false;  //!< any fuzz-only flag was given
+    bool maxStmtsSet = false;   //!< --max-stmts given explicitly
 };
 
 using cli::usageText;
@@ -189,12 +210,15 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         usage();
     opts.command = argv[1];
-    // `fuzz`, `serve` and `version` take no target; every other
-    // command requires one.
+    // `fuzz`, `serve` and `version` take no target; `bench` takes a
+    // workload name, `all`, or no target at all in population mode
+    // (`irep bench --generated N`); every other command requires one.
     int first_flag = 2;
     const bool targetless = opts.command == "fuzz" ||
         opts.command == "serve" || opts.command == "version";
-    if (!targetless) {
+    const bool benchFlagsOnly = opts.command == "bench" &&
+        argc >= 3 && argv[2][0] == '-';
+    if (!targetless && !benchFlagsOnly) {
         if (argc < 3)
             usage();
         opts.target = argv[2];
@@ -266,7 +290,21 @@ parseArgs(int argc, char **argv)
         else if (arg == "--max-stmts") {
             opts.maxStmts = int(parseU64(arg, next()));
             fatalIf(opts.maxStmts == 0, "--max-stmts must be positive");
-            opts.fuzzFlagSeen = true;
+            opts.maxStmtsSet = true;
+        }
+        else if (arg == "--generated") {
+            opts.generated = unsigned(parseU64(arg, next()));
+            fatalIf(opts.generated == 0,
+                    "--generated must be a positive program count");
+        }
+        else if (arg == "--pop-seed") {
+            opts.popSeed = parseU64(arg, next());
+            opts.popSeedSet = true;
+        }
+        else if (arg == "--analyses") {
+            opts.analyses = next();
+            fatalIf(opts.analyses.empty(),
+                    "--analyses needs a non-empty analysis set");
         }
         else if (arg == "--repro-dir") {
             opts.reproDir = next();
@@ -281,8 +319,29 @@ parseArgs(int argc, char **argv)
     }
     fatalIf(opts.traceSample == 0, "--trace-sample must be positive");
     fatalIf(opts.fuzzFlagSeen && opts.command != "fuzz",
-            "--seed/--count/--max-stmts/--repro-dir/--verbose only "
+            "--seed/--count/--repro-dir/--verbose only "
             "apply to `fuzz`");
+    fatalIf(opts.maxStmtsSet && opts.command != "fuzz" &&
+                opts.generated == 0,
+            "--max-stmts only applies to `fuzz` and "
+            "`bench --generated`");
+    fatalIf(opts.generated != 0 && opts.command != "bench",
+            "--generated only applies to `bench`");
+    fatalIf(opts.generated != 0 && !opts.target.empty(),
+            "--generated mints its own programs; drop the workload "
+            "target");
+    fatalIf(opts.popSeedSet && opts.generated == 0,
+            "--pop-seed only applies with --generated");
+    fatalIf(opts.command == "bench" && opts.target.empty() &&
+                opts.generated == 0,
+            "`bench` needs a workload name, `all`, or --generated N");
+    fatalIf(!opts.analyses.empty() && opts.command != "analyze" &&
+                !(opts.command == "bench" && opts.target != "all"),
+            "--analyses only applies to `analyze`, `bench <workload>` "
+            "and `bench --generated`");
+    fatalIf(!opts.fromTrace.empty() && opts.generated != 0,
+            "--from-trace cannot be combined with --generated "
+            "(population runs replay via the IREP_TRACE_DIR cache)");
 
     // Replay drives the analyses straight off a recorded stream, so
     // it only makes sense where analyses run; reject it everywhere
@@ -440,46 +499,81 @@ report(core::AnalysisPipeline &pipeline, uint64_t measured, FILE *out)
                  (unsigned long long)stats.uniqueRepeatableInstances,
                  stats.avgRepeatsPerInstance);
 
-    std::fprintf(out, "sources (Table 3, %% of stream / propensity):\n");
-    for (unsigned t = 0; t < core::numGlobalTags; ++t) {
-        const auto tag = core::GlobalTag(t);
-        std::fprintf(out, "  %-18s %6.1f%%  /  %5.1f%%\n",
-                     std::string(core::globalTagName(tag)).c_str(),
-                     pipeline.taint().stats().pctOverall(tag),
-                     pipeline.taint().stats().propensity(tag));
+    // Every section below belongs to a toggleable analysis
+    // (--analyses); a disabled analysis has no object to read, so its
+    // section simply disappears from the report.
+    const core::PipelineConfig &config = pipeline.config();
+    if (config.enableGlobal) {
+        std::fprintf(out,
+                     "sources (Table 3, %% of stream / propensity):\n");
+        for (unsigned t = 0; t < core::numGlobalTags; ++t) {
+            const auto tag = core::GlobalTag(t);
+            std::fprintf(out, "  %-18s %6.1f%%  /  %5.1f%%\n",
+                         std::string(core::globalTagName(tag)).c_str(),
+                         pipeline.taint().stats().pctOverall(tag),
+                         pipeline.taint().stats().propensity(tag));
+        }
     }
 
-    std::fprintf(out, "\nwithin-function categories (Table 5, %% of "
-                 "stream):\n");
-    for (unsigned c = 0; c < core::numLocalCats; ++c) {
-        const auto cat = core::LocalCat(c);
-        std::fprintf(out, "  %-18s %6.2f%%\n",
-                     std::string(core::localCatName(cat)).c_str(),
-                     pipeline.local().stats().pctOverall(cat));
+    if (config.enableLocal) {
+        std::fprintf(out, "\nwithin-function categories (Table 5, %% of "
+                     "stream):\n");
+        for (unsigned c = 0; c < core::numLocalCats; ++c) {
+            const auto cat = core::LocalCat(c);
+            std::fprintf(out, "  %-18s %6.2f%%\n",
+                         std::string(core::localCatName(cat)).c_str(),
+                         pipeline.local().stats().pctOverall(cat));
+        }
     }
 
-    const auto funcs = pipeline.functions().stats();
-    const auto memo = pipeline.functions().memoStats();
-    std::fprintf(out, "\nfunctions (Tables 4, 8):\n");
-    std::fprintf(out, "  dynamic calls:       %llu\n",
-                 (unsigned long long)funcs.dynamicCalls);
-    std::fprintf(out, "  all-args repeated:   %6.1f%%\n",
-                 funcs.pctAllArgsRepeated());
-    std::fprintf(out, "  memoizable calls:    %6.1f%%\n",
-                 memo.pctCleanOfAll());
+    if (config.enableFunction) {
+        const auto funcs = pipeline.functions().stats();
+        const auto memo = pipeline.functions().memoStats();
+        std::fprintf(out, "\nfunctions (Tables 4, 8):\n");
+        std::fprintf(out, "  dynamic calls:       %llu\n",
+                     (unsigned long long)funcs.dynamicCalls);
+        std::fprintf(out, "  all-args repeated:   %6.1f%%\n",
+                     funcs.pctAllArgsRepeated());
+        std::fprintf(out, "  memoizable calls:    %6.1f%%\n",
+                     memo.pctCleanOfAll());
+    }
 
-    const auto &reuse = pipeline.reuse().stats();
-    const auto &pred = pipeline.prediction();
-    std::fprintf(out, "\nhardware (Table 10 + extension):\n");
-    std::fprintf(out, "  8K 4-way reuse buffer: %5.1f%% of all "
-                 "instructions\n",
-                 reuse.pctOfAll());
-    std::fprintf(out, "  last-value predictor:  %5.1f%% of writes\n",
-                 pred.lastValue().pctOfEligible());
-    std::fprintf(out, "  stride predictor:      %5.1f%% of writes\n",
-                 pred.stride().pctOfEligible());
-    std::fprintf(out, "  context predictor:     %5.1f%% of writes\n",
-                 pred.context().pctOfEligible());
+    if (config.enableReuse || config.enableValuePrediction) {
+        std::fprintf(out, "\nhardware (Table 10 + extension):\n");
+        if (config.enableReuse) {
+            std::fprintf(out, "  8K 4-way reuse buffer: %5.1f%% of all "
+                         "instructions\n",
+                         pipeline.reuse().stats().pctOfAll());
+        }
+        if (config.enableValuePrediction) {
+            const auto &pred = pipeline.prediction();
+            std::fprintf(out,
+                         "  last-value predictor:  %5.1f%% of writes\n",
+                         pred.lastValue().pctOfEligible());
+            std::fprintf(out,
+                         "  stride predictor:      %5.1f%% of writes\n",
+                         pred.stride().pctOfEligible());
+            std::fprintf(out,
+                         "  context predictor:     %5.1f%% of writes\n",
+                         pred.context().pctOfEligible());
+        }
+    }
+
+    if (config.enableAttribution) {
+        const core::AttributionStats &attr =
+            pipeline.attribution().stats();
+        std::fprintf(out, "\nattribution (%% of stream / propensity / "
+                     "%% of repetition):\n");
+        for (unsigned s = 0; s < core::numLoopStructures; ++s) {
+            const auto st = core::LoopStructure(s);
+            std::fprintf(out,
+                         "  %-18s %6.1f%%  /  %5.1f%%  /  %5.1f%%\n",
+                         std::string(
+                             core::loopStructureName(st)).c_str(),
+                         attr.pctOfAll(st), attr.propensity(st),
+                         attr.pctOfRepetition(st));
+        }
+    }
 }
 
 /**
@@ -516,6 +610,11 @@ analyzeMachine(const Options &opts, sim::Machine &machine,
     config.skipInstructions = opts.skip ? opts.skip : default_skip;
     config.windowInstructions = opts.window;
     config.windowJobs = opts.windowJobs;
+    if (!opts.analyses.empty()) {
+        std::string error;
+        fatalIf(!core::applyAnalysisSet(opts.analyses, config, &error),
+                error);
+    }
 
     // Replay adopts the skip/window the trace was recorded under —
     // silently measuring a different window than the stream holds
@@ -641,9 +740,64 @@ cmdBenchAll(const Options &opts)
     return 0;
 }
 
+/**
+ * `irep bench --generated N`: the population study. N deterministic
+ * MiniC programs are minted from the fuzz generator (seeds --pop-seed
+ * .. --pop-seed+N-1), compiled, and run through the full pipeline;
+ * the report is per-metric *distributions* across the population
+ * (bench/harness/population.hh). Runs record into the IREP_TRACE_DIR
+ * cache on first contact and replay thereafter — a population is
+ * simulated exactly once.
+ */
+int
+cmdBenchPopulation(const Options &opts)
+{
+    bench::PopulationConfig config;
+    config.count = opts.generated;
+    config.popSeed = opts.popSeed;
+    config.maxStmts = opts.maxStmts;
+    config.jobs = opts.jobs;
+    config.exec = opts.exec;
+    // Generated programs are small, so the default measures from
+    // instruction 0 (--skip overrides) until halt or window clip.
+    config.pipeline.skipInstructions = opts.skip;
+    config.pipeline.windowInstructions = opts.window;
+    config.pipeline.windowJobs = opts.windowJobs;
+    if (!opts.analyses.empty()) {
+        std::string error;
+        fatalIf(!core::applyAnalysisSet(opts.analyses,
+                                        config.pipeline, &error),
+                error);
+    }
+
+    bench::PopulationSuite suite(config);
+    suite.results();
+
+    // The distribution table is deterministic (any --jobs,
+    // --window-jobs, cache state) and goes to the report stream;
+    // timing and cache provenance vary per run and go to stderr.
+    FILE *rep = reportStream(opts);
+    std::fprintf(rep,
+                 "=== irep generated population: %u programs "
+                 "(pop-seed %llu) ===\n",
+                 unsigned(opts.generated),
+                 (unsigned long long)opts.popSeed);
+    std::fputs(suite.renderTable().c_str(), rep);
+    std::fprintf(stderr,
+                 "irep: population: %u traces replayed, %u recorded, "
+                 "wall-clock %.2fs\n",
+                 suite.tracesReplayed(), suite.tracesRecorded(),
+                 suite.suiteSeconds());
+    if (!opts.statsJsonFile.empty())
+        suite.writeJson(opts.statsJsonFile);
+    return 0;
+}
+
 int
 cmdBench(const Options &opts)
 {
+    if (opts.generated != 0)
+        return cmdBenchPopulation(opts);
     if (opts.target == "all")
         return cmdBenchAll(opts);
     const auto &workload = workloads::workloadByName(opts.target);
